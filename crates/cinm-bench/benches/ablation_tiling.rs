@@ -1,0 +1,61 @@
+//! Ablation of the tiling shapes of Figure 9 and of the per-DPU tasklet
+//! count: how the tile shape and thread count chosen by the cnm lowering
+//! affect the simulated GEMM kernel time.
+
+use cinm_lowering::{tile_2d, TileShape, UpmemBackend, UpmemRunOptions};
+use cinm_workloads::data;
+use criterion::{criterion_group, criterion_main, Criterion};
+use upmem_sim::UpmemConfig;
+
+fn simulated_gemm_ms(tasklets: usize, wram_tile: usize) -> f64 {
+    let (m, k, n) = (512usize, 128usize, 64usize);
+    let a = data::i32_matrix(1, m, k, -4, 4);
+    let b = data::i32_matrix(2, k, n, -4, 4);
+    let mut cfg = UpmemConfig::with_ranks(1).with_tasklets(tasklets);
+    cfg.dpus_per_rank = 64;
+    let mut backend = UpmemBackend::with_config(
+        cfg,
+        UpmemRunOptions {
+            locality_optimized: true,
+            tasklets,
+            instruction_overhead: 1.0,
+            wram_tile_elems: Some(wram_tile),
+        },
+    );
+    backend.gemm(&a, &b, m, k, n);
+    backend.total_ms()
+}
+
+fn bench(c: &mut Criterion) {
+    println!("Ablation: tiling shape (Figure 9) and tasklet count");
+    for shape in [
+        TileShape::Box { tile: 16 },
+        TileShape::Rectangular { rows: 8, cols: 64 },
+        TileShape::RowBand { rows: 4 },
+    ] {
+        let tiles = tile_2d(512, 64, shape);
+        println!("  {:?}: {} tiles over a 512x64 output", shape, tiles.len());
+    }
+    for tasklets in [1usize, 4, 11, 16, 24] {
+        println!(
+            "  tasklets = {:>2}: simulated GEMM time {:.3} ms",
+            tasklets,
+            simulated_gemm_ms(tasklets, 1024)
+        );
+    }
+    for wram_tile in [64usize, 256, 1024, 4096] {
+        println!(
+            "  wram tile = {:>4} elems: simulated GEMM time {:.3} ms",
+            wram_tile,
+            simulated_gemm_ms(16, wram_tile)
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_tiling");
+    group.sample_size(10);
+    group.bench_function("gemm_16_tasklets", |b| b.iter(|| simulated_gemm_ms(16, 1024)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Figure 10: speedup of the cim / cim-min-writes / cim-parallel /
+//! cim-opt configurations over the ARM in-order host, plus the write-reduction
+//! and energy columns. The table is printed once at bench-scale; criterion
+//! measures the harness at test scale to keep iteration times bounded.
+
+use cinm_core::experiments::{figure10, format_figure10};
+use cinm_workloads::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", format_figure10(&figure10(Scale::Bench)));
+    let mut group = c.benchmark_group("fig10_cim");
+    group.sample_size(10);
+    group.bench_function("cim_configurations_test_scale", |b| {
+        b.iter(|| figure10(Scale::Test))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Figure 11: execution time of cinm-{4,8,16}d vs
+//! cinm-opt-{4,8,16}d on the ML workloads, showing the impact of the
+//! WRAM-tiling + loop-interchange optimisations.
+
+use cinm_core::experiments::{figure11, format_figure11};
+use cinm_workloads::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", format_figure11(&figure11(Scale::Bench)));
+    let mut group = c.benchmark_group("fig11_upmem_opts");
+    group.sample_size(10);
+    group.bench_function("upmem_optimizations_test_scale", |b| {
+        b.iter(|| figure11(Scale::Test))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates Figure 12: cpu-opt vs the hand-optimised PrIM DPU code vs the
+//! CINM-generated code on the PrIM benchmark subset, for 4/8/16 DIMMs.
+
+use cinm_core::experiments::{figure12, format_figure12};
+use cinm_workloads::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", format_figure12(&figure12(Scale::Bench)));
+    let mut group = c.benchmark_group("fig12_prim");
+    group.sample_size(10);
+    group.bench_function("prim_comparison_test_scale", |b| {
+        b.iter(|| figure12(Scale::Test))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

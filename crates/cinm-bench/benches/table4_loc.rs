@@ -1,0 +1,16 @@
+//! Regenerates Table 4: lines of code of the CINM representation of every
+//! application against the hand-written UPMEM C/C++ implementations.
+
+use cinm_core::experiments::{format_table4, table4};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", format_table4(&table4()));
+    let mut group = c.benchmark_group("table4_loc");
+    group.sample_size(10);
+    group.bench_function("loc_table", |b| b.iter(table4));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

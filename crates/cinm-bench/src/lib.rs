@@ -1,0 +1,2 @@
+//! Benchmark support crate: see the `benches/` directory for the criterion
+//! harnesses that regenerate every table and figure of the paper.

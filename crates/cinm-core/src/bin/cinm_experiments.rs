@@ -1,0 +1,45 @@
+//! Command-line harness regenerating the paper's tables and figures.
+//!
+//! Usage: `cinm-experiments [fig10|fig11|fig12|table4|all] [--scale test|bench|paper]`
+
+use cinm_core::experiments;
+use cinm_workloads::Scale;
+
+fn parse_scale(args: &[String]) -> Scale {
+    match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("paper") => Scale::Paper,
+        Some("test") => Scale::Test,
+        _ => Scale::Bench,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let scale = parse_scale(&args);
+    let run_fig10 = || println!("{}", experiments::format_figure10(&experiments::figure10(scale)));
+    let run_fig11 = || println!("{}", experiments::format_figure11(&experiments::figure11(scale)));
+    let run_fig12 = || println!("{}", experiments::format_figure12(&experiments::figure12(scale)));
+    let run_table4 = || println!("{}", experiments::format_table4(&experiments::table4()));
+    match which {
+        "fig10" => run_fig10(),
+        "fig11" => run_fig11(),
+        "fig12" => run_fig12(),
+        "table4" => run_table4(),
+        "all" => {
+            run_fig10();
+            run_fig11();
+            run_fig12();
+            run_table4();
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'; expected fig10|fig11|fig12|table4|all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # cinm-core — the CINM (Cinnamon) compiler driver and evaluation harness
+//!
+//! Ties the whole reproduction together:
+//!
+//! * [`pipeline`] — the pre-assembled lowering pipelines of Figure 4
+//!   (`tosa/linalg → cinm → cnm → upmem` and `… → cim → memristor`);
+//! * [`target`] — target selection and the cost-model registration mechanism
+//!   of Sections 3.2.2 and 3.3;
+//! * [`runner`] — executes every benchmark on the host reference, the UPMEM
+//!   backend and the crossbar backend, with simulated time and energy;
+//! * [`experiments`] — regenerates Figure 10, Figure 11, Figure 12 and
+//!   Table 4 of the paper.
+//!
+//! The `cinm-experiments` binary prints any of the experiments:
+//!
+//! ```text
+//! cargo run -p cinm-core --release --bin cinm-experiments -- fig11 --scale bench
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod pipeline;
+pub mod runner;
+pub mod target;
+
+pub use experiments::{figure10, figure11, figure12, table4};
+pub use pipeline::{cim_pipeline, cinm_pipeline, cnm_pipeline, compile};
+pub use target::{CostModel, Target, TargetSelector};

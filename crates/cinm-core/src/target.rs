@@ -1,0 +1,221 @@
+//! Target selection and the cost-model interface (paper Sections 3.2.2, 3.3).
+//!
+//! The `cinm` abstraction delegates each kernel to the most suitable device.
+//! Device dialects can register [`CostModel`] implementations; in their
+//! absence the greedy default policy of the paper applies: matmul-like
+//! operations whose dimensions exceed a threshold go to the CIM crossbar,
+//! every other operation in the `cinm` op set goes to UPMEM, and anything
+//! that cannot be expressed in the Table 1 op set stays on the host.
+
+use std::collections::BTreeMap;
+
+use cinm_dialects::cinm;
+use cinm_ir::prelude::*;
+
+/// An offload target of the heterogeneous system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Target {
+    /// Memristive crossbar CIM accelerator.
+    Cim,
+    /// UPMEM compute-near-memory system.
+    Cnm,
+    /// Host CPU.
+    Host,
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Target::Cim => "cim",
+            Target::Cnm => "cnm (upmem)",
+            Target::Host => "host",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A device cost model, registered by a device dialect.
+pub trait CostModel {
+    /// The target the model describes.
+    fn target(&self) -> Target;
+
+    /// Estimated execution time in seconds of a `cinm` operation with the
+    /// given name and operand element count, or `None` if the device cannot
+    /// execute the op.
+    fn estimate_seconds(&self, op_name: &str, elements: i64) -> Option<f64>;
+}
+
+/// Registry of cost models plus the greedy fallback policy.
+#[derive(Default)]
+pub struct TargetSelector {
+    models: Vec<Box<dyn CostModel>>,
+    /// Minimum matmul-like operand elements for greedy CIM offload.
+    pub cim_threshold_elements: i64,
+    /// Optional user override (the "command line" option of the paper).
+    pub user_override: Option<Target>,
+}
+
+impl std::fmt::Debug for TargetSelector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TargetSelector")
+            .field("models", &self.models.len())
+            .field("cim_threshold_elements", &self.cim_threshold_elements)
+            .field("user_override", &self.user_override)
+            .finish()
+    }
+}
+
+impl TargetSelector {
+    /// Creates a selector with the default threshold (a 64×64 operand).
+    pub fn new() -> Self {
+        TargetSelector {
+            models: Vec::new(),
+            cim_threshold_elements: 64 * 64,
+            user_override: None,
+        }
+    }
+
+    /// Registers a device cost model.
+    pub fn register_model(&mut self, model: Box<dyn CostModel>) {
+        self.models.push(model);
+    }
+
+    /// Number of registered cost models.
+    pub fn num_models(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Selects a target for one `cinm` operation.
+    pub fn select_for_op(&self, body: &Body, op: OpId) -> Target {
+        if let Some(t) = self.user_override {
+            return t;
+        }
+        let operation = body.op(op);
+        let elements = operation
+            .operands
+            .iter()
+            .map(|&v| body.value_type(v).num_elements())
+            .max()
+            .unwrap_or(0);
+        // Registered cost models take precedence: pick the fastest estimate.
+        let mut best: Option<(Target, f64)> = None;
+        for model in &self.models {
+            if let Some(est) = model.estimate_seconds(&operation.name, elements) {
+                if best.map(|(_, t)| est < t).unwrap_or(true) {
+                    best = Some((model.target(), est));
+                }
+            }
+        }
+        if let Some((target, _)) = best {
+            return target;
+        }
+        // Greedy default policy.
+        match cinm::paradigm_support(&operation.name) {
+            Some(support) => {
+                let matmul_like =
+                    operation.name == cinm::GEMM || operation.name == cinm::GEMV;
+                if matmul_like && support.cim && elements >= self.cim_threshold_elements {
+                    Target::Cim
+                } else if support.cnm {
+                    Target::Cnm
+                } else if support.cim {
+                    Target::Cim
+                } else {
+                    Target::Host
+                }
+            }
+            None => Target::Host,
+        }
+    }
+
+    /// Selects targets for every `cinm` op of a function and returns the
+    /// per-target op counts (the kernel/region partitioning summary).
+    pub fn select_for_func(&self, func: &Func) -> BTreeMap<Target, usize> {
+        let mut counts = BTreeMap::new();
+        for op in func.body.walk() {
+            if func.body.op(op).dialect() != "cinm" {
+                continue;
+            }
+            let t = self.select_for_op(&func.body, op);
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cinm_dialects::cinm as cinm_ops;
+
+    struct AlwaysCheapCnm;
+
+    impl CostModel for AlwaysCheapCnm {
+        fn target(&self) -> Target {
+            Target::Cnm
+        }
+        fn estimate_seconds(&self, _op: &str, _elements: i64) -> Option<f64> {
+            Some(1e-9)
+        }
+    }
+
+    fn gemm_func(dim: i64) -> Func {
+        let t = Type::tensor(&[dim, dim], ScalarType::I32);
+        let mut f = Func::new("g", vec![t.clone(), t.clone()], vec![t]);
+        let args = f.arguments();
+        let entry = f.body.entry_block();
+        let mut b = OpBuilder::at_end(&mut f.body, entry);
+        cinm_ops::gemm(&mut b, args[0], args[1]);
+        f
+    }
+
+    #[test]
+    fn large_gemms_go_to_cim_small_ones_to_cnm() {
+        let selector = TargetSelector::new();
+        let big = gemm_func(128);
+        let small = gemm_func(16);
+        let big_op = big.body.ops_with_name(cinm_ops::GEMM)[0];
+        let small_op = small.body.ops_with_name(cinm_ops::GEMM)[0];
+        assert_eq!(selector.select_for_op(&big.body, big_op), Target::Cim);
+        assert_eq!(selector.select_for_op(&small.body, small_op), Target::Cnm);
+    }
+
+    #[test]
+    fn cnm_only_and_cim_only_ops_respect_the_support_matrix() {
+        let t = Type::tensor(&[1024], ScalarType::I32);
+        let mut f = Func::new("x", vec![t.clone()], vec![]);
+        let a = f.argument(0);
+        let entry = f.body.entry_block();
+        let mut b = OpBuilder::at_end(&mut f.body, entry);
+        let h = cinm_ops::histogram(&mut b, a, 64);
+        let _ = cinm_ops::pop_count(&mut b, h);
+        let selector = TargetSelector::new();
+        let hist = f.body.ops_with_name(cinm_ops::HISTOGRAM)[0];
+        let pc = f.body.ops_with_name(cinm_ops::POP_COUNT)[0];
+        assert_eq!(selector.select_for_op(&f.body, hist), Target::Cnm);
+        assert_eq!(selector.select_for_op(&f.body, pc), Target::Cim);
+    }
+
+    #[test]
+    fn user_override_and_cost_models_take_precedence() {
+        let mut selector = TargetSelector::new();
+        let f = gemm_func(256);
+        let op = f.body.ops_with_name(cinm_ops::GEMM)[0];
+        // Registered model wins over the greedy policy.
+        selector.register_model(Box::new(AlwaysCheapCnm));
+        assert_eq!(selector.num_models(), 1);
+        assert_eq!(selector.select_for_op(&f.body, op), Target::Cnm);
+        // Explicit user choice wins over everything.
+        selector.user_override = Some(Target::Host);
+        assert_eq!(selector.select_for_op(&f.body, op), Target::Host);
+    }
+
+    #[test]
+    fn func_level_summary_counts_cinm_ops() {
+        let selector = TargetSelector::new();
+        let f = gemm_func(128);
+        let counts = selector.select_for_func(&f);
+        assert_eq!(counts.get(&Target::Cim), Some(&1));
+        assert_eq!(counts.values().sum::<usize>(), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Compile-time attributes attached to operations.
+
+use std::fmt;
+
+use crate::affine::AffineMap;
+use crate::types::Type;
+
+/// A compile-time constant attached to an operation under a string key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Attribute {
+    /// A unit attribute (presence-only flag).
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A type attribute.
+    TypeAttr(Type),
+    /// An array of integers (e.g. tile sizes, workgroup shapes, permutations).
+    IntArray(Vec<i64>),
+    /// An array of strings (e.g. `cnm.physical_dims = ["dpu", "thread"]`).
+    StrArray(Vec<String>),
+    /// An affine map (e.g. scatter/gather maps).
+    Map(AffineMap),
+    /// A dense constant of 64-bit integers with a shape (splat or full).
+    DenseInt {
+        /// Shape of the constant.
+        shape: Vec<i64>,
+        /// Row-major values; a single element means a splat.
+        values: Vec<i64>,
+    },
+}
+
+impl Attribute {
+    /// Returns the integer payload if this is an [`Attribute::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Attribute::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload if this is an [`Attribute::Float`].
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Attribute::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is an [`Attribute::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Attribute::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is an [`Attribute::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Attribute::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer-array payload if this is an [`Attribute::IntArray`].
+    pub fn as_int_array(&self) -> Option<&[i64]> {
+        match self {
+            Attribute::IntArray(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string-array payload if this is an [`Attribute::StrArray`].
+    pub fn as_str_array(&self) -> Option<&[String]> {
+        match self {
+            Attribute::StrArray(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the affine-map payload if this is an [`Attribute::Map`].
+    pub fn as_map(&self) -> Option<&AffineMap> {
+        match self {
+            Attribute::Map(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the type payload if this is an [`Attribute::TypeAttr`].
+    pub fn as_type(&self) -> Option<&Type> {
+        match self {
+            Attribute::TypeAttr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Attribute {
+    fn from(value: i64) -> Self {
+        Attribute::Int(value)
+    }
+}
+
+impl From<bool> for Attribute {
+    fn from(value: bool) -> Self {
+        Attribute::Bool(value)
+    }
+}
+
+impl From<f64> for Attribute {
+    fn from(value: f64) -> Self {
+        Attribute::Float(value)
+    }
+}
+
+impl From<&str> for Attribute {
+    fn from(value: &str) -> Self {
+        Attribute::Str(value.to_string())
+    }
+}
+
+impl From<String> for Attribute {
+    fn from(value: String) -> Self {
+        Attribute::Str(value)
+    }
+}
+
+impl From<Vec<i64>> for Attribute {
+    fn from(value: Vec<i64>) -> Self {
+        Attribute::IntArray(value)
+    }
+}
+
+impl From<AffineMap> for Attribute {
+    fn from(value: AffineMap) -> Self {
+        Attribute::Map(value)
+    }
+}
+
+impl From<Type> for Attribute {
+    fn from(value: Type) -> Self {
+        Attribute::TypeAttr(value)
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attribute::Unit => write!(f, "unit"),
+            Attribute::Bool(b) => write!(f, "{b}"),
+            Attribute::Int(v) => write!(f, "{v}"),
+            Attribute::Float(v) => write!(f, "{v:e}"),
+            Attribute::Str(s) => write!(f, "\"{s}\""),
+            Attribute::TypeAttr(t) => write!(f, "{t}"),
+            Attribute::IntArray(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Attribute::StrArray(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "\"{x}\"")?;
+                }
+                write!(f, "]")
+            }
+            Attribute::Map(m) => write!(f, "{m}"),
+            Attribute::DenseInt { shape, values } => {
+                if values.len() == 1 {
+                    write!(f, "dense<{}> : ", values[0])?;
+                } else {
+                    write!(f, "dense<[..{} values..]> : ", values.len())?;
+                }
+                write!(f, "tensor<")?;
+                for d in shape {
+                    write!(f, "{d}x")?;
+                }
+                write!(f, "i64>")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ScalarType;
+
+    #[test]
+    fn accessors_return_expected_payloads() {
+        assert_eq!(Attribute::Int(5).as_int(), Some(5));
+        assert_eq!(Attribute::Int(5).as_bool(), None);
+        assert_eq!(Attribute::Bool(true).as_bool(), Some(true));
+        assert_eq!(Attribute::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Attribute::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(
+            Attribute::IntArray(vec![1, 2]).as_int_array(),
+            Some(&[1_i64, 2][..])
+        );
+        let t = Type::tensor(&[2], ScalarType::I32);
+        assert_eq!(Attribute::TypeAttr(t.clone()).as_type(), Some(&t));
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Attribute::from(3_i64), Attribute::Int(3));
+        assert_eq!(Attribute::from(true), Attribute::Bool(true));
+        assert_eq!(Attribute::from("dpu"), Attribute::Str("dpu".into()));
+        assert_eq!(
+            Attribute::from(vec![16_i64, 16]),
+            Attribute::IntArray(vec![16, 16])
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Attribute::Int(7).to_string(), "7");
+        assert_eq!(Attribute::Str("dpu".into()).to_string(), "\"dpu\"");
+        assert_eq!(Attribute::IntArray(vec![8, 2]).to_string(), "[8, 2]");
+        assert_eq!(
+            Attribute::StrArray(vec!["dpu".into(), "thread".into()]).to_string(),
+            "[\"dpu\", \"thread\"]"
+        );
+        let d = Attribute::DenseInt {
+            shape: vec![16, 16],
+            values: vec![0],
+        };
+        assert_eq!(d.to_string(), "dense<0> : tensor<16x16xi64>");
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types of the IR infrastructure.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while verifying or transforming the IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrError {
+    /// Human-readable description.
+    message: String,
+    /// Optional context, typically the function or pass involved.
+    context: Option<String>,
+}
+
+impl IrError {
+    /// Creates an error with a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        IrError {
+            message: message.into(),
+            context: None,
+        }
+    }
+
+    /// Attaches context (e.g. a pass or function name).
+    pub fn with_context(mut self, context: impl Into<String>) -> Self {
+        self.context = Some(context.into());
+        self
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The attached context, if any.
+    pub fn context(&self) -> Option<&str> {
+        self.context.as_deref()
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.context {
+            Some(c) => write!(f, "{}: {}", c, self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+/// Convenience alias for fallible IR operations.
+pub type IrResult<T> = Result<T, IrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = IrError::new("unknown op 'foo.bar'").with_context("verify @matmul");
+        assert_eq!(e.to_string(), "verify @matmul: unknown op 'foo.bar'");
+        assert_eq!(e.message(), "unknown op 'foo.bar'");
+        assert_eq!(e.context(), Some("verify @matmul"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(IrError::new("x"));
+    }
+}

@@ -1,0 +1,483 @@
+//! Dialect registry and structural verifier.
+//!
+//! Dialects (defined in the `cinm-dialects` crate) register per-operation
+//! constraints here; the [`verify_func`]/[`verify_module`] entry points check
+//! both generic SSA well-formedness and the registered constraints. This is
+//! the mechanism through which device dialects "plug into" the flow, mirroring
+//! how MLIR dialects register themselves with the context.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::error::{IrError, IrResult};
+use crate::ir::{Body, Func, Module, OpId, RegionId, ValueKind};
+
+/// A custom verification hook for a registered operation.
+pub type OpVerifier = fn(&crate::ir::Operation, &Body) -> Result<(), String>;
+
+/// Constraints describing one registered operation.
+#[derive(Debug, Clone)]
+pub struct OpConstraint {
+    /// Fully qualified op name, e.g. `"cnm.scatter"`.
+    pub name: String,
+    /// Exact number of operands, if fixed.
+    pub num_operands: Option<usize>,
+    /// Minimum number of operands (used when `num_operands` is `None`).
+    pub min_operands: usize,
+    /// Exact number of results, if fixed.
+    pub num_results: Option<usize>,
+    /// Exact number of regions, if fixed.
+    pub num_regions: Option<usize>,
+    /// Attributes that must be present.
+    pub required_attrs: Vec<String>,
+    /// Whether the op terminates a block.
+    pub is_terminator: bool,
+    /// Optional custom verifier.
+    pub verifier: Option<OpVerifier>,
+}
+
+impl OpConstraint {
+    /// Creates a permissive constraint for the given op name.
+    pub fn new(name: &str) -> Self {
+        OpConstraint {
+            name: name.to_string(),
+            num_operands: None,
+            min_operands: 0,
+            num_results: None,
+            num_regions: Some(0),
+            required_attrs: Vec::new(),
+            is_terminator: false,
+            verifier: None,
+        }
+    }
+
+    /// Requires an exact operand count.
+    pub fn operands(mut self, n: usize) -> Self {
+        self.num_operands = Some(n);
+        self
+    }
+
+    /// Requires at least `n` operands (and relaxes the exact count).
+    pub fn min_operands(mut self, n: usize) -> Self {
+        self.num_operands = None;
+        self.min_operands = n;
+        self
+    }
+
+    /// Requires an exact result count.
+    pub fn results(mut self, n: usize) -> Self {
+        self.num_results = Some(n);
+        self
+    }
+
+    /// Requires an exact region count.
+    pub fn regions(mut self, n: usize) -> Self {
+        self.num_regions = Some(n);
+        self
+    }
+
+    /// Allows any number of regions.
+    pub fn any_regions(mut self) -> Self {
+        self.num_regions = None;
+        self
+    }
+
+    /// Requires the presence of an attribute.
+    pub fn required_attr(mut self, key: &str) -> Self {
+        self.required_attrs.push(key.to_string());
+        self
+    }
+
+    /// Marks the op as a block terminator.
+    pub fn terminator(mut self) -> Self {
+        self.is_terminator = true;
+        self
+    }
+
+    /// Attaches a custom verifier hook.
+    pub fn with_verifier(mut self, v: OpVerifier) -> Self {
+        self.verifier = Some(v);
+        self
+    }
+
+    /// The dialect prefix of the registered op.
+    pub fn dialect(&self) -> &str {
+        self.name.split('.').next().unwrap_or(&self.name)
+    }
+}
+
+/// Registry of dialects and their operations.
+#[derive(Debug, Clone, Default)]
+pub struct DialectRegistry {
+    ops: BTreeMap<String, OpConstraint>,
+    dialects: HashSet<String>,
+    /// When true, ops from unregistered dialects are accepted (MLIR's
+    /// `allow-unregistered-dialect`).
+    pub allow_unregistered: bool,
+}
+
+impl DialectRegistry {
+    /// Creates an empty registry that rejects unknown dialects.
+    pub fn new() -> Self {
+        DialectRegistry::default()
+    }
+
+    /// Registers one operation constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op name is already registered with different constraints.
+    pub fn register_op(&mut self, constraint: OpConstraint) {
+        self.dialects.insert(constraint.dialect().to_string());
+        let name = constraint.name.clone();
+        if let Some(existing) = self.ops.get(&name) {
+            assert_eq!(
+                existing.num_operands, constraint.num_operands,
+                "conflicting registration for {name}"
+            );
+        }
+        self.ops.insert(name, constraint);
+    }
+
+    /// Registers many constraints at once.
+    pub fn register_all(&mut self, constraints: impl IntoIterator<Item = OpConstraint>) {
+        for c in constraints {
+            self.register_op(c);
+        }
+    }
+
+    /// Looks up the constraint for a fully qualified op name.
+    pub fn constraint(&self, name: &str) -> Option<&OpConstraint> {
+        self.ops.get(name)
+    }
+
+    /// Whether the dialect prefix has any registered op.
+    pub fn has_dialect(&self, dialect: &str) -> bool {
+        self.dialects.contains(dialect)
+    }
+
+    /// Registered op names of a dialect, sorted.
+    pub fn ops_of_dialect(&self, dialect: &str) -> Vec<&str> {
+        self.ops
+            .values()
+            .filter(|c| c.dialect() == dialect)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// Total number of registered ops.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// Verifies a whole module against a registry.
+pub fn verify_module(module: &Module, registry: &DialectRegistry) -> IrResult<()> {
+    for func in &module.funcs {
+        verify_func(func, registry)?;
+    }
+    Ok(())
+}
+
+/// Verifies one function: SSA structure plus registered op constraints.
+pub fn verify_func(func: &Func, registry: &DialectRegistry) -> IrResult<()> {
+    let body = &func.body;
+    // Def-before-use, region nesting and per-op constraints, via a recursive
+    // walk that carries the set of visible values.
+    let mut visible: HashSet<crate::ir::ValueId> = HashSet::new();
+    verify_region(body, body.entry_region(), &mut visible, registry)
+        .map_err(|e| e.with_context(format!("verify @{}", func.name)))?;
+    Ok(())
+}
+
+fn verify_region(
+    body: &Body,
+    region: RegionId,
+    visible: &mut HashSet<crate::ir::ValueId>,
+    registry: &DialectRegistry,
+) -> IrResult<()> {
+    for &block in body.region_blocks(region) {
+        let mut added: Vec<crate::ir::ValueId> = Vec::new();
+        for &arg in body.block_args(block) {
+            visible.insert(arg);
+            added.push(arg);
+        }
+        let ops = body.block_ops(block).to_vec();
+        for (i, &op) in ops.iter().enumerate() {
+            if !body.is_live(op) {
+                return Err(IrError::new(format!("block contains erased op {op}")));
+            }
+            verify_op(body, op, visible, registry)?;
+            // Terminators must be last.
+            if let Some(c) = registry.constraint(&body.op(op).name) {
+                if c.is_terminator && i + 1 != ops.len() {
+                    return Err(IrError::new(format!(
+                        "terminator '{}' is not the last op of its block",
+                        body.op(op).name
+                    )));
+                }
+            }
+            for &r in body.op(op).results.iter() {
+                visible.insert(r);
+                added.push(r);
+            }
+        }
+        // Values defined in this block stay visible for sibling blocks of the
+        // same region (we do not model full dominance; single-block regions
+        // are the common case in the CINM pipeline).
+        let _ = added;
+    }
+    Ok(())
+}
+
+fn verify_op(
+    body: &Body,
+    op: OpId,
+    visible: &HashSet<crate::ir::ValueId>,
+    registry: &DialectRegistry,
+) -> IrResult<()> {
+    let operation = body.op(op);
+    // Structural: operands must be defined and visible.
+    for &operand in &operation.operands {
+        if (operand.0 as usize) >= body.num_values() {
+            return Err(IrError::new(format!(
+                "op '{}' references undefined value {operand}",
+                operation.name
+            )));
+        }
+        if !visible.contains(&operand) {
+            // Allow uses of values defined by ancestors: visible contains
+            // everything defined on the path so far, so a miss means either
+            // use-before-def or a cross-region escape.
+            return Err(IrError::new(format!(
+                "op '{}' uses value {operand} before its definition",
+                operation.name
+            )));
+        }
+    }
+    // Results must point back at this op.
+    for (i, &r) in operation.results.iter().enumerate() {
+        match body.value_kind(r) {
+            ValueKind::OpResult { op: def, index } if def == op && index == i => {}
+            _ => {
+                return Err(IrError::new(format!(
+                    "result {i} of op '{}' has inconsistent definition record",
+                    operation.name
+                )))
+            }
+        }
+    }
+    // Registered constraints.
+    match registry.constraint(&operation.name) {
+        Some(c) => {
+            if let Some(n) = c.num_operands {
+                if operation.operands.len() != n {
+                    return Err(IrError::new(format!(
+                        "op '{}' expects {n} operands, found {}",
+                        operation.name,
+                        operation.operands.len()
+                    )));
+                }
+            } else if operation.operands.len() < c.min_operands {
+                return Err(IrError::new(format!(
+                    "op '{}' expects at least {} operands, found {}",
+                    operation.name,
+                    c.min_operands,
+                    operation.operands.len()
+                )));
+            }
+            if let Some(n) = c.num_results {
+                if operation.results.len() != n {
+                    return Err(IrError::new(format!(
+                        "op '{}' expects {n} results, found {}",
+                        operation.name,
+                        operation.results.len()
+                    )));
+                }
+            }
+            if let Some(n) = c.num_regions {
+                if operation.regions.len() != n {
+                    return Err(IrError::new(format!(
+                        "op '{}' expects {n} regions, found {}",
+                        operation.name,
+                        operation.regions.len()
+                    )));
+                }
+            }
+            for key in &c.required_attrs {
+                if !operation.attrs.contains_key(key) {
+                    return Err(IrError::new(format!(
+                        "op '{}' is missing required attribute '{key}'",
+                        operation.name
+                    )));
+                }
+            }
+            if let Some(v) = c.verifier {
+                v(operation, body).map_err(|m| {
+                    IrError::new(format!("op '{}' failed verification: {m}", operation.name))
+                })?;
+            }
+        }
+        None => {
+            let dialect = operation.dialect();
+            if !registry.allow_unregistered && registry.has_dialect(dialect) {
+                return Err(IrError::new(format!(
+                    "unknown op '{}' in registered dialect '{dialect}'",
+                    operation.name
+                )));
+            }
+            if !registry.allow_unregistered && !registry.has_dialect(dialect) && registry.num_ops() > 0 {
+                return Err(IrError::new(format!(
+                    "op '{}' belongs to unregistered dialect '{dialect}'",
+                    operation.name
+                )));
+            }
+        }
+    }
+    // Recurse into regions with a copy of visibility (values defined inside a
+    // region are not visible outside of it).
+    for &r in &operation.regions {
+        let mut inner = visible.clone();
+        verify_nested_region(body, r, &mut inner, registry)?;
+    }
+    Ok(())
+}
+
+fn verify_nested_region(
+    body: &Body,
+    region: RegionId,
+    visible: &mut HashSet<crate::ir::ValueId>,
+    registry: &DialectRegistry,
+) -> IrResult<()> {
+    verify_region(body, region, visible, registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{OpBuilder, OpSpec};
+    use crate::ir::Func;
+    use crate::types::Type;
+    use std::collections::BTreeMap;
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        r.register_op(OpConstraint::new("test.binary").operands(2).results(1));
+        r.register_op(OpConstraint::new("test.ret").min_operands(0).results(0).terminator());
+        r.register_op(
+            OpConstraint::new("test.tiled")
+                .operands(1)
+                .results(1)
+                .required_attr("tile_sizes"),
+        );
+        r
+    }
+
+    #[test]
+    fn registry_queries() {
+        let r = registry();
+        assert_eq!(r.num_ops(), 3);
+        assert!(r.has_dialect("test"));
+        assert!(!r.has_dialect("cinm"));
+        assert_eq!(r.ops_of_dialect("test").len(), 3);
+        assert!(r.constraint("test.binary").is_some());
+    }
+
+    #[test]
+    fn verifies_valid_function() {
+        let mut f = Func::new("ok", vec![Type::i32(), Type::i32()], vec![Type::i32()]);
+        let entry = f.body.entry_block();
+        let args = f.arguments();
+        let mut b = OpBuilder::at_end(&mut f.body, entry);
+        let add = b.push(
+            OpSpec::new("test.binary")
+                .operands([args[0], args[1]])
+                .result(Type::i32()),
+        );
+        b.push(OpSpec::new("test.ret").operand(add.result()));
+        assert!(verify_func(&f, &registry()).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_operand_count() {
+        let mut f = Func::new("bad", vec![Type::i32()], vec![]);
+        let entry = f.body.entry_block();
+        let a = f.argument(0);
+        let mut b = OpBuilder::at_end(&mut f.body, entry);
+        b.push(OpSpec::new("test.binary").operand(a).result(Type::i32()));
+        let err = verify_func(&f, &registry()).unwrap_err();
+        assert!(err.to_string().contains("expects 2 operands"));
+    }
+
+    #[test]
+    fn rejects_missing_required_attr() {
+        let mut f = Func::new("bad", vec![Type::i32()], vec![]);
+        let entry = f.body.entry_block();
+        let a = f.argument(0);
+        let mut b = OpBuilder::at_end(&mut f.body, entry);
+        b.push(OpSpec::new("test.tiled").operand(a).result(Type::i32()));
+        let err = verify_func(&f, &registry()).unwrap_err();
+        assert!(err.to_string().contains("missing required attribute"));
+    }
+
+    #[test]
+    fn rejects_terminator_in_middle() {
+        let mut f = Func::new("bad", vec![], vec![]);
+        let entry = f.body.entry_block();
+        let mut b = OpBuilder::at_end(&mut f.body, entry);
+        b.push(OpSpec::new("test.ret"));
+        b.push(OpSpec::new("test.ret"));
+        let err = verify_func(&f, &registry()).unwrap_err();
+        assert!(err.to_string().contains("not the last op"));
+    }
+
+    #[test]
+    fn rejects_unknown_op_in_registered_dialect() {
+        let mut f = Func::new("bad", vec![], vec![]);
+        let entry = f.body.entry_block();
+        f.body.append_op(entry, "test.unknown", vec![], vec![], BTreeMap::new(), vec![]);
+        let err = verify_func(&f, &registry()).unwrap_err();
+        assert!(err.to_string().contains("unknown op"));
+    }
+
+    #[test]
+    fn allows_unregistered_when_configured() {
+        let mut f = Func::new("ok", vec![], vec![]);
+        let entry = f.body.entry_block();
+        f.body.append_op(entry, "other.op", vec![], vec![], BTreeMap::new(), vec![]);
+        let mut r = registry();
+        assert!(verify_func(&f, &r).is_err());
+        r.allow_unregistered = true;
+        assert!(verify_func(&f, &r).is_ok());
+    }
+
+    #[test]
+    fn empty_registry_accepts_everything() {
+        let mut f = Func::new("ok", vec![], vec![]);
+        let entry = f.body.entry_block();
+        f.body.append_op(entry, "any.op", vec![], vec![], BTreeMap::new(), vec![]);
+        assert!(verify_func(&f, &DialectRegistry::new()).is_ok());
+    }
+
+    #[test]
+    fn use_before_def_is_rejected() {
+        let mut f = Func::new("bad", vec![], vec![]);
+        let entry = f.body.entry_block();
+        // Create the def first so the value id exists, then move the use in
+        // front of it.
+        let def = f.body.append_op(
+            entry,
+            "test.ret",
+            vec![],
+            vec![Type::i32()],
+            BTreeMap::new(),
+            vec![],
+        );
+        let v = f.body.result(def, 0);
+        f.body
+            .insert_op(entry, 0, "test.binary", vec![v, v], vec![Type::i32()], BTreeMap::new(), vec![]);
+        let mut r = DialectRegistry::new();
+        r.allow_unregistered = true;
+        let err = verify_func(&f, &r).unwrap_err();
+        assert!(err.to_string().contains("before its definition"));
+    }
+}

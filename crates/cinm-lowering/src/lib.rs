@@ -1,0 +1,29 @@
+//! # cinm-lowering — progressive lowering and device back-ends
+//!
+//! This crate implements the paper's compilation pipeline on top of
+//! `cinm-ir`/`cinm-dialects`:
+//!
+//! * [`convert`] — the dialect-conversion passes of Figure 4
+//!   (`tosa → linalg → cinm → {cnm, cim} → {upmem, memristor}`) including the
+//!   conv→GEMM and contraction→GEMM rewrites of Figure 5;
+//! * [`tiling`] — the generic tiling/partitioning utilities of Section 3.2.6
+//!   (box, rectangular and row-band tile shapes, interchange, WRAM tile
+//!   sizing);
+//! * [`backend`] — the device run-times the device dialects map onto:
+//!   [`backend::UpmemBackend`] drives the `upmem-sim` DPU-grid simulator and
+//!   [`backend::CimBackend`] drives the `memristor-sim` crossbar simulator
+//!   with an ARM orchestration host, both functionally exact and timed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod convert;
+pub mod tiling;
+
+pub use backend::{CimBackend, CimRunOptions, CimRunStats, UpmemBackend, UpmemRunOptions};
+pub use convert::{
+    CimLoweringOptions, CimToMemristorPass, CinmToCimPass, CinmToCnmPass, CnmLoweringOptions,
+    CnmToUpmemPass, LinalgToCinmPass, TosaToLinalgPass, UpmemLoweringOptions,
+};
+pub use tiling::{interchange, split_even, tile_2d, wram_tile_elems, Tile, TileShape};

@@ -1,0 +1,65 @@
+//! Deterministic input-data generators for the benchmark workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `len` pseudo-random INT32 values in `[lo, hi)` from a fixed seed,
+/// so every run of every backend sees identical inputs.
+pub fn i32_vec(seed: u64, len: usize, lo: i32, hi: i32) -> Vec<i32> {
+    assert!(lo < hi, "empty value range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Generates a matrix as a flat row-major vector.
+pub fn i32_matrix(seed: u64, rows: usize, cols: usize, lo: i32, hi: i32) -> Vec<i32> {
+    i32_vec(seed, rows * cols, lo, hi)
+}
+
+/// Generates a synthetic CSR graph fragment for the BFS workload: `vertices`
+/// vertices with exactly `degree` out-edges each, destinations pseudo-random.
+/// Returns `(row_offsets, column_indices)`.
+pub fn csr_graph(seed: u64, vertices: usize, degree: usize) -> (Vec<i32>, Vec<i32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row_offsets = Vec::with_capacity(vertices + 1);
+    let mut cols = Vec::with_capacity(vertices * degree);
+    row_offsets.push(0);
+    for _ in 0..vertices {
+        for _ in 0..degree {
+            cols.push(rng.gen_range(0..vertices as i32));
+        }
+        row_offsets.push(cols.len() as i32);
+    }
+    (row_offsets, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_in_range() {
+        let a = i32_vec(42, 1000, -5, 5);
+        let b = i32_vec(42, 1000, -5, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (-5..5).contains(&v)));
+        let c = i32_vec(43, 1000, -5, 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn csr_graph_is_well_formed() {
+        let (rows, cols) = csr_graph(7, 100, 4);
+        assert_eq!(rows.len(), 101);
+        assert_eq!(cols.len(), 400);
+        assert_eq!(rows[100], 400);
+        assert!(rows.windows(2).all(|w| w[1] - w[0] == 4));
+        assert!(cols.iter().all(|&c| (0..100).contains(&c)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty value range")]
+    fn rejects_empty_range() {
+        i32_vec(1, 4, 3, 3);
+    }
+}

@@ -1,0 +1,172 @@
+//! First-order CPU timing and energy models.
+//!
+//! Two baselines from the paper's evaluation:
+//!
+//! * [`CpuModel::xeon_opt`] — the `cpu-opt` configuration: a 2-socket
+//!   Intel Xeon E5-2630 v2 (12 cores @ 2.6 GHz) running vectorised,
+//!   parallelised, loop-tiled code produced by an optimising compiler.
+//! * [`CpuModel::arm_host`] — the in-order ARMv8-A host core that the OCC /
+//!   gem5 CIM setup uses as its baseline and orchestrator.
+//!
+//! The model is a classic roofline: execution time is the maximum of the
+//! compute time (operations over peak throughput) and the memory time (bytes
+//! over sustained bandwidth), plus a fixed per-kernel launch overhead.
+
+/// Operation counts of one kernel execution on the CPU.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpCounts {
+    /// Cheap integer/logic operations (adds, compares, address arithmetic).
+    pub int_ops: f64,
+    /// Integer multiply(-accumulate) operations.
+    pub mul_ops: f64,
+    /// Bytes read from memory (assuming streaming, no reuse beyond cache).
+    pub bytes_read: f64,
+    /// Bytes written to memory.
+    pub bytes_written: f64,
+}
+
+impl OpCounts {
+    /// Convenience constructor for dense kernels dominated by MACs.
+    pub fn dense(macs: f64, bytes_read: f64, bytes_written: f64) -> Self {
+        OpCounts {
+            int_ops: macs,
+            mul_ops: macs,
+            bytes_read,
+            bytes_written,
+        }
+    }
+
+    /// Total arithmetic operations.
+    pub fn total_ops(&self) -> f64 {
+        self.int_ops + self.mul_ops
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+/// A first-order CPU performance/energy model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Human-readable name of the configuration.
+    pub name: String,
+    /// Number of cores used.
+    pub cores: usize,
+    /// SIMD lanes per core for 32-bit integer operations.
+    pub simd_lanes: usize,
+    /// Core frequency in Hz.
+    pub freq_hz: f64,
+    /// Sustained instructions per cycle per core (scalar pipelines).
+    pub ipc: f64,
+    /// Extra cycles a 32-bit multiply costs relative to an add.
+    pub mul_penalty: f64,
+    /// Sustained DRAM bandwidth in bytes/second (whole chip).
+    pub dram_bandwidth_bytes_per_s: f64,
+    /// Fixed overhead per kernel invocation in seconds (loop setup, threading
+    /// fork/join for the parallel configuration).
+    pub kernel_launch_overhead_s: f64,
+    /// Average package power while executing, in watts.
+    pub active_power_w: f64,
+}
+
+impl CpuModel {
+    /// The paper's `cpu-opt` baseline: dual-socket Xeon E5-2630 v2, all
+    /// optimisations (vectorisation, parallelisation, tiling) enabled.
+    pub fn xeon_opt() -> Self {
+        CpuModel {
+            name: "cpu-opt (2x Xeon E5-2630 v2)".to_string(),
+            cores: 12,
+            simd_lanes: 8,
+            freq_hz: 2.6e9,
+            ipc: 2.0,
+            mul_penalty: 1.0,
+            dram_bandwidth_bytes_per_s: 50.0e9,
+            kernel_launch_overhead_s: 20.0e-6,
+            active_power_w: 160.0,
+        }
+    }
+
+    /// The OCC / gem5 baseline host: an in-order ARMv8-A core with 32 kB/64 kB
+    /// L1 caches and a 2 MB L2.
+    pub fn arm_host() -> Self {
+        CpuModel {
+            name: "ARMv8-A in-order host".to_string(),
+            cores: 1,
+            simd_lanes: 1,
+            freq_hz: 2.0e9,
+            ipc: 0.8,
+            mul_penalty: 3.0,
+            dram_bandwidth_bytes_per_s: 8.0e9,
+            kernel_launch_overhead_s: 1.0e-6,
+            active_power_w: 1.5,
+        }
+    }
+
+    /// Peak sustained 32-bit integer operations per second.
+    pub fn peak_ops_per_s(&self) -> f64 {
+        self.cores as f64 * self.simd_lanes as f64 * self.ipc * self.freq_hz
+    }
+
+    /// Roofline execution-time estimate for the given operation counts.
+    pub fn execution_seconds(&self, ops: &OpCounts) -> f64 {
+        let weighted_ops = ops.int_ops + ops.mul_ops * self.mul_penalty;
+        let compute = weighted_ops / self.peak_ops_per_s();
+        let memory = ops.total_bytes() / self.dram_bandwidth_bytes_per_s;
+        self.kernel_launch_overhead_s + compute.max(memory)
+    }
+
+    /// Energy estimate (active power × execution time).
+    pub fn energy_joules(&self, ops: &OpCounts) -> f64 {
+        self.active_power_w * self.execution_seconds(ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_is_much_faster_than_arm_on_dense_kernels() {
+        let ops = OpCounts::dense(1.0e9, 64.0e6, 16.0e6);
+        let xeon = CpuModel::xeon_opt().execution_seconds(&ops);
+        let arm = CpuModel::arm_host().execution_seconds(&ops);
+        assert!(arm > 20.0 * xeon, "arm {arm} vs xeon {xeon}");
+    }
+
+    #[test]
+    fn roofline_picks_memory_bound_side() {
+        let m = CpuModel::xeon_opt();
+        // Almost no compute, lots of bytes => memory bound.
+        let streaming = OpCounts {
+            int_ops: 1.0e6,
+            mul_ops: 0.0,
+            bytes_read: 10.0e9,
+            bytes_written: 0.0,
+        };
+        let t = m.execution_seconds(&streaming);
+        assert!(t > 10.0e9 / m.dram_bandwidth_bytes_per_s * 0.99);
+        // Compute bound case scales with mul penalty.
+        let compute = OpCounts::dense(1.0e10, 1.0e6, 1.0e6);
+        assert!(m.execution_seconds(&compute) > compute.mul_ops / m.peak_ops_per_s());
+    }
+
+    #[test]
+    fn energy_scales_with_time_and_power() {
+        let ops = OpCounts::dense(1.0e8, 1.0e6, 1.0e6);
+        let xeon = CpuModel::xeon_opt();
+        let arm = CpuModel::arm_host();
+        assert!(xeon.energy_joules(&ops) > 0.0);
+        // The ARM host burns far less power; on small kernels it can be more
+        // energy-efficient even though it is slower.
+        assert!(arm.active_power_w < xeon.active_power_w / 50.0);
+    }
+
+    #[test]
+    fn op_counts_helpers() {
+        let o = OpCounts::dense(100.0, 400.0, 40.0);
+        assert_eq!(o.total_ops(), 200.0);
+        assert_eq!(o.total_bytes(), 440.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! The crossbar accelerator: tiles, programming, analog MVM and statistics.
+
+use crate::config::CrossbarConfig;
+
+/// Accumulated statistics of the accelerator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CimStats {
+    /// Number of tile-programming operations (crossbar writes).
+    pub tile_writes: u64,
+    /// Number of individual cells programmed.
+    pub cell_writes: u64,
+    /// Number of analog MVM issues.
+    pub mvm_ops: u64,
+    /// Number of ADC conversions performed.
+    pub adc_conversions: u64,
+    /// Seconds spent programming tiles.
+    pub write_seconds: f64,
+    /// Seconds spent on MVMs and readout.
+    pub compute_seconds: f64,
+    /// Dynamic energy spent programming, in joules.
+    pub write_energy_j: f64,
+    /// Dynamic energy spent computing, in joules.
+    pub compute_energy_j: f64,
+}
+
+impl CimStats {
+    /// Total accelerator busy time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.write_seconds + self.compute_seconds
+    }
+
+    /// Total dynamic energy in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.write_energy_j + self.compute_energy_j
+    }
+}
+
+/// Errors reported by the crossbar simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CimError {
+    message: String,
+}
+
+impl CimError {
+    fn new(message: impl Into<String>) -> Self {
+        CimError {
+            message: message.into(),
+        }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for CimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CimError {}
+
+/// Convenience alias for crossbar results.
+pub type CimResult<T> = Result<T, CimError>;
+
+#[derive(Debug, Clone, Default)]
+struct Tile {
+    /// Programmed weights, row-major `tile_rows × tile_cols`; `None` when the
+    /// tile has not been programmed yet.
+    weights: Option<Vec<i32>>,
+}
+
+/// The simulated memristive crossbar accelerator.
+#[derive(Debug, Clone)]
+pub struct CrossbarAccelerator {
+    config: CrossbarConfig,
+    tiles: Vec<Tile>,
+    stats: CimStats,
+}
+
+impl CrossbarAccelerator {
+    /// Creates an accelerator with the given configuration.
+    pub fn new(config: CrossbarConfig) -> Self {
+        let tiles = vec![Tile::default(); config.num_tiles];
+        CrossbarAccelerator {
+            config,
+            tiles,
+            stats: CimStats::default(),
+        }
+    }
+
+    /// The accelerator configuration.
+    pub fn config(&self) -> &CrossbarConfig {
+        &self.config
+    }
+
+    /// Number of crossbar tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CimStats {
+        &self.stats
+    }
+
+    /// Resets the accumulated statistics (programmed weights are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CimStats::default();
+    }
+
+    /// Programs a weight matrix into a tile.
+    ///
+    /// The matrix is `rows × cols`, row-major, and must fit the tile
+    /// geometry; smaller matrices are zero-padded (padding cells are still
+    /// programmed, as on a real array where stale states must be overwritten).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tile index or matrix shape is invalid.
+    pub fn write_tile(&mut self, tile: usize, weights: &[i32], rows: usize, cols: usize) -> CimResult<()> {
+        let c = &self.config;
+        if tile >= self.tiles.len() {
+            return Err(CimError::new(format!("tile {tile} out of range")));
+        }
+        if rows > c.tile_rows || cols > c.tile_cols {
+            return Err(CimError::new(format!(
+                "matrix {rows}x{cols} does not fit a {}x{} tile",
+                c.tile_rows, c.tile_cols
+            )));
+        }
+        if weights.len() != rows * cols {
+            return Err(CimError::new(format!(
+                "weight buffer has {} elements, expected {}",
+                weights.len(),
+                rows * cols
+            )));
+        }
+        let mut padded = vec![0i32; c.tile_rows * c.tile_cols];
+        for r in 0..rows {
+            for cc in 0..cols {
+                padded[r * c.tile_cols + cc] = weights[r * cols + cc];
+            }
+        }
+        self.tiles[tile].weights = Some(padded);
+        let cells = (c.tile_rows * c.tile_cols * c.slices_per_weight()) as u64;
+        self.stats.tile_writes += 1;
+        self.stats.cell_writes += cells;
+        self.stats.write_seconds += c.tile_program_seconds();
+        self.stats.write_energy_j += c.tile_program_energy();
+        Ok(())
+    }
+
+    /// Issues one analog MVM: `y[cols] = x[rows] × W` on the programmed tile.
+    ///
+    /// The computation is bit-exact (the simulator models the ideal bit-sliced
+    /// shift-and-add pipeline); latency and energy follow the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tile is not programmed or the input length
+    /// exceeds the tile rows.
+    pub fn mvm(&mut self, tile: usize, input: &[i32]) -> CimResult<Vec<i32>> {
+        let result = self.mvm_no_account(tile, input)?;
+        self.account_mvm(1);
+        Ok(result)
+    }
+
+    /// Issues the same MVM on several tiles *in parallel* (the `cim-parallel`
+    /// configuration of the paper): the latency of the batch is that of a
+    /// single MVM, energy is paid per tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any tile is not programmed or any input is too
+    /// long.
+    pub fn mvm_parallel(&mut self, requests: &[(usize, Vec<i32>)]) -> CimResult<Vec<Vec<i32>>> {
+        let mut results = Vec::with_capacity(requests.len());
+        for (tile, input) in requests {
+            results.push(self.mvm_no_account(*tile, input)?);
+        }
+        if !requests.is_empty() {
+            self.account_parallel_mvm(requests.len());
+        }
+        Ok(results)
+    }
+
+    fn mvm_no_account(&self, tile: usize, input: &[i32]) -> CimResult<Vec<i32>> {
+        let c = &self.config;
+        let t = self
+            .tiles
+            .get(tile)
+            .ok_or_else(|| CimError::new(format!("tile {tile} out of range")))?;
+        let weights = t
+            .weights
+            .as_ref()
+            .ok_or_else(|| CimError::new(format!("tile {tile} has not been programmed")))?;
+        if input.len() > c.tile_rows {
+            return Err(CimError::new(format!(
+                "input of {} elements exceeds {} tile rows",
+                input.len(),
+                c.tile_rows
+            )));
+        }
+        let mut out = vec![0i32; c.tile_cols];
+        for (r, &x) in input.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            for (cc, slot) in out.iter_mut().enumerate() {
+                *slot = slot.wrapping_add(x.wrapping_mul(weights[r * c.tile_cols + cc]));
+            }
+        }
+        Ok(out)
+    }
+
+    fn account_mvm(&mut self, count: usize) {
+        let c = &self.config;
+        let conversions = (c.tile_cols * c.slices_per_weight() * count) as u64;
+        self.stats.mvm_ops += count as u64;
+        self.stats.adc_conversions += conversions;
+        self.stats.compute_seconds += c.mvm_seconds() * count as f64;
+        self.stats.compute_energy_j += c.mvm_energy() * count as f64;
+    }
+
+    fn account_parallel_mvm(&mut self, tiles: usize) {
+        let c = &self.config;
+        let conversions = (c.tile_cols * c.slices_per_weight() * tiles) as u64;
+        self.stats.mvm_ops += tiles as u64;
+        self.stats.adc_conversions += conversions;
+        // Latency of one MVM (tiles operate concurrently), energy per tile.
+        self.stats.compute_seconds += c.mvm_seconds();
+        self.stats.compute_energy_j += c.mvm_energy() * tiles as f64;
+    }
+
+    /// Convenience: computes `A[m×rows] × W[tile]` by issuing one MVM per row
+    /// of `A`, returning the `m × tile_cols` result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tile is not programmed or a row is too long.
+    pub fn gemm_tile(&mut self, tile: usize, a: &[i32], m: usize, k: usize) -> CimResult<Vec<i32>> {
+        if a.len() != m * k {
+            return Err(CimError::new(format!(
+                "input buffer has {} elements, expected {}",
+                a.len(),
+                m * k
+            )));
+        }
+        let cols = self.config.tile_cols;
+        let mut out = vec![0i32; m * cols];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            let y = self.mvm(tile, row)?;
+            out[i * cols..(i + 1) * cols].copy_from_slice(&y);
+        }
+        Ok(out)
+    }
+
+    /// Returns the programmed weights of a tile (testing aid).
+    pub fn tile_weights(&self, tile: usize) -> Option<&[i32]> {
+        self.tiles.get(tile).and_then(|t| t.weights.as_deref())
+    }
+
+    /// Decomposes a weight into bit slices and recombines them with
+    /// shift-and-add, as the column periphery does. Exposed for property
+    /// testing the bit-slicing model.
+    pub fn shift_add_roundtrip(&self, weight: i32) -> i64 {
+        let c = &self.config;
+        let slices = c.slices_per_weight() as u32;
+        let bits = c.cell_bits;
+        let mask = (1u64 << bits) - 1;
+        let w = weight as i64 as u64;
+        let mut acc: i64 = 0;
+        for s in 0..slices {
+            let slice = (w >> (s * bits)) & mask;
+            acc += (slice as i64) << (s * bits);
+        }
+        // Interpret back as the original two's-complement width.
+        acc as i32 as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xbar() -> CrossbarAccelerator {
+        CrossbarAccelerator::new(CrossbarConfig::default())
+    }
+
+    #[test]
+    fn write_then_mvm_computes_exact_product() {
+        let mut x = xbar();
+        // 3x2 weight matrix in a 64x64 tile.
+        let w = vec![1, 2, 3, 4, 5, 6];
+        x.write_tile(0, &w, 3, 2).unwrap();
+        let y = x.mvm(0, &[1, 1, 1]).unwrap();
+        assert_eq!(&y[..2], &[1 + 3 + 5, 2 + 4 + 6]);
+        assert!(y[2..].iter().all(|&v| v == 0));
+        assert_eq!(x.stats().tile_writes, 1);
+        assert_eq!(x.stats().mvm_ops, 1);
+        assert!(x.stats().write_seconds > 0.0);
+        assert!(x.stats().compute_seconds > 0.0);
+    }
+
+    #[test]
+    fn mvm_requires_programmed_tile() {
+        let mut x = xbar();
+        let err = x.mvm(1, &[1, 2, 3]).unwrap_err();
+        assert!(err.message().contains("not been programmed"));
+    }
+
+    #[test]
+    fn write_rejects_oversized_matrices() {
+        let mut x = xbar();
+        let w = vec![0; 65 * 64];
+        assert!(x.write_tile(0, &w, 65, 64).is_err());
+        assert!(x.write_tile(9, &[0], 1, 1).is_err());
+        assert!(x.write_tile(0, &[0, 1], 1, 1).is_err());
+    }
+
+    #[test]
+    fn gemm_tile_runs_one_mvm_per_row() {
+        let mut x = xbar();
+        // Identity-ish 2x2 weights.
+        x.write_tile(0, &[1, 0, 0, 1], 2, 2).unwrap();
+        let a = vec![3, 4, 5, 6]; // 2x2
+        let out = x.gemm_tile(0, &a, 2, 2).unwrap();
+        assert_eq!(out[0], 3);
+        assert_eq!(out[1], 4);
+        assert_eq!(out[64], 5);
+        assert_eq!(out[65], 6);
+        assert_eq!(x.stats().mvm_ops, 2);
+    }
+
+    #[test]
+    fn parallel_mvm_takes_single_mvm_latency() {
+        let mut serial = xbar();
+        let mut parallel = xbar();
+        for t in 0..4 {
+            serial.write_tile(t, &[1, 2, 3, 4], 2, 2).unwrap();
+            parallel.write_tile(t, &[1, 2, 3, 4], 2, 2).unwrap();
+        }
+        serial.reset_stats();
+        parallel.reset_stats();
+        let input = vec![1, 1];
+        for t in 0..4 {
+            serial.mvm(t, &input).unwrap();
+        }
+        let reqs: Vec<(usize, Vec<i32>)> = (0..4).map(|t| (t, input.clone())).collect();
+        let results = parallel.mvm_parallel(&reqs).unwrap();
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0], results[3]);
+        assert!(parallel.stats().compute_seconds < serial.stats().compute_seconds / 3.0);
+        // Energy is not reduced by parallelism.
+        assert!(
+            (parallel.stats().compute_energy_j - serial.stats().compute_energy_j).abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn min_writes_behaviour_write_once_reuse_many() {
+        // Programming a tile once and issuing many MVMs must be much cheaper
+        // than reprogramming before every MVM — the premise of the
+        // cim-min-writes loop interchange.
+        let mut reuse = xbar();
+        let mut rewrite = xbar();
+        let w = vec![1; 64 * 64];
+        let x = vec![1; 64];
+        reuse.write_tile(0, &w, 64, 64).unwrap();
+        for _ in 0..16 {
+            reuse.mvm(0, &x).unwrap();
+        }
+        for _ in 0..16 {
+            rewrite.write_tile(0, &w, 64, 64).unwrap();
+            rewrite.mvm(0, &x).unwrap();
+        }
+        assert_eq!(reuse.stats().tile_writes, 1);
+        assert_eq!(rewrite.stats().tile_writes, 16);
+        assert!(rewrite.stats().total_seconds() > 5.0 * reuse.stats().total_seconds());
+        assert!(rewrite.stats().total_energy_j() > reuse.stats().total_energy_j());
+    }
+
+    #[test]
+    fn shift_add_roundtrip_is_exact() {
+        let x = xbar();
+        for v in [0, 1, -1, 42, -12345, i32::MAX, i32::MIN, 0x7ead_beef] {
+            assert_eq!(x.shift_add_roundtrip(v), v as i64, "value {v}");
+        }
+    }
+
+    #[test]
+    fn stats_totals() {
+        let mut x = xbar();
+        x.write_tile(0, &[1], 1, 1).unwrap();
+        x.mvm(0, &[1]).unwrap();
+        let s = x.stats();
+        assert!(s.total_seconds() > 0.0);
+        assert!(s.total_energy_j() > 0.0);
+        assert!((s.total_seconds() - (s.write_seconds + s.compute_seconds)).abs() < 1e-18);
+    }
+}

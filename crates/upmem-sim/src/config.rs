@@ -1,0 +1,185 @@
+//! Configuration of the simulated UPMEM system.
+//!
+//! Default values follow the paper's experimental setup (Section 4.1) and the
+//! PrIM characterisation of the UPMEM architecture: DDR4-2400 PIM DIMMs with
+//! 128 DPUs each, DPUs clocked at 350 MHz with a 14-stage fine-grained
+//! multithreaded pipeline (fully utilised at ≥ 11 tasklets), 64 kB WRAM,
+//! 64 MB MRAM, and DMA/host-transfer bandwidths in the ranges PrIM reports.
+
+/// Per-instruction cycle costs of the DPU ISA (32-bit RISC, no hardware
+/// 32-bit multiplier — multiplications are emulated and therefore expensive).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrCosts {
+    /// Integer add/sub/logic/compare.
+    pub alu: f64,
+    /// 32-bit integer multiply (the DPU has an 8×8 multiplier; wider
+    /// multiplies are sequences of `mul_step` instructions — we charge the
+    /// effective average cost).
+    pub mul32: f64,
+    /// 32-bit integer division.
+    pub div32: f64,
+    /// WRAM load or store.
+    pub wram_access: f64,
+    /// Loop/branch overhead per iteration.
+    pub branch: f64,
+}
+
+impl Default for InstrCosts {
+    fn default() -> Self {
+        InstrCosts {
+            alu: 1.0,
+            mul32: 8.0,
+            div32: 32.0,
+            wram_access: 1.0,
+            branch: 2.0,
+        }
+    }
+}
+
+/// Configuration of the simulated UPMEM machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpmemConfig {
+    /// Number of PIM DIMMs (the paper evaluates 4, 8 and 16).
+    pub ranks: usize,
+    /// DPUs per DIMM (16 chips × 8 DPUs = 128).
+    pub dpus_per_rank: usize,
+    /// Tasklets (hardware threads) used per DPU.
+    pub tasklets: usize,
+    /// DPU clock frequency in Hz.
+    pub dpu_freq_hz: f64,
+    /// WRAM scratchpad size in bytes.
+    pub wram_bytes: usize,
+    /// MRAM size in bytes.
+    pub mram_bytes: usize,
+    /// Pipeline depth that must be covered by tasklets for full issue rate.
+    pub pipeline_depth: usize,
+    /// Sustained MRAM↔WRAM DMA bandwidth per DPU in bytes/second.
+    pub mram_bandwidth_bytes_per_s: f64,
+    /// Fixed DMA setup latency in DPU cycles per transfer.
+    pub dma_setup_cycles: f64,
+    /// Sustained host↔MRAM bandwidth per rank in bytes/second
+    /// (parallel transfers across ranks scale linearly).
+    pub host_bandwidth_per_rank_bytes_per_s: f64,
+    /// Fixed host-side latency per bulk transfer in seconds (driver overhead).
+    pub host_transfer_latency_s: f64,
+    /// Per-instruction cycle costs.
+    pub instr: InstrCosts,
+}
+
+impl Default for UpmemConfig {
+    fn default() -> Self {
+        UpmemConfig::with_ranks(16)
+    }
+}
+
+impl UpmemConfig {
+    /// Creates the paper's configuration with the given number of DIMMs
+    /// (e.g. 4, 8 or 16) and 16 tasklets per DPU.
+    pub fn with_ranks(ranks: usize) -> Self {
+        UpmemConfig {
+            ranks,
+            dpus_per_rank: 128,
+            tasklets: 16,
+            dpu_freq_hz: 350.0e6,
+            wram_bytes: 64 * 1024,
+            mram_bytes: 64 * 1024 * 1024,
+            pipeline_depth: 11,
+            mram_bandwidth_bytes_per_s: 700.0e6,
+            dma_setup_cycles: 77.0,
+            host_bandwidth_per_rank_bytes_per_s: 1.0e9,
+            host_transfer_latency_s: 40.0e-6,
+            instr: InstrCosts::default(),
+        }
+    }
+
+    /// Overrides the number of tasklets per DPU.
+    pub fn with_tasklets(mut self, tasklets: usize) -> Self {
+        assert!(tasklets >= 1 && tasklets <= 24, "tasklets must be in 1..=24");
+        self.tasklets = tasklets;
+        self
+    }
+
+    /// Total number of DPUs in the system.
+    pub fn num_dpus(&self) -> usize {
+        self.ranks * self.dpus_per_rank
+    }
+
+    /// Effective issue slots: with fewer tasklets than the pipeline depth the
+    /// DPU cannot dispatch an instruction every cycle.
+    ///
+    /// Returns the average cycles per retired instruction.
+    pub fn cycles_per_instruction(&self) -> f64 {
+        let t = self.tasklets as f64;
+        let depth = self.pipeline_depth as f64;
+        if t >= depth {
+            1.0
+        } else {
+            depth / t
+        }
+    }
+
+    /// Seconds corresponding to the given number of DPU cycles.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / self.dpu_freq_hz
+    }
+
+    /// DMA time in cycles for one MRAM↔WRAM transfer of `bytes` bytes.
+    pub fn dma_cycles(&self, bytes: f64) -> f64 {
+        let bytes_per_cycle = self.mram_bandwidth_bytes_per_s / self.dpu_freq_hz;
+        self.dma_setup_cycles + bytes / bytes_per_cycle
+    }
+
+    /// Host transfer time in seconds for moving `total_bytes` between the host
+    /// and the MRAM of the DPUs, assuming the transfer is spread across all
+    /// ranks in parallel.
+    pub fn host_transfer_seconds(&self, total_bytes: f64) -> f64 {
+        let bw = self.host_bandwidth_per_rank_bytes_per_s * self.ranks as f64;
+        self.host_transfer_latency_s + total_bytes / bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_machine() {
+        let c = UpmemConfig::default();
+        assert_eq!(c.ranks, 16);
+        assert_eq!(c.num_dpus(), 2048);
+        assert_eq!(c.tasklets, 16);
+        assert_eq!(c.wram_bytes, 65_536);
+        assert_eq!(c.mram_bytes, 67_108_864);
+    }
+
+    #[test]
+    fn pipeline_model_saturates_at_depth() {
+        let full = UpmemConfig::with_ranks(4).with_tasklets(16);
+        assert_eq!(full.cycles_per_instruction(), 1.0);
+        let half = UpmemConfig::with_ranks(4).with_tasklets(4);
+        assert!(half.cycles_per_instruction() > 2.0);
+        // More tasklets never hurt.
+        assert!(
+            UpmemConfig::with_ranks(4).with_tasklets(24).cycles_per_instruction()
+                <= UpmemConfig::with_ranks(4).with_tasklets(1).cycles_per_instruction()
+        );
+    }
+
+    #[test]
+    fn dma_and_host_transfer_costs_scale_with_bytes() {
+        let c = UpmemConfig::with_ranks(4);
+        assert!(c.dma_cycles(2048.0) > c.dma_cycles(256.0));
+        // Fixed setup cost dominates tiny transfers.
+        assert!(c.dma_cycles(8.0) > 70.0);
+        // Host transfers scale with ranks: 16 ranks move data 4x faster than 4.
+        let t4 = UpmemConfig::with_ranks(4).host_transfer_seconds(1.0e9);
+        let t16 = UpmemConfig::with_ranks(16).host_transfer_seconds(1.0e9);
+        assert!(t4 > 3.0 * t16);
+    }
+
+    #[test]
+    #[should_panic(expected = "tasklets must be in 1..=24")]
+    fn tasklet_bounds_are_enforced() {
+        let _ = UpmemConfig::with_ranks(1).with_tasklets(25);
+    }
+}

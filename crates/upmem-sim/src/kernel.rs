@@ -1,0 +1,332 @@
+//! DPU kernel specifications.
+//!
+//! The CINM code generator lowers a `upmem.launch` into a [`KernelSpec`]: a
+//! structured description of the per-DPU work (which buffers are consumed and
+//! produced, the tile shapes, the number of tasklets and the WRAM blocking).
+//! The simulator executes the kernel functionally on every DPU's local
+//! buffers and charges cycles according to the instruction-cost model.
+
+use crate::system::BufferId;
+
+/// Binary element-wise / reduction operators supported by the DPU kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Signed division.
+    Div,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+    /// Bit-wise and.
+    And,
+    /// Bit-wise or.
+    Or,
+    /// Bit-wise xor.
+    Xor,
+}
+
+impl BinOp {
+    /// Applies the operator to two scalars.
+    pub fn apply(self, a: i32, b: i32) -> i32 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            BinOp::Max => a.max(b),
+            BinOp::Min => a.min(b),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+        }
+    }
+
+    /// The neutral element of the operator when used as a reduction.
+    pub fn identity(self) -> i32 {
+        match self {
+            BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor => 0,
+            BinOp::Mul | BinOp::Div => 1,
+            BinOp::Max => i32::MIN,
+            BinOp::Min => i32::MAX,
+            BinOp::And => -1,
+        }
+    }
+
+    /// Parses the textual operator names used in IR attributes.
+    pub fn parse(name: &str) -> Option<BinOp> {
+        Some(match name {
+            "add" => BinOp::Add,
+            "sub" => BinOp::Sub,
+            "mul" => BinOp::Mul,
+            "div" => BinOp::Div,
+            "max" => BinOp::Max,
+            "min" => BinOp::Min,
+            "and" => BinOp::And,
+            "or" => BinOp::Or,
+            "xor" => BinOp::Xor,
+            _ => return None,
+        })
+    }
+}
+
+/// The per-DPU computation of one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpuKernelKind {
+    /// Tiled GEMM: `C[m×n] += A[m×k] × B[k×n]` on per-DPU tiles.
+    Gemm {
+        /// Rows of the per-DPU A/C tile.
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Columns of the per-DPU B/C tile.
+        n: usize,
+    },
+    /// Matrix-vector product: `y[rows] += A[rows×cols] × x[cols]`.
+    Gemv {
+        /// Rows of the per-DPU matrix slice.
+        rows: usize,
+        /// Columns (full vector length).
+        cols: usize,
+    },
+    /// Element-wise binary operation over per-DPU chunks of length `len`.
+    Elementwise {
+        /// The operator.
+        op: BinOp,
+        /// Elements per DPU.
+        len: usize,
+    },
+    /// Reduction of the per-DPU chunk to one value.
+    Reduce {
+        /// The reduction operator.
+        op: BinOp,
+        /// Elements per DPU.
+        len: usize,
+    },
+    /// Local histogram of the per-DPU chunk.
+    Histogram {
+        /// Number of bins.
+        bins: usize,
+        /// Elements per DPU.
+        len: usize,
+        /// Upper bound (exclusive) of the input values, for bin scaling.
+        max_value: i32,
+    },
+    /// Inclusive scan (prefix operation) of the per-DPU chunk.
+    Scan {
+        /// The scan operator.
+        op: BinOp,
+        /// Elements per DPU.
+        len: usize,
+    },
+    /// Database select: keep elements `> threshold` (PrIM `sel`).
+    Select {
+        /// Elements per DPU.
+        len: usize,
+        /// Selection threshold.
+        threshold: i32,
+    },
+    /// Time-series distance profile over a window (PrIM `ts` flavour).
+    TimeSeries {
+        /// Elements per DPU.
+        len: usize,
+        /// Sliding-window length.
+        window: usize,
+    },
+    /// One breadth-first-search frontier expansion over a per-DPU CSR slice
+    /// (PrIM `bfs` flavour): input 0 = row offsets, input 1 = column indices,
+    /// input 2 = current frontier bitmap, output = next frontier bitmap.
+    BfsStep {
+        /// Vertices owned by this DPU.
+        vertices: usize,
+        /// Average degree (used only for the cost model).
+        avg_degree: usize,
+    },
+}
+
+impl DpuKernelKind {
+    /// A short mnemonic used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DpuKernelKind::Gemm { .. } => "gemm",
+            DpuKernelKind::Gemv { .. } => "gemv",
+            DpuKernelKind::Elementwise { .. } => "elementwise",
+            DpuKernelKind::Reduce { .. } => "reduce",
+            DpuKernelKind::Histogram { .. } => "histogram",
+            DpuKernelKind::Scan { .. } => "scan",
+            DpuKernelKind::Select { .. } => "select",
+            DpuKernelKind::TimeSeries { .. } => "time-series",
+            DpuKernelKind::BfsStep { .. } => "bfs-step",
+        }
+    }
+
+    /// Number of input buffers the kernel expects.
+    pub fn num_inputs(&self) -> usize {
+        match self {
+            DpuKernelKind::Gemm { .. } => 2,
+            DpuKernelKind::Gemv { .. } => 2,
+            DpuKernelKind::Elementwise { .. } => 2,
+            DpuKernelKind::BfsStep { .. } => 3,
+            _ => 1,
+        }
+    }
+
+    /// Number of output elements produced per DPU.
+    pub fn output_len(&self) -> usize {
+        match self {
+            DpuKernelKind::Gemm { m, n, .. } => m * n,
+            DpuKernelKind::Gemv { rows, .. } => *rows,
+            DpuKernelKind::Elementwise { len, .. } => *len,
+            DpuKernelKind::Reduce { .. } => 1,
+            DpuKernelKind::Histogram { bins, .. } => *bins,
+            DpuKernelKind::Scan { len, .. } => *len,
+            DpuKernelKind::Select { len, .. } => *len + 1,
+            DpuKernelKind::TimeSeries { len, window } => len.saturating_sub(*window) + 1,
+            DpuKernelKind::BfsStep { vertices, .. } => *vertices,
+        }
+    }
+}
+
+/// A complete kernel launch description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpec {
+    /// The per-DPU computation.
+    pub kind: DpuKernelKind,
+    /// Input buffers (order defined by [`DpuKernelKind::num_inputs`]).
+    pub inputs: Vec<BufferId>,
+    /// Output buffer.
+    pub output: BufferId,
+    /// Tasklets used by this launch (defaults to the system configuration).
+    pub tasklets: Option<usize>,
+    /// WRAM tile size in elements used for MRAM↔WRAM blocking.
+    pub wram_tile_elems: usize,
+    /// Whether the WRAM-locality optimisation (tiling to WRAM + loop
+    /// interchange, the paper's `cinm-opt` configuration) is applied.
+    pub locality_optimized: bool,
+    /// Multiplier on the instruction count, modelling implementation quality
+    /// differences between code generators (e.g. the PrIM hand-written
+    /// kernels that update a shared histogram instead of privatised WRAM
+    /// copies). `1.0` means the CINM-generated code.
+    pub instruction_overhead_factor: f64,
+}
+
+impl KernelSpec {
+    /// Creates a kernel spec with default blocking (1024-element WRAM tiles,
+    /// no locality optimisation).
+    pub fn new(kind: DpuKernelKind, inputs: Vec<BufferId>, output: BufferId) -> Self {
+        assert_eq!(
+            inputs.len(),
+            kind.num_inputs(),
+            "kernel '{}' expects {} inputs",
+            kind.name(),
+            kind.num_inputs()
+        );
+        KernelSpec {
+            kind,
+            inputs,
+            output,
+            tasklets: None,
+            wram_tile_elems: 1024,
+            locality_optimized: false,
+            instruction_overhead_factor: 1.0,
+        }
+    }
+
+    /// Enables the WRAM-locality optimisation.
+    pub fn with_locality_optimization(mut self) -> Self {
+        self.locality_optimized = true;
+        self
+    }
+
+    /// Overrides the WRAM tile size (in elements).
+    pub fn with_wram_tile(mut self, elems: usize) -> Self {
+        assert!(elems > 0, "WRAM tile must be non-empty");
+        self.wram_tile_elems = elems;
+        self
+    }
+
+    /// Overrides the number of tasklets for this launch.
+    pub fn with_tasklets(mut self, tasklets: usize) -> Self {
+        self.tasklets = Some(tasklets);
+        self
+    }
+
+    /// Sets the instruction-overhead factor (see the field documentation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is not strictly positive.
+    pub fn with_instruction_overhead(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "overhead factor must be positive");
+        self.instruction_overhead_factor = factor;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_apply_and_identity() {
+        assert_eq!(BinOp::Add.apply(3, 4), 7);
+        assert_eq!(BinOp::Mul.apply(3, 4), 12);
+        assert_eq!(BinOp::Div.apply(8, 2), 4);
+        assert_eq!(BinOp::Div.apply(8, 0), 0);
+        assert_eq!(BinOp::Max.apply(-3, 2), 2);
+        assert_eq!(BinOp::Xor.apply(0b1010, 0b0110), 0b1100);
+        for op in [BinOp::Add, BinOp::Mul, BinOp::Max, BinOp::Min, BinOp::And, BinOp::Or, BinOp::Xor] {
+            assert_eq!(op.apply(42, op.identity()), 42, "{op:?} identity");
+        }
+    }
+
+    #[test]
+    fn binop_parse_roundtrip() {
+        assert_eq!(BinOp::parse("add"), Some(BinOp::Add));
+        assert_eq!(BinOp::parse("xor"), Some(BinOp::Xor));
+        assert_eq!(BinOp::parse("pow"), None);
+    }
+
+    #[test]
+    fn kernel_kind_shapes() {
+        let g = DpuKernelKind::Gemm { m: 16, k: 32, n: 16 };
+        assert_eq!(g.num_inputs(), 2);
+        assert_eq!(g.output_len(), 256);
+        let h = DpuKernelKind::Histogram { bins: 64, len: 1000, max_value: 4096 };
+        assert_eq!(h.output_len(), 64);
+        let r = DpuKernelKind::Reduce { op: BinOp::Add, len: 100 };
+        assert_eq!(r.output_len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn spec_checks_input_arity() {
+        KernelSpec::new(DpuKernelKind::Gemm { m: 4, k: 4, n: 4 }, vec![0], 1);
+    }
+
+    #[test]
+    fn spec_builder_methods() {
+        let s = KernelSpec::new(
+            DpuKernelKind::Reduce { op: BinOp::Add, len: 64 },
+            vec![0],
+            1,
+        )
+        .with_locality_optimization()
+        .with_wram_tile(2048)
+        .with_tasklets(12);
+        assert!(s.locality_optimized);
+        assert_eq!(s.wram_tile_elems, 2048);
+        assert_eq!(s.tasklets, Some(12));
+    }
+}

@@ -1,0 +1,88 @@
+//! Statistics collected by the UPMEM simulator.
+
+/// Statistics of a single host↔MRAM bulk transfer.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransferStats {
+    /// Bytes moved across the host interface.
+    pub bytes: u64,
+    /// Wall-clock seconds the transfer took.
+    pub seconds: f64,
+}
+
+/// Statistics of one kernel launch (per-launch, across the whole grid).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LaunchStats {
+    /// Total DPU instructions executed (summed over all DPUs and tasklets).
+    pub instructions: f64,
+    /// Total MRAM↔WRAM DMA bytes moved (summed over all DPUs).
+    pub dma_bytes: f64,
+    /// Kernel wall-clock seconds (the slowest DPU defines the launch time).
+    pub seconds: f64,
+    /// Per-DPU cycles of the critical (slowest) DPU.
+    pub cycles_per_dpu: f64,
+}
+
+/// Accumulated statistics of a simulated application run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SystemStats {
+    /// Seconds spent in host→DPU transfers.
+    pub host_to_dpu_seconds: f64,
+    /// Seconds spent in DPU→host transfers.
+    pub dpu_to_host_seconds: f64,
+    /// Seconds spent executing kernels.
+    pub kernel_seconds: f64,
+    /// Bytes moved host→DPU.
+    pub host_to_dpu_bytes: u64,
+    /// Bytes moved DPU→host.
+    pub dpu_to_host_bytes: u64,
+    /// Number of kernel launches.
+    pub launches: u64,
+}
+
+impl SystemStats {
+    /// Total simulated wall-clock seconds (transfers are serialised with
+    /// kernel execution, as on the real system where the host orchestrates
+    /// all data movement).
+    pub fn total_seconds(&self) -> f64 {
+        self.host_to_dpu_seconds + self.dpu_to_host_seconds + self.kernel_seconds
+    }
+
+    /// Total milliseconds, the unit used by the paper's Figures 11 and 12.
+    pub fn total_ms(&self) -> f64 {
+        self.total_seconds() * 1e3
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &SystemStats) {
+        self.host_to_dpu_seconds += other.host_to_dpu_seconds;
+        self.dpu_to_host_seconds += other.dpu_to_host_seconds;
+        self.kernel_seconds += other.kernel_seconds;
+        self.host_to_dpu_bytes += other.host_to_dpu_bytes;
+        self.dpu_to_host_bytes += other.dpu_to_host_bytes;
+        self.launches += other.launches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = SystemStats {
+            host_to_dpu_seconds: 0.5,
+            dpu_to_host_seconds: 0.25,
+            kernel_seconds: 1.0,
+            host_to_dpu_bytes: 100,
+            dpu_to_host_bytes: 50,
+            launches: 2,
+        };
+        assert!((a.total_seconds() - 1.75).abs() < 1e-12);
+        assert!((a.total_ms() - 1750.0).abs() < 1e-9);
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.launches, 4);
+        assert_eq!(a.host_to_dpu_bytes, 200);
+        assert!((a.total_seconds() - 3.5).abs() < 1e-12);
+    }
+}

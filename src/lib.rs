@@ -1,0 +1,27 @@
+//! # CINM (Cinnamon) — Rust reproduction facade
+//!
+//! A compilation infrastructure for heterogeneous compute-in-memory (CIM) and
+//! compute-near-memory (CNM) paradigms, reproduced from the ASPLOS 2024 paper
+//! by Khan et al. This facade crate re-exports the whole stack:
+//!
+//! * [`ir`] — the MLIR-like IR substrate (types, ops, regions, passes);
+//! * [`dialects`] — the dialect stack (`linalg`/`tosa` front ends, the
+//!   device-agnostic `cinm` abstraction, the `cnm`/`cim` paradigm
+//!   abstractions and the `upmem`/`memristor` device dialects);
+//! * [`lowering`] — the progressive-lowering passes and the device back-ends;
+//! * [`upmem`] / [`memristor`] / [`cpu`] — the simulated evaluation substrate;
+//! * [`workloads`] — the fifteen benchmark applications of the evaluation;
+//! * [`core`] — pipelines, target selection, cost models and the experiment
+//!   runners regenerating every table and figure of the paper.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `EXPERIMENTS.md` for the paper-vs-measured comparison.
+
+pub use cinm_core as core;
+pub use cinm_dialects as dialects;
+pub use cinm_ir as ir;
+pub use cinm_lowering as lowering;
+pub use cinm_workloads as workloads;
+pub use cpu_sim as cpu;
+pub use memristor_sim as memristor;
+pub use upmem_sim as upmem;

@@ -1,0 +1,117 @@
+//! End-to-end integration tests: every workload is lowered through the CINM
+//! pipelines and executed on the simulated devices, and the results are
+//! checked against the host reference implementations.
+
+use cinm::core::runner;
+use cinm::core::{cim_pipeline, cinm_pipeline, cnm_pipeline, compile, Target, TargetSelector};
+use cinm::ir::prelude::*;
+use cinm::lowering::{CimBackend, CimRunOptions, UpmemBackend, UpmemRunOptions};
+use cinm::workloads::{build_func, Scale, WorkloadId};
+use cinm_lowering::CimLoweringOptions;
+
+fn small_upmem_backend(options: UpmemRunOptions) -> UpmemBackend {
+    let mut cfg = cinm::upmem::UpmemConfig::with_ranks(1);
+    cfg.dpus_per_rank = 16;
+    UpmemBackend::with_config(cfg, options)
+}
+
+#[test]
+fn every_workload_runs_correctly_on_the_upmem_backend() {
+    for id in WorkloadId::all() {
+        let inp = runner::inputs(id, Scale::Test);
+        let mut backend = small_upmem_backend(UpmemRunOptions::optimized());
+        let got = runner::run_upmem(id, Scale::Test, &inp, &mut backend);
+        let want = runner::reference(id, Scale::Test, &inp, backend.num_dpus());
+        assert_eq!(got, want, "workload {}", id.name());
+        assert!(backend.total_ms() > 0.0, "workload {}", id.name());
+    }
+}
+
+#[test]
+fn every_cim_workload_runs_correctly_on_the_crossbar_backend() {
+    for id in WorkloadId::cim_suite() {
+        let inp = runner::inputs(id, Scale::Test);
+        let mut backend = CimBackend::new(CimRunOptions::optimized());
+        let got = runner::run_cim(id, Scale::Test, &inp, &mut backend);
+        let want = runner::reference(id, Scale::Test, &inp, 1);
+        assert_eq!(got, want, "workload {}", id.name());
+        assert!(backend.stats().xbar.mvm_ops > 0, "workload {}", id.name());
+    }
+}
+
+#[test]
+fn pipelines_lower_every_idiomatic_workload_to_device_dialects() {
+    for id in WorkloadId::upmem_opt_suite() {
+        let mut module = Module::new(id.name());
+        module.add_func(build_func(id, Scale::Test));
+        compile(&mut module, &cnm_pipeline(4, true)).expect("cnm pipeline");
+        let f = &module.funcs[0];
+        assert!(!f.body.ops_with_name("upmem.launch").is_empty(), "{}", id.name());
+        assert!(!f.body.ops_with_name("upmem.scatter").is_empty(), "{}", id.name());
+        assert!(f.body.ops_in_dialect("cinm").is_empty(), "{}", id.name());
+    }
+    for id in WorkloadId::cim_suite() {
+        let mut module = Module::new(id.name());
+        module.add_func(build_func(id, Scale::Test));
+        compile(&mut module, &cim_pipeline(CimLoweringOptions::optimized())).expect("cim pipeline");
+        let f = &module.funcs[0];
+        assert!(
+            !f.body.ops_with_name("memristor.configure").is_empty(),
+            "{}",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn greedy_target_selection_sends_large_gemms_to_cim_and_the_rest_to_cnm() {
+    let selector = TargetSelector::new();
+    // Large matmul => CIM.
+    let mut module = Module::new("mm");
+    module.add_func(build_func(WorkloadId::Mm, Scale::Bench));
+    compile(&mut module, &cinm_pipeline()).unwrap();
+    let counts = selector.select_for_func(&module.funcs[0]);
+    assert!(counts.get(&Target::Cim).copied().unwrap_or(0) >= 1);
+    // Histogram (CNM-only op) => UPMEM.
+    let mut module = Module::new("hst");
+    module.add_func(build_func(WorkloadId::HstL, Scale::Test));
+    compile(&mut module, &cinm_pipeline()).unwrap();
+    let counts = selector.select_for_func(&module.funcs[0]);
+    assert!(counts.get(&Target::Cnm).copied().unwrap_or(0) >= 1);
+}
+
+#[test]
+fn optimizations_follow_the_papers_direction_on_dense_kernels() {
+    // Figure 11 direction: the WRAM-locality optimisation helps the GEMM-like
+    // kernels substantially.
+    let inp = runner::inputs(WorkloadId::Mm, Scale::Test);
+    let mut base = small_upmem_backend(UpmemRunOptions::default());
+    let mut opt = small_upmem_backend(UpmemRunOptions::optimized());
+    runner::run_upmem(WorkloadId::Mm, Scale::Test, &inp, &mut base);
+    runner::run_upmem(WorkloadId::Mm, Scale::Test, &inp, &mut opt);
+    assert!(opt.stats().kernel_seconds < base.stats().kernel_seconds);
+
+    // Figure 10 direction: min-writes cuts crossbar writes and time.
+    let inp = runner::inputs(WorkloadId::Mm, Scale::Test);
+    let mut naive = CimBackend::new(CimRunOptions::default());
+    let mut minw = CimBackend::new(CimRunOptions { min_writes: true, parallel_tiles: false });
+    runner::run_cim(WorkloadId::Mm, Scale::Test, &inp, &mut naive);
+    runner::run_cim(WorkloadId::Mm, Scale::Test, &inp, &mut minw);
+    assert!(minw.stats().xbar.tile_writes <= naive.stats().xbar.tile_writes);
+    assert!(minw.stats().total_seconds() <= naive.stats().total_seconds());
+}
+
+#[test]
+fn lines_of_code_table_shows_conciseness_of_the_cinm_representation() {
+    for id in WorkloadId::all() {
+        let func = build_func(id, Scale::Paper);
+        let loc = cinm::ir::func_lines_of_code(&func);
+        assert!(
+            loc * 2 < id.upmem_c_loc(),
+            "{}: CINM {} lines vs UPMEM C {} lines",
+            id.name(),
+            loc,
+            id.upmem_c_loc()
+        );
+    }
+}

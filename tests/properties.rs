@@ -1,0 +1,159 @@
+//! Property-based tests of the core invariants: tiling coverage, workgroup
+//! scatter/gather round-trips, affine-map semantics, crossbar MVM exactness
+//! and loop-interchange result preservation.
+
+use cinm::ir::{AffineExpr, AffineMap};
+use cinm::lowering::{tile_2d, CimBackend, CimRunOptions, Tile, TileShape, UpmemBackend, UpmemRunOptions};
+use cinm::memristor::{CrossbarAccelerator, CrossbarConfig};
+use cinm::upmem::{BinOp, DpuKernelKind, KernelSpec, UpmemConfig, UpmemSystem};
+use cpu_sim::kernels;
+use proptest::prelude::*;
+
+fn small_upmem() -> UpmemBackend {
+    let mut cfg = UpmemConfig::with_ranks(1);
+    cfg.dpus_per_rank = 4;
+    UpmemBackend::with_config(cfg, UpmemRunOptions::optimized())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every tiling shape covers every iteration point exactly once.
+    #[test]
+    fn tiling_partitions_the_iteration_space(
+        m in 1usize..200,
+        n in 1usize..200,
+        tile in 1usize..96,
+        rect_rows in 1usize..48,
+    ) {
+        for shape in [
+            TileShape::Box { tile },
+            TileShape::Rectangular { rows: rect_rows, cols: tile },
+            TileShape::RowBand { rows: rect_rows },
+        ] {
+            let tiles = tile_2d(m, n, shape);
+            let covered: usize = tiles.iter().map(Tile::points).sum();
+            prop_assert_eq!(covered, m * n);
+            for t in &tiles {
+                prop_assert!(t.row + t.rows <= m && t.col + t.cols <= n);
+            }
+        }
+    }
+
+    /// The scatter/gather pair of the cnm abstraction is a lossless
+    /// round-trip for any payload that fits the buffers.
+    #[test]
+    fn scatter_gather_roundtrip(data in proptest::collection::vec(any::<i32>(), 1..512)) {
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = 4;
+        let mut sys = UpmemSystem::new(cfg);
+        let chunk = data.len().div_ceil(sys.num_dpus()).max(1);
+        let buf = sys.alloc_buffer(chunk).unwrap();
+        sys.scatter_i32(buf, &data, chunk).unwrap();
+        let (back, _) = sys.gather_i32(buf, chunk).unwrap();
+        prop_assert_eq!(&back[..data.len()], &data[..]);
+        // The padding tail is always zero.
+        prop_assert!(back[data.len()..].iter().all(|&v| v == 0));
+    }
+
+    /// The affine tiling map assigns every point a valid (tile, offset) pair.
+    #[test]
+    fn tiling_affine_map_is_consistent(i in 0i64..10_000, j in 0i64..10_000, t0 in 1i64..64, t1 in 1i64..64) {
+        let map = AffineMap::tiling(&[t0, t1]);
+        let r = map.eval(&[i, j]);
+        prop_assert_eq!(r.len(), 4);
+        prop_assert_eq!(r[0] * t0 + r[2], i);
+        prop_assert_eq!(r[1] * t1 + r[3], j);
+        prop_assert!(r[2] < t0 && r[3] < t1);
+    }
+
+    /// Affine permutation maps are involutive when applied twice with the
+    /// inverse permutation.
+    #[test]
+    fn permutation_roundtrip(v in proptest::collection::vec(0i64..1000, 3)) {
+        let map = AffineMap::permutation(&[2, 0, 1]);
+        let inv = AffineMap::permutation(&[1, 2, 0]);
+        let once = map.eval(&v);
+        let back = inv.eval(&once);
+        prop_assert_eq!(back, v);
+        let _ = AffineExpr::dim(0); // keep the import exercised
+    }
+
+    /// The bit-sliced crossbar MVM is exact for arbitrary integer matrices.
+    #[test]
+    fn crossbar_mvm_is_exact(
+        rows in 1usize..16,
+        cols in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let w = cinm::workloads::data::i32_matrix(seed, rows, cols, -100, 100);
+        let x = cinm::workloads::data::i32_vec(seed.wrapping_add(1), rows, -100, 100);
+        let mut xbar = CrossbarAccelerator::new(CrossbarConfig::default());
+        xbar.write_tile(0, &w, rows, cols).unwrap();
+        let y = xbar.mvm(0, &x).unwrap();
+        for c in 0..cols {
+            let mut acc = 0i32;
+            for r in 0..rows {
+                acc = acc.wrapping_add(x[r].wrapping_mul(w[r * cols + c]));
+            }
+            prop_assert_eq!(y[c], acc);
+        }
+    }
+
+    /// Shift-add recombination of bit-sliced weights is the identity.
+    #[test]
+    fn bit_slicing_roundtrip(v in any::<i32>()) {
+        let xbar = CrossbarAccelerator::new(CrossbarConfig::default());
+        prop_assert_eq!(xbar.shift_add_roundtrip(v), v as i64);
+    }
+
+    /// The min-writes loop interchange and tile parallelism never change the
+    /// GEMM result (they are pure schedule transformations).
+    #[test]
+    fn cim_schedules_preserve_results(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..100) {
+        let a = cinm::workloads::data::i32_matrix(seed, m, k, -5, 5);
+        let b = cinm::workloads::data::i32_matrix(seed + 1, k, n, -5, 5);
+        let reference = kernels::matmul(&a, &b, m, k, n);
+        for opts in [
+            CimRunOptions::default(),
+            CimRunOptions { min_writes: true, parallel_tiles: false },
+            CimRunOptions::optimized(),
+        ] {
+            let mut be = CimBackend::new(opts);
+            prop_assert_eq!(be.gemm(&a, &b, m, k, n), reference.clone());
+        }
+    }
+
+    /// The UPMEM backend's distributed GEMM agrees with the host reference
+    /// for arbitrary shapes, with and without the locality optimisation.
+    #[test]
+    fn upmem_gemm_is_shape_generic(m in 1usize..48, k in 1usize..24, n in 1usize..24, seed in 0u64..100) {
+        let a = cinm::workloads::data::i32_matrix(seed, m, k, -6, 6);
+        let b = cinm::workloads::data::i32_matrix(seed + 7, k, n, -6, 6);
+        let reference = kernels::matmul(&a, &b, m, k, n);
+        let mut be = small_upmem();
+        prop_assert_eq!(be.gemm(&a, &b, m, k, n), reference);
+    }
+
+    /// Element-wise kernels and reductions on the DPU grid match the host
+    /// fold for every operator.
+    #[test]
+    fn upmem_reductions_match_host(data in proptest::collection::vec(-1000i32..1000, 1..400)) {
+        let mut be = small_upmem();
+        prop_assert_eq!(be.reduce(BinOp::Add, &data), kernels::reduce_add(&data));
+        let ones = vec![1i32; data.len()];
+        let plus_one = be.elementwise(BinOp::Add, &data, &ones);
+        let expected: Vec<i32> = data.iter().map(|&v| v.wrapping_add(1)).collect();
+        prop_assert_eq!(plus_one, expected);
+    }
+}
+
+#[test]
+fn kernel_spec_validation_is_deterministic() {
+    // Not a property, but keeps the proptest file self-contained: a spec with
+    // the wrong arity must always panic.
+    let result = std::panic::catch_unwind(|| {
+        KernelSpec::new(DpuKernelKind::Gemm { m: 2, k: 2, n: 2 }, vec![0], 1)
+    });
+    assert!(result.is_err());
+}
