@@ -20,6 +20,7 @@ fn simulated_gemm_ms(tasklets: usize, wram_tile: usize) -> f64 {
             tasklets,
             instruction_overhead: 1.0,
             wram_tile_elems: Some(wram_tile),
+            ..Default::default()
         },
     );
     backend.gemm(&a, &b, m, k, n);
@@ -53,7 +54,9 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_tiling");
     group.sample_size(10);
-    group.bench_function("gemm_16_tasklets", |b| b.iter(|| simulated_gemm_ms(16, 1024)));
+    group.bench_function("gemm_16_tasklets", |b| {
+        b.iter(|| simulated_gemm_ms(16, 1024))
+    });
     group.finish();
 }
 

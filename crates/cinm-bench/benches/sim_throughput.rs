@@ -1,0 +1,34 @@
+//! Criterion-style benchmark of the simulator hot path: the seed (naive)
+//! storage layout against the flat-slab layout, sequential and threaded, on
+//! a launch-heavy `va` flow. The full Small/Large sweep with JSON output is
+//! the `bench-sim` binary.
+
+use cinm_bench::simbench::{self, CaseKind, SimCase};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let case = SimCase {
+        name: "va",
+        scale: "bench",
+        ranks: 4,
+        launches: 8,
+        kind: CaseKind::Va { len: 1 << 20 },
+        reps: 1,
+    };
+    let inp = simbench::inputs(&case);
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.bench_function("seed_naive_layout", |b| {
+        b.iter(|| simbench::measure_seed(&case, &inp).checksum)
+    });
+    group.bench_function("flat_slab_1_thread", |b| {
+        b.iter(|| simbench::measure_slab(&case, &inp, 1).checksum)
+    });
+    group.bench_function("flat_slab_4_threads", |b| {
+        b.iter(|| simbench::measure_slab(&case, &inp, 4).checksum)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

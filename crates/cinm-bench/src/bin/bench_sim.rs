@@ -1,0 +1,165 @@
+//! `bench-sim` — the simulator wall-clock tracker.
+//!
+//! Measures how long the simulator itself (host wall-clock, not simulated
+//! time) takes to run launch-heavy workloads at Small/Large scale under
+//!
+//! * the retained seed implementation (naive layout, per-launch clones),
+//! * the flat-slab layout at 1 host thread, and
+//! * the flat-slab layout at N host threads,
+//!
+//! and writes the results to `BENCH_sim.json` (override with `--out PATH`;
+//! `--threads N` overrides the parallel thread count, `--quick` runs a
+//! reduced case list for smoke testing). Future PRs diff this file to catch
+//! simulation-throughput regressions.
+
+use std::num::NonZeroUsize;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use cinm_bench::simbench::{self, SimCase};
+
+struct CaseResult {
+    case: SimCase,
+    seed_1t_s: f64,
+    slab_1t_s: f64,
+    slab_nt_s: f64,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = match args.iter().position(|a| a == "--out") {
+        None => "BENCH_sim.json".to_string(),
+        Some(i) => args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --out requires a path");
+            std::process::exit(2);
+        }),
+    };
+    let host_cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let threads = match args.iter().position(|a| a == "--threads") {
+        None => 4usize,
+        Some(i) => match args.get(i + 1) {
+            None => {
+                eprintln!("error: --threads requires a value");
+                std::process::exit(2);
+            }
+            Some(raw) => match raw.parse() {
+                Ok(n) if n >= 2 => n,
+                Ok(_) => {
+                    eprintln!("error: --threads must be >= 2 (the N-thread column must differ from the 1-thread column)");
+                    std::process::exit(2);
+                }
+                Err(_) => {
+                    eprintln!("error: invalid --threads value '{raw}'; expected a number >= 2");
+                    std::process::exit(2);
+                }
+            },
+        },
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let mut cases = simbench::default_cases();
+    if quick {
+        for c in &mut cases {
+            c.reps = 1;
+        }
+        cases.retain(|c| c.scale == "small");
+    }
+
+    let mut results = Vec::new();
+    for case in cases {
+        eprintln!("measuring {}/{} ...", case.name, case.scale);
+        let inp = simbench::inputs(&case);
+        let seed = simbench::measure_seed(&case, &inp);
+        let slab1 = simbench::measure_slab(&case, &inp, 1);
+        let slabn = simbench::measure_slab(&case, &inp, threads);
+        assert_eq!(
+            seed.checksum, slab1.checksum,
+            "{}/{}",
+            case.name, case.scale
+        );
+        assert_eq!(
+            slab1.checksum, slabn.checksum,
+            "{}/{}",
+            case.name, case.scale
+        );
+        eprintln!(
+            "  seed {:.3}s  slab(1t) {:.3}s  slab({}t) {:.3}s  -> {:.2}x / {:.2}x",
+            seed.seconds,
+            slab1.seconds,
+            threads,
+            slabn.seconds,
+            seed.seconds / slab1.seconds,
+            seed.seconds / slabn.seconds,
+        );
+        results.push(CaseResult {
+            case,
+            seed_1t_s: seed.seconds,
+            slab_1t_s: slab1.seconds,
+            slab_nt_s: slabn.seconds,
+        });
+    }
+
+    let generated_unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"cinm/bench-sim/v1\",\n");
+    json.push_str(
+        "  \"description\": \"Simulator wall-clock seconds (host time, best-of-reps) for launch-heavy workloads: seed naive layout vs flat-slab layout at 1 and N host threads. Lower is better; speedups are seed/slab.\",\n",
+    );
+    json.push_str(&format!("  \"generated_unix\": {generated_unix},\n"));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!("  \"slab_threads\": {threads},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let dpus = upmem_sim::UpmemConfig::with_ranks(r.case.ranks).num_dpus();
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", r.case.name));
+        json.push_str(&format!("      \"scale\": \"{}\",\n", r.case.scale));
+        json.push_str(&format!("      \"dpus\": {dpus},\n"));
+        json.push_str(&format!("      \"launches\": {},\n", r.case.launches));
+        json.push_str(&format!(
+            "      \"seed_naive_1t_s\": {},\n",
+            json_f64(r.seed_1t_s)
+        ));
+        json.push_str(&format!(
+            "      \"slab_1t_s\": {},\n",
+            json_f64(r.slab_1t_s)
+        ));
+        json.push_str(&format!(
+            "      \"slab_{}t_s\": {},\n",
+            threads,
+            json_f64(r.slab_nt_s)
+        ));
+        json.push_str(&format!(
+            "      \"speedup_slab_1t_vs_seed\": {},\n",
+            json_f64(r.seed_1t_s / r.slab_1t_s)
+        ));
+        json.push_str(&format!(
+            "      \"speedup_slab_{}t_vs_seed\": {}\n",
+            threads,
+            json_f64(r.seed_1t_s / r.slab_nt_s)
+        ));
+        json.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

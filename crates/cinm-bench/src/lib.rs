@@ -1,2 +1,6 @@
 //! Benchmark support crate: see the `benches/` directory for the criterion
-//! harnesses that regenerate every table and figure of the paper.
+//! harnesses that regenerate every table and figure of the paper, and
+//! [`simbench`] plus the `bench-sim` binary for the simulator wall-clock
+//! tracker that emits `BENCH_sim.json`.
+
+pub mod simbench;

@@ -1,0 +1,374 @@
+//! Wall-clock measurement of the simulator hot path.
+//!
+//! This module times how long the *simulator itself* takes (host wall-clock,
+//! not simulated seconds) to run launch-heavy PrIM-style flows, comparing
+//!
+//! * the retained seed implementation (`NaiveUpmemSystem`: HashMap-of-Vec
+//!   storage, per-launch input clones, element-wise scatter),
+//! * the flat-slab `UpmemSystem` at one host thread, and
+//! * the flat-slab `UpmemSystem` at N host threads,
+//!
+//! over the same workloads at a Small and a Large scale. The `bench-sim`
+//! binary serialises the results to `BENCH_sim.json` so future PRs can track
+//! simulation-throughput regressions.
+
+use std::time::Instant;
+
+use cinm_workloads::data;
+use upmem_sim::{
+    BinOp, DpuKernelKind, DpuSystem, KernelSpec, NaiveUpmemSystem, UpmemConfig, UpmemSystem,
+};
+
+/// The kernel flow of one benchmark case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseKind {
+    /// PrIM `va`: element-wise vector addition.
+    Va {
+        /// Total vector length.
+        len: usize,
+    },
+    /// Distributed GEMM (row blocks of A per DPU, B broadcast).
+    Gemm {
+        /// Rows of A/C.
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Columns of B/C.
+        n: usize,
+    },
+    /// Distributed GEMV.
+    Mv {
+        /// Matrix rows.
+        rows: usize,
+        /// Matrix columns.
+        cols: usize,
+    },
+    /// PrIM `red`: global reduction.
+    Red {
+        /// Total vector length.
+        len: usize,
+    },
+}
+
+/// One benchmark case: a workload shape on a DPU grid, launched repeatedly.
+#[derive(Debug, Clone, Copy)]
+pub struct SimCase {
+    /// Workload name (paper nomenclature).
+    pub name: &'static str,
+    /// Scale label (`small` / `large`).
+    pub scale: &'static str,
+    /// DIMMs of the simulated machine (128 DPUs each).
+    pub ranks: usize,
+    /// Kernel launches per run (launch-heavy flows amortise the transfers).
+    pub launches: usize,
+    /// The workload shape.
+    pub kind: CaseKind,
+    /// Timed repetitions (the minimum is reported).
+    pub reps: usize,
+}
+
+/// The default tracked cases: `va`/`gemm`/`mv`/`red` at Small (512 DPUs) and
+/// Large (2048 DPUs) scale, launch-heavy.
+pub fn default_cases() -> Vec<SimCase> {
+    vec![
+        SimCase {
+            name: "va",
+            scale: "small",
+            ranks: 4,
+            launches: 8,
+            kind: CaseKind::Va { len: 1 << 21 },
+            reps: 3,
+        },
+        SimCase {
+            name: "gemm",
+            scale: "small",
+            ranks: 4,
+            launches: 8,
+            kind: CaseKind::Gemm {
+                m: 512,
+                k: 256,
+                n: 64,
+            },
+            reps: 3,
+        },
+        SimCase {
+            name: "mv",
+            scale: "small",
+            ranks: 4,
+            launches: 8,
+            kind: CaseKind::Mv {
+                rows: 4096,
+                cols: 1024,
+            },
+            reps: 3,
+        },
+        SimCase {
+            name: "red",
+            scale: "small",
+            ranks: 4,
+            launches: 8,
+            kind: CaseKind::Red { len: 1 << 21 },
+            reps: 3,
+        },
+        SimCase {
+            name: "va",
+            scale: "large",
+            ranks: 16,
+            launches: 8,
+            kind: CaseKind::Va { len: 1 << 24 },
+            reps: 2,
+        },
+        SimCase {
+            name: "gemm",
+            scale: "large",
+            ranks: 16,
+            launches: 8,
+            kind: CaseKind::Gemm {
+                m: 2048,
+                k: 512,
+                n: 128,
+            },
+            reps: 2,
+        },
+        SimCase {
+            name: "mv",
+            scale: "large",
+            ranks: 16,
+            launches: 8,
+            kind: CaseKind::Mv {
+                rows: 16384,
+                cols: 4096,
+            },
+            reps: 2,
+        },
+        SimCase {
+            name: "red",
+            scale: "large",
+            ranks: 16,
+            launches: 8,
+            kind: CaseKind::Red { len: 1 << 24 },
+            reps: 2,
+        },
+    ]
+}
+
+/// Deterministic input data of a case (shared by every implementation so the
+/// comparison is apples-to-apples).
+#[derive(Debug, Clone)]
+pub struct CaseInputs {
+    a: Vec<i32>,
+    b: Vec<i32>,
+}
+
+/// Generates the inputs of a case.
+pub fn inputs(case: &SimCase) -> CaseInputs {
+    match case.kind {
+        CaseKind::Va { len } => CaseInputs {
+            a: data::i32_vec(11, len, -64, 64),
+            b: data::i32_vec(12, len, -64, 64),
+        },
+        CaseKind::Gemm { m, k, n } => CaseInputs {
+            a: data::i32_vec(13, m * k, -8, 8),
+            b: data::i32_vec(14, k * n, -8, 8),
+        },
+        CaseKind::Mv { rows, cols } => CaseInputs {
+            a: data::i32_vec(15, rows * cols, -8, 8),
+            b: data::i32_vec(16, cols, -8, 8),
+        },
+        CaseKind::Red { len } => CaseInputs {
+            a: data::i32_vec(17, len, -64, 64),
+            b: Vec::new(),
+        },
+    }
+}
+
+/// Runs the case flow (alloc → scatter/broadcast → launches → gather) on any
+/// [`DpuSystem`], returning a checksum of the gathered output so the work
+/// cannot be optimised away and so implementations can be cross-checked.
+pub fn drive(case: &SimCase, inp: &CaseInputs, sys: &mut dyn DpuSystem) -> i64 {
+    let dpus = sys.num_dpus();
+    let out = match case.kind {
+        CaseKind::Va { len } => {
+            let chunk = len.div_ceil(dpus).max(1);
+            let a = sys.alloc_buffer(chunk).unwrap();
+            let b = sys.alloc_buffer(chunk).unwrap();
+            let c = sys.alloc_buffer(chunk).unwrap();
+            sys.scatter_i32(a, &inp.a, chunk).unwrap();
+            sys.scatter_i32(b, &inp.b, chunk).unwrap();
+            let spec = KernelSpec::new(
+                DpuKernelKind::Elementwise {
+                    op: BinOp::Add,
+                    len: chunk,
+                },
+                vec![a, b],
+                c,
+            );
+            for _ in 0..case.launches {
+                sys.launch(&spec).unwrap();
+            }
+            sys.gather_i32(c, chunk).unwrap().0
+        }
+        CaseKind::Gemm { m, k, n } => {
+            let rows_per_dpu = m.div_ceil(dpus).max(1);
+            let a = sys.alloc_buffer(rows_per_dpu * k).unwrap();
+            let b = sys.alloc_buffer(k * n).unwrap();
+            let c = sys.alloc_buffer(rows_per_dpu * n).unwrap();
+            sys.scatter_i32(a, &inp.a, rows_per_dpu * k).unwrap();
+            sys.broadcast_i32(b, &inp.b).unwrap();
+            let spec = KernelSpec::new(
+                DpuKernelKind::Gemm {
+                    m: rows_per_dpu,
+                    k,
+                    n,
+                },
+                vec![a, b],
+                c,
+            );
+            for _ in 0..case.launches {
+                sys.launch(&spec).unwrap();
+            }
+            sys.gather_i32(c, rows_per_dpu * n).unwrap().0
+        }
+        CaseKind::Mv { rows, cols } => {
+            let rows_per_dpu = rows.div_ceil(dpus).max(1);
+            let a = sys.alloc_buffer(rows_per_dpu * cols).unwrap();
+            let x = sys.alloc_buffer(cols).unwrap();
+            let y = sys.alloc_buffer(rows_per_dpu).unwrap();
+            sys.scatter_i32(a, &inp.a, rows_per_dpu * cols).unwrap();
+            sys.broadcast_i32(x, &inp.b).unwrap();
+            let spec = KernelSpec::new(
+                DpuKernelKind::Gemv {
+                    rows: rows_per_dpu,
+                    cols,
+                },
+                vec![a, x],
+                y,
+            );
+            for _ in 0..case.launches {
+                sys.launch(&spec).unwrap();
+            }
+            sys.gather_i32(y, rows_per_dpu).unwrap().0
+        }
+        CaseKind::Red { len } => {
+            let chunk = len.div_ceil(dpus).max(1);
+            let a = sys.alloc_buffer(chunk).unwrap();
+            let p = sys.alloc_buffer(1).unwrap();
+            sys.scatter_i32(a, &inp.a, chunk).unwrap();
+            let spec = KernelSpec::new(
+                DpuKernelKind::Reduce {
+                    op: BinOp::Add,
+                    len: chunk,
+                },
+                vec![a],
+                p,
+            );
+            for _ in 0..case.launches {
+                sys.launch(&spec).unwrap();
+            }
+            sys.gather_i32(p, 1).unwrap().0
+        }
+    };
+    out.iter().map(|&v| v as i64).sum()
+}
+
+/// Measurement of one case under one implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Best-of-reps wall-clock seconds.
+    pub seconds: f64,
+    /// Output checksum (must agree across implementations).
+    pub checksum: i64,
+}
+
+fn best_of(reps: usize, mut run: impl FnMut() -> (f64, i64)) -> Measurement {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0;
+    for _ in 0..reps.max(1) {
+        let (t, c) = run();
+        best = best.min(t);
+        checksum = c;
+    }
+    Measurement {
+        seconds: best,
+        checksum,
+    }
+}
+
+/// Times the seed (naive) implementation, sequential by construction.
+pub fn measure_seed(case: &SimCase, inp: &CaseInputs) -> Measurement {
+    best_of(case.reps, || {
+        let cfg = UpmemConfig::with_ranks(case.ranks);
+        let start = Instant::now();
+        let mut sys = NaiveUpmemSystem::new(cfg);
+        let checksum = drive(case, inp, &mut sys);
+        (start.elapsed().as_secs_f64(), checksum)
+    })
+}
+
+/// Times the flat-slab implementation at the given host-thread count.
+pub fn measure_slab(case: &SimCase, inp: &CaseInputs, host_threads: usize) -> Measurement {
+    best_of(case.reps, || {
+        let cfg = UpmemConfig::with_ranks(case.ranks).with_host_threads(host_threads);
+        let start = Instant::now();
+        let mut sys = UpmemSystem::new(cfg);
+        let checksum = drive(case, inp, &mut sys);
+        (start.elapsed().as_secs_f64(), checksum)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_case() -> SimCase {
+        SimCase {
+            name: "va",
+            scale: "test",
+            ranks: 1,
+            launches: 2,
+            kind: CaseKind::Va { len: 1 << 12 },
+            reps: 1,
+        }
+    }
+
+    #[test]
+    fn all_implementations_agree_on_the_checksum() {
+        for kind in [
+            CaseKind::Va { len: 4096 },
+            CaseKind::Gemm {
+                m: 256,
+                k: 16,
+                n: 8,
+            },
+            CaseKind::Mv {
+                rows: 256,
+                cols: 32,
+            },
+            CaseKind::Red { len: 4096 },
+        ] {
+            let case = SimCase {
+                kind,
+                ..tiny_case()
+            };
+            let inp = inputs(&case);
+            let seed = measure_seed(&case, &inp);
+            let slab1 = measure_slab(&case, &inp, 1);
+            let slab4 = measure_slab(&case, &inp, 4);
+            assert_eq!(seed.checksum, slab1.checksum, "{kind:?}");
+            assert_eq!(slab1.checksum, slab4.checksum, "{kind:?}");
+            assert!(seed.seconds > 0.0 && slab1.seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn default_cases_cover_small_and_large() {
+        let cases = default_cases();
+        assert!(cases.iter().any(|c| c.scale == "small"));
+        assert!(cases.iter().any(|c| c.scale == "large"));
+        // Acceptance shape: the large cases run on >= 512 DPUs.
+        for c in cases.iter().filter(|c| c.scale == "large") {
+            let dpus = UpmemConfig::with_ranks(c.ranks).num_dpus();
+            assert!(dpus >= 512, "{} at {}", c.name, c.scale);
+        }
+    }
+}

@@ -1,6 +1,12 @@
 //! Command-line harness regenerating the paper's tables and figures.
 //!
-//! Usage: `cinm-experiments [fig10|fig11|fig12|table4|all] [--scale test|bench|paper]`
+//! Usage: `cinm-experiments [fig10|fig11|fig12|table4|all]
+//!            [--scale test|bench|paper] [--threads N|auto]`
+//!
+//! `--threads` sets the number of host worker threads used for the
+//! *functional* side of the simulation (`auto` = all available cores). The
+//! reproduced numbers are bit-identical for every thread count; only the
+//! wall-clock time of the sweep changes.
 
 use cinm_core::experiments;
 use cinm_workloads::Scale;
@@ -18,13 +24,46 @@ fn parse_scale(args: &[String]) -> Scale {
     }
 }
 
+fn parse_threads(args: &[String]) -> usize {
+    let Some(flag) = args.iter().position(|a| a == "--threads") else {
+        return 1;
+    };
+    match args.get(flag + 1).map(String::as_str) {
+        Some("auto") => 0,
+        Some(n) => n.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --threads value '{n}'; expected a number or 'auto'");
+            std::process::exit(2);
+        }),
+        None => {
+            eprintln!("--threads requires a value (a number or 'auto')");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
     let scale = parse_scale(&args);
-    let run_fig10 = || println!("{}", experiments::format_figure10(&experiments::figure10(scale)));
-    let run_fig11 = || println!("{}", experiments::format_figure11(&experiments::figure11(scale)));
-    let run_fig12 = || println!("{}", experiments::format_figure12(&experiments::figure12(scale)));
+    let threads = parse_threads(&args);
+    let run_fig10 = || {
+        println!(
+            "{}",
+            experiments::format_figure10(&experiments::figure10_with_threads(scale, threads))
+        )
+    };
+    let run_fig11 = || {
+        println!(
+            "{}",
+            experiments::format_figure11(&experiments::figure11_with_threads(scale, threads))
+        )
+    };
+    let run_fig12 = || {
+        println!(
+            "{}",
+            experiments::format_figure12(&experiments::figure12_with_threads(scale, threads))
+        )
+    };
     let run_table4 = || println!("{}", experiments::format_table4(&experiments::table4()));
     match which {
         "fig10" => run_fig10(),

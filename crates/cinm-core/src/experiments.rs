@@ -1,10 +1,10 @@
 //! Experiment runners regenerating every table and figure of the paper's
 //! evaluation (Section 4).
 
-use cpu_sim::model::CpuModel;
 use cinm_ir::printer::func_lines_of_code;
 use cinm_lowering::{CimRunOptions, UpmemRunOptions};
 use cinm_workloads::{build_func, Scale, WorkloadId};
+use cpu_sim::model::CpuModel;
 
 use crate::runner;
 
@@ -44,16 +44,31 @@ pub struct Fig10Row {
 /// The Figure 10 reproduction: speedups of the four CIM configurations over
 /// the ARM in-order host, plus write-reduction and energy columns.
 pub fn figure10(scale: Scale) -> Vec<Fig10Row> {
+    figure10_with_threads(scale, 1)
+}
+
+/// [`figure10`] with an explicit host-thread count for the functional
+/// simulation: the sweep runs faster on multicore hosts, the reproduced
+/// numbers are bit-identical.
+pub fn figure10_with_threads(scale: Scale, host_threads: usize) -> Vec<Fig10Row> {
     let arm = CpuModel::arm_host();
     let mut rows = Vec::new();
     for id in WorkloadId::cim_suite() {
         let arm_seconds = runner::cpu_seconds(id, scale, &arm);
         let arm_energy = arm.energy_joules(&runner::cpu_op_counts(id, scale));
         let configs = [
-            CimRunOptions::default(),
-            CimRunOptions { min_writes: true, parallel_tiles: false },
-            CimRunOptions { min_writes: false, parallel_tiles: true },
-            CimRunOptions::optimized(),
+            CimRunOptions::default().with_host_threads(host_threads),
+            CimRunOptions {
+                min_writes: true,
+                parallel_tiles: false,
+                host_threads,
+            },
+            CimRunOptions {
+                min_writes: false,
+                parallel_tiles: true,
+                host_threads,
+            },
+            CimRunOptions::optimized().with_host_threads(host_threads),
         ];
         let mut speedups = [0.0f64; 4];
         let mut writes = [0u64; 4];
@@ -89,7 +104,13 @@ pub fn format_figure10(rows: &[Fig10Row]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:<10} {:>6.1}x {:>9.1}x {:>9.1}x {:>9.1}x {:>8.1}x {:>7.2}x\n",
-            r.workload, r.cim, r.cim_min_writes, r.cim_parallel, r.cim_opt, r.write_reduction, r.energy_gain
+            r.workload,
+            r.cim,
+            r.cim_min_writes,
+            r.cim_parallel,
+            r.cim_opt,
+            r.write_reduction,
+            r.energy_gain
         ));
     }
     let gm = |f: fn(&Fig10Row) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
@@ -132,12 +153,28 @@ impl Fig11Row {
 
 /// The Figure 11 reproduction: `cinm-{4,8,16}d` vs `cinm-opt-{4,8,16}d`.
 pub fn figure11(scale: Scale) -> Vec<Fig11Row> {
+    figure11_with_threads(scale, 1)
+}
+
+/// [`figure11`] with an explicit host-thread count for the functional
+/// simulation: the sweep runs faster on multicore hosts, the reproduced
+/// numbers are bit-identical.
+pub fn figure11_with_threads(scale: Scale, host_threads: usize) -> Vec<Fig11Row> {
     let mut rows = Vec::new();
     for id in WorkloadId::upmem_opt_suite() {
         for ranks in [4usize, 8, 16] {
-            let (_, base) = runner::run_upmem_with_stats(id, scale, ranks, UpmemRunOptions::default());
-            let (_, opt) =
-                runner::run_upmem_with_stats(id, scale, ranks, UpmemRunOptions::optimized());
+            let (_, base) = runner::run_upmem_with_stats(
+                id,
+                scale,
+                ranks,
+                UpmemRunOptions::default().with_host_threads(host_threads),
+            );
+            let (_, opt) = runner::run_upmem_with_stats(
+                id,
+                scale,
+                ranks,
+                UpmemRunOptions::optimized().with_host_threads(host_threads),
+            );
             // As in the PrIM methodology the figures report DPU kernel
             // execution time; bulk host<->MRAM loads are reported separately
             // by the simulator statistics.
@@ -207,7 +244,7 @@ pub struct Fig12Row {
 /// CINM-generated ones (documented in EXPERIMENTS.md): PrIM also blocks into
 /// WRAM, but with fixed 256-element tiles, and its histogram kernel updates a
 /// shared copy, which is where the paper observes CINM's largest win.
-fn prim_options(id: WorkloadId) -> UpmemRunOptions {
+fn prim_options(id: WorkloadId, host_threads: usize) -> UpmemRunOptions {
     let overhead = match id {
         WorkloadId::HstL => 3.4,
         WorkloadId::Mlp => 1.7,
@@ -224,19 +261,32 @@ fn prim_options(id: WorkloadId) -> UpmemRunOptions {
         tasklets: 16,
         instruction_overhead: overhead,
         wram_tile_elems: Some(256),
+        host_threads,
     }
 }
 
 /// The Figure 12 reproduction.
 pub fn figure12(scale: Scale) -> Vec<Fig12Row> {
+    figure12_with_threads(scale, 1)
+}
+
+/// [`figure12`] with an explicit host-thread count for the functional
+/// simulation: the sweep runs faster on multicore hosts, the reproduced
+/// numbers are bit-identical.
+pub fn figure12_with_threads(scale: Scale, host_threads: usize) -> Vec<Fig12Row> {
     let xeon = CpuModel::xeon_opt();
     let mut rows = Vec::new();
     for id in WorkloadId::prim_suite() {
         let cpu_ms = runner::cpu_seconds(id, scale, &xeon) * 1e3;
         for ranks in [4usize, 8, 16] {
-            let (_, prim) = runner::run_upmem_with_stats(id, scale, ranks, prim_options(id));
-            let (_, cinm) =
-                runner::run_upmem_with_stats(id, scale, ranks, UpmemRunOptions::optimized());
+            let (_, prim) =
+                runner::run_upmem_with_stats(id, scale, ranks, prim_options(id, host_threads));
+            let (_, cinm) = runner::run_upmem_with_stats(
+                id,
+                scale,
+                ranks,
+                UpmemRunOptions::optimized().with_host_threads(host_threads),
+            );
             rows.push(Fig12Row {
                 workload: id.name().to_string(),
                 ranks,
@@ -251,7 +301,8 @@ pub fn figure12(scale: Scale) -> Vec<Fig12Row> {
 
 /// Formats the Figure 12 rows with the aggregate ratios the paper reports.
 pub fn format_figure12(rows: &[Fig12Row]) -> String {
-    let mut out = String::from("Figure 12 — execution time (ms), cpu-opt vs prim-nd vs cinm-opt-nd\n");
+    let mut out =
+        String::from("Figure 12 — execution time (ms), cpu-opt vs prim-nd vs cinm-opt-nd\n");
     out.push_str("workload   ranks   cpu-opt [ms]   prim [ms]   cinm-opt [ms]\n");
     for r in rows {
         out.push_str(&format!(
@@ -261,8 +312,16 @@ pub fn format_figure12(rows: &[Fig12Row]) -> String {
     }
     for ranks in [4usize, 8, 16] {
         let sel: Vec<&Fig12Row> = rows.iter().filter(|r| r.ranks == ranks).collect();
-        let prim_vs_cpu = geomean(&sel.iter().map(|r| r.cpu_opt_ms / r.prim_ms).collect::<Vec<_>>());
-        let cinm_vs_prim = geomean(&sel.iter().map(|r| r.prim_ms / r.cinm_opt_ms).collect::<Vec<_>>());
+        let prim_vs_cpu = geomean(
+            &sel.iter()
+                .map(|r| r.cpu_opt_ms / r.prim_ms)
+                .collect::<Vec<_>>(),
+        );
+        let cinm_vs_prim = geomean(
+            &sel.iter()
+                .map(|r| r.prim_ms / r.cinm_opt_ms)
+                .collect::<Vec<_>>(),
+        );
         out.push_str(&format!(
             "{}d: prim is {:.1}x faster than cpu-opt; cinm-opt is {:.2}x faster than prim\n",
             ranks, prim_vs_cpu, cinm_vs_prim
@@ -358,7 +417,12 @@ mod tests {
         let rows = figure11(Scale::Test);
         assert_eq!(rows.len(), WorkloadId::upmem_opt_suite().len() * 3);
         for r in &rows {
-            assert!(r.cinm_opt_ms <= r.cinm_ms * 1.001, "{} {}d", r.workload, r.ranks);
+            assert!(
+                r.cinm_opt_ms <= r.cinm_ms * 1.001,
+                "{} {}d",
+                r.workload,
+                r.ranks
+            );
         }
         assert!(format_figure11(&rows).contains("geomean"));
     }
@@ -378,7 +442,12 @@ mod tests {
         let rows = table4();
         assert_eq!(rows.len(), 15);
         for r in &rows {
-            assert!(r.cinm_loc > 0 && r.cinm_loc < 80, "{}: {}", r.application, r.cinm_loc);
+            assert!(
+                r.cinm_loc > 0 && r.cinm_loc < 80,
+                "{}: {}",
+                r.application,
+                r.cinm_loc
+            );
             assert!(r.reduction() > 1.5, "{}", r.application);
         }
         let avg = geomean(&rows.iter().map(Table4Row::reduction).collect::<Vec<_>>());

@@ -2,8 +2,8 @@
 //! points.
 
 use cinm_dialects::register_all_dialects;
-use cinm_ir::prelude::*;
 use cinm_ir::pass::PipelineStats;
+use cinm_ir::prelude::*;
 use cinm_lowering::{
     CimLoweringOptions, CimToMemristorPass, CinmToCimPass, CinmToCnmPass, CnmLoweringOptions,
     CnmToUpmemPass, LinalgToCinmPass, TosaToLinalgPass, UpmemLoweringOptions,
@@ -92,7 +92,12 @@ mod tests {
 
     #[test]
     fn cim_pipeline_lowers_matmul_like_workloads() {
-        for id in [WorkloadId::Mm, WorkloadId::Conv, WorkloadId::Contrs2, WorkloadId::Mlp] {
+        for id in [
+            WorkloadId::Mm,
+            WorkloadId::Conv,
+            WorkloadId::Contrs2,
+            WorkloadId::Mlp,
+        ] {
             let mut module = Module::new(id.name());
             module.add_func(build_func(id, Scale::Test));
             let pm = cim_pipeline(CimLoweringOptions::optimized());

@@ -1,10 +1,10 @@
 //! Workload runners: execute every benchmark on the host reference, the
 //! UPMEM backend and the CIM backend, returning results and simulated costs.
 
-use cpu_sim::kernels;
-use cpu_sim::model::{CpuModel, OpCounts};
 use cinm_lowering::{CimBackend, CimRunOptions, CimRunStats, UpmemBackend, UpmemRunOptions};
 use cinm_workloads::{data, Scale, WorkloadId, WorkloadParams};
+use cpu_sim::kernels;
+use cpu_sim::model::{CpuModel, OpCounts};
 use upmem_sim::{BinOp, SystemStats};
 
 /// The input tensors of one workload instance.
@@ -64,7 +64,12 @@ pub fn inputs(id: WorkloadId, scale: Scale) -> WorkloadInputs {
 /// implementation). For the partitioned PrIM kernels (`ts`, `bfs`) the
 /// reference follows the same data partitioning as the device run, which is
 /// supplied via `partitions`.
-pub fn reference(id: WorkloadId, scale: Scale, inp: &WorkloadInputs, partitions: usize) -> Vec<i32> {
+pub fn reference(
+    id: WorkloadId,
+    scale: Scale,
+    inp: &WorkloadInputs,
+    partitions: usize,
+) -> Vec<i32> {
     let p = id.params(scale);
     let b = &inp.buffers;
     match p {
@@ -81,9 +86,14 @@ pub fn reference(id: WorkloadId, scale: Scale, inp: &WorkloadInputs, partitions:
         WorkloadParams::Conv2d { h, w, c, kh, kw, f } => {
             kernels::conv2d_nhwc_hwcf(&b[0], &b[1], 1, h, w, c, kh, kw, f)
         }
-        WorkloadParams::ContractL { a, b: bb, c, d, e, f } => {
-            kernels::contraction_contrl(&b[0], &b[1], a, bb, c, d, e, f)
-        }
+        WorkloadParams::ContractL {
+            a,
+            b: bb,
+            c,
+            d,
+            e,
+            f,
+        } => kernels::contraction_contrl(&b[0], &b[1], a, bb, c, d, e, f),
         WorkloadParams::ContractS1 { a, b: bb, c, d } => {
             kernels::contraction_contrs1(&b[0], &b[1], a, bb, c, d)
         }
@@ -91,7 +101,8 @@ pub fn reference(id: WorkloadId, scale: Scale, inp: &WorkloadInputs, partitions:
             kernels::contraction_contrs2(&b[0], &b[1], a, bb, c, d)
         }
         WorkloadParams::Mlp { batch, layers } => {
-            let l1 = kernels::fully_connected(&b[0], &b[1], &b[2], batch, layers[0], layers[1], true);
+            let l1 =
+                kernels::fully_connected(&b[0], &b[1], &b[2], batch, layers[0], layers[1], true);
             let l2 = kernels::fully_connected(&l1, &b[3], &b[4], batch, layers[1], layers[2], true);
             kernels::fully_connected(&l2, &b[5], &b[6], batch, layers[2], layers[3], false)
         }
@@ -130,9 +141,9 @@ pub fn reference(id: WorkloadId, scale: Scale, inp: &WorkloadInputs, partitions:
             }
             out
         }
-        WorkloadParams::Histogram { bins, max_value, .. } => {
-            kernels::histogram(&b[0], bins, max_value)
-        }
+        WorkloadParams::Histogram {
+            bins, max_value, ..
+        } => kernels::histogram(&b[0], bins, max_value),
         WorkloadParams::TimeSeries { len, window } => {
             // Partitioned semantics: each partition profiles its chunk.
             let chunk = len.div_ceil(partitions.max(1)).max(window);
@@ -178,7 +189,14 @@ pub fn run_upmem(
             let ow = w - kw + 1;
             backend.gemm(&patches, &b[1], oh * ow, kh * kw * c, f)
         }
-        WorkloadParams::ContractL { a, b: bb, c, d, e, f } => {
+        WorkloadParams::ContractL {
+            a,
+            b: bb,
+            c,
+            d,
+            e,
+            f,
+        } => {
             // Rewritten as GEMM over collapsed index groups. The contrl
             // kernel contracts (e, f): A[(a·b) × (e·f)], B[(e·f) × (c·d)].
             let a_mat = regroup_contrl_a(&b[0], a, bb, e, f);
@@ -251,9 +269,9 @@ pub fn run_upmem(
             }
             backend.bfs_step(&rows, &cols, &frontier, vp, degree, used)
         }
-        WorkloadParams::Histogram { bins, max_value, .. } => {
-            backend.histogram(&b[0], bins, max_value)
-        }
+        WorkloadParams::Histogram {
+            bins, max_value, ..
+        } => backend.histogram(&b[0], bins, max_value),
         WorkloadParams::TimeSeries { window, .. } => backend.time_series(&b[0], window),
     }
 }
@@ -291,7 +309,14 @@ pub fn run_cim(
             let ow = w - kw + 1;
             backend.gemm(&patches, &b[1], oh * ow, kh * kw * c, f)
         }
-        WorkloadParams::ContractL { a, b: bb, c, d, e, f } => {
+        WorkloadParams::ContractL {
+            a,
+            b: bb,
+            c,
+            d,
+            e,
+            f,
+        } => {
             let a_mat = regroup_contrl_a(&b[0], a, bb, e, f);
             let b_mat = regroup_contrl_b(&b[1], c, d, e, f);
             backend.host_fallback(OpCounts {
@@ -352,26 +377,43 @@ pub fn run_cim(
 /// Operation counts of the whole workload for the CPU roofline baselines.
 pub fn cpu_op_counts(id: WorkloadId, scale: Scale) -> OpCounts {
     let p = id.params(scale);
-    let dense = |macs: usize, elems: usize| OpCounts::dense(macs as f64, (elems * 4) as f64, (elems * 4) as f64);
+    let dense = |macs: usize, elems: usize| {
+        OpCounts::dense(macs as f64, (elems * 4) as f64, (elems * 4) as f64)
+    };
     match p {
         WorkloadParams::Gemm { m, k, n } => dense(m * k * n, m * k + k * n + m * n),
-        WorkloadParams::Gemm2 { m, k, n, p } => dense(m * k * n + m * n * p, m * k + k * n + n * p + 2 * m * p),
-        WorkloadParams::Gemm3 { m, k, n, p } => {
-            dense(m * k * n + n * k * p + m * n * p, m * k + k * n + n * k + k * p + m * p)
+        WorkloadParams::Gemm2 { m, k, n, p } => {
+            dense(m * k * n + m * n * p, m * k + k * n + n * p + 2 * m * p)
         }
+        WorkloadParams::Gemm3 { m, k, n, p } => dense(
+            m * k * n + n * k * p + m * n * p,
+            m * k + k * n + n * k + k * p + m * p,
+        ),
         WorkloadParams::Conv2d { h, w, c, kh, kw, f } => {
             let oh = h - kh + 1;
             let ow = w - kw + 1;
-            dense(oh * ow * f * kh * kw * c, h * w * c + kh * kw * c * f + oh * ow * f)
+            dense(
+                oh * ow * f * kh * kw * c,
+                h * w * c + kh * kw * c * f + oh * ow * f,
+            )
         }
-        WorkloadParams::ContractL { a, b, c, d, e, f } => {
-            dense(a * b * c * d * e * f, a * e * b * f + d * f * c * e + a * b * c * d)
+        WorkloadParams::ContractL { a, b, c, d, e, f } => dense(
+            a * b * c * d * e * f,
+            a * e * b * f + d * f * c * e + a * b * c * d,
+        ),
+        WorkloadParams::ContractS1 { a, b, c, d } => {
+            dense(a * b * c * d, a * c * d + d * b * c + a * b)
         }
-        WorkloadParams::ContractS1 { a, b, c, d } => dense(a * b * c * d, a * c * d + d * b * c + a * b),
-        WorkloadParams::ContractS2 { a, b, c, d } => dense(a * b * c * d, a * c * d + d * b + a * b * c),
+        WorkloadParams::ContractS2 { a, b, c, d } => {
+            dense(a * b * c * d, a * c * d + d * b + a * b * c)
+        }
         WorkloadParams::Mlp { batch, layers } => {
-            let macs = batch * (layers[0] * layers[1] + layers[1] * layers[2] + layers[2] * layers[3]);
-            dense(macs, batch * (layers[0] + layers[1] + layers[2] + layers[3]))
+            let macs =
+                batch * (layers[0] * layers[1] + layers[1] * layers[2] + layers[2] * layers[3]);
+            dense(
+                macs,
+                batch * (layers[0] + layers[1] + layers[2] + layers[3]),
+            )
         }
         WorkloadParams::Gemv { rows, cols } => dense(rows * cols, rows * cols + cols + rows),
         WorkloadParams::Vector { len } => OpCounts {

@@ -112,8 +112,7 @@ impl TargetSelector {
         // Greedy default policy.
         match cinm::paradigm_support(&operation.name) {
             Some(support) => {
-                let matmul_like =
-                    operation.name == cinm::GEMM || operation.name == cinm::GEMV;
+                let matmul_like = operation.name == cinm::GEMM || operation.name == cinm::GEMV;
                 if matmul_like && support.cim && elements >= self.cim_threshold_elements {
                     Target::Cim
                 } else if support.cnm {

@@ -52,7 +52,8 @@ pub fn register(registry: &mut DialectRegistry) {
 
 /// Builds `cim.acquire`, returning the device id value.
 pub fn acquire(b: &mut OpBuilder<'_>) -> ValueId {
-    b.push(OpSpec::new(ACQUIRE).result(Type::CimDeviceId)).result()
+    b.push(OpSpec::new(ACQUIRE).result(Type::CimDeviceId))
+        .result()
 }
 
 /// Builds `cim.write %tensor to %device`.
@@ -112,7 +113,8 @@ pub fn read(b: &mut OpBuilder<'_>, device: ValueId, result_type: Type) -> ValueI
 
 /// Builds `cim.barrier` on the device (and optional extra dependency values).
 pub fn barrier(b: &mut OpBuilder<'_>, deps: &[ValueId]) -> OpId {
-    b.push(OpSpec::new(BARRIER).operands(deps.iter().copied())).id
+    b.push(OpSpec::new(BARRIER).operands(deps.iter().copied()))
+        .id
 }
 
 /// Builds `cim.release %device`.
@@ -122,7 +124,8 @@ pub fn release(b: &mut OpBuilder<'_>, device: ValueId) -> OpId {
 
 /// Builds the `cim.yield` terminator of an execute region.
 pub fn yield_op(b: &mut OpBuilder<'_>, values: &[ValueId]) -> OpId {
-    b.push(OpSpec::new(YIELD).operands(values.iter().copied())).id
+    b.push(OpSpec::new(YIELD).operands(values.iter().copied()))
+        .id
 }
 
 #[cfg(test)]

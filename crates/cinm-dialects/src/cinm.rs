@@ -10,12 +10,7 @@ use cinm_ir::prelude::*;
 
 /// Element-wise arithmetic: `cinm.add`, `cinm.sub`, ... (`T × T → T`).
 pub const ELEMENTWISE_ARITH: &[&str] = &[
-    "cinm.add",
-    "cinm.sub",
-    "cinm.mul",
-    "cinm.div",
-    "cinm.min",
-    "cinm.max",
+    "cinm.add", "cinm.sub", "cinm.mul", "cinm.div", "cinm.min", "cinm.max",
 ];
 
 /// Element-wise bit-wise logic: `cinm.and`, ... (`T × T → T`; `cinm.not` is unary).
@@ -60,11 +55,20 @@ pub struct ParadigmSupport {
 
 impl ParadigmSupport {
     /// Supported on both paradigms.
-    pub const BOTH: ParadigmSupport = ParadigmSupport { cim: true, cnm: true };
+    pub const BOTH: ParadigmSupport = ParadigmSupport {
+        cim: true,
+        cnm: true,
+    };
     /// Supported only on CNM devices.
-    pub const CNM_ONLY: ParadigmSupport = ParadigmSupport { cim: false, cnm: true };
+    pub const CNM_ONLY: ParadigmSupport = ParadigmSupport {
+        cim: false,
+        cnm: true,
+    };
     /// Supported only on CIM devices.
-    pub const CIM_ONLY: ParadigmSupport = ParadigmSupport { cim: true, cnm: false };
+    pub const CIM_ONLY: ParadigmSupport = ParadigmSupport {
+        cim: true,
+        cnm: false,
+    };
 }
 
 /// Returns the Table 1 support matrix entry for a `cinm` op, or `None` if the
@@ -350,7 +354,11 @@ mod tests {
         assert_eq!(paradigm_support(GEMV), Some(ParadigmSupport::BOTH));
         // CNM-only ops.
         for op in [TRANSPOSE, HISTOGRAM, MAJORITY, TOPK, REDUCE, SCAN] {
-            assert_eq!(paradigm_support(op), Some(ParadigmSupport::CNM_ONLY), "{op}");
+            assert_eq!(
+                paradigm_support(op),
+                Some(ParadigmSupport::CNM_ONLY),
+                "{op}"
+            );
         }
         // CIM-only op.
         assert_eq!(paradigm_support(POP_COUNT), Some(ParadigmSupport::CIM_ONLY));
@@ -382,11 +390,7 @@ mod tests {
 
     #[test]
     fn misc_builders_and_verification() {
-        let mut f = Func::new(
-            "t",
-            vec![Type::tensor(&[256], ScalarType::I32); 2],
-            vec![],
-        );
+        let mut f = Func::new("t", vec![Type::tensor(&[256], ScalarType::I32); 2], vec![]);
         let (a, b_) = (f.argument(0), f.argument(1));
         let entry = f.body.entry_block();
         let mut b = OpBuilder::at_end(&mut f.body, entry);
@@ -395,17 +399,29 @@ mod tests {
         let r = reduce(&mut b, "add", a);
         assert_eq!(b.body().value_type(r), &Type::tensor(&[1], ScalarType::I32));
         let s = scan(&mut b, "add", a);
-        assert_eq!(b.body().value_type(s), &Type::tensor(&[256], ScalarType::I32));
+        assert_eq!(
+            b.body().value_type(s),
+            &Type::tensor(&[256], ScalarType::I32)
+        );
         let h = histogram(&mut b, a, 64);
-        assert_eq!(b.body().value_type(h), &Type::tensor(&[64], ScalarType::I32));
+        assert_eq!(
+            b.body().value_type(h),
+            &Type::tensor(&[64], ScalarType::I32)
+        );
         let (vals, idxs) = topk(&mut b, a, 8);
-        assert_eq!(b.body().value_type(vals), &Type::tensor(&[8], ScalarType::I32));
+        assert_eq!(
+            b.body().value_type(vals),
+            &Type::tensor(&[8], ScalarType::I32)
+        );
         assert_eq!(
             b.body().value_type(idxs),
             &Type::tensor(&[8], ScalarType::Index)
         );
         let (sv, _si) = sim_search(&mut b, "l2", 4, a, b_);
-        assert_eq!(b.body().value_type(sv), &Type::tensor(&[4], ScalarType::I32));
+        assert_eq!(
+            b.body().value_type(sv),
+            &Type::tensor(&[4], ScalarType::I32)
+        );
         let m = merge_partial(&mut b, "add", a, b_);
         assert_eq!(b.body().value_type(m), b.body().value_type(a));
         let _ = pop_count(&mut b, a);

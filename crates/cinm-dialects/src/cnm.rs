@@ -205,7 +205,8 @@ pub fn launch(b: &mut OpBuilder<'_>, wg: ValueId, buffers: &[ValueId]) -> Launch
 
 /// Builds `cnm.wait` on the given tokens.
 pub fn wait(b: &mut OpBuilder<'_>, tokens: &[ValueId]) -> OpId {
-    b.push(OpSpec::new(WAIT).operands(tokens.iter().copied())).id
+    b.push(OpSpec::new(WAIT).operands(tokens.iter().copied()))
+        .id
 }
 
 /// Builds the `cnm.terminator` of a launch region.

@@ -9,7 +9,12 @@ pub const CALL: &str = "func.call";
 
 /// Registers the `func` op constraints.
 pub fn register(registry: &mut DialectRegistry) {
-    registry.register_op(OpConstraint::new(RETURN).min_operands(0).results(0).terminator());
+    registry.register_op(
+        OpConstraint::new(RETURN)
+            .min_operands(0)
+            .results(0)
+            .terminator(),
+    );
     registry.register_op(
         OpConstraint::new(CALL)
             .min_operands(0)

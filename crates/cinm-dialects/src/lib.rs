@@ -70,7 +70,15 @@ pub fn register_all_dialects() -> DialectRegistry {
 /// device dialects last), as shown in the paper's Figure 4.
 pub fn lowering_order() -> Vec<&'static str> {
     vec![
-        "tosa", "linalg", "cinm", "cnm", "cim", "upmem", "memristor", "scf", "arith",
+        "tosa",
+        "linalg",
+        "cinm",
+        "cnm",
+        "cim",
+        "upmem",
+        "memristor",
+        "scf",
+        "arith",
     ]
 }
 
@@ -81,12 +89,28 @@ mod tests {
     #[test]
     fn all_dialects_register_without_conflicts() {
         let r = register_all_dialects();
-        for d in ["arith", "func", "tensor", "scf", "linalg", "tosa", "cinm", "cnm", "cim", "upmem", "memristor"] {
+        for d in [
+            "arith",
+            "func",
+            "tensor",
+            "scf",
+            "linalg",
+            "tosa",
+            "cinm",
+            "cnm",
+            "cim",
+            "upmem",
+            "memristor",
+        ] {
             assert!(r.has_dialect(d), "dialect {d} must be registered");
             assert!(!r.ops_of_dialect(d).is_empty(), "dialect {d} must have ops");
         }
         // Sanity: the combined registry is non-trivially large.
-        assert!(r.num_ops() > 70, "expected > 70 registered ops, got {}", r.num_ops());
+        assert!(
+            r.num_ops() > 70,
+            "expected > 70 registered ops, got {}",
+            r.num_ops()
+        );
     }
 
     #[test]

@@ -32,9 +32,7 @@ pub const GENERIC: &str = "linalg.generic";
 pub const IM2COL: &str = "linalg.im2col";
 
 /// Element-wise function kinds accepted by [`ELEMWISE_BINARY`].
-pub const ELEMWISE_FUNS: &[&str] = &[
-    "add", "sub", "mul", "div", "max", "min", "and", "or", "xor",
-];
+pub const ELEMWISE_FUNS: &[&str] = &["add", "sub", "mul", "div", "max", "min", "and", "or", "xor"];
 
 /// Registers the `linalg` op constraints.
 pub fn register(registry: &mut DialectRegistry) {
@@ -205,8 +203,13 @@ pub fn elemwise_binary(b: &mut OpBuilder<'_>, fun: &str, lhs: ValueId, rhs: Valu
 /// Builds `linalg.fill` of `init` with constant `value`.
 pub fn fill(b: &mut OpBuilder<'_>, value: i64, init: ValueId) -> ValueId {
     let ty = b.body().value_type(init).clone();
-    b.push(OpSpec::new(FILL).operand(init).attr("value", value).result(ty))
-        .result()
+    b.push(
+        OpSpec::new(FILL)
+            .operand(init)
+            .attr("value", value)
+            .result(ty),
+    )
+    .result()
 }
 
 /// Builds `linalg.transpose` with the given permutation.
@@ -298,23 +301,24 @@ mod tests {
     #[test]
     fn matvec_transpose_reduce_and_elemwise() {
         let mut f = func_with_tensors(&[&[64, 32], &[32], &[64], &[64, 32]]);
-        let (a, x, y, w) = (
-            f.argument(0),
-            f.argument(1),
-            f.argument(2),
-            f.argument(3),
-        );
+        let (a, x, y, w) = (f.argument(0), f.argument(1), f.argument(2), f.argument(3));
         let entry = f.body.entry_block();
         let mut b = OpBuilder::at_end(&mut f.body, entry);
         let mv = matvec(&mut b, a, x, y);
-        assert_eq!(b.body().value_type(mv), &Type::tensor(&[64], ScalarType::I32));
+        assert_eq!(
+            b.body().value_type(mv),
+            &Type::tensor(&[64], ScalarType::I32)
+        );
         let t = transpose(&mut b, a, &[1, 0]);
         assert_eq!(
             b.body().value_type(t),
             &Type::tensor(&[32, 64], ScalarType::I32)
         );
         let r = reduce(&mut b, "add", a, &[1]);
-        assert_eq!(b.body().value_type(r), &Type::tensor(&[64], ScalarType::I32));
+        assert_eq!(
+            b.body().value_type(r),
+            &Type::tensor(&[64], ScalarType::I32)
+        );
         let r_all = reduce(&mut b, "add", a, &[0, 1]);
         assert_eq!(
             b.body().value_type(r_all),
@@ -340,12 +344,7 @@ mod tests {
     #[test]
     fn all_built_ops_verify_against_registry() {
         let mut f = func_with_tensors(&[&[16, 16], &[16, 16], &[16, 16], &[16]]);
-        let (a, b_, c, x) = (
-            f.argument(0),
-            f.argument(1),
-            f.argument(2),
-            f.argument(3),
-        );
+        let (a, b_, c, x) = (f.argument(0), f.argument(1), f.argument(2), f.argument(3));
         let entry = f.body.entry_block();
         let mut b = OpBuilder::at_end(&mut f.body, entry);
         matmul(&mut b, a, b_, c);

@@ -69,7 +69,12 @@ pub fn register(registry: &mut DialectRegistry) {
             .results(1)
             .required_attr("tile"),
     );
-    registry.register_op(OpConstraint::new(READ_RESULT).operands(1).results(1).required_attr("tile"));
+    registry.register_op(
+        OpConstraint::new(READ_RESULT)
+            .operands(1)
+            .results(1)
+            .required_attr("tile"),
+    );
     registry.register_op(
         OpConstraint::new(MERGE_PARTIAL)
             .operands(2)
@@ -100,7 +105,12 @@ pub fn configure(
 }
 
 /// Builds `memristor.write_to_crossbar %device, %matrix_tile {tile}`.
-pub fn write_to_crossbar(b: &mut OpBuilder<'_>, device: ValueId, matrix: ValueId, tile: i64) -> OpId {
+pub fn write_to_crossbar(
+    b: &mut OpBuilder<'_>,
+    device: ValueId,
+    matrix: ValueId,
+    tile: i64,
+) -> OpId {
     b.push(
         OpSpec::new(WRITE_TO_CROSSBAR)
             .operands([device, matrix])

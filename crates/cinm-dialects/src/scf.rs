@@ -21,7 +21,12 @@ pub const PARALLEL: &str = "scf.parallel";
 /// Registers the `scf` op constraints.
 pub fn register(registry: &mut DialectRegistry) {
     registry.register_op(OpConstraint::new(FOR).min_operands(3).regions(1));
-    registry.register_op(OpConstraint::new(YIELD).min_operands(0).results(0).terminator());
+    registry.register_op(
+        OpConstraint::new(YIELD)
+            .min_operands(0)
+            .results(0)
+            .terminator(),
+    );
     registry.register_op(OpConstraint::new(IF).operands(1).regions(2));
     registry.register_op(
         OpConstraint::new(PARALLEL)
@@ -84,7 +89,8 @@ pub fn for_loop(
 
 /// Builds the `scf.yield` terminator.
 pub fn yield_values(b: &mut OpBuilder<'_>, values: &[ValueId]) -> OpId {
-    b.push(OpSpec::new(YIELD).operands(values.iter().copied())).id
+    b.push(OpSpec::new(YIELD).operands(values.iter().copied()))
+        .id
 }
 
 #[cfg(test)]

@@ -87,7 +87,10 @@ pub fn extract_slice(
     assert_eq!(shape.len(), offsets.len(), "offsets rank mismatch");
     assert_eq!(shape.len(), sizes.len(), "sizes rank mismatch");
     for ((&o, &s), &d) in offsets.iter().zip(sizes).zip(shape) {
-        assert!(o >= 0 && s >= 0 && o + s <= d, "slice [{o}, {o}+{s}) out of bounds for dim {d}");
+        assert!(
+            o >= 0 && s >= 0 && o + s <= d,
+            "slice [{o}, {o}+{s}) out of bounds for dim {d}"
+        );
     }
     let elem = src_ty.element_type().expect("shaped type has element type");
     b.push(
@@ -139,7 +142,9 @@ pub fn expand_shape(b: &mut OpBuilder<'_>, source: ValueId, result_shape: &[i64]
 
 fn reshape(b: &mut OpBuilder<'_>, op: &str, source: ValueId, result_shape: &[i64]) -> ValueId {
     let src_ty = b.body().value_type(source).clone();
-    let elem = src_ty.element_type().expect("reshape source must be shaped");
+    let elem = src_ty
+        .element_type()
+        .expect("reshape source must be shaped");
     assert_eq!(
         src_ty.num_elements(),
         result_shape.iter().product::<i64>(),
@@ -180,11 +185,7 @@ mod tests {
     use super::*;
 
     fn setup() -> (Func, ValueId) {
-        let f = Func::new(
-            "t",
-            vec![Type::tensor(&[128, 32], ScalarType::I16)],
-            vec![],
-        );
+        let f = Func::new("t", vec![Type::tensor(&[128, 32], ScalarType::I16)], vec![]);
         let arg = f.argument(0);
         (f, arg)
     }

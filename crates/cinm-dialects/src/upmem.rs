@@ -158,7 +158,12 @@ pub fn alloc_dpus(b: &mut OpBuilder<'_>, ranks: i64, dpus_per_rank: i64, tasklet
 }
 
 /// Builds `upmem.alloc_mram` of a per-DPU MRAM slice.
-pub fn alloc_mram(b: &mut OpBuilder<'_>, grid: ValueId, shape: &[i64], elem: ScalarType) -> ValueId {
+pub fn alloc_mram(
+    b: &mut OpBuilder<'_>,
+    grid: ValueId,
+    shape: &[i64],
+    elem: ScalarType,
+) -> ValueId {
     b.push(
         OpSpec::new(ALLOC_MRAM)
             .operand(grid)
@@ -255,7 +260,8 @@ pub fn launch(
 
 /// Builds `upmem.wait` on tokens.
 pub fn wait(b: &mut OpBuilder<'_>, tokens: &[ValueId]) -> OpId {
-    b.push(OpSpec::new(WAIT).operands(tokens.iter().copied())).id
+    b.push(OpSpec::new(WAIT).operands(tokens.iter().copied()))
+        .id
 }
 
 /// Builds `upmem.free_dpus %grid`.
@@ -265,19 +271,24 @@ pub fn free_dpus(b: &mut OpBuilder<'_>, grid: ValueId) -> OpId {
 
 /// Builds `upmem.wram_alloc` of a WRAM scratchpad buffer.
 pub fn wram_alloc(b: &mut OpBuilder<'_>, shape: &[i64], elem: ScalarType) -> ValueId {
-    b.push(
-        OpSpec::new(WRAM_ALLOC).result(Type::memref_in(shape, elem, MemorySpace::Wram)),
-    )
-    .result()
+    b.push(OpSpec::new(WRAM_ALLOC).result(Type::memref_in(shape, elem, MemorySpace::Wram)))
+        .result()
 }
 
 /// Builds `upmem.tasklet_id`.
 pub fn tasklet_id(b: &mut OpBuilder<'_>) -> ValueId {
-    b.push(OpSpec::new(TASKLET_ID).result(Type::index())).result()
+    b.push(OpSpec::new(TASKLET_ID).result(Type::index()))
+        .result()
 }
 
 /// Builds `upmem.mram_read %mram[%offset] -> %wram` moving `bytes` bytes.
-pub fn mram_read(b: &mut OpBuilder<'_>, mram: ValueId, wram: ValueId, offset: ValueId, bytes: i64) -> OpId {
+pub fn mram_read(
+    b: &mut OpBuilder<'_>,
+    mram: ValueId,
+    wram: ValueId,
+    offset: ValueId,
+    bytes: i64,
+) -> OpId {
     b.push(
         OpSpec::new(MRAM_READ)
             .operands([mram, wram, offset])
@@ -287,7 +298,13 @@ pub fn mram_read(b: &mut OpBuilder<'_>, mram: ValueId, wram: ValueId, offset: Va
 }
 
 /// Builds `upmem.mram_write %wram -> %mram[%offset]` moving `bytes` bytes.
-pub fn mram_write(b: &mut OpBuilder<'_>, wram: ValueId, mram: ValueId, offset: ValueId, bytes: i64) -> OpId {
+pub fn mram_write(
+    b: &mut OpBuilder<'_>,
+    wram: ValueId,
+    mram: ValueId,
+    offset: ValueId,
+    bytes: i64,
+) -> OpId {
     b.push(
         OpSpec::new(MRAM_WRITE)
             .operands([wram, mram, offset])
@@ -302,7 +319,13 @@ pub fn dot_product(b: &mut OpBuilder<'_>, a: ValueId, rhs: ValueId, acc: ValueId
 }
 
 /// Builds `upmem.vector_op #kind %a, %b into %out`.
-pub fn vector_op(b: &mut OpBuilder<'_>, kind: &str, a: ValueId, rhs: ValueId, out: ValueId) -> OpId {
+pub fn vector_op(
+    b: &mut OpBuilder<'_>,
+    kind: &str,
+    a: ValueId,
+    rhs: ValueId,
+    out: ValueId,
+) -> OpId {
     b.push(
         OpSpec::new(VECTOR_OP)
             .operands([a, rhs, out])
@@ -313,7 +336,8 @@ pub fn vector_op(b: &mut OpBuilder<'_>, kind: &str, a: ValueId, rhs: ValueId, ou
 
 /// Builds `upmem.barrier_wait` on the named barrier.
 pub fn barrier_wait(b: &mut OpBuilder<'_>, barrier: &str) -> OpId {
-    b.push(OpSpec::new(BARRIER_WAIT).attr("barrier", barrier)).id
+    b.push(OpSpec::new(BARRIER_WAIT).attr("barrier", barrier))
+        .id
 }
 
 /// Builds the launch-region terminator.
@@ -351,10 +375,7 @@ mod tests {
         let entry = f.body.entry_block();
         let mut b = OpBuilder::at_end(&mut f.body, entry);
         let grid = alloc_dpus(&mut b, 4, arch::DPUS_PER_DIMM as i64, 16);
-        assert_eq!(
-            b.body().value_type(grid),
-            &Type::cnm_workgroup(&[512, 16])
-        );
+        assert_eq!(b.body().value_type(grid), &Type::cnm_workgroup(&[512, 16]));
         let mram = alloc_mram(&mut b, grid, &[4, 64], ScalarType::I32);
         let map = AffineMap::tiling(&[4, 64]);
         let tok = scatter(&mut b, a, mram, grid, map.clone());

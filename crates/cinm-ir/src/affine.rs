@@ -37,11 +37,13 @@ impl AffineExpr {
     }
 
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: AffineExpr) -> Self {
         AffineExpr::Add(Box::new(self), Box::new(rhs))
     }
 
     /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: AffineExpr) -> Self {
         AffineExpr::Mul(Box::new(self), Box::new(rhs))
     }

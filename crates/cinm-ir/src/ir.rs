@@ -278,7 +278,13 @@ impl Body {
         // Results.
         let mut results = Vec::with_capacity(result_types.len());
         for (i, ty) in result_types.into_iter().enumerate() {
-            results.push(self.push_value(ty, ValueKind::OpResult { op: op_id, index: i }));
+            results.push(self.push_value(
+                ty,
+                ValueKind::OpResult {
+                    op: op_id,
+                    index: i,
+                },
+            ));
         }
         // Reserve the slot before creating regions so region parent ids are valid.
         self.ops.push(Some(OpSlot {
@@ -692,7 +698,10 @@ mod tests {
         let walked = f.body.walk();
         assert_eq!(walked, vec![launch, inner]);
         assert_eq!(f.body.ops_in_dialect("arith"), vec![inner]);
-        assert_eq!(f.body.region_parent(f.body.op(launch).regions[0]), Some(launch));
+        assert_eq!(
+            f.body.region_parent(f.body.op(launch).regions[0]),
+            Some(launch)
+        );
         assert_eq!(f.body.num_live_ops(), 2);
     }
 
@@ -782,10 +791,10 @@ mod tests {
         m.add_func(Func::new("b", vec![], vec![]));
         assert!(m.func("a").is_some());
         assert!(m.func("c").is_none());
-        m.func_mut("b").unwrap().attrs.insert(
-            "cinm.target".into(),
-            Attribute::Str("upmem".into()),
-        );
+        m.func_mut("b")
+            .unwrap()
+            .attrs
+            .insert("cinm.target".into(), Attribute::Str("upmem".into()));
         assert_eq!(m.func("b").unwrap().attrs.len(), 1);
     }
 

@@ -68,7 +68,9 @@ pub mod prelude {
     pub use crate::attributes::Attribute;
     pub use crate::builder::{BuiltOp, OpBuilder, OpSpec};
     pub use crate::error::{IrError, IrResult};
-    pub use crate::ir::{BlockId, Body, Func, Module, OpId, Operation, RegionId, ValueId, ValueKind};
+    pub use crate::ir::{
+        BlockId, Body, Func, Module, OpId, Operation, RegionId, ValueId, ValueKind,
+    };
     pub use crate::pass::{Pass, PassManager, PassResult};
     pub use crate::printer::{func_lines_of_code, print_func, print_module};
     pub use crate::registry::{verify_func, verify_module, DialectRegistry, OpConstraint};

@@ -129,9 +129,9 @@ impl PassManager {
         for pass in &self.passes {
             let mut changed_funcs = 0;
             for func in module.funcs.iter_mut() {
-                let result = pass
-                    .run_on_func(func)
-                    .map_err(|e| e.with_context(format!("pass '{}' on @{}", pass.name(), func.name)))?;
+                let result = pass.run_on_func(func).map_err(|e| {
+                    e.with_context(format!("pass '{}' on @{}", pass.name(), func.name))
+                })?;
                 if result.changed() {
                     changed_funcs += 1;
                 }

@@ -100,7 +100,11 @@ impl<'a> Printer<'a> {
             }
             attrs.push('}');
         }
-        let _ = writeln!(self.out, "func.func @{}({sig}){results}{attrs} {{", func.name);
+        let _ = writeln!(
+            self.out,
+            "func.func @{}({sig}){results}{attrs} {{",
+            func.name
+        );
         self.print_region_body(self.body.block_region(entry), 1, true);
         let _ = writeln!(self.out, "}}");
     }
@@ -237,7 +241,9 @@ mod tests {
         let f = gemm_func();
         let text = print_func(&f);
         assert!(text.starts_with("func.func @matmul(%0: tensor<64x64xi32>, %1: tensor<64x64xi32>) -> (tensor<64x64xi32>) {"));
-        assert!(text.contains("%2 = cinm.gemm %0, %1 : (tensor<64x64xi32>, tensor<64x64xi32>) -> (tensor<64x64xi32>)"));
+        assert!(text.contains(
+            "%2 = cinm.gemm %0, %1 : (tensor<64x64xi32>, tensor<64x64xi32>) -> (tensor<64x64xi32>)"
+        ));
         assert!(text.contains("func.return %2"));
         assert!(text.trim_end().ends_with('}'));
     }

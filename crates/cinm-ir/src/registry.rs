@@ -325,7 +325,10 @@ fn verify_op(
                     operation.name
                 )));
             }
-            if !registry.allow_unregistered && !registry.has_dialect(dialect) && registry.num_ops() > 0 {
+            if !registry.allow_unregistered
+                && !registry.has_dialect(dialect)
+                && registry.num_ops() > 0
+            {
                 return Err(IrError::new(format!(
                     "op '{}' belongs to unregistered dialect '{dialect}'",
                     operation.name
@@ -362,7 +365,12 @@ mod tests {
     fn registry() -> DialectRegistry {
         let mut r = DialectRegistry::new();
         r.register_op(OpConstraint::new("test.binary").operands(2).results(1));
-        r.register_op(OpConstraint::new("test.ret").min_operands(0).results(0).terminator());
+        r.register_op(
+            OpConstraint::new("test.ret")
+                .min_operands(0)
+                .results(0)
+                .terminator(),
+        );
         r.register_op(
             OpConstraint::new("test.tiled")
                 .operands(1)
@@ -434,7 +442,14 @@ mod tests {
     fn rejects_unknown_op_in_registered_dialect() {
         let mut f = Func::new("bad", vec![], vec![]);
         let entry = f.body.entry_block();
-        f.body.append_op(entry, "test.unknown", vec![], vec![], BTreeMap::new(), vec![]);
+        f.body.append_op(
+            entry,
+            "test.unknown",
+            vec![],
+            vec![],
+            BTreeMap::new(),
+            vec![],
+        );
         let err = verify_func(&f, &registry()).unwrap_err();
         assert!(err.to_string().contains("unknown op"));
     }
@@ -443,7 +458,8 @@ mod tests {
     fn allows_unregistered_when_configured() {
         let mut f = Func::new("ok", vec![], vec![]);
         let entry = f.body.entry_block();
-        f.body.append_op(entry, "other.op", vec![], vec![], BTreeMap::new(), vec![]);
+        f.body
+            .append_op(entry, "other.op", vec![], vec![], BTreeMap::new(), vec![]);
         let mut r = registry();
         assert!(verify_func(&f, &r).is_err());
         r.allow_unregistered = true;
@@ -454,7 +470,8 @@ mod tests {
     fn empty_registry_accepts_everything() {
         let mut f = Func::new("ok", vec![], vec![]);
         let entry = f.body.entry_block();
-        f.body.append_op(entry, "any.op", vec![], vec![], BTreeMap::new(), vec![]);
+        f.body
+            .append_op(entry, "any.op", vec![], vec![], BTreeMap::new(), vec![]);
         assert!(verify_func(&f, &DialectRegistry::new()).is_ok());
     }
 
@@ -473,8 +490,15 @@ mod tests {
             vec![],
         );
         let v = f.body.result(def, 0);
-        f.body
-            .insert_op(entry, 0, "test.binary", vec![v, v], vec![Type::i32()], BTreeMap::new(), vec![]);
+        f.body.insert_op(
+            entry,
+            0,
+            "test.binary",
+            vec![v, v],
+            vec![Type::i32()],
+            BTreeMap::new(),
+            vec![],
+        );
         let mut r = DialectRegistry::new();
         r.allow_unregistered = true;
         let err = verify_func(&f, &r).unwrap_err();

@@ -217,10 +217,7 @@ mod tests {
         // The use op now consumes the result of the second single op.
         let use_op = f.body.ops_with_name("x.use")[0];
         let singles = f.body.ops_with_name("x.single");
-        assert_eq!(
-            f.body.op(use_op).operands[0],
-            f.body.result(singles[1], 0)
-        );
+        assert_eq!(f.body.op(use_op).operands[0], f.body.result(singles[1], 0));
     }
 
     #[test]

@@ -15,6 +15,17 @@ use upmem_sim::{BinOp, DpuKernelKind, KernelSpec, SystemStats, UpmemConfig, Upme
 
 use crate::tiling::{interchange, tile_2d, wram_tile_elems, TileShape};
 
+/// Merges the two `host_threads` knobs (simulator config and run options):
+/// `0` means "all cores" and wins; otherwise the larger explicit request
+/// wins, so a default of `1` on either side never lowers the other.
+fn effective_host_threads(config: usize, options: usize) -> usize {
+    if config == 0 || options == 0 {
+        0
+    } else {
+        config.max(options)
+    }
+}
+
 /// Options describing how CINM generated the UPMEM code.
 #[derive(Debug, Clone)]
 pub struct UpmemRunOptions {
@@ -27,6 +38,11 @@ pub struct UpmemRunOptions {
     pub instruction_overhead: f64,
     /// WRAM tile size override in elements (`None` = derived from WRAM size).
     pub wram_tile_elems: Option<usize>,
+    /// Host worker threads for the functional simulation (`0` = all
+    /// available cores, `1` = sequential). Applied to the simulator
+    /// configuration by both constructors; changes only simulator wall-clock
+    /// time, never results or simulated statistics.
+    pub host_threads: usize,
 }
 
 impl Default for UpmemRunOptions {
@@ -36,6 +52,7 @@ impl Default for UpmemRunOptions {
             tasklets: 16,
             instruction_overhead: 1.0,
             wram_tile_elems: None,
+            host_threads: 1,
         }
     }
 }
@@ -47,6 +64,12 @@ impl UpmemRunOptions {
             locality_optimized: true,
             ..Default::default()
         }
+    }
+
+    /// Overrides the number of host worker threads (`0` = all cores).
+    pub fn with_host_threads(mut self, host_threads: usize) -> Self {
+        self.host_threads = host_threads;
+        self
     }
 }
 
@@ -60,15 +83,21 @@ pub struct UpmemBackend {
 impl UpmemBackend {
     /// Creates a backend for a machine with the given number of DIMMs.
     pub fn new(ranks: usize, options: UpmemRunOptions) -> Self {
-        let config = UpmemConfig::with_ranks(ranks).with_tasklets(options.tasklets);
+        let config = UpmemConfig::with_ranks(ranks)
+            .with_tasklets(options.tasklets)
+            .with_host_threads(options.host_threads);
         UpmemBackend {
             system: UpmemSystem::new(config),
             options,
         }
     }
 
-    /// Creates a backend from an explicit configuration.
+    /// Creates a backend from an explicit configuration. The effective
+    /// host-thread count is the larger of the configuration's and the
+    /// options' knob, so neither side can silently lower an explicit choice.
     pub fn with_config(config: UpmemConfig, options: UpmemRunOptions) -> Self {
+        let threads = effective_host_threads(config.host_threads, options.host_threads);
+        let config = config.with_host_threads(threads);
         UpmemBackend {
             system: UpmemSystem::new(config),
             options,
@@ -120,18 +149,33 @@ impl UpmemBackend {
         assert_eq!(b.len(), k * n, "rhs shape mismatch");
         let dpus = self.system.num_dpus();
         let rows_per_dpu = m.div_ceil(dpus).max(1);
-        let a_buf = self.system.alloc_buffer(rows_per_dpu * k).expect("MRAM alloc");
+        let a_buf = self
+            .system
+            .alloc_buffer(rows_per_dpu * k)
+            .expect("MRAM alloc");
         let b_buf = self.system.alloc_buffer(k * n).expect("MRAM alloc");
-        let c_buf = self.system.alloc_buffer(rows_per_dpu * n).expect("MRAM alloc");
-        self.system.scatter_i32(a_buf, a, rows_per_dpu * k).expect("scatter");
+        let c_buf = self
+            .system
+            .alloc_buffer(rows_per_dpu * n)
+            .expect("MRAM alloc");
+        self.system
+            .scatter_i32(a_buf, a, rows_per_dpu * k)
+            .expect("scatter");
         self.system.broadcast_i32(b_buf, b).expect("broadcast");
         let spec = self.spec(
-            DpuKernelKind::Gemm { m: rows_per_dpu, k, n },
+            DpuKernelKind::Gemm {
+                m: rows_per_dpu,
+                k,
+                n,
+            },
             vec![a_buf, b_buf],
             c_buf,
         );
         self.system.launch(&spec).expect("launch");
-        let (mut c, _) = self.system.gather_i32(c_buf, rows_per_dpu * n).expect("gather");
+        let (mut c, _) = self
+            .system
+            .gather_i32(c_buf, rows_per_dpu * n)
+            .expect("gather");
         c.truncate(m * n);
         c
     }
@@ -142,13 +186,21 @@ impl UpmemBackend {
         assert_eq!(x.len(), cols, "vector shape mismatch");
         let dpus = self.system.num_dpus();
         let rows_per_dpu = rows.div_ceil(dpus).max(1);
-        let a_buf = self.system.alloc_buffer(rows_per_dpu * cols).expect("MRAM alloc");
+        let a_buf = self
+            .system
+            .alloc_buffer(rows_per_dpu * cols)
+            .expect("MRAM alloc");
         let x_buf = self.system.alloc_buffer(cols).expect("MRAM alloc");
         let y_buf = self.system.alloc_buffer(rows_per_dpu).expect("MRAM alloc");
-        self.system.scatter_i32(a_buf, a, rows_per_dpu * cols).expect("scatter");
+        self.system
+            .scatter_i32(a_buf, a, rows_per_dpu * cols)
+            .expect("scatter");
         self.system.broadcast_i32(x_buf, x).expect("broadcast");
         let spec = self.spec(
-            DpuKernelKind::Gemv { rows: rows_per_dpu, cols },
+            DpuKernelKind::Gemv {
+                rows: rows_per_dpu,
+                cols,
+            },
             vec![a_buf, x_buf],
             y_buf,
         );
@@ -168,7 +220,11 @@ impl UpmemBackend {
         let c_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
         self.system.scatter_i32(a_buf, a, chunk).expect("scatter");
         self.system.scatter_i32(b_buf, b, chunk).expect("scatter");
-        let spec = self.spec(DpuKernelKind::Elementwise { op, len: chunk }, vec![a_buf, b_buf], c_buf);
+        let spec = self.spec(
+            DpuKernelKind::Elementwise { op, len: chunk },
+            vec![a_buf, b_buf],
+            c_buf,
+        );
         self.system.launch(&spec).expect("launch");
         let (mut c, _) = self.system.gather_i32(c_buf, chunk).expect("gather");
         c.truncate(a.len());
@@ -204,7 +260,11 @@ impl UpmemBackend {
         let h_buf = self.system.alloc_buffer(bins).expect("MRAM alloc");
         self.system.scatter_i32(a_buf, a, chunk).expect("scatter");
         let spec = self.spec(
-            DpuKernelKind::Histogram { bins, len: chunk, max_value },
+            DpuKernelKind::Histogram {
+                bins,
+                len: chunk,
+                max_value,
+            },
             vec![a_buf],
             h_buf,
         );
@@ -230,7 +290,14 @@ impl UpmemBackend {
         let a_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
         let o_buf = self.system.alloc_buffer(chunk + 1).expect("MRAM alloc");
         self.system.scatter_i32(a_buf, a, chunk).expect("scatter");
-        let spec = self.spec(DpuKernelKind::Select { len: chunk, threshold }, vec![a_buf], o_buf);
+        let spec = self.spec(
+            DpuKernelKind::Select {
+                len: chunk,
+                threshold,
+            },
+            vec![a_buf],
+            o_buf,
+        );
         self.system.launch(&spec).expect("launch");
         let (raw, _) = self.system.gather_i32(o_buf, chunk + 1).expect("gather");
         let mut out = Vec::new();
@@ -261,7 +328,11 @@ impl UpmemBackend {
         let positions = chunk - window + 1;
         let o_buf = self.system.alloc_buffer(positions).expect("MRAM alloc");
         self.system.scatter_i32(a_buf, a, chunk).expect("scatter");
-        let spec = self.spec(DpuKernelKind::TimeSeries { len: chunk, window }, vec![a_buf], o_buf);
+        let spec = self.spec(
+            DpuKernelKind::TimeSeries { len: chunk, window },
+            vec![a_buf],
+            o_buf,
+        );
         self.system.launch(&spec).expect("launch");
         let (out, _) = self.system.gather_i32(o_buf, positions).expect("gather");
         let used_dpus = a.len().div_ceil(chunk);
@@ -279,13 +350,22 @@ impl UpmemBackend {
         avg_degree: usize,
         used_dpus: usize,
     ) -> Vec<i32> {
-        let r_buf = self.system.alloc_buffer(vertices_per_dpu + 1).expect("MRAM alloc");
+        let r_buf = self
+            .system
+            .alloc_buffer(vertices_per_dpu + 1)
+            .expect("MRAM alloc");
         let c_buf = self
             .system
             .alloc_buffer(vertices_per_dpu * avg_degree)
             .expect("MRAM alloc");
-        let f_buf = self.system.alloc_buffer(vertices_per_dpu).expect("MRAM alloc");
-        let n_buf = self.system.alloc_buffer(vertices_per_dpu).expect("MRAM alloc");
+        let f_buf = self
+            .system
+            .alloc_buffer(vertices_per_dpu)
+            .expect("MRAM alloc");
+        let n_buf = self
+            .system
+            .alloc_buffer(vertices_per_dpu)
+            .expect("MRAM alloc");
         self.system
             .scatter_i32(r_buf, row_offsets, vertices_per_dpu + 1)
             .expect("scatter");
@@ -296,24 +376,44 @@ impl UpmemBackend {
             .scatter_i32(f_buf, frontier, vertices_per_dpu)
             .expect("scatter");
         let spec = self.spec(
-            DpuKernelKind::BfsStep { vertices: vertices_per_dpu, avg_degree },
+            DpuKernelKind::BfsStep {
+                vertices: vertices_per_dpu,
+                avg_degree,
+            },
             vec![r_buf, c_buf, f_buf],
             n_buf,
         );
         self.system.launch(&spec).expect("launch");
-        let (next, _) = self.system.gather_i32(n_buf, vertices_per_dpu).expect("gather");
+        let (next, _) = self
+            .system
+            .gather_i32(n_buf, vertices_per_dpu)
+            .expect("gather");
         next[..used_dpus * vertices_per_dpu].to_vec()
     }
 }
 
 /// Options describing how CINM generated the memristor code
 /// (the Figure 10 configurations).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct CimRunOptions {
     /// Loop interchange to minimise crossbar writes (`cim-min-writes`).
     pub min_writes: bool,
     /// Unroll the inner tile loop over all crossbar tiles (`cim-parallel`).
     pub parallel_tiles: bool,
+    /// Host worker threads for the functional simulation (`0` = all
+    /// available cores, `1` = sequential). Changes only simulator wall-clock
+    /// time, never results or simulated statistics.
+    pub host_threads: usize,
+}
+
+impl Default for CimRunOptions {
+    fn default() -> Self {
+        CimRunOptions {
+            min_writes: false,
+            parallel_tiles: false,
+            host_threads: 1,
+        }
+    }
 }
 
 impl CimRunOptions {
@@ -322,7 +422,14 @@ impl CimRunOptions {
         CimRunOptions {
             min_writes: true,
             parallel_tiles: true,
+            ..Default::default()
         }
+    }
+
+    /// Overrides the number of host worker threads (`0` = all cores).
+    pub fn with_host_threads(mut self, host_threads: usize) -> Self {
+        self.host_threads = host_threads;
+        self
     }
 }
 
@@ -369,8 +476,13 @@ impl CimBackend {
         Self::with_config(CrossbarConfig::default(), options)
     }
 
-    /// Creates a backend with an explicit crossbar configuration.
+    /// Creates a backend with an explicit crossbar configuration. The
+    /// effective host-thread count is the larger of the configuration's and
+    /// the options' knob, so neither side can silently lower an explicit
+    /// choice.
     pub fn with_config(config: CrossbarConfig, options: CimRunOptions) -> Self {
+        let threads = effective_host_threads(config.host_threads, options.host_threads);
+        let config = config.with_host_threads(threads);
         CimBackend {
             xbar: CrossbarAccelerator::new(config),
             host: CpuModel::arm_host(),
@@ -433,9 +545,16 @@ impl CimBackend {
         let b_tiles = tile_2d(k, n, TileShape::Box { tile });
         let row_bands = m.div_ceil(tile).max(1);
         // Group consecutive B tiles for parallel execution across crossbars.
-        let group = if self.options.parallel_tiles { num_tiles } else { 1 };
+        let group = if self.options.parallel_tiles {
+            num_tiles
+        } else {
+            1
+        };
         let batches: Vec<Vec<crate::tiling::Tile>> = if self.options.min_writes {
-            interchange(&b_tiles).chunks(group).map(|c| c.to_vec()).collect()
+            interchange(&b_tiles)
+                .chunks(group)
+                .map(|c| c.to_vec())
+                .collect()
         } else {
             b_tiles.chunks(group).map(|c| c.to_vec()).collect()
         };
@@ -546,8 +665,7 @@ impl CimBackend {
         // A tiles directly, so we compute row by row: treat x as the
         // stationary operand is not possible; instead compute C = A × X with
         // X = x as a cols×1 matrix.
-        let c = self.gemm(a, x, rows, cols, 1);
-        c
+        self.gemm(a, x, rows, cols, 1)
     }
 }
 
@@ -579,19 +697,28 @@ mod tests {
         let a: Vec<i32> = (0..rows * cols).map(|i| (i % 11) as i32 - 5).collect();
         let x: Vec<i32> = (0..cols).map(|i| (i % 5) as i32 - 2).collect();
         let mut be = small_upmem(1, UpmemRunOptions::optimized());
-        assert_eq!(be.gemv(&a, &x, rows, cols), kernels::matvec(&a, &x, rows, cols));
+        assert_eq!(
+            be.gemv(&a, &x, rows, cols),
+            kernels::matvec(&a, &x, rows, cols)
+        );
 
-        let v: Vec<i32> = (0..777).map(|i| i as i32 - 300).collect();
-        let w: Vec<i32> = (0..777).map(|i| (i * 3) as i32).collect();
-        assert_eq!(be.elementwise(BinOp::Add, &v, &w), kernels::vector_add(&v, &w));
+        let v: Vec<i32> = (0..777).map(|i| i - 300).collect();
+        let w: Vec<i32> = (0..777).map(|i| i * 3).collect();
+        assert_eq!(
+            be.elementwise(BinOp::Add, &v, &w),
+            kernels::vector_add(&v, &w)
+        );
     }
 
     #[test]
     fn upmem_reduce_histogram_select_match_reference() {
-        let data: Vec<i32> = (0..1000).map(|i| (i * 37 % 256) as i32).collect();
+        let data: Vec<i32> = (0..1000).map(|i| i * 37 % 256).collect();
         let mut be = small_upmem(1, UpmemRunOptions::default());
         assert_eq!(be.reduce(BinOp::Add, &data), kernels::reduce_add(&data));
-        assert_eq!(be.histogram(&data, 16, 256), kernels::histogram(&data, 16, 256));
+        assert_eq!(
+            be.histogram(&data, 16, 256),
+            kernels::histogram(&data, 16, 256)
+        );
         assert_eq!(be.select(&data, 200), kernels::select_gt(&data, 200));
     }
 
@@ -618,7 +745,11 @@ mod tests {
         let b: Vec<i32> = (0..k * n).map(|i| (i % 6) as i32 - 2).collect();
         let reference = kernels::matmul(&a, &b, m, k, n);
         for (mw, pt) in [(false, false), (true, false), (false, true), (true, true)] {
-            let mut be = CimBackend::new(CimRunOptions { min_writes: mw, parallel_tiles: pt });
+            let mut be = CimBackend::new(CimRunOptions {
+                min_writes: mw,
+                parallel_tiles: pt,
+                ..Default::default()
+            });
             let c = be.gemm(&a, &b, m, k, n);
             assert_eq!(c, reference, "min_writes={mw} parallel={pt}");
         }
@@ -630,7 +761,11 @@ mod tests {
         let a = vec![1i32; m * k];
         let b = vec![1i32; k * n];
         let mut base = CimBackend::new(CimRunOptions::default());
-        let mut minw = CimBackend::new(CimRunOptions { min_writes: true, parallel_tiles: false });
+        let mut minw = CimBackend::new(CimRunOptions {
+            min_writes: true,
+            parallel_tiles: false,
+            ..Default::default()
+        });
         base.gemm(&a, &b, m, k, n);
         minw.gemm(&a, &b, m, k, n);
         let w_base = base.stats().xbar.tile_writes;
@@ -644,13 +779,15 @@ mod tests {
         let (m, k, n) = (128, 256, 256);
         let a = vec![1i32; m * k];
         let b = vec![1i32; k * n];
-        let mut serial = CimBackend::new(CimRunOptions { min_writes: true, parallel_tiles: false });
+        let mut serial = CimBackend::new(CimRunOptions {
+            min_writes: true,
+            parallel_tiles: false,
+            ..Default::default()
+        });
         let mut parallel = CimBackend::new(CimRunOptions::optimized());
         serial.gemm(&a, &b, m, k, n);
         parallel.gemm(&a, &b, m, k, n);
-        assert!(
-            parallel.stats().xbar.compute_seconds < serial.stats().xbar.compute_seconds
-        );
+        assert!(parallel.stats().xbar.compute_seconds < serial.stats().xbar.compute_seconds);
     }
 
     #[test]
@@ -659,6 +796,9 @@ mod tests {
         let a: Vec<i32> = (0..rows * cols).map(|i| (i % 5) as i32 - 2).collect();
         let x: Vec<i32> = (0..cols).map(|i| (i % 3) as i32).collect();
         let mut be = CimBackend::new(CimRunOptions::optimized());
-        assert_eq!(be.gemv(&a, &x, rows, cols), kernels::matvec(&a, &x, rows, cols));
+        assert_eq!(
+            be.gemv(&a, &x, rows, cols),
+            kernels::matvec(&a, &x, rows, cols)
+        );
     }
 }

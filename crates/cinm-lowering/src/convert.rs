@@ -12,8 +12,8 @@
 //! * [`CnmToUpmemPass`] / [`CimToMemristorPass`] — map the paradigm
 //!   abstractions onto the device dialects.
 
-use cinm_ir::prelude::*;
 use cinm_dialects::{cim, cinm, cnm, linalg, memristor, tensor, tosa, upmem};
+use cinm_ir::prelude::*;
 
 use crate::tiling::wram_tile_elems;
 
@@ -207,7 +207,15 @@ impl Pass for LinalgToCinmPass {
                     let ops = func.body.op(op).operands.clone();
                     let result = func.body.op(op).results[0];
                     let ty = func.body.value_type(result).clone();
-                    replace_with_gemm_plus_init(&mut func.body, op, ops[0], ops[1], Some(ops[2]), result, ty);
+                    replace_with_gemm_plus_init(
+                        &mut func.body,
+                        op,
+                        ops[0],
+                        ops[1],
+                        Some(ops[2]),
+                        result,
+                        ty,
+                    );
                     changed = true;
                 }
                 linalg::MATVEC => {
@@ -219,7 +227,9 @@ impl Pass for LinalgToCinmPass {
                     let mut b = OpBuilder::at_end(&mut func.body, block);
                     let gemv = b.push_at(
                         index,
-                        OpSpec::new(cinm::GEMV).operands([ops[0], ops[1]]).result(ty.clone()),
+                        OpSpec::new(cinm::GEMV)
+                            .operands([ops[0], ops[1]])
+                            .result(ty.clone()),
                     );
                     let add = b.push_at(
                         index + 1,
@@ -248,7 +258,9 @@ impl Pass for LinalgToCinmPass {
                     let cinm_name = format!("cinm.{fun}");
                     let new = b.push_at(
                         index,
-                        OpSpec::new(&cinm_name).operands([ops[0], ops[1]]).result(ty),
+                        OpSpec::new(&cinm_name)
+                            .operands([ops[0], ops[1]])
+                            .result(ty),
                     );
                     let new_result = new.result();
                     func.body.replace_all_uses(result, new_result);
@@ -338,12 +350,16 @@ fn replace_with_gemm_plus_init(
     let mut builder = OpBuilder::at_end(body, block);
     let gemm = builder.push_at(
         index,
-        OpSpec::new(cinm::GEMM).operands([a, b_val]).result(ty.clone()),
+        OpSpec::new(cinm::GEMM)
+            .operands([a, b_val])
+            .result(ty.clone()),
     );
     let new_result = if let (Some(init), false) = (init, init_is_zero_splat) {
         let add = builder.push_at(
             index + 1,
-            OpSpec::new("cinm.add").operands([gemm.result(), init]).result(ty),
+            OpSpec::new("cinm.add")
+                .operands([gemm.result(), init])
+                .result(ty),
         );
         add.result()
     } else {
@@ -786,10 +802,7 @@ fn lower_cinm_op_to_cim(body: &mut Body, op: OpId, options: &CimLoweringOptions)
     let index = body.op_index_in_block(op);
 
     let mut b = OpBuilder::at_end(body, block);
-    let device = b.push_at(
-        index,
-        OpSpec::new(cim::ACQUIRE).result(Type::CimDeviceId),
-    );
+    let device = b.push_at(index, OpSpec::new(cim::ACQUIRE).result(Type::CimDeviceId));
     let mut exec_spec = OpSpec::new(cim::EXECUTE)
         .operand(device.result())
         .operands(operands.iter().copied())
@@ -822,8 +835,14 @@ fn lower_cinm_op_to_cim(body: &mut Body, op: OpId, options: &CimLoweringOptions)
         );
         eb.push(OpSpec::new(cim::YIELD).operand(inner.result()));
     }
-    b.push_at(index + 2, OpSpec::new(cim::BARRIER).operand(device.result()));
-    b.push_at(index + 3, OpSpec::new(cim::RELEASE).operand(device.result()));
+    b.push_at(
+        index + 2,
+        OpSpec::new(cim::BARRIER).operand(device.result()),
+    );
+    b.push_at(
+        index + 3,
+        OpSpec::new(cim::RELEASE).operand(device.result()),
+    );
 
     let new_result = exec.results[0];
     body.replace_all_uses(result, new_result);
@@ -846,7 +865,10 @@ pub struct UpmemLoweringOptions {
 
 impl Default for UpmemLoweringOptions {
     fn default() -> Self {
-        UpmemLoweringOptions { ranks: 4, tasklets: 16 }
+        UpmemLoweringOptions {
+            ranks: 4,
+            tasklets: 16,
+        }
     }
 }
 
@@ -1137,9 +1159,12 @@ mod tests {
         CinmToCnmPass::new(CnmLoweringOptions::default())
             .run_on_func(&mut f)
             .unwrap();
-        CnmToUpmemPass::new(UpmemLoweringOptions { ranks: 8, tasklets: 16 })
-            .run_on_func(&mut f)
-            .unwrap();
+        CnmToUpmemPass::new(UpmemLoweringOptions {
+            ranks: 8,
+            tasklets: 16,
+        })
+        .run_on_func(&mut f)
+        .unwrap();
         assert!(f.body.ops_in_dialect("cnm").is_empty());
         let alloc = f.body.ops_with_name(upmem::ALLOC_DPUS)[0];
         assert_eq!(f.body.op(alloc).int_attr("ranks"), Some(8));

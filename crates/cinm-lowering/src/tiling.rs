@@ -77,7 +77,12 @@ pub fn tile_2d(m: usize, n: usize, shape: TileShape) -> Vec<Tile> {
         let mut col = 0;
         while col < n {
             let cols = tc.min(n - col);
-            tiles.push(Tile { row, col, rows, cols });
+            tiles.push(Tile {
+                row,
+                col,
+                rows,
+                cols,
+            });
             col += tc;
         }
         row += tr;

@@ -1,14 +1,49 @@
 //! Deterministic input-data generators for the benchmark workloads.
+//!
+//! The generators are built on a small self-contained SplitMix64 PRNG so the
+//! crate needs no registry dependencies: every run of every backend sees
+//! identical inputs for a given seed, on every platform.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// A tiny deterministic PRNG (SplitMix64, Steele et al.), good enough for
+/// benchmark input generation and fully reproducible across platforms.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        assert!(lo < hi, "empty value range");
+        let span = (hi as i64 - lo as i64) as u64;
+        lo.wrapping_add((self.next_u64() % span) as i32)
+    }
+}
 
 /// Generates `len` pseudo-random INT32 values in `[lo, hi)` from a fixed seed,
 /// so every run of every backend sees identical inputs.
 pub fn i32_vec(seed: u64, len: usize, lo: i32, hi: i32) -> Vec<i32> {
     assert!(lo < hi, "empty value range");
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range_i32(lo, hi)).collect()
 }
 
 /// Generates a matrix as a flat row-major vector.
@@ -20,13 +55,13 @@ pub fn i32_matrix(seed: u64, rows: usize, cols: usize, lo: i32, hi: i32) -> Vec<
 /// vertices with exactly `degree` out-edges each, destinations pseudo-random.
 /// Returns `(row_offsets, column_indices)`.
 pub fn csr_graph(seed: u64, vertices: usize, degree: usize) -> (Vec<i32>, Vec<i32>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut row_offsets = Vec::with_capacity(vertices + 1);
     let mut cols = Vec::with_capacity(vertices * degree);
     row_offsets.push(0);
     for _ in 0..vertices {
         for _ in 0..degree {
-            cols.push(rng.gen_range(0..vertices as i32));
+            cols.push(rng.gen_range_i32(0, vertices as i32));
         }
         row_offsets.push(cols.len() as i32);
     }
@@ -45,6 +80,14 @@ mod tests {
         assert!(a.iter().all(|&v| (-5..5).contains(&v)));
         let c = i32_vec(43, 1000, -5, 5);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_cover_the_requested_range() {
+        let v = i32_vec(7, 4096, -3, 3);
+        for want in -3..3 {
+            assert!(v.contains(&want), "value {want} never generated");
+        }
     }
 
     #[test]

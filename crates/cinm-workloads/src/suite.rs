@@ -142,39 +142,99 @@ impl WorkloadId {
         match self {
             WorkloadId::Mm => {
                 let d = [(48, 32, 24), (1024, 256, 128), (4096, 1024, 256)][s];
-                Gemm { m: d.0, k: d.1, n: d.2 }
+                Gemm {
+                    m: d.0,
+                    k: d.1,
+                    n: d.2,
+                }
             }
             WorkloadId::Mm2 => {
-                let d = [(32, 24, 24, 16), (512, 256, 256, 128), (2048, 1024, 1024, 256)][s];
-                Gemm2 { m: d.0, k: d.1, n: d.2, p: d.3 }
+                let d = [
+                    (32, 24, 24, 16),
+                    (512, 256, 256, 128),
+                    (2048, 1024, 1024, 256),
+                ][s];
+                Gemm2 {
+                    m: d.0,
+                    k: d.1,
+                    n: d.2,
+                    p: d.3,
+                }
             }
             WorkloadId::Mm3 => {
-                let d = [(32, 24, 24, 16), (512, 256, 256, 128), (2048, 1024, 1024, 256)][s];
-                Gemm3 { m: d.0, k: d.1, n: d.2, p: d.3 }
+                let d = [
+                    (32, 24, 24, 16),
+                    (512, 256, 256, 128),
+                    (2048, 1024, 1024, 256),
+                ][s];
+                Gemm3 {
+                    m: d.0,
+                    k: d.1,
+                    n: d.2,
+                    p: d.3,
+                }
             }
             WorkloadId::Conv => {
                 let d = [(16, 16), (64, 64), (128, 128)][s];
-                Conv2d { h: d.0, w: d.1, c: 3, kh: 3, kw: 3, f: 8 }
+                Conv2d {
+                    h: d.0,
+                    w: d.1,
+                    c: 3,
+                    kh: 3,
+                    kw: 3,
+                    f: 8,
+                }
             }
             WorkloadId::Contrl => {
-                let d = [(4, 4, 4, 4, 4, 4), (16, 16, 16, 16, 8, 8), (32, 32, 32, 32, 16, 16)][s];
-                ContractL { a: d.0, b: d.1, c: d.2, d: d.3, e: d.4, f: d.5 }
+                let d = [
+                    (4, 4, 4, 4, 4, 4),
+                    (16, 16, 16, 16, 8, 8),
+                    (32, 32, 32, 32, 16, 16),
+                ][s];
+                ContractL {
+                    a: d.0,
+                    b: d.1,
+                    c: d.2,
+                    d: d.3,
+                    e: d.4,
+                    f: d.5,
+                }
             }
             WorkloadId::Contrs1 => {
                 let d = [(8, 8, 8, 8), (64, 64, 32, 32), (128, 128, 64, 64)][s];
-                ContractS1 { a: d.0, b: d.1, c: d.2, d: d.3 }
+                ContractS1 {
+                    a: d.0,
+                    b: d.1,
+                    c: d.2,
+                    d: d.3,
+                }
             }
             WorkloadId::Contrs2 => {
                 let d = [(8, 8, 8, 8), (64, 64, 32, 32), (128, 128, 64, 64)][s];
-                ContractS2 { a: d.0, b: d.1, c: d.2, d: d.3 }
+                ContractS2 {
+                    a: d.0,
+                    b: d.1,
+                    c: d.2,
+                    d: d.3,
+                }
             }
             WorkloadId::Mlp => {
-                let d = [(4, 32, 16, 8, 4), (64, 1024, 512, 256, 10), (256, 4096, 1024, 256, 10)][s];
-                Mlp { batch: d.0, layers: [d.1, d.2, d.3, d.4] }
+                let d = [
+                    (4, 32, 16, 8, 4),
+                    (64, 1024, 512, 256, 10),
+                    (256, 4096, 1024, 256, 10),
+                ][s];
+                Mlp {
+                    batch: d.0,
+                    layers: [d.1, d.2, d.3, d.4],
+                }
             }
             WorkloadId::Mv => {
                 let d = [(64, 48), (4096, 1024), (8192, 8192)][s];
-                Gemv { rows: d.0, cols: d.1 }
+                Gemv {
+                    rows: d.0,
+                    cols: d.1,
+                }
             }
             WorkloadId::Va => {
                 let d = [1 << 10, 1 << 22, 1 << 26][s];
@@ -182,15 +242,25 @@ impl WorkloadId {
             }
             WorkloadId::Sel => {
                 let d = [1 << 10, 1 << 21, 1 << 25][s];
-                Select { len: d, threshold: 1 << 20 }
+                Select {
+                    len: d,
+                    threshold: 1 << 20,
+                }
             }
             WorkloadId::Bfs => {
                 let d = [(256, 4), (1 << 16, 8), (1 << 20, 16)][s];
-                Bfs { vertices: d.0, degree: d.1 }
+                Bfs {
+                    vertices: d.0,
+                    degree: d.1,
+                }
             }
             WorkloadId::HstL => {
                 let d = [1 << 10, 1 << 22, 1 << 26][s];
-                Histogram { len: d, bins: 256, max_value: 1 << 22 }
+                Histogram {
+                    len: d,
+                    bins: 256,
+                    max_value: 1 << 22,
+                }
             }
             WorkloadId::Red => {
                 let d = [1 << 10, 1 << 22, 1 << 26][s];
@@ -198,7 +268,10 @@ impl WorkloadId {
             }
             WorkloadId::Ts => {
                 let d = [(1 << 10, 16), (1 << 18, 64), (1 << 21, 256)][s];
-                TimeSeries { len: d.0, window: d.1 }
+                TimeSeries {
+                    len: d.0,
+                    window: d.1,
+                }
             }
         }
     }
@@ -355,7 +428,11 @@ pub fn build_func(id: WorkloadId, scale: Scale) -> Func {
     };
     match (id, p) {
         (WorkloadId::Mm, WorkloadParams::Gemm { m, k, n }) => {
-            let mut f = Func::new("mm", vec![t(&[m, k]), t(&[k, n]), t(&[m, n])], vec![t(&[m, n])]);
+            let mut f = Func::new(
+                "mm",
+                vec![t(&[m, k]), t(&[k, n]), t(&[m, n])],
+                vec![t(&[m, n])],
+            );
             let args = f.arguments();
             let entry = f.body.entry_block();
             let mut b = OpBuilder::at_end(&mut f.body, entry);
@@ -400,7 +477,17 @@ pub fn build_func(id: WorkloadId, scale: Scale) -> Func {
             func::ret(&mut b, &[out]);
             f
         }
-        (WorkloadId::Conv, WorkloadParams::Conv2d { h, w, c, kh, kw, f: of }) => {
+        (
+            WorkloadId::Conv,
+            WorkloadParams::Conv2d {
+                h,
+                w,
+                c,
+                kh,
+                kw,
+                f: of,
+            },
+        ) => {
             let oh = h - kh + 1;
             let ow = w - kw + 1;
             let mut f = Func::new(
@@ -415,7 +502,17 @@ pub fn build_func(id: WorkloadId, scale: Scale) -> Func {
             func::ret(&mut b, &[out]);
             f
         }
-        (WorkloadId::Contrl, WorkloadParams::ContractL { a, b: bb, c, d, e, f: ff }) => {
+        (
+            WorkloadId::Contrl,
+            WorkloadParams::ContractL {
+                a,
+                b: bb,
+                c,
+                d,
+                e,
+                f: ff,
+            },
+        ) => {
             let mut f = Func::new(
                 "contrl",
                 vec![t(&[a, e, bb, ff]), t(&[d, ff, c, e])],
@@ -443,7 +540,13 @@ pub fn build_func(id: WorkloadId, scale: Scale) -> Func {
             let args = f.arguments();
             let entry = f.body.entry_block();
             let mut b = OpBuilder::at_end(&mut f.body, entry);
-            let out = linalg::contract(&mut b, "acd,dbc->ab", args[0], args[1], &[a as i64, bb as i64]);
+            let out = linalg::contract(
+                &mut b,
+                "acd,dbc->ab",
+                args[0],
+                args[1],
+                &[a as i64, bb as i64],
+            );
             func::ret(&mut b, &[out]);
             f
         }
@@ -588,7 +691,8 @@ pub fn build_func(id: WorkloadId, scale: Scale) -> Func {
             let args = f.arguments();
             let entry = f.body.entry_block();
             let mut b = OpBuilder::at_end(&mut f.body, entry);
-            let (vals, _idx) = cinm::sim_search(&mut b, "l2", (len - window + 1) as i64, args[0], args[0]);
+            let (vals, _idx) =
+                cinm::sim_search(&mut b, "l2", (len - window + 1) as i64, args[0], args[0]);
             func::ret(&mut b, &[vals]);
             f
         }
@@ -637,7 +741,8 @@ mod tests {
 
     #[test]
     fn conv_paper_scale_matches_figure_5() {
-        if let WorkloadParams::Conv2d { h, w, c, kh, kw, f } = WorkloadId::Conv.params(Scale::Paper) {
+        if let WorkloadParams::Conv2d { h, w, c, kh, kw, f } = WorkloadId::Conv.params(Scale::Paper)
+        {
             assert_eq!((h, w, c, kh, kw, f), (128, 128, 3, 3, 3, 8));
         } else {
             panic!("unexpected params kind");

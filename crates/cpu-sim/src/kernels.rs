@@ -299,7 +299,11 @@ pub fn time_series_profile(a: &[i32], window: usize) -> Vec<i32> {
 /// DPU kernel semantics (destinations are wrapped into the local vertex
 /// range).
 pub fn bfs_step(row_offsets: &[i32], cols: &[i32], frontier: &[i32], vertices: usize) -> Vec<i32> {
-    assert_eq!(row_offsets.len(), vertices + 1, "row offsets shape mismatch");
+    assert_eq!(
+        row_offsets.len(),
+        vertices + 1,
+        "row offsets shape mismatch"
+    );
     assert_eq!(frontier.len(), vertices, "frontier shape mismatch");
     let mut next = vec![0i32; vertices];
     for v in 0..vertices {

@@ -40,6 +40,12 @@ pub struct CrossbarConfig {
     pub cell_write_energy_j: f64,
     /// Static/peripheral power of the accelerator, in watts.
     pub static_power_w: f64,
+    /// Host worker threads used for the *functional* side of the simulation
+    /// (per-tile MVM execution in batches). `0` means "use all available
+    /// cores", `1` (the default) is fully sequential. This knob changes only
+    /// simulator wall-clock time — results and accounted statistics are
+    /// bit-identical for every value.
+    pub host_threads: usize,
 }
 
 impl Default for CrossbarConfig {
@@ -59,11 +65,19 @@ impl Default for CrossbarConfig {
             adc_energy_j: 2.0e-12,
             cell_write_energy_j: 10.0e-12,
             static_power_w: 0.25,
+            host_threads: 1,
         }
     }
 }
 
 impl CrossbarConfig {
+    /// Overrides the number of host worker threads used for functional
+    /// simulation (`0` = all available cores).
+    pub fn with_host_threads(mut self, host_threads: usize) -> Self {
+        self.host_threads = host_threads;
+        self
+    }
+
     /// Number of bit slices one weight is spread across.
     pub fn slices_per_weight(&self) -> usize {
         (self.weight_bits as usize).div_ceil(self.cell_bits as usize)

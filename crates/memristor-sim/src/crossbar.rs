@@ -2,6 +2,34 @@
 
 use crate::config::CrossbarConfig;
 
+/// Resolves a `host_threads` knob: `0` means "all available cores", any other
+/// value is clamped to at least one thread, at most one per work item, and
+/// never more threads than physical cores.
+fn resolve_threads(requested: usize, work_items: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let threads = if requested == 0 {
+        cores
+    } else {
+        requested.min(cores)
+    };
+    threads.clamp(1, work_items.max(1))
+}
+
+/// The analog MVM on already-validated weights: `y[cols] = x × W`.
+fn mvm_on_weights(weights: &[i32], input: &[i32], cols: usize) -> Vec<i32> {
+    let mut out = vec![0i32; cols];
+    for (r, &x) in input.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let w_row = &weights[r * cols..(r + 1) * cols];
+        for (slot, &w) in out.iter_mut().zip(w_row) {
+            *slot = slot.wrapping_add(x.wrapping_mul(w));
+        }
+    }
+    out
+}
+
 /// Accumulated statistics of the accelerator.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CimStats {
@@ -120,7 +148,13 @@ impl CrossbarAccelerator {
     /// # Errors
     ///
     /// Returns an error if the tile index or matrix shape is invalid.
-    pub fn write_tile(&mut self, tile: usize, weights: &[i32], rows: usize, cols: usize) -> CimResult<()> {
+    pub fn write_tile(
+        &mut self,
+        tile: usize,
+        weights: &[i32],
+        rows: usize,
+        cols: usize,
+    ) -> CimResult<()> {
         let c = &self.config;
         if tile >= self.tiles.len() {
             return Err(CimError::new(format!("tile {tile} out of range")));
@@ -172,22 +206,61 @@ impl CrossbarAccelerator {
     /// configuration of the paper): the latency of the batch is that of a
     /// single MVM, energy is paid per tile.
     ///
+    /// The functional execution of the batch is data-parallel across host
+    /// threads (see [`CrossbarConfig::host_threads`]); results and accounted
+    /// statistics are bit-identical for every thread count.
+    ///
     /// # Errors
     ///
     /// Returns an error if any tile is not programmed or any input is too
     /// long.
     pub fn mvm_parallel(&mut self, requests: &[(usize, Vec<i32>)]) -> CimResult<Vec<Vec<i32>>> {
-        let mut results = Vec::with_capacity(requests.len());
-        for (tile, input) in requests {
-            results.push(self.mvm_no_account(*tile, input)?);
-        }
+        let results = self.execute_batch(requests)?;
         if !requests.is_empty() {
             self.account_parallel_mvm(requests.len());
         }
         Ok(results)
     }
 
-    fn mvm_no_account(&self, tile: usize, input: &[i32]) -> CimResult<Vec<i32>> {
+    /// Functionally executes one MVM per request without accounting, fanning
+    /// the independent per-tile computations out over the configured host
+    /// threads. All requests are validated up front so errors are
+    /// deterministic and no partial state is observable.
+    fn execute_batch(&self, requests: &[(usize, Vec<i32>)]) -> CimResult<Vec<Vec<i32>>> {
+        // Validate once, keeping the resolved weight slices for the compute
+        // loop, so the hot path never re-runs the checks.
+        let checked: Vec<(&[i32], &[i32])> = requests
+            .iter()
+            .map(|(tile, input)| {
+                self.checked_weights(*tile, input)
+                    .map(|w| (w, input.as_slice()))
+            })
+            .collect::<CimResult<_>>()?;
+        let threads = resolve_threads(self.config.host_threads, checked.len());
+        let mut results: Vec<Vec<i32>> = vec![Vec::new(); checked.len()];
+        let cols = self.config.tile_cols;
+        if threads <= 1 {
+            for (slot, (weights, input)) in results.iter_mut().zip(&checked) {
+                *slot = mvm_on_weights(weights, input, cols);
+            }
+        } else {
+            let per_band = checked.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (band, out_band) in results.chunks_mut(per_band).enumerate() {
+                    let reqs = &checked[band * per_band..band * per_band + out_band.len()];
+                    scope.spawn(move || {
+                        for (slot, (weights, input)) in out_band.iter_mut().zip(reqs) {
+                            *slot = mvm_on_weights(weights, input, cols);
+                        }
+                    });
+                }
+            });
+        }
+        Ok(results)
+    }
+
+    /// Validates a tile/input pair and returns the programmed weights.
+    fn checked_weights(&self, tile: usize, input: &[i32]) -> CimResult<&[i32]> {
         let c = &self.config;
         let t = self
             .tiles
@@ -195,7 +268,7 @@ impl CrossbarAccelerator {
             .ok_or_else(|| CimError::new(format!("tile {tile} out of range")))?;
         let weights = t
             .weights
-            .as_ref()
+            .as_deref()
             .ok_or_else(|| CimError::new(format!("tile {tile} has not been programmed")))?;
         if input.len() > c.tile_rows {
             return Err(CimError::new(format!(
@@ -204,16 +277,12 @@ impl CrossbarAccelerator {
                 c.tile_rows
             )));
         }
-        let mut out = vec![0i32; c.tile_cols];
-        for (r, &x) in input.iter().enumerate() {
-            if x == 0 {
-                continue;
-            }
-            for (cc, slot) in out.iter_mut().enumerate() {
-                *slot = slot.wrapping_add(x.wrapping_mul(weights[r * c.tile_cols + cc]));
-            }
-        }
-        Ok(out)
+        Ok(weights)
+    }
+
+    fn mvm_no_account(&self, tile: usize, input: &[i32]) -> CimResult<Vec<i32>> {
+        let weights = self.checked_weights(tile, input)?;
+        Ok(mvm_on_weights(weights, input, self.config.tile_cols))
     }
 
     fn account_mvm(&mut self, count: usize) {
@@ -357,9 +426,41 @@ mod tests {
         assert!(parallel.stats().compute_seconds < serial.stats().compute_seconds / 3.0);
         // Energy is not reduced by parallelism.
         assert!(
-            (parallel.stats().compute_energy_j - serial.stats().compute_energy_j).abs()
-                < 1e-15
+            (parallel.stats().compute_energy_j - serial.stats().compute_energy_j).abs() < 1e-15
         );
+    }
+
+    #[test]
+    fn host_threads_do_not_change_batch_results_or_stats() {
+        let reqs: Vec<(usize, Vec<i32>)> = (0..4).map(|t| (t, vec![t as i32 + 1, 2])).collect();
+        let run = |threads: usize| {
+            let mut x =
+                CrossbarAccelerator::new(CrossbarConfig::default().with_host_threads(threads));
+            for t in 0..4 {
+                x.write_tile(t, &[1, 2, 3, 4 + t as i32], 2, 2).unwrap();
+            }
+            let results = x.mvm_parallel(&reqs).unwrap();
+            (results, *x.stats())
+        };
+        let (ref_results, ref_stats) = run(1);
+        for threads in [2usize, 3, 8, 0] {
+            let (results, stats) = run(threads);
+            assert_eq!(results, ref_results, "threads = {threads}");
+            assert_eq!(stats, ref_stats, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn batch_validation_errors_before_any_accounting() {
+        let mut x = xbar();
+        x.write_tile(0, &[1], 1, 1).unwrap();
+        x.reset_stats();
+        // Second request targets an unprogrammed tile: the whole batch fails
+        // and nothing is accounted.
+        let reqs = vec![(0usize, vec![1i32]), (1usize, vec![1i32])];
+        assert!(x.mvm_parallel(&reqs).is_err());
+        assert_eq!(x.stats().mvm_ops, 0);
+        assert_eq!(x.stats().compute_seconds, 0.0);
     }
 
     #[test]

@@ -62,6 +62,12 @@ pub struct UpmemConfig {
     pub host_bandwidth_per_rank_bytes_per_s: f64,
     /// Fixed host-side latency per bulk transfer in seconds (driver overhead).
     pub host_transfer_latency_s: f64,
+    /// Host worker threads used for the *functional* side of the simulation
+    /// (kernel execution and bulk transfers over the slab storage). `0` means
+    /// "use all available cores", `1` (the default) is fully sequential.
+    /// This knob changes only simulator wall-clock time — simulated results
+    /// and statistics are bit-identical for every value.
+    pub host_threads: usize,
     /// Per-instruction cycle costs.
     pub instr: InstrCosts,
 }
@@ -88,14 +94,22 @@ impl UpmemConfig {
             dma_setup_cycles: 77.0,
             host_bandwidth_per_rank_bytes_per_s: 1.0e9,
             host_transfer_latency_s: 40.0e-6,
+            host_threads: 1,
             instr: InstrCosts::default(),
         }
     }
 
     /// Overrides the number of tasklets per DPU.
     pub fn with_tasklets(mut self, tasklets: usize) -> Self {
-        assert!(tasklets >= 1 && tasklets <= 24, "tasklets must be in 1..=24");
+        assert!((1..=24).contains(&tasklets), "tasklets must be in 1..=24");
         self.tasklets = tasklets;
+        self
+    }
+
+    /// Overrides the number of host worker threads used for functional
+    /// simulation (`0` = all available cores).
+    pub fn with_host_threads(mut self, host_threads: usize) -> Self {
+        self.host_threads = host_threads;
         self
     }
 
@@ -136,6 +150,21 @@ impl UpmemConfig {
         let bw = self.host_bandwidth_per_rank_bytes_per_s * self.ranks as f64;
         self.host_transfer_latency_s + total_bytes / bw
     }
+
+    /// Host broadcast time in seconds for replicating `bytes_per_dpu` bytes
+    /// into the MRAM of every DPU.
+    ///
+    /// The replicated image is pushed to all ranks in parallel (PrIM-style
+    /// `dpu_broadcast_to`), so the time is that of writing one rank's worth
+    /// of copies — `bytes_per_dpu × dpus_per_rank` — through a single rank's
+    /// channel, independent of the number of ranks. Note this deliberately
+    /// does *not* go through [`host_transfer_seconds`](Self::host_transfer_seconds),
+    /// whose model spreads *distinct* data across ranks; a broadcast sends
+    /// the *same* data to every rank.
+    pub fn broadcast_seconds(&self, bytes_per_dpu: f64) -> f64 {
+        let rank_image = bytes_per_dpu * self.dpus_per_rank as f64;
+        self.host_transfer_latency_s + rank_image / self.host_bandwidth_per_rank_bytes_per_s
+    }
 }
 
 #[cfg(test)]
@@ -160,8 +189,12 @@ mod tests {
         assert!(half.cycles_per_instruction() > 2.0);
         // More tasklets never hurt.
         assert!(
-            UpmemConfig::with_ranks(4).with_tasklets(24).cycles_per_instruction()
-                <= UpmemConfig::with_ranks(4).with_tasklets(1).cycles_per_instruction()
+            UpmemConfig::with_ranks(4)
+                .with_tasklets(24)
+                .cycles_per_instruction()
+                <= UpmemConfig::with_ranks(4)
+                    .with_tasklets(1)
+                    .cycles_per_instruction()
         );
     }
 

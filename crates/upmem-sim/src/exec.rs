@@ -1,0 +1,178 @@
+//! Functional semantics of the DPU kernels, shared by the flat-slab system
+//! and the retained naive reference implementation.
+//!
+//! Keeping the per-DPU computation in one place guarantees that the slab
+//! layout refactor can never diverge functionally from the reference path:
+//! both execute exactly this code on each DPU's local data, only the storage
+//! layout and the degree of host parallelism differ.
+
+use crate::kernel::DpuKernelKind;
+
+/// Upper bound on the number of input buffers any kernel kind consumes
+/// (see [`DpuKernelKind::num_inputs`]); lets the launch hot path keep its
+/// per-DPU input views in a stack array instead of a heap allocation.
+pub(crate) const MAX_KERNEL_INPUTS: usize = 3;
+
+/// Functional semantics of one DPU executing the kernel on local data.
+///
+/// `inputs` are borrowed views of the DPU's input buffers (in slab strides or
+/// cloned naive buffers — the semantics are identical), `output` is the DPU's
+/// local output buffer.
+///
+/// The dense loop nests are written in an autovectorisation-friendly form
+/// (row-wise `zip` iteration, GEMM in i-p-j order). Where this reorders an
+/// accumulation relative to the seed implementation the result is still
+/// bit-identical, because all arithmetic is wrapping 32-bit (exact mod 2³²,
+/// hence order-independent) — `tests/properties.rs` asserts the equivalence
+/// against the retained seed executor over randomized cases.
+pub(crate) fn execute_kernel(kind: &DpuKernelKind, inputs: &[&[i32]], output: &mut [i32]) {
+    match kind {
+        DpuKernelKind::Gemm { m, k, n } => {
+            let (a, b) = (inputs[0], inputs[1]);
+            for i in 0..*m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut output[i * n..(i + 1) * n];
+                for (p, &av) in a_row.iter().enumerate() {
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv = cv.wrapping_add(av.wrapping_mul(bv));
+                    }
+                }
+            }
+        }
+        DpuKernelKind::Gemv { rows, cols } => {
+            let (a, x) = (inputs[0], inputs[1]);
+            for i in 0..*rows {
+                let a_row = &a[i * cols..(i + 1) * cols];
+                let mut acc: i32 = 0;
+                for (&av, &xv) in a_row.iter().zip(x) {
+                    acc = acc.wrapping_add(av.wrapping_mul(xv));
+                }
+                output[i] = output[i].wrapping_add(acc);
+            }
+        }
+        DpuKernelKind::Elementwise { op, len } => {
+            let (a, b) = (inputs[0], inputs[1]);
+            let op = *op;
+            for ((o, &av), &bv) in output[..*len].iter_mut().zip(a).zip(b) {
+                *o = op.apply(av, bv);
+            }
+        }
+        DpuKernelKind::Reduce { op, len } => {
+            let a = inputs[0];
+            let mut acc = op.identity();
+            for &v in &a[..*len] {
+                acc = op.apply(acc, v);
+            }
+            output[0] = acc;
+        }
+        DpuKernelKind::Histogram {
+            bins,
+            len,
+            max_value,
+        } => {
+            let a = inputs[0];
+            for slot in output.iter_mut().take(*bins) {
+                *slot = 0;
+            }
+            let max = (*max_value).max(1) as i64;
+            for &v in &a[..*len] {
+                let clamped = (v.max(0) as i64).min(max - 1);
+                let bin = (clamped * *bins as i64 / max) as usize;
+                output[bin] += 1;
+            }
+        }
+        DpuKernelKind::Scan { op, len } => {
+            let a = inputs[0];
+            let mut acc = op.identity();
+            for i in 0..*len {
+                acc = op.apply(acc, a[i]);
+                output[i] = acc;
+            }
+        }
+        DpuKernelKind::Select { len, threshold } => {
+            let a = inputs[0];
+            let mut count = 0usize;
+            for &v in &a[..*len] {
+                if v > *threshold {
+                    output[1 + count] = v;
+                    count += 1;
+                }
+            }
+            output[0] = count as i32;
+        }
+        DpuKernelKind::TimeSeries { len, window } => {
+            let a = inputs[0];
+            let positions = len.saturating_sub(*window) + 1;
+            for i in 0..positions {
+                let mut acc: i64 = 0;
+                for j in 0..*window {
+                    let d = (a[i + j] - a[j]) as i64;
+                    acc += d * d;
+                }
+                output[i] = acc.min(i32::MAX as i64) as i32;
+            }
+        }
+        DpuKernelKind::BfsStep { vertices, .. } => {
+            let (row_off, cols, frontier) = (inputs[0], inputs[1], inputs[2]);
+            for slot in output.iter_mut().take(*vertices) {
+                *slot = 0;
+            }
+            for v in 0..*vertices {
+                if frontier[v] == 0 {
+                    continue;
+                }
+                let start = row_off[v] as usize;
+                let hi = (row_off[v + 1] as usize).min(cols.len());
+                if start < hi {
+                    for &edge in &cols[start..hi] {
+                        let dst = (edge as usize) % *vertices;
+                        output[dst] = 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::BinOp;
+
+    #[test]
+    fn max_inputs_covers_every_kernel_kind() {
+        for kind in [
+            DpuKernelKind::Gemm { m: 1, k: 1, n: 1 },
+            DpuKernelKind::Gemv { rows: 1, cols: 1 },
+            DpuKernelKind::Elementwise {
+                op: BinOp::Add,
+                len: 1,
+            },
+            DpuKernelKind::Reduce {
+                op: BinOp::Add,
+                len: 1,
+            },
+            DpuKernelKind::Histogram {
+                bins: 1,
+                len: 1,
+                max_value: 1,
+            },
+            DpuKernelKind::Scan {
+                op: BinOp::Add,
+                len: 1,
+            },
+            DpuKernelKind::Select {
+                len: 1,
+                threshold: 0,
+            },
+            DpuKernelKind::TimeSeries { len: 1, window: 1 },
+            DpuKernelKind::BfsStep {
+                vertices: 1,
+                avg_degree: 1,
+            },
+        ] {
+            assert!(kind.num_inputs() <= MAX_KERNEL_INPUTS, "{}", kind.name());
+        }
+    }
+}

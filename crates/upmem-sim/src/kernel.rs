@@ -182,6 +182,40 @@ impl DpuKernelKind {
         }
     }
 
+    /// Required per-DPU length of input buffer `index`.
+    pub fn input_len(&self, index: usize) -> usize {
+        match self {
+            DpuKernelKind::Gemm { m, k, n } => {
+                if index == 0 {
+                    m * k
+                } else {
+                    k * n
+                }
+            }
+            DpuKernelKind::Gemv { rows, cols } => {
+                if index == 0 {
+                    rows * cols
+                } else {
+                    *cols
+                }
+            }
+            DpuKernelKind::Elementwise { len, .. }
+            | DpuKernelKind::Reduce { len, .. }
+            | DpuKernelKind::Histogram { len, .. }
+            | DpuKernelKind::Scan { len, .. }
+            | DpuKernelKind::Select { len, .. }
+            | DpuKernelKind::TimeSeries { len, .. } => *len,
+            DpuKernelKind::BfsStep {
+                vertices,
+                avg_degree,
+            } => match index {
+                0 => vertices + 1,
+                1 => vertices * avg_degree,
+                _ => *vertices,
+            },
+        }
+    }
+
     /// Number of output elements produced per DPU.
     pub fn output_len(&self) -> usize {
         match self {
@@ -286,7 +320,15 @@ mod tests {
         assert_eq!(BinOp::Div.apply(8, 0), 0);
         assert_eq!(BinOp::Max.apply(-3, 2), 2);
         assert_eq!(BinOp::Xor.apply(0b1010, 0b0110), 0b1100);
-        for op in [BinOp::Add, BinOp::Mul, BinOp::Max, BinOp::Min, BinOp::And, BinOp::Or, BinOp::Xor] {
+        for op in [
+            BinOp::Add,
+            BinOp::Mul,
+            BinOp::Max,
+            BinOp::Min,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+        ] {
             assert_eq!(op.apply(42, op.identity()), 42, "{op:?} identity");
         }
     }
@@ -300,12 +342,23 @@ mod tests {
 
     #[test]
     fn kernel_kind_shapes() {
-        let g = DpuKernelKind::Gemm { m: 16, k: 32, n: 16 };
+        let g = DpuKernelKind::Gemm {
+            m: 16,
+            k: 32,
+            n: 16,
+        };
         assert_eq!(g.num_inputs(), 2);
         assert_eq!(g.output_len(), 256);
-        let h = DpuKernelKind::Histogram { bins: 64, len: 1000, max_value: 4096 };
+        let h = DpuKernelKind::Histogram {
+            bins: 64,
+            len: 1000,
+            max_value: 4096,
+        };
         assert_eq!(h.output_len(), 64);
-        let r = DpuKernelKind::Reduce { op: BinOp::Add, len: 100 };
+        let r = DpuKernelKind::Reduce {
+            op: BinOp::Add,
+            len: 100,
+        };
         assert_eq!(r.output_len(), 1);
     }
 
@@ -318,7 +371,10 @@ mod tests {
     #[test]
     fn spec_builder_methods() {
         let s = KernelSpec::new(
-            DpuKernelKind::Reduce { op: BinOp::Add, len: 64 },
+            DpuKernelKind::Reduce {
+                op: BinOp::Add,
+                len: 64,
+            },
             vec![0],
             1,
         )

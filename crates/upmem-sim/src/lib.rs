@@ -44,14 +44,18 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+mod exec;
 pub mod kernel;
+pub mod naive;
+pub mod par;
 pub mod stats;
 pub mod system;
 
 pub use config::{InstrCosts, UpmemConfig};
 pub use kernel::{BinOp, DpuKernelKind, KernelSpec};
+pub use naive::NaiveUpmemSystem;
 pub use stats::{LaunchStats, SystemStats, TransferStats};
-pub use system::{BufferId, SimError, SimResult, UpmemSystem};
+pub use system::{BufferId, DpuSystem, SimError, SimResult, UpmemSystem};
 
 #[cfg(test)]
 mod tests {
@@ -72,7 +76,10 @@ mod tests {
             let b = sys.alloc_buffer(chunk).unwrap();
             let c = sys.alloc_buffer(chunk).unwrap();
             let spec = KernelSpec::new(
-                DpuKernelKind::Elementwise { op: BinOp::Add, len: chunk },
+                DpuKernelKind::Elementwise {
+                    op: BinOp::Add,
+                    len: chunk,
+                },
                 vec![a, b],
                 c,
             );

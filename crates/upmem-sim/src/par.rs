@@ -1,0 +1,117 @@
+//! Deterministic fork-join helpers for data-parallel simulation.
+//!
+//! The build environment cannot vendor `rayon`, so the simulators parallelise
+//! with `std::thread::scope` instead: a slab is split into equally-sized
+//! per-DPU chunks, contiguous bands of chunks are handed to scoped worker
+//! threads, and every chunk is processed by exactly the same code regardless
+//! of the thread count — results are bit-identical for any `threads` value.
+
+use std::num::NonZeroUsize;
+
+/// Resolves a `host_threads` knob: `0` means "all available cores", any other
+/// value is clamped to at least one thread, at most one thread per work item,
+/// and never more threads than physical cores (oversubscribing a streaming
+/// workload only thrashes the cache).
+pub fn resolve_threads(requested: usize, work_items: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let threads = if requested == 0 {
+        cores
+    } else {
+        requested.min(cores)
+    };
+    threads.clamp(1, work_items.max(1))
+}
+
+/// Applies `f` to every `chunk`-sized slice of `data`, indexed by chunk
+/// number, distributing contiguous bands of chunks over `threads` scoped
+/// threads.
+///
+/// `data.len()` must be a multiple of `chunk`; each invocation of `f`
+/// receives a disjoint `&mut` chunk, so the parallel and sequential schedules
+/// produce bit-identical results.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero while `data` is non-empty, or if `data.len()` is
+/// not a multiple of `chunk`.
+pub fn for_each_chunk_mut<T, F>(threads: usize, data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk > 0, "chunk size must be positive");
+    assert_eq!(
+        data.len() % chunk,
+        0,
+        "data must be a whole number of chunks"
+    );
+    let n_chunks = data.len() / chunk;
+    let threads = resolve_threads(threads, n_chunks);
+    if threads <= 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let chunks_per_band = n_chunks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (band, band_slice) in data.chunks_mut(chunks_per_band * chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, c) in band_slice.chunks_mut(chunk).enumerate() {
+                    f(band * chunks_per_band + j, c);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_clamps_and_resolves_auto() {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(resolve_threads(4, 100), 4.min(cores));
+        assert!(resolve_threads(4, 2) <= 2);
+        assert_eq!(resolve_threads(1, 0), 1);
+        assert!(resolve_threads(0, 64) >= 1);
+        // Requests are capped at the physical core count.
+        assert!(resolve_threads(10_000, 10_000) <= cores);
+    }
+
+    #[test]
+    fn parallel_schedule_matches_sequential() {
+        let chunk = 16;
+        let n = 64 * chunk;
+        let mut seq: Vec<i64> = vec![0; n];
+        for threads in [1usize, 2, 3, 8, 64] {
+            let mut par: Vec<i64> = vec![0; n];
+            let body = |d: usize, out: &mut [i64]| {
+                for (i, v) in out.iter_mut().enumerate() {
+                    *v = (d * 1_000 + i) as i64;
+                }
+            };
+            for_each_chunk_mut(1, &mut seq, chunk, body);
+            for_each_chunk_mut(threads, &mut par, chunk, body);
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_data_is_a_no_op() {
+        let mut empty: Vec<i32> = Vec::new();
+        for_each_chunk_mut(8, &mut empty, 4, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of chunks")]
+    fn ragged_data_is_rejected() {
+        let mut data = vec![0i32; 10];
+        for_each_chunk_mut(2, &mut data, 4, |_, _| {});
+    }
+}

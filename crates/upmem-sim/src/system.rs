@@ -4,11 +4,24 @@
 //! buffer contents, so results can be checked against a host reference) and
 //! *timed* (instruction, DMA and host-transfer costs follow the first-order
 //! model of the PrIM characterisation, see `config`).
-
-use std::collections::HashMap;
+//!
+//! # Storage layout
+//!
+//! Buffers use a *flat-slab* layout: one contiguous `Vec<i32>` per
+//! [`BufferId`] covering the whole grid, where DPU `d` owns the stride
+//! `[d * elems, (d + 1) * elems)`. Allocation is one `Vec` per buffer instead
+//! of one per DPU, scatter/gather/broadcast are bulk copies over contiguous
+//! memory, and [`UpmemSystem::launch`] borrows the input strides directly
+//! from the slabs — the hot path performs no per-DPU heap allocation and no
+//! buffer clone. Functional execution is data-parallel across DPUs (see
+//! [`UpmemConfig::host_threads`]) with bit-identical results for any thread
+//! count. The pre-refactor storage scheme is retained in [`crate::naive`] as
+//! the equivalence oracle and benchmark baseline.
 
 use crate::config::UpmemConfig;
+use crate::exec;
 use crate::kernel::{DpuKernelKind, KernelSpec};
+use crate::par;
 use crate::stats::{LaunchStats, SystemStats, TransferStats};
 
 /// Identifier of a buffer allocated on every DPU of the grid.
@@ -21,7 +34,7 @@ pub struct SimError {
 }
 
 impl SimError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         SimError {
             message: message.into(),
         }
@@ -44,23 +57,250 @@ impl std::error::Error for SimError {}
 /// Convenience alias for simulator results.
 pub type SimResult<T> = Result<T, SimError>;
 
+/// One grid-wide buffer: a contiguous slab holding every DPU's stride.
 #[derive(Debug, Clone, Default)]
-struct Dpu {
-    buffers: HashMap<BufferId, Vec<i32>>,
-}
-
-#[derive(Debug, Clone)]
-struct BufferInfo {
+struct Slab {
     elems_per_dpu: usize,
+    data: Vec<i32>,
 }
 
-/// The simulated UPMEM machine.
+/// The common host-visible surface of a simulated UPMEM machine, implemented
+/// by both the flat-slab [`UpmemSystem`] and the retained
+/// [`naive reference`](crate::naive::NaiveUpmemSystem), so equivalence tests
+/// and benchmarks can drive either through one code path.
+pub trait DpuSystem {
+    /// The configuration of this system.
+    fn config(&self) -> &UpmemConfig;
+    /// Number of DPUs in the grid.
+    fn num_dpus(&self) -> usize;
+    /// Accumulated run statistics.
+    fn stats(&self) -> &SystemStats;
+    /// Resets the accumulated statistics (buffers are kept).
+    fn reset_stats(&mut self);
+    /// Allocates a buffer of `elems_per_dpu` 32-bit elements on every DPU.
+    fn alloc_buffer(&mut self, elems_per_dpu: usize) -> SimResult<BufferId>;
+    /// Elements per DPU of an allocated buffer.
+    fn buffer_len(&self, id: BufferId) -> SimResult<usize>;
+    /// Scatters host data across the DPUs in `chunk`-element strides.
+    fn scatter_i32(
+        &mut self,
+        buffer: BufferId,
+        data: &[i32],
+        chunk: usize,
+    ) -> SimResult<TransferStats>;
+    /// Copies the same host data to the buffer of every DPU.
+    fn broadcast_i32(&mut self, buffer: BufferId, data: &[i32]) -> SimResult<TransferStats>;
+    /// Gathers `chunk` elements from every DPU back into one host vector.
+    fn gather_i32(
+        &mut self,
+        buffer: BufferId,
+        chunk: usize,
+    ) -> SimResult<(Vec<i32>, TransferStats)>;
+    /// Reads the buffer contents of one DPU (testing aid, not timed).
+    fn dpu_buffer(&self, dpu: usize, buffer: BufferId) -> SimResult<&[i32]>;
+    /// Launches a kernel on every DPU of the grid.
+    fn launch(&mut self, spec: &KernelSpec) -> SimResult<LaunchStats>;
+}
+
+/// First-order cost model of one launch, shared between the slab system and
+/// the naive reference so both report identical statistics.
+pub(crate) fn kernel_launch_cost(
+    config: &UpmemConfig,
+    spec: &KernelSpec,
+    tasklets: usize,
+    num_dpus: usize,
+) -> LaunchStats {
+    let c = config;
+    let i = &c.instr;
+    // A multiply-accumulate on WRAM data: two loads, a (software) 32-bit
+    // multiply, an add and amortised loop overhead.
+    let mac = 2.0 * i.wram_access + i.mul32 + i.alu + 0.5 * i.branch;
+    // A streaming element-wise operation: two loads, one ALU op, a store.
+    let stream = 3.0 * i.wram_access + i.alu + 0.5 * i.branch;
+
+    // (instructions, dma_bytes, dma_transfers) per DPU.
+    let (instrs, dma_bytes, dma_transfers) = match &spec.kind {
+        DpuKernelKind::Gemm { m, k, n } => {
+            let (m, k, n) = (*m as f64, *k as f64, *n as f64);
+            let macs = m * n * k;
+            let instrs = macs * mac + m * n * i.wram_access;
+            if spec.locality_optimized {
+                // Operand tiles are staged in WRAM once.
+                let bytes = (m * k + k * n + 2.0 * m * n) * 4.0;
+                let transfers = (bytes / (spec.wram_tile_elems as f64 * 4.0)).ceil() + 4.0;
+                (instrs, bytes, transfers)
+            } else {
+                // PrIM-style streaming (Figure 3a): one row of A per output
+                // row, one row of B per output element, C written per element.
+                let bytes = (m * k + m * n * k + 2.0 * m * n) * 4.0;
+                let transfers = m + m * n + m * n;
+                (instrs, bytes, transfers)
+            }
+        }
+        DpuKernelKind::Gemv { rows, cols } => {
+            let (r, cl) = (*rows as f64, *cols as f64);
+            let macs = r * cl;
+            let instrs = macs * mac + r * i.wram_access;
+            if spec.locality_optimized {
+                let bytes = (r * cl + cl + 2.0 * r) * 4.0;
+                let transfers = (bytes / (spec.wram_tile_elems as f64 * 4.0)).ceil() + 3.0;
+                (instrs, bytes, transfers)
+            } else {
+                let bytes = (r * cl + r * cl + 2.0 * r) * 4.0;
+                let transfers = 2.0 * r + 2.0;
+                (instrs, bytes, transfers)
+            }
+        }
+        DpuKernelKind::Elementwise { len, .. } => {
+            let l = *len as f64;
+            let instrs = l * stream;
+            let bytes = 3.0 * l * 4.0;
+            let tile = spec.wram_tile_elems as f64;
+            let transfers = (3.0 * l / tile).ceil().max(3.0);
+            (instrs, bytes, transfers)
+        }
+        DpuKernelKind::Reduce { len, .. } => {
+            let l = *len as f64;
+            let instrs = l * (i.wram_access + i.alu + 0.25 * i.branch);
+            let bytes = l * 4.0;
+            let transfers = (l / spec.wram_tile_elems as f64).ceil().max(1.0);
+            (instrs, bytes, transfers)
+        }
+        DpuKernelKind::Histogram { len, bins, .. } => {
+            let l = *len as f64;
+            // Scale each element into a bin (division!) and update WRAM.
+            let instrs = l * (i.wram_access + i.div32 * 0.25 + i.mul32 * 0.25 + 2.0 * i.alu)
+                + *bins as f64 * i.wram_access;
+            let bytes = (l + *bins as f64) * 4.0;
+            let transfers = (l / spec.wram_tile_elems as f64).ceil().max(2.0);
+            (instrs, bytes, transfers)
+        }
+        DpuKernelKind::Scan { len, .. } => {
+            let l = *len as f64;
+            let instrs = l * stream;
+            let bytes = 2.0 * l * 4.0;
+            let transfers = (2.0 * l / spec.wram_tile_elems as f64).ceil().max(2.0);
+            (instrs, bytes, transfers)
+        }
+        DpuKernelKind::Select { len, .. } => {
+            let l = *len as f64;
+            let instrs = l * (2.0 * i.wram_access + 2.0 * i.alu + 0.5 * i.branch);
+            let bytes = 2.0 * l * 4.0;
+            let transfers = (2.0 * l / spec.wram_tile_elems as f64).ceil().max(2.0);
+            (instrs, bytes, transfers)
+        }
+        DpuKernelKind::TimeSeries { len, window } => {
+            let l = *len as f64;
+            let w = *window as f64;
+            let positions = (l - w + 1.0).max(1.0);
+            let instrs = positions * w * mac;
+            let bytes = if spec.locality_optimized {
+                (l + positions) * 4.0
+            } else {
+                // The window is re-fetched per position without blocking.
+                (positions * w + positions) * 4.0
+            };
+            let transfers = (bytes / (spec.wram_tile_elems as f64 * 4.0))
+                .ceil()
+                .max(2.0);
+            (instrs, bytes, transfers)
+        }
+        DpuKernelKind::BfsStep {
+            vertices,
+            avg_degree,
+        } => {
+            let v = *vertices as f64;
+            let e = v * *avg_degree as f64;
+            // Irregular: per-edge MRAM access at 8-byte granularity.
+            let instrs = v * (2.0 * i.wram_access + i.alu) + e * (i.wram_access + 2.0 * i.alu);
+            let bytes = (v * 2.0 + e) * 4.0;
+            let transfers = v + e / 2.0;
+            (instrs, bytes, transfers)
+        }
+    };
+
+    // Without WRAM blocking the generated loops keep re-computing operand
+    // addresses and cannot keep reused operands in registers; charge the
+    // dense kernels an instruction overhead for that.
+    let blocking_overhead = match &spec.kind {
+        DpuKernelKind::Gemm { .. }
+        | DpuKernelKind::Gemv { .. }
+        | DpuKernelKind::TimeSeries { .. }
+            if !spec.locality_optimized =>
+        {
+            1.25
+        }
+        _ => 1.0,
+    };
+    let instrs = instrs * spec.instruction_overhead_factor * blocking_overhead;
+    let compute_cycles = instrs * c.cycles_per_instruction();
+    // DMA engine works per tasklet but the MRAM port is shared: bandwidth
+    // bound plus fixed setup per transfer (transfers issued by different
+    // tasklets overlap only partially; charge the full setup).
+    let dma_cycles = dma_transfers * c.dma_setup_cycles
+        + dma_bytes / (c.mram_bandwidth_bytes_per_s / c.dpu_freq_hz);
+    // The WRAM-blocked code double-buffers its tiles, so compute and DMA
+    // overlap; the streaming baseline issues blocking element-granularity
+    // DMA, serialising the two. A single tasklet can never overlap.
+    let cycles = if spec.locality_optimized && tasklets >= 2 {
+        let (hi, lo) = if compute_cycles >= dma_cycles {
+            (compute_cycles, dma_cycles)
+        } else {
+            (dma_cycles, compute_cycles)
+        };
+        hi + 0.2 * lo
+    } else {
+        compute_cycles + dma_cycles
+    };
+    let seconds = c.cycles_to_seconds(cycles);
+    LaunchStats {
+        instructions: instrs * num_dpus as f64,
+        dma_bytes: dma_bytes * num_dpus as f64,
+        seconds,
+        cycles_per_dpu: cycles,
+    }
+}
+
+/// Validates shape parameters of a kernel kind that buffer-length checks
+/// cannot catch: a [`DpuKernelKind::TimeSeries`] window larger than its
+/// input would read past the per-DPU stride during execution (shared by the
+/// slab and naive launch paths so both fail identically, before any state
+/// is touched).
+pub(crate) fn validate_kernel_shape(kind: &DpuKernelKind) -> SimResult<()> {
+    if let DpuKernelKind::TimeSeries { len, window } = kind {
+        if window > len {
+            return Err(SimError::new(format!(
+                "time-series window {window} exceeds per-DPU input length {len}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Transfers moving fewer elements than this run sequentially even when
+/// `host_threads > 1`: for pure memory copies the scoped-thread spawn/join
+/// cost outweighs the copy below roughly this volume. Kernel launches are
+/// *not* gated on this — their per-chunk compute is not proportional to the
+/// chunk size (a 1-element Reduce output chunk still reduces a whole input
+/// stride).
+const PAR_MIN_TRANSFER_ELEMS: usize = 1 << 16;
+
+/// Thread count for a bulk transfer of `total_elems` elements: sequential
+/// below [`PAR_MIN_TRANSFER_ELEMS`], the configured knob otherwise.
+fn transfer_threads(host_threads: usize, total_elems: usize) -> usize {
+    if total_elems < PAR_MIN_TRANSFER_ELEMS {
+        1
+    } else {
+        host_threads
+    }
+}
+
+/// The simulated UPMEM machine (flat-slab storage).
 #[derive(Debug, Clone)]
 pub struct UpmemSystem {
     config: UpmemConfig,
-    dpus: Vec<Dpu>,
-    buffers: HashMap<BufferId, BufferInfo>,
-    next_buffer: BufferId,
+    num_dpus: usize,
+    slabs: Vec<Slab>,
     mram_used: usize,
     stats: SystemStats,
 }
@@ -71,9 +311,8 @@ impl UpmemSystem {
         let n = config.num_dpus();
         UpmemSystem {
             config,
-            dpus: vec![Dpu::default(); n],
-            buffers: HashMap::new(),
-            next_buffer: 0,
+            num_dpus: n,
+            slabs: Vec::new(),
             mram_used: 0,
             stats: SystemStats::default(),
         }
@@ -86,7 +325,7 @@ impl UpmemSystem {
 
     /// Number of DPUs in the grid.
     pub fn num_dpus(&self) -> usize {
-        self.dpus.len()
+        self.num_dpus
     }
 
     /// Accumulated run statistics.
@@ -106,6 +345,9 @@ impl UpmemSystem {
 
     /// Allocates a buffer of `elems_per_dpu` 32-bit elements on every DPU.
     ///
+    /// One contiguous slab covers the whole grid, so this is a single host
+    /// allocation regardless of the number of DPUs.
+    ///
     /// # Errors
     ///
     /// Returns an error if the per-DPU MRAM capacity would be exceeded.
@@ -117,14 +359,19 @@ impl UpmemSystem {
                 self.mram_used, bytes, self.config.mram_bytes
             )));
         }
-        let id = self.next_buffer;
-        self.next_buffer += 1;
+        let id = self.slabs.len() as BufferId;
         self.mram_used += bytes;
-        self.buffers.insert(id, BufferInfo { elems_per_dpu });
-        for dpu in &mut self.dpus {
-            dpu.buffers.insert(id, vec![0; elems_per_dpu]);
-        }
+        self.slabs.push(Slab {
+            elems_per_dpu,
+            data: vec![0; elems_per_dpu * self.num_dpus],
+        });
         Ok(id)
+    }
+
+    fn slab(&self, id: BufferId) -> SimResult<&Slab> {
+        self.slabs
+            .get(id as usize)
+            .ok_or_else(|| SimError::new(format!("unknown buffer {id}")))
     }
 
     /// Elements per DPU of an allocated buffer.
@@ -133,14 +380,25 @@ impl UpmemSystem {
     ///
     /// Returns an error if the buffer does not exist.
     pub fn buffer_len(&self, id: BufferId) -> SimResult<usize> {
-        self.buffers
-            .get(&id)
-            .map(|b| b.elems_per_dpu)
-            .ok_or_else(|| SimError::new(format!("unknown buffer {id}")))
+        Ok(self.slab(id)?.elems_per_dpu)
+    }
+
+    /// The whole contiguous slab of a buffer (testing/benchmarking aid): DPU
+    /// `d` owns elements `[d * elems_per_dpu, (d + 1) * elems_per_dpu)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the buffer does not exist.
+    pub fn buffer_slab(&self, id: BufferId) -> SimResult<&[i32]> {
+        Ok(&self.slab(id)?.data)
     }
 
     /// Scatters host data across the DPUs: DPU `d` receives elements
     /// `[d * chunk, (d + 1) * chunk)` of `data` (zero-padded at the tail).
+    ///
+    /// On the slab layout this is a bulk copy over contiguous memory,
+    /// parallelised across DPU strides when
+    /// [`host_threads`](UpmemConfig::host_threads) allows.
     ///
     /// # Errors
     ///
@@ -152,22 +410,23 @@ impl UpmemSystem {
         data: &[i32],
         chunk: usize,
     ) -> SimResult<TransferStats> {
-        let info = self
-            .buffers
-            .get(&buffer)
-            .ok_or_else(|| SimError::new(format!("unknown buffer {buffer}")))?;
-        if chunk > info.elems_per_dpu {
+        let elems = self.buffer_len(buffer)?;
+        if chunk > elems {
             return Err(SimError::new(format!(
-                "chunk of {chunk} elements exceeds per-DPU buffer of {}",
-                info.elems_per_dpu
+                "chunk of {chunk} elements exceeds per-DPU buffer of {elems}"
             )));
         }
-        for (d, dpu) in self.dpus.iter_mut().enumerate() {
-            let dst = dpu.buffers.get_mut(&buffer).expect("buffer exists on every DPU");
-            let start = d * chunk;
-            for i in 0..chunk {
-                dst[i] = data.get(start + i).copied().unwrap_or(0);
-            }
+        let threads = transfer_threads(self.config.host_threads, chunk * self.num_dpus);
+        let slab = &mut self.slabs[buffer as usize];
+        if chunk > 0 {
+            par::for_each_chunk_mut(threads, &mut slab.data, elems, |d, stride| {
+                let start = d * chunk;
+                let avail = data.len().saturating_sub(start).min(chunk);
+                if avail > 0 {
+                    stride[..avail].copy_from_slice(&data[start..start + avail]);
+                }
+                stride[avail..chunk].fill(0);
+            });
         }
         let bytes = (data.len() * 4) as u64;
         let seconds = self.config.host_transfer_seconds(bytes as f64);
@@ -178,29 +437,34 @@ impl UpmemSystem {
 
     /// Copies the same host data to the buffer of every DPU (broadcast).
     ///
+    /// Cost model: the replicated image crosses the host interface once per
+    /// DPU (`data.len() * 4 * num_dpus` bytes are accounted), but ranks are
+    /// written in parallel, so the transfer time is that of one rank-sized
+    /// image through a single rank's channel — see
+    /// [`UpmemConfig::broadcast_seconds`]. The time is therefore independent
+    /// of the number of ranks, matching the PrIM `dpu_broadcast_to`
+    /// behaviour.
+    ///
     /// # Errors
     ///
     /// Returns an error if the buffer does not exist or the data does not fit.
     pub fn broadcast_i32(&mut self, buffer: BufferId, data: &[i32]) -> SimResult<TransferStats> {
-        let info = self
-            .buffers
-            .get(&buffer)
-            .ok_or_else(|| SimError::new(format!("unknown buffer {buffer}")))?;
-        if data.len() > info.elems_per_dpu {
+        let elems = self.buffer_len(buffer)?;
+        if data.len() > elems {
             return Err(SimError::new(format!(
-                "broadcast of {} elements exceeds per-DPU buffer of {}",
-                data.len(),
-                info.elems_per_dpu
+                "broadcast of {} elements exceeds per-DPU buffer of {elems}",
+                data.len()
             )));
         }
-        for dpu in &mut self.dpus {
-            let dst = dpu.buffers.get_mut(&buffer).expect("buffer exists on every DPU");
-            dst[..data.len()].copy_from_slice(data);
+        let threads = transfer_threads(self.config.host_threads, data.len() * self.num_dpus);
+        let slab = &mut self.slabs[buffer as usize];
+        if !data.is_empty() {
+            par::for_each_chunk_mut(threads, &mut slab.data, elems, |_, stride| {
+                stride[..data.len()].copy_from_slice(data);
+            });
         }
-        // A broadcast is replicated over every rank; ranks receive it in
-        // parallel, so the cost is that of one rank-sized copy per rank chain.
-        let bytes = (data.len() * 4 * self.config.num_dpus()) as u64;
-        let seconds = self.config.host_transfer_seconds(bytes as f64);
+        let bytes = (data.len() * 4 * self.num_dpus) as u64;
+        let seconds = self.config.broadcast_seconds((data.len() * 4) as f64);
         self.stats.host_to_dpu_bytes += bytes;
         self.stats.host_to_dpu_seconds += seconds;
         Ok(TransferStats { bytes, seconds })
@@ -213,21 +477,25 @@ impl UpmemSystem {
     ///
     /// Returns an error if the buffer does not exist or `chunk` exceeds the
     /// per-DPU buffer size.
-    pub fn gather_i32(&mut self, buffer: BufferId, chunk: usize) -> SimResult<(Vec<i32>, TransferStats)> {
-        let info = self
-            .buffers
-            .get(&buffer)
-            .ok_or_else(|| SimError::new(format!("unknown buffer {buffer}")))?;
-        if chunk > info.elems_per_dpu {
+    pub fn gather_i32(
+        &mut self,
+        buffer: BufferId,
+        chunk: usize,
+    ) -> SimResult<(Vec<i32>, TransferStats)> {
+        let elems = self.buffer_len(buffer)?;
+        if chunk > elems {
             return Err(SimError::new(format!(
-                "chunk of {chunk} elements exceeds per-DPU buffer of {}",
-                info.elems_per_dpu
+                "chunk of {chunk} elements exceeds per-DPU buffer of {elems}"
             )));
         }
-        let mut out = Vec::with_capacity(chunk * self.dpus.len());
-        for dpu in &self.dpus {
-            let src = dpu.buffers.get(&buffer).expect("buffer exists on every DPU");
-            out.extend_from_slice(&src[..chunk]);
+        let mut out = vec![0i32; chunk * self.num_dpus];
+        if chunk > 0 {
+            let threads = transfer_threads(self.config.host_threads, out.len());
+            let slab = &self.slabs[buffer as usize];
+            par::for_each_chunk_mut(threads, &mut out, chunk, |d, dst| {
+                let start = d * elems;
+                dst.copy_from_slice(&slab.data[start..start + chunk]);
+            });
         }
         let bytes = (out.len() * 4) as u64;
         let seconds = self.config.host_transfer_seconds(bytes as f64);
@@ -243,14 +511,12 @@ impl UpmemSystem {
     ///
     /// Returns an error if the DPU or buffer does not exist.
     pub fn dpu_buffer(&self, dpu: usize, buffer: BufferId) -> SimResult<&[i32]> {
-        let d = self
-            .dpus
-            .get(dpu)
-            .ok_or_else(|| SimError::new(format!("DPU {dpu} out of range")))?;
-        d.buffers
-            .get(&buffer)
-            .map(|v| v.as_slice())
-            .ok_or_else(|| SimError::new(format!("unknown buffer {buffer}")))
+        if dpu >= self.num_dpus {
+            return Err(SimError::new(format!("DPU {dpu} out of range")));
+        }
+        let slab = self.slab(buffer)?;
+        let e = slab.elems_per_dpu;
+        Ok(&slab.data[dpu * e..(dpu + 1) * e])
     }
 
     /// Launches a kernel on every DPU of the grid.
@@ -259,15 +525,22 @@ impl UpmemSystem {
     /// time is that of the slowest DPU (they all execute the same amount of
     /// work here, so any DPU is critical).
     ///
+    /// Hot path: input strides are borrowed directly from the slabs and the
+    /// output slab is split into disjoint per-DPU chunks, so no per-DPU heap
+    /// allocation or buffer clone happens; execution is data-parallel across
+    /// DPUs (see [`UpmemConfig::host_threads`]) with bit-identical results
+    /// for any thread count.
+    ///
     /// # Errors
     ///
     /// Returns an error if a referenced buffer does not exist or is too small
     /// for the kernel shape.
     pub fn launch(&mut self, spec: &KernelSpec) -> SimResult<LaunchStats> {
-        // Validate buffer shapes before touching any state.
+        // Validate kernel and buffer shapes before touching any state.
+        validate_kernel_shape(&spec.kind)?;
         for (i, &buf) in spec.inputs.iter().enumerate() {
             let len = self.buffer_len(buf)?;
-            let needed = Self::input_len(&spec.kind, i);
+            let needed = spec.kind.input_len(i);
             if len < needed {
                 return Err(SimError::new(format!(
                     "input {i} of kernel '{}' needs {needed} elements per DPU, buffer has {len}",
@@ -285,301 +558,112 @@ impl UpmemSystem {
         }
 
         // Functional execution on every DPU.
-        for dpu in &mut self.dpus {
-            let inputs: Vec<Vec<i32>> = spec
-                .inputs
-                .iter()
-                .map(|b| dpu.buffers.get(b).expect("validated above").clone())
-                .collect();
-            let output = dpu.buffers.get_mut(&spec.output).expect("validated above");
-            Self::execute_kernel(&spec.kind, &inputs, output);
+        if spec.inputs.contains(&spec.output) {
+            self.launch_aliased(spec);
+        } else {
+            // Move the output slab out (no allocation) so the input slabs can
+            // be borrowed immutably while the output is mutated.
+            let mut out_data = std::mem::take(&mut self.slabs[spec.output as usize].data);
+            let n_inputs = spec.inputs.len();
+            debug_assert!(n_inputs <= exec::MAX_KERNEL_INPUTS);
+            let mut strides = [(&[] as &[i32], 0usize); exec::MAX_KERNEL_INPUTS];
+            for (slot, &b) in strides.iter_mut().zip(&spec.inputs) {
+                let s = &self.slabs[b as usize];
+                *slot = (s.data.as_slice(), s.elems_per_dpu);
+            }
+            let kind = &spec.kind;
+            par::for_each_chunk_mut(
+                self.config.host_threads,
+                &mut out_data,
+                out_len,
+                |d, out| {
+                    let mut views: [&[i32]; exec::MAX_KERNEL_INPUTS] =
+                        [&[]; exec::MAX_KERNEL_INPUTS];
+                    for (view, (slab, e)) in views.iter_mut().zip(&strides[..n_inputs]) {
+                        *view = &slab[d * e..(d + 1) * e];
+                    }
+                    exec::execute_kernel(kind, &views[..n_inputs], out);
+                },
+            );
+            self.slabs[spec.output as usize].data = out_data;
         }
 
         // Timing.
         let tasklets = spec.tasklets.unwrap_or(self.config.tasklets);
-        let stats = self.kernel_cost(spec, tasklets);
+        let stats = kernel_launch_cost(&self.config, spec, tasklets, self.num_dpus);
         self.stats.kernel_seconds += stats.seconds;
         self.stats.launches += 1;
         Ok(stats)
     }
 
-    /// Required per-DPU length of input `index` for a kernel kind.
-    fn input_len(kind: &DpuKernelKind, index: usize) -> usize {
-        match kind {
-            DpuKernelKind::Gemm { m, k, n } => {
-                if index == 0 {
-                    m * k
-                } else {
-                    k * n
-                }
-            }
-            DpuKernelKind::Gemv { rows, cols } => {
-                if index == 0 {
-                    rows * cols
-                } else {
-                    *cols
-                }
-            }
-            DpuKernelKind::Elementwise { len, .. } => *len,
-            DpuKernelKind::Reduce { len, .. } => *len,
-            DpuKernelKind::Histogram { len, .. } => *len,
-            DpuKernelKind::Scan { len, .. } => *len,
-            DpuKernelKind::Select { len, .. } => *len,
-            DpuKernelKind::TimeSeries { len, .. } => *len,
-            DpuKernelKind::BfsStep { vertices, avg_degree } => match index {
-                0 => vertices + 1,
-                1 => vertices * avg_degree,
-                _ => *vertices,
-            },
+    /// Slow path for the rare launch whose output buffer is also an input:
+    /// preserves read-before-write semantics by cloning the input strides,
+    /// exactly as the naive reference does for every launch.
+    fn launch_aliased(&mut self, spec: &KernelSpec) {
+        let out_elems = self.slabs[spec.output as usize].elems_per_dpu;
+        for d in 0..self.num_dpus {
+            let inputs: Vec<Vec<i32>> = spec
+                .inputs
+                .iter()
+                .map(|&b| {
+                    let s = &self.slabs[b as usize];
+                    let e = s.elems_per_dpu;
+                    s.data[d * e..(d + 1) * e].to_vec()
+                })
+                .collect();
+            let views: Vec<&[i32]> = inputs.iter().map(|v| v.as_slice()).collect();
+            let out = &mut self.slabs[spec.output as usize].data;
+            exec::execute_kernel(
+                &spec.kind,
+                &views,
+                &mut out[d * out_elems..(d + 1) * out_elems],
+            );
         }
     }
+}
 
-    /// Functional semantics of one DPU executing the kernel on local data.
-    fn execute_kernel(kind: &DpuKernelKind, inputs: &[Vec<i32>], output: &mut [i32]) {
-        match kind {
-            DpuKernelKind::Gemm { m, k, n } => {
-                let (a, b) = (&inputs[0], &inputs[1]);
-                for i in 0..*m {
-                    for j in 0..*n {
-                        let mut acc: i32 = 0;
-                        for p in 0..*k {
-                            acc = acc.wrapping_add(a[i * k + p].wrapping_mul(b[p * n + j]));
-                        }
-                        output[i * n + j] = output[i * n + j].wrapping_add(acc);
-                    }
-                }
-            }
-            DpuKernelKind::Gemv { rows, cols } => {
-                let (a, x) = (&inputs[0], &inputs[1]);
-                for i in 0..*rows {
-                    let mut acc: i32 = 0;
-                    for j in 0..*cols {
-                        acc = acc.wrapping_add(a[i * cols + j].wrapping_mul(x[j]));
-                    }
-                    output[i] = output[i].wrapping_add(acc);
-                }
-            }
-            DpuKernelKind::Elementwise { op, len } => {
-                let (a, b) = (&inputs[0], &inputs[1]);
-                for i in 0..*len {
-                    output[i] = op.apply(a[i], b[i]);
-                }
-            }
-            DpuKernelKind::Reduce { op, len } => {
-                let a = &inputs[0];
-                let mut acc = op.identity();
-                for &v in &a[..*len] {
-                    acc = op.apply(acc, v);
-                }
-                output[0] = acc;
-            }
-            DpuKernelKind::Histogram { bins, len, max_value } => {
-                let a = &inputs[0];
-                for slot in output.iter_mut().take(*bins) {
-                    *slot = 0;
-                }
-                let max = (*max_value).max(1) as i64;
-                for &v in &a[..*len] {
-                    let clamped = (v.max(0) as i64).min(max - 1);
-                    let bin = (clamped * *bins as i64 / max) as usize;
-                    output[bin] += 1;
-                }
-            }
-            DpuKernelKind::Scan { op, len } => {
-                let a = &inputs[0];
-                let mut acc = op.identity();
-                for i in 0..*len {
-                    acc = op.apply(acc, a[i]);
-                    output[i] = acc;
-                }
-            }
-            DpuKernelKind::Select { len, threshold } => {
-                let a = &inputs[0];
-                let mut count = 0usize;
-                for &v in &a[..*len] {
-                    if v > *threshold {
-                        output[1 + count] = v;
-                        count += 1;
-                    }
-                }
-                output[0] = count as i32;
-            }
-            DpuKernelKind::TimeSeries { len, window } => {
-                let a = &inputs[0];
-                let positions = len.saturating_sub(*window) + 1;
-                for i in 0..positions {
-                    let mut acc: i64 = 0;
-                    for j in 0..*window {
-                        let d = (a[i + j] - a[j]) as i64;
-                        acc += d * d;
-                    }
-                    output[i] = acc.min(i32::MAX as i64) as i32;
-                }
-            }
-            DpuKernelKind::BfsStep { vertices, .. } => {
-                let (row_off, cols, frontier) = (&inputs[0], &inputs[1], &inputs[2]);
-                for slot in output.iter_mut().take(*vertices) {
-                    *slot = 0;
-                }
-                for v in 0..*vertices {
-                    if frontier[v] == 0 {
-                        continue;
-                    }
-                    let start = row_off[v] as usize;
-                    let end = row_off[v + 1] as usize;
-                    for e in start..end.min(cols.len()) {
-                        let dst = (cols[e] as usize) % *vertices;
-                        output[dst] = 1;
-                    }
-                }
-            }
-        }
+impl DpuSystem for UpmemSystem {
+    fn config(&self) -> &UpmemConfig {
+        UpmemSystem::config(self)
     }
-
-    /// First-order cost model of one launch.
-    fn kernel_cost(&self, spec: &KernelSpec, tasklets: usize) -> LaunchStats {
-        let c = &self.config;
-        let i = &c.instr;
-        // A multiply-accumulate on WRAM data: two loads, a (software) 32-bit
-        // multiply, an add and amortised loop overhead.
-        let mac = 2.0 * i.wram_access + i.mul32 + i.alu + 0.5 * i.branch;
-        // A streaming element-wise operation: two loads, one ALU op, a store.
-        let stream = 3.0 * i.wram_access + i.alu + 0.5 * i.branch;
-
-        // (instructions, dma_bytes, dma_transfers) per DPU.
-        let (instrs, dma_bytes, dma_transfers) = match &spec.kind {
-            DpuKernelKind::Gemm { m, k, n } => {
-                let (m, k, n) = (*m as f64, *k as f64, *n as f64);
-                let macs = m * n * k;
-                let instrs = macs * mac + m * n * i.wram_access;
-                if spec.locality_optimized {
-                    // Operand tiles are staged in WRAM once.
-                    let bytes = (m * k + k * n + 2.0 * m * n) * 4.0;
-                    let transfers = (bytes / (spec.wram_tile_elems as f64 * 4.0)).ceil() + 4.0;
-                    (instrs, bytes, transfers)
-                } else {
-                    // PrIM-style streaming (Figure 3a): one row of A per output
-                    // row, one row of B per output element, C written per element.
-                    let bytes = (m * k + m * n * k + 2.0 * m * n) * 4.0;
-                    let transfers = m + m * n + m * n;
-                    (instrs, bytes, transfers)
-                }
-            }
-            DpuKernelKind::Gemv { rows, cols } => {
-                let (r, cl) = (*rows as f64, *cols as f64);
-                let macs = r * cl;
-                let instrs = macs * mac + r * i.wram_access;
-                if spec.locality_optimized {
-                    let bytes = (r * cl + cl + 2.0 * r) * 4.0;
-                    let transfers = (bytes / (spec.wram_tile_elems as f64 * 4.0)).ceil() + 3.0;
-                    (instrs, bytes, transfers)
-                } else {
-                    let bytes = (r * cl + r * cl + 2.0 * r) * 4.0;
-                    let transfers = 2.0 * r + 2.0;
-                    (instrs, bytes, transfers)
-                }
-            }
-            DpuKernelKind::Elementwise { len, .. } => {
-                let l = *len as f64;
-                let instrs = l * stream;
-                let bytes = 3.0 * l * 4.0;
-                let tile = spec.wram_tile_elems as f64;
-                let transfers = (3.0 * l / tile).ceil().max(3.0);
-                (instrs, bytes, transfers)
-            }
-            DpuKernelKind::Reduce { len, .. } => {
-                let l = *len as f64;
-                let instrs = l * (i.wram_access + i.alu + 0.25 * i.branch);
-                let bytes = l * 4.0;
-                let transfers = (l / spec.wram_tile_elems as f64).ceil().max(1.0);
-                (instrs, bytes, transfers)
-            }
-            DpuKernelKind::Histogram { len, bins, .. } => {
-                let l = *len as f64;
-                // Scale each element into a bin (division!) and update WRAM.
-                let instrs = l * (i.wram_access + i.div32 * 0.25 + i.mul32 * 0.25 + 2.0 * i.alu)
-                    + *bins as f64 * i.wram_access;
-                let bytes = (l + *bins as f64) * 4.0;
-                let transfers = (l / spec.wram_tile_elems as f64).ceil().max(2.0);
-                (instrs, bytes, transfers)
-            }
-            DpuKernelKind::Scan { len, .. } => {
-                let l = *len as f64;
-                let instrs = l * stream;
-                let bytes = 2.0 * l * 4.0;
-                let transfers = (2.0 * l / spec.wram_tile_elems as f64).ceil().max(2.0);
-                (instrs, bytes, transfers)
-            }
-            DpuKernelKind::Select { len, .. } => {
-                let l = *len as f64;
-                let instrs = l * (2.0 * i.wram_access + 2.0 * i.alu + 0.5 * i.branch);
-                let bytes = 2.0 * l * 4.0;
-                let transfers = (2.0 * l / spec.wram_tile_elems as f64).ceil().max(2.0);
-                (instrs, bytes, transfers)
-            }
-            DpuKernelKind::TimeSeries { len, window } => {
-                let l = *len as f64;
-                let w = *window as f64;
-                let positions = (l - w + 1.0).max(1.0);
-                let instrs = positions * w * mac;
-                let bytes = if spec.locality_optimized {
-                    (l + positions) * 4.0
-                } else {
-                    // The window is re-fetched per position without blocking.
-                    (positions * w + positions) * 4.0
-                };
-                let transfers = (bytes / (spec.wram_tile_elems as f64 * 4.0)).ceil().max(2.0);
-                (instrs, bytes, transfers)
-            }
-            DpuKernelKind::BfsStep { vertices, avg_degree } => {
-                let v = *vertices as f64;
-                let e = v * *avg_degree as f64;
-                // Irregular: per-edge MRAM access at 8-byte granularity.
-                let instrs = v * (2.0 * i.wram_access + i.alu) + e * (i.wram_access + 2.0 * i.alu);
-                let bytes = (v * 2.0 + e) * 4.0;
-                let transfers = v + e / 2.0;
-                (instrs, bytes, transfers)
-            }
-        };
-
-        // Without WRAM blocking the generated loops keep re-computing operand
-        // addresses and cannot keep reused operands in registers; charge the
-        // dense kernels an instruction overhead for that.
-        let blocking_overhead = match &spec.kind {
-            DpuKernelKind::Gemm { .. } | DpuKernelKind::Gemv { .. } | DpuKernelKind::TimeSeries { .. }
-                if !spec.locality_optimized =>
-            {
-                1.25
-            }
-            _ => 1.0,
-        };
-        let instrs = instrs * spec.instruction_overhead_factor * blocking_overhead;
-        let compute_cycles = instrs * c.cycles_per_instruction();
-        // DMA engine works per tasklet but the MRAM port is shared: bandwidth
-        // bound plus fixed setup per transfer (transfers issued by different
-        // tasklets overlap only partially; charge the full setup).
-        let dma_cycles = dma_transfers * c.dma_setup_cycles
-            + dma_bytes / (c.mram_bandwidth_bytes_per_s / c.dpu_freq_hz);
-        // The WRAM-blocked code double-buffers its tiles, so compute and DMA
-        // overlap; the streaming baseline issues blocking element-granularity
-        // DMA, serialising the two. A single tasklet can never overlap.
-        let cycles = if spec.locality_optimized && tasklets >= 2 {
-            let (hi, lo) = if compute_cycles >= dma_cycles {
-                (compute_cycles, dma_cycles)
-            } else {
-                (dma_cycles, compute_cycles)
-            };
-            hi + 0.2 * lo
-        } else {
-            compute_cycles + dma_cycles
-        };
-        let seconds = c.cycles_to_seconds(cycles);
-        LaunchStats {
-            instructions: instrs * self.num_dpus() as f64,
-            dma_bytes: dma_bytes * self.num_dpus() as f64,
-            seconds,
-            cycles_per_dpu: cycles,
-        }
+    fn num_dpus(&self) -> usize {
+        UpmemSystem::num_dpus(self)
+    }
+    fn stats(&self) -> &SystemStats {
+        UpmemSystem::stats(self)
+    }
+    fn reset_stats(&mut self) {
+        UpmemSystem::reset_stats(self)
+    }
+    fn alloc_buffer(&mut self, elems_per_dpu: usize) -> SimResult<BufferId> {
+        UpmemSystem::alloc_buffer(self, elems_per_dpu)
+    }
+    fn buffer_len(&self, id: BufferId) -> SimResult<usize> {
+        UpmemSystem::buffer_len(self, id)
+    }
+    fn scatter_i32(
+        &mut self,
+        buffer: BufferId,
+        data: &[i32],
+        chunk: usize,
+    ) -> SimResult<TransferStats> {
+        UpmemSystem::scatter_i32(self, buffer, data, chunk)
+    }
+    fn broadcast_i32(&mut self, buffer: BufferId, data: &[i32]) -> SimResult<TransferStats> {
+        UpmemSystem::broadcast_i32(self, buffer, data)
+    }
+    fn gather_i32(
+        &mut self,
+        buffer: BufferId,
+        chunk: usize,
+    ) -> SimResult<(Vec<i32>, TransferStats)> {
+        UpmemSystem::gather_i32(self, buffer, chunk)
+    }
+    fn dpu_buffer(&self, dpu: usize, buffer: BufferId) -> SimResult<&[i32]> {
+        UpmemSystem::dpu_buffer(self, dpu, buffer)
+    }
+    fn launch(&mut self, spec: &KernelSpec) -> SimResult<LaunchStats> {
+        UpmemSystem::launch(self, spec)
     }
 }
 
@@ -624,8 +708,21 @@ mod tests {
         let buf = sys.alloc_buffer(8).unwrap();
         let data: Vec<i32> = (1..=20).collect(); // only 2.5 DPUs worth
         sys.scatter_i32(buf, &data, 8).unwrap();
-        assert_eq!(sys.dpu_buffer(2, buf).unwrap(), &[17, 18, 19, 20, 0, 0, 0, 0]);
+        assert_eq!(
+            sys.dpu_buffer(2, buf).unwrap(),
+            &[17, 18, 19, 20, 0, 0, 0, 0]
+        );
         assert_eq!(sys.dpu_buffer(3, buf).unwrap(), &[0; 8]);
+    }
+
+    #[test]
+    fn slab_layout_is_contiguous_per_dpu_strides() {
+        let mut sys = small_system();
+        let buf = sys.alloc_buffer(4).unwrap();
+        let data: Vec<i32> = (0..16).collect();
+        sys.scatter_i32(buf, &data, 4).unwrap();
+        // One contiguous allocation covering all DPUs, stride per DPU.
+        assert_eq!(sys.buffer_slab(buf).unwrap(), &data[..]);
     }
 
     #[test]
@@ -636,6 +733,34 @@ mod tests {
         for d in 0..sys.num_dpus() {
             assert_eq!(sys.dpu_buffer(d, buf).unwrap(), &[5, 6, 7, 8]);
         }
+    }
+
+    #[test]
+    fn broadcast_cost_is_rank_parallel_and_bytes_are_accounted_per_dpu() {
+        // The documented model: every DPU's MRAM image crosses the host
+        // interface (bytes scale with num_dpus), but ranks replicate in
+        // parallel, so the *time* is one rank-sized image through one rank's
+        // channel — independent of the number of ranks.
+        let data = vec![7i32; 1024];
+        let mut times = Vec::new();
+        for ranks in [1usize, 4, 16] {
+            let mut sys = UpmemSystem::new(UpmemConfig::with_ranks(ranks));
+            let buf = sys.alloc_buffer(1024).unwrap();
+            let t = sys.broadcast_i32(buf, &data).unwrap();
+            assert_eq!(t.bytes, (data.len() * 4 * sys.num_dpus()) as u64);
+            assert_eq!(sys.stats().host_to_dpu_bytes, t.bytes);
+            assert!((sys.stats().host_to_dpu_seconds - t.seconds).abs() < 1e-18);
+            let cfg = sys.config();
+            let expected = cfg.host_transfer_latency_s
+                + (data.len() * 4 * cfg.dpus_per_rank) as f64
+                    / cfg.host_bandwidth_per_rank_bytes_per_s;
+            assert!((t.seconds - expected).abs() < 1e-15, "ranks = {ranks}");
+            times.push(t.seconds);
+        }
+        assert!(
+            times.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-15),
+            "{times:?}"
+        );
     }
 
     #[test]
@@ -669,39 +794,92 @@ mod tests {
     }
 
     #[test]
+    fn launch_with_output_aliasing_an_input_reads_pre_launch_state() {
+        let mut sys = small_system();
+        let a = sys.alloc_buffer(4).unwrap();
+        sys.broadcast_i32(a, &[1, 2, 3, 4]).unwrap();
+        // scan over itself: output[i] = sum of pre-launch a[0..=i]
+        let spec = KernelSpec::new(
+            DpuKernelKind::Scan {
+                op: BinOp::Add,
+                len: 4,
+            },
+            vec![a],
+            a,
+        );
+        sys.launch(&spec).unwrap();
+        assert_eq!(sys.dpu_buffer(0, a).unwrap(), &[1, 3, 6, 10]);
+    }
+
+    #[test]
     fn elementwise_reduce_scan_histogram_select() {
         let mut sys = small_system();
         let a = sys.alloc_buffer(8).unwrap();
         let b = sys.alloc_buffer(8).unwrap();
         let out = sys.alloc_buffer(9).unwrap();
         sys.broadcast_i32(a, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
-        sys.broadcast_i32(b, &[10, 20, 30, 40, 50, 60, 70, 80]).unwrap();
+        sys.broadcast_i32(b, &[10, 20, 30, 40, 50, 60, 70, 80])
+            .unwrap();
 
         let add = KernelSpec::new(
-            DpuKernelKind::Elementwise { op: BinOp::Add, len: 8 },
+            DpuKernelKind::Elementwise {
+                op: BinOp::Add,
+                len: 8,
+            },
             vec![a, b],
             out,
         );
         sys.launch(&add).unwrap();
-        assert_eq!(sys.dpu_buffer(0, out).unwrap()[..8], [11, 22, 33, 44, 55, 66, 77, 88]);
+        assert_eq!(
+            sys.dpu_buffer(0, out).unwrap()[..8],
+            [11, 22, 33, 44, 55, 66, 77, 88]
+        );
 
-        let red = KernelSpec::new(DpuKernelKind::Reduce { op: BinOp::Add, len: 8 }, vec![a], out);
+        let red = KernelSpec::new(
+            DpuKernelKind::Reduce {
+                op: BinOp::Add,
+                len: 8,
+            },
+            vec![a],
+            out,
+        );
         sys.launch(&red).unwrap();
         assert_eq!(sys.dpu_buffer(0, out).unwrap()[0], 36);
 
-        let scan = KernelSpec::new(DpuKernelKind::Scan { op: BinOp::Add, len: 8 }, vec![a], out);
+        let scan = KernelSpec::new(
+            DpuKernelKind::Scan {
+                op: BinOp::Add,
+                len: 8,
+            },
+            vec![a],
+            out,
+        );
         sys.launch(&scan).unwrap();
-        assert_eq!(sys.dpu_buffer(0, out).unwrap()[..8], [1, 3, 6, 10, 15, 21, 28, 36]);
+        assert_eq!(
+            sys.dpu_buffer(0, out).unwrap()[..8],
+            [1, 3, 6, 10, 15, 21, 28, 36]
+        );
 
         let hist = KernelSpec::new(
-            DpuKernelKind::Histogram { bins: 4, len: 8, max_value: 8 },
+            DpuKernelKind::Histogram {
+                bins: 4,
+                len: 8,
+                max_value: 8,
+            },
             vec![a],
             out,
         );
         sys.launch(&hist).unwrap();
         assert_eq!(sys.dpu_buffer(0, out).unwrap()[..4], [1, 2, 2, 3]);
 
-        let sel = KernelSpec::new(DpuKernelKind::Select { len: 8, threshold: 5 }, vec![a], out);
+        let sel = KernelSpec::new(
+            DpuKernelKind::Select {
+                len: 8,
+                threshold: 5,
+            },
+            vec![a],
+            out,
+        );
         sys.launch(&sel).unwrap();
         let o = sys.dpu_buffer(0, out).unwrap();
         assert_eq!(o[0], 3);
@@ -720,7 +898,10 @@ mod tests {
         sys.broadcast_i32(col, &[1, 2, 3, 0]).unwrap();
         sys.broadcast_i32(frontier, &[1, 0, 0, 0]).unwrap();
         let spec = KernelSpec::new(
-            DpuKernelKind::BfsStep { vertices: 4, avg_degree: 1 },
+            DpuKernelKind::BfsStep {
+                vertices: 4,
+                avg_degree: 1,
+            },
             vec![row, col, frontier],
             next,
         );
@@ -729,19 +910,68 @@ mod tests {
     }
 
     #[test]
+    fn host_threads_do_not_change_results_or_stats() {
+        let data: Vec<i32> = (0..256).map(|i| i * 31 % 97 - 40).collect();
+        let run = |threads: usize| {
+            let mut cfg = UpmemConfig::with_ranks(1).with_host_threads(threads);
+            cfg.dpus_per_rank = 8;
+            let mut sys = UpmemSystem::new(cfg);
+            let a = sys.alloc_buffer(32).unwrap();
+            let b = sys.alloc_buffer(32).unwrap();
+            let c = sys.alloc_buffer(32).unwrap();
+            sys.scatter_i32(a, &data, 32).unwrap();
+            sys.broadcast_i32(b, &data[..32]).unwrap();
+            let spec = KernelSpec::new(
+                DpuKernelKind::Elementwise {
+                    op: BinOp::Mul,
+                    len: 32,
+                },
+                vec![a, b],
+                c,
+            );
+            sys.launch(&spec).unwrap();
+            let (out, _) = sys.gather_i32(c, 32).unwrap();
+            (out, *sys.stats())
+        };
+        let (ref_out, ref_stats) = run(1);
+        for threads in [2usize, 3, 7, 0] {
+            let (out, stats) = run(threads);
+            assert_eq!(out, ref_out, "threads = {threads}");
+            assert_eq!(stats, ref_stats, "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn locality_optimization_reduces_gemm_time() {
         let mut sys = small_system();
         let a = sys.alloc_buffer(64 * 64).unwrap();
         let b = sys.alloc_buffer(64 * 64).unwrap();
         let c = sys.alloc_buffer(64 * 64).unwrap();
-        let base = KernelSpec::new(DpuKernelKind::Gemm { m: 64, k: 64, n: 64 }, vec![a, b], c);
-        let opt = base.clone().with_locality_optimization().with_wram_tile(4096);
+        let base = KernelSpec::new(
+            DpuKernelKind::Gemm {
+                m: 64,
+                k: 64,
+                n: 64,
+            },
+            vec![a, b],
+            c,
+        );
+        let opt = base
+            .clone()
+            .with_locality_optimization()
+            .with_wram_tile(4096);
         let t_base = sys.launch(&base).unwrap().seconds;
         let t_opt = sys.launch(&opt).unwrap().seconds;
-        assert!(t_opt < t_base, "optimized {t_opt} should beat baseline {t_base}");
+        assert!(
+            t_opt < t_base,
+            "optimized {t_opt} should beat baseline {t_base}"
+        );
         // The gain should be substantial (paper: 40-47 %) but not absurd.
         let gain = 1.0 - t_opt / t_base;
-        assert!(gain > 0.2 && gain < 0.8, "gain {gain} out of expected range");
+        assert!(
+            gain > 0.2 && gain < 0.8,
+            "gain {gain} out of expected range"
+        );
     }
 
     #[test]
@@ -750,12 +980,38 @@ mod tests {
         let a = sys.alloc_buffer(4096).unwrap();
         let b = sys.alloc_buffer(4096).unwrap();
         let c = sys.alloc_buffer(4096).unwrap();
-        let spec1 = KernelSpec::new(DpuKernelKind::Elementwise { op: BinOp::Add, len: 4096 }, vec![a, b], c)
-            .with_tasklets(1);
+        let spec1 = KernelSpec::new(
+            DpuKernelKind::Elementwise {
+                op: BinOp::Add,
+                len: 4096,
+            },
+            vec![a, b],
+            c,
+        )
+        .with_tasklets(1);
         let spec16 = spec1.clone().with_tasklets(16);
         let t1 = sys.launch(&spec1).unwrap().seconds;
         let t16 = sys.launch(&spec16).unwrap().seconds;
         assert!(t16 <= t1);
+    }
+
+    #[test]
+    fn launch_rejects_time_series_window_larger_than_input() {
+        let mut sys = small_system();
+        let a = sys.alloc_buffer(4).unwrap();
+        let out = sys.alloc_buffer(4).unwrap();
+        sys.broadcast_i32(a, &[1, 2, 3, 4]).unwrap();
+        let spec = KernelSpec::new(
+            DpuKernelKind::TimeSeries { len: 4, window: 8 },
+            vec![a],
+            out,
+        );
+        let err = sys.launch(&spec).unwrap_err();
+        assert!(err.message().contains("window"));
+        // The system must stay fully usable (no state was touched).
+        assert_eq!(sys.dpu_buffer(0, a).unwrap(), &[1, 2, 3, 4]);
+        let (back, _) = sys.gather_i32(out, 4).unwrap();
+        assert_eq!(back.len(), 4 * sys.num_dpus());
     }
 
     #[test]

@@ -22,8 +22,22 @@ fn main() {
     println!("configuration     time [ms]   speedup   tile writes   energy [mJ]");
     let configs = [
         ("cim", CimRunOptions::default()),
-        ("cim-min-writes", CimRunOptions { min_writes: true, parallel_tiles: false }),
-        ("cim-parallel", CimRunOptions { min_writes: false, parallel_tiles: true }),
+        (
+            "cim-min-writes",
+            CimRunOptions {
+                min_writes: true,
+                parallel_tiles: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "cim-parallel",
+            CimRunOptions {
+                min_writes: false,
+                parallel_tiles: true,
+                ..Default::default()
+            },
+        ),
         ("cim-opt", CimRunOptions::optimized()),
     ];
     for (name, cfg) in configs {

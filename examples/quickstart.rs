@@ -8,7 +8,9 @@
 use cinm::core::{cim_pipeline, cnm_pipeline, compile, TargetSelector};
 use cinm::dialects::{func, linalg};
 use cinm::ir::prelude::*;
-use cinm::lowering::{CimBackend, CimRunOptions, CimLoweringOptions, UpmemBackend, UpmemRunOptions};
+use cinm::lowering::{
+    CimBackend, CimLoweringOptions, CimRunOptions, UpmemBackend, UpmemRunOptions,
+};
 use cinm::workloads::data;
 use cpu_sim::kernels;
 
@@ -16,8 +18,17 @@ fn main() {
     // 1. Write the kernel once, at the device-agnostic linalg level
     //    (the paper's Figure 3b).
     let (m, k, n) = (256usize, 128usize, 64usize);
-    let t = |s: &[usize]| Type::tensor(&s.iter().map(|&x| x as i64).collect::<Vec<_>>(), ScalarType::I32);
-    let mut func_ir = Func::new("matmul", vec![t(&[m, k]), t(&[k, n]), t(&[m, n])], vec![t(&[m, n])]);
+    let t = |s: &[usize]| {
+        Type::tensor(
+            &s.iter().map(|&x| x as i64).collect::<Vec<_>>(),
+            ScalarType::I32,
+        )
+    };
+    let mut func_ir = Func::new(
+        "matmul",
+        vec![t(&[m, k]), t(&[k, n]), t(&[m, n])],
+        vec![t(&[m, n])],
+    );
     let args = func_ir.arguments();
     let entry = func_ir.body.entry_block();
     let mut b = OpBuilder::at_end(&mut func_ir.body, entry);
@@ -38,7 +49,11 @@ fn main() {
     // ... and through the cinm -> cim -> memristor pipeline.
     let mut cim_module = Module::new("quickstart");
     cim_module.add_func(func_ir.clone());
-    compile(&mut cim_module, &cim_pipeline(CimLoweringOptions::optimized())).expect("cim lowering");
+    compile(
+        &mut cim_module,
+        &cim_pipeline(CimLoweringOptions::optimized()),
+    )
+    .expect("cim lowering");
 
     // 3. The cinm abstraction would normally pick the target; show the
     //    greedy policy's decision.
@@ -46,7 +61,10 @@ fn main() {
     cinm_module.add_func(func_ir);
     compile(&mut cinm_module, &cinm::core::cinm_pipeline()).expect("cinm conversion");
     let selector = TargetSelector::new();
-    println!("\ntarget selection: {:?}", selector.select_for_func(&cinm_module.funcs[0]));
+    println!(
+        "\ntarget selection: {:?}",
+        selector.select_for_func(&cinm_module.funcs[0])
+    );
 
     // 4. Execute on both simulated devices and check against the host.
     let a = data::i32_matrix(1, m, k, -8, 8);

@@ -16,11 +16,19 @@ fn main() {
     let scale = Scale::Bench;
     let xeon = CpuModel::xeon_opt();
     println!("workload   ranks   cpu-opt [ms]   cinm [ms]   cinm-opt [ms]   opt gain");
-    for id in [WorkloadId::Va, WorkloadId::Mv, WorkloadId::Red, WorkloadId::HstL, WorkloadId::Mm] {
+    for id in [
+        WorkloadId::Va,
+        WorkloadId::Mv,
+        WorkloadId::Red,
+        WorkloadId::HstL,
+        WorkloadId::Mm,
+    ] {
         let cpu_ms = runner::cpu_seconds(id, scale, &xeon) * 1e3;
         for ranks in [4usize, 8, 16] {
-            let (_, base) = runner::run_upmem_with_stats(id, scale, ranks, UpmemRunOptions::default());
-            let (_, opt) = runner::run_upmem_with_stats(id, scale, ranks, UpmemRunOptions::optimized());
+            let (_, base) =
+                runner::run_upmem_with_stats(id, scale, ranks, UpmemRunOptions::default());
+            let (_, opt) =
+                runner::run_upmem_with_stats(id, scale, ranks, UpmemRunOptions::optimized());
             println!(
                 "{:<10} {:>4}d {:>13.3} {:>11.3} {:>14.3} {:>9.1}%",
                 id.name(),

@@ -46,8 +46,16 @@ fn pipelines_lower_every_idiomatic_workload_to_device_dialects() {
         module.add_func(build_func(id, Scale::Test));
         compile(&mut module, &cnm_pipeline(4, true)).expect("cnm pipeline");
         let f = &module.funcs[0];
-        assert!(!f.body.ops_with_name("upmem.launch").is_empty(), "{}", id.name());
-        assert!(!f.body.ops_with_name("upmem.scatter").is_empty(), "{}", id.name());
+        assert!(
+            !f.body.ops_with_name("upmem.launch").is_empty(),
+            "{}",
+            id.name()
+        );
+        assert!(
+            !f.body.ops_with_name("upmem.scatter").is_empty(),
+            "{}",
+            id.name()
+        );
         assert!(f.body.ops_in_dialect("cinm").is_empty(), "{}", id.name());
     }
     for id in WorkloadId::cim_suite() {
@@ -94,7 +102,11 @@ fn optimizations_follow_the_papers_direction_on_dense_kernels() {
     // Figure 10 direction: min-writes cuts crossbar writes and time.
     let inp = runner::inputs(WorkloadId::Mm, Scale::Test);
     let mut naive = CimBackend::new(CimRunOptions::default());
-    let mut minw = CimBackend::new(CimRunOptions { min_writes: true, parallel_tiles: false });
+    let mut minw = CimBackend::new(CimRunOptions {
+        min_writes: true,
+        parallel_tiles: false,
+        ..Default::default()
+    });
     runner::run_cim(WorkloadId::Mm, Scale::Test, &inp, &mut naive);
     runner::run_cim(WorkloadId::Mm, Scale::Test, &inp, &mut minw);
     assert!(minw.stats().xbar.tile_writes <= naive.stats().xbar.tile_writes);

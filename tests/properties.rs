@@ -1,13 +1,40 @@
 //! Property-based tests of the core invariants: tiling coverage, workgroup
-//! scatter/gather round-trips, affine-map semantics, crossbar MVM exactness
-//! and loop-interchange result preservation.
+//! scatter/gather round-trips, affine-map semantics, crossbar MVM exactness,
+//! loop-interchange result preservation, and bit-identical equivalence of the
+//! flat-slab DPU storage against the retained naive reference path.
+//!
+//! The crate registry is unreachable in this build environment, so instead of
+//! `proptest` the properties are driven by a small deterministic case
+//! generator built on the workloads' SplitMix64 PRNG: every test runs a fixed
+//! number of randomized cases from fixed seeds, so failures are always
+//! reproducible.
 
 use cinm::ir::{AffineExpr, AffineMap};
-use cinm::lowering::{tile_2d, CimBackend, CimRunOptions, Tile, TileShape, UpmemBackend, UpmemRunOptions};
+use cinm::lowering::{
+    tile_2d, CimBackend, CimRunOptions, Tile, TileShape, UpmemBackend, UpmemRunOptions,
+};
 use cinm::memristor::{CrossbarAccelerator, CrossbarConfig};
-use cinm::upmem::{BinOp, DpuKernelKind, KernelSpec, UpmemConfig, UpmemSystem};
+use cinm::upmem::{
+    BinOp, DpuKernelKind, DpuSystem, KernelSpec, NaiveUpmemSystem, UpmemConfig, UpmemSystem,
+};
+use cinm::workloads::data::{self, SplitMix64};
 use cpu_sim::kernels;
-use proptest::prelude::*;
+
+/// Number of randomized cases per property (mirrors the seed's
+/// `ProptestConfig::with_cases(48)`).
+const CASES: u64 = 48;
+
+/// Runs `f` once per case with a per-case deterministic PRNG.
+fn for_cases(test_seed: u64, f: impl Fn(&mut SplitMix64)) {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(test_seed.wrapping_mul(0x9e37_79b9) + case);
+        f(&mut rng);
+    }
+}
+
+fn gen_usize(rng: &mut SplitMix64, lo: usize, hi: usize) -> usize {
+    rng.gen_range_i32(lo as i32, hi as i32) as usize
+}
 
 fn small_upmem() -> UpmemBackend {
     let mut cfg = UpmemConfig::with_ranks(1);
@@ -15,35 +42,39 @@ fn small_upmem() -> UpmemBackend {
     UpmemBackend::with_config(cfg, UpmemRunOptions::optimized())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every tiling shape covers every iteration point exactly once.
-    #[test]
-    fn tiling_partitions_the_iteration_space(
-        m in 1usize..200,
-        n in 1usize..200,
-        tile in 1usize..96,
-        rect_rows in 1usize..48,
-    ) {
+/// Every tiling shape covers every iteration point exactly once.
+#[test]
+fn tiling_partitions_the_iteration_space() {
+    for_cases(1, |rng| {
+        let m = gen_usize(rng, 1, 200);
+        let n = gen_usize(rng, 1, 200);
+        let tile = gen_usize(rng, 1, 96);
+        let rect_rows = gen_usize(rng, 1, 48);
         for shape in [
             TileShape::Box { tile },
-            TileShape::Rectangular { rows: rect_rows, cols: tile },
+            TileShape::Rectangular {
+                rows: rect_rows,
+                cols: tile,
+            },
             TileShape::RowBand { rows: rect_rows },
         ] {
             let tiles = tile_2d(m, n, shape);
             let covered: usize = tiles.iter().map(Tile::points).sum();
-            prop_assert_eq!(covered, m * n);
+            assert_eq!(covered, m * n, "{shape:?} over {m}x{n}");
             for t in &tiles {
-                prop_assert!(t.row + t.rows <= m && t.col + t.cols <= n);
+                assert!(t.row + t.rows <= m && t.col + t.cols <= n);
             }
         }
-    }
+    });
+}
 
-    /// The scatter/gather pair of the cnm abstraction is a lossless
-    /// round-trip for any payload that fits the buffers.
-    #[test]
-    fn scatter_gather_roundtrip(data in proptest::collection::vec(any::<i32>(), 1..512)) {
+/// The scatter/gather pair of the cnm abstraction is a lossless round-trip
+/// for any payload that fits the buffers.
+#[test]
+fn scatter_gather_roundtrip() {
+    for_cases(2, |rng| {
+        let len = gen_usize(rng, 1, 512);
+        let data = data::i32_vec(rng.next_u64(), len, i32::MIN / 2, i32::MAX / 2);
         let mut cfg = UpmemConfig::with_ranks(1);
         cfg.dpus_per_rank = 4;
         let mut sys = UpmemSystem::new(cfg);
@@ -51,43 +82,53 @@ proptest! {
         let buf = sys.alloc_buffer(chunk).unwrap();
         sys.scatter_i32(buf, &data, chunk).unwrap();
         let (back, _) = sys.gather_i32(buf, chunk).unwrap();
-        prop_assert_eq!(&back[..data.len()], &data[..]);
+        assert_eq!(&back[..data.len()], &data[..]);
         // The padding tail is always zero.
-        prop_assert!(back[data.len()..].iter().all(|&v| v == 0));
-    }
+        assert!(back[data.len()..].iter().all(|&v| v == 0));
+    });
+}
 
-    /// The affine tiling map assigns every point a valid (tile, offset) pair.
-    #[test]
-    fn tiling_affine_map_is_consistent(i in 0i64..10_000, j in 0i64..10_000, t0 in 1i64..64, t1 in 1i64..64) {
+/// The affine tiling map assigns every point a valid (tile, offset) pair.
+#[test]
+fn tiling_affine_map_is_consistent() {
+    for_cases(3, |rng| {
+        let i = rng.gen_range_i32(0, 10_000) as i64;
+        let j = rng.gen_range_i32(0, 10_000) as i64;
+        let t0 = rng.gen_range_i32(1, 64) as i64;
+        let t1 = rng.gen_range_i32(1, 64) as i64;
         let map = AffineMap::tiling(&[t0, t1]);
         let r = map.eval(&[i, j]);
-        prop_assert_eq!(r.len(), 4);
-        prop_assert_eq!(r[0] * t0 + r[2], i);
-        prop_assert_eq!(r[1] * t1 + r[3], j);
-        prop_assert!(r[2] < t0 && r[3] < t1);
-    }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0] * t0 + r[2], i);
+        assert_eq!(r[1] * t1 + r[3], j);
+        assert!(r[2] < t0 && r[3] < t1);
+    });
+}
 
-    /// Affine permutation maps are involutive when applied twice with the
-    /// inverse permutation.
-    #[test]
-    fn permutation_roundtrip(v in proptest::collection::vec(0i64..1000, 3)) {
+/// Affine permutation maps are involutive when applied twice with the
+/// inverse permutation.
+#[test]
+fn permutation_roundtrip() {
+    for_cases(4, |rng| {
+        let v: Vec<i64> = (0..3).map(|_| rng.gen_range_i32(0, 1000) as i64).collect();
         let map = AffineMap::permutation(&[2, 0, 1]);
         let inv = AffineMap::permutation(&[1, 2, 0]);
         let once = map.eval(&v);
         let back = inv.eval(&once);
-        prop_assert_eq!(back, v);
+        assert_eq!(back, v);
         let _ = AffineExpr::dim(0); // keep the import exercised
-    }
+    });
+}
 
-    /// The bit-sliced crossbar MVM is exact for arbitrary integer matrices.
-    #[test]
-    fn crossbar_mvm_is_exact(
-        rows in 1usize..16,
-        cols in 1usize..16,
-        seed in 0u64..1000,
-    ) {
-        let w = cinm::workloads::data::i32_matrix(seed, rows, cols, -100, 100);
-        let x = cinm::workloads::data::i32_vec(seed.wrapping_add(1), rows, -100, 100);
+/// The bit-sliced crossbar MVM is exact for arbitrary integer matrices.
+#[test]
+fn crossbar_mvm_is_exact() {
+    for_cases(5, |rng| {
+        let rows = gen_usize(rng, 1, 16);
+        let cols = gen_usize(rng, 1, 16);
+        let seed = rng.next_u64();
+        let w = data::i32_matrix(seed, rows, cols, -100, 100);
+        let x = data::i32_vec(seed.wrapping_add(1), rows, -100, 100);
         let mut xbar = CrossbarAccelerator::new(CrossbarConfig::default());
         xbar.write_tile(0, &w, rows, cols).unwrap();
         let y = xbar.mvm(0, &x).unwrap();
@@ -96,62 +137,305 @@ proptest! {
             for r in 0..rows {
                 acc = acc.wrapping_add(x[r].wrapping_mul(w[r * cols + c]));
             }
-            prop_assert_eq!(y[c], acc);
+            assert_eq!(y[c], acc);
         }
-    }
+    });
+}
 
-    /// Shift-add recombination of bit-sliced weights is the identity.
-    #[test]
-    fn bit_slicing_roundtrip(v in any::<i32>()) {
-        let xbar = CrossbarAccelerator::new(CrossbarConfig::default());
-        prop_assert_eq!(xbar.shift_add_roundtrip(v), v as i64);
+/// Shift-add recombination of bit-sliced weights is the identity.
+#[test]
+fn bit_slicing_roundtrip() {
+    let xbar = CrossbarAccelerator::new(CrossbarConfig::default());
+    for v in [0, 1, -1, 42, -12345, i32::MAX, i32::MIN, 0x7ead_beef] {
+        assert_eq!(xbar.shift_add_roundtrip(v), v as i64, "value {v}");
     }
+    for_cases(6, |rng| {
+        let v = rng.next_u64() as i32;
+        assert_eq!(xbar.shift_add_roundtrip(v), v as i64, "value {v}");
+    });
+}
 
-    /// The min-writes loop interchange and tile parallelism never change the
-    /// GEMM result (they are pure schedule transformations).
-    #[test]
-    fn cim_schedules_preserve_results(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..100) {
-        let a = cinm::workloads::data::i32_matrix(seed, m, k, -5, 5);
-        let b = cinm::workloads::data::i32_matrix(seed + 1, k, n, -5, 5);
+/// The min-writes loop interchange and tile parallelism never change the
+/// GEMM result (they are pure schedule transformations).
+#[test]
+fn cim_schedules_preserve_results() {
+    for_cases(7, |rng| {
+        let m = gen_usize(rng, 1, 40);
+        let k = gen_usize(rng, 1, 40);
+        let n = gen_usize(rng, 1, 40);
+        let seed = rng.next_u64();
+        let a = data::i32_matrix(seed, m, k, -5, 5);
+        let b = data::i32_matrix(seed + 1, k, n, -5, 5);
         let reference = kernels::matmul(&a, &b, m, k, n);
         for opts in [
             CimRunOptions::default(),
-            CimRunOptions { min_writes: true, parallel_tiles: false },
+            CimRunOptions {
+                min_writes: true,
+                parallel_tiles: false,
+                ..Default::default()
+            },
             CimRunOptions::optimized(),
+            CimRunOptions::optimized().with_host_threads(3),
         ] {
             let mut be = CimBackend::new(opts);
-            prop_assert_eq!(be.gemm(&a, &b, m, k, n), reference.clone());
+            assert_eq!(be.gemm(&a, &b, m, k, n), reference);
         }
-    }
+    });
+}
 
-    /// The UPMEM backend's distributed GEMM agrees with the host reference
-    /// for arbitrary shapes, with and without the locality optimisation.
-    #[test]
-    fn upmem_gemm_is_shape_generic(m in 1usize..48, k in 1usize..24, n in 1usize..24, seed in 0u64..100) {
-        let a = cinm::workloads::data::i32_matrix(seed, m, k, -6, 6);
-        let b = cinm::workloads::data::i32_matrix(seed + 7, k, n, -6, 6);
+/// The UPMEM backend's distributed GEMM agrees with the host reference for
+/// arbitrary shapes, with and without the locality optimisation.
+#[test]
+fn upmem_gemm_is_shape_generic() {
+    for_cases(8, |rng| {
+        let m = gen_usize(rng, 1, 48);
+        let k = gen_usize(rng, 1, 24);
+        let n = gen_usize(rng, 1, 24);
+        let seed = rng.next_u64();
+        let a = data::i32_matrix(seed, m, k, -6, 6);
+        let b = data::i32_matrix(seed + 7, k, n, -6, 6);
         let reference = kernels::matmul(&a, &b, m, k, n);
         let mut be = small_upmem();
-        prop_assert_eq!(be.gemm(&a, &b, m, k, n), reference);
-    }
+        assert_eq!(be.gemm(&a, &b, m, k, n), reference);
+    });
+}
 
-    /// Element-wise kernels and reductions on the DPU grid match the host
-    /// fold for every operator.
-    #[test]
-    fn upmem_reductions_match_host(data in proptest::collection::vec(-1000i32..1000, 1..400)) {
+/// Element-wise kernels and reductions on the DPU grid match the host fold
+/// for every operator.
+#[test]
+fn upmem_reductions_match_host() {
+    for_cases(9, |rng| {
+        let len = gen_usize(rng, 1, 400);
+        let data = data::i32_vec(rng.next_u64(), len, -1000, 1000);
         let mut be = small_upmem();
-        prop_assert_eq!(be.reduce(BinOp::Add, &data), kernels::reduce_add(&data));
+        assert_eq!(be.reduce(BinOp::Add, &data), kernels::reduce_add(&data));
         let ones = vec![1i32; data.len()];
         let plus_one = be.elementwise(BinOp::Add, &data, &ones);
         let expected: Vec<i32> = data.iter().map(|&v| v.wrapping_add(1)).collect();
-        prop_assert_eq!(plus_one, expected);
+        assert_eq!(plus_one, expected);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Flat-slab vs naive reference equivalence
+// ---------------------------------------------------------------------------
+
+/// Picks a random kernel kind with small random shapes, returning the kind
+/// plus the required per-DPU input and output buffer lengths.
+fn random_kernel(rng: &mut SplitMix64) -> (DpuKernelKind, Vec<usize>, usize) {
+    let kind = match gen_usize(rng, 0, 9) {
+        0 => DpuKernelKind::Gemm {
+            m: gen_usize(rng, 1, 9),
+            k: gen_usize(rng, 1, 9),
+            n: gen_usize(rng, 1, 9),
+        },
+        1 => DpuKernelKind::Gemv {
+            rows: gen_usize(rng, 1, 17),
+            cols: gen_usize(rng, 1, 17),
+        },
+        2 => DpuKernelKind::Elementwise {
+            op: [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Max][gen_usize(rng, 0, 4)],
+            len: gen_usize(rng, 1, 65),
+        },
+        3 => DpuKernelKind::Reduce {
+            op: [BinOp::Add, BinOp::Min, BinOp::Max, BinOp::Xor][gen_usize(rng, 0, 4)],
+            len: gen_usize(rng, 1, 65),
+        },
+        4 => DpuKernelKind::Histogram {
+            bins: gen_usize(rng, 1, 17),
+            len: gen_usize(rng, 1, 65),
+            max_value: rng.gen_range_i32(1, 128),
+        },
+        5 => DpuKernelKind::Scan {
+            op: [BinOp::Add, BinOp::Or, BinOp::And][gen_usize(rng, 0, 3)],
+            len: gen_usize(rng, 1, 65),
+        },
+        6 => DpuKernelKind::Select {
+            len: gen_usize(rng, 1, 65),
+            threshold: rng.gen_range_i32(-32, 32),
+        },
+        7 => {
+            let window = gen_usize(rng, 1, 9);
+            DpuKernelKind::TimeSeries {
+                len: window + gen_usize(rng, 0, 32),
+                window,
+            }
+        }
+        _ => DpuKernelKind::BfsStep {
+            vertices: gen_usize(rng, 1, 17),
+            avg_degree: gen_usize(rng, 1, 5),
+        },
+    };
+    let inputs: Vec<usize> = (0..kind.num_inputs()).map(|i| kind.input_len(i)).collect();
+    let out_len = kind.output_len();
+    (kind, inputs, out_len)
+}
+
+/// Runs one randomized scatter/broadcast → launch* → gather flow on any
+/// [`DpuSystem`], returning every observable output: gathered buffers, raw
+/// per-DPU buffer contents and the accumulated statistics.
+fn drive_random_flow(
+    sys: &mut dyn DpuSystem,
+    kind: &DpuKernelKind,
+    input_lens: &[usize],
+    out_len: usize,
+    data_seed: u64,
+    launches: usize,
+) -> (Vec<Vec<i32>>, cinm::upmem::SystemStats) {
+    let mut buffers = Vec::new();
+    for (i, &len) in input_lens.iter().enumerate() {
+        let buf = sys.alloc_buffer(len).unwrap();
+        let payload = data::i32_vec(data_seed + i as u64, len * sys.num_dpus(), -40, 40);
+        if i % 2 == 0 {
+            sys.scatter_i32(buf, &payload, len).unwrap();
+        } else {
+            sys.broadcast_i32(buf, &payload[..len]).unwrap();
+        }
+        buffers.push(buf);
     }
+    let out = sys.alloc_buffer(out_len).unwrap();
+    let spec = KernelSpec::new(kind.clone(), buffers.clone(), out);
+    for _ in 0..launches {
+        sys.launch(&spec).unwrap();
+    }
+    let mut observed = Vec::new();
+    for &buf in buffers.iter().chain(std::iter::once(&out)) {
+        let (gathered, _) = sys.gather_i32(buf, sys.buffer_len(buf).unwrap()).unwrap();
+        observed.push(gathered);
+    }
+    (observed, *sys.stats())
+}
+
+/// The flat-slab layout produces bit-identical buffers *and* statistics to
+/// the retained naive reference path, across randomized shapes, DPU counts,
+/// kernel kinds and host-thread counts.
+#[test]
+fn slab_layout_is_bit_identical_to_the_naive_reference() {
+    for_cases(10, |rng| {
+        let (kind, input_lens, out_len) = random_kernel(rng);
+        let dpus = gen_usize(rng, 1, 13);
+        let data_seed = rng.next_u64();
+        let launches = gen_usize(rng, 1, 4);
+        let threads = [1usize, 2, 3, 5][gen_usize(rng, 0, 4)];
+
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = dpus;
+        let mut naive = NaiveUpmemSystem::new(cfg.clone());
+        let mut slab = UpmemSystem::new(cfg.clone().with_host_threads(threads));
+
+        let (naive_out, naive_stats) =
+            drive_random_flow(&mut naive, &kind, &input_lens, out_len, data_seed, launches);
+        let (slab_out, slab_stats) =
+            drive_random_flow(&mut slab, &kind, &input_lens, out_len, data_seed, launches);
+
+        assert_eq!(
+            naive_out,
+            slab_out,
+            "kind {} dpus {dpus} threads {threads}",
+            kind.name()
+        );
+        assert_eq!(
+            naive_stats,
+            slab_stats,
+            "kind {} stats diverged",
+            kind.name()
+        );
+        // Per-DPU views agree too (exercises the stride indexing directly).
+        for d in [0, dpus / 2, dpus - 1] {
+            assert_eq!(
+                naive.dpu_buffer(d, 0).unwrap(),
+                slab.dpu_buffer(d, 0).unwrap()
+            );
+        }
+    });
+}
+
+/// Every kernel kind is exercised against the naive reference at a fixed
+/// grid size (deterministic complement to the randomized equivalence test).
+#[test]
+fn every_kernel_kind_matches_the_naive_reference() {
+    let kinds: Vec<DpuKernelKind> = vec![
+        DpuKernelKind::Gemm { m: 4, k: 6, n: 5 },
+        DpuKernelKind::Gemv { rows: 9, cols: 7 },
+        DpuKernelKind::Elementwise {
+            op: BinOp::Mul,
+            len: 33,
+        },
+        DpuKernelKind::Reduce {
+            op: BinOp::Add,
+            len: 29,
+        },
+        DpuKernelKind::Histogram {
+            bins: 8,
+            len: 50,
+            max_value: 64,
+        },
+        DpuKernelKind::Scan {
+            op: BinOp::Add,
+            len: 21,
+        },
+        DpuKernelKind::Select {
+            len: 40,
+            threshold: 3,
+        },
+        DpuKernelKind::TimeSeries { len: 24, window: 5 },
+        DpuKernelKind::BfsStep {
+            vertices: 11,
+            avg_degree: 2,
+        },
+    ];
+    for (i, kind) in kinds.into_iter().enumerate() {
+        let mut rng = SplitMix64::seed_from_u64(4242 + i as u64);
+        let input_lens: Vec<usize> = (0..kind.num_inputs()).map(|i| kind.input_len(i)).collect();
+        let out_len = kind.output_len();
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = 8;
+        let mut naive = NaiveUpmemSystem::new(cfg.clone());
+        let mut slab = UpmemSystem::new(cfg.with_host_threads(3));
+        let seed = rng.next_u64();
+        let (naive_out, naive_stats) =
+            drive_random_flow(&mut naive, &kind, &input_lens, out_len, seed, 2);
+        let (slab_out, slab_stats) =
+            drive_random_flow(&mut slab, &kind, &input_lens, out_len, seed, 2);
+        assert_eq!(naive_out, slab_out, "kind {}", kind.name());
+        assert_eq!(naive_stats, slab_stats, "kind {}", kind.name());
+    }
+}
+
+/// The UPMEM backend produces identical results and simulated statistics for
+/// any host-thread count (the knob only changes simulator wall-clock time).
+#[test]
+fn backend_results_are_invariant_under_host_threads() {
+    for_cases(11, |rng| {
+        let m = gen_usize(rng, 1, 32);
+        let k = gen_usize(rng, 1, 16);
+        let n = gen_usize(rng, 1, 16);
+        let seed = rng.next_u64();
+        let a = data::i32_matrix(seed, m, k, -6, 6);
+        let b = data::i32_matrix(seed + 1, k, n, -6, 6);
+        let run = |threads: usize| {
+            let mut cfg = UpmemConfig::with_ranks(1);
+            cfg.dpus_per_rank = 4;
+            let mut be = UpmemBackend::with_config(
+                cfg,
+                UpmemRunOptions::optimized().with_host_threads(threads),
+            );
+            let c = be.gemm(&a, &b, m, k, n);
+            (c, *be.stats())
+        };
+        let (ref_c, ref_stats) = run(1);
+        for threads in [2usize, 4, 0] {
+            let (c, stats) = run(threads);
+            assert_eq!(c, ref_c, "threads = {threads}");
+            assert_eq!(stats, ref_stats, "threads = {threads}");
+        }
+    });
 }
 
 #[test]
 fn kernel_spec_validation_is_deterministic() {
-    // Not a property, but keeps the proptest file self-contained: a spec with
-    // the wrong arity must always panic.
+    // Not a property, but keeps the file self-contained: a spec with the
+    // wrong arity must always panic.
     let result = std::panic::catch_unwind(|| {
         KernelSpec::new(DpuKernelKind::Gemm { m: 2, k: 2, n: 2 }, vec![0], 1)
     });
