@@ -4,6 +4,7 @@
 //! the `bench-sim` binary.
 
 use cinm_bench::simbench::{self, CaseKind, SimCase};
+use cinm_runtime::PoolHandle;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -16,16 +17,17 @@ fn bench(c: &mut Criterion) {
         reps: 1,
     };
     let inp = simbench::inputs(&case);
+    let pool = PoolHandle::with_threads(4);
     let mut group = c.benchmark_group("sim_throughput");
     group.sample_size(10);
     group.bench_function("seed_naive_layout", |b| {
         b.iter(|| simbench::measure_seed(&case, &inp).checksum)
     });
     group.bench_function("flat_slab_1_thread", |b| {
-        b.iter(|| simbench::measure_slab(&case, &inp, 1).checksum)
+        b.iter(|| simbench::measure_slab(&case, &inp, 1, &pool).checksum)
     });
     group.bench_function("flat_slab_4_threads", |b| {
-        b.iter(|| simbench::measure_slab(&case, &inp, 4).checksum)
+        b.iter(|| simbench::measure_slab(&case, &inp, 4, &pool).checksum)
     });
     group.finish();
 }

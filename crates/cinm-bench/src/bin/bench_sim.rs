@@ -5,17 +5,28 @@
 //!
 //! * the retained seed implementation (naive layout, per-launch clones),
 //! * the flat-slab layout at 1 host thread, and
-//! * the flat-slab layout at N host threads,
+//! * the flat-slab layout at N host threads on a persistent worker pool,
 //!
-//! and writes the results to `BENCH_sim.json` (override with `--out PATH`;
-//! `--threads N` overrides the parallel thread count, `--quick` runs a
-//! reduced case list for smoke testing). Future PRs diff this file to catch
+//! plus a **pool-vs-scope dispatch microbenchmark** capturing the per-launch
+//! overhead of spawning OS threads per operation (the seed model) against
+//! queueing onto long-lived pool workers, and writes the results to
+//! `BENCH_sim.json`. Future PRs diff this file to catch
 //! simulation-throughput regressions.
+//!
+//! Flags (mirroring `cinm-experiments`):
+//!
+//! * `--out PATH` — output file (default `BENCH_sim.json`);
+//! * `--scale small|large|all` — which tracked cases to run (default `all`);
+//! * `--threads N|auto` — parallel thread count of the N-thread column
+//!   (default 4, `auto` = all available cores, minimum 2 so the column
+//!   differs from the 1-thread column);
+//! * `--quick` — single rep, small scale only (CI smoke testing).
 
 use std::num::NonZeroUsize;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use cinm_bench::simbench::{self, SimCase};
+use cinm_bench::simbench::{self, OverheadCase, SimCase};
+use cinm_runtime::PoolHandle;
 
 struct CaseResult {
     case: SimCase,
@@ -32,53 +43,86 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<Option<&'a str>> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| args.get(i + 1).map(String::as_str))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = match args.iter().position(|a| a == "--out") {
+    let out_path = match flag_value(&args, "--out") {
         None => "BENCH_sim.json".to_string(),
-        Some(i) => args.get(i + 1).cloned().unwrap_or_else(|| {
+        Some(Some(p)) => p.to_string(),
+        Some(None) => {
             eprintln!("error: --out requires a path");
             std::process::exit(2);
-        }),
+        }
     };
     let host_cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
-    let threads = match args.iter().position(|a| a == "--threads") {
+    let threads = match flag_value(&args, "--threads") {
         None => 4usize,
-        Some(i) => match args.get(i + 1) {
-            None => {
-                eprintln!("error: --threads requires a value");
+        Some(Some("auto")) => host_cores.max(2),
+        Some(Some(raw)) => match raw.parse() {
+            Ok(n) if n >= 2 => n,
+            Ok(_) => {
+                eprintln!("error: --threads must be >= 2 (the N-thread column must differ from the 1-thread column)");
                 std::process::exit(2);
             }
-            Some(raw) => match raw.parse() {
-                Ok(n) if n >= 2 => n,
-                Ok(_) => {
-                    eprintln!("error: --threads must be >= 2 (the N-thread column must differ from the 1-thread column)");
-                    std::process::exit(2);
-                }
-                Err(_) => {
-                    eprintln!("error: invalid --threads value '{raw}'; expected a number >= 2");
-                    std::process::exit(2);
-                }
-            },
+            Err(_) => {
+                eprintln!(
+                    "error: invalid --threads value '{raw}'; expected a number >= 2 or 'auto'"
+                );
+                std::process::exit(2);
+            }
         },
+        Some(None) => {
+            eprintln!("error: --threads requires a value (a number >= 2 or 'auto')");
+            std::process::exit(2);
+        }
+    };
+    let scale = match flag_value(&args, "--scale") {
+        None => "all".to_string(),
+        Some(Some(s)) if matches!(s, "small" | "large" | "all") => s.to_string(),
+        Some(Some(other)) => {
+            eprintln!("error: invalid --scale value '{other}'; expected small|large|all");
+            std::process::exit(2);
+        }
+        Some(None) => {
+            eprintln!("error: --scale requires a value (small|large|all)");
+            std::process::exit(2);
+        }
     };
     let quick = args.iter().any(|a| a == "--quick");
 
     let mut cases = simbench::default_cases();
+    if scale != "all" {
+        cases.retain(|c| c.scale == scale);
+    }
     if quick {
         for c in &mut cases {
             c.reps = 1;
         }
         cases.retain(|c| c.scale == "small");
     }
+    if cases.is_empty() {
+        eprintln!(
+            "error: no cases selected (scale '{scale}'{})",
+            if quick { " with --quick" } else { "" }
+        );
+        std::process::exit(2);
+    }
+
+    // One persistent pool for the whole run — the point of the comparison.
+    let pool = PoolHandle::with_threads(threads);
 
     let mut results = Vec::new();
     for case in cases {
         eprintln!("measuring {}/{} ...", case.name, case.scale);
         let inp = simbench::inputs(&case);
         let seed = simbench::measure_seed(&case, &inp);
-        let slab1 = simbench::measure_slab(&case, &inp, 1);
-        let slabn = simbench::measure_slab(&case, &inp, threads);
+        let slab1 = simbench::measure_slab(&case, &inp, 1, &pool);
+        let slabn = simbench::measure_slab(&case, &inp, threads, &pool);
         assert_eq!(
             seed.checksum, slab1.checksum,
             "{}/{}",
@@ -106,19 +150,53 @@ fn main() {
         });
     }
 
+    eprintln!("measuring dispatch overhead (pool vs thread::scope) ...");
+    let oc = OverheadCase {
+        bands: threads,
+        ..if quick {
+            OverheadCase {
+                iterations: 64,
+                ..Default::default()
+            }
+        } else {
+            OverheadCase::default()
+        }
+    };
+    let overhead = simbench::measure_dispatch_overhead(&pool, &oc);
+    eprintln!(
+        "  scope {:.4}s  pool {:.4}s  -> pool {:.2}x faster per launch",
+        overhead.scope_s,
+        overhead.pool_s,
+        overhead.scope_s / overhead.pool_s
+    );
+
     let generated_unix = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"cinm/bench-sim/v1\",\n");
+    json.push_str("  \"schema\": \"cinm/bench-sim/v2\",\n");
     json.push_str(
-        "  \"description\": \"Simulator wall-clock seconds (host time, best-of-reps) for launch-heavy workloads: seed naive layout vs flat-slab layout at 1 and N host threads. Lower is better; speedups are seed/slab.\",\n",
+        "  \"description\": \"Simulator wall-clock seconds (host time, best-of-reps) for launch-heavy workloads: seed naive layout vs flat-slab layout at 1 and N host threads on a persistent worker pool. Lower is better; speedups are seed/slab. dispatch_overhead compares per-launch thread dispatch: std::thread::scope spawning per operation (seed model) vs the persistent pool.\",\n",
     );
     json.push_str(&format!("  \"generated_unix\": {generated_unix},\n"));
     json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     json.push_str(&format!("  \"slab_threads\": {threads},\n"));
+    json.push_str("  \"dispatch_overhead\": {\n");
+    json.push_str(&format!("    \"iterations\": {},\n", oc.iterations));
+    json.push_str(&format!("    \"bands_per_launch\": {},\n", oc.bands));
+    json.push_str(&format!("    \"elems_per_band\": {},\n", oc.elems_per_band));
+    json.push_str(&format!(
+        "    \"scope_s\": {},\n",
+        json_f64(overhead.scope_s)
+    ));
+    json.push_str(&format!("    \"pool_s\": {},\n", json_f64(overhead.pool_s)));
+    json.push_str(&format!(
+        "    \"speedup_pool_vs_scope\": {}\n",
+        json_f64(overhead.scope_s / overhead.pool_s)
+    ));
+    json.push_str("  },\n");
     json.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         let dpus = upmem_sim::UpmemConfig::with_ranks(r.case.ranks).num_dpus();

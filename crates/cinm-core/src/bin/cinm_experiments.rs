@@ -6,9 +6,11 @@
 //! `--threads` sets the number of host worker threads used for the
 //! *functional* side of the simulation (`auto` = all available cores). The
 //! reproduced numbers are bit-identical for every thread count; only the
-//! wall-clock time of the sweep changes.
+//! wall-clock time of the sweep changes. One persistent worker pool is
+//! constructed up front and shared by every figure of the sweep.
 
 use cinm_core::experiments;
+use cinm_runtime::PoolHandle;
 use cinm_workloads::Scale;
 
 fn parse_scale(args: &[String]) -> Scale {
@@ -46,22 +48,31 @@ fn main() {
     let which = args.first().map(String::as_str).unwrap_or("all");
     let scale = parse_scale(&args);
     let threads = parse_threads(&args);
+    // One persistent pool for the whole sweep: worker threads are spawned
+    // once here and reused by every backend of every figure.
+    let pool = PoolHandle::with_threads(threads);
     let run_fig10 = || {
         println!(
             "{}",
-            experiments::format_figure10(&experiments::figure10_with_threads(scale, threads))
+            experiments::format_figure10(&experiments::figure10_with_runtime(
+                scale, threads, &pool
+            ))
         )
     };
     let run_fig11 = || {
         println!(
             "{}",
-            experiments::format_figure11(&experiments::figure11_with_threads(scale, threads))
+            experiments::format_figure11(&experiments::figure11_with_runtime(
+                scale, threads, &pool
+            ))
         )
     };
     let run_fig12 = || {
         println!(
             "{}",
-            experiments::format_figure12(&experiments::figure12_with_threads(scale, threads))
+            experiments::format_figure12(&experiments::figure12_with_runtime(
+                scale, threads, &pool
+            ))
         )
     };
     let run_table4 = || println!("{}", experiments::format_table4(&experiments::table4()));

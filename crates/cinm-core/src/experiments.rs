@@ -3,6 +3,7 @@
 
 use cinm_ir::printer::func_lines_of_code;
 use cinm_lowering::{CimRunOptions, UpmemRunOptions};
+use cinm_runtime::PoolHandle;
 use cinm_workloads::{build_func, Scale, WorkloadId};
 use cpu_sim::model::CpuModel;
 
@@ -49,32 +50,49 @@ pub fn figure10(scale: Scale) -> Vec<Fig10Row> {
 
 /// [`figure10`] with an explicit host-thread count for the functional
 /// simulation: the sweep runs faster on multicore hosts, the reproduced
-/// numbers are bit-identical.
+/// numbers are bit-identical. One worker pool is constructed for the whole
+/// sweep and shared by every configuration.
 pub fn figure10_with_threads(scale: Scale, host_threads: usize) -> Vec<Fig10Row> {
+    figure10_with_runtime(scale, host_threads, &PoolHandle::with_threads(host_threads))
+}
+
+/// [`figure10_with_threads`] on an explicit shared worker pool (the
+/// `cinm-experiments` binary constructs one pool for all figures).
+pub fn figure10_with_runtime(
+    scale: Scale,
+    host_threads: usize,
+    pool: &PoolHandle,
+) -> Vec<Fig10Row> {
     let arm = CpuModel::arm_host();
     let mut rows = Vec::new();
     for id in WorkloadId::cim_suite() {
         let arm_seconds = runner::cpu_seconds(id, scale, &arm);
         let arm_energy = arm.energy_joules(&runner::cpu_op_counts(id, scale));
         let configs = [
-            CimRunOptions::default().with_host_threads(host_threads),
+            CimRunOptions::default()
+                .with_host_threads(host_threads)
+                .with_pool(pool.clone()),
             CimRunOptions {
                 min_writes: true,
                 parallel_tiles: false,
                 host_threads,
+                pool: pool.clone(),
             },
             CimRunOptions {
                 min_writes: false,
                 parallel_tiles: true,
                 host_threads,
+                pool: pool.clone(),
             },
-            CimRunOptions::optimized().with_host_threads(host_threads),
+            CimRunOptions::optimized()
+                .with_host_threads(host_threads)
+                .with_pool(pool.clone()),
         ];
         let mut speedups = [0.0f64; 4];
         let mut writes = [0u64; 4];
         let mut opt_energy = 0.0;
         for (i, cfg) in configs.iter().enumerate() {
-            let (_, stats) = runner::run_cim_with_stats(id, scale, *cfg);
+            let (_, stats) = runner::run_cim_with_stats(id, scale, cfg.clone());
             speedups[i] = arm_seconds / stats.total_seconds();
             writes[i] = stats.xbar.tile_writes;
             if i == 3 {
@@ -158,8 +176,18 @@ pub fn figure11(scale: Scale) -> Vec<Fig11Row> {
 
 /// [`figure11`] with an explicit host-thread count for the functional
 /// simulation: the sweep runs faster on multicore hosts, the reproduced
-/// numbers are bit-identical.
+/// numbers are bit-identical. One worker pool is constructed for the whole
+/// sweep and shared by every configuration.
 pub fn figure11_with_threads(scale: Scale, host_threads: usize) -> Vec<Fig11Row> {
+    figure11_with_runtime(scale, host_threads, &PoolHandle::with_threads(host_threads))
+}
+
+/// [`figure11_with_threads`] on an explicit shared worker pool.
+pub fn figure11_with_runtime(
+    scale: Scale,
+    host_threads: usize,
+    pool: &PoolHandle,
+) -> Vec<Fig11Row> {
     let mut rows = Vec::new();
     for id in WorkloadId::upmem_opt_suite() {
         for ranks in [4usize, 8, 16] {
@@ -167,13 +195,17 @@ pub fn figure11_with_threads(scale: Scale, host_threads: usize) -> Vec<Fig11Row>
                 id,
                 scale,
                 ranks,
-                UpmemRunOptions::default().with_host_threads(host_threads),
+                UpmemRunOptions::default()
+                    .with_host_threads(host_threads)
+                    .with_pool(pool.clone()),
             );
             let (_, opt) = runner::run_upmem_with_stats(
                 id,
                 scale,
                 ranks,
-                UpmemRunOptions::optimized().with_host_threads(host_threads),
+                UpmemRunOptions::optimized()
+                    .with_host_threads(host_threads)
+                    .with_pool(pool.clone()),
             );
             // As in the PrIM methodology the figures report DPU kernel
             // execution time; bulk host<->MRAM loads are reported separately
@@ -244,7 +276,7 @@ pub struct Fig12Row {
 /// CINM-generated ones (documented in EXPERIMENTS.md): PrIM also blocks into
 /// WRAM, but with fixed 256-element tiles, and its histogram kernel updates a
 /// shared copy, which is where the paper observes CINM's largest win.
-fn prim_options(id: WorkloadId, host_threads: usize) -> UpmemRunOptions {
+fn prim_options(id: WorkloadId, host_threads: usize, pool: &PoolHandle) -> UpmemRunOptions {
     let overhead = match id {
         WorkloadId::HstL => 3.4,
         WorkloadId::Mlp => 1.7,
@@ -262,6 +294,7 @@ fn prim_options(id: WorkloadId, host_threads: usize) -> UpmemRunOptions {
         instruction_overhead: overhead,
         wram_tile_elems: Some(256),
         host_threads,
+        pool: pool.clone(),
     }
 }
 
@@ -272,20 +305,36 @@ pub fn figure12(scale: Scale) -> Vec<Fig12Row> {
 
 /// [`figure12`] with an explicit host-thread count for the functional
 /// simulation: the sweep runs faster on multicore hosts, the reproduced
-/// numbers are bit-identical.
+/// numbers are bit-identical. One worker pool is constructed for the whole
+/// sweep and shared by every configuration.
 pub fn figure12_with_threads(scale: Scale, host_threads: usize) -> Vec<Fig12Row> {
+    figure12_with_runtime(scale, host_threads, &PoolHandle::with_threads(host_threads))
+}
+
+/// [`figure12_with_threads`] on an explicit shared worker pool.
+pub fn figure12_with_runtime(
+    scale: Scale,
+    host_threads: usize,
+    pool: &PoolHandle,
+) -> Vec<Fig12Row> {
     let xeon = CpuModel::xeon_opt();
     let mut rows = Vec::new();
     for id in WorkloadId::prim_suite() {
         let cpu_ms = runner::cpu_seconds(id, scale, &xeon) * 1e3;
         for ranks in [4usize, 8, 16] {
-            let (_, prim) =
-                runner::run_upmem_with_stats(id, scale, ranks, prim_options(id, host_threads));
+            let (_, prim) = runner::run_upmem_with_stats(
+                id,
+                scale,
+                ranks,
+                prim_options(id, host_threads, pool),
+            );
             let (_, cinm) = runner::run_upmem_with_stats(
                 id,
                 scale,
                 ranks,
-                UpmemRunOptions::optimized().with_host_threads(host_threads),
+                UpmemRunOptions::optimized()
+                    .with_host_threads(host_threads)
+                    .with_pool(pool.clone()),
             );
             rows.push(Fig12Row {
                 workload: id.name().to_string(),

@@ -9,9 +9,12 @@
 //! against the host reference and report the simulated execution times and
 //! energies of the paper's figures.
 
+use cinm_runtime::{CommandStream, PoolHandle};
 use cpu_sim::model::{CpuModel, OpCounts};
-use memristor_sim::{CimStats, CrossbarAccelerator, CrossbarConfig};
-use upmem_sim::{BinOp, DpuKernelKind, KernelSpec, SystemStats, UpmemConfig, UpmemSystem};
+use memristor_sim::{CimStats, CrossbarAccelerator, CrossbarConfig, XbarCommand, XbarOutput};
+use upmem_sim::{
+    BinOp, Command, CommandOutput, DpuKernelKind, KernelSpec, SystemStats, UpmemConfig, UpmemSystem,
+};
 
 use crate::tiling::{interchange, tile_2d, wram_tile_elems, TileShape};
 
@@ -23,6 +26,17 @@ fn effective_host_threads(config: usize, options: usize) -> usize {
         0
     } else {
         config.max(options)
+    }
+}
+
+/// Merges the two pool handles (simulator config and run options): an
+/// explicitly attached (non-global) pool on the options wins, otherwise the
+/// configuration's handle is kept.
+fn effective_pool(config: &PoolHandle, options: &PoolHandle) -> PoolHandle {
+    if options.is_global() {
+        config.clone()
+    } else {
+        options.clone()
     }
 }
 
@@ -43,6 +57,11 @@ pub struct UpmemRunOptions {
     /// configuration by both constructors; changes only simulator wall-clock
     /// time, never results or simulated statistics.
     pub host_threads: usize,
+    /// The worker pool running the functional simulation (applied to the
+    /// simulator configuration by both constructors). Defaults to the
+    /// process-global pool; the experiment harnesses construct one shared
+    /// pool per sweep.
+    pub pool: PoolHandle,
 }
 
 impl Default for UpmemRunOptions {
@@ -53,6 +72,7 @@ impl Default for UpmemRunOptions {
             instruction_overhead: 1.0,
             wram_tile_elems: None,
             host_threads: 1,
+            pool: PoolHandle::global(),
         }
     }
 }
@@ -71,6 +91,12 @@ impl UpmemRunOptions {
         self.host_threads = host_threads;
         self
     }
+
+    /// Attaches a shared worker pool.
+    pub fn with_pool(mut self, pool: PoolHandle) -> Self {
+        self.pool = pool;
+        self
+    }
 }
 
 /// Runtime backend driving the UPMEM simulator.
@@ -85,7 +111,8 @@ impl UpmemBackend {
     pub fn new(ranks: usize, options: UpmemRunOptions) -> Self {
         let config = UpmemConfig::with_ranks(ranks)
             .with_tasklets(options.tasklets)
-            .with_host_threads(options.host_threads);
+            .with_host_threads(options.host_threads)
+            .with_pool(options.pool.clone());
         UpmemBackend {
             system: UpmemSystem::new(config),
             options,
@@ -94,14 +121,23 @@ impl UpmemBackend {
 
     /// Creates a backend from an explicit configuration. The effective
     /// host-thread count is the larger of the configuration's and the
-    /// options' knob, so neither side can silently lower an explicit choice.
+    /// options' knob, so neither side can silently lower an explicit choice;
+    /// a dedicated pool attached to the options wins over the
+    /// configuration's handle.
     pub fn with_config(config: UpmemConfig, options: UpmemRunOptions) -> Self {
         let threads = effective_host_threads(config.host_threads, options.host_threads);
-        let config = config.with_host_threads(threads);
+        let pool = effective_pool(&config.pool, &options.pool);
+        let config = config.with_host_threads(threads).with_pool(pool);
         UpmemBackend {
             system: UpmemSystem::new(config),
             options,
         }
+    }
+
+    /// Runs a recorded command stream on the backend's system, returning the
+    /// per-command outputs (see [`UpmemSystem::sync`]).
+    fn sync(&mut self, stream: &mut CommandStream<Command<'_>>) -> Vec<CommandOutput> {
+        self.system.sync(stream).expect("stream sync")
     }
 
     /// Accumulated simulated statistics.
@@ -158,10 +194,6 @@ impl UpmemBackend {
             .system
             .alloc_buffer(rows_per_dpu * n)
             .expect("MRAM alloc");
-        self.system
-            .scatter_i32(a_buf, a, rows_per_dpu * k)
-            .expect("scatter");
-        self.system.broadcast_i32(b_buf, b).expect("broadcast");
         let spec = self.spec(
             DpuKernelKind::Gemm {
                 m: rows_per_dpu,
@@ -171,11 +203,26 @@ impl UpmemBackend {
             vec![a_buf, b_buf],
             c_buf,
         );
-        self.system.launch(&spec).expect("launch");
-        let (mut c, _) = self
-            .system
-            .gather_i32(c_buf, rows_per_dpu * n)
-            .expect("gather");
+        // The generated host program is a command stream: the two input
+        // transfers are hazard-independent and overlap, the launch waits on
+        // both, the gather waits on the launch.
+        let mut stream = CommandStream::new();
+        stream.enqueue(Command::Scatter {
+            buffer: a_buf,
+            data: a.into(),
+            chunk: rows_per_dpu * k,
+        });
+        stream.enqueue(Command::Broadcast {
+            buffer: b_buf,
+            data: b.into(),
+        });
+        stream.enqueue(Command::Launch { spec });
+        let g = stream.enqueue(Command::Gather {
+            buffer: c_buf,
+            chunk: rows_per_dpu * n,
+        });
+        let mut out = self.sync(&mut stream);
+        let mut c = out.swap_remove(g).into_gathered().expect("gather output");
         c.truncate(m * n);
         c
     }
@@ -192,10 +239,6 @@ impl UpmemBackend {
             .expect("MRAM alloc");
         let x_buf = self.system.alloc_buffer(cols).expect("MRAM alloc");
         let y_buf = self.system.alloc_buffer(rows_per_dpu).expect("MRAM alloc");
-        self.system
-            .scatter_i32(a_buf, a, rows_per_dpu * cols)
-            .expect("scatter");
-        self.system.broadcast_i32(x_buf, x).expect("broadcast");
         let spec = self.spec(
             DpuKernelKind::Gemv {
                 rows: rows_per_dpu,
@@ -204,8 +247,23 @@ impl UpmemBackend {
             vec![a_buf, x_buf],
             y_buf,
         );
-        self.system.launch(&spec).expect("launch");
-        let (mut y, _) = self.system.gather_i32(y_buf, rows_per_dpu).expect("gather");
+        let mut stream = CommandStream::new();
+        stream.enqueue(Command::Scatter {
+            buffer: a_buf,
+            data: a.into(),
+            chunk: rows_per_dpu * cols,
+        });
+        stream.enqueue(Command::Broadcast {
+            buffer: x_buf,
+            data: x.into(),
+        });
+        stream.enqueue(Command::Launch { spec });
+        let g = stream.enqueue(Command::Gather {
+            buffer: y_buf,
+            chunk: rows_per_dpu,
+        });
+        let mut out = self.sync(&mut stream);
+        let mut y = out.swap_remove(g).into_gathered().expect("gather output");
         y.truncate(rows);
         y
     }
@@ -218,15 +276,29 @@ impl UpmemBackend {
         let a_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
         let b_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
         let c_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
-        self.system.scatter_i32(a_buf, a, chunk).expect("scatter");
-        self.system.scatter_i32(b_buf, b, chunk).expect("scatter");
         let spec = self.spec(
             DpuKernelKind::Elementwise { op, len: chunk },
             vec![a_buf, b_buf],
             c_buf,
         );
-        self.system.launch(&spec).expect("launch");
-        let (mut c, _) = self.system.gather_i32(c_buf, chunk).expect("gather");
+        let mut stream = CommandStream::new();
+        stream.enqueue(Command::Scatter {
+            buffer: a_buf,
+            data: a.into(),
+            chunk,
+        });
+        stream.enqueue(Command::Scatter {
+            buffer: b_buf,
+            data: b.into(),
+            chunk,
+        });
+        stream.enqueue(Command::Launch { spec });
+        let g = stream.enqueue(Command::Gather {
+            buffer: c_buf,
+            chunk,
+        });
+        let mut out = self.sync(&mut stream);
+        let mut c = out.swap_remove(g).into_gathered().expect("gather output");
         c.truncate(a.len());
         c
     }
@@ -238,13 +310,23 @@ impl UpmemBackend {
         let chunk = a.len().div_ceil(dpus).max(1);
         let a_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
         let p_buf = self.system.alloc_buffer(1).expect("MRAM alloc");
-        self.system.scatter_i32(a_buf, a, chunk).expect("scatter");
         // Zero-pad tails must not disturb the reduction: pad with identity.
         // (The scatter pads with zeros, which is the identity for add/or/xor;
         // for min/max the pads are ignored because the identity dominates.)
         let spec = self.spec(DpuKernelKind::Reduce { op, len: chunk }, vec![a_buf], p_buf);
-        self.system.launch(&spec).expect("launch");
-        let (partials, _) = self.system.gather_i32(p_buf, 1).expect("gather");
+        let mut stream = CommandStream::new();
+        stream.enqueue(Command::Scatter {
+            buffer: a_buf,
+            data: a.into(),
+            chunk,
+        });
+        stream.enqueue(Command::Launch { spec });
+        let g = stream.enqueue(Command::Gather {
+            buffer: p_buf,
+            chunk: 1,
+        });
+        let mut out = self.sync(&mut stream);
+        let partials = out.swap_remove(g).into_gathered().expect("gather output");
         let used_dpus = a.len().div_ceil(chunk);
         partials
             .into_iter()
@@ -258,7 +340,6 @@ impl UpmemBackend {
         let chunk = a.len().div_ceil(dpus).max(1);
         let a_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
         let h_buf = self.system.alloc_buffer(bins).expect("MRAM alloc");
-        self.system.scatter_i32(a_buf, a, chunk).expect("scatter");
         let spec = self.spec(
             DpuKernelKind::Histogram {
                 bins,
@@ -268,8 +349,19 @@ impl UpmemBackend {
             vec![a_buf],
             h_buf,
         );
-        self.system.launch(&spec).expect("launch");
-        let (partials, _) = self.system.gather_i32(h_buf, bins).expect("gather");
+        let mut stream = CommandStream::new();
+        stream.enqueue(Command::Scatter {
+            buffer: a_buf,
+            data: a.into(),
+            chunk,
+        });
+        stream.enqueue(Command::Launch { spec });
+        let g = stream.enqueue(Command::Gather {
+            buffer: h_buf,
+            chunk: bins,
+        });
+        let mut out = self.sync(&mut stream);
+        let partials = out.swap_remove(g).into_gathered().expect("gather output");
         let mut merged = vec![0i32; bins];
         for (i, v) in partials.iter().enumerate() {
             merged[i % bins] += v;
@@ -289,7 +381,6 @@ impl UpmemBackend {
         let chunk = a.len().div_ceil(dpus).max(1);
         let a_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
         let o_buf = self.system.alloc_buffer(chunk + 1).expect("MRAM alloc");
-        self.system.scatter_i32(a_buf, a, chunk).expect("scatter");
         let spec = self.spec(
             DpuKernelKind::Select {
                 len: chunk,
@@ -298,8 +389,19 @@ impl UpmemBackend {
             vec![a_buf],
             o_buf,
         );
-        self.system.launch(&spec).expect("launch");
-        let (raw, _) = self.system.gather_i32(o_buf, chunk + 1).expect("gather");
+        let mut stream = CommandStream::new();
+        stream.enqueue(Command::Scatter {
+            buffer: a_buf,
+            data: a.into(),
+            chunk,
+        });
+        stream.enqueue(Command::Launch { spec });
+        let g = stream.enqueue(Command::Gather {
+            buffer: o_buf,
+            chunk: chunk + 1,
+        });
+        let mut out = self.sync(&mut stream);
+        let raw = out.swap_remove(g).into_gathered().expect("gather output");
         let mut out = Vec::new();
         let used_dpus = a.len().div_ceil(chunk);
         for d in 0..used_dpus {
@@ -327,14 +429,27 @@ impl UpmemBackend {
         let a_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
         let positions = chunk - window + 1;
         let o_buf = self.system.alloc_buffer(positions).expect("MRAM alloc");
-        self.system.scatter_i32(a_buf, a, chunk).expect("scatter");
         let spec = self.spec(
             DpuKernelKind::TimeSeries { len: chunk, window },
             vec![a_buf],
             o_buf,
         );
-        self.system.launch(&spec).expect("launch");
-        let (out, _) = self.system.gather_i32(o_buf, positions).expect("gather");
+        let mut stream = CommandStream::new();
+        stream.enqueue(Command::Scatter {
+            buffer: a_buf,
+            data: a.into(),
+            chunk,
+        });
+        stream.enqueue(Command::Launch { spec });
+        let g = stream.enqueue(Command::Gather {
+            buffer: o_buf,
+            chunk: positions,
+        });
+        let mut outputs = self.sync(&mut stream);
+        let out = outputs
+            .swap_remove(g)
+            .into_gathered()
+            .expect("gather output");
         let used_dpus = a.len().div_ceil(chunk);
         out[..used_dpus * positions].to_vec()
     }
@@ -366,15 +481,6 @@ impl UpmemBackend {
             .system
             .alloc_buffer(vertices_per_dpu)
             .expect("MRAM alloc");
-        self.system
-            .scatter_i32(r_buf, row_offsets, vertices_per_dpu + 1)
-            .expect("scatter");
-        self.system
-            .scatter_i32(c_buf, cols, vertices_per_dpu * avg_degree)
-            .expect("scatter");
-        self.system
-            .scatter_i32(f_buf, frontier, vertices_per_dpu)
-            .expect("scatter");
         let spec = self.spec(
             DpuKernelKind::BfsStep {
                 vertices: vertices_per_dpu,
@@ -383,18 +489,37 @@ impl UpmemBackend {
             vec![r_buf, c_buf, f_buf],
             n_buf,
         );
-        self.system.launch(&spec).expect("launch");
-        let (next, _) = self
-            .system
-            .gather_i32(n_buf, vertices_per_dpu)
-            .expect("gather");
+        // The three CSR-fragment transfers are independent and overlap.
+        let mut stream = CommandStream::new();
+        stream.enqueue(Command::Scatter {
+            buffer: r_buf,
+            data: row_offsets.into(),
+            chunk: vertices_per_dpu + 1,
+        });
+        stream.enqueue(Command::Scatter {
+            buffer: c_buf,
+            data: cols.into(),
+            chunk: vertices_per_dpu * avg_degree,
+        });
+        stream.enqueue(Command::Scatter {
+            buffer: f_buf,
+            data: frontier.into(),
+            chunk: vertices_per_dpu,
+        });
+        stream.enqueue(Command::Launch { spec });
+        let g = stream.enqueue(Command::Gather {
+            buffer: n_buf,
+            chunk: vertices_per_dpu,
+        });
+        let mut out = self.sync(&mut stream);
+        let next = out.swap_remove(g).into_gathered().expect("gather output");
         next[..used_dpus * vertices_per_dpu].to_vec()
     }
 }
 
 /// Options describing how CINM generated the memristor code
 /// (the Figure 10 configurations).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CimRunOptions {
     /// Loop interchange to minimise crossbar writes (`cim-min-writes`).
     pub min_writes: bool,
@@ -404,6 +529,10 @@ pub struct CimRunOptions {
     /// available cores, `1` = sequential). Changes only simulator wall-clock
     /// time, never results or simulated statistics.
     pub host_threads: usize,
+    /// The worker pool running the functional simulation (applied to the
+    /// crossbar configuration by both constructors). Defaults to the
+    /// process-global pool.
+    pub pool: PoolHandle,
 }
 
 impl Default for CimRunOptions {
@@ -412,6 +541,7 @@ impl Default for CimRunOptions {
             min_writes: false,
             parallel_tiles: false,
             host_threads: 1,
+            pool: PoolHandle::global(),
         }
     }
 }
@@ -429,6 +559,12 @@ impl CimRunOptions {
     /// Overrides the number of host worker threads (`0` = all cores).
     pub fn with_host_threads(mut self, host_threads: usize) -> Self {
         self.host_threads = host_threads;
+        self
+    }
+
+    /// Attaches a shared worker pool.
+    pub fn with_pool(mut self, pool: PoolHandle) -> Self {
+        self.pool = pool;
         self
     }
 }
@@ -458,6 +594,49 @@ impl CimRunStats {
     }
 }
 
+/// Where the result of one issued MVM lands in the output matrix: partials
+/// of row `row` accumulate into columns `[col, col + cols)`.
+#[derive(Debug, Clone, Copy)]
+struct MergeTarget {
+    row: usize,
+    col: usize,
+    cols: usize,
+}
+
+/// Bookkeeping for one enqueued crossbar command, used to merge the stream
+/// outputs into the output matrix (`cinm.mergePartial`).
+#[derive(Debug, Clone)]
+enum Issued {
+    Write,
+    Mvm(MergeTarget),
+    Group(Vec<MergeTarget>),
+}
+
+/// Accumulates one MVM result vector into its output-band target.
+fn merge_one(c: &mut [i32], n: usize, target: &MergeTarget, result: &[i32]) {
+    for cc in 0..target.cols {
+        let dst = &mut c[target.row * n + (target.col + cc)];
+        *dst = dst.wrapping_add(result[cc]);
+    }
+}
+
+/// Merges the outputs of a synced crossbar stream into the output matrix.
+fn merge_outputs(outputs: &[XbarOutput], issued: &[Issued], c: &mut [i32], n: usize) {
+    debug_assert_eq!(outputs.len(), issued.len());
+    for (out, iss) in outputs.iter().zip(issued) {
+        match (out, iss) {
+            (XbarOutput::Written, Issued::Write) => {}
+            (XbarOutput::Mvm(result), Issued::Mvm(target)) => merge_one(c, n, target, result),
+            (XbarOutput::MvmGroup(results), Issued::Group(targets)) => {
+                for (result, target) in results.iter().zip(targets) {
+                    merge_one(c, n, target, result);
+                }
+            }
+            _ => unreachable!("command/output kinds always correspond"),
+        }
+    }
+}
+
 /// Runtime backend driving the crossbar simulator with an ARM host.
 #[derive(Debug)]
 pub struct CimBackend {
@@ -479,10 +658,12 @@ impl CimBackend {
     /// Creates a backend with an explicit crossbar configuration. The
     /// effective host-thread count is the larger of the configuration's and
     /// the options' knob, so neither side can silently lower an explicit
-    /// choice.
+    /// choice; a dedicated pool attached to the options wins over the
+    /// configuration's handle.
     pub fn with_config(config: CrossbarConfig, options: CimRunOptions) -> Self {
         let threads = effective_host_threads(config.host_threads, options.host_threads);
-        let config = config.with_host_threads(threads);
+        let pool = effective_pool(&config.pool, &options.pool);
+        let config = config.with_host_threads(threads).with_pool(pool);
         CimBackend {
             xbar: CrossbarAccelerator::new(config),
             host: CpuModel::arm_host(),
@@ -559,23 +740,35 @@ impl CimBackend {
             b_tiles.chunks(group).map(|c| c.to_vec()).collect()
         };
 
+        // The generated host program is a command stream per outer step:
+        // tile programming and the MVMs that consume it are hazard-ordered
+        // (RAW on the tile index), re-programming waits for earlier readers
+        // (WAR), and MVMs on distinct tiles overlap.
         if self.options.min_writes {
             // Tile-stationary order: program each batch once and reuse it for
             // every output row band (the loop interchange of Section 3.2.4).
             for batch in &batches {
-                self.program_batch(batch, b, n);
+                let mut stream = CommandStream::new();
+                let mut issued = Vec::new();
+                self.enqueue_program(&mut stream, &mut issued, batch, b, n);
                 for band in 0..row_bands {
-                    self.multiply_band(batch, a, &mut c, band, tile, m, k, n);
+                    self.enqueue_band(&mut stream, &mut issued, batch, a, band, tile, m, k);
                 }
+                let outputs = self.xbar.sync(&mut stream).expect("xbar stream");
+                merge_outputs(&outputs, &issued, &mut c, n);
             }
         } else {
             // Naive order: for every output row band, walk (and re-program)
             // all B tiles.
             for band in 0..row_bands {
+                let mut stream = CommandStream::new();
+                let mut issued = Vec::new();
                 for batch in &batches {
-                    self.program_batch(batch, b, n);
-                    self.multiply_band(batch, a, &mut c, band, tile, m, k, n);
+                    self.enqueue_program(&mut stream, &mut issued, batch, b, n);
+                    self.enqueue_band(&mut stream, &mut issued, batch, a, band, tile, m, k);
                 }
+                let outputs = self.xbar.sync(&mut stream).expect("xbar stream");
+                merge_outputs(&outputs, &issued, &mut c, n);
             }
         }
         // Partial-result merging happens in the column periphery /
@@ -589,7 +782,16 @@ impl CimBackend {
         c
     }
 
-    fn program_batch(&mut self, batch: &[crate::tiling::Tile], b: &[i32], n: usize) {
+    /// Enqueues the programming commands of a tile batch (one
+    /// [`XbarCommand::WriteTile`] per crossbar slot).
+    fn enqueue_program(
+        &mut self,
+        stream: &mut CommandStream<XbarCommand>,
+        issued: &mut Vec<Issued>,
+        batch: &[crate::tiling::Tile],
+        b: &[i32],
+        n: usize,
+    ) {
         for (slot, t) in batch.iter().enumerate() {
             let mut w = vec![0i32; t.rows * t.cols];
             for r in 0..t.rows {
@@ -597,63 +799,76 @@ impl CimBackend {
                     w[r * t.cols + cc] = b[(t.row + r) * n + (t.col + cc)];
                 }
             }
-            self.xbar
-                .write_tile(slot, &w, t.rows, t.cols)
-                .expect("tile programming");
+            stream.enqueue(XbarCommand::WriteTile {
+                tile: slot,
+                weights: w,
+                rows: t.rows,
+                cols: t.cols,
+            });
             self.charge_command(1);
+            issued.push(Issued::Write);
         }
     }
 
+    /// Enqueues the MVMs of one output row band against a programmed batch:
+    /// one [`XbarCommand::MvmGroup`] per input row under `cim-parallel`
+    /// (single-MVM latency across the batch), individual
+    /// [`XbarCommand::Mvm`]s otherwise.
     #[allow(clippy::too_many_arguments)]
-    fn multiply_band(
+    fn enqueue_band(
         &mut self,
+        stream: &mut CommandStream<XbarCommand>,
+        issued: &mut Vec<Issued>,
         batch: &[crate::tiling::Tile],
         a: &[i32],
-        c: &mut [i32],
         band: usize,
         tile: usize,
         m: usize,
         k: usize,
-        n: usize,
     ) {
         let row0 = band * tile;
         let rows = tile.min(m - row0);
+        let input_for = |r: usize, t: &crate::tiling::Tile| {
+            let mut x = vec![0i32; t.rows];
+            for p in 0..t.rows {
+                x[p] = a[(row0 + r) * k + (t.row + p)];
+            }
+            x
+        };
         if self.options.parallel_tiles && batch.len() > 1 {
             // Issue one input row at a time across all tiles in parallel.
             for r in 0..rows {
-                let reqs: Vec<(usize, Vec<i32>)> = batch
+                let requests: Vec<(usize, Vec<i32>)> = batch
                     .iter()
                     .enumerate()
-                    .map(|(slot, t)| {
-                        let mut x = vec![0i32; t.rows];
-                        for p in 0..t.rows {
-                            x[p] = a[(row0 + r) * k + (t.row + p)];
-                        }
-                        (slot, x)
-                    })
+                    .map(|(slot, t)| (slot, input_for(r, t)))
                     .collect();
-                let results = self.xbar.mvm_parallel(&reqs).expect("mvm");
+                stream.enqueue(XbarCommand::MvmGroup { requests });
                 self.charge_command(1);
-                for (res, t) in results.iter().zip(batch) {
-                    for cc in 0..t.cols {
-                        let dst = &mut c[(row0 + r) * n + (t.col + cc)];
-                        *dst = dst.wrapping_add(res[cc]);
-                    }
-                }
+                issued.push(Issued::Group(
+                    batch
+                        .iter()
+                        .map(|t| MergeTarget {
+                            row: row0 + r,
+                            col: t.col,
+                            cols: t.cols,
+                        })
+                        .collect(),
+                ));
             }
         } else {
             for (slot, t) in batch.iter().enumerate() {
                 for r in 0..rows {
-                    let mut x = vec![0i32; t.rows];
-                    for p in 0..t.rows {
-                        x[p] = a[(row0 + r) * k + (t.row + p)];
-                    }
-                    let res = self.xbar.mvm(slot, &x).expect("mvm");
+                    stream.enqueue(XbarCommand::Mvm {
+                        tile: slot,
+                        input: input_for(r, t),
+                    });
                     self.charge_command(1);
-                    for cc in 0..t.cols {
-                        let dst = &mut c[(row0 + r) * n + (t.col + cc)];
-                        *dst = dst.wrapping_add(res[cc]);
-                    }
+                    issued.push(Issued::Mvm(MergeTarget {
+                        row: row0 + r,
+                        col: t.col,
+                        cols: t.cols,
+                    }));
                 }
             }
         }

@@ -1,0 +1,548 @@
+//! The persistent worker pool.
+//!
+//! The build environment cannot vendor `rayon`, and the seed parallelised
+//! with `std::thread::scope`, which re-spawns OS threads on every launch and
+//! transfer — an overhead that dominates small grids. This module replaces
+//! that with a **persistent pool**: worker threads are spawned once, live
+//! behind a channel-style work queue, and execute borrowed (scoped) tasks
+//! submitted through [`WorkerPool::scope`]. Dispatching a task is a queue
+//! push instead of a thread spawn.
+//!
+//! Determinism: the pool only changes *which OS thread* runs a task, never
+//! what the task computes or which memory it owns. Every helper here hands
+//! each closure the same disjoint `&mut` data regardless of the worker
+//! count, so results are bit-identical for any thread count — the same
+//! argument (and the same property tests) as the seed's scoped
+//! implementation.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Resolves a `host_threads` knob: `0` means "all available cores", any other
+/// value is clamped to at least one thread, at most one thread per work item,
+/// and never more threads than physical cores (oversubscribing a streaming
+/// workload only thrashes the cache).
+pub fn resolve_threads(requested: usize, work_items: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let threads = if requested == 0 {
+        cores
+    } else {
+        requested.min(cores)
+    };
+    threads.clamp(1, work_items.max(1))
+}
+
+/// A unit of queued work. Tasks are lifetime-erased in [`Scope::spawn`]; the
+/// scope guarantees they never outlive the borrows they capture.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_available: Condvar,
+}
+
+impl PoolShared {
+    fn push(&self, job: Job) {
+        let mut state = self.state.lock().unwrap();
+        state.queue.push_back(job);
+        drop(state);
+        self.work_available.notify_one();
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work_available.wait(state).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+/// A pool of long-lived worker threads behind a channel-based work queue.
+///
+/// Workers are spawned once in [`WorkerPool::new`] and live until the pool is
+/// dropped; work is submitted through [`WorkerPool::scope`]. The thread that
+/// opens a scope *helps*: while waiting for its tasks it drains the queue, so
+/// nested scopes (a pool task that itself fans work out over the same pool)
+/// make progress even when every worker is busy — the pool can never
+/// deadlock on its own queue.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` persistent workers (`0` = one per
+    /// available core). The count is *not* capped at the physical core count:
+    /// callers that want the cap apply [`resolve_threads`] per operation, and
+    /// deliberately oversubscribed pools let single-core CI hosts exercise
+    /// the concurrent machinery.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+        } else {
+            threads
+        }
+        .max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cinm-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of persistent worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowed tasks can be spawned, and
+    /// does not return until every task spawned on the scope (including tasks
+    /// spawned by other tasks) has completed.
+    ///
+    /// While waiting, the calling thread executes queued jobs itself, so a
+    /// scope opened from *inside* a pool task still completes even if all
+    /// workers are occupied.
+    ///
+    /// # Panics
+    ///
+    /// If `f` or any spawned task panics, the panic is resumed here — after
+    /// all tasks of the scope have finished, so borrowed data is never
+    /// observable by a still-running task during unwinding.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let core = Arc::new(ScopeCore {
+            shared: Arc::clone(&self.shared),
+            pending: Mutex::new(0),
+            panic: Mutex::new(None),
+        });
+        let scope = Scope {
+            core: Arc::clone(&core),
+            _env: PhantomData,
+        };
+        // Catch a panic in the body so already-spawned tasks are always
+        // waited for before unwinding past the borrowed environment.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Help: drain the queue until every task of this scope completed,
+        // blocking on the shared condvar while idle (the final
+        // `ScopeCore::complete` of the scope wakes it — see that method for
+        // the missed-wakeup argument).
+        loop {
+            let job = {
+                let mut state = self.shared.state.lock().unwrap();
+                loop {
+                    if core.is_done() {
+                        break None;
+                    }
+                    if let Some(job) = state.queue.pop_front() {
+                        break Some(job);
+                    }
+                    state = self.shared.work_available.wait(state).unwrap();
+                }
+            };
+            match job {
+                Some(job) => job(),
+                None => break,
+            }
+        }
+        if let Some(payload) = core.panic.lock().unwrap().take() {
+            panic::resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.work_available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Completion tracking of one scope: a count of outstanding tasks plus the
+/// first panic payload, if any.
+struct ScopeCore {
+    shared: Arc<PoolShared>,
+    pending: Mutex<usize>,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeCore {
+    fn increment(&self) {
+        *self.pending.lock().unwrap() += 1;
+    }
+
+    fn complete(&self, panic_payload: Option<Box<dyn std::any::Any + Send>>) {
+        if let Some(payload) = panic_payload {
+            let mut slot = self.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        let now_done = *pending == 0;
+        drop(pending);
+        if now_done {
+            // Wake the scope's helping waiter, which blocks on the shared
+            // `work_available` condvar. Missed-wakeup argument: the waiter
+            // only sleeps while holding the state lock between its
+            // `is_done` check and `wait`; acquiring (and releasing) that
+            // lock here before notifying means this notification cannot
+            // fire inside that window, so the waiter either re-checks
+            // `is_done` as true or is already waiting when notified. No
+            // other lock is held here, so the state/pending lock orders
+            // cannot invert.
+            drop(self.shared.state.lock().unwrap());
+            self.shared.work_available.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.pending.lock().unwrap() == 0
+    }
+}
+
+/// Handle for spawning borrowed tasks onto a [`WorkerPool`]; see
+/// [`WorkerPool::scope`]. Task bodies receive the scope again so they can
+/// spawn follow-up tasks (the command-stream scheduler uses this to release
+/// dependents as commands complete).
+pub struct Scope<'env> {
+    core: Arc<ScopeCore>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Spawns a task that may borrow from `'env`.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        self.core.increment();
+        let core = Arc::clone(&self.core);
+        let boxed: Box<dyn FnOnce(&Scope<'env>) + Send + 'env> = Box::new(f);
+        // SAFETY: lifetime erasure. The task (and everything it borrows from
+        // `'env`) is guaranteed to finish before `WorkerPool::scope` returns:
+        // the scope's pending count was incremented above and `scope` blocks
+        // until it reaches zero, resuming panics only afterwards. Tasks can
+        // only be spawned through a `&Scope<'env>`, which exists solely
+        // inside that window.
+        let boxed: Box<dyn FnOnce(&Scope<'static>) + Send + 'static> =
+            unsafe { std::mem::transmute(boxed) };
+        let shared = Arc::clone(&self.core.shared);
+        shared.push(Box::new(move || {
+            let scope = Scope {
+                core: Arc::clone(&core),
+                _env: PhantomData,
+            };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| boxed(&scope)));
+            core.complete(result.err());
+        }));
+    }
+}
+
+fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        // At least two workers even on single-core hosts, so the concurrent
+        // paths are genuinely exercised everywhere (parallelism is still
+        // gated per operation by `resolve_threads`).
+        let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        WorkerPool::new(cores.max(2))
+    })
+}
+
+/// A cheap, cloneable reference to a worker pool, carried by the simulator
+/// configurations.
+///
+/// The default handle points at a lazily-created **process-global** pool
+/// (sized to the available cores), so simulators work out of the box;
+/// [`PoolHandle::with_threads`] creates a dedicated pool shared by everything
+/// the handle is cloned into — the experiment and bench harnesses construct
+/// one per sweep.
+#[derive(Clone, Default)]
+pub struct PoolHandle {
+    /// `None` = the process-global pool.
+    owned: Option<Arc<WorkerPool>>,
+}
+
+impl PoolHandle {
+    /// The handle of the process-global pool (the default).
+    pub fn global() -> Self {
+        PoolHandle { owned: None }
+    }
+
+    /// Creates a dedicated pool with `threads` workers (`0` = one per core)
+    /// and returns its handle; clones of the handle share the pool.
+    pub fn with_threads(threads: usize) -> Self {
+        PoolHandle {
+            owned: Some(Arc::new(WorkerPool::new(threads))),
+        }
+    }
+
+    /// Wraps an existing pool.
+    pub fn from_pool(pool: Arc<WorkerPool>) -> Self {
+        PoolHandle { owned: Some(pool) }
+    }
+
+    /// The underlying pool.
+    pub fn get(&self) -> &WorkerPool {
+        match &self.owned {
+            Some(pool) => pool,
+            None => global_pool(),
+        }
+    }
+
+    /// Whether this handle points at the process-global pool.
+    pub fn is_global(&self) -> bool {
+        self.owned.is_none()
+    }
+
+    /// Applies `f` to every `chunk`-sized slice of `data`, indexed by chunk
+    /// number, distributing contiguous bands of chunks over up to `threads`
+    /// pool workers.
+    ///
+    /// `data.len()` must be a multiple of `chunk`; each invocation of `f`
+    /// receives a disjoint `&mut` chunk, so the parallel and sequential
+    /// schedules produce bit-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero while `data` is non-empty, or if
+    /// `data.len()` is not a multiple of `chunk`; panics inside `f` are
+    /// propagated after all bands have finished.
+    pub fn for_each_chunk_mut<T, F>(&self, threads: usize, data: &mut [T], chunk: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        assert!(chunk > 0, "chunk size must be positive");
+        assert_eq!(
+            data.len() % chunk,
+            0,
+            "data must be a whole number of chunks"
+        );
+        let n_chunks = data.len() / chunk;
+        let threads = resolve_threads(threads, n_chunks);
+        if threads <= 1 {
+            for (i, c) in data.chunks_mut(chunk).enumerate() {
+                f(i, c);
+            }
+            return;
+        }
+        let chunks_per_band = n_chunks.div_ceil(threads);
+        let f = &f;
+        self.get().scope(|scope| {
+            for (band, band_slice) in data.chunks_mut(chunks_per_band * chunk).enumerate() {
+                scope.spawn(move |_| {
+                    for (j, c) in band_slice.chunks_mut(chunk).enumerate() {
+                        f(band * chunks_per_band + j, c);
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl std::fmt::Debug for PoolHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.owned {
+            None => f.write_str("PoolHandle(global)"),
+            Some(pool) => write!(f, "PoolHandle({} workers)", pool.workers()),
+        }
+    }
+}
+
+/// Two handles are equal when they refer to the same pool. (Configurations
+/// derive `PartialEq`; pool identity is the only meaningful comparison.)
+impl PartialEq for PoolHandle {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.owned, &other.owned) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn resolve_threads_clamps_and_resolves_auto() {
+        let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        assert_eq!(resolve_threads(4, 100), 4.min(cores));
+        assert!(resolve_threads(4, 2) <= 2);
+        assert_eq!(resolve_threads(1, 0), 1);
+        assert!(resolve_threads(0, 64) >= 1);
+        // Requests are capped at the physical core count.
+        assert!(resolve_threads(10_000, 10_000) <= cores);
+    }
+
+    #[test]
+    fn parallel_schedule_matches_sequential() {
+        let pool = PoolHandle::with_threads(3);
+        let chunk = 16;
+        let n = 64 * chunk;
+        let mut seq: Vec<i64> = vec![0; n];
+        for threads in [1usize, 2, 3, 8, 64] {
+            let mut par: Vec<i64> = vec![0; n];
+            let body = |d: usize, out: &mut [i64]| {
+                for (i, v) in out.iter_mut().enumerate() {
+                    *v = (d * 1_000 + i) as i64;
+                }
+            };
+            pool.for_each_chunk_mut(1, &mut seq, chunk, body);
+            pool.for_each_chunk_mut(threads, &mut par, chunk, body);
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_data_is_a_no_op() {
+        let pool = PoolHandle::global();
+        let mut empty: Vec<i32> = Vec::new();
+        pool.for_each_chunk_mut(8, &mut empty, 4, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of chunks")]
+    fn ragged_data_is_rejected() {
+        let pool = PoolHandle::global();
+        let mut data = vec![0i32; 10];
+        pool.for_each_chunk_mut(2, &mut data, 4, |_, _| {});
+    }
+
+    #[test]
+    fn scope_runs_all_tasks_and_nested_spawns() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let counter = &counter;
+                s.spawn(move |s| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    // A task spawning a follow-up task (the DAG scheduler
+                    // relies on this).
+                    s.spawn(move |_| {
+                        counter.fetch_add(10, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8 * 11);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = Arc::new(WorkerPool::new(1)); // single worker: worst case
+        let total = AtomicUsize::new(0);
+        let p = &pool;
+        let total_ref = &total;
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move |_| {
+                    // Each task opens another scope on the same pool.
+                    p.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(move |_| {
+                                total_ref.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn task_panics_propagate_after_completion() {
+        let pool = WorkerPool::new(2);
+        let done = AtomicUsize::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let done = &done;
+                s.spawn(move |_| panic!("task failed"));
+                for _ in 0..4 {
+                    s.spawn(move |_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Every non-panicking task still ran to completion.
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+        // The pool stays usable after a panic.
+        pool.scope(|s| {
+            let done = &done;
+            s.spawn(move |_| {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn pool_handles_compare_by_identity() {
+        let a = PoolHandle::with_threads(1);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, PoolHandle::with_threads(1));
+        assert_eq!(PoolHandle::global(), PoolHandle::global());
+        assert_ne!(a, PoolHandle::global());
+        assert!(PoolHandle::default().is_global());
+    }
+}

@@ -46,6 +46,12 @@ pub struct CrossbarConfig {
     /// simulator wall-clock time — results and accounted statistics are
     /// bit-identical for every value.
     pub host_threads: usize,
+    /// The persistent worker pool executing the functional simulation
+    /// (batched MVMs and command-level concurrency in
+    /// [`CrossbarAccelerator::sync`](crate::CrossbarAccelerator::sync)).
+    /// Defaults to the process-global pool; harnesses construct one shared
+    /// pool per sweep. Never affects results or accounted statistics.
+    pub pool: cinm_runtime::PoolHandle,
 }
 
 impl Default for CrossbarConfig {
@@ -66,6 +72,7 @@ impl Default for CrossbarConfig {
             cell_write_energy_j: 10.0e-12,
             static_power_w: 0.25,
             host_threads: 1,
+            pool: cinm_runtime::PoolHandle::global(),
         }
     }
 }
@@ -75,6 +82,12 @@ impl CrossbarConfig {
     /// simulation (`0` = all available cores).
     pub fn with_host_threads(mut self, host_threads: usize) -> Self {
         self.host_threads = host_threads;
+        self
+    }
+
+    /// Attaches a shared worker pool (see [`CrossbarConfig::pool`]).
+    pub fn with_pool(mut self, pool: cinm_runtime::PoolHandle) -> Self {
+        self.pool = pool;
         self
     }
 

@@ -2,21 +2,27 @@
 
 use crate::config::CrossbarConfig;
 
-/// Resolves a `host_threads` knob: `0` means "all available cores", any other
-/// value is clamped to at least one thread, at most one per work item, and
-/// never more threads than physical cores.
-fn resolve_threads(requested: usize, work_items: usize) -> usize {
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let threads = if requested == 0 {
-        cores
-    } else {
-        requested.min(cores)
-    };
-    threads.clamp(1, work_items.max(1))
+/// Zero-pads a validated `rows × cols` weight matrix to the full tile
+/// geometry (padding cells are still programmed, as on a real array where
+/// stale states must be overwritten). Shared by the eager
+/// [`CrossbarAccelerator::write_tile`] and the command-stream execution so
+/// the two paths can never diverge.
+pub(crate) fn pad_weights(
+    config: &CrossbarConfig,
+    weights: &[i32],
+    rows: usize,
+    cols: usize,
+) -> Vec<i32> {
+    let mut padded = vec![0i32; config.tile_rows * config.tile_cols];
+    for r in 0..rows {
+        padded[r * config.tile_cols..r * config.tile_cols + cols]
+            .copy_from_slice(&weights[r * cols..(r + 1) * cols]);
+    }
+    padded
 }
 
 /// The analog MVM on already-validated weights: `y[cols] = x × W`.
-fn mvm_on_weights(weights: &[i32], input: &[i32], cols: usize) -> Vec<i32> {
+pub(crate) fn mvm_on_weights(weights: &[i32], input: &[i32], cols: usize) -> Vec<i32> {
     let mut out = vec![0i32; cols];
     for (r, &x) in input.iter().enumerate() {
         if x == 0 {
@@ -70,7 +76,7 @@ pub struct CimError {
 }
 
 impl CimError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         CimError {
             message: message.into(),
         }
@@ -94,18 +100,18 @@ impl std::error::Error for CimError {}
 pub type CimResult<T> = Result<T, CimError>;
 
 #[derive(Debug, Clone, Default)]
-struct Tile {
+pub(crate) struct Tile {
     /// Programmed weights, row-major `tile_rows × tile_cols`; `None` when the
     /// tile has not been programmed yet.
-    weights: Option<Vec<i32>>,
+    pub(crate) weights: Option<Vec<i32>>,
 }
 
 /// The simulated memristive crossbar accelerator.
 #[derive(Debug, Clone)]
 pub struct CrossbarAccelerator {
-    config: CrossbarConfig,
-    tiles: Vec<Tile>,
-    stats: CimStats,
+    pub(crate) config: CrossbarConfig,
+    pub(crate) tiles: Vec<Tile>,
+    pub(crate) stats: CimStats,
 }
 
 impl CrossbarAccelerator {
@@ -155,6 +161,23 @@ impl CrossbarAccelerator {
         rows: usize,
         cols: usize,
     ) -> CimResult<()> {
+        self.validate_write(tile, weights.len(), rows, cols)?;
+        self.tiles[tile].weights = Some(pad_weights(&self.config, weights, rows, cols));
+        self.account_tile_write();
+        Ok(())
+    }
+
+    /// Validates the shape of a tile-programming request (index, geometry
+    /// fit, weight-buffer length). Shared by the eager
+    /// [`write_tile`](Self::write_tile) and the command-stream batch
+    /// validation so both paths fail identically.
+    pub(crate) fn validate_write(
+        &self,
+        tile: usize,
+        weights_len: usize,
+        rows: usize,
+        cols: usize,
+    ) -> CimResult<()> {
         let c = &self.config;
         if tile >= self.tiles.len() {
             return Err(CimError::new(format!("tile {tile} out of range")));
@@ -165,26 +188,52 @@ impl CrossbarAccelerator {
                 c.tile_rows, c.tile_cols
             )));
         }
-        if weights.len() != rows * cols {
+        if weights_len != rows * cols {
             return Err(CimError::new(format!(
-                "weight buffer has {} elements, expected {}",
-                weights.len(),
+                "weight buffer has {weights_len} elements, expected {}",
                 rows * cols
             )));
         }
-        let mut padded = vec![0i32; c.tile_rows * c.tile_cols];
-        for r in 0..rows {
-            for cc in 0..cols {
-                padded[r * c.tile_cols + cc] = weights[r * cols + cc];
-            }
+        Ok(())
+    }
+
+    /// Validates an MVM request (index, programmed-ness, input length) in
+    /// the eager error order. The `is_programmed` predicate lets the
+    /// command-stream validation account for tiles programmed earlier in
+    /// the same batch; the eager path passes the current tile state.
+    pub(crate) fn validate_mvm(
+        &self,
+        tile: usize,
+        input_len: usize,
+        is_programmed: impl Fn(usize) -> bool,
+    ) -> CimResult<()> {
+        if tile >= self.tiles.len() {
+            return Err(CimError::new(format!("tile {tile} out of range")));
         }
-        self.tiles[tile].weights = Some(padded);
+        if !is_programmed(tile) {
+            return Err(CimError::new(format!(
+                "tile {tile} has not been programmed"
+            )));
+        }
+        if input_len > self.config.tile_rows {
+            return Err(CimError::new(format!(
+                "input of {input_len} elements exceeds {} tile rows",
+                self.config.tile_rows
+            )));
+        }
+        Ok(())
+    }
+
+    /// Accounts the cost of programming one full tile. Shared by the eager
+    /// [`write_tile`](Self::write_tile) and the command-stream statistics
+    /// fold, so the two paths stay bit-identical.
+    pub(crate) fn account_tile_write(&mut self) {
+        let c = &self.config;
         let cells = (c.tile_rows * c.tile_cols * c.slices_per_weight()) as u64;
         self.stats.tile_writes += 1;
         self.stats.cell_writes += cells;
         self.stats.write_seconds += c.tile_program_seconds();
         self.stats.write_energy_j += c.tile_program_energy();
-        Ok(())
     }
 
     /// Issues one analog MVM: `y[cols] = x[rows] × W` on the programmed tile.
@@ -223,9 +272,9 @@ impl CrossbarAccelerator {
     }
 
     /// Functionally executes one MVM per request without accounting, fanning
-    /// the independent per-tile computations out over the configured host
-    /// threads. All requests are validated up front so errors are
-    /// deterministic and no partial state is observable.
+    /// the independent per-tile computations out over the configured worker
+    /// pool (see [`CrossbarConfig::pool`]). All requests are validated up
+    /// front so errors are deterministic and no partial state is observable.
     fn execute_batch(&self, requests: &[(usize, Vec<i32>)]) -> CimResult<Vec<Vec<i32>>> {
         // Validate once, keeping the resolved weight slices for the compute
         // loop, so the hot path never re-runs the checks.
@@ -236,56 +285,32 @@ impl CrossbarAccelerator {
                     .map(|w| (w, input.as_slice()))
             })
             .collect::<CimResult<_>>()?;
-        let threads = resolve_threads(self.config.host_threads, checked.len());
         let mut results: Vec<Vec<i32>> = vec![Vec::new(); checked.len()];
         let cols = self.config.tile_cols;
-        if threads <= 1 {
-            for (slot, (weights, input)) in results.iter_mut().zip(&checked) {
-                *slot = mvm_on_weights(weights, input, cols);
-            }
-        } else {
-            let per_band = checked.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (band, out_band) in results.chunks_mut(per_band).enumerate() {
-                    let reqs = &checked[band * per_band..band * per_band + out_band.len()];
-                    scope.spawn(move || {
-                        for (slot, (weights, input)) in out_band.iter_mut().zip(reqs) {
-                            *slot = mvm_on_weights(weights, input, cols);
-                        }
-                    });
-                }
-            });
-        }
+        self.config.pool.for_each_chunk_mut(
+            self.config.host_threads,
+            &mut results,
+            1,
+            |i, slot| {
+                let (weights, input) = checked[i];
+                slot[0] = mvm_on_weights(weights, input, cols);
+            },
+        );
         Ok(results)
     }
 
     /// Validates a tile/input pair and returns the programmed weights.
-    fn checked_weights(&self, tile: usize, input: &[i32]) -> CimResult<&[i32]> {
-        let c = &self.config;
-        let t = self
-            .tiles
-            .get(tile)
-            .ok_or_else(|| CimError::new(format!("tile {tile} out of range")))?;
-        let weights = t
-            .weights
-            .as_deref()
-            .ok_or_else(|| CimError::new(format!("tile {tile} has not been programmed")))?;
-        if input.len() > c.tile_rows {
-            return Err(CimError::new(format!(
-                "input of {} elements exceeds {} tile rows",
-                input.len(),
-                c.tile_rows
-            )));
-        }
-        Ok(weights)
+    pub(crate) fn checked_weights(&self, tile: usize, input: &[i32]) -> CimResult<&[i32]> {
+        self.validate_mvm(tile, input.len(), |t| self.tiles[t].weights.is_some())?;
+        Ok(self.tiles[tile].weights.as_deref().expect("validated"))
     }
 
-    fn mvm_no_account(&self, tile: usize, input: &[i32]) -> CimResult<Vec<i32>> {
+    pub(crate) fn mvm_no_account(&self, tile: usize, input: &[i32]) -> CimResult<Vec<i32>> {
         let weights = self.checked_weights(tile, input)?;
         Ok(mvm_on_weights(weights, input, self.config.tile_cols))
     }
 
-    fn account_mvm(&mut self, count: usize) {
+    pub(crate) fn account_mvm(&mut self, count: usize) {
         let c = &self.config;
         let conversions = (c.tile_cols * c.slices_per_weight() * count) as u64;
         self.stats.mvm_ops += count as u64;
@@ -294,7 +319,7 @@ impl CrossbarAccelerator {
         self.stats.compute_energy_j += c.mvm_energy() * count as f64;
     }
 
-    fn account_parallel_mvm(&mut self, tiles: usize) {
+    pub(crate) fn account_parallel_mvm(&mut self, tiles: usize) {
         let c = &self.config;
         let conversions = (c.tile_cols * c.slices_per_weight() * tiles) as u64;
         self.stats.mvm_ops += tiles as u64;

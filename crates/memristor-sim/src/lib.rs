@@ -32,9 +32,13 @@
 
 pub mod config;
 pub mod crossbar;
+pub mod stream;
+
+pub use cinm_runtime::{resolve_threads, CommandStream, PoolHandle};
 
 pub use config::CrossbarConfig;
 pub use crossbar::{CimError, CimResult, CimStats, CrossbarAccelerator};
+pub use stream::{XbarCommand, XbarOutput};
 
 #[cfg(test)]
 mod tests {

@@ -68,6 +68,12 @@ pub struct UpmemConfig {
     /// This knob changes only simulator wall-clock time — simulated results
     /// and statistics are bit-identical for every value.
     pub host_threads: usize,
+    /// The persistent worker pool executing the functional simulation (data
+    /// parallelism inside launches/transfers and command-level concurrency in
+    /// [`UpmemSystem::sync`](crate::UpmemSystem::sync)). Defaults to the
+    /// process-global pool; harnesses construct one shared pool per sweep.
+    /// Never affects simulated results or statistics.
+    pub pool: cinm_runtime::PoolHandle,
     /// Per-instruction cycle costs.
     pub instr: InstrCosts,
 }
@@ -95,6 +101,7 @@ impl UpmemConfig {
             host_bandwidth_per_rank_bytes_per_s: 1.0e9,
             host_transfer_latency_s: 40.0e-6,
             host_threads: 1,
+            pool: cinm_runtime::PoolHandle::global(),
             instr: InstrCosts::default(),
         }
     }
@@ -110,6 +117,12 @@ impl UpmemConfig {
     /// simulation (`0` = all available cores).
     pub fn with_host_threads(mut self, host_threads: usize) -> Self {
         self.host_threads = host_threads;
+        self
+    }
+
+    /// Attaches a shared worker pool (see [`UpmemConfig::pool`]).
+    pub fn with_pool(mut self, pool: cinm_runtime::PoolHandle) -> Self {
+        self.pool = pool;
         self
     }
 

@@ -47,14 +47,20 @@ pub mod config;
 mod exec;
 pub mod kernel;
 pub mod naive;
-pub mod par;
 pub mod stats;
+pub mod stream;
 pub mod system;
+
+// The band-scheduling helpers previously duplicated here (`par`) and in
+// `memristor_sim::crossbar` now live in `cinm-runtime`; the canonical
+// `resolve_threads` is re-exported for downstream users.
+pub use cinm_runtime::{resolve_threads, CommandStream, PoolHandle, WorkerPool};
 
 pub use config::{InstrCosts, UpmemConfig};
 pub use kernel::{BinOp, DpuKernelKind, KernelSpec};
 pub use naive::NaiveUpmemSystem;
 pub use stats::{LaunchStats, SystemStats, TransferStats};
+pub use stream::{Command, CommandOutput};
 pub use system::{BufferId, DpuSystem, SimError, SimResult, UpmemSystem};
 
 #[cfg(test)]

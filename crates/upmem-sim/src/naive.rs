@@ -5,7 +5,7 @@
 //! Storage is one `HashMap<BufferId, Vec<i32>>` per DPU (one heap allocation
 //! per DPU per buffer), scatter copies element by element, and every launch
 //! clones all input buffers of every DPU before running the seed's original
-//! loop nests (kept verbatim in [`seed_execute_kernel`] so benchmarks compare
+//! loop nests (kept verbatim in `seed_execute_kernel` so benchmarks compare
 //! against the true seed hot path). The cost model is shared with
 //! [`UpmemSystem`](crate::UpmemSystem), and all arithmetic is wrapping
 //! 32-bit, so the two implementations must produce bit-identical buffers
@@ -361,8 +361,18 @@ impl NaiveUpmemSystem {
     /// Returns an error if a referenced buffer does not exist or is too small
     /// for the kernel shape.
     pub fn launch(&mut self, spec: &KernelSpec) -> SimResult<LaunchStats> {
-        // Validate kernel and buffer shapes before touching any state.
+        // Validate kernel and buffer shapes before touching any state
+        // (identical checks and messages to `UpmemSystem::validate_launch`,
+        // so the oracle pair also agrees on error behaviour).
         validate_kernel_shape(&spec.kind)?;
+        if spec.inputs.len() != spec.kind.num_inputs() {
+            return Err(SimError::new(format!(
+                "kernel '{}' expects {} inputs, spec has {}",
+                spec.kind.name(),
+                spec.kind.num_inputs(),
+                spec.inputs.len()
+            )));
+        }
         for (i, &buf) in spec.inputs.iter().enumerate() {
             let len = self.buffer_len(buf)?;
             let needed = spec.kind.input_len(i);
@@ -452,6 +462,30 @@ mod tests {
     use super::*;
     use crate::kernel::{BinOp, DpuKernelKind};
     use crate::system::UpmemSystem;
+
+    #[test]
+    fn naive_and_slab_agree_on_wrong_arity_errors() {
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = 2;
+        let mut naive = NaiveUpmemSystem::new(cfg.clone());
+        let mut slab = UpmemSystem::new(cfg);
+        let a = naive.alloc_buffer(4).unwrap();
+        slab.alloc_buffer(4).unwrap();
+        // Bypass the KernelSpec::new arity assert via the public fields.
+        let mut spec = KernelSpec::new(
+            DpuKernelKind::Scan {
+                op: BinOp::Add,
+                len: 4,
+            },
+            vec![a],
+            a,
+        );
+        spec.inputs.clear();
+        let e_naive = naive.launch(&spec).unwrap_err();
+        let e_slab = slab.launch(&spec).unwrap_err();
+        assert_eq!(e_naive, e_slab);
+        assert!(e_naive.message().contains("expects 1 inputs"));
+    }
 
     #[test]
     fn naive_and_slab_agree_on_a_simple_flow() {

@@ -1,0 +1,586 @@
+//! The batched host API: recording UPMEM commands into a
+//! [`CommandStream`] and executing them with [`UpmemSystem::sync`].
+//!
+//! PrIM-style host programs and the UPMEM SDK model the host side as an
+//! asynchronous command queue with explicit synchronisation; this module is
+//! that queue for the simulator. Commands ([`Command::Scatter`],
+//! [`Command::Broadcast`], [`Command::Launch`], [`Command::Gather`]) are
+//! recorded with per-buffer read/write sets, `cinm-runtime` builds a
+//! RAW/WAR/WAW hazard DAG over the [`BufferId`]s, and [`UpmemSystem::sync`]
+//! executes ready commands concurrently on the shared worker pool — so
+//! independent kernels on disjoint buffers overlap while dependent chains
+//! stay ordered.
+//!
+//! # Determinism
+//!
+//! Results and statistics are **bit-identical to eager sequential
+//! execution** for any thread count:
+//!
+//! * every command's functional effect depends only on the contents of the
+//!   buffers it accesses, and the hazard edges reproduce exactly the buffer
+//!   contents the command would observe under in-order execution;
+//! * every command's cost is a pure function of the configuration and its
+//!   own payload, and the accumulated [`SystemStats`](crate::SystemStats) are
+//!   folded in
+//!   **program order** after the batch completes — the same f64 additions in
+//!   the same order as the eager path.
+//!
+//! `tests/properties.rs` asserts this against the eager
+//! [`NaiveUpmemSystem`](crate::NaiveUpmemSystem) oracle over randomized
+//! interleaved programs with aliasing buffers at thread counts {1, 2, 8}.
+//!
+//! # Error semantics
+//!
+//! `sync` validates the whole batch in program order *before* executing
+//! anything: on a validation error (unknown buffer, oversized chunk, bad
+//! kernel shape) no buffer is modified and no statistic is accounted — the
+//! batch is transactional. (The eager methods instead apply every command
+//! preceding the failing one.)
+
+use std::borrow::Cow;
+use std::cell::UnsafeCell;
+
+use cinm_runtime::{execute_stream, Access, CommandStream, StreamCommand};
+
+use crate::config::UpmemConfig;
+use crate::exec;
+use crate::kernel::KernelSpec;
+use crate::stats::{LaunchStats, TransferStats};
+use crate::system::{
+    broadcast_slab, gather_slab, kernel_launch_cost, launch_grid, scatter_slab, BufferId,
+    SimResult, Slab, UpmemSystem,
+};
+
+/// One recorded host-runtime operation.
+///
+/// Transfer payloads are [`Cow`]s so hot paths can record *borrowed* host
+/// slices (no copy beyond the one into the slab, exactly like the eager
+/// methods) while owned vectors still work for `'static` programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command<'a> {
+    /// Scatter host data across the DPUs in `chunk`-element strides
+    /// (see [`UpmemSystem::scatter_i32`]).
+    Scatter {
+        /// Destination buffer.
+        buffer: BufferId,
+        /// Host payload.
+        data: Cow<'a, [i32]>,
+        /// Elements per DPU.
+        chunk: usize,
+    },
+    /// Copy the same host data to the buffer of every DPU
+    /// (see [`UpmemSystem::broadcast_i32`]).
+    Broadcast {
+        /// Destination buffer.
+        buffer: BufferId,
+        /// Host payload (replicated per DPU).
+        data: Cow<'a, [i32]>,
+    },
+    /// Launch a kernel on every DPU (see [`UpmemSystem::launch`]).
+    Launch {
+        /// The kernel to run.
+        spec: KernelSpec,
+    },
+    /// Gather `chunk` elements from every DPU back to the host
+    /// (see [`UpmemSystem::gather_i32`]).
+    Gather {
+        /// Source buffer.
+        buffer: BufferId,
+        /// Elements per DPU.
+        chunk: usize,
+    },
+}
+
+impl StreamCommand for Command<'_> {
+    fn access(&self) -> Access {
+        match self {
+            Command::Scatter { buffer, .. } | Command::Broadcast { buffer, .. } => {
+                Access::writes(vec![*buffer])
+            }
+            Command::Launch { spec } => Access {
+                reads: spec.inputs.clone(),
+                writes: vec![spec.output],
+            },
+            Command::Gather { buffer, .. } => Access::reads(vec![*buffer]),
+        }
+    }
+}
+
+/// The per-command result of a synced stream, in enqueue order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommandOutput {
+    /// Result of a [`Command::Scatter`] or [`Command::Broadcast`].
+    Transfer(TransferStats),
+    /// Result of a [`Command::Launch`].
+    Launch(LaunchStats),
+    /// Result of a [`Command::Gather`]: the gathered host vector.
+    Gather(Vec<i32>, TransferStats),
+}
+
+impl CommandOutput {
+    /// The gathered host data, if this was a gather.
+    pub fn into_gathered(self) -> Option<Vec<i32>> {
+        match self {
+            CommandOutput::Gather(data, _) => Some(data),
+            _ => None,
+        }
+    }
+
+    /// The launch statistics, if this was a launch.
+    pub fn launch_stats(&self) -> Option<LaunchStats> {
+        match self {
+            CommandOutput::Launch(s) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+/// A slab with interior mutability, so hazard-independent commands can
+/// execute concurrently against disjoint buffers of one system.
+struct SlabCell(UnsafeCell<Slab>);
+
+// SAFETY: access is coordinated by the hazard DAG — see `StreamSession`.
+unsafe impl Sync for SlabCell {}
+
+/// Shared view of the system state during one `sync`.
+///
+/// # Safety invariant
+///
+/// The hazard scheduler (`cinm_runtime::execute_stream`) guarantees that at
+/// any moment each buffer is accessed either by a single writing command or
+/// by any number of reading commands — RAW/WAR/WAW edges order every
+/// conflicting pair, and a command only starts after all its dependencies
+/// completed (with a happens-before edge through the scheduler lock). All
+/// `unsafe` dereferences below rely on exactly that invariant.
+struct StreamSession<'a> {
+    config: &'a UpmemConfig,
+    num_dpus: usize,
+    cells: Vec<SlabCell>,
+}
+
+impl<'a> StreamSession<'a> {
+    fn new(config: &'a UpmemConfig, num_dpus: usize, slabs: Vec<Slab>) -> Self {
+        StreamSession {
+            config,
+            num_dpus,
+            cells: slabs
+                .into_iter()
+                .map(|s| SlabCell(UnsafeCell::new(s)))
+                .collect(),
+        }
+    }
+
+    fn into_slabs(self) -> Vec<Slab> {
+        self.cells.into_iter().map(|c| c.0.into_inner()).collect()
+    }
+
+    /// Executes one (pre-validated) command functionally and returns its
+    /// output and pure per-command cost. Never touches accumulated
+    /// statistics — the caller folds them in program order. The operation
+    /// bodies are the shared `crate::system` helpers
+    /// ([`scatter_slab`]/[`broadcast_slab`]/[`gather_slab`]/[`launch_grid`])
+    /// also used by the eager methods, so the two paths cannot drift.
+    fn run(&self, cmd: &Command<'_>) -> CommandOutput {
+        match cmd {
+            Command::Scatter {
+                buffer,
+                data,
+                chunk,
+            } => {
+                // SAFETY: this command is the sole writer of `buffer` right
+                // now (see the struct-level invariant).
+                let slab = unsafe { &mut *self.cells[*buffer as usize].0.get() };
+                CommandOutput::Transfer(scatter_slab(
+                    self.config,
+                    self.num_dpus,
+                    slab,
+                    data,
+                    *chunk,
+                ))
+            }
+            Command::Broadcast { buffer, data } => {
+                // SAFETY: sole writer of `buffer` (struct-level invariant).
+                let slab = unsafe { &mut *self.cells[*buffer as usize].0.get() };
+                CommandOutput::Transfer(broadcast_slab(self.config, self.num_dpus, slab, data))
+            }
+            Command::Gather { buffer, chunk } => {
+                // SAFETY: readers may share the buffer; no writer is
+                // concurrent with a reader (struct-level invariant).
+                let slab = unsafe { &*self.cells[*buffer as usize].0.get() };
+                let (out, t) = gather_slab(self.config, self.num_dpus, slab, *chunk);
+                CommandOutput::Gather(out, t)
+            }
+            Command::Launch { spec } => {
+                if spec.inputs.contains(&spec.output) {
+                    self.launch_aliased(spec);
+                } else {
+                    self.launch_disjoint(spec);
+                }
+                let tasklets = spec.tasklets.unwrap_or(self.config.tasklets);
+                CommandOutput::Launch(kernel_launch_cost(
+                    self.config,
+                    spec,
+                    tasklets,
+                    self.num_dpus,
+                ))
+            }
+        }
+    }
+
+    /// The launch hot path: borrows the input strides and the output slab
+    /// from the cells and hands them to the shared [`launch_grid`] executor
+    /// (the same code the eager [`UpmemSystem::launch`] runs).
+    fn launch_disjoint(&self, spec: &KernelSpec) {
+        // SAFETY: sole writer of the output buffer; inputs are distinct
+        // buffers with no concurrent writer (struct-level invariant).
+        let out = unsafe { &mut *self.cells[spec.output as usize].0.get() };
+        let out_len = out.elems_per_dpu;
+        let n_inputs = spec.inputs.len();
+        debug_assert!(n_inputs <= exec::MAX_KERNEL_INPUTS);
+        let mut strides = [(&[] as &[i32], 0usize); exec::MAX_KERNEL_INPUTS];
+        for (slot, &b) in strides.iter_mut().zip(&spec.inputs) {
+            // SAFETY: shared read of an input buffer (struct-level invariant).
+            let s = unsafe { &*self.cells[b as usize].0.get() };
+            *slot = (s.data.as_slice(), s.elems_per_dpu);
+        }
+        launch_grid(
+            self.config,
+            &spec.kind,
+            &strides[..n_inputs],
+            &mut out.data,
+            out_len,
+        );
+    }
+
+    /// Slow path for a launch whose output buffer is also an input: clones
+    /// the input strides per DPU to preserve read-before-write semantics.
+    ///
+    /// This mirrors `UpmemSystem::launch_aliased` (the cell-based borrows
+    /// prevent literal code sharing); both copies are held bit-identical by
+    /// the property tests, which compare aliased launches on both paths
+    /// against the independent naive oracle.
+    fn launch_aliased(&self, spec: &KernelSpec) {
+        // SAFETY: this command is the only one touching its buffers right
+        // now, and within this thread reads are materialised into owned
+        // vectors before the mutable borrow of the output is created.
+        let out_elems = unsafe { (*self.cells[spec.output as usize].0.get()).elems_per_dpu };
+        for d in 0..self.num_dpus {
+            let inputs: Vec<Vec<i32>> = spec
+                .inputs
+                .iter()
+                .map(|&b| {
+                    let s = unsafe { &*self.cells[b as usize].0.get() };
+                    let e = s.elems_per_dpu;
+                    s.data[d * e..(d + 1) * e].to_vec()
+                })
+                .collect();
+            let views: Vec<&[i32]> = inputs.iter().map(|v| v.as_slice()).collect();
+            let out = unsafe { &mut *self.cells[spec.output as usize].0.get() };
+            exec::execute_kernel(
+                &spec.kind,
+                &views,
+                &mut out.data[d * out_elems..(d + 1) * out_elems],
+            );
+        }
+    }
+}
+
+impl UpmemSystem {
+    /// Validates one recorded command without executing it.
+    fn validate_command(&self, cmd: &Command<'_>) -> SimResult<()> {
+        match cmd {
+            Command::Scatter { buffer, chunk, .. } => {
+                self.validate_chunk(*buffer, *chunk).map(|_| ())
+            }
+            Command::Broadcast { buffer, data } => {
+                self.validate_broadcast(*buffer, data.len()).map(|_| ())
+            }
+            Command::Launch { spec } => self.validate_launch(spec).map(|_| ()),
+            Command::Gather { buffer, chunk } => self.validate_chunk(*buffer, *chunk).map(|_| ()),
+        }
+    }
+
+    /// Executes every command recorded in `stream` and returns one
+    /// [`CommandOutput`] per command, in enqueue order.
+    ///
+    /// The stream is drained; hazard-independent commands execute
+    /// concurrently on the configured worker pool — at most
+    /// [`host_threads`](UpmemConfig::host_threads) commands in flight (`0` =
+    /// as many as the DAG allows) — while dependent chains stay ordered.
+    /// Buffers and accumulated [`SystemStats`](crate::SystemStats) end up
+    /// **bit-identical** to calling the eager methods in enqueue order, for
+    /// every thread count — see the [module documentation](self) for the
+    /// argument.
+    ///
+    /// # Errors
+    ///
+    /// The whole batch is validated in program order before execution; on the
+    /// first invalid command an error is returned and **nothing** is applied
+    /// (no buffer changes, no statistics) — the recorded program is left in
+    /// the stream so it can be inspected or resubmitted.
+    pub fn sync(
+        &mut self,
+        stream: &mut CommandStream<Command<'_>>,
+    ) -> SimResult<Vec<CommandOutput>> {
+        // Validate before draining: on error the recorded program stays in
+        // the stream, so the caller can inspect or resubmit it.
+        for cmd in stream.commands() {
+            self.validate_command(cmd)?;
+        }
+        let commands = stream.take_commands();
+        if commands.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Command-level concurrency follows `host_threads` (`0` = as many
+        // commands in flight as the DAG allows). Deliberately not capped at
+        // the physical core count — overlap cannot change results, and
+        // single-core hosts still exercise the concurrent machinery.
+        let session =
+            StreamSession::new(&self.config, self.num_dpus, std::mem::take(&mut self.slabs));
+        // Catch panics from command bodies so the slab storage taken above
+        // is always restored — a panicking batch may leave partially written
+        // *contents*, but never strips the system of its buffers.
+        let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_stream(
+                &self.config.pool,
+                self.config.host_threads,
+                &commands,
+                |_, cmd| Ok::<CommandOutput, std::convert::Infallible>(session.run(cmd)),
+            )
+        }));
+        self.slabs = session.into_slabs();
+        let results = match results {
+            Ok(r) => r,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+
+        let outputs: Vec<CommandOutput> = results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| match e {}))
+            .collect();
+
+        // Fold statistics in program order (bit-identical to eager).
+        for (cmd, out) in commands.iter().zip(&outputs) {
+            match (cmd, out) {
+                (
+                    Command::Scatter { .. } | Command::Broadcast { .. },
+                    CommandOutput::Transfer(t),
+                ) => {
+                    self.stats.host_to_dpu_bytes += t.bytes;
+                    self.stats.host_to_dpu_seconds += t.seconds;
+                }
+                (Command::Gather { .. }, CommandOutput::Gather(_, t)) => {
+                    self.stats.dpu_to_host_bytes += t.bytes;
+                    self.stats.dpu_to_host_seconds += t.seconds;
+                }
+                (Command::Launch { .. }, CommandOutput::Launch(l)) => {
+                    self.stats.kernel_seconds += l.seconds;
+                    self.stats.launches += 1;
+                }
+                _ => unreachable!("command/output kinds always correspond"),
+            }
+        }
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{BinOp, DpuKernelKind};
+
+    fn small_config(threads: usize) -> UpmemConfig {
+        let mut cfg = UpmemConfig::with_ranks(1).with_host_threads(threads);
+        cfg.dpus_per_rank = 4;
+        cfg
+    }
+
+    /// Eagerly applies the same program through the classic methods.
+    fn run_eager(sys: &mut UpmemSystem, commands: &[Command<'_>]) -> Vec<CommandOutput> {
+        commands
+            .iter()
+            .map(|c| match c {
+                Command::Scatter {
+                    buffer,
+                    data,
+                    chunk,
+                } => CommandOutput::Transfer(sys.scatter_i32(*buffer, data, *chunk).unwrap()),
+                Command::Broadcast { buffer, data } => {
+                    CommandOutput::Transfer(sys.broadcast_i32(*buffer, data).unwrap())
+                }
+                Command::Launch { spec } => CommandOutput::Launch(sys.launch(spec).unwrap()),
+                Command::Gather { buffer, chunk } => {
+                    let (data, t) = sys.gather_i32(*buffer, *chunk).unwrap();
+                    CommandOutput::Gather(data, t)
+                }
+            })
+            .collect()
+    }
+
+    fn demo_program(a: BufferId, b: BufferId, c: BufferId, d: BufferId) -> Vec<Command<'static>> {
+        let data: Vec<i32> = (0..64).map(|i| i * 13 % 31 - 15).collect();
+        vec![
+            Command::Scatter {
+                buffer: a,
+                data: data.clone().into(),
+                chunk: 16,
+            },
+            Command::Broadcast {
+                buffer: b,
+                data: data[..16].to_vec().into(),
+            },
+            Command::Launch {
+                spec: KernelSpec::new(
+                    DpuKernelKind::Elementwise {
+                        op: BinOp::Mul,
+                        len: 16,
+                    },
+                    vec![a, b],
+                    c,
+                ),
+            },
+            // Independent kernel on disjoint buffers: overlaps with the one
+            // above.
+            Command::Launch {
+                spec: KernelSpec::new(
+                    DpuKernelKind::Scan {
+                        op: BinOp::Add,
+                        len: 16,
+                    },
+                    vec![b],
+                    d,
+                ),
+            },
+            Command::Gather {
+                buffer: c,
+                chunk: 16,
+            },
+            Command::Gather {
+                buffer: d,
+                chunk: 16,
+            },
+            // Rewrite an input (WAR against the launches) and reduce over it.
+            Command::Scatter {
+                buffer: a,
+                data: data.iter().rev().copied().collect::<Vec<i32>>().into(),
+                chunk: 16,
+            },
+            Command::Launch {
+                spec: KernelSpec::new(
+                    DpuKernelKind::Reduce {
+                        op: BinOp::Add,
+                        len: 16,
+                    },
+                    vec![a],
+                    d,
+                ),
+            },
+            Command::Gather {
+                buffer: d,
+                chunk: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn sync_matches_eager_execution_for_all_thread_counts() {
+        let mut eager = UpmemSystem::new(small_config(1));
+        let bufs: Vec<BufferId> = (0..4).map(|_| eager.alloc_buffer(16).unwrap()).collect();
+        let program = demo_program(bufs[0], bufs[1], bufs[2], bufs[3]);
+        let eager_out = run_eager(&mut eager, &program);
+
+        for threads in [1usize, 2, 8, 0] {
+            let mut sys = UpmemSystem::new(small_config(threads));
+            for _ in 0..4 {
+                sys.alloc_buffer(16).unwrap();
+            }
+            let mut stream = CommandStream::new();
+            for c in &program {
+                stream.enqueue(c.clone());
+            }
+            let out = sys.sync(&mut stream).unwrap();
+            assert!(stream.is_empty());
+            assert_eq!(out, eager_out, "threads = {threads}");
+            assert_eq!(sys.stats(), eager.stats(), "threads = {threads}");
+            for buf in &bufs {
+                assert_eq!(
+                    sys.buffer_slab(*buf).unwrap(),
+                    eager.buffer_slab(*buf).unwrap(),
+                    "threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sync_rejects_hand_built_specs_with_wrong_arity() {
+        let mut sys = UpmemSystem::new(small_config(2));
+        let a = sys.alloc_buffer(8).unwrap();
+        // Bypass the KernelSpec::new arity assert via the public fields.
+        let mut spec = KernelSpec::new(
+            DpuKernelKind::Reduce {
+                op: BinOp::Add,
+                len: 8,
+            },
+            vec![a],
+            a,
+        );
+        spec.inputs.clear();
+        let mut stream = CommandStream::new();
+        stream.enqueue(Command::Launch { spec });
+        let err = sys.sync(&mut stream).unwrap_err();
+        assert!(err.message().contains("expects 1 inputs"), "{err}");
+        assert_eq!(sys.stats().launches, 0);
+    }
+
+    #[test]
+    fn sync_is_transactional_on_validation_errors() {
+        let mut sys = UpmemSystem::new(small_config(2));
+        let a = sys.alloc_buffer(8).unwrap();
+        let mut stream = CommandStream::new();
+        stream.enqueue(Command::Scatter {
+            buffer: a,
+            data: vec![1; 32].into(),
+            chunk: 8,
+        });
+        // Invalid: chunk exceeds the buffer.
+        stream.enqueue(Command::Gather {
+            buffer: a,
+            chunk: 9,
+        });
+        let err = sys.sync(&mut stream).unwrap_err();
+        assert!(err.message().contains("exceeds"));
+        // Nothing was applied: the scatter did not run.
+        assert_eq!(sys.stats().host_to_dpu_bytes, 0);
+        assert_eq!(sys.dpu_buffer(0, a).unwrap(), &[0; 8]);
+    }
+
+    #[test]
+    fn aliased_launch_in_a_stream_reads_pre_launch_state() {
+        let mut sys = UpmemSystem::new(small_config(8));
+        let a = sys.alloc_buffer(4).unwrap();
+        let mut stream = CommandStream::new();
+        stream.enqueue(Command::Broadcast {
+            buffer: a,
+            data: vec![1, 2, 3, 4].into(),
+        });
+        stream.enqueue(Command::Launch {
+            spec: KernelSpec::new(
+                DpuKernelKind::Scan {
+                    op: BinOp::Add,
+                    len: 4,
+                },
+                vec![a],
+                a,
+            ),
+        });
+        let g = stream.enqueue(Command::Gather {
+            buffer: a,
+            chunk: 4,
+        });
+        let out = sys.sync(&mut stream).unwrap();
+        let gathered = out[g].clone().into_gathered().unwrap();
+        assert_eq!(&gathered[..4], &[1, 3, 6, 10]);
+    }
+}

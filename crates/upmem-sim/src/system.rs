@@ -21,7 +21,6 @@
 use crate::config::UpmemConfig;
 use crate::exec;
 use crate::kernel::{DpuKernelKind, KernelSpec};
-use crate::par;
 use crate::stats::{LaunchStats, SystemStats, TransferStats};
 
 /// Identifier of a buffer allocated on every DPU of the grid.
@@ -59,9 +58,9 @@ pub type SimResult<T> = Result<T, SimError>;
 
 /// One grid-wide buffer: a contiguous slab holding every DPU's stride.
 #[derive(Debug, Clone, Default)]
-struct Slab {
-    elems_per_dpu: usize,
-    data: Vec<i32>,
+pub(crate) struct Slab {
+    pub(crate) elems_per_dpu: usize,
+    pub(crate) data: Vec<i32>,
 }
 
 /// The common host-visible surface of a simulated UPMEM machine, implemented
@@ -287,7 +286,7 @@ const PAR_MIN_TRANSFER_ELEMS: usize = 1 << 16;
 
 /// Thread count for a bulk transfer of `total_elems` elements: sequential
 /// below [`PAR_MIN_TRANSFER_ELEMS`], the configured knob otherwise.
-fn transfer_threads(host_threads: usize, total_elems: usize) -> usize {
+pub(crate) fn transfer_threads(host_threads: usize, total_elems: usize) -> usize {
     if total_elems < PAR_MIN_TRANSFER_ELEMS {
         1
     } else {
@@ -295,14 +294,121 @@ fn transfer_threads(host_threads: usize, total_elems: usize) -> usize {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared operation bodies
+//
+// One implementation of every (pre-validated) slab operation and its pure
+// cost, shared by the eager methods below and the command-stream session in
+// `crate::stream` — so the two paths can never diverge functionally and the
+// "bit-identical to eager" invariant cannot rot in one copy.
+// ---------------------------------------------------------------------------
+
+/// Scatters `data` into a slab in `chunk`-element strides (zero-padded at
+/// the tail), returning the pure transfer cost. No statistics accumulation.
+pub(crate) fn scatter_slab(
+    config: &UpmemConfig,
+    num_dpus: usize,
+    slab: &mut Slab,
+    data: &[i32],
+    chunk: usize,
+) -> TransferStats {
+    let elems = slab.elems_per_dpu;
+    let threads = transfer_threads(config.host_threads, chunk * num_dpus);
+    if chunk > 0 {
+        config
+            .pool
+            .for_each_chunk_mut(threads, &mut slab.data, elems, |d, stride| {
+                let start = d * chunk;
+                let avail = data.len().saturating_sub(start).min(chunk);
+                if avail > 0 {
+                    stride[..avail].copy_from_slice(&data[start..start + avail]);
+                }
+                stride[avail..chunk].fill(0);
+            });
+    }
+    let bytes = (data.len() * 4) as u64;
+    let seconds = config.host_transfer_seconds(bytes as f64);
+    TransferStats { bytes, seconds }
+}
+
+/// Replicates `data` into every DPU stride of a slab, returning the pure
+/// broadcast cost (rank-parallel model; bytes billed per DPU).
+pub(crate) fn broadcast_slab(
+    config: &UpmemConfig,
+    num_dpus: usize,
+    slab: &mut Slab,
+    data: &[i32],
+) -> TransferStats {
+    let elems = slab.elems_per_dpu;
+    let threads = transfer_threads(config.host_threads, data.len() * num_dpus);
+    if !data.is_empty() {
+        config
+            .pool
+            .for_each_chunk_mut(threads, &mut slab.data, elems, |_, stride| {
+                stride[..data.len()].copy_from_slice(data);
+            });
+    }
+    let bytes = (data.len() * 4 * num_dpus) as u64;
+    let seconds = config.broadcast_seconds((data.len() * 4) as f64);
+    TransferStats { bytes, seconds }
+}
+
+/// Gathers `chunk` elements from every DPU stride of a slab into one host
+/// vector, returning the data and the pure transfer cost.
+pub(crate) fn gather_slab(
+    config: &UpmemConfig,
+    num_dpus: usize,
+    slab: &Slab,
+    chunk: usize,
+) -> (Vec<i32>, TransferStats) {
+    let elems = slab.elems_per_dpu;
+    let mut out = vec![0i32; chunk * num_dpus];
+    if chunk > 0 {
+        let threads = transfer_threads(config.host_threads, out.len());
+        config
+            .pool
+            .for_each_chunk_mut(threads, &mut out, chunk, |d, dst| {
+                let start = d * elems;
+                dst.copy_from_slice(&slab.data[start..start + chunk]);
+            });
+    }
+    let bytes = (out.len() * 4) as u64;
+    let seconds = config.host_transfer_seconds(bytes as f64);
+    (out, TransferStats { bytes, seconds })
+}
+
+/// The launch hot path on pre-borrowed storage: `strides` holds one
+/// `(slab data, elems_per_dpu)` pair per kernel input, `out_data` is the
+/// output slab split into disjoint per-DPU chunks of `out_len` elements.
+/// Data-parallel on the pool; bit-identical for every thread count.
+pub(crate) fn launch_grid(
+    config: &UpmemConfig,
+    kind: &DpuKernelKind,
+    strides: &[(&[i32], usize)],
+    out_data: &mut [i32],
+    out_len: usize,
+) {
+    let n_inputs = strides.len();
+    debug_assert!(n_inputs <= exec::MAX_KERNEL_INPUTS);
+    config
+        .pool
+        .for_each_chunk_mut(config.host_threads, out_data, out_len, |d, out| {
+            let mut views: [&[i32]; exec::MAX_KERNEL_INPUTS] = [&[]; exec::MAX_KERNEL_INPUTS];
+            for (view, (slab, e)) in views.iter_mut().zip(strides) {
+                *view = &slab[d * e..(d + 1) * e];
+            }
+            exec::execute_kernel(kind, &views[..n_inputs], out);
+        });
+}
+
 /// The simulated UPMEM machine (flat-slab storage).
 #[derive(Debug, Clone)]
 pub struct UpmemSystem {
-    config: UpmemConfig,
-    num_dpus: usize,
-    slabs: Vec<Slab>,
+    pub(crate) config: UpmemConfig,
+    pub(crate) num_dpus: usize,
+    pub(crate) slabs: Vec<Slab>,
     mram_used: usize,
-    stats: SystemStats,
+    pub(crate) stats: SystemStats,
 }
 
 impl UpmemSystem {
@@ -393,6 +499,67 @@ impl UpmemSystem {
         Ok(&self.slab(id)?.data)
     }
 
+    /// Validates a scatter/gather chunk against the buffer geometry,
+    /// returning the per-DPU buffer length (shared by the eager methods and
+    /// the [`sync`](Self::sync) batch validation so both fail identically).
+    pub(crate) fn validate_chunk(&self, buffer: BufferId, chunk: usize) -> SimResult<usize> {
+        let elems = self.buffer_len(buffer)?;
+        if chunk > elems {
+            return Err(SimError::new(format!(
+                "chunk of {chunk} elements exceeds per-DPU buffer of {elems}"
+            )));
+        }
+        Ok(elems)
+    }
+
+    /// Validates a broadcast payload, returning the per-DPU buffer length.
+    pub(crate) fn validate_broadcast(&self, buffer: BufferId, len: usize) -> SimResult<usize> {
+        let elems = self.buffer_len(buffer)?;
+        if len > elems {
+            return Err(SimError::new(format!(
+                "broadcast of {len} elements exceeds per-DPU buffer of {elems}"
+            )));
+        }
+        Ok(elems)
+    }
+
+    /// Validates kernel and buffer shapes of a launch, returning the per-DPU
+    /// output length. Performed before any state is touched.
+    pub(crate) fn validate_launch(&self, spec: &KernelSpec) -> SimResult<usize> {
+        validate_kernel_shape(&spec.kind)?;
+        // `KernelSpec::new` asserts the arity, but the fields are public, so
+        // a hand-built spec must not slip past batch validation into a
+        // mid-execution panic (sync documents launch-shape errors as
+        // transactional).
+        if spec.inputs.len() != spec.kind.num_inputs() {
+            return Err(SimError::new(format!(
+                "kernel '{}' expects {} inputs, spec has {}",
+                spec.kind.name(),
+                spec.kind.num_inputs(),
+                spec.inputs.len()
+            )));
+        }
+        for (i, &buf) in spec.inputs.iter().enumerate() {
+            let len = self.buffer_len(buf)?;
+            let needed = spec.kind.input_len(i);
+            if len < needed {
+                return Err(SimError::new(format!(
+                    "input {i} of kernel '{}' needs {needed} elements per DPU, buffer has {len}",
+                    spec.kind.name()
+                )));
+            }
+        }
+        let out_len = self.buffer_len(spec.output)?;
+        if out_len < spec.kind.output_len() {
+            return Err(SimError::new(format!(
+                "output of kernel '{}' needs {} elements per DPU, buffer has {out_len}",
+                spec.kind.name(),
+                spec.kind.output_len()
+            )));
+        }
+        Ok(out_len)
+    }
+
     /// Scatters host data across the DPUs: DPU `d` receives elements
     /// `[d * chunk, (d + 1) * chunk)` of `data` (zero-padded at the tail).
     ///
@@ -410,29 +577,17 @@ impl UpmemSystem {
         data: &[i32],
         chunk: usize,
     ) -> SimResult<TransferStats> {
-        let elems = self.buffer_len(buffer)?;
-        if chunk > elems {
-            return Err(SimError::new(format!(
-                "chunk of {chunk} elements exceeds per-DPU buffer of {elems}"
-            )));
-        }
-        let threads = transfer_threads(self.config.host_threads, chunk * self.num_dpus);
-        let slab = &mut self.slabs[buffer as usize];
-        if chunk > 0 {
-            par::for_each_chunk_mut(threads, &mut slab.data, elems, |d, stride| {
-                let start = d * chunk;
-                let avail = data.len().saturating_sub(start).min(chunk);
-                if avail > 0 {
-                    stride[..avail].copy_from_slice(&data[start..start + avail]);
-                }
-                stride[avail..chunk].fill(0);
-            });
-        }
-        let bytes = (data.len() * 4) as u64;
-        let seconds = self.config.host_transfer_seconds(bytes as f64);
-        self.stats.host_to_dpu_bytes += bytes;
-        self.stats.host_to_dpu_seconds += seconds;
-        Ok(TransferStats { bytes, seconds })
+        self.validate_chunk(buffer, chunk)?;
+        let t = scatter_slab(
+            &self.config,
+            self.num_dpus,
+            &mut self.slabs[buffer as usize],
+            data,
+            chunk,
+        );
+        self.stats.host_to_dpu_bytes += t.bytes;
+        self.stats.host_to_dpu_seconds += t.seconds;
+        Ok(t)
     }
 
     /// Copies the same host data to the buffer of every DPU (broadcast).
@@ -449,25 +604,16 @@ impl UpmemSystem {
     ///
     /// Returns an error if the buffer does not exist or the data does not fit.
     pub fn broadcast_i32(&mut self, buffer: BufferId, data: &[i32]) -> SimResult<TransferStats> {
-        let elems = self.buffer_len(buffer)?;
-        if data.len() > elems {
-            return Err(SimError::new(format!(
-                "broadcast of {} elements exceeds per-DPU buffer of {elems}",
-                data.len()
-            )));
-        }
-        let threads = transfer_threads(self.config.host_threads, data.len() * self.num_dpus);
-        let slab = &mut self.slabs[buffer as usize];
-        if !data.is_empty() {
-            par::for_each_chunk_mut(threads, &mut slab.data, elems, |_, stride| {
-                stride[..data.len()].copy_from_slice(data);
-            });
-        }
-        let bytes = (data.len() * 4 * self.num_dpus) as u64;
-        let seconds = self.config.broadcast_seconds((data.len() * 4) as f64);
-        self.stats.host_to_dpu_bytes += bytes;
-        self.stats.host_to_dpu_seconds += seconds;
-        Ok(TransferStats { bytes, seconds })
+        self.validate_broadcast(buffer, data.len())?;
+        let t = broadcast_slab(
+            &self.config,
+            self.num_dpus,
+            &mut self.slabs[buffer as usize],
+            data,
+        );
+        self.stats.host_to_dpu_bytes += t.bytes;
+        self.stats.host_to_dpu_seconds += t.seconds;
+        Ok(t)
     }
 
     /// Gathers `chunk` elements from every DPU back into one host vector
@@ -482,26 +628,16 @@ impl UpmemSystem {
         buffer: BufferId,
         chunk: usize,
     ) -> SimResult<(Vec<i32>, TransferStats)> {
-        let elems = self.buffer_len(buffer)?;
-        if chunk > elems {
-            return Err(SimError::new(format!(
-                "chunk of {chunk} elements exceeds per-DPU buffer of {elems}"
-            )));
-        }
-        let mut out = vec![0i32; chunk * self.num_dpus];
-        if chunk > 0 {
-            let threads = transfer_threads(self.config.host_threads, out.len());
-            let slab = &self.slabs[buffer as usize];
-            par::for_each_chunk_mut(threads, &mut out, chunk, |d, dst| {
-                let start = d * elems;
-                dst.copy_from_slice(&slab.data[start..start + chunk]);
-            });
-        }
-        let bytes = (out.len() * 4) as u64;
-        let seconds = self.config.host_transfer_seconds(bytes as f64);
-        self.stats.dpu_to_host_bytes += bytes;
-        self.stats.dpu_to_host_seconds += seconds;
-        Ok((out, TransferStats { bytes, seconds }))
+        self.validate_chunk(buffer, chunk)?;
+        let (out, t) = gather_slab(
+            &self.config,
+            self.num_dpus,
+            &self.slabs[buffer as usize],
+            chunk,
+        );
+        self.stats.dpu_to_host_bytes += t.bytes;
+        self.stats.dpu_to_host_seconds += t.seconds;
+        Ok((out, t))
     }
 
     /// Reads the buffer contents of one DPU (testing/debugging aid; does not
@@ -537,25 +673,7 @@ impl UpmemSystem {
     /// for the kernel shape.
     pub fn launch(&mut self, spec: &KernelSpec) -> SimResult<LaunchStats> {
         // Validate kernel and buffer shapes before touching any state.
-        validate_kernel_shape(&spec.kind)?;
-        for (i, &buf) in spec.inputs.iter().enumerate() {
-            let len = self.buffer_len(buf)?;
-            let needed = spec.kind.input_len(i);
-            if len < needed {
-                return Err(SimError::new(format!(
-                    "input {i} of kernel '{}' needs {needed} elements per DPU, buffer has {len}",
-                    spec.kind.name()
-                )));
-            }
-        }
-        let out_len = self.buffer_len(spec.output)?;
-        if out_len < spec.kind.output_len() {
-            return Err(SimError::new(format!(
-                "output of kernel '{}' needs {} elements per DPU, buffer has {out_len}",
-                spec.kind.name(),
-                spec.kind.output_len()
-            )));
-        }
+        let out_len = self.validate_launch(spec)?;
 
         // Functional execution on every DPU.
         if spec.inputs.contains(&spec.output) {
@@ -571,19 +689,12 @@ impl UpmemSystem {
                 let s = &self.slabs[b as usize];
                 *slot = (s.data.as_slice(), s.elems_per_dpu);
             }
-            let kind = &spec.kind;
-            par::for_each_chunk_mut(
-                self.config.host_threads,
+            launch_grid(
+                &self.config,
+                &spec.kind,
+                &strides[..n_inputs],
                 &mut out_data,
                 out_len,
-                |d, out| {
-                    let mut views: [&[i32]; exec::MAX_KERNEL_INPUTS] =
-                        [&[]; exec::MAX_KERNEL_INPUTS];
-                    for (view, (slab, e)) in views.iter_mut().zip(&strides[..n_inputs]) {
-                        *view = &slab[d * e..(d + 1) * e];
-                    }
-                    exec::execute_kernel(kind, &views[..n_inputs], out);
-                },
             );
             self.slabs[spec.output as usize].data = out_data;
         }

@@ -1,0 +1,105 @@
+//! Two independent kernels overlapping through one command stream.
+//!
+//! Demonstrates the batched host API of the shared runtime: commands are
+//! recorded into a `CommandStream`, the hazard tracker derives that the two
+//! scatter/launch/gather chains touch disjoint buffers, and `sync` executes
+//! them concurrently on one persistent worker pool — with results and
+//! simulated statistics bit-identical to issuing the calls eagerly one by
+//! one.
+//!
+//! Run with `cargo run --example stream_overlap`.
+
+use cinm::runtime::{CommandStream, PoolHandle};
+use cinm::upmem::{BinOp, Command, DpuKernelKind, KernelSpec, SimError, UpmemConfig, UpmemSystem};
+
+fn main() -> Result<(), SimError> {
+    // One persistent pool, shared by everything in this process.
+    let pool = PoolHandle::with_threads(4);
+    let mut cfg = UpmemConfig::with_ranks(1)
+        .with_host_threads(4)
+        .with_pool(pool);
+    cfg.dpus_per_rank = 8;
+    let mut sys = UpmemSystem::new(cfg);
+    let chunk = 1024usize;
+    let elems = chunk * sys.num_dpus();
+
+    // Kernel 1 buffers: c = a + b. Kernel 2 buffers: f = d * e.
+    let bufs: Vec<u32> = (0..6)
+        .map(|_| sys.alloc_buffer(chunk))
+        .collect::<Result<_, _>>()?;
+    let (a, b, c, d, e, f) = (bufs[0], bufs[1], bufs[2], bufs[3], bufs[4], bufs[5]);
+
+    let x: Vec<i32> = (0..elems as i32).map(|i| i % 97 - 48).collect();
+    let y: Vec<i32> = (0..elems as i32).map(|i| i % 61 - 30).collect();
+
+    // Record the whole host program up front. The four scatters are
+    // pairwise independent; the add-launch waits only on (a, b), the
+    // mul-launch only on (d, e); each gather waits only on its launch.
+    // The hazard DAG therefore runs the two kernel chains concurrently.
+    let mut stream = CommandStream::new();
+    // Payloads are recorded as *borrowed* slices (no copy).
+    stream.enqueue(Command::Scatter {
+        buffer: a,
+        data: x.as_slice().into(),
+        chunk,
+    });
+    stream.enqueue(Command::Scatter {
+        buffer: b,
+        data: y.as_slice().into(),
+        chunk,
+    });
+    stream.enqueue(Command::Scatter {
+        buffer: d,
+        data: y.as_slice().into(),
+        chunk,
+    });
+    stream.enqueue(Command::Scatter {
+        buffer: e,
+        data: x.as_slice().into(),
+        chunk,
+    });
+    stream.enqueue(Command::Launch {
+        spec: KernelSpec::new(
+            DpuKernelKind::Elementwise {
+                op: BinOp::Add,
+                len: chunk,
+            },
+            vec![a, b],
+            c,
+        ),
+    });
+    stream.enqueue(Command::Launch {
+        spec: KernelSpec::new(
+            DpuKernelKind::Elementwise {
+                op: BinOp::Mul,
+                len: chunk,
+            },
+            vec![d, e],
+            f,
+        ),
+    });
+    let g_add = stream.enqueue(Command::Gather { buffer: c, chunk });
+    let g_mul = stream.enqueue(Command::Gather { buffer: f, chunk });
+
+    println!("recorded {} commands; syncing ...", stream.len());
+    let mut outputs = sys.sync(&mut stream)?;
+
+    // Outputs arrive in enqueue order regardless of the execution schedule.
+    let mul = outputs.swap_remove(g_mul).into_gathered().expect("gather");
+    let add = outputs.swap_remove(g_add).into_gathered().expect("gather");
+    for i in [0usize, 1, elems / 2, elems - 1] {
+        assert_eq!(add[i], x[i].wrapping_add(y[i]));
+        assert_eq!(mul[i], y[i].wrapping_mul(x[i]));
+    }
+
+    // The statistics are the same as if the eight commands had been issued
+    // eagerly in order (the stream only overlaps the simulator's own work).
+    let s = sys.stats();
+    println!(
+        "ok: {} launches, {:.3} ms simulated kernel time, {:.3} ms transfers",
+        s.launches,
+        s.kernel_seconds * 1e3,
+        (s.host_to_dpu_seconds + s.dpu_to_host_seconds) * 1e3,
+    );
+    Ok(())
+}

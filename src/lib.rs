@@ -9,6 +9,8 @@
 //!   device-agnostic `cinm` abstraction, the `cnm`/`cim` paradigm
 //!   abstractions and the `upmem`/`memristor` device dialects);
 //! * [`lowering`] — the progressive-lowering passes and the device back-ends;
+//! * [`runtime`] — the shared host runtime: the persistent worker pool and
+//!   the hazard-tracked command streams both simulators execute on;
 //! * [`upmem`] / [`memristor`] / [`cpu`] — the simulated evaluation substrate;
 //! * [`workloads`] — the fifteen benchmark applications of the evaluation;
 //! * [`core`] — pipelines, target selection, cost models and the experiment
@@ -21,6 +23,7 @@ pub use cinm_core as core;
 pub use cinm_dialects as dialects;
 pub use cinm_ir as ir;
 pub use cinm_lowering as lowering;
+pub use cinm_runtime as runtime;
 pub use cinm_workloads as workloads;
 pub use cpu_sim as cpu;
 pub use memristor_sim as memristor;

@@ -14,8 +14,10 @@ use cinm::lowering::{
     tile_2d, CimBackend, CimRunOptions, Tile, TileShape, UpmemBackend, UpmemRunOptions,
 };
 use cinm::memristor::{CrossbarAccelerator, CrossbarConfig};
+use cinm::runtime::CommandStream;
 use cinm::upmem::{
-    BinOp, DpuKernelKind, DpuSystem, KernelSpec, NaiveUpmemSystem, UpmemConfig, UpmemSystem,
+    BinOp, Command, CommandOutput, DpuKernelKind, DpuSystem, KernelSpec, NaiveUpmemSystem,
+    UpmemConfig, UpmemSystem,
 };
 use cinm::workloads::data::{self, SplitMix64};
 use cpu_sim::kernels;
@@ -429,6 +431,181 @@ fn backend_results_are_invariant_under_host_threads() {
             assert_eq!(c, ref_c, "threads = {threads}");
             assert_eq!(stats, ref_stats, "threads = {threads}");
         }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Command-stream hazards vs the eager oracle
+// ---------------------------------------------------------------------------
+
+/// Randomized command program over a small buffer pool: interleaved
+/// scatter/broadcast/launch/gather commands, including launches whose output
+/// aliases an input, so every hazard class (RAW, WAR, WAW) occurs.
+///
+/// Returns the per-buffer lengths and the program.
+fn random_program(rng: &mut SplitMix64) -> (Vec<usize>, Vec<Command<'static>>) {
+    let (kind, input_lens, out_len) = random_kernel(rng);
+    // Buffer pool: the kernel inputs, its output, and one spare of the same
+    // length as the output (gives scatters/gathers unrelated targets).
+    let mut buffer_lens = input_lens.clone();
+    buffer_lens.push(out_len);
+    buffer_lens.push(out_len);
+    let out_buf = input_lens.len() as u32;
+
+    // An aliased variant writes into one of its own inputs when the shapes
+    // allow it (input long enough to hold the output).
+    let alias_candidate = input_lens
+        .iter()
+        .position(|&len| len >= out_len)
+        .map(|i| i as u32);
+
+    let inputs: Vec<u32> = (0..input_lens.len() as u32).collect();
+    let n_cmds = 4 + gen_usize(rng, 0, 8);
+    let mut program = Vec::new();
+    for _ in 0..n_cmds {
+        let buf = gen_usize(rng, 0, buffer_lens.len()) as u32;
+        let len = buffer_lens[buf as usize];
+        match gen_usize(rng, 0, 6) {
+            0 => program.push(Command::Scatter {
+                buffer: buf,
+                // Deliberately sometimes shorter / longer than the grid needs,
+                // exercising zero padding.
+                data: data::i32_vec(rng.next_u64(), gen_usize(rng, 0, 4 * len + 2), -40, 40).into(),
+                chunk: gen_usize(rng, 0, len + 1),
+            }),
+            1 => program.push(Command::Broadcast {
+                buffer: buf,
+                data: data::i32_vec(rng.next_u64(), gen_usize(rng, 0, len + 1), -40, 40).into(),
+            }),
+            2 => program.push(Command::Gather {
+                buffer: buf,
+                chunk: gen_usize(rng, 0, len + 1),
+            }),
+            3 if alias_candidate.is_some() && gen_usize(rng, 0, 2) == 0 => {
+                // Aliased launch: output is one of the inputs (RAW + WAW on
+                // the same buffer inside one command).
+                program.push(Command::Launch {
+                    spec: KernelSpec::new(kind.clone(), inputs.clone(), alias_candidate.unwrap()),
+                });
+            }
+            _ => program.push(Command::Launch {
+                spec: KernelSpec::new(kind.clone(), inputs.clone(), out_buf),
+            }),
+        }
+    }
+    // Always end with a gather of every buffer so the final state is fully
+    // observable through command outputs alone.
+    for (b, &len) in buffer_lens.iter().enumerate() {
+        program.push(Command::Gather {
+            buffer: b as u32,
+            chunk: len,
+        });
+    }
+    (buffer_lens, program)
+}
+
+/// Applies a command program eagerly, one call at a time, to the given
+/// system — the oracle semantics of `UpmemSystem::sync`.
+fn run_eager_program(sys: &mut dyn DpuSystem, program: &[Command<'_>]) -> Vec<CommandOutput> {
+    program
+        .iter()
+        .map(|cmd| match cmd {
+            Command::Scatter {
+                buffer,
+                data,
+                chunk,
+            } => CommandOutput::Transfer(sys.scatter_i32(*buffer, data, *chunk).unwrap()),
+            Command::Broadcast { buffer, data } => {
+                CommandOutput::Transfer(sys.broadcast_i32(*buffer, data).unwrap())
+            }
+            Command::Launch { spec } => CommandOutput::Launch(sys.launch(spec).unwrap()),
+            Command::Gather { buffer, chunk } => {
+                let (data, t) = sys.gather_i32(*buffer, *chunk).unwrap();
+                CommandOutput::Gather(data, t)
+            }
+        })
+        .collect()
+}
+
+/// `UpmemSystem::sync` produces bit-identical buffers, outputs *and*
+/// statistics to the eager `NaiveUpmemSystem` oracle, across randomized
+/// interleaved programs with aliasing buffers and thread counts {1, 2, 8}.
+#[test]
+fn command_stream_is_bit_identical_to_the_eager_naive_oracle() {
+    for_cases(12, |rng| {
+        let (buffer_lens, program) = random_program(rng);
+        let dpus = gen_usize(rng, 1, 9);
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = dpus;
+
+        let mut naive = NaiveUpmemSystem::new(cfg.clone());
+        for &len in &buffer_lens {
+            naive.alloc_buffer(len).unwrap();
+        }
+        let oracle = run_eager_program(&mut naive, &program);
+
+        for threads in [1usize, 2, 8] {
+            let mut sys = UpmemSystem::new(cfg.clone().with_host_threads(threads));
+            for &len in &buffer_lens {
+                sys.alloc_buffer(len).unwrap();
+            }
+            let mut stream = CommandStream::new();
+            for cmd in &program {
+                stream.enqueue(cmd.clone());
+            }
+            let outputs = sys.sync(&mut stream).unwrap();
+            assert_eq!(outputs, oracle, "threads {threads}, dpus {dpus}");
+            assert_eq!(
+                sys.stats(),
+                naive.stats(),
+                "stats diverged at threads {threads}"
+            );
+            // Raw per-DPU views agree too.
+            for b in 0..buffer_lens.len() as u32 {
+                for d in [0, dpus - 1] {
+                    assert_eq!(
+                        naive.dpu_buffer(d, b).unwrap(),
+                        sys.dpu_buffer(d, b).unwrap(),
+                        "buffer {b} dpu {d} threads {threads}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Splitting a program across several `sync` calls at arbitrary points is
+/// equivalent to one big batch (the stream is a pure recording; hazards are
+/// per-batch but the inter-batch order is program order anyway).
+#[test]
+fn command_stream_batch_boundaries_do_not_matter() {
+    for_cases(13, |rng| {
+        let (buffer_lens, program) = random_program(rng);
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = 4;
+
+        let run_split = |split_points: &[usize]| {
+            let mut sys = UpmemSystem::new(cfg.clone().with_host_threads(8));
+            for &len in &buffer_lens {
+                sys.alloc_buffer(len).unwrap();
+            }
+            let mut outputs = Vec::new();
+            let mut stream = CommandStream::new();
+            for (i, cmd) in program.iter().enumerate() {
+                stream.enqueue(cmd.clone());
+                if split_points.contains(&i) {
+                    outputs.extend(sys.sync(&mut stream).unwrap());
+                }
+            }
+            outputs.extend(sys.sync(&mut stream).unwrap());
+            (outputs, *sys.stats())
+        };
+
+        let (one_batch, one_stats) = run_split(&[]);
+        let split = gen_usize(rng, 0, program.len());
+        let (two_batches, two_stats) = run_split(&[split]);
+        assert_eq!(one_batch, two_batches, "split at {split}");
+        assert_eq!(one_stats, two_stats, "split at {split}");
     });
 }
 
