@@ -13,19 +13,29 @@
 //! `BENCH_sim.json`. Future PRs diff this file to catch
 //! simulation-throughput regressions.
 //!
+//! The JSON also carries a **`sharded_vs_best_single`** section: every
+//! selected case that the sharded layer supports is co-executed across
+//! UPMEM + crossbar + host (`cinm_lowering::ShardedBackend`, shards planned
+//! by `cinm_core::shard::ShardPlanner`) and compared against the fastest
+//! single device, at 1 and 2 functional-simulation threads.
+//!
 //! Flags (mirroring `cinm-experiments`):
 //!
 //! * `--out PATH` — output file (default `BENCH_sim.json`);
-//! * `--scale small|large|all` — which tracked cases to run (default `all`);
+//! * `--scale tiny|small|large|all` — which tracked cases to run (default
+//!   `all` = small + large; `tiny` is the CI smoke set);
 //! * `--threads N|auto` — parallel thread count of the N-thread column
 //!   (default 4, `auto` = all available cores, minimum 2 so the column
 //!   differs from the 1-thread column);
+//! * `--shard auto|cnm-only|cim-only|host-only|fractions a,b,c` — policy of
+//!   the sharded section (default `auto`; forced fractions must sum to 1);
 //! * `--quick` — single rep, small scale only (CI smoke testing).
 
 use std::num::NonZeroUsize;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use cinm_bench::simbench::{self, OverheadCase, SimCase};
+use cinm_bench::simbench::{self, OverheadCase, ShardedMeasurement, SimCase};
+use cinm_core::shard::ShardPolicy;
 use cinm_runtime::PoolHandle;
 
 struct CaseResult {
@@ -83,19 +93,40 @@ fn main() {
     };
     let scale = match flag_value(&args, "--scale") {
         None => "all".to_string(),
-        Some(Some(s)) if matches!(s, "small" | "large" | "all") => s.to_string(),
+        Some(Some(s)) if matches!(s, "tiny" | "small" | "large" | "all") => s.to_string(),
         Some(Some(other)) => {
-            eprintln!("error: invalid --scale value '{other}'; expected small|large|all");
+            eprintln!("error: invalid --scale value '{other}'; expected tiny|small|large|all");
             std::process::exit(2);
         }
         Some(None) => {
-            eprintln!("error: --scale requires a value (small|large|all)");
+            eprintln!("error: --scale requires a value (tiny|small|large|all)");
+            std::process::exit(2);
+        }
+    };
+    let shard_policy = match flag_value(&args, "--shard") {
+        None => ShardPolicy::Auto,
+        Some(Some(value)) => {
+            let pos = args.iter().position(|a| a == "--shard").unwrap();
+            let next = args.get(pos + 2).map(String::as_str);
+            ShardPolicy::parse_cli(value, next).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            })
+        }
+        Some(None) => {
+            eprintln!(
+                "error: --shard requires a value (auto|cnm-only|cim-only|host-only|fractions a,b,c)"
+            );
             std::process::exit(2);
         }
     };
     let quick = args.iter().any(|a| a == "--quick");
 
-    let mut cases = simbench::default_cases();
+    let mut cases = if scale == "tiny" {
+        simbench::tiny_cases()
+    } else {
+        simbench::default_cases()
+    };
     if scale != "all" {
         cases.retain(|c| c.scale == scale);
     }
@@ -103,7 +134,7 @@ fn main() {
         for c in &mut cases {
             c.reps = 1;
         }
-        cases.retain(|c| c.scale == "small");
+        cases.retain(|c| matches!(c.scale, "tiny" | "small"));
     }
     if cases.is_empty() {
         eprintln!(
@@ -117,7 +148,7 @@ fn main() {
     let pool = PoolHandle::with_threads(threads);
 
     let mut results = Vec::new();
-    for case in cases {
+    for &case in &cases {
         eprintln!("measuring {}/{} ...", case.name, case.scale);
         let inp = simbench::inputs(&case);
         let seed = simbench::measure_seed(&case, &inp);
@@ -170,6 +201,57 @@ fn main() {
         overhead.scope_s / overhead.pool_s
     );
 
+    // Sharded execution (UPMEM + crossbar + host concurrently on the shared
+    // pool) vs the fastest single device, at 1 and 2 functional-simulation
+    // threads. On a single-core container the wall-clock columns mostly show
+    // scheduling overhead; the simulated columns are machine-independent.
+    let policy_name = shard_policy.cli_name();
+    let mut sharded_results: Vec<(SimCase, Vec<ShardedMeasurement>)> = Vec::new();
+    for &case in &cases {
+        // Policies that necessarily place work on the crossbar can only run
+        // the matmul-like kinds; skip the rest instead of failing the sweep.
+        if shard_policy.requires_cim() && !simbench::case_supports_cim(&case) {
+            eprintln!(
+                "skipping sharded {}/{}: policy '{policy_name}' requires the MVM-only crossbar",
+                case.name, case.scale
+            );
+            continue;
+        }
+        eprintln!(
+            "measuring sharded {}/{} ({policy_name}) ...",
+            case.name, case.scale
+        );
+        let inp = simbench::inputs(&case);
+        let mut per_threads = Vec::new();
+        for host_threads in [1usize, 2] {
+            let m = match simbench::measure_sharded(&case, &inp, host_threads, &pool, shard_policy)
+            {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!(
+                        "error: sharded measurement of {}/{} failed: {e}",
+                        case.name, case.scale
+                    );
+                    std::process::exit(2);
+                }
+            };
+            eprintln!(
+                "  {}t: sharded {:.3}s vs best single ({}) {:.3}s wall; simulated {:.3} vs {:.3} ms; frac {:.2}/{:.2}/{:.2}",
+                host_threads,
+                m.sharded_wall_s,
+                m.best_single_device,
+                m.best_single_wall_s,
+                m.sim_sharded_ms,
+                m.sim_best_single_ms,
+                m.fractions[0],
+                m.fractions[1],
+                m.fractions[2],
+            );
+            per_threads.push(m);
+        }
+        sharded_results.push((case, per_threads));
+    }
+
     let generated_unix = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -196,6 +278,64 @@ fn main() {
         "    \"speedup_pool_vs_scope\": {}\n",
         json_f64(overhead.scope_s / overhead.pool_s)
     ));
+    json.push_str("  },\n");
+    json.push_str("  \"sharded_vs_best_single\": {\n");
+    json.push_str(&format!("    \"policy\": \"{policy_name}\",\n"));
+    json.push_str(
+        "    \"description\": \"One op co-executed across UPMEM + crossbar + host (concurrent device tasks on the shared pool, shards planned from cost models) vs the fastest single device. sim_* columns are simulated (machine-independent) milliseconds; *_wall_s columns are host wall-clock at 1 and 2 functional-simulation threads.\",\n",
+    );
+    json.push_str("    \"cases\": [\n");
+    for (i, (case, per_threads)) in sharded_results.iter().enumerate() {
+        let first = &per_threads[0];
+        json.push_str("      {\n");
+        json.push_str(&format!("        \"name\": \"{}\",\n", case.name));
+        json.push_str(&format!("        \"scale\": \"{}\",\n", case.scale));
+        json.push_str(&format!(
+            "        \"fractions_cnm_cim_host\": [{}, {}, {}],\n",
+            json_f64(first.fractions[0]),
+            json_f64(first.fractions[1]),
+            json_f64(first.fractions[2])
+        ));
+        json.push_str(&format!(
+            "        \"max_concurrent_device_tasks\": {},\n",
+            per_threads
+                .iter()
+                .map(|m| m.max_concurrent)
+                .max()
+                .unwrap_or(0)
+        ));
+        json.push_str(&format!(
+            "        \"sim_sharded_ms\": {},\n",
+            json_f64(first.sim_sharded_ms)
+        ));
+        json.push_str(&format!(
+            "        \"sim_best_single_ms\": {},\n",
+            json_f64(first.sim_best_single_ms)
+        ));
+        json.push_str(&format!(
+            "        \"sim_speedup_sharded_vs_best_single\": {},\n",
+            json_f64(first.sim_best_single_ms / first.sim_sharded_ms)
+        ));
+        json.push_str("        \"threads\": [\n");
+        for (j, m) in per_threads.iter().enumerate() {
+            json.push_str(&format!(
+                "          {{ \"host_threads\": {}, \"sharded_wall_s\": {}, \"best_single_wall_s\": {}, \"best_single_device\": \"{}\", \"wall_speedup\": {} }}{}\n",
+                m.host_threads,
+                json_f64(m.sharded_wall_s),
+                json_f64(m.best_single_wall_s),
+                m.best_single_device,
+                json_f64(m.best_single_wall_s / m.sharded_wall_s),
+                if j + 1 == per_threads.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("        ]\n");
+        json.push_str(if i + 1 == sharded_results.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    json.push_str("    ]\n");
     json.push_str("  },\n");
     json.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {

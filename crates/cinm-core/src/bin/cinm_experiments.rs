@@ -1,15 +1,23 @@
 //! Command-line harness regenerating the paper's tables and figures.
 //!
-//! Usage: `cinm-experiments [fig10|fig11|fig12|table4|all]
-//!            [--scale test|bench|paper] [--threads N|auto]`
+//! Usage: `cinm-experiments [fig10|fig11|fig12|table4|sharded|all]
+//!            [--scale test|bench|paper] [--threads N|auto]
+//!            [--shard auto|cnm-only|cim-only|host-only|fractions a,b,c]`
 //!
 //! `--threads` sets the number of host worker threads used for the
 //! *functional* side of the simulation (`auto` = all available cores). The
 //! reproduced numbers are bit-identical for every thread count; only the
 //! wall-clock time of the sweep changes. One persistent worker pool is
 //! constructed up front and shared by every figure of the sweep.
+//!
+//! `--shard` selects the policy of the `sharded` experiment: `auto` balances
+//! estimated completion times across UPMEM + crossbar + host, `cnm-only` /
+//! `cim-only` / `host-only` force a single device, and `fractions a,b,c`
+//! forces explicit work fractions (must sum to 1 — the harness errors
+//! instead of renormalising).
 
 use cinm_core::experiments;
+use cinm_core::ShardPolicy;
 use cinm_runtime::PoolHandle;
 use cinm_workloads::Scale;
 
@@ -43,11 +51,33 @@ fn parse_threads(args: &[String]) -> usize {
     }
 }
 
+fn parse_shard_policy(args: &[String]) -> ShardPolicy {
+    let Some(flag) = args.iter().position(|a| a == "--shard") else {
+        return ShardPolicy::Auto;
+    };
+    match args.get(flag + 1).map(String::as_str) {
+        Some(value) => {
+            let next = args.get(flag + 2).map(String::as_str);
+            ShardPolicy::parse_cli(value, next).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        }
+        None => {
+            eprintln!(
+                "--shard requires a value (auto|cnm-only|cim-only|host-only|fractions a,b,c)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
     let scale = parse_scale(&args);
     let threads = parse_threads(&args);
+    let shard_policy = parse_shard_policy(&args);
     // One persistent pool for the whole sweep: worker threads are spawned
     // once here and reused by every backend of every figure.
     let pool = PoolHandle::with_threads(threads);
@@ -76,19 +106,31 @@ fn main() {
         )
     };
     let run_table4 = || println!("{}", experiments::format_table4(&experiments::table4()));
+    let run_sharded =
+        || match experiments::sharded_with_runtime(scale, threads, &pool, shard_policy) {
+            Ok(rows) => println!("{}", experiments::format_sharded(&rows)),
+            Err(e) => {
+                eprintln!("sharded experiment failed: {e}");
+                std::process::exit(2);
+            }
+        };
     match which {
         "fig10" => run_fig10(),
         "fig11" => run_fig11(),
         "fig12" => run_fig12(),
         "table4" => run_table4(),
+        "sharded" => run_sharded(),
         "all" => {
             run_fig10();
             run_fig11();
             run_fig12();
             run_table4();
+            run_sharded();
         }
         other => {
-            eprintln!("unknown experiment '{other}'; expected fig10|fig11|fig12|table4|all");
+            eprintln!(
+                "unknown experiment '{other}'; expected fig10|fig11|fig12|table4|sharded|all"
+            );
             std::process::exit(2);
         }
     }

@@ -1,13 +1,20 @@
 //! Experiment runners regenerating every table and figure of the paper's
-//! evaluation (Section 4).
+//! evaluation (Section 4), plus the heterogeneous-sharding study
+//! (`EXPERIMENTS.md`).
 
+use cinm_dialects::cinm;
 use cinm_ir::printer::func_lines_of_code;
-use cinm_lowering::{CimRunOptions, UpmemRunOptions};
+use cinm_lowering::{
+    CimRunOptions, ShardError, ShardSplit, ShardedBackend, ShardedRunOptions, UpmemRunOptions,
+};
 use cinm_runtime::PoolHandle;
-use cinm_workloads::{build_func, Scale, WorkloadId};
+use cinm_workloads::{build_func, Scale, WorkloadId, WorkloadParams};
+use cpu_sim::kernels;
 use cpu_sim::model::CpuModel;
+use upmem_sim::BinOp;
 
 use crate::runner;
+use crate::shard::{ShardPlanner, ShardPolicy, ShardShape};
 
 /// Geometric mean of a slice of positive values.
 pub fn geomean(values: &[f64]) -> f64 {
@@ -380,6 +387,221 @@ pub fn format_figure12(rows: &[Fig12Row]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Heterogeneous sharding: one op across UPMEM + CIM + host
+// ---------------------------------------------------------------------------
+
+/// One row of the heterogeneous-sharding study: a single op executed on
+/// each device alone and co-executed across all of them.
+#[derive(Debug, Clone)]
+pub struct ShardedRow {
+    /// Workload name.
+    pub workload: String,
+    /// Simulated milliseconds with all work on the UPMEM grid.
+    pub cnm_ms: f64,
+    /// Simulated milliseconds with all work on the crossbar (`None` for ops
+    /// the MVM-only crossbar backend cannot execute).
+    pub cim_ms: Option<f64>,
+    /// Simulated milliseconds with all work on the host.
+    pub host_ms: f64,
+    /// Simulated makespan milliseconds of the sharded run (devices execute
+    /// concurrently; the slowest shard defines completion).
+    pub sharded_ms: f64,
+    /// Work fractions of the sharded run, `[cnm, cim, host]`.
+    pub fractions: [f64; 3],
+    /// Per-device utilisation of the sharded run (busy time / makespan).
+    pub utilization: [f64; 3],
+    /// Maximum device tasks observed in flight simultaneously.
+    pub max_concurrent: usize,
+}
+
+impl ShardedRow {
+    /// The fastest single-device time.
+    pub fn best_single_ms(&self) -> f64 {
+        let mut best = self.cnm_ms.min(self.host_ms);
+        if let Some(cim) = self.cim_ms {
+            best = best.min(cim);
+        }
+        best
+    }
+
+    /// Speedup of the sharded run over the best single device.
+    pub fn speedup_vs_best_single(&self) -> f64 {
+        self.best_single_ms() / self.sharded_ms.max(1e-30)
+    }
+}
+
+/// The shardable subset of the suite: one representative per sharded work
+/// dimension (GEMM/GEMV rows; element-wise, reduction and histogram
+/// elements).
+pub fn sharded_suite() -> Vec<WorkloadId> {
+    vec![
+        WorkloadId::Mm,
+        WorkloadId::Mv,
+        WorkloadId::Va,
+        WorkloadId::Red,
+        WorkloadId::HstL,
+    ]
+}
+
+/// The `cinm` op a sharded-suite workload maps onto.
+fn sharded_op_name(id: WorkloadId) -> &'static str {
+    match id {
+        WorkloadId::Mm => cinm::GEMM,
+        WorkloadId::Mv => cinm::GEMV,
+        WorkloadId::Red => cinm::REDUCE,
+        WorkloadId::HstL => cinm::HISTOGRAM,
+        _ => "cinm.add",
+    }
+}
+
+/// The heterogeneous-sharding study with the auto-balancing policy.
+pub fn sharded(scale: Scale) -> Vec<ShardedRow> {
+    sharded_with_runtime(scale, 1, &PoolHandle::with_threads(1), ShardPolicy::Auto)
+        .expect("auto policy never fails")
+}
+
+/// [`sharded`] with an explicit host-thread count, shared worker pool and
+/// shard policy. Every sharded (and single-device) result is checked
+/// bit-identical against the `cpu_sim::kernels` golden before timing is
+/// reported. A user-forced policy whose fractions do not sum to 1 is an
+/// error; a policy that necessarily places work on the crossbar
+/// ([`ShardPolicy::requires_cim`]) skips the streaming ops the MVM-only
+/// backend cannot execute instead of failing the whole sweep.
+pub fn sharded_with_runtime(
+    scale: Scale,
+    host_threads: usize,
+    pool: &PoolHandle,
+    policy: ShardPolicy,
+) -> Result<Vec<ShardedRow>, ShardError> {
+    const RANKS: usize = 16;
+    let planner = ShardPlanner::with_default_models(RANKS).with_policy(policy);
+    let options = || {
+        ShardedRunOptions::default()
+            .with_ranks(RANKS)
+            .with_pool(pool.clone())
+            .with_host_threads(host_threads)
+    };
+    let mut rows = Vec::new();
+    for id in sharded_suite() {
+        if policy.requires_cim() && !crate::shard::cim_supports(sharded_op_name(id)) {
+            continue;
+        }
+        let inp = runner::inputs(id, scale);
+        let b = &inp.buffers;
+        // (op name, shard shape, golden, runner)
+        type Run<'a> =
+            Box<dyn Fn(&mut ShardedBackend, &ShardSplit) -> Result<Vec<i32>, ShardError> + 'a>;
+        let (op, shape, golden, run): (&str, ShardShape, Vec<i32>, Run<'_>) = match id.params(scale)
+        {
+            WorkloadParams::Gemm { m, k, n } => (
+                sharded_op_name(id),
+                ShardShape::matmul(m, k, n),
+                kernels::matmul(&b[0], &b[1], m, k, n),
+                Box::new(move |be, split| be.gemm(&b[0], &b[1], m, k, n, split)),
+            ),
+            WorkloadParams::Gemv { rows, cols } => (
+                sharded_op_name(id),
+                ShardShape::matmul(rows, cols, 1),
+                kernels::matvec(&b[0], &b[1], rows, cols),
+                Box::new(move |be, split| be.gemv(&b[0], &b[1], rows, cols, split)),
+            ),
+            WorkloadParams::Vector { len } => match id {
+                WorkloadId::Red => (
+                    sharded_op_name(id),
+                    ShardShape::streaming(len),
+                    vec![kernels::reduce_add(&b[0])],
+                    Box::new(move |be, split| be.reduce(BinOp::Add, &b[0], split).map(|v| vec![v])),
+                ),
+                _ => (
+                    sharded_op_name(id),
+                    ShardShape::streaming(len),
+                    kernels::vector_add(&b[0], &b[1]),
+                    Box::new(move |be, split| be.elementwise(BinOp::Add, &b[0], &b[1], split)),
+                ),
+            },
+            WorkloadParams::Histogram {
+                len,
+                bins,
+                max_value,
+            } => (
+                sharded_op_name(id),
+                ShardShape::streaming(len),
+                kernels::histogram(&b[0], bins, max_value),
+                Box::new(move |be, split| be.histogram(&b[0], bins, max_value, split)),
+            ),
+            other => panic!("{} ({other:?}) is not in the sharded suite", id.name()),
+        };
+        let work = shape.work;
+
+        // Single-device baselines (each on a fresh backend for clean stats).
+        let single_ms = |split: ShardSplit| -> f64 {
+            let mut be = ShardedBackend::new(options());
+            let got = run(&mut be, &split).expect("single-device shard");
+            assert_eq!(got, golden, "{} single-device result", id.name());
+            be.stats().sim_makespan_seconds * 1e3
+        };
+        let cnm_ms = single_ms(ShardSplit::all_cnm(work));
+        let host_ms = single_ms(ShardSplit::all_host(work));
+        let cim_ms = crate::shard::cim_supports(op).then(|| single_ms(ShardSplit::all_cim(work)));
+
+        // The sharded run under the requested policy.
+        let plan = planner.plan(op, shape)?;
+        let mut be = ShardedBackend::new(options());
+        let got = run(&mut be, &plan.split)?;
+        assert_eq!(got, golden, "{} sharded result", id.name());
+        let stats = *be.stats();
+        rows.push(ShardedRow {
+            workload: id.name().to_string(),
+            cnm_ms,
+            cim_ms,
+            host_ms,
+            sharded_ms: stats.sim_makespan_seconds * 1e3,
+            fractions: stats.fractions(),
+            utilization: stats.utilization(),
+            max_concurrent: stats.max_concurrent,
+        });
+    }
+    Ok(rows)
+}
+
+/// Formats the sharded rows as a printable table.
+pub fn format_sharded(rows: &[ShardedRow]) -> String {
+    let mut out = String::from(
+        "Heterogeneous sharding — one op across UPMEM (cnm) + crossbar (cim) + host\n",
+    );
+    out.push_str(
+        "workload   cnm [ms]   cim [ms]  host [ms]  sharded [ms]  frac cnm/cim/host   vs best\n",
+    );
+    for r in rows {
+        let cim = r
+            .cim_ms
+            .map(|v| format!("{v:>9.3}"))
+            .unwrap_or_else(|| format!("{:>9}", "-"));
+        out.push_str(&format!(
+            "{:<10} {:>8.3} {} {:>10.3} {:>13.3}   {:.2}/{:.2}/{:.2}      {:>6.2}x\n",
+            r.workload,
+            r.cnm_ms,
+            cim,
+            r.host_ms,
+            r.sharded_ms,
+            r.fractions[0],
+            r.fractions[1],
+            r.fractions[2],
+            r.speedup_vs_best_single(),
+        ));
+    }
+    let speedups: Vec<f64> = rows
+        .iter()
+        .map(ShardedRow::speedup_vs_best_single)
+        .collect();
+    out.push_str(&format!(
+        "geomean speedup of auto-sharding over the best single device: {:.2}x\n",
+        geomean(&speedups)
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Table 4: lines of code
 // ---------------------------------------------------------------------------
 
@@ -484,6 +706,58 @@ mod tests {
             assert!(r.cpu_opt_ms > 0.0 && r.prim_ms > 0.0 && r.cinm_opt_ms > 0.0);
         }
         assert!(format_figure12(&rows).contains("cinm-opt is"));
+    }
+
+    #[test]
+    fn sharded_study_covers_the_suite_and_balances_work() {
+        let pool = PoolHandle::with_threads(2);
+        let rows = sharded_with_runtime(Scale::Test, 1, &pool, ShardPolicy::Auto).unwrap();
+        assert_eq!(rows.len(), sharded_suite().len());
+        for r in &rows {
+            // Result equality with the golden is asserted inside the runner;
+            // here we check the reported accounting is sane.
+            assert!(r.sharded_ms > 0.0, "{}", r.workload);
+            assert!(
+                (r.fractions.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+                "{}",
+                r.workload
+            );
+            // The MVM-only crossbar never reports a time for streaming ops.
+            match r.workload.as_str() {
+                "mm" | "mv" => assert!(r.cim_ms.is_some(), "{}", r.workload),
+                _ => {
+                    assert!(r.cim_ms.is_none(), "{}", r.workload);
+                    assert_eq!(r.fractions[1], 0.0, "{}", r.workload);
+                }
+            }
+        }
+        let text = format_sharded(&rows);
+        assert!(text.contains("geomean speedup"));
+    }
+
+    #[test]
+    fn sharded_study_supports_forced_policies() {
+        let pool = PoolHandle::with_threads(2);
+        // Forcing everything onto the CNM grid must match its baseline.
+        let rows = sharded_with_runtime(
+            Scale::Test,
+            1,
+            &pool,
+            ShardPolicy::Single(crate::Target::Cnm),
+        )
+        .unwrap();
+        for r in &rows {
+            assert_eq!(r.fractions, [1.0, 0.0, 0.0], "{}", r.workload);
+            assert!((r.sharded_ms - r.cnm_ms).abs() < 1e-9, "{}", r.workload);
+        }
+        // Fractions that do not sum to 1 must error, not renormalise.
+        assert!(sharded_with_runtime(
+            Scale::Test,
+            1,
+            &pool,
+            ShardPolicy::Fractions([0.8, 0.0, 0.1])
+        )
+        .is_err());
     }
 
     #[test]

@@ -6,10 +6,14 @@
 //!   (`tosa/linalg → cinm → cnm → upmem` and `… → cim → memristor`);
 //! * [`target`] — target selection and the cost-model registration mechanism
 //!   of Sections 3.2.2 and 3.3;
+//! * [`shard`] — the cost-model-driven shard planner splitting one op across
+//!   UPMEM, the crossbar and the host (executed by
+//!   `cinm_lowering::ShardedBackend`);
 //! * [`runner`] — executes every benchmark on the host reference, the UPMEM
 //!   backend and the crossbar backend, with simulated time and energy;
 //! * [`experiments`] — regenerates Figure 10, Figure 11, Figure 12 and
-//!   Table 4 of the paper.
+//!   Table 4 of the paper, plus the heterogeneous-sharding study
+//!   (see `EXPERIMENTS.md`).
 //!
 //! The `cinm-experiments` binary prints any of the experiments:
 //!
@@ -23,8 +27,10 @@
 pub mod experiments;
 pub mod pipeline;
 pub mod runner;
+pub mod shard;
 pub mod target;
 
 pub use experiments::{figure10, figure11, figure12, table4};
 pub use pipeline::{cim_pipeline, cinm_pipeline, cnm_pipeline, compile};
+pub use shard::{ShardPlan, ShardPlanner, ShardPolicy};
 pub use target::{CostModel, Target, TargetSelector};

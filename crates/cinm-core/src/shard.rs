@@ -1,0 +1,1013 @@
+//! The shard planner: cost-model-driven work splitting across devices.
+//!
+//! Where [`crate::target::TargetSelector`] places each `cinm` op on exactly
+//! one device, [`ShardPlanner`] splits **one** op across all of them: it
+//! asks the registered [`CostModel`]s for per-device time estimates and
+//! produces a [`ShardPlan`] whose per-device shard sizes balance the
+//! estimated completion times (the ROADMAP's "heterogeneous serving" item;
+//! TDO-CIM's runtime kernel-slice offloading and CIM-MLC's multi-tier
+//! scheduling are the CIM-only precedents).
+//!
+//! ## The balancing rule
+//!
+//! Every supported shardable op costs time (near-)linearly in its sharded
+//! work dimension (GEMM/GEMV rows, element-wise/reduce/histogram elements),
+//! plus a fixed per-device overhead that does *not* shrink with the shard —
+//! broadcasting the stationary GEMM operand to every DPU, programming
+//! crossbar tiles, bulk-transfer driver latency. The planner recovers both
+//! terms by sampling each cost model ([`CostModel::estimate_shard_seconds`])
+//! at the full and at half the shard size, fitting the affine cost
+//! `t_i(w) = a_i + b_i·w`, and then **water-fills**: the balanced makespan
+//! over the active device set `S` is
+//!
+//! ```text
+//! T = (W + Σ_{i∈S} a_i/b_i) / (Σ_{i∈S} 1/b_i),    w_i = (T - a_i) / b_i
+//! ```
+//!
+//! and any device whose fixed overhead alone exceeds `T` (`a_i ≥ T`) is
+//! dropped from `S` and the makespan recomputed — so small ops naturally
+//! collapse onto the single cheapest device instead of paying three setup
+//! costs. Devices estimating `None` (e.g. the MVM-only crossbar on an
+//! element-wise op) are never in `S`. Final shard sizes are rounded to
+//! whole multiples of [`ShardPlanner::granularity`] work units, a shard
+//! smaller than one granule is folded away, and the rounding remainder goes
+//! to the device with the largest shard.
+//!
+//! ## Single-target fallback
+//!
+//! The planner falls back to placing **all** work on the fastest supporting
+//! device (recorded in [`ShardPlan::fallback`]) when sharding cannot help:
+//!
+//! * the op has fewer than two granules of work
+//!   (`work < 2 × granularity`), or
+//! * only one device supports the op, or
+//! * water-filling drops every other device (their fixed overheads exceed
+//!   the balanced makespan), or
+//! * the policy forces a single target ([`ShardPolicy::Single`]).
+//!
+//! Zero-work ops produce an all-empty plan with no fallback. User-forced
+//! fractions that do not sum to 1 are an **error** ([`ShardError`]), never
+//! silently renormalised.
+
+use cinm_lowering::{ShardError, ShardSplit};
+use cpu_sim::model::{CpuModel, OpCounts};
+use memristor_sim::CrossbarConfig;
+use upmem_sim::UpmemConfig;
+
+use cinm_dialects::cinm;
+
+use crate::target::{CostModel, Target};
+
+/// Shape of one shardable operation, as the planner and the shape-aware
+/// cost models see it. The sharded dimension is `work`; each work unit
+/// consumes `inner` elements of the sharded operand and produces `out`
+/// result elements:
+///
+/// * GEMM `C[m×n] = A[m×k]·B[k×n]` sharded by rows: `work = m`,
+///   `inner = k`, `out = n` (so the stationary operand has `inner × out`
+///   elements — its broadcast/programming cost is shard-size independent);
+/// * GEMV: `work = rows`, `inner = cols`, `out = 1`;
+/// * element-wise / reduce / histogram: `work = len`, `inner = out = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardShape {
+    /// Work units of the sharded dimension.
+    pub work: usize,
+    /// Elements of the sharded operand consumed per work unit.
+    pub inner: usize,
+    /// Result elements produced per work unit.
+    pub out: usize,
+}
+
+impl ShardShape {
+    /// Shape of a row-sharded matmul-like op (`gemv` has `n = 1`).
+    pub fn matmul(rows: usize, k: usize, n: usize) -> Self {
+        ShardShape {
+            work: rows,
+            inner: k,
+            out: n,
+        }
+    }
+
+    /// Shape of an element-sharded streaming op.
+    pub fn streaming(len: usize) -> Self {
+        ShardShape {
+            work: len,
+            inner: 1,
+            out: 1,
+        }
+    }
+
+    /// The same op at a different shard size.
+    pub fn with_work(mut self, work: usize) -> Self {
+        self.work = work;
+        self
+    }
+
+    /// Elements of the sharded operand (`work × inner`) — what the legacy
+    /// scalar [`CostModel::estimate_seconds`] interface estimates over.
+    pub fn sharded_elements(&self) -> i64 {
+        (self.work as i64).saturating_mul(self.inner as i64)
+    }
+
+    /// Scalar multiply-accumulate / element operations of the shard.
+    pub fn scalar_ops(&self) -> f64 {
+        self.work as f64 * self.inner as f64 * self.out as f64
+    }
+}
+
+/// How the planner assigns work to devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardPolicy {
+    /// Balance estimated completion times across all supporting devices.
+    Auto,
+    /// Place all work on one device (the `--shard cnm-only` / `cim-only` /
+    /// `host-only` knobs).
+    Single(Target),
+    /// User-forced work fractions in `[cnm, cim, host]` order. Must sum to 1
+    /// — the planner errors instead of renormalising.
+    Fractions([f64; 3]),
+}
+
+impl ShardPolicy {
+    /// Parses the `--shard` CLI grammar shared by `cinm-experiments` and
+    /// `bench-sim`: `value` is the flag's argument
+    /// (`auto|cnm-only|cim-only|host-only|fractions`), `next` the following
+    /// token when `value` is `fractions` (`"a,b,c"`).
+    pub fn parse_cli(value: &str, next: Option<&str>) -> Result<ShardPolicy, String> {
+        match value {
+            "auto" => Ok(ShardPolicy::Auto),
+            "cnm-only" => Ok(ShardPolicy::Single(Target::Cnm)),
+            "cim-only" => Ok(ShardPolicy::Single(Target::Cim)),
+            "host-only" => Ok(ShardPolicy::Single(Target::Host)),
+            "fractions" => {
+                let raw = next
+                    .ok_or_else(|| "--shard fractions requires a value 'cnm,cim,host'".to_string())?;
+                let mut parts = Vec::new();
+                for p in raw.split(',') {
+                    let p = p.trim();
+                    parts.push(p.parse::<f64>().map_err(|_| {
+                        format!("invalid shard fraction '{p}' in '{raw}'")
+                    })?);
+                }
+                if parts.len() != 3 {
+                    return Err(format!(
+                        "--shard fractions expects exactly three values 'cnm,cim,host' (got '{raw}')"
+                    ));
+                }
+                Ok(ShardPolicy::Fractions([parts[0], parts[1], parts[2]]))
+            }
+            other => Err(format!(
+                "invalid --shard value '{other}'; expected auto|cnm-only|cim-only|host-only|fractions a,b,c"
+            )),
+        }
+    }
+
+    /// The CLI spelling of the policy (the non-fraction variants round-trip
+    /// through [`ShardPolicy::parse_cli`]).
+    pub fn cli_name(&self) -> String {
+        match self {
+            ShardPolicy::Auto => "auto".to_string(),
+            ShardPolicy::Single(Target::Cnm) => "cnm-only".to_string(),
+            ShardPolicy::Single(Target::Cim) => "cim-only".to_string(),
+            ShardPolicy::Single(Target::Host) => "host-only".to_string(),
+            ShardPolicy::Fractions(f) => format!("fractions {},{},{}", f[0], f[1], f[2]),
+        }
+    }
+
+    /// Whether the policy necessarily places work on the crossbar — such
+    /// policies cannot execute ops outside the MVM-only backend's support,
+    /// so harnesses skip those ops instead of failing the whole sweep.
+    pub fn requires_cim(&self) -> bool {
+        match self {
+            ShardPolicy::Single(Target::Cim) => true,
+            ShardPolicy::Fractions(f) => f[1] > 0.0,
+            _ => false,
+        }
+    }
+}
+
+/// A computed shard assignment for one operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// The `cinm` op the plan is for.
+    pub op: String,
+    /// Total work units (rows or elements).
+    pub work: usize,
+    /// Work units per device.
+    pub split: ShardSplit,
+    /// Work fractions per device, `[cnm, cim, host]`.
+    pub fractions: [f64; 3],
+    /// Estimated completion seconds per device at the planned split (zero
+    /// for empty shards or devices without a model).
+    pub estimated_seconds: [f64; 3],
+    /// `Some(target)` when the planner fell back to a single device (op too
+    /// small to shard, only one supporting device, or a forced policy).
+    pub fallback: Option<Target>,
+}
+
+impl ShardPlan {
+    /// Whether the plan actually uses more than one device.
+    pub fn is_sharded(&self) -> bool {
+        ShardPlanner::split_device_count(&self.split) > 1
+    }
+}
+
+/// Plans work splits across `Cnm`, `Cim` and `Host` from registered
+/// [`CostModel`] estimates (see the module docs for the balancing rule and
+/// the fallback conditions).
+pub struct ShardPlanner {
+    models: Vec<Box<dyn CostModel>>,
+    /// Minimum shard size in work units; shards are whole multiples of this
+    /// granule and ops under two granules are not sharded at all.
+    pub granularity: usize,
+    /// The assignment policy.
+    pub policy: ShardPolicy,
+}
+
+impl std::fmt::Debug for ShardPlanner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPlanner")
+            .field("models", &self.models.len())
+            .field("granularity", &self.granularity)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl Default for ShardPlanner {
+    fn default() -> Self {
+        ShardPlanner::new()
+    }
+}
+
+impl ShardPlanner {
+    /// Creates an empty planner (register models before planning) with the
+    /// default granularity of 16 work units and the `Auto` policy.
+    pub fn new() -> Self {
+        ShardPlanner {
+            models: Vec::new(),
+            granularity: 16,
+            policy: ShardPolicy::Auto,
+        }
+    }
+
+    /// Creates a planner with the default first-order cost models of all
+    /// three devices: [`CnmCostModel`] for a machine with `ranks` DIMMs,
+    /// [`CimCostModel`] for the default four-tile crossbar and
+    /// [`HostCostModel`] for the in-order ARM host.
+    pub fn with_default_models(ranks: usize) -> Self {
+        let mut planner = ShardPlanner::new();
+        planner.register_model(Box::new(CnmCostModel::new(UpmemConfig::with_ranks(ranks))));
+        planner.register_model(Box::new(CimCostModel::new(CrossbarConfig::default())));
+        planner.register_model(Box::new(HostCostModel::new(CpuModel::arm_host())));
+        planner
+    }
+
+    /// Overrides the policy.
+    pub fn with_policy(mut self, policy: ShardPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Registers a device cost model.
+    pub fn register_model(&mut self, model: Box<dyn CostModel>) {
+        self.models.push(model);
+    }
+
+    /// Full-shard estimate of a target, or `None` if no registered model
+    /// supports the op on that target.
+    fn estimate(&self, target: Target, op: &str, shape: &ShardShape) -> Option<f64> {
+        self.models
+            .iter()
+            .filter(|m| m.target() == target)
+            .filter_map(|m| m.estimate_shard_seconds(op, shape))
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    fn split_device_count(split: &ShardSplit) -> usize {
+        [split.cnm, split.cim, split.host]
+            .iter()
+            .filter(|&&w| w > 0)
+            .count()
+    }
+
+    /// Plans a shard assignment for one op of the given [`ShardShape`].
+    pub fn plan(&self, op: &str, shape: ShardShape) -> Result<ShardPlan, ShardError> {
+        let work = shape.work;
+        let estimates: [Option<f64>; 3] = [
+            self.estimate(Target::Cnm, op, &shape),
+            self.estimate(Target::Cim, op, &shape),
+            self.estimate(Target::Host, op, &shape),
+        ];
+        if work == 0 {
+            // Zero-work ops plan to empty splits, but an infeasible forced
+            // policy is still an error (fractions are validated even when
+            // they apportion nothing).
+            match self.policy {
+                ShardPolicy::Fractions(fractions) => {
+                    ShardSplit::from_fractions(0, fractions)?;
+                }
+                ShardPolicy::Single(target) => {
+                    self.single_split(op, 0, target, &estimates)?;
+                }
+                ShardPolicy::Auto => {}
+            }
+            return Ok(self.finish(op, &shape, ShardSplit::default(), None));
+        }
+        match self.policy {
+            ShardPolicy::Single(target) => {
+                let split = self.single_split(op, work, target, &estimates)?;
+                Ok(self.finish(op, &shape, split, Some(target)))
+            }
+            ShardPolicy::Fractions(fractions) => {
+                let split = ShardSplit::from_fractions(work, fractions)?;
+                if split.cim > 0 && estimates[1].is_none() {
+                    return Err(ShardError::Unsupported {
+                        device: cinm_lowering::ShardDevice::Cim,
+                        op: "forced-fraction shard",
+                    });
+                }
+                Ok(self.finish(op, &shape, split, None))
+            }
+            ShardPolicy::Auto => self.plan_auto(op, &shape, &estimates),
+        }
+    }
+
+    /// Checks a forced single-target placement against the support matrix.
+    fn single_split(
+        &self,
+        op: &str,
+        work: usize,
+        target: Target,
+        estimates: &[Option<f64>; 3],
+    ) -> Result<ShardSplit, ShardError> {
+        // A registered model's `Some` estimate is authoritative; without a
+        // model, fall back to the Table 1 paradigm-support matrix (the host
+        // executes anything).
+        let supported = match target {
+            Target::Cnm => {
+                estimates[0].is_some() || cinm::paradigm_support(op).is_some_and(|s| s.cnm)
+            }
+            Target::Cim => estimates[1].is_some(),
+            Target::Host => true,
+        };
+        if !supported {
+            let device = match target {
+                Target::Cnm => cinm_lowering::ShardDevice::Cnm,
+                Target::Cim => cinm_lowering::ShardDevice::Cim,
+                Target::Host => cinm_lowering::ShardDevice::Host,
+            };
+            return Err(ShardError::Unsupported {
+                device,
+                op: "forced single-target shard",
+            });
+        }
+        Ok(match target {
+            Target::Cnm => ShardSplit::all_cnm(work),
+            Target::Cim => ShardSplit::all_cim(work),
+            Target::Host => ShardSplit::all_host(work),
+        })
+    }
+
+    /// Fits the affine cost `t_i(w) = fixed + per_unit · w` (seconds over
+    /// work units) of one device by sampling its model at the full and at
+    /// half the shard size.
+    fn affine_estimate(&self, target: Target, op: &str, shape: &ShardShape) -> Option<AffineCost> {
+        let work = shape.work;
+        let t_full = self.estimate(target, op, shape)?.max(0.0);
+        let half = work / 2;
+        let t_half = if half > 0 {
+            self.estimate(target, op, &shape.with_work(half))
+                .unwrap_or(t_full / 2.0)
+        } else {
+            t_full / 2.0
+        };
+        let per_unit = if work > half {
+            ((t_full - t_half) / (work - half) as f64).max(1e-15)
+        } else {
+            1e-15
+        };
+        let fixed = (t_full - per_unit * work as f64).max(0.0);
+        Some(AffineCost { fixed, per_unit })
+    }
+
+    /// The `Auto` policy: balance estimated completion times with affine
+    /// per-device costs (water-filling; see the module docs).
+    fn plan_auto(
+        &self,
+        op: &str,
+        shape: &ShardShape,
+        estimates: &[Option<f64>; 3],
+    ) -> Result<ShardPlan, ShardError> {
+        let work = shape.work;
+        let granularity = self.granularity.max(1);
+        // Candidate devices: those with a model-backed estimate.
+        let candidates: Vec<(usize, f64)> = estimates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (i, t.max(1e-12))))
+            .collect();
+        // No model supports the op: everything stays on the host (the
+        // paper's catch-all for ops outside the offloadable set).
+        if candidates.is_empty() {
+            let split = ShardSplit::all_host(work);
+            return Ok(self.finish(op, shape, split, Some(Target::Host)));
+        }
+        let fastest = candidates
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|&(i, _)| i)
+            .unwrap();
+        // Too small to shard, or nothing to share it with.
+        if work < 2 * granularity || candidates.len() == 1 {
+            let target = index_target(fastest);
+            let split = self.single_split(op, work, target, estimates)?;
+            return Ok(self.finish(op, shape, split, Some(target)));
+        }
+        // Water-fill over affine costs: drop every device whose fixed
+        // overhead exceeds the balanced makespan of the remaining set.
+        let mut active: Vec<(usize, AffineCost)> = candidates
+            .iter()
+            .filter_map(|&(i, _)| {
+                self.affine_estimate(index_target(i), op, shape)
+                    .map(|a| (i, a))
+            })
+            .collect();
+        let makespan = loop {
+            let inv_sum: f64 = active.iter().map(|(_, a)| 1.0 / a.per_unit).sum();
+            let fixed_sum: f64 = active.iter().map(|(_, a)| a.fixed / a.per_unit).sum();
+            let t = (work as f64 + fixed_sum) / inv_sum;
+            if active.len() > 1 {
+                // Remove the device with the largest fixed overhead if that
+                // overhead alone exceeds the balanced makespan.
+                let (worst_pos, worst) = active
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1 .1.fixed.partial_cmp(&b.1 .1.fixed).unwrap())
+                    .map(|(p, &(_, a))| (p, a))
+                    .unwrap();
+                if worst.fixed >= t {
+                    active.remove(worst_pos);
+                    continue;
+                }
+            }
+            break t;
+        };
+        let mut units = [0usize; 3];
+        let mut assigned = 0usize;
+        for &(i, a) in &active {
+            let w = ((makespan - a.fixed) / a.per_unit).max(0.0);
+            let granules = (w / granularity as f64).floor() as usize;
+            units[i] = (granules * granularity).min(work);
+            assigned += units[i];
+        }
+        // Sub-granule shards fold away.
+        for u in units.iter_mut() {
+            if *u < granularity {
+                assigned -= *u;
+                *u = 0;
+            }
+        }
+        // Guard against over-assignment from independent rounding.
+        if assigned > work {
+            let over = assigned - work;
+            for &(i, _) in active.iter().rev() {
+                let take = over.min(units[i]);
+                units[i] -= take;
+                assigned -= take;
+                if assigned <= work {
+                    break;
+                }
+            }
+        }
+        // The rounding remainder goes to the active device with the largest
+        // shard (the one best equipped to absorb extra work); units ties —
+        // in particular the all-folded case where every balanced shard was
+        // sub-granule — resolve to the device with the smallest estimate,
+        // not to whichever device happens to iterate last.
+        let remainder_to = active
+            .iter()
+            .map(|&(i, _)| i)
+            .max_by(|&a, &b| {
+                units[a].cmp(&units[b]).then_with(|| {
+                    let (ta, tb) = (
+                        estimates[a].unwrap_or(f64::INFINITY),
+                        estimates[b].unwrap_or(f64::INFINITY),
+                    );
+                    tb.partial_cmp(&ta).unwrap()
+                })
+            })
+            .unwrap_or(fastest);
+        units[remainder_to] += work - assigned;
+        debug_assert_eq!(units.iter().sum::<usize>(), work);
+        let split = ShardSplit {
+            cnm: units[0],
+            cim: units[1],
+            host: units[2],
+        };
+        let fallback = if Self::split_device_count(&split) > 1 {
+            None
+        } else {
+            Some(index_target(
+                units.iter().position(|&u| u > 0).unwrap_or(fastest),
+            ))
+        };
+        Ok(self.finish(op, shape, split, fallback))
+    }
+
+    fn finish(
+        &self,
+        op: &str,
+        shape: &ShardShape,
+        split: ShardSplit,
+        fallback: Option<Target>,
+    ) -> ShardPlan {
+        let mut estimated_seconds = [0.0f64; 3];
+        for (i, &w) in [split.cnm, split.cim, split.host].iter().enumerate() {
+            if w > 0 {
+                if let Some(t) = self.estimate(index_target(i), op, &shape.with_work(w)) {
+                    estimated_seconds[i] = t;
+                }
+            }
+        }
+        ShardPlan {
+            op: op.to_string(),
+            work: shape.work,
+            fractions: split.fractions(),
+            split,
+            estimated_seconds,
+            fallback,
+        }
+    }
+}
+
+/// Affine per-device shard cost in seconds over *work units*.
+#[derive(Debug, Clone, Copy)]
+struct AffineCost {
+    /// Fixed overhead (transfers, launch, tile programming).
+    fixed: f64,
+    /// Marginal seconds per work unit.
+    per_unit: f64,
+}
+
+fn index_target(i: usize) -> Target {
+    match i {
+        0 => Target::Cnm,
+        1 => Target::Cim,
+        _ => Target::Host,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Default first-order cost models
+// ---------------------------------------------------------------------------
+
+/// The shardable op subset the default models understand.
+fn op_kind(op: &str) -> Option<OpKind> {
+    if op == cinm::GEMM {
+        Some(OpKind::Gemm)
+    } else if op == cinm::GEMV {
+        Some(OpKind::Gemv)
+    } else if op == cinm::REDUCE {
+        Some(OpKind::Reduce)
+    } else if op == cinm::HISTOGRAM {
+        Some(OpKind::Histogram)
+    } else if cinm::ELEMENTWISE_ARITH.contains(&op) || cinm::ELEMENTWISE_LOGIC.contains(&op) {
+        Some(OpKind::Elementwise)
+    } else {
+        None
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Gemm,
+    Gemv,
+    Elementwise,
+    Reduce,
+    Histogram,
+}
+
+impl OpKind {
+    fn matmul_like(self) -> bool {
+        matches!(self, OpKind::Gemm | OpKind::Gemv)
+    }
+}
+
+/// Whether the crossbar backend can execute the op — the single source of
+/// truth for the "MVM-only" restriction used by the planner, the experiment
+/// harness and `bench-sim` (the `ShardedBackend` methods enforce the same
+/// fact at execution time).
+pub fn cim_supports(op: &str) -> bool {
+    op_kind(op).is_some_and(OpKind::matmul_like)
+}
+
+/// Reconstructs a plausible [`ShardShape`] from the legacy scalar
+/// `(op, elements)` interface: a square-ish operand for matmul-like ops
+/// (so the `TargetSelector` ranking sees the real O(n³)/O(n²) work, not one
+/// MAC per element), a flat stream otherwise. Shared by every default
+/// model's [`CostModel::estimate_seconds`].
+fn scalar_shape(kind: OpKind, elements: i64) -> ShardShape {
+    let n = elements.max(0) as usize;
+    if kind.matmul_like() {
+        let side = (n.max(1) as f64).sqrt().ceil() as usize;
+        ShardShape::matmul(side, side, if kind == OpKind::Gemm { side } else { 1 })
+    } else {
+        ShardShape::streaming(n)
+    }
+}
+
+/// First-order cost model of the UPMEM grid, mirroring the simulator's cost
+/// structure: bulk transfers of the sharded operand are rank-parallel, the
+/// stationary matmul operand is **broadcast** (replicated through one rank's
+/// channel per rank-sized image — shard-size independent, and the dominant
+/// fixed cost for wide GEMMs), and kernel time is the per-DPU loop nest with
+/// the emulated 32-bit multiply for matmul-like ops.
+#[derive(Debug)]
+pub struct CnmCostModel {
+    config: UpmemConfig,
+}
+
+impl CnmCostModel {
+    /// Creates the model from a machine configuration.
+    pub fn new(config: UpmemConfig) -> Self {
+        CnmCostModel { config }
+    }
+
+    fn shard_estimate(&self, kind: OpKind, shape: &ShardShape) -> f64 {
+        let cfg = &self.config;
+        let i = &cfg.instr;
+        let dpus = (cfg.ranks * cfg.dpus_per_rank).max(1) as f64;
+        let rank_bw = cfg.host_bandwidth_per_rank_bytes_per_s * cfg.ranks.max(1) as f64;
+        let work = shape.work as f64;
+        // Per-DPU kernel time: the slowest DPU owns ceil(work / dpus) units.
+        let units_per_dpu = (shape.work as f64 / dpus).ceil().max(1.0);
+        let cycles_per_unit = if kind.matmul_like() {
+            // One MAC per (inner × out) element pair of the unit's row.
+            (shape.inner * shape.out) as f64
+                * (2.0 * i.wram_access + i.mul32 + i.alu + 0.5 * i.branch)
+        } else {
+            3.0 * i.wram_access + i.alu + 0.5 * i.branch
+        };
+        let kernel = units_per_dpu * cycles_per_unit / cfg.dpu_freq_hz;
+        // Transfers: the sharded operand in, the result out (rank-parallel),
+        // plus the broadcast of the stationary operand for matmul-like ops.
+        // Reductions and histograms gather only small per-DPU partials, not
+        // a result per work unit.
+        let sharded_bytes = work * shape.inner as f64 * 4.0;
+        let result_bytes = match kind {
+            OpKind::Reduce | OpKind::Histogram => dpus * 4.0,
+            OpKind::Gemm | OpKind::Gemv => work * shape.out as f64 * 4.0,
+            // Element-wise ops read two operands and write one result.
+            OpKind::Elementwise => work * shape.out as f64 * 4.0 + sharded_bytes,
+        };
+        let mut transfer =
+            (sharded_bytes + result_bytes) / rank_bw + 2.0 * cfg.host_transfer_latency_s;
+        if kind.matmul_like() {
+            let stationary_bytes = (shape.inner * shape.out) as f64 * 4.0;
+            transfer += stationary_bytes * cfg.dpus_per_rank as f64
+                / cfg.host_bandwidth_per_rank_bytes_per_s
+                + cfg.host_transfer_latency_s;
+        }
+        kernel + transfer
+    }
+}
+
+impl CostModel for CnmCostModel {
+    fn target(&self) -> Target {
+        Target::Cnm
+    }
+
+    fn estimate_seconds(&self, op_name: &str, elements: i64) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        Some(self.shard_estimate(kind, &scalar_shape(kind, elements)))
+    }
+
+    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        Some(self.shard_estimate(kind, shape))
+    }
+}
+
+/// First-order cost model of the crossbar, mirroring the backend's command
+/// structure under `cim-opt`: the stationary operand is tiled into
+/// `⌈inner/tile_rows⌉ × ⌈out/tile_cols⌉` crossbar tiles, each programmed
+/// once (shard-size independent — the fixed cost), then every work unit
+/// issues one MVM per tile with `num_tiles` tiles computing in parallel.
+/// Only matmul-like ops are supported — everything else returns `None` (the
+/// backend models analog MVM only), which is exactly how a whole device
+/// drops out of a plan.
+#[derive(Debug)]
+pub struct CimCostModel {
+    config: CrossbarConfig,
+}
+
+impl CimCostModel {
+    /// Creates the model from a crossbar configuration.
+    pub fn new(config: CrossbarConfig) -> Self {
+        CimCostModel { config }
+    }
+}
+
+impl CostModel for CimCostModel {
+    fn target(&self) -> Target {
+        Target::Cim
+    }
+
+    fn estimate_seconds(&self, op_name: &str, elements: i64) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        self.estimate_shard_seconds(op_name, &scalar_shape(kind, elements))
+    }
+
+    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        if !kind.matmul_like() {
+            return None;
+        }
+        let cfg = &self.config;
+        let tiles = (shape.inner.div_ceil(cfg.tile_rows.max(1))
+            * shape.out.div_ceil(cfg.tile_cols.max(1))) as f64;
+        let programming = tiles * cfg.tile_program_seconds();
+        let groups = (tiles / cfg.num_tiles.max(1) as f64).ceil();
+        let compute = shape.work as f64 * groups * cfg.mvm_seconds();
+        Some(programming + compute)
+    }
+}
+
+/// Host cost model: the roofline of a [`CpuModel`] over the shard's real
+/// operation counts.
+#[derive(Debug)]
+pub struct HostCostModel {
+    model: CpuModel,
+}
+
+impl HostCostModel {
+    /// Creates the model from a CPU configuration.
+    pub fn new(model: CpuModel) -> Self {
+        HostCostModel { model }
+    }
+}
+
+impl CostModel for HostCostModel {
+    fn target(&self) -> Target {
+        Target::Host
+    }
+
+    fn estimate_seconds(&self, op_name: &str, elements: i64) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        self.estimate_shard_seconds(op_name, &scalar_shape(kind, elements))
+    }
+
+    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        let counts = match kind {
+            OpKind::Gemm => OpCounts::gemm(shape.work, shape.inner, shape.out),
+            OpKind::Gemv => OpCounts::gemv(shape.work, shape.inner),
+            OpKind::Elementwise => OpCounts::elementwise(shape.work),
+            OpKind::Reduce => OpCounts::reduce(shape.work),
+            OpKind::Histogram => OpCounts::histogram(shape.work, 256),
+        };
+        Some(self.model.execution_seconds(&counts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner() -> ShardPlanner {
+        ShardPlanner::with_default_models(4)
+    }
+
+    /// A linear-cost model with a fixed per-element rate, for planner tests
+    /// that need controlled estimates.
+    struct FlatRate {
+        target: Target,
+        seconds_per_element: f64,
+    }
+
+    impl CostModel for FlatRate {
+        fn target(&self) -> Target {
+            self.target
+        }
+        fn estimate_seconds(&self, _op: &str, elements: i64) -> Option<f64> {
+            Some(elements.max(0) as f64 * self.seconds_per_element)
+        }
+    }
+
+    #[test]
+    fn all_subgranule_shards_collapse_onto_the_fastest_device_not_the_last() {
+        // Three near-equal devices balance ~15 units each at granularity 16:
+        // every shard folds away sub-granule and the whole op must land on
+        // the *fastest* device, not on whichever iterates last (host).
+        let mut p = ShardPlanner::new();
+        for (target, rate) in [
+            (Target::Cnm, 1.0e-6),
+            (Target::Cim, 1.01e-6),
+            (Target::Host, 1.02e-6),
+        ] {
+            p.register_model(Box::new(FlatRate {
+                target,
+                seconds_per_element: rate,
+            }));
+        }
+        let plan = p.plan(cinm::GEMM, ShardShape::matmul(45, 1, 1)).unwrap();
+        assert_eq!(plan.split.total(), 45);
+        assert_eq!(plan.split.cnm, 45, "{plan:?}");
+        assert_eq!(plan.fallback, Some(Target::Cnm), "{plan:?}");
+    }
+
+    #[test]
+    fn auto_plans_use_multiple_devices_and_cover_all_work() {
+        let p = planner();
+        let plan = p
+            .plan(cinm::GEMM, ShardShape::matmul(4096, 256, 128))
+            .unwrap();
+        assert_eq!(plan.split.total(), 4096);
+        assert!(plan.is_sharded(), "{plan:?}");
+        assert!(plan.fallback.is_none());
+        assert!((plan.fractions.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Shards are whole granules (the remainder lands on one device).
+        let granule_sized = [plan.split.cnm, plan.split.cim, plan.split.host]
+            .iter()
+            .filter(|&&w| w > 0 && w % p.granularity == 0)
+            .count();
+        assert!(granule_sized >= 1, "{plan:?}");
+    }
+
+    #[test]
+    fn devices_estimating_none_get_zero_work() {
+        let p = planner();
+        // The crossbar backend cannot execute element-wise ops: its model
+        // returns None and the plan must give it nothing.
+        let plan = p.plan("cinm.add", ShardShape::streaming(1 << 21)).unwrap();
+        assert_eq!(plan.split.cim, 0);
+        assert_eq!(plan.split.total(), 1 << 21);
+        assert!(plan.split.cnm > 0, "{plan:?}");
+    }
+
+    #[test]
+    fn zero_work_ops_plan_to_empty_splits() {
+        let plan = planner()
+            .plan(cinm::GEMM, ShardShape::matmul(0, 0, 0))
+            .unwrap();
+        assert_eq!(plan.split, ShardSplit::default());
+        assert_eq!(plan.fractions, [0.0; 3]);
+        assert!(plan.fallback.is_none());
+        assert!(!plan.is_sharded());
+        // Infeasible forced policies are rejected even with nothing to
+        // apportion.
+        assert!(matches!(
+            planner()
+                .with_policy(ShardPolicy::Fractions([0.8, 0.0, 0.1]))
+                .plan(cinm::GEMM, ShardShape::matmul(0, 0, 0)),
+            Err(ShardError::FractionSum { .. })
+        ));
+        assert!(matches!(
+            planner()
+                .with_policy(ShardPolicy::Single(Target::Cim))
+                .plan(cinm::REDUCE, ShardShape::streaming(0)),
+            Err(ShardError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_policy_cli_grammar_round_trips() {
+        for (value, policy) in [
+            ("auto", ShardPolicy::Auto),
+            ("cnm-only", ShardPolicy::Single(Target::Cnm)),
+            ("cim-only", ShardPolicy::Single(Target::Cim)),
+            ("host-only", ShardPolicy::Single(Target::Host)),
+        ] {
+            let parsed = ShardPolicy::parse_cli(value, None).unwrap();
+            assert_eq!(parsed, policy);
+            assert_eq!(parsed.cli_name(), value);
+        }
+        assert_eq!(
+            ShardPolicy::parse_cli("fractions", Some("0.5, 0.25,0.25")).unwrap(),
+            ShardPolicy::Fractions([0.5, 0.25, 0.25])
+        );
+        // Unparseable tokens are reported, not silently dropped.
+        let err = ShardPolicy::parse_cli("fractions", Some("0.5,abc,0.5")).unwrap_err();
+        assert!(err.contains("'abc'"), "{err}");
+        assert!(ShardPolicy::parse_cli("fractions", Some("0.5,0.5")).is_err());
+        assert!(ShardPolicy::parse_cli("fractions", None).is_err());
+        assert!(ShardPolicy::parse_cli("bogus", None).is_err());
+        // Only CIM-placing policies restrict the op set.
+        assert!(ShardPolicy::Single(Target::Cim).requires_cim());
+        assert!(ShardPolicy::Fractions([0.5, 0.25, 0.25]).requires_cim());
+        assert!(!ShardPolicy::Fractions([0.5, 0.0, 0.5]).requires_cim());
+        assert!(!ShardPolicy::Auto.requires_cim());
+        assert!(!ShardPolicy::Single(Target::Cnm).requires_cim());
+    }
+
+    #[test]
+    fn ops_under_the_granularity_fall_back_to_one_device() {
+        let p = planner();
+        let work = p.granularity * 2 - 1;
+        let plan = p
+            .plan(cinm::GEMM, ShardShape::matmul(work, 64, 64))
+            .unwrap();
+        assert!(!plan.is_sharded());
+        assert!(plan.fallback.is_some(), "{plan:?}");
+        assert_eq!(plan.split.total(), work);
+    }
+
+    #[test]
+    fn small_streaming_ops_collapse_onto_the_cheapest_device() {
+        // At tiny sizes the grid's fixed transfer latencies dominate: the
+        // water-filling step must drop the CNM device entirely.
+        let plan = planner()
+            .plan("cinm.add", ShardShape::streaming(1 << 12))
+            .unwrap();
+        assert_eq!(plan.split.cnm, 0, "{plan:?}");
+        assert_eq!(plan.split.host, 1 << 12);
+    }
+
+    #[test]
+    fn forced_fractions_must_sum_to_one() {
+        let p = planner().with_policy(ShardPolicy::Fractions([0.6, 0.3, 0.3]));
+        match p.plan(cinm::GEMM, ShardShape::matmul(100, 64, 64)) {
+            Err(ShardError::FractionSum { sum }) => assert!((sum - 1.2).abs() < 1e-9),
+            other => panic!("expected FractionSum, got {other:?}"),
+        }
+        let ok = planner()
+            .with_policy(ShardPolicy::Fractions([0.5, 0.25, 0.25]))
+            .plan(cinm::GEMM, ShardShape::matmul(100, 64, 64))
+            .unwrap();
+        assert_eq!(ok.split.total(), 100);
+        assert_eq!(ok.split.cnm, 50);
+    }
+
+    #[test]
+    fn forced_cim_work_on_unsupported_ops_is_an_error() {
+        let p = planner().with_policy(ShardPolicy::Fractions([0.5, 0.25, 0.25]));
+        assert!(matches!(
+            p.plan("cinm.add", ShardShape::streaming(100)),
+            Err(ShardError::Unsupported { .. })
+        ));
+        let single = planner().with_policy(ShardPolicy::Single(Target::Cim));
+        assert!(matches!(
+            single.plan(cinm::REDUCE, ShardShape::streaming(100)),
+            Err(ShardError::Unsupported { .. })
+        ));
+        // Single-target CNM/host placements of supported ops are fine.
+        for target in [Target::Cnm, Target::Host] {
+            let plan = planner()
+                .with_policy(ShardPolicy::Single(target))
+                .plan(cinm::REDUCE, ShardShape::streaming(100))
+                .unwrap();
+            assert_eq!(plan.fallback, Some(target));
+            assert_eq!(plan.split.total(), 100);
+        }
+    }
+
+    #[test]
+    fn unknown_ops_stay_on_the_host() {
+        let plan = planner()
+            .plan("cinm.simSearch", ShardShape::streaming(4096))
+            .unwrap();
+        assert_eq!(plan.split.host, 4096);
+        assert_eq!(plan.fallback, Some(Target::Host));
+    }
+
+    #[test]
+    fn estimates_scale_with_problem_size_and_rank_count() {
+        let small = CnmCostModel::new(UpmemConfig::with_ranks(4));
+        let big = CnmCostModel::new(UpmemConfig::with_ranks(16));
+        let shape = ShardShape::streaming(1 << 22);
+        let t_small = small.estimate_shard_seconds("cinm.add", &shape).unwrap();
+        let t_big = big.estimate_shard_seconds("cinm.add", &shape).unwrap();
+        assert!(t_big < t_small, "more ranks must be faster");
+        let host = HostCostModel::new(CpuModel::arm_host());
+        assert!(
+            host.estimate_shard_seconds(cinm::GEMM, &ShardShape::matmul(4096, 64, 64))
+                .unwrap()
+                > host
+                    .estimate_shard_seconds(cinm::GEMM, &ShardShape::matmul(64, 64, 64))
+                    .unwrap()
+        );
+        let cim = CimCostModel::new(CrossbarConfig::default());
+        assert!(cim
+            .estimate_shard_seconds(cinm::GEMM, &ShardShape::matmul(1024, 256, 128))
+            .is_some());
+        assert!(cim.estimate_shard_seconds("cinm.add", &shape).is_none());
+        // The legacy scalar interface stays usable for TargetSelector.
+        assert!(cim.estimate_seconds(cinm::GEMM, 1 << 20).is_some());
+        assert!(cim.estimate_seconds("cinm.add", 1 << 20).is_none());
+    }
+
+    #[test]
+    fn cnm_broadcast_cost_is_shard_size_independent() {
+        // The stationary-operand broadcast must appear as a *fixed* cost:
+        // halving the shard must less-than-halve the estimate.
+        let m = CnmCostModel::new(UpmemConfig::with_ranks(16));
+        let full = m
+            .estimate_shard_seconds(cinm::GEMM, &ShardShape::matmul(1024, 256, 128))
+            .unwrap();
+        let half = m
+            .estimate_shard_seconds(cinm::GEMM, &ShardShape::matmul(512, 256, 128))
+            .unwrap();
+        assert!(half > full / 2.0, "full {full} half {half}");
+    }
+}

@@ -1,11 +1,29 @@
 //! Target selection and the cost-model interface (paper Sections 3.2.2, 3.3).
 //!
-//! The `cinm` abstraction delegates each kernel to the most suitable device.
-//! Device dialects can register [`CostModel`] implementations; in their
-//! absence the greedy default policy of the paper applies: matmul-like
-//! operations whose dimensions exceed a threshold go to the CIM crossbar,
-//! every other operation in the `cinm` op set goes to UPMEM, and anything
-//! that cannot be expressed in the Table 1 op set stays on the host.
+//! The `cinm` abstraction delegates each kernel to a suitable device — or,
+//! since the sharded execution layer, to **several at once**. Two policies
+//! build on the same [`CostModel`] registry:
+//!
+//! * **Single-target selection** ([`TargetSelector`], this module): each op
+//!   goes to exactly one device. Registered cost models take precedence
+//!   (fastest estimate wins); in their absence the greedy default policy of
+//!   the paper applies — matmul-like operations whose dimensions exceed a
+//!   threshold go to the CIM crossbar, every other operation in the `cinm`
+//!   op set goes to UPMEM, and anything that cannot be expressed in the
+//!   Table 1 op set stays on the host.
+//! * **Sharded placement** ([`crate::shard::ShardPlanner`]): one op is
+//!   split into per-device shards (GEMM/GEMV by output rows, element-wise/
+//!   reduce/histogram by elements). The balancing rule sizes each device's
+//!   shard proportionally to its processing rate `1/t_i` from the cost-model
+//!   estimates, so all devices are predicted to finish simultaneously; a
+//!   device whose model returns `None` for the op receives zero work. The
+//!   resulting [`crate::shard::ShardPlan`] records the split, the fractions
+//!   and the per-device time estimates, and is executed by
+//!   `cinm_lowering::ShardedBackend`. The planner **falls back to
+//!   single-target placement** (all work on the fastest supporting device)
+//!   when the op has fewer than two granules of work, when only one device
+//!   supports it, or when the policy forces a single target — so tiny or
+//!   host-only ops behave exactly as under the selector.
 
 use std::collections::BTreeMap;
 
@@ -43,6 +61,21 @@ pub trait CostModel {
     /// given name and operand element count, or `None` if the device cannot
     /// execute the op.
     fn estimate_seconds(&self, op_name: &str, elements: i64) -> Option<f64>;
+
+    /// Estimated execution time in seconds of a *shard* of a `cinm`
+    /// operation with the given shape (see [`crate::shard::ShardShape`]), or
+    /// `None` if the device cannot execute the op. The shard planner samples
+    /// this at several shard sizes to separate fixed per-dispatch overheads
+    /// (broadcasts, tile programming, launch latency) from marginal
+    /// per-unit cost. The default implementation falls back to
+    /// [`CostModel::estimate_seconds`] over the shard's operand elements.
+    fn estimate_shard_seconds(
+        &self,
+        op_name: &str,
+        shape: &crate::shard::ShardShape,
+    ) -> Option<f64> {
+        self.estimate_seconds(op_name, shape.sharded_elements())
+    }
 }
 
 /// Registry of cost models plus the greedy fallback policy.

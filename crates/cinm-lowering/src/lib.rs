@@ -12,18 +12,27 @@
 //! * [`backend`] — the device run-times the device dialects map onto:
 //!   [`backend::UpmemBackend`] drives the `upmem-sim` DPU-grid simulator and
 //!   [`backend::CimBackend`] drives the `memristor-sim` crossbar simulator
-//!   with an ARM orchestration host, both functionally exact and timed.
+//!   with an ARM orchestration host, both functionally exact and timed;
+//! * [`sharded`] — heterogeneous sharded execution:
+//!   [`sharded::ShardedBackend`] co-executes one `cinm` op across the UPMEM
+//!   backend, the crossbar backend and the host concurrently on the shared
+//!   `cinm_runtime` worker pool, merging results bit-identically to the
+//!   golden host kernels.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod backend;
 pub mod convert;
+pub mod sharded;
 pub mod tiling;
 
 pub use backend::{CimBackend, CimRunOptions, CimRunStats, UpmemBackend, UpmemRunOptions};
 pub use convert::{
     CimLoweringOptions, CimToMemristorPass, CinmToCimPass, CinmToCnmPass, CnmLoweringOptions,
     CnmToUpmemPass, LinalgToCinmPass, TosaToLinalgPass, UpmemLoweringOptions,
+};
+pub use sharded::{
+    ShardDevice, ShardError, ShardSplit, ShardStats, ShardedBackend, ShardedRunOptions,
 };
 pub use tiling::{interchange, split_even, tile_2d, wram_tile_elems, Tile, TileShape};

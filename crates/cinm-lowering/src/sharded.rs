@@ -1,0 +1,926 @@
+//! Heterogeneous sharded execution: one `cinm` op across UPMEM + CIM + host.
+//!
+//! The paper's central claim is that a single abstraction can target
+//! heterogeneous CIM *and* CNM devices. [`ShardedBackend`] takes that one
+//! step further than per-op target selection: it owns all three device
+//! back-ends at once — an [`UpmemBackend`] (CNM), a [`CimBackend`] (CIM) and
+//! a host executor running the `cpu_sim` golden kernels under a
+//! [`CpuModel`] roofline — and co-executes **a single operation** across
+//! them. GEMM/GEMV are sharded by contiguous output-row ranges,
+//! element-wise/reduction/histogram ops by contiguous element ranges; the
+//! shard sizes come from a [`ShardSplit`] (typically produced by the
+//! `cinm-core` shard planner from registered cost models).
+//!
+//! The three device shards are dispatched **concurrently** onto the shared
+//! [`cinm_runtime::WorkerPool`]: one pool task per non-empty shard, each
+//! driving its own device back-end (and, inside, its own command stream).
+//! Nested pool scopes are deadlock-free by construction (helping waits), so
+//! a device task fanning its functional simulation out over the same pool is
+//! fine. Results are merged exactly as the single-device paths would produce
+//! them, so sharded execution is **bit-identical** to the
+//! `cpu_sim::kernels` goldens:
+//!
+//! * GEMM/GEMV/element-wise: row/element range concatenation — each output
+//!   element is computed by exactly one device with the same wrapping `i32`
+//!   arithmetic.
+//! * Reduce: per-shard partials folded in shard order; every [`BinOp`] is
+//!   associative over `i32` (wrapping add is exact mod 2³²), so a contiguous
+//!   split folds to the same value as the sequential scan.
+//! * Histogram: per-shard counts summed per bin (addition commutes).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use cinm_runtime::PoolHandle;
+use cpu_sim::kernels;
+use cpu_sim::model::{CpuModel, OpCounts};
+use upmem_sim::{BinOp, UpmemConfig};
+
+use crate::backend::{CimBackend, CimRunOptions, UpmemBackend, UpmemRunOptions};
+
+/// The devices a shard can be placed on, in the fixed planning order used by
+/// every `[T; 3]` in this module (`Cnm`, `Cim`, `Host`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardDevice {
+    /// The UPMEM compute-near-memory grid.
+    Cnm,
+    /// The memristive crossbar accelerator.
+    Cim,
+    /// The host CPU (golden kernels under a roofline model).
+    Host,
+}
+
+impl ShardDevice {
+    /// All devices in planning order.
+    pub const ALL: [ShardDevice; 3] = [ShardDevice::Cnm, ShardDevice::Cim, ShardDevice::Host];
+
+    /// Index of the device in the fixed `[cnm, cim, host]` order.
+    pub fn index(self) -> usize {
+        match self {
+            ShardDevice::Cnm => 0,
+            ShardDevice::Cim => 1,
+            ShardDevice::Host => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for ShardDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShardDevice::Cnm => "cnm",
+            ShardDevice::Cim => "cim",
+            ShardDevice::Host => "host",
+        })
+    }
+}
+
+/// Errors of sharded planning/execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardError {
+    /// User-forced fractions do not sum to 1 (within `1e-6`). Fractions are
+    /// **never silently renormalised** — fix the input instead.
+    FractionSum {
+        /// The actual sum of the provided fractions.
+        sum: f64,
+    },
+    /// A fraction is negative or not finite.
+    InvalidFraction {
+        /// The offending value.
+        value: f64,
+    },
+    /// The split covers a different amount of work than the op provides.
+    WorkMismatch {
+        /// Work units of the operation.
+        expected: usize,
+        /// Work units covered by the split.
+        got: usize,
+    },
+    /// A non-empty shard was assigned to a device that cannot execute the op
+    /// (e.g. an element-wise shard on the MVM-only crossbar backend).
+    Unsupported {
+        /// The device the shard was assigned to.
+        device: ShardDevice,
+        /// Name of the operation.
+        op: &'static str,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::FractionSum { sum } => write!(
+                f,
+                "shard fractions must sum to 1 (got {sum}); fractions are not renormalised"
+            ),
+            ShardError::InvalidFraction { value } => {
+                write!(f, "shard fraction {value} is not a finite value in [0, 1]")
+            }
+            ShardError::WorkMismatch { expected, got } => write!(
+                f,
+                "shard split covers {got} work units but the op has {expected}"
+            ),
+            ShardError::Unsupported { device, op } => {
+                write!(f, "device '{device}' cannot execute a shard of {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// How many contiguous work units (GEMM/GEMV rows, element-wise/reduce/
+/// histogram elements) each device executes, in the fixed `[cnm, cim, host]`
+/// shard order. Shards are contiguous: CNM owns `[0, cnm)`, CIM owns
+/// `[cnm, cnm + cim)`, the host owns the tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardSplit {
+    /// Work units executed by the UPMEM backend.
+    pub cnm: usize,
+    /// Work units executed by the crossbar backend.
+    pub cim: usize,
+    /// Work units executed on the host.
+    pub host: usize,
+}
+
+impl ShardSplit {
+    /// Total work units covered by the split.
+    pub fn total(&self) -> usize {
+        self.cnm + self.cim + self.host
+    }
+
+    /// All work on the UPMEM backend.
+    pub fn all_cnm(total: usize) -> Self {
+        ShardSplit {
+            cnm: total,
+            ..Default::default()
+        }
+    }
+
+    /// All work on the crossbar backend.
+    pub fn all_cim(total: usize) -> Self {
+        ShardSplit {
+            cim: total,
+            ..Default::default()
+        }
+    }
+
+    /// All work on the host.
+    pub fn all_host(total: usize) -> Self {
+        ShardSplit {
+            host: total,
+            ..Default::default()
+        }
+    }
+
+    /// Work units of a device.
+    pub fn get(&self, device: ShardDevice) -> usize {
+        match device {
+            ShardDevice::Cnm => self.cnm,
+            ShardDevice::Cim => self.cim,
+            ShardDevice::Host => self.host,
+        }
+    }
+
+    /// Work fractions in `[cnm, cim, host]` order (all zero for empty work).
+    pub fn fractions(&self) -> [f64; 3] {
+        let total = self.total();
+        if total == 0 {
+            return [0.0; 3];
+        }
+        [
+            self.cnm as f64 / total as f64,
+            self.cim as f64 / total as f64,
+            self.host as f64 / total as f64,
+        ]
+    }
+
+    /// Builds a split of `total` work units from user-provided fractions in
+    /// `[cnm, cim, host]` order.
+    ///
+    /// The fractions must be finite, non-negative and sum to 1 within
+    /// `1e-6`; anything else is an error — the split is **never silently
+    /// renormalised** (a residual within that tolerance is scaled out
+    /// before rounding, which can shift at most the rounding of single
+    /// units). Work units are apportioned by the largest-remainder method,
+    /// so the counts always sum to exactly `total` and the rounding is
+    /// deterministic (remainder ties break in `[cnm, cim, host]` order).
+    pub fn from_fractions(total: usize, fractions: [f64; 3]) -> Result<ShardSplit, ShardError> {
+        for &f in &fractions {
+            if !f.is_finite() || !(0.0..=1.0 + 1e-9).contains(&f) {
+                return Err(ShardError::InvalidFraction { value: f });
+            }
+        }
+        let sum: f64 = fractions.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(ShardError::FractionSum { sum });
+        }
+        // Largest-remainder apportionment over fractions scaled by the
+        // actual sum: within the accepted tolerance this is a no-op up to
+        // float error, but it guarantees the floored units can never exceed
+        // `total` (a 1e-7 excess times a large `total` would otherwise
+        // round to whole extra units and underflow the leftover).
+        let raw: Vec<f64> = fractions.iter().map(|f| f / sum * total as f64).collect();
+        let mut units: Vec<usize> = raw.iter().map(|&r| r.floor() as usize).collect();
+        let mut leftover = total.saturating_sub(units.iter().sum::<usize>());
+        let mut order: Vec<usize> = (0..3).collect();
+        order.sort_by(|&i, &j| {
+            let ri = raw[i] - raw[i].floor();
+            let rj = raw[j] - raw[j].floor();
+            rj.partial_cmp(&ri).unwrap().then(i.cmp(&j))
+        });
+        for &i in &order {
+            if leftover == 0 {
+                break;
+            }
+            units[i] += 1;
+            leftover -= 1;
+        }
+        // Mathematically the leftover is < 3; any float-error residue goes
+        // to the largest remainder so the split always covers `total`.
+        units[order[0]] += leftover;
+        debug_assert_eq!(units.iter().sum::<usize>(), total);
+        Ok(ShardSplit {
+            cnm: units[0],
+            cim: units[1],
+            host: units[2],
+        })
+    }
+}
+
+/// Options of a [`ShardedBackend`].
+#[derive(Debug, Clone)]
+pub struct ShardedRunOptions {
+    /// DIMMs of the UPMEM machine backing the CNM shard.
+    pub ranks: usize,
+    /// Code-generation options of the UPMEM shard.
+    pub upmem: UpmemRunOptions,
+    /// Code-generation options of the crossbar shard.
+    pub cim: CimRunOptions,
+    /// Roofline model timing the host shard.
+    pub host_model: CpuModel,
+    /// The shared worker pool all three device tasks are dispatched onto
+    /// (and which both simulators use internally). The experiment harnesses
+    /// pass one pool per sweep.
+    pub pool: PoolHandle,
+}
+
+impl Default for ShardedRunOptions {
+    fn default() -> Self {
+        ShardedRunOptions {
+            ranks: 16,
+            upmem: UpmemRunOptions::optimized(),
+            cim: CimRunOptions::optimized(),
+            host_model: CpuModel::arm_host(),
+            pool: PoolHandle::global(),
+        }
+    }
+}
+
+impl ShardedRunOptions {
+    /// Overrides the number of UPMEM DIMMs.
+    pub fn with_ranks(mut self, ranks: usize) -> Self {
+        self.ranks = ranks;
+        self
+    }
+
+    /// Attaches a shared worker pool (also handed to both simulators).
+    pub fn with_pool(mut self, pool: PoolHandle) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Overrides the host worker threads of both functional simulators.
+    pub fn with_host_threads(mut self, host_threads: usize) -> Self {
+        self.upmem.host_threads = host_threads;
+        self.cim.host_threads = host_threads;
+        self
+    }
+}
+
+/// Accumulated statistics of sharded execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardStats {
+    /// Sharded operations executed.
+    pub ops: u64,
+    /// Work units executed per device, `[cnm, cim, host]`.
+    pub work: [u64; 3],
+    /// Simulated seconds per device.
+    pub sim_seconds: [f64; 3],
+    /// Accumulated simulated makespan: per op, the slowest device shard
+    /// defines the op's completion time (the devices run concurrently).
+    pub sim_makespan_seconds: f64,
+    /// Host wall-clock seconds each device task spent executing its shard
+    /// (simulator run time, not simulated time).
+    pub busy_wall_seconds: [f64; 3],
+    /// Host wall-clock seconds of the sharded ops end-to-end.
+    pub wall_seconds: f64,
+    /// Maximum number of device tasks observed in flight simultaneously —
+    /// ≥ 2 demonstrates the back-ends genuinely overlap on the pool.
+    pub max_concurrent: usize,
+}
+
+impl ShardStats {
+    /// Work fractions per device over everything executed so far.
+    pub fn fractions(&self) -> [f64; 3] {
+        let total: u64 = self.work.iter().sum();
+        if total == 0 {
+            return [0.0; 3];
+        }
+        [
+            self.work[0] as f64 / total as f64,
+            self.work[1] as f64 / total as f64,
+            self.work[2] as f64 / total as f64,
+        ]
+    }
+
+    /// Per-device utilisation: simulated busy time over the simulated
+    /// makespan. A perfectly balanced plan is `1.0` everywhere.
+    pub fn utilization(&self) -> [f64; 3] {
+        if self.sim_makespan_seconds <= 0.0 {
+            return [0.0; 3];
+        }
+        [
+            self.sim_seconds[0] / self.sim_makespan_seconds,
+            self.sim_seconds[1] / self.sim_makespan_seconds,
+            self.sim_seconds[2] / self.sim_makespan_seconds,
+        ]
+    }
+}
+
+/// Tracks how many device tasks are in flight at once.
+#[derive(Default)]
+struct ConcurrencyTracker {
+    current: AtomicUsize,
+    max: AtomicUsize,
+}
+
+struct ConcurrencyGuard<'a>(&'a ConcurrencyTracker);
+
+impl ConcurrencyTracker {
+    fn enter(&self) -> ConcurrencyGuard<'_> {
+        let now = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+        self.max.fetch_max(now, Ordering::SeqCst);
+        ConcurrencyGuard(self)
+    }
+
+    fn max_seen(&self) -> usize {
+        self.max.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ConcurrencyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.current.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Per-device outcome of one sharded dispatch.
+#[derive(Default)]
+struct ShardOutcome {
+    result: Vec<i32>,
+    /// Simulated seconds the shard took on its device.
+    sim_seconds: f64,
+    /// Host wall-clock seconds the device task ran for.
+    wall_seconds: f64,
+}
+
+/// The heterogeneous sharded execution backend: owns all three device
+/// back-ends and co-executes one operation across them (see the module
+/// docs for the sharding and merge rules).
+#[derive(Debug)]
+pub struct ShardedBackend {
+    upmem: UpmemBackend,
+    cim: CimBackend,
+    host_model: CpuModel,
+    pool: PoolHandle,
+    stats: ShardStats,
+}
+
+impl ShardedBackend {
+    /// Creates a backend. All three devices share `options.pool`.
+    pub fn new(options: ShardedRunOptions) -> Self {
+        let upmem_options = options.upmem.clone().with_pool(options.pool.clone());
+        let cim_options = options.cim.clone().with_pool(options.pool.clone());
+        ShardedBackend {
+            upmem: UpmemBackend::new(options.ranks, upmem_options),
+            cim: CimBackend::new(cim_options),
+            host_model: options.host_model,
+            pool: options.pool,
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Creates a backend with an explicit UPMEM configuration (test harnesses
+    /// use small grids).
+    pub fn with_upmem_config(config: UpmemConfig, options: ShardedRunOptions) -> Self {
+        let upmem_options = options.upmem.clone().with_pool(options.pool.clone());
+        let cim_options = options.cim.clone().with_pool(options.pool.clone());
+        ShardedBackend {
+            upmem: UpmemBackend::with_config(config, upmem_options),
+            cim: CimBackend::new(cim_options),
+            host_model: options.host_model,
+            pool: options.pool,
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Accumulated sharded-execution statistics.
+    pub fn stats(&self) -> &ShardStats {
+        &self.stats
+    }
+
+    /// Resets all statistics (including the device back-ends').
+    pub fn reset_stats(&mut self) {
+        self.upmem.reset_stats();
+        self.cim.reset_stats();
+        self.stats = ShardStats::default();
+    }
+
+    /// Number of DPUs backing the CNM shard.
+    pub fn num_dpus(&self) -> usize {
+        self.upmem.num_dpus()
+    }
+
+    fn validate(
+        &self,
+        split: &ShardSplit,
+        total: usize,
+        op: &'static str,
+        cim_supported: bool,
+    ) -> Result<(), ShardError> {
+        if split.total() != total {
+            return Err(ShardError::WorkMismatch {
+                expected: total,
+                got: split.total(),
+            });
+        }
+        if !cim_supported && split.cim > 0 {
+            return Err(ShardError::Unsupported {
+                device: ShardDevice::Cim,
+                op,
+            });
+        }
+        Ok(())
+    }
+
+    /// Dispatches up to three shard closures concurrently on the shared pool
+    /// and folds their outcomes into the statistics. Each closure returns the
+    /// shard result plus the *simulated* seconds its device spent.
+    fn dispatch<'a>(
+        &mut self,
+        work: &ShardSplit,
+        run_cnm: impl FnOnce(&mut UpmemBackend) -> (Vec<i32>, f64) + Send + 'a,
+        run_cim: impl FnOnce(&mut CimBackend) -> (Vec<i32>, f64) + Send + 'a,
+        run_host: impl FnOnce(&CpuModel) -> (Vec<i32>, f64) + Send + 'a,
+    ) -> [Vec<i32>; 3] {
+        let tracker = ConcurrencyTracker::default();
+        let mut outcomes: [ShardOutcome; 3] = Default::default();
+        let op_start = Instant::now();
+        {
+            let (o_cnm, rest) = outcomes.split_first_mut().unwrap();
+            let (o_cim, rest) = rest.split_first_mut().unwrap();
+            let o_host = &mut rest[0];
+            let upmem = &mut self.upmem;
+            let cim = &mut self.cim;
+            let host_model = &self.host_model;
+            let tracker = &tracker;
+            self.pool.get().scope(|s| {
+                if work.cnm > 0 {
+                    s.spawn(move |_| {
+                        let _in_flight = tracker.enter();
+                        let start = Instant::now();
+                        let (result, sim_seconds) = run_cnm(upmem);
+                        *o_cnm = ShardOutcome {
+                            result,
+                            sim_seconds,
+                            wall_seconds: start.elapsed().as_secs_f64(),
+                        };
+                    });
+                }
+                if work.cim > 0 {
+                    s.spawn(move |_| {
+                        let _in_flight = tracker.enter();
+                        let start = Instant::now();
+                        let (result, sim_seconds) = run_cim(cim);
+                        *o_cim = ShardOutcome {
+                            result,
+                            sim_seconds,
+                            wall_seconds: start.elapsed().as_secs_f64(),
+                        };
+                    });
+                }
+                if work.host > 0 {
+                    s.spawn(move |_| {
+                        let _in_flight = tracker.enter();
+                        let start = Instant::now();
+                        let (result, sim_seconds) = run_host(host_model);
+                        *o_host = ShardOutcome {
+                            result,
+                            sim_seconds,
+                            wall_seconds: start.elapsed().as_secs_f64(),
+                        };
+                    });
+                }
+            });
+        }
+        self.stats.ops += 1;
+        self.stats.wall_seconds += op_start.elapsed().as_secs_f64();
+        self.stats.max_concurrent = self.stats.max_concurrent.max(tracker.max_seen());
+        let mut makespan = 0.0f64;
+        for (i, device) in ShardDevice::ALL.iter().enumerate() {
+            self.stats.work[i] += work.get(*device) as u64;
+            self.stats.sim_seconds[i] += outcomes[i].sim_seconds;
+            self.stats.busy_wall_seconds[i] += outcomes[i].wall_seconds;
+            makespan = makespan.max(outcomes[i].sim_seconds);
+        }
+        self.stats.sim_makespan_seconds += makespan;
+        let [a, b, c] = outcomes;
+        [a.result, b.result, c.result]
+    }
+
+    /// Sharded `C[m×n] = A[m×k] × B[k×n]`: contiguous row ranges of A/C per
+    /// device, B replicated to each. Bit-identical to
+    /// [`cpu_sim::kernels::matmul`].
+    pub fn gemm(
+        &mut self,
+        a: &[i32],
+        b: &[i32],
+        m: usize,
+        k: usize,
+        n: usize,
+        split: &ShardSplit,
+    ) -> Result<Vec<i32>, ShardError> {
+        assert_eq!(a.len(), m * k, "lhs shape mismatch");
+        assert_eq!(b.len(), k * n, "rhs shape mismatch");
+        self.validate(split, m, "gemm", true)?;
+        if m == 0 {
+            return Ok(Vec::new());
+        }
+        let (rows_cnm, rows_cim, rows_host) = (split.cnm, split.cim, split.host);
+        let a_cnm = &a[..rows_cnm * k];
+        let a_cim = &a[rows_cnm * k..(rows_cnm + rows_cim) * k];
+        let a_host = &a[(rows_cnm + rows_cim) * k..];
+        let [c_cnm, c_cim, c_host] = self.dispatch(
+            split,
+            move |upmem| {
+                let before = upmem.stats().total_seconds();
+                let c = upmem.gemm(a_cnm, b, rows_cnm, k, n);
+                (c, upmem.stats().total_seconds() - before)
+            },
+            move |cim| {
+                let before = cim.stats().total_seconds();
+                let c = cim.gemm(a_cim, b, rows_cim, k, n);
+                (c, cim.stats().total_seconds() - before)
+            },
+            move |host| {
+                let c = kernels::matmul(a_host, b, rows_host, k, n);
+                (c, host.execution_seconds(&OpCounts::gemm(rows_host, k, n)))
+            },
+        );
+        let mut c = Vec::with_capacity(m * n);
+        c.extend_from_slice(&c_cnm);
+        c.extend_from_slice(&c_cim);
+        c.extend_from_slice(&c_host);
+        Ok(c)
+    }
+
+    /// Sharded `y[rows] = A[rows×cols] × x[cols]` by contiguous row ranges.
+    /// Bit-identical to [`cpu_sim::kernels::matvec`].
+    pub fn gemv(
+        &mut self,
+        a: &[i32],
+        x: &[i32],
+        rows: usize,
+        cols: usize,
+        split: &ShardSplit,
+    ) -> Result<Vec<i32>, ShardError> {
+        assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
+        assert_eq!(x.len(), cols, "vector shape mismatch");
+        self.validate(split, rows, "gemv", true)?;
+        if rows == 0 {
+            return Ok(Vec::new());
+        }
+        let (r_cnm, r_cim, r_host) = (split.cnm, split.cim, split.host);
+        let a_cnm = &a[..r_cnm * cols];
+        let a_cim = &a[r_cnm * cols..(r_cnm + r_cim) * cols];
+        let a_host = &a[(r_cnm + r_cim) * cols..];
+        let [y_cnm, y_cim, y_host] = self.dispatch(
+            split,
+            move |upmem| {
+                let before = upmem.stats().total_seconds();
+                let y = upmem.gemv(a_cnm, x, r_cnm, cols);
+                (y, upmem.stats().total_seconds() - before)
+            },
+            move |cim| {
+                let before = cim.stats().total_seconds();
+                let y = cim.gemv(a_cim, x, r_cim, cols);
+                (y, cim.stats().total_seconds() - before)
+            },
+            move |host| {
+                let y = kernels::matvec(a_host, x, r_host, cols);
+                (y, host.execution_seconds(&OpCounts::gemv(r_host, cols)))
+            },
+        );
+        let mut y = Vec::with_capacity(rows);
+        y.extend_from_slice(&y_cnm);
+        y.extend_from_slice(&y_cim);
+        y.extend_from_slice(&y_host);
+        Ok(y)
+    }
+
+    /// Sharded element-wise binary op by contiguous element ranges. The
+    /// crossbar backend models analog MVM only, so a non-empty CIM shard is
+    /// an error; the planner's CIM cost model returns `None` for this op and
+    /// never produces one. Bit-identical to the golden element-wise kernels.
+    pub fn elementwise(
+        &mut self,
+        op: BinOp,
+        a: &[i32],
+        b: &[i32],
+        split: &ShardSplit,
+    ) -> Result<Vec<i32>, ShardError> {
+        assert_eq!(a.len(), b.len(), "element-wise operands must match");
+        self.validate(split, a.len(), "elementwise", false)?;
+        if a.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n_cnm = split.cnm;
+        let (a_cnm, a_host) = a.split_at(n_cnm);
+        let (b_cnm, b_host) = b.split_at(n_cnm);
+        let [c_cnm, _, c_host] = self.dispatch(
+            split,
+            move |upmem| {
+                let before = upmem.stats().total_seconds();
+                let c = upmem.elementwise(op, a_cnm, b_cnm);
+                (c, upmem.stats().total_seconds() - before)
+            },
+            |_| unreachable!("validated: no CIM shard"),
+            move |host| {
+                let c = kernels::elementwise(a_host, b_host, |x, y| op.apply(x, y));
+                (
+                    c,
+                    host.execution_seconds(&OpCounts::elementwise(a_host.len())),
+                )
+            },
+        );
+        let mut c = Vec::with_capacity(a.len());
+        c.extend_from_slice(&c_cnm);
+        c.extend_from_slice(&c_host);
+        Ok(c)
+    }
+
+    /// Sharded reduction by contiguous element ranges; per-shard partials are
+    /// folded in shard order (every [`BinOp`] is associative, so this equals
+    /// the sequential fold). An empty input reduces to `op.identity()`.
+    pub fn reduce(&mut self, op: BinOp, a: &[i32], split: &ShardSplit) -> Result<i32, ShardError> {
+        self.validate(split, a.len(), "reduce", false)?;
+        if a.is_empty() {
+            return Ok(op.identity());
+        }
+        let (a_cnm, a_host) = a.split_at(split.cnm);
+        let [p_cnm, _, p_host] = self.dispatch(
+            split,
+            move |upmem| {
+                let before = upmem.stats().total_seconds();
+                let p = upmem.reduce(op, a_cnm);
+                (vec![p], upmem.stats().total_seconds() - before)
+            },
+            |_| unreachable!("validated: no CIM shard"),
+            move |host| {
+                let p = a_host
+                    .iter()
+                    .fold(op.identity(), |acc, &v| op.apply(acc, v));
+                (
+                    vec![p],
+                    host.execution_seconds(&OpCounts::reduce(a_host.len())),
+                )
+            },
+        );
+        let mut acc = op.identity();
+        for partial in p_cnm.iter().chain(p_host.iter()) {
+            acc = op.apply(acc, *partial);
+        }
+        Ok(acc)
+    }
+
+    /// Sharded histogram by contiguous element ranges; per-shard histograms
+    /// are summed per bin. Bit-identical to [`cpu_sim::kernels::histogram`].
+    pub fn histogram(
+        &mut self,
+        a: &[i32],
+        bins: usize,
+        max_value: i32,
+        split: &ShardSplit,
+    ) -> Result<Vec<i32>, ShardError> {
+        assert!(bins > 0, "histogram needs at least one bin");
+        self.validate(split, a.len(), "histogram", false)?;
+        if a.is_empty() {
+            return Ok(vec![0i32; bins]);
+        }
+        let (a_cnm, a_host) = a.split_at(split.cnm);
+        let [h_cnm, _, h_host] = self.dispatch(
+            split,
+            move |upmem| {
+                let before = upmem.stats().total_seconds();
+                let h = upmem.histogram(a_cnm, bins, max_value);
+                (h, upmem.stats().total_seconds() - before)
+            },
+            |_| unreachable!("validated: no CIM shard"),
+            move |host| {
+                let h = kernels::histogram(a_host, bins, max_value);
+                (
+                    h,
+                    host.execution_seconds(&OpCounts::histogram(a_host.len(), bins)),
+                )
+            },
+        );
+        let mut merged = vec![0i32; bins];
+        for shard in [&h_cnm, &h_host] {
+            for (bin, count) in shard.iter().enumerate() {
+                merged[bin] += count;
+            }
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_options(pool: PoolHandle) -> ShardedRunOptions {
+        ShardedRunOptions::default().with_ranks(1).with_pool(pool)
+    }
+
+    fn small_backend() -> ShardedBackend {
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = 8;
+        ShardedBackend::with_upmem_config(cfg, small_options(PoolHandle::global()))
+    }
+
+    #[test]
+    fn from_fractions_apportions_exactly_and_rejects_bad_input() {
+        let s = ShardSplit::from_fractions(100, [0.5, 0.25, 0.25]).unwrap();
+        assert_eq!(
+            s,
+            ShardSplit {
+                cnm: 50,
+                cim: 25,
+                host: 25
+            }
+        );
+        // Largest-remainder: counts always sum to the total.
+        for total in [0usize, 1, 7, 97, 1000] {
+            let s = ShardSplit::from_fractions(total, [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]).unwrap();
+            assert_eq!(s.total(), total, "total {total}");
+        }
+        // A residual within the 1e-6 tolerance must not break the
+        // apportionment at large totals (the floors would otherwise exceed
+        // the total and underflow the leftover).
+        for fractions in [[0.5, 0.5, 5e-7], [0.4999999, 0.4999999, 0.0]] {
+            let s = ShardSplit::from_fractions(10_000_000, fractions).unwrap();
+            assert_eq!(s.total(), 10_000_000, "{fractions:?}");
+        }
+        // Fractions that do not sum to 1 are an error, never renormalised.
+        match ShardSplit::from_fractions(10, [0.5, 0.2, 0.2]) {
+            Err(ShardError::FractionSum { sum }) => assert!((sum - 0.9).abs() < 1e-9),
+            other => panic!("expected FractionSum error, got {other:?}"),
+        }
+        assert!(matches!(
+            ShardSplit::from_fractions(10, [1.5, -0.25, -0.25]),
+            Err(ShardError::InvalidFraction { .. })
+        ));
+        assert!(matches!(
+            ShardSplit::from_fractions(10, [f64::NAN, 0.5, 0.5]),
+            Err(ShardError::InvalidFraction { .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_gemm_matches_golden_across_all_three_devices() {
+        let (m, k, n) = (45, 24, 20);
+        let a: Vec<i32> = (0..m * k).map(|i| (i % 13) as i32 - 6).collect();
+        let b: Vec<i32> = (0..k * n).map(|i| (i % 7) as i32 - 3).collect();
+        let golden = kernels::matmul(&a, &b, m, k, n);
+        let mut be = small_backend();
+        let split = ShardSplit {
+            cnm: 20,
+            cim: 15,
+            host: 10,
+        };
+        let c = be.gemm(&a, &b, m, k, n, &split).unwrap();
+        assert_eq!(c, golden);
+        let stats = be.stats();
+        assert_eq!(stats.work, [20, 15, 10]);
+        assert!(stats.sim_seconds.iter().all(|&s| s > 0.0));
+        assert!(stats.sim_makespan_seconds > 0.0);
+        let f = stats.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_streaming_ops_match_goldens() {
+        let data: Vec<i32> = (0..999).map(|i| i * 37 % 256).collect();
+        let other: Vec<i32> = (0..999).map(|i| 100 - i).collect();
+        let mut be = small_backend();
+        let split = ShardSplit {
+            cnm: 700,
+            cim: 0,
+            host: 299,
+        };
+        assert_eq!(
+            be.elementwise(BinOp::Add, &data, &other, &split).unwrap(),
+            kernels::vector_add(&data, &other)
+        );
+        assert_eq!(
+            be.reduce(BinOp::Add, &data, &split).unwrap(),
+            kernels::reduce_add(&data)
+        );
+        assert_eq!(
+            be.histogram(&data, 16, 256, &split).unwrap(),
+            kernels::histogram(&data, 16, 256)
+        );
+    }
+
+    #[test]
+    fn zero_work_ops_return_identities_without_touching_devices() {
+        let mut be = small_backend();
+        let empty = ShardSplit::default();
+        assert_eq!(
+            be.gemm(&[], &[], 0, 0, 0, &empty).unwrap(),
+            Vec::<i32>::new()
+        );
+        assert_eq!(be.gemv(&[], &[], 0, 0, &empty).unwrap(), Vec::<i32>::new());
+        assert_eq!(
+            be.elementwise(BinOp::Add, &[], &[], &empty).unwrap(),
+            Vec::<i32>::new()
+        );
+        assert_eq!(be.reduce(BinOp::Add, &[], &empty).unwrap(), 0);
+        assert_eq!(be.histogram(&[], 4, 16, &empty).unwrap(), vec![0; 4]);
+        assert_eq!(be.stats().sim_makespan_seconds, 0.0);
+    }
+
+    #[test]
+    fn mismatched_split_and_unsupported_cim_shard_are_errors() {
+        let mut be = small_backend();
+        let a = vec![1i32; 8 * 4];
+        let b = vec![1i32; 4 * 4];
+        let bad = ShardSplit {
+            cnm: 5,
+            cim: 0,
+            host: 5,
+        };
+        assert_eq!(
+            be.gemm(&a, &b, 8, 4, 4, &bad),
+            Err(ShardError::WorkMismatch {
+                expected: 8,
+                got: 10
+            })
+        );
+        let v = vec![1i32; 64];
+        let with_cim = ShardSplit {
+            cnm: 32,
+            cim: 16,
+            host: 16,
+        };
+        assert_eq!(
+            be.elementwise(BinOp::Add, &v, &v, &with_cim),
+            Err(ShardError::Unsupported {
+                device: ShardDevice::Cim,
+                op: "elementwise"
+            })
+        );
+        assert!(be.reduce(BinOp::Add, &v, &with_cim).is_err());
+        assert!(be.histogram(&v, 4, 64, &with_cim).is_err());
+    }
+
+    #[test]
+    fn device_tasks_run_concurrently_on_the_shared_pool() {
+        // A dedicated pool with three workers gives every device task its
+        // own worker; large-ish shards keep the tasks alive long enough to
+        // observe genuine overlap. Retried because overlap is a wall-clock
+        // property — a single observation of max_concurrent >= 2 proves the
+        // back-ends co-execute.
+        let pool = PoolHandle::with_threads(4);
+        let (m, k, n) = (192, 96, 64);
+        let a: Vec<i32> = (0..m * k).map(|i| (i % 9) as i32 - 4).collect();
+        let b: Vec<i32> = (0..k * n).map(|i| (i % 5) as i32 - 2).collect();
+        let split = ShardSplit {
+            cnm: 64,
+            cim: 64,
+            host: 64,
+        };
+        let golden = kernels::matmul(&a, &b, m, k, n);
+        for _attempt in 0..25 {
+            let mut cfg = UpmemConfig::with_ranks(1);
+            cfg.dpus_per_rank = 8;
+            let mut be = ShardedBackend::with_upmem_config(cfg, small_options(pool.clone()));
+            let c = be.gemm(&a, &b, m, k, n, &split).unwrap();
+            assert_eq!(c, golden);
+            if be.stats().max_concurrent >= 2 {
+                return;
+            }
+        }
+        panic!("device shards never overlapped across 25 attempts");
+    }
+}

@@ -41,6 +41,58 @@ impl OpCounts {
         self.int_ops + self.mul_ops
     }
 
+    /// Counts of a row-sharded GEMM shard: `m × k × n` MACs streaming the
+    /// `m × k` row block, the full `k × n` stationary operand and the
+    /// `m × n` output block. Used by the sharded-execution host shard and
+    /// the host cost model.
+    pub fn gemm(m: usize, k: usize, n: usize) -> Self {
+        OpCounts::dense(
+            (m * k * n) as f64,
+            ((m * k + k * n) * 4) as f64,
+            (m * n * 4) as f64,
+        )
+    }
+
+    /// Counts of a row-sharded GEMV shard: `rows × cols` MACs.
+    pub fn gemv(rows: usize, cols: usize) -> Self {
+        OpCounts::dense(
+            (rows * cols) as f64,
+            ((rows * cols + cols) * 4) as f64,
+            (rows * 4) as f64,
+        )
+    }
+
+    /// Counts of an element-wise binary shard over `len` elements.
+    pub fn elementwise(len: usize) -> Self {
+        OpCounts {
+            int_ops: len as f64,
+            mul_ops: 0.0,
+            bytes_read: (len * 8) as f64,
+            bytes_written: (len * 4) as f64,
+        }
+    }
+
+    /// Counts of a reduction shard over `len` elements.
+    pub fn reduce(len: usize) -> Self {
+        OpCounts {
+            int_ops: len as f64,
+            mul_ops: 0.0,
+            bytes_read: (len * 4) as f64,
+            bytes_written: 4.0,
+        }
+    }
+
+    /// Counts of a histogram shard over `len` elements into `bins` buckets
+    /// (clamp, bin computation and a privatised counter update per element).
+    pub fn histogram(len: usize, bins: usize) -> Self {
+        OpCounts {
+            int_ops: 3.0 * len as f64,
+            mul_ops: len as f64,
+            bytes_read: (len * 4) as f64,
+            bytes_written: (bins * 4) as f64,
+        }
+    }
+
     /// Total bytes moved.
     pub fn total_bytes(&self) -> f64 {
         self.bytes_read + self.bytes_written
@@ -168,5 +220,25 @@ mod tests {
         let o = OpCounts::dense(100.0, 400.0, 40.0);
         assert_eq!(o.total_ops(), 200.0);
         assert_eq!(o.total_bytes(), 440.0);
+    }
+
+    #[test]
+    fn shard_op_counts_scale_linearly_in_the_sharded_dimension() {
+        // The shard planner splits by rows/elements, so doubling the sharded
+        // dimension must (at least) double every kernel's dominant cost.
+        let g1 = OpCounts::gemm(64, 32, 16);
+        let g2 = OpCounts::gemm(128, 32, 16);
+        assert_eq!(g2.mul_ops, 2.0 * g1.mul_ops);
+        let v1 = OpCounts::gemv(100, 40);
+        let v2 = OpCounts::gemv(200, 40);
+        assert_eq!(v2.mul_ops, 2.0 * v1.mul_ops);
+        for (a, b) in [
+            (OpCounts::elementwise(512), OpCounts::elementwise(1024)),
+            (OpCounts::reduce(512), OpCounts::reduce(1024)),
+            (OpCounts::histogram(512, 16), OpCounts::histogram(1024, 16)),
+        ] {
+            assert_eq!(b.int_ops, 2.0 * a.int_ops);
+            assert_eq!(b.bytes_read, 2.0 * a.bytes_read);
+        }
     }
 }

@@ -618,3 +618,159 @@ fn kernel_spec_validation_is_deterministic() {
     });
     assert!(result.is_err());
 }
+
+// ---------------------------------------------------------------------------
+// Heterogeneous sharded execution (ShardedBackend vs the host goldens)
+// ---------------------------------------------------------------------------
+
+/// A sharded backend on a small grid sharing one pool with its devices.
+fn small_sharded(pool: &cinm::runtime::PoolHandle) -> cinm::lowering::ShardedBackend {
+    let mut cfg = UpmemConfig::with_ranks(1);
+    cfg.dpus_per_rank = 4;
+    cinm::lowering::ShardedBackend::with_upmem_config(
+        cfg,
+        cinm::lowering::ShardedRunOptions::default()
+            .with_ranks(1)
+            .with_pool(pool.clone()),
+    )
+}
+
+/// A random three-way split of `total` work units (any device may get zero).
+fn gen_split(rng: &mut SplitMix64, total: usize) -> cinm::lowering::ShardSplit {
+    let a = gen_usize(rng, 0, total + 1).min(total);
+    let b = gen_usize(rng, 0, total + 1).min(total);
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    cinm::lowering::ShardSplit {
+        cnm: lo,
+        cim: hi - lo,
+        host: total - hi,
+    }
+}
+
+/// A random two-way (CNM/host) split for ops the crossbar cannot execute.
+fn gen_split_no_cim(rng: &mut SplitMix64, total: usize) -> cinm::lowering::ShardSplit {
+    let cnm = gen_usize(rng, 0, total + 1).min(total);
+    cinm::lowering::ShardSplit {
+        cnm,
+        cim: 0,
+        host: total - cnm,
+    }
+}
+
+/// Sharded GEMM/GEMV are bit-identical to the golden host kernels for any
+/// shape and any three-way split, including empty shards.
+#[test]
+fn sharded_matmul_matches_golden_over_randomized_shapes_and_fractions() {
+    let pool = cinm::runtime::PoolHandle::with_threads(3);
+    for_cases(21, |rng| {
+        let m = gen_usize(rng, 1, 48);
+        let k = gen_usize(rng, 1, 24);
+        let n = gen_usize(rng, 1, 20);
+        let a = data::i32_vec(rng.next_u64(), m * k, -9, 9);
+        let b = data::i32_vec(rng.next_u64(), k * n, -9, 9);
+        let split = gen_split(rng, m);
+        let mut be = small_sharded(&pool);
+        let c = be.gemm(&a, &b, m, k, n, &split).unwrap();
+        assert_eq!(
+            c,
+            kernels::matmul(&a, &b, m, k, n),
+            "gemm {m}x{k}x{n} {split:?}"
+        );
+
+        let x = data::i32_vec(rng.next_u64(), k, -9, 9);
+        let vsplit = gen_split(rng, m);
+        let y = be.gemv(&a, &x, m, k, &vsplit).unwrap();
+        assert_eq!(y, kernels::matvec(&a, &x, m, k), "gemv {m}x{k} {vsplit:?}");
+
+        // Work fractions in the stats always cover the dispatched work.
+        let f = be.stats().fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{f:?}");
+    });
+}
+
+/// Sharded element-wise/reduce/histogram ops are bit-identical to the
+/// goldens for any length and any CNM/host split.
+#[test]
+fn sharded_streaming_ops_match_golden_over_randomized_splits() {
+    let pool = cinm::runtime::PoolHandle::with_threads(3);
+    for_cases(22, |rng| {
+        let len = gen_usize(rng, 1, 700);
+        let a = data::i32_vec(rng.next_u64(), len, -100, 400);
+        let b = data::i32_vec(rng.next_u64(), len, -100, 400);
+        let mut be = small_sharded(&pool);
+
+        let split = gen_split_no_cim(rng, len);
+        for op in [BinOp::Add, BinOp::Max] {
+            let got = be.elementwise(op, &a, &b, &split).unwrap();
+            let want = kernels::elementwise(&a, &b, |x, y| op.apply(x, y));
+            assert_eq!(got, want, "elementwise {op:?} len {len} {split:?}");
+        }
+        assert_eq!(
+            be.reduce(BinOp::Add, &a, &split).unwrap(),
+            kernels::reduce_add(&a),
+            "reduce len {len} {split:?}"
+        );
+        let bins = gen_usize(rng, 1, 32);
+        assert_eq!(
+            be.histogram(&a, bins, 400, &split).unwrap(),
+            kernels::histogram(&a, bins, 400),
+            "histogram len {len} bins {bins} {split:?}"
+        );
+    });
+}
+
+/// Planner-produced auto splits execute correctly end-to-end and the
+/// stats report the planned fractions.
+#[test]
+fn planned_auto_shards_execute_bit_identically() {
+    use cinm::core::shard::{ShardPlanner, ShardShape};
+    let pool = cinm::runtime::PoolHandle::with_threads(3);
+    let planner = ShardPlanner::with_default_models(1);
+    for_cases(23, |rng| {
+        let m = gen_usize(rng, 1, 96);
+        let k = gen_usize(rng, 1, 32);
+        let n = gen_usize(rng, 1, 24);
+        let a = data::i32_vec(rng.next_u64(), m * k, -9, 9);
+        let b = data::i32_vec(rng.next_u64(), k * n, -9, 9);
+        let plan = planner
+            .plan(cinm::dialects::cinm::GEMM, ShardShape::matmul(m, k, n))
+            .unwrap();
+        assert_eq!(plan.split.total(), m, "{plan:?}");
+        let mut be = small_sharded(&pool);
+        let c = be.gemm(&a, &b, m, k, n, &plan.split).unwrap();
+        assert_eq!(c, kernels::matmul(&a, &b, m, k, n), "{plan:?}");
+        let f = be.stats().fractions();
+        for (got, planned) in f.iter().zip(plan.fractions.iter()) {
+            assert!(
+                (got - planned).abs() < 1e-9,
+                "{f:?} vs {:?}",
+                plan.fractions
+            );
+        }
+    });
+}
+
+/// User-forced fractions that do not sum to 1 error out of the whole path
+/// (planner and split construction), never renormalising silently.
+#[test]
+fn forced_fractions_error_end_to_end() {
+    use cinm::core::shard::{ShardPlanner, ShardPolicy, ShardShape};
+    for_cases(24, |rng| {
+        let total = gen_usize(rng, 1, 1000);
+        let f0 = gen_usize(rng, 0, 100) as f64 / 100.0;
+        let f1 = gen_usize(rng, 0, 100) as f64 / 100.0;
+        let f2 = gen_usize(rng, 0, 100) as f64 / 100.0;
+        let sum = f0 + f1 + f2;
+        let split = cinm::lowering::ShardSplit::from_fractions(total, [f0, f1, f2]);
+        let planner =
+            ShardPlanner::with_default_models(1).with_policy(ShardPolicy::Fractions([f0, f1, f2]));
+        let plan = planner.plan(cinm::dialects::cinm::GEMM, ShardShape::matmul(total, 8, 8));
+        if (sum - 1.0).abs() > 1e-6 {
+            assert!(split.is_err(), "sum {sum} must be rejected");
+            assert!(plan.is_err(), "sum {sum} must be rejected by the planner");
+        } else {
+            assert_eq!(split.unwrap().total(), total);
+            assert_eq!(plan.unwrap().split.total(), total);
+        }
+    });
+}
