@@ -1,0 +1,68 @@
+//! Criterion-style microbenches of the allocation-free hot path:
+//!
+//! * `mvm_into` (caller scratch) vs `mvm` (fresh `Vec` per call) on a
+//!   programmed crossbar tile;
+//! * a pooled launch (one warm `UpmemBackend` with cached execution
+//!   contexts) vs the seed behavior (a fresh backend, hence fresh buffer
+//!   allocations, per op).
+//!
+//! The full before/after sweep with JSON output is the `hot_path` section of
+//! the `bench-sim` binary.
+
+use cinm_bench::simbench;
+use cinm_lowering::{UpmemBackend, UpmemRunOptions};
+use cinm_workloads::data;
+use criterion::{criterion_group, criterion_main, Criterion};
+use memristor_sim::{CrossbarAccelerator, CrossbarConfig};
+use upmem_sim::UpmemConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path");
+    group.sample_size(10);
+
+    // MVM: allocating vs scratch-writing.
+    let mut xbar = CrossbarAccelerator::new(CrossbarConfig::default());
+    let dim = xbar.config().tile_rows;
+    let w = data::i32_vec(1, dim * dim, -8, 8);
+    xbar.write_tile(0, &w, dim, dim).unwrap();
+    let input = data::i32_vec(2, dim, -8, 8);
+    group.bench_function("mvm_alloc_per_call", |b| {
+        b.iter(|| xbar.mvm(0, &input).unwrap()[0])
+    });
+    let mut out = vec![0i32; xbar.config().tile_cols];
+    group.bench_function("mvm_into_scratch", |b| {
+        b.iter(|| {
+            xbar.mvm_into(0, &input, &mut out).unwrap();
+            out[0]
+        })
+    });
+
+    // Launch: fresh backend per op (seed behavior) vs warm context reuse.
+    let (rows, cols) = (512usize, 256usize);
+    let a = data::i32_vec(3, rows * cols, -8, 8);
+    let x = data::i32_vec(4, cols, -8, 8);
+    let mut cfg = UpmemConfig::with_ranks(1);
+    cfg.dpus_per_rank = 16;
+    group.bench_function("gemv_fresh_backend_per_op", |b| {
+        b.iter(|| {
+            let mut be = UpmemBackend::with_config(cfg.clone(), UpmemRunOptions::optimized());
+            be.gemv(&a, &x, rows, cols)[0]
+        })
+    });
+    let mut warm = UpmemBackend::with_config(cfg.clone(), UpmemRunOptions::optimized());
+    warm.gemv(&a, &x, rows, cols); // allocate the context once
+    group.bench_function("gemv_warm_context", |b| {
+        b.iter(|| warm.gemv(&a, &x, rows, cols)[0])
+    });
+
+    // Steady-state micro report (also emitted into BENCH_sim.json).
+    let micro = simbench::measure_steady_state_micro(2048);
+    eprintln!(
+        "steady state: launch {:.0} ns/op, mvm {:.0} ns/op",
+        micro.launch_ns, micro.mvm_ns
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -49,6 +49,8 @@
 //! fractions that do not sum to 1 are an **error** ([`ShardError`]), never
 //! silently renormalised.
 
+use std::collections::HashMap;
+
 use cinm_lowering::{ShardError, ShardSplit};
 use cpu_sim::model::{CpuModel, OpCounts};
 use memristor_sim::CrossbarConfig;
@@ -541,6 +543,144 @@ impl ShardPlanner {
     }
 }
 
+/// Cache key of a memoized [`ShardPlan`]: the op name plus the full
+/// [`ShardShape`]. The policy and the registered device set are fixed per
+/// wrapped planner — together with this key they fully determine the plan —
+/// so they are invalidation events (the cache is cleared), not key fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    op: &'static str,
+    work: usize,
+    inner: usize,
+    out: usize,
+}
+
+/// A memoizing wrapper around [`ShardPlanner`].
+///
+/// Re-planning the same `(op, shape)` is pure repeated work — the planner
+/// samples every cost model twice and water-fills — yet exactly that happens
+/// in any serving loop issuing same-shaped ops. `CachedShardPlanner` caches
+/// each computed [`ShardPlan`] keyed by op name and shape; lookups are
+/// allocation-free.
+///
+/// **Invalidation rule:** any reconfiguration of the planning inputs — a
+/// policy change ([`set_policy`](Self::set_policy)), a newly registered cost
+/// model ([`register_model`](Self::register_model)), or swapping the whole
+/// planner ([`set_planner`](Self::set_planner)) — clears the cache. Those
+/// are the only ways cost-model configuration can change, so a cached plan
+/// can never go stale. Planning *errors* (infeasible forced policies) are
+/// not cached.
+///
+/// The ops the sharded layer executes are named by `'static` dialect
+/// constants (`cinm_dialects::cinm::GEMM`, …), which is what the key
+/// borrows.
+pub struct CachedShardPlanner {
+    planner: ShardPlanner,
+    cache: HashMap<PlanKey, ShardPlan>,
+    hits: u64,
+    misses: u64,
+}
+
+impl std::fmt::Debug for CachedShardPlanner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedShardPlanner")
+            .field("planner", &self.planner)
+            .field("cached_plans", &self.cache.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+impl CachedShardPlanner {
+    /// Wraps a planner.
+    pub fn new(planner: ShardPlanner) -> Self {
+        CachedShardPlanner {
+            planner,
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Wraps a planner with the default device cost models (see
+    /// [`ShardPlanner::with_default_models`]).
+    pub fn with_default_models(ranks: usize) -> Self {
+        CachedShardPlanner::new(ShardPlanner::with_default_models(ranks))
+    }
+
+    /// The wrapped planner (read-only; mutation goes through the
+    /// invalidating setters).
+    pub fn planner(&self) -> &ShardPlanner {
+        &self.planner
+    }
+
+    /// Replaces the policy and invalidates every cached plan.
+    pub fn set_policy(&mut self, policy: ShardPolicy) {
+        self.planner.policy = policy;
+        self.cache.clear();
+    }
+
+    /// Registers an additional cost model and invalidates every cached plan.
+    pub fn register_model(&mut self, model: Box<dyn CostModel>) {
+        self.planner.register_model(model);
+        self.cache.clear();
+    }
+
+    /// Replaces the wrapped planner wholesale and invalidates every cached
+    /// plan.
+    pub fn set_planner(&mut self, planner: ShardPlanner) {
+        self.planner = planner;
+        self.cache.clear();
+    }
+
+    /// Cache hits / misses so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of memoized plans.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Plans a shard assignment, returning the memoized plan when the same
+    /// `(op, shape)` was planned before under the current configuration —
+    /// bit-identical to calling [`ShardPlanner::plan`] directly (the planner
+    /// is deterministic; `tests/properties.rs` asserts the equivalence over
+    /// randomized shape streams with repeats).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShardPlanner::plan`] errors (never cached).
+    pub fn plan(&mut self, op: &'static str, shape: ShardShape) -> Result<&ShardPlan, ShardError> {
+        let key = PlanKey {
+            op,
+            work: shape.work,
+            inner: shape.inner,
+            out: shape.out,
+        };
+        if self.cache.contains_key(&key) {
+            self.hits += 1;
+        } else {
+            let plan = self.planner.plan(op, shape)?;
+            self.misses += 1;
+            self.cache.insert(key, plan);
+        }
+        Ok(&self.cache[&key])
+    }
+
+    /// Convenience: the memoized split alone (a `Copy`, so callers avoid
+    /// borrowing the cache across execution).
+    pub fn split_for(
+        &mut self,
+        op: &'static str,
+        shape: ShardShape,
+    ) -> Result<ShardSplit, ShardError> {
+        self.plan(op, shape).map(|p| p.split)
+    }
+}
+
 /// Affine per-device shard cost in seconds over *work units*.
 #[derive(Debug, Clone, Copy)]
 struct AffineCost {
@@ -869,6 +1009,42 @@ mod tests {
                 .plan(cinm::REDUCE, ShardShape::streaming(0)),
             Err(ShardError::Unsupported { .. })
         ));
+    }
+
+    #[test]
+    fn cached_planner_memoizes_and_invalidates_on_reconfiguration() {
+        let mut cached = CachedShardPlanner::with_default_models(4);
+        let shape = ShardShape::matmul(4096, 256, 128);
+        let fresh = planner().plan(cinm::GEMM, shape).unwrap();
+        let first = cached.plan(cinm::GEMM, shape).unwrap().clone();
+        assert_eq!(first, fresh);
+        // Second identical request is a hit and returns the same plan.
+        let second = cached.plan(cinm::GEMM, shape).unwrap().clone();
+        assert_eq!(second, fresh);
+        assert_eq!(cached.cache_stats(), (1, 1));
+        assert_eq!(cached.cached_plans(), 1);
+        // A different shape is a distinct entry.
+        cached
+            .plan(cinm::GEMM, ShardShape::matmul(128, 64, 64))
+            .unwrap();
+        assert_eq!(cached.cached_plans(), 2);
+        // split_for returns the cached plan's split by value.
+        assert_eq!(cached.split_for(cinm::GEMM, shape).unwrap(), fresh.split);
+        // Policy changes invalidate: the new plan reflects the new policy.
+        cached.set_policy(ShardPolicy::Single(Target::Host));
+        assert_eq!(cached.cached_plans(), 0);
+        let host_only = cached.plan(cinm::GEMM, shape).unwrap();
+        assert_eq!(host_only.split, ShardSplit::all_host(4096));
+        // Registering a model invalidates too.
+        cached.register_model(Box::new(FlatRate {
+            target: Target::Cnm,
+            seconds_per_element: 1e-9,
+        }));
+        assert_eq!(cached.cached_plans(), 0);
+        // Errors are propagated and never cached.
+        cached.set_policy(ShardPolicy::Fractions([0.5, 0.2, 0.2]));
+        assert!(cached.plan(cinm::GEMM, shape).is_err());
+        assert_eq!(cached.cached_plans(), 0);
     }
 
     #[test]

@@ -8,6 +8,32 @@
 //! functional *and* timed, so the experiment harness can check correctness
 //! against the host reference and report the simulated execution times and
 //! energies of the paper's figures.
+//!
+//! # Execution contexts (the allocation-free hot path)
+//!
+//! Both back-ends keep **persistent execution contexts** so repeated ops of
+//! the same shape — the bench/experiment loops, or any serving workload —
+//! skip steady-state heap allocation and re-preparation:
+//!
+//! * [`UpmemBackend`] caches its device buffers keyed by op shape. A cache
+//!   hit reuses the buffers of the previous same-shaped op: the inputs are
+//!   fully overwritten by the op's scatter/broadcast, and the output is
+//!   functionally zeroed (untimed, exactly like a fresh `alloc_buffer`), so
+//!   results, gathered bytes and simulated statistics are **bit-identical**
+//!   to allocating per op — and per-DPU MRAM no longer grows with every op.
+//! * [`CimBackend`] caches the B-tile decomposition (traversal order and
+//!   parallel grouping) keyed by the stationary operand's shape, and stages
+//!   all weight blocks and input rows of a command stream in a reusable
+//!   arena; the recorded [`XbarCommand`]s *borrow* their payloads from that
+//!   arena instead of owning freshly allocated vectors.
+//!
+//! Contexts never change what is simulated — only host-side allocation and
+//! copying. `tests/properties.rs` asserts reused-context streams of ops
+//! bit-identical to fresh per-op backends, and `tests/alloc_regression.rs`
+//! asserts the underlying launch+MVM loop allocates nothing in steady state.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
 
 use cinm_runtime::{CommandStream, PoolHandle};
 use cpu_sim::model::{CpuModel, OpCounts};
@@ -99,11 +125,47 @@ impl UpmemRunOptions {
     }
 }
 
+/// Shape key of one UPMEM op: two ops with the same key use identical
+/// device-buffer geometry on a fixed grid, so their buffers can be shared.
+/// Value parameters that do not affect buffer shapes (element-wise operator,
+/// select threshold, histogram max value) are deliberately not part of the
+/// key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum UpmemShape {
+    Gemm { m: usize, k: usize, n: usize },
+    Gemv { rows: usize, cols: usize },
+    Elementwise { len: usize },
+    Reduce { len: usize },
+    Histogram { bins: usize, len: usize },
+    Select { len: usize },
+    TimeSeries { len: usize, window: usize },
+    BfsStep { vertices: usize, avg_degree: usize },
+}
+
+/// Maximum device buffers any UPMEM op uses (BFS: three inputs + output).
+const MAX_OP_BUFFERS: usize = 4;
+
+/// Cached device buffers of one op shape: inputs first, output last.
+#[derive(Debug, Clone, Copy)]
+struct UpmemContext {
+    bufs: [u32; MAX_OP_BUFFERS],
+    n: usize,
+}
+
+impl UpmemContext {
+    fn output(&self) -> u32 {
+        self.bufs[self.n - 1]
+    }
+}
+
 /// Runtime backend driving the UPMEM simulator.
 #[derive(Debug)]
 pub struct UpmemBackend {
     system: UpmemSystem,
     options: UpmemRunOptions,
+    /// Persistent execution contexts: device buffers keyed by op shape (see
+    /// the module docs — reuse is bit-identical to allocating per op).
+    contexts: HashMap<UpmemShape, UpmemContext>,
 }
 
 impl UpmemBackend {
@@ -116,6 +178,7 @@ impl UpmemBackend {
         UpmemBackend {
             system: UpmemSystem::new(config),
             options,
+            contexts: HashMap::new(),
         }
     }
 
@@ -131,7 +194,40 @@ impl UpmemBackend {
         UpmemBackend {
             system: UpmemSystem::new(config),
             options,
+            contexts: HashMap::new(),
         }
+    }
+
+    /// Returns the cached device buffers of an op shape, allocating them on
+    /// first use (`lens` holds the per-DPU buffer lengths, inputs first,
+    /// output last). On a cache hit the output buffer is functionally zeroed
+    /// — untimed, exactly like the fresh `alloc_buffer` it replaces — so
+    /// accumulating kernels and partially-written outputs (select) observe
+    /// fresh-buffer semantics; every input buffer is fully overwritten by
+    /// the op's own scatter/broadcast.
+    fn context(&mut self, shape: UpmemShape, lens: &[usize]) -> UpmemContext {
+        debug_assert!(lens.len() <= MAX_OP_BUFFERS);
+        if let Some(&ctx) = self.contexts.get(&shape) {
+            self.system
+                .zero_buffer(ctx.output())
+                .expect("cached buffer");
+            return ctx;
+        }
+        let mut bufs = [0u32; MAX_OP_BUFFERS];
+        for (slot, &len) in bufs.iter_mut().zip(lens) {
+            *slot = self.system.alloc_buffer(len).expect("MRAM alloc");
+        }
+        let ctx = UpmemContext {
+            bufs,
+            n: lens.len(),
+        };
+        self.contexts.insert(shape, ctx);
+        ctx
+    }
+
+    /// Number of cached execution contexts (distinct op shapes seen).
+    pub fn cached_contexts(&self) -> usize {
+        self.contexts.len()
     }
 
     /// Runs a recorded command stream on the backend's system, returning the
@@ -185,15 +281,11 @@ impl UpmemBackend {
         assert_eq!(b.len(), k * n, "rhs shape mismatch");
         let dpus = self.system.num_dpus();
         let rows_per_dpu = m.div_ceil(dpus).max(1);
-        let a_buf = self
-            .system
-            .alloc_buffer(rows_per_dpu * k)
-            .expect("MRAM alloc");
-        let b_buf = self.system.alloc_buffer(k * n).expect("MRAM alloc");
-        let c_buf = self
-            .system
-            .alloc_buffer(rows_per_dpu * n)
-            .expect("MRAM alloc");
+        let ctx = self.context(
+            UpmemShape::Gemm { m, k, n },
+            &[rows_per_dpu * k, k * n, rows_per_dpu * n],
+        );
+        let (a_buf, b_buf, c_buf) = (ctx.bufs[0], ctx.bufs[1], ctx.bufs[2]);
         let spec = self.spec(
             DpuKernelKind::Gemm {
                 m: rows_per_dpu,
@@ -233,12 +325,11 @@ impl UpmemBackend {
         assert_eq!(x.len(), cols, "vector shape mismatch");
         let dpus = self.system.num_dpus();
         let rows_per_dpu = rows.div_ceil(dpus).max(1);
-        let a_buf = self
-            .system
-            .alloc_buffer(rows_per_dpu * cols)
-            .expect("MRAM alloc");
-        let x_buf = self.system.alloc_buffer(cols).expect("MRAM alloc");
-        let y_buf = self.system.alloc_buffer(rows_per_dpu).expect("MRAM alloc");
+        let ctx = self.context(
+            UpmemShape::Gemv { rows, cols },
+            &[rows_per_dpu * cols, cols, rows_per_dpu],
+        );
+        let (a_buf, x_buf, y_buf) = (ctx.bufs[0], ctx.bufs[1], ctx.bufs[2]);
         let spec = self.spec(
             DpuKernelKind::Gemv {
                 rows: rows_per_dpu,
@@ -273,9 +364,11 @@ impl UpmemBackend {
         assert_eq!(a.len(), b.len(), "element-wise operands must match");
         let dpus = self.system.num_dpus();
         let chunk = a.len().div_ceil(dpus).max(1);
-        let a_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
-        let b_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
-        let c_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
+        let ctx = self.context(
+            UpmemShape::Elementwise { len: a.len() },
+            &[chunk, chunk, chunk],
+        );
+        let (a_buf, b_buf, c_buf) = (ctx.bufs[0], ctx.bufs[1], ctx.bufs[2]);
         let spec = self.spec(
             DpuKernelKind::Elementwise { op, len: chunk },
             vec![a_buf, b_buf],
@@ -308,8 +401,8 @@ impl UpmemBackend {
     pub fn reduce(&mut self, op: BinOp, a: &[i32]) -> i32 {
         let dpus = self.system.num_dpus();
         let chunk = a.len().div_ceil(dpus).max(1);
-        let a_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
-        let p_buf = self.system.alloc_buffer(1).expect("MRAM alloc");
+        let ctx = self.context(UpmemShape::Reduce { len: a.len() }, &[chunk, 1]);
+        let (a_buf, p_buf) = (ctx.bufs[0], ctx.bufs[1]);
         // Zero-pad tails must not disturb the reduction: pad with identity.
         // (The scatter pads with zeros, which is the identity for add/or/xor;
         // for min/max the pads are ignored because the identity dominates.)
@@ -338,8 +431,8 @@ impl UpmemBackend {
     pub fn histogram(&mut self, a: &[i32], bins: usize, max_value: i32) -> Vec<i32> {
         let dpus = self.system.num_dpus();
         let chunk = a.len().div_ceil(dpus).max(1);
-        let a_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
-        let h_buf = self.system.alloc_buffer(bins).expect("MRAM alloc");
+        let ctx = self.context(UpmemShape::Histogram { bins, len: a.len() }, &[chunk, bins]);
+        let (a_buf, h_buf) = (ctx.bufs[0], ctx.bufs[1]);
         let spec = self.spec(
             DpuKernelKind::Histogram {
                 bins,
@@ -379,8 +472,8 @@ impl UpmemBackend {
     pub fn select(&mut self, a: &[i32], threshold: i32) -> Vec<i32> {
         let dpus = self.system.num_dpus();
         let chunk = a.len().div_ceil(dpus).max(1);
-        let a_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
-        let o_buf = self.system.alloc_buffer(chunk + 1).expect("MRAM alloc");
+        let ctx = self.context(UpmemShape::Select { len: a.len() }, &[chunk, chunk + 1]);
+        let (a_buf, o_buf) = (ctx.bufs[0], ctx.bufs[1]);
         let spec = self.spec(
             DpuKernelKind::Select {
                 len: chunk,
@@ -426,9 +519,15 @@ impl UpmemBackend {
     pub fn time_series(&mut self, a: &[i32], window: usize) -> Vec<i32> {
         let dpus = self.system.num_dpus();
         let chunk = a.len().div_ceil(dpus).max(window);
-        let a_buf = self.system.alloc_buffer(chunk).expect("MRAM alloc");
         let positions = chunk - window + 1;
-        let o_buf = self.system.alloc_buffer(positions).expect("MRAM alloc");
+        let ctx = self.context(
+            UpmemShape::TimeSeries {
+                len: a.len(),
+                window,
+            },
+            &[chunk, positions],
+        );
+        let (a_buf, o_buf) = (ctx.bufs[0], ctx.bufs[1]);
         let spec = self.spec(
             DpuKernelKind::TimeSeries { len: chunk, window },
             vec![a_buf],
@@ -446,12 +545,13 @@ impl UpmemBackend {
             chunk: positions,
         });
         let mut outputs = self.sync(&mut stream);
-        let out = outputs
+        let mut out = outputs
             .swap_remove(g)
             .into_gathered()
             .expect("gather output");
         let used_dpus = a.len().div_ceil(chunk);
-        out[..used_dpus * positions].to_vec()
+        out.truncate(used_dpus * positions);
+        out
     }
 
     /// One BFS frontier expansion with partitioned CSR fragments.
@@ -465,22 +565,19 @@ impl UpmemBackend {
         avg_degree: usize,
         used_dpus: usize,
     ) -> Vec<i32> {
-        let r_buf = self
-            .system
-            .alloc_buffer(vertices_per_dpu + 1)
-            .expect("MRAM alloc");
-        let c_buf = self
-            .system
-            .alloc_buffer(vertices_per_dpu * avg_degree)
-            .expect("MRAM alloc");
-        let f_buf = self
-            .system
-            .alloc_buffer(vertices_per_dpu)
-            .expect("MRAM alloc");
-        let n_buf = self
-            .system
-            .alloc_buffer(vertices_per_dpu)
-            .expect("MRAM alloc");
+        let ctx = self.context(
+            UpmemShape::BfsStep {
+                vertices: vertices_per_dpu,
+                avg_degree,
+            },
+            &[
+                vertices_per_dpu + 1,
+                vertices_per_dpu * avg_degree,
+                vertices_per_dpu,
+                vertices_per_dpu,
+            ],
+        );
+        let (r_buf, c_buf, f_buf, n_buf) = (ctx.bufs[0], ctx.bufs[1], ctx.bufs[2], ctx.bufs[3]);
         let spec = self.spec(
             DpuKernelKind::BfsStep {
                 vertices: vertices_per_dpu,
@@ -512,8 +609,9 @@ impl UpmemBackend {
             chunk: vertices_per_dpu,
         });
         let mut out = self.sync(&mut stream);
-        let next = out.swap_remove(g).into_gathered().expect("gather output");
-        next[..used_dpus * vertices_per_dpu].to_vec()
+        let mut next = out.swap_remove(g).into_gathered().expect("gather output");
+        next.truncate(used_dpus * vertices_per_dpu);
+        next
     }
 }
 
@@ -637,6 +735,170 @@ fn merge_outputs(outputs: &[XbarOutput], issued: &[Issued], c: &mut [i32], n: us
     }
 }
 
+/// Cached B-tile decomposition of one stationary-operand shape: the tile
+/// traversal order (interchanged under `cim-min-writes`) and the number of
+/// tiles per parallel batch. Both depend only on `(k, n)` and the fixed
+/// backend options, so the plan is computed once per shape and reused by
+/// every repeated op.
+#[derive(Debug, Clone)]
+struct TilePlan {
+    tiles: Vec<crate::tiling::Tile>,
+    group: usize,
+}
+
+/// Stages the weight block of each tile of `batch` (row-major
+/// `rows × cols`, read out of the stationary operand `b`) into the arena,
+/// recording one span per tile.
+fn stage_program(
+    arena: &mut Vec<i32>,
+    spans: &mut Vec<(usize, usize)>,
+    batch: &[crate::tiling::Tile],
+    b: &[i32],
+    n: usize,
+) {
+    for t in batch {
+        let start = arena.len();
+        for r in 0..t.rows {
+            let row = (t.row + r) * n + t.col;
+            arena.extend_from_slice(&b[row..row + t.cols]);
+        }
+        spans.push((start, arena.len()));
+    }
+}
+
+/// Whether a band's MVMs are issued as one grouped command per input row
+/// (`cim-parallel` across several tiles) instead of individual MVMs. The
+/// single source of truth for the branch taken by **both** [`stage_band`]
+/// and [`enqueue_band`] — the two passes must visit requests in the same
+/// order for the span-to-command binding to hold.
+fn band_is_grouped(batch_len: usize, parallel: bool) -> bool {
+    parallel && batch_len > 1
+}
+
+/// Stages the MVM input rows of one output row band against `batch` into
+/// the arena, in exactly the order [`enqueue_band`] consumes them (row-major
+/// across tiles when [`band_is_grouped`], tile-major otherwise).
+#[allow(clippy::too_many_arguments)]
+fn stage_band(
+    arena: &mut Vec<i32>,
+    spans: &mut Vec<(usize, usize)>,
+    batch: &[crate::tiling::Tile],
+    a: &[i32],
+    band: usize,
+    tile: usize,
+    m: usize,
+    k: usize,
+    parallel: bool,
+) {
+    let row0 = band * tile;
+    let rows = tile.min(m - row0);
+    let mut stage = |r: usize, t: &crate::tiling::Tile| {
+        let start = arena.len();
+        let base = (row0 + r) * k + t.row;
+        arena.extend_from_slice(&a[base..base + t.rows]);
+        spans.push((start, arena.len()));
+    };
+    if band_is_grouped(batch.len(), parallel) {
+        for r in 0..rows {
+            for t in batch {
+                stage(r, t);
+            }
+        }
+    } else {
+        for t in batch {
+            for r in 0..rows {
+                stage(r, t);
+            }
+        }
+    }
+}
+
+/// Enqueues the programming commands of a tile batch (one
+/// [`XbarCommand::WriteTile`] per crossbar slot), borrowing each weight
+/// block from the staging arena via its next span.
+fn enqueue_program<'a>(
+    stream: &mut CommandStream<XbarCommand<'a>>,
+    issued: &mut Vec<Issued>,
+    arena: &'a [i32],
+    spans: &[(usize, usize)],
+    cursor: &mut usize,
+    batch: &[crate::tiling::Tile],
+) {
+    for (slot, t) in batch.iter().enumerate() {
+        let (start, end) = spans[*cursor];
+        *cursor += 1;
+        stream.enqueue(XbarCommand::WriteTile {
+            tile: slot,
+            weights: Cow::Borrowed(&arena[start..end]),
+            rows: t.rows,
+            cols: t.cols,
+        });
+        issued.push(Issued::Write);
+    }
+}
+
+/// Enqueues the MVMs of one output row band against a programmed batch: one
+/// [`XbarCommand::MvmGroup`] per input row under `cim-parallel` (single-MVM
+/// latency across the batch), individual [`XbarCommand::Mvm`]s otherwise.
+/// Inputs are borrowed from the staging arena in [`stage_band`] order.
+#[allow(clippy::too_many_arguments)]
+fn enqueue_band<'a>(
+    stream: &mut CommandStream<XbarCommand<'a>>,
+    issued: &mut Vec<Issued>,
+    arena: &'a [i32],
+    spans: &[(usize, usize)],
+    cursor: &mut usize,
+    batch: &[crate::tiling::Tile],
+    band: usize,
+    tile: usize,
+    m: usize,
+    parallel: bool,
+) {
+    let row0 = band * tile;
+    let rows = tile.min(m - row0);
+    if band_is_grouped(batch.len(), parallel) {
+        // Issue one input row at a time across all tiles in parallel.
+        for r in 0..rows {
+            let requests: Vec<(usize, Cow<'a, [i32]>)> = batch
+                .iter()
+                .enumerate()
+                .map(|(slot, _)| {
+                    let (start, end) = spans[*cursor];
+                    *cursor += 1;
+                    (slot, Cow::Borrowed(&arena[start..end]))
+                })
+                .collect();
+            stream.enqueue(XbarCommand::MvmGroup { requests });
+            issued.push(Issued::Group(
+                batch
+                    .iter()
+                    .map(|t| MergeTarget {
+                        row: row0 + r,
+                        col: t.col,
+                        cols: t.cols,
+                    })
+                    .collect(),
+            ));
+        }
+    } else {
+        for (slot, t) in batch.iter().enumerate() {
+            for r in 0..rows {
+                let (start, end) = spans[*cursor];
+                *cursor += 1;
+                stream.enqueue(XbarCommand::Mvm {
+                    tile: slot,
+                    input: Cow::Borrowed(&arena[start..end]),
+                });
+                issued.push(Issued::Mvm(MergeTarget {
+                    row: row0 + r,
+                    col: t.col,
+                    cols: t.cols,
+                }));
+            }
+        }
+    }
+}
+
 /// Runtime backend driving the crossbar simulator with an ARM host.
 #[derive(Debug)]
 pub struct CimBackend {
@@ -647,6 +909,18 @@ pub struct CimBackend {
     host_energy_j: f64,
     /// Host cycles charged per device command issue.
     command_overhead_s: f64,
+    /// Cached B-tile decompositions keyed by the stationary operand shape
+    /// `(k, n)` (see [`TilePlan`]).
+    tile_plans: HashMap<(usize, usize), TilePlan>,
+    /// Staging arena for weight blocks and MVM input rows: the recorded
+    /// stream commands borrow slices of this arena, so steady-state ops
+    /// stop allocating (and copying into) one fresh `Vec` per command.
+    arena: Vec<i32>,
+    /// Reusable span bookkeeping of the arena (one `(start, end)` per staged
+    /// payload, consumed in staging order by the enqueue pass).
+    spans: Vec<(usize, usize)>,
+    /// Reusable bookkeeping of enqueued commands for partial-result merging.
+    issued: Vec<Issued>,
 }
 
 impl CimBackend {
@@ -671,6 +945,51 @@ impl CimBackend {
             host_seconds: 0.0,
             host_energy_j: 0.0,
             command_overhead_s: 50.0e-9,
+            tile_plans: HashMap::new(),
+            arena: Vec::new(),
+            spans: Vec::new(),
+            issued: Vec::new(),
+        }
+    }
+
+    /// Takes the cached tile plan of a stationary operand shape out of the
+    /// context map (computing it on first use); the caller puts it back with
+    /// [`restore_tile_plan`](Self::restore_tile_plan) after the op, so the
+    /// map's entry allocation is reused across repeated ops.
+    fn take_tile_plan(&mut self, k: usize, n: usize) -> TilePlan {
+        if let Some(plan) = self.tile_plans.remove(&(k, n)) {
+            return plan;
+        }
+        let tile = self.xbar.config().tile_rows;
+        let b_tiles = tile_2d(k, n, TileShape::Box { tile });
+        let tiles = if self.options.min_writes {
+            interchange(&b_tiles)
+        } else {
+            b_tiles
+        };
+        let group = if self.options.parallel_tiles {
+            self.xbar.num_tiles().max(1)
+        } else {
+            1
+        };
+        TilePlan { tiles, group }
+    }
+
+    fn restore_tile_plan(&mut self, k: usize, n: usize, plan: TilePlan) {
+        self.tile_plans.insert((k, n), plan);
+    }
+
+    /// Number of cached tile plans (distinct stationary shapes seen).
+    pub fn cached_tile_plans(&self) -> usize {
+        self.tile_plans.len()
+    }
+
+    /// Charges the host issue overhead of `count` device commands, one
+    /// command at a time — the same f64 accumulation sequence as charging
+    /// during enqueue, so statistics stay bit-identical to the eager order.
+    fn charge_commands(&mut self, count: usize) {
+        for _ in 0..count {
+            self.charge_command(1);
         }
     }
 
@@ -718,42 +1037,59 @@ impl CimBackend {
         assert_eq!(a.len(), m * k, "lhs shape mismatch");
         assert_eq!(b.len(), k * n, "rhs shape mismatch");
         let tile = self.xbar.config().tile_rows;
-        let num_tiles = self.xbar.num_tiles();
+        let parallel = self.options.parallel_tiles;
         let mut c = vec![0i32; m * n];
 
-        // Compulsory tiling of the stationary B matrix over the (k, n) space,
-        // and of the output rows into bands of `tile` rows.
-        let b_tiles = tile_2d(k, n, TileShape::Box { tile });
+        // Compulsory tiling of the stationary B matrix over the (k, n) space
+        // (cached per shape) and of the output rows into bands of `tile`
+        // rows. Batches borrow chunks of the plan's tile order — no per-op
+        // copies of the decomposition.
+        let plan = self.take_tile_plan(k, n);
         let row_bands = m.div_ceil(tile).max(1);
-        // Group consecutive B tiles for parallel execution across crossbars.
-        let group = if self.options.parallel_tiles {
-            num_tiles
-        } else {
-            1
-        };
-        let batches: Vec<Vec<crate::tiling::Tile>> = if self.options.min_writes {
-            interchange(&b_tiles)
-                .chunks(group)
-                .map(|c| c.to_vec())
-                .collect()
-        } else {
-            b_tiles.chunks(group).map(|c| c.to_vec()).collect()
-        };
+        let mut arena = std::mem::take(&mut self.arena);
+        let mut spans = std::mem::take(&mut self.spans);
+        let mut issued = std::mem::take(&mut self.issued);
 
         // The generated host program is a command stream per outer step:
         // tile programming and the MVMs that consume it are hazard-ordered
         // (RAW on the tile index), re-programming waits for earlier readers
-        // (WAR), and MVMs on distinct tiles overlap.
+        // (WAR), and MVMs on distinct tiles overlap. Each stream is built in
+        // two passes — stage every payload into the arena, then enqueue
+        // commands borrowing arena slices — because recording borrows the
+        // arena immutably.
         if self.options.min_writes {
             // Tile-stationary order: program each batch once and reuse it for
             // every output row band (the loop interchange of Section 3.2.4).
-            for batch in &batches {
-                let mut stream = CommandStream::new();
-                let mut issued = Vec::new();
-                self.enqueue_program(&mut stream, &mut issued, batch, b, n);
+            for batch in plan.tiles.chunks(plan.group) {
+                arena.clear();
+                spans.clear();
+                issued.clear();
+                stage_program(&mut arena, &mut spans, batch, b, n);
                 for band in 0..row_bands {
-                    self.enqueue_band(&mut stream, &mut issued, batch, a, band, tile, m, k);
+                    stage_band(&mut arena, &mut spans, batch, a, band, tile, m, k, parallel);
                 }
+                let mut stream = CommandStream::new();
+                let mut cursor = 0usize;
+                enqueue_program(&mut stream, &mut issued, &arena, &spans, &mut cursor, batch);
+                for band in 0..row_bands {
+                    enqueue_band(
+                        &mut stream,
+                        &mut issued,
+                        &arena,
+                        &spans,
+                        &mut cursor,
+                        batch,
+                        band,
+                        tile,
+                        m,
+                        parallel,
+                    );
+                }
+                // Hard check (also in release): every staged span must have
+                // been bound to exactly one command, or the two-pass
+                // protocol drifted.
+                assert_eq!(cursor, spans.len(), "stage/enqueue span mismatch");
+                self.charge_commands(issued.len());
                 let outputs = self.xbar.sync(&mut stream).expect("xbar stream");
                 merge_outputs(&outputs, &issued, &mut c, n);
             }
@@ -761,16 +1097,43 @@ impl CimBackend {
             // Naive order: for every output row band, walk (and re-program)
             // all B tiles.
             for band in 0..row_bands {
-                let mut stream = CommandStream::new();
-                let mut issued = Vec::new();
-                for batch in &batches {
-                    self.enqueue_program(&mut stream, &mut issued, batch, b, n);
-                    self.enqueue_band(&mut stream, &mut issued, batch, a, band, tile, m, k);
+                arena.clear();
+                spans.clear();
+                issued.clear();
+                for batch in plan.tiles.chunks(plan.group) {
+                    stage_program(&mut arena, &mut spans, batch, b, n);
+                    stage_band(&mut arena, &mut spans, batch, a, band, tile, m, k, parallel);
                 }
+                let mut stream = CommandStream::new();
+                let mut cursor = 0usize;
+                for batch in plan.tiles.chunks(plan.group) {
+                    enqueue_program(&mut stream, &mut issued, &arena, &spans, &mut cursor, batch);
+                    enqueue_band(
+                        &mut stream,
+                        &mut issued,
+                        &arena,
+                        &spans,
+                        &mut cursor,
+                        batch,
+                        band,
+                        tile,
+                        m,
+                        parallel,
+                    );
+                }
+                // Hard check (also in release): every staged span must have
+                // been bound to exactly one command, or the two-pass
+                // protocol drifted.
+                assert_eq!(cursor, spans.len(), "stage/enqueue span mismatch");
+                self.charge_commands(issued.len());
                 let outputs = self.xbar.sync(&mut stream).expect("xbar stream");
                 merge_outputs(&outputs, &issued, &mut c, n);
             }
         }
+        self.arena = arena;
+        self.spans = spans;
+        self.issued = issued;
+        self.restore_tile_plan(k, n, plan);
         // Partial-result merging happens in the column periphery /
         // mergePartial units; charge a small host pass over the output.
         self.host_fallback(OpCounts {
@@ -780,98 +1143,6 @@ impl CimBackend {
             bytes_written: (m * n * 4) as f64,
         });
         c
-    }
-
-    /// Enqueues the programming commands of a tile batch (one
-    /// [`XbarCommand::WriteTile`] per crossbar slot).
-    fn enqueue_program(
-        &mut self,
-        stream: &mut CommandStream<XbarCommand>,
-        issued: &mut Vec<Issued>,
-        batch: &[crate::tiling::Tile],
-        b: &[i32],
-        n: usize,
-    ) {
-        for (slot, t) in batch.iter().enumerate() {
-            let mut w = vec![0i32; t.rows * t.cols];
-            for r in 0..t.rows {
-                for cc in 0..t.cols {
-                    w[r * t.cols + cc] = b[(t.row + r) * n + (t.col + cc)];
-                }
-            }
-            stream.enqueue(XbarCommand::WriteTile {
-                tile: slot,
-                weights: w,
-                rows: t.rows,
-                cols: t.cols,
-            });
-            self.charge_command(1);
-            issued.push(Issued::Write);
-        }
-    }
-
-    /// Enqueues the MVMs of one output row band against a programmed batch:
-    /// one [`XbarCommand::MvmGroup`] per input row under `cim-parallel`
-    /// (single-MVM latency across the batch), individual
-    /// [`XbarCommand::Mvm`]s otherwise.
-    #[allow(clippy::too_many_arguments)]
-    fn enqueue_band(
-        &mut self,
-        stream: &mut CommandStream<XbarCommand>,
-        issued: &mut Vec<Issued>,
-        batch: &[crate::tiling::Tile],
-        a: &[i32],
-        band: usize,
-        tile: usize,
-        m: usize,
-        k: usize,
-    ) {
-        let row0 = band * tile;
-        let rows = tile.min(m - row0);
-        let input_for = |r: usize, t: &crate::tiling::Tile| {
-            let mut x = vec![0i32; t.rows];
-            for p in 0..t.rows {
-                x[p] = a[(row0 + r) * k + (t.row + p)];
-            }
-            x
-        };
-        if self.options.parallel_tiles && batch.len() > 1 {
-            // Issue one input row at a time across all tiles in parallel.
-            for r in 0..rows {
-                let requests: Vec<(usize, Vec<i32>)> = batch
-                    .iter()
-                    .enumerate()
-                    .map(|(slot, t)| (slot, input_for(r, t)))
-                    .collect();
-                stream.enqueue(XbarCommand::MvmGroup { requests });
-                self.charge_command(1);
-                issued.push(Issued::Group(
-                    batch
-                        .iter()
-                        .map(|t| MergeTarget {
-                            row: row0 + r,
-                            col: t.col,
-                            cols: t.cols,
-                        })
-                        .collect(),
-                ));
-            }
-        } else {
-            for (slot, t) in batch.iter().enumerate() {
-                for r in 0..rows {
-                    stream.enqueue(XbarCommand::Mvm {
-                        tile: slot,
-                        input: input_for(r, t),
-                    });
-                    self.charge_command(1);
-                    issued.push(Issued::Mvm(MergeTarget {
-                        row: row0 + r,
-                        col: t.col,
-                        cols: t.cols,
-                    }));
-                }
-            }
-        }
     }
 
     /// `y = A × x` as a single-row GEMM.
@@ -1003,6 +1274,71 @@ mod tests {
         serial.gemm(&a, &b, m, k, n);
         parallel.gemm(&a, &b, m, k, n);
         assert!(parallel.stats().xbar.compute_seconds < serial.stats().xbar.compute_seconds);
+    }
+
+    #[test]
+    fn upmem_context_reuse_is_bit_identical_and_bounds_mram() {
+        let (m, k, n) = (37, 16, 12);
+        let mut reused = small_upmem(1, UpmemRunOptions::default());
+        let mut mram_after_first = 0;
+        for round in 0..4 {
+            // Different data every round: a stale cached buffer would leak
+            // the previous round's result into the accumulating GEMM kernel.
+            let a: Vec<i32> = (0..m * k)
+                .map(|i| (i * (round + 3)) as i32 % 17 - 8)
+                .collect();
+            let b: Vec<i32> = (0..k * n)
+                .map(|i| (i * (round + 5)) as i32 % 11 - 5)
+                .collect();
+            let mut fresh = small_upmem(1, UpmemRunOptions::default());
+            assert_eq!(
+                reused.gemm(&a, &b, m, k, n),
+                fresh.gemm(&a, &b, m, k, n),
+                "round {round}"
+            );
+            let v: Vec<i32> = (0..500).map(|i| i * (round as i32 + 2) - 100).collect();
+            assert_eq!(reused.select(&v, 7), fresh.select(&v, 7), "round {round}");
+            if round == 0 {
+                mram_after_first = reused.system.mram_used_bytes();
+            }
+        }
+        // Same shapes -> same contexts: device memory stops growing.
+        assert_eq!(reused.system.mram_used_bytes(), mram_after_first);
+        assert_eq!(reused.cached_contexts(), 2);
+        // Per-op simulated statistics are identical to a fresh backend's.
+        let a = vec![1i32; m * k];
+        let b = vec![1i32; k * n];
+        reused.reset_stats();
+        let mut fresh = small_upmem(1, UpmemRunOptions::default());
+        reused.gemm(&a, &b, m, k, n);
+        fresh.gemm(&a, &b, m, k, n);
+        assert_eq!(reused.stats(), fresh.stats());
+    }
+
+    #[test]
+    fn cim_context_reuse_is_bit_identical_across_repeated_shapes() {
+        let (m, k, n) = (96, 80, 72);
+        for opts in [CimRunOptions::default(), CimRunOptions::optimized()] {
+            let mut reused = CimBackend::new(opts.clone());
+            for round in 0..3 {
+                let a: Vec<i32> = (0..m * k).map(|i| (i % (9 + round)) as i32 - 4).collect();
+                let b: Vec<i32> = (0..k * n).map(|i| (i % (6 + round)) as i32 - 2).collect();
+                let mut fresh = CimBackend::new(opts.clone());
+                let c_reused = reused.gemm(&a, &b, m, k, n);
+                let c_fresh = fresh.gemm(&a, &b, m, k, n);
+                assert_eq!(c_reused, c_fresh, "round {round}");
+                assert_eq!(c_reused, kernels::matmul(&a, &b, m, k, n), "round {round}");
+            }
+            assert_eq!(reused.cached_tile_plans(), 1);
+            // Per-op stats of the reusing backend match a fresh backend's.
+            let a = vec![1i32; m * k];
+            let b = vec![1i32; k * n];
+            reused.reset_stats();
+            let mut fresh = CimBackend::new(opts.clone());
+            reused.gemm(&a, &b, m, k, n);
+            fresh.gemm(&a, &b, m, k, n);
+            assert_eq!(reused.stats(), fresh.stats());
+        }
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   the stream executes on the pool with independent commands overlapping
 //!   while dependent chains stay ordered. Results and accounted statistics
 //!   are bit-identical to eager sequential execution for any thread count.
+//! * [`alloc_count`] — a counting global allocator, the measurement side of
+//!   the "allocation-free hot path" contract: `tests/alloc_regression.rs`
+//!   asserts zero steady-state allocations in the launch+MVM loop with it,
+//!   and `bench-sim` reports allocations/op in `BENCH_sim.json`.
 //!
 //! ```
 //! use cinm_runtime::PoolHandle;
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alloc_count;
 pub mod pool;
 pub mod stream;
 

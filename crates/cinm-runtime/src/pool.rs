@@ -21,12 +21,22 @@ use std::num::NonZeroUsize;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+/// Available cores, resolved once per process. `available_parallelism`
+/// re-reads cgroup quota files on every call (several heap allocations and
+/// file reads) — far too expensive for a check on every launch/transfer, and
+/// the answer cannot change for the lifetime of the process anyway.
+fn available_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+}
+
 /// Resolves a `host_threads` knob: `0` means "all available cores", any other
 /// value is clamped to at least one thread, at most one thread per work item,
 /// and never more threads than physical cores (oversubscribing a streaming
-/// workload only thrashes the cache).
+/// workload only thrashes the cache). Allocation-free: the core count is
+/// cached per process, so this is safe to call on every hot-path operation.
 pub fn resolve_threads(requested: usize, work_items: usize) -> usize {
-    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let cores = available_cores();
     let threads = if requested == 0 {
         cores
     } else {
@@ -105,7 +115,7 @@ impl WorkerPool {
     /// the concurrent machinery.
     pub fn new(threads: usize) -> Self {
         let threads = if threads == 0 {
-            std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+            available_cores()
         } else {
             threads
         }
@@ -293,7 +303,7 @@ fn global_pool() -> &'static WorkerPool {
         // At least two workers even on single-core hosts, so the concurrent
         // paths are genuinely exercised everywhere (parallelism is still
         // gated per operation by `resolve_threads`).
-        let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        let cores = available_cores();
         WorkerPool::new(cores.max(2))
     })
 }

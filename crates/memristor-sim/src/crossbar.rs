@@ -21,9 +21,12 @@ pub(crate) fn pad_weights(
     padded
 }
 
-/// The analog MVM on already-validated weights: `y[cols] = x × W`.
-pub(crate) fn mvm_on_weights(weights: &[i32], input: &[i32], cols: usize) -> Vec<i32> {
-    let mut out = vec![0i32; cols];
+/// The analog MVM on already-validated weights, written into caller scratch:
+/// `out[..cols] = x × W`. This is the single functional core every MVM path
+/// (eager, batched, streamed) funnels through, so results cannot diverge.
+pub(crate) fn mvm_on_weights_into(weights: &[i32], input: &[i32], cols: usize, out: &mut [i32]) {
+    let out = &mut out[..cols];
+    out.fill(0);
     for (r, &x) in input.iter().enumerate() {
         if x == 0 {
             continue;
@@ -33,6 +36,13 @@ pub(crate) fn mvm_on_weights(weights: &[i32], input: &[i32], cols: usize) -> Vec
             *slot = slot.wrapping_add(x.wrapping_mul(w));
         }
     }
+}
+
+/// The analog MVM on already-validated weights: `y[cols] = x × W`
+/// (allocating convenience over [`mvm_on_weights_into`]).
+pub(crate) fn mvm_on_weights(weights: &[i32], input: &[i32], cols: usize) -> Vec<i32> {
+    let mut out = vec![0i32; cols];
+    mvm_on_weights_into(weights, input, cols, &mut out);
     out
 }
 
@@ -251,9 +261,35 @@ impl CrossbarAccelerator {
         Ok(result)
     }
 
+    /// Issues one analog MVM writing the result into caller scratch:
+    /// `out[..tile_cols] = x[rows] × W` (the allocation-free form of
+    /// [`mvm`](Self::mvm) — results and accounted statistics are
+    /// bit-identical, only the storage of the result differs).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `out` is shorter than the tile columns, the tile
+    /// is not programmed, or the input length exceeds the tile rows.
+    pub fn mvm_into(&mut self, tile: usize, input: &[i32], out: &mut [i32]) -> CimResult<()> {
+        let cols = self.config.tile_cols;
+        if out.len() < cols {
+            return Err(CimError::new(format!(
+                "output scratch of {} elements is shorter than {cols} tile columns",
+                out.len()
+            )));
+        }
+        {
+            let weights = self.checked_weights(tile, input)?;
+            mvm_on_weights_into(weights, input, cols, out);
+        }
+        self.account_mvm(1);
+        Ok(())
+    }
+
     /// Issues the same MVM on several tiles *in parallel* (the `cim-parallel`
     /// configuration of the paper): the latency of the batch is that of a
-    /// single MVM, energy is paid per tile.
+    /// single MVM, energy is paid per tile. Requests borrow their input
+    /// vectors, so recording a batch never clones payloads.
     ///
     /// The functional execution of the batch is data-parallel across host
     /// threads (see [`CrossbarConfig::host_threads`]); results and accounted
@@ -263,28 +299,8 @@ impl CrossbarAccelerator {
     ///
     /// Returns an error if any tile is not programmed or any input is too
     /// long.
-    pub fn mvm_parallel(&mut self, requests: &[(usize, Vec<i32>)]) -> CimResult<Vec<Vec<i32>>> {
-        let results = self.execute_batch(requests)?;
-        if !requests.is_empty() {
-            self.account_parallel_mvm(requests.len());
-        }
-        Ok(results)
-    }
-
-    /// Functionally executes one MVM per request without accounting, fanning
-    /// the independent per-tile computations out over the configured worker
-    /// pool (see [`CrossbarConfig::pool`]). All requests are validated up
-    /// front so errors are deterministic and no partial state is observable.
-    fn execute_batch(&self, requests: &[(usize, Vec<i32>)]) -> CimResult<Vec<Vec<i32>>> {
-        // Validate once, keeping the resolved weight slices for the compute
-        // loop, so the hot path never re-runs the checks.
-        let checked: Vec<(&[i32], &[i32])> = requests
-            .iter()
-            .map(|(tile, input)| {
-                self.checked_weights(*tile, input)
-                    .map(|w| (w, input.as_slice()))
-            })
-            .collect::<CimResult<_>>()?;
+    pub fn mvm_parallel(&mut self, requests: &[(usize, &[i32])]) -> CimResult<Vec<Vec<i32>>> {
+        let checked = self.check_batch(requests)?;
         let mut results: Vec<Vec<i32>> = vec![Vec::new(); checked.len()];
         let cols = self.config.tile_cols;
         self.config.pool.for_each_chunk_mut(
@@ -296,7 +312,68 @@ impl CrossbarAccelerator {
                 slot[0] = mvm_on_weights(weights, input, cols);
             },
         );
+        if !requests.is_empty() {
+            self.account_parallel_mvm(requests.len());
+        }
         Ok(results)
+    }
+
+    /// The allocation-free form of [`mvm_parallel`](Self::mvm_parallel):
+    /// request `i`'s result lands in `out[i * tile_cols..(i + 1) * tile_cols]`
+    /// of the caller-provided scratch. Results and accounted statistics are
+    /// bit-identical to the allocating form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `out` is shorter than `requests.len() × tile_cols`
+    /// or any request is invalid; nothing is accounted on error.
+    pub fn mvm_parallel_into(
+        &mut self,
+        requests: &[(usize, &[i32])],
+        out: &mut [i32],
+    ) -> CimResult<()> {
+        let cols = self.config.tile_cols;
+        if out.len() < requests.len() * cols {
+            return Err(CimError::new(format!(
+                "output scratch of {} elements cannot hold {} results of {cols} columns",
+                out.len(),
+                requests.len()
+            )));
+        }
+        // Validate without collecting: the compute closure re-resolves the
+        // (already validated) weights, so the steady-state batch performs no
+        // heap allocation at all.
+        for &(tile, input) in requests {
+            self.checked_weights(tile, input)?;
+        }
+        let tiles = &self.tiles;
+        self.config.pool.for_each_chunk_mut(
+            self.config.host_threads,
+            &mut out[..requests.len() * cols],
+            cols,
+            |i, slot| {
+                let (tile, input) = requests[i];
+                let weights = tiles[tile].weights.as_deref().expect("validated");
+                mvm_on_weights_into(weights, input, cols, slot);
+            },
+        );
+        if !requests.is_empty() {
+            self.account_parallel_mvm(requests.len());
+        }
+        Ok(())
+    }
+
+    /// Validates a whole MVM batch up front (so errors are deterministic and
+    /// no partial state or accounting is observable), resolving each request
+    /// to its programmed weight slice for the compute loop.
+    fn check_batch<'s, 'i>(
+        &'s self,
+        requests: &[(usize, &'i [i32])],
+    ) -> CimResult<Vec<(&'s [i32], &'i [i32])>> {
+        requests
+            .iter()
+            .map(|&(tile, input)| self.checked_weights(tile, input).map(|w| (w, input)))
+            .collect()
     }
 
     /// Validates a tile/input pair and returns the programmed weights.
@@ -330,7 +407,10 @@ impl CrossbarAccelerator {
     }
 
     /// Convenience: computes `A[m×rows] × W[tile]` by issuing one MVM per row
-    /// of `A`, returning the `m × tile_cols` result.
+    /// of `A`, returning the `m × tile_cols` result. Each row's MVM writes
+    /// straight into its band of the result (one allocation for the whole
+    /// product, not one per row); accounting is identical to issuing the
+    /// row MVMs individually.
     ///
     /// # Errors
     ///
@@ -345,10 +425,9 @@ impl CrossbarAccelerator {
         }
         let cols = self.config.tile_cols;
         let mut out = vec![0i32; m * cols];
-        for i in 0..m {
+        for (i, band) in out.chunks_mut(cols.max(1)).enumerate().take(m) {
             let row = &a[i * k..(i + 1) * k];
-            let y = self.mvm(tile, row)?;
-            out[i * cols..(i + 1) * cols].copy_from_slice(&y);
+            self.mvm_into(tile, row, band)?;
         }
         Ok(out)
     }
@@ -401,6 +480,27 @@ mod tests {
     }
 
     #[test]
+    fn mvm_into_matches_mvm_bit_for_bit() {
+        let mut alloc = xbar();
+        let mut scratchy = xbar();
+        let w: Vec<i32> = (0..9).map(|i| i * 7 - 30).collect();
+        alloc.write_tile(0, &w, 3, 3).unwrap();
+        scratchy.write_tile(0, &w, 3, 3).unwrap();
+        let mut scratch = vec![-99i32; alloc.config().tile_cols];
+        for input in [vec![1, 2, 3], vec![0, -5, 7], vec![11]] {
+            let y = alloc.mvm(0, &input).unwrap();
+            scratchy.mvm_into(0, &input, &mut scratch).unwrap();
+            assert_eq!(scratch, y, "input {input:?}");
+        }
+        assert_eq!(alloc.stats(), scratchy.stats());
+        // Undersized scratch is rejected before any accounting.
+        let ops_before = scratchy.stats().mvm_ops;
+        let mut short = vec![0i32; 3];
+        assert!(scratchy.mvm_into(0, &[1, 1, 1], &mut short).is_err());
+        assert_eq!(scratchy.stats().mvm_ops, ops_before);
+    }
+
+    #[test]
     fn mvm_requires_programmed_tile() {
         let mut x = xbar();
         let err = x.mvm(1, &[1, 2, 3]).unwrap_err();
@@ -444,10 +544,23 @@ mod tests {
         for t in 0..4 {
             serial.mvm(t, &input).unwrap();
         }
-        let reqs: Vec<(usize, Vec<i32>)> = (0..4).map(|t| (t, input.clone())).collect();
+        let reqs: Vec<(usize, &[i32])> = (0..4).map(|t| (t, input.as_slice())).collect();
         let results = parallel.mvm_parallel(&reqs).unwrap();
         assert_eq!(results.len(), 4);
         assert_eq!(results[0], results[3]);
+        // The scratch-writing form produces the same results and statistics.
+        let mut into = xbar();
+        for t in 0..4 {
+            into.write_tile(t, &[1, 2, 3, 4], 2, 2).unwrap();
+        }
+        into.reset_stats();
+        let mut scratch = vec![-1i32; 4 * into.config().tile_cols];
+        into.mvm_parallel_into(&reqs, &mut scratch).unwrap();
+        let cols = into.config().tile_cols;
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(&scratch[i * cols..(i + 1) * cols], r.as_slice());
+        }
+        assert_eq!(into.stats(), parallel.stats());
         assert!(parallel.stats().compute_seconds < serial.stats().compute_seconds / 3.0);
         // Energy is not reduced by parallelism.
         assert!(
@@ -457,7 +570,12 @@ mod tests {
 
     #[test]
     fn host_threads_do_not_change_batch_results_or_stats() {
-        let reqs: Vec<(usize, Vec<i32>)> = (0..4).map(|t| (t, vec![t as i32 + 1, 2])).collect();
+        let inputs: Vec<Vec<i32>> = (0..4i32).map(|t| vec![t + 1, 2]).collect();
+        let reqs: Vec<(usize, &[i32])> = inputs
+            .iter()
+            .enumerate()
+            .map(|(t, v)| (t, v.as_slice()))
+            .collect();
         let run = |threads: usize| {
             let mut x =
                 CrossbarAccelerator::new(CrossbarConfig::default().with_host_threads(threads));
@@ -482,8 +600,11 @@ mod tests {
         x.reset_stats();
         // Second request targets an unprogrammed tile: the whole batch fails
         // and nothing is accounted.
-        let reqs = vec![(0usize, vec![1i32]), (1usize, vec![1i32])];
+        let one = [1i32];
+        let reqs: Vec<(usize, &[i32])> = vec![(0, &one), (1, &one)];
         assert!(x.mvm_parallel(&reqs).is_err());
+        let mut scratch = vec![0i32; 2 * x.config().tile_cols];
+        assert!(x.mvm_parallel_into(&reqs, &mut scratch).is_err());
         assert_eq!(x.stats().mvm_ops, 0);
         assert_eq!(x.stats().compute_seconds, 0.0);
     }

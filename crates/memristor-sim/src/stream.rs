@@ -25,6 +25,7 @@
 //! [`MvmGroup`]: XbarCommand::MvmGroup
 //! [`UpmemSystem::sync`]: https://docs.rs/upmem-sim
 
+use std::borrow::Cow;
 use std::cell::UnsafeCell;
 
 use cinm_runtime::{execute_stream, Access, BufferId, CommandStream, StreamCommand};
@@ -32,15 +33,20 @@ use cinm_runtime::{execute_stream, Access, BufferId, CommandStream, StreamComman
 use crate::crossbar::{mvm_on_weights, pad_weights, CimResult, CrossbarAccelerator, Tile};
 
 /// One recorded crossbar operation.
+///
+/// Payloads are [`Cow`]s so hot paths (the `cinm-lowering` CIM backend's
+/// staging arena) can record *borrowed* weight and input slices — recording a
+/// command never clones the payload — while owned vectors still work for
+/// `'static` programs.
 #[derive(Debug, Clone, PartialEq)]
-pub enum XbarCommand {
+pub enum XbarCommand<'a> {
     /// Program a weight matrix into a tile
     /// (see [`CrossbarAccelerator::write_tile`]).
     WriteTile {
         /// Destination tile.
         tile: usize,
         /// Row-major `rows × cols` weights.
-        weights: Vec<i32>,
+        weights: Cow<'a, [i32]>,
         /// Matrix rows.
         rows: usize,
         /// Matrix columns.
@@ -52,7 +58,7 @@ pub enum XbarCommand {
         /// Source tile.
         tile: usize,
         /// Input vector (`len <= tile_rows`).
-        input: Vec<i32>,
+        input: Cow<'a, [i32]>,
     },
     /// The same MVM issued on several tiles *in parallel* (the
     /// `cim-parallel` configuration; see
@@ -60,11 +66,11 @@ pub enum XbarCommand {
     /// per tile.
     MvmGroup {
         /// `(tile, input)` pairs.
-        requests: Vec<(usize, Vec<i32>)>,
+        requests: Vec<(usize, Cow<'a, [i32]>)>,
     },
 }
 
-impl StreamCommand for XbarCommand {
+impl StreamCommand for XbarCommand<'_> {
     fn access(&self) -> Access {
         match self {
             XbarCommand::WriteTile { tile, .. } => Access::writes(vec![*tile as BufferId]),
@@ -112,7 +118,11 @@ impl CrossbarAccelerator {
     /// ([`validate_write`](CrossbarAccelerator::validate_write) /
     /// [`validate_mvm`](CrossbarAccelerator::validate_mvm)) as the eager
     /// methods, so both paths accept and reject identical programs.
-    fn validate_xbar_command(&self, cmd: &XbarCommand, programmed: &mut [bool]) -> CimResult<()> {
+    fn validate_xbar_command(
+        &self,
+        cmd: &XbarCommand<'_>,
+        programmed: &mut [bool],
+    ) -> CimResult<()> {
         match cmd {
             XbarCommand::WriteTile {
                 tile,
@@ -152,7 +162,10 @@ impl CrossbarAccelerator {
     /// the first invalid command an error is returned and **nothing** is
     /// applied (no tile changes, no statistics) — the recorded program is
     /// left in the stream so it can be inspected or resubmitted.
-    pub fn sync(&mut self, stream: &mut CommandStream<XbarCommand>) -> CimResult<Vec<XbarOutput>> {
+    pub fn sync(
+        &mut self,
+        stream: &mut CommandStream<XbarCommand<'_>>,
+    ) -> CimResult<Vec<XbarOutput>> {
         // Validate before draining: on error the recorded program stays in
         // the stream, so the caller can inspect or resubmit it.
         let mut programmed: Vec<bool> = self.tiles.iter().map(|t| t.weights.is_some()).collect();
@@ -197,7 +210,7 @@ impl CrossbarAccelerator {
                             // SAFETY: shared read; no concurrent writer (hazard DAG).
                             let tile_ref = unsafe { &*cells_ref[*tile].0.get() };
                             let weights = tile_ref.weights.as_deref().expect("validated");
-                            XbarOutput::Mvm(mvm_on_weights(weights, input, cfg.tile_cols))
+                            XbarOutput::Mvm(mvm_on_weights(weights, input.as_ref(), cfg.tile_cols))
                         }
                         XbarCommand::MvmGroup { requests } => {
                             let mut results: Vec<Vec<i32>> = vec![Vec::new(); requests.len()];
@@ -210,7 +223,8 @@ impl CrossbarAccelerator {
                                     // SAFETY: shared read (hazard DAG).
                                     let tile_ref = unsafe { &*cells_ref[*tile].0.get() };
                                     let weights = tile_ref.weights.as_deref().expect("validated");
-                                    slot[0] = mvm_on_weights(weights, input, cfg.tile_cols);
+                                    slot[0] =
+                                        mvm_on_weights(weights, input.as_ref(), cfg.tile_cols);
                                 },
                             );
                             XbarOutput::MvmGroup(results)
@@ -256,44 +270,44 @@ mod tests {
         CrossbarAccelerator::new(CrossbarConfig::default().with_host_threads(threads))
     }
 
-    fn demo_program() -> Vec<XbarCommand> {
+    fn demo_program() -> Vec<XbarCommand<'static>> {
         vec![
             XbarCommand::WriteTile {
                 tile: 0,
-                weights: vec![1, 2, 3, 4],
+                weights: vec![1, 2, 3, 4].into(),
                 rows: 2,
                 cols: 2,
             },
             XbarCommand::WriteTile {
                 tile: 1,
-                weights: vec![5, 6, 7, 8],
+                weights: vec![5, 6, 7, 8].into(),
                 rows: 2,
                 cols: 2,
             },
             // Independent MVMs on distinct tiles: overlap.
             XbarCommand::Mvm {
                 tile: 0,
-                input: vec![1, 1],
+                input: vec![1, 1].into(),
             },
             XbarCommand::Mvm {
                 tile: 1,
-                input: vec![2, -1],
+                input: vec![2, -1].into(),
             },
             // Re-program tile 0 (WAR against the MVM above) and re-issue.
             XbarCommand::WriteTile {
                 tile: 0,
-                weights: vec![-1, 0, 0, -1],
+                weights: vec![-1, 0, 0, -1].into(),
                 rows: 2,
                 cols: 2,
             },
             XbarCommand::MvmGroup {
-                requests: vec![(0, vec![3, 4]), (1, vec![1, 0])],
+                requests: vec![(0, vec![3, 4].into()), (1, vec![1, 0].into())],
             },
         ]
     }
 
     /// The same program through the eager methods.
-    fn run_eager(x: &mut CrossbarAccelerator, program: &[XbarCommand]) -> Vec<XbarOutput> {
+    fn run_eager(x: &mut CrossbarAccelerator, program: &[XbarCommand<'_>]) -> Vec<XbarOutput> {
         program
             .iter()
             .map(|cmd| match cmd {
@@ -308,7 +322,9 @@ mod tests {
                 }
                 XbarCommand::Mvm { tile, input } => XbarOutput::Mvm(x.mvm(*tile, input).unwrap()),
                 XbarCommand::MvmGroup { requests } => {
-                    XbarOutput::MvmGroup(x.mvm_parallel(requests).unwrap())
+                    let borrowed: Vec<(usize, &[i32])> =
+                        requests.iter().map(|(t, v)| (*t, v.as_ref())).collect();
+                    XbarOutput::MvmGroup(x.mvm_parallel(&borrowed).unwrap())
                 }
             })
             .collect()
@@ -339,14 +355,14 @@ mod tests {
         let mut stream = CommandStream::new();
         stream.enqueue(XbarCommand::WriteTile {
             tile: 0,
-            weights: vec![1],
+            weights: vec![1].into(),
             rows: 1,
             cols: 1,
         });
         // Tile 1 is never programmed: the whole batch must fail untouched.
         stream.enqueue(XbarCommand::Mvm {
             tile: 1,
-            input: vec![1],
+            input: vec![1].into(),
         });
         let err = x.sync(&mut stream).unwrap_err();
         assert!(err.message().contains("not been programmed"));
@@ -360,13 +376,13 @@ mod tests {
         let mut stream = CommandStream::new();
         stream.enqueue(XbarCommand::WriteTile {
             tile: 2,
-            weights: vec![2, 0, 0, 2],
+            weights: vec![2, 0, 0, 2].into(),
             rows: 2,
             cols: 2,
         });
         let m = stream.enqueue(XbarCommand::Mvm {
             tile: 2,
-            input: vec![10, 20],
+            input: vec![10, 20].into(),
         });
         let out = x.sync(&mut stream).unwrap();
         let y = out[m].clone().into_mvm().unwrap();

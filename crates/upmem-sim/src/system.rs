@@ -353,28 +353,48 @@ pub(crate) fn broadcast_slab(
     TransferStats { bytes, seconds }
 }
 
-/// Gathers `chunk` elements from every DPU stride of a slab into one host
-/// vector, returning the data and the pure transfer cost.
-pub(crate) fn gather_slab(
+/// Gathers `chunk` elements from every DPU stride of a slab into a
+/// caller-provided host vector (cleared and resized — a reused vector of
+/// sufficient capacity makes the gather allocation-free), returning the pure
+/// transfer cost.
+pub(crate) fn gather_slab_into(
     config: &UpmemConfig,
     num_dpus: usize,
     slab: &Slab,
     chunk: usize,
-) -> (Vec<i32>, TransferStats) {
+    out: &mut Vec<i32>,
+) -> TransferStats {
     let elems = slab.elems_per_dpu;
-    let mut out = vec![0i32; chunk * num_dpus];
+    // No `clear()` first: shrinking truncates, growing zero-fills the tail,
+    // and every retained element is overwritten by the copy loop below
+    // whenever `chunk > 0` — clearing would just memset the whole vector
+    // twice per gather.
+    out.resize(chunk * num_dpus, 0);
     if chunk > 0 {
         let threads = transfer_threads(config.host_threads, out.len());
         config
             .pool
-            .for_each_chunk_mut(threads, &mut out, chunk, |d, dst| {
+            .for_each_chunk_mut(threads, out, chunk, |d, dst| {
                 let start = d * elems;
                 dst.copy_from_slice(&slab.data[start..start + chunk]);
             });
     }
     let bytes = (out.len() * 4) as u64;
     let seconds = config.host_transfer_seconds(bytes as f64);
-    (out, TransferStats { bytes, seconds })
+    TransferStats { bytes, seconds }
+}
+
+/// Gathers `chunk` elements from every DPU stride of a slab into one fresh
+/// host vector (allocating convenience over [`gather_slab_into`]).
+pub(crate) fn gather_slab(
+    config: &UpmemConfig,
+    num_dpus: usize,
+    slab: &Slab,
+    chunk: usize,
+) -> (Vec<i32>, TransferStats) {
+    let mut out = Vec::new();
+    let t = gather_slab_into(config, num_dpus, slab, chunk, &mut out);
+    (out, t)
 }
 
 /// The launch hot path on pre-borrowed storage: `strides` holds one
@@ -409,6 +429,10 @@ pub struct UpmemSystem {
     pub(crate) slabs: Vec<Slab>,
     mram_used: usize,
     pub(crate) stats: SystemStats,
+    /// Reusable staging arena of the aliased-launch slow path: grown once to
+    /// the largest input-stride footprint seen, then reused, so repeated
+    /// aliased launches perform no per-DPU (or per-launch) heap allocation.
+    scratch: Vec<i32>,
 }
 
 impl UpmemSystem {
@@ -421,6 +445,7 @@ impl UpmemSystem {
             slabs: Vec::new(),
             mram_used: 0,
             stats: SystemStats::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -628,16 +653,55 @@ impl UpmemSystem {
         buffer: BufferId,
         chunk: usize,
     ) -> SimResult<(Vec<i32>, TransferStats)> {
+        let mut out = Vec::new();
+        let t = self.gather_i32_into(buffer, chunk, &mut out)?;
+        Ok((out, t))
+    }
+
+    /// The allocation-reusing form of [`gather_i32`](Self::gather_i32): the
+    /// gathered data replaces the contents of `out` (cleared and resized —
+    /// a vector reused across gathers of the same shape never re-allocates).
+    /// Results and accounted statistics are bit-identical to the allocating
+    /// form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the buffer does not exist or `chunk` exceeds the
+    /// per-DPU buffer size.
+    pub fn gather_i32_into(
+        &mut self,
+        buffer: BufferId,
+        chunk: usize,
+        out: &mut Vec<i32>,
+    ) -> SimResult<TransferStats> {
         self.validate_chunk(buffer, chunk)?;
-        let (out, t) = gather_slab(
+        let t = gather_slab_into(
             &self.config,
             self.num_dpus,
             &self.slabs[buffer as usize],
             chunk,
+            out,
         );
         self.stats.dpu_to_host_bytes += t.bytes;
         self.stats.dpu_to_host_seconds += t.seconds;
-        Ok((out, t))
+        Ok(t)
+    }
+
+    /// Functionally resets a buffer to the all-zero contents of a fresh
+    /// allocation, **without accounting any simulated cost** — exactly like
+    /// [`alloc_buffer`](Self::alloc_buffer), which is also untimed. The
+    /// `cinm-lowering` execution contexts use this when reusing a cached
+    /// buffer in place of a fresh per-op allocation, so the reusing path
+    /// stays bit-identical (results, gathered bytes and statistics) to the
+    /// eager alloc-per-op path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the buffer does not exist.
+    pub fn zero_buffer(&mut self, buffer: BufferId) -> SimResult<()> {
+        self.slab(buffer)?;
+        self.slabs[buffer as usize].data.fill(0);
+        Ok(())
     }
 
     /// Reads the buffer contents of one DPU (testing/debugging aid; does not
@@ -708,28 +772,47 @@ impl UpmemSystem {
     }
 
     /// Slow path for the rare launch whose output buffer is also an input:
-    /// preserves read-before-write semantics by cloning the input strides,
-    /// exactly as the naive reference does for every launch.
+    /// preserves read-before-write semantics by staging the input strides in
+    /// the reusable scratch arena before the output stride is mutated —
+    /// functionally identical to the naive reference's per-launch clones,
+    /// but without per-DPU heap allocation once the arena has grown to the
+    /// launch's footprint.
     fn launch_aliased(&mut self, spec: &KernelSpec) {
         let out_elems = self.slabs[spec.output as usize].elems_per_dpu;
+        let total: usize = spec
+            .inputs
+            .iter()
+            .map(|&b| self.slabs[b as usize].elems_per_dpu)
+            .sum();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        if scratch.len() < total {
+            scratch.resize(total, 0);
+        }
+        let n_inputs = spec.inputs.len();
+        debug_assert!(n_inputs <= exec::MAX_KERNEL_INPUTS);
         for d in 0..self.num_dpus {
-            let inputs: Vec<Vec<i32>> = spec
-                .inputs
-                .iter()
-                .map(|&b| {
-                    let s = &self.slabs[b as usize];
-                    let e = s.elems_per_dpu;
-                    s.data[d * e..(d + 1) * e].to_vec()
-                })
-                .collect();
-            let views: Vec<&[i32]> = inputs.iter().map(|v| v.as_slice()).collect();
+            let mut offset = 0usize;
+            for &b in &spec.inputs {
+                let s = &self.slabs[b as usize];
+                let e = s.elems_per_dpu;
+                scratch[offset..offset + e].copy_from_slice(&s.data[d * e..(d + 1) * e]);
+                offset += e;
+            }
+            let mut views: [&[i32]; exec::MAX_KERNEL_INPUTS] = [&[]; exec::MAX_KERNEL_INPUTS];
+            let mut offset = 0usize;
+            for (view, &b) in views.iter_mut().zip(&spec.inputs) {
+                let e = self.slabs[b as usize].elems_per_dpu;
+                *view = &scratch[offset..offset + e];
+                offset += e;
+            }
             let out = &mut self.slabs[spec.output as usize].data;
             exec::execute_kernel(
                 &spec.kind,
-                &views,
+                &views[..n_inputs],
                 &mut out[d * out_elems..(d + 1) * out_elems],
             );
         }
+        self.scratch = scratch;
     }
 }
 
@@ -811,6 +894,31 @@ mod tests {
         assert_eq!(back, data);
         assert!(sys.stats().host_to_dpu_seconds > 0.0);
         assert!(sys.stats().dpu_to_host_seconds > 0.0);
+    }
+
+    #[test]
+    fn gather_into_and_zero_buffer_match_fresh_state() {
+        let mut sys = small_system();
+        let buf = sys.alloc_buffer(8).unwrap();
+        let data: Vec<i32> = (0..32).collect();
+        sys.scatter_i32(buf, &data, 8).unwrap();
+        let mut fresh = small_system();
+        let fbuf = fresh.alloc_buffer(8).unwrap();
+        fresh.scatter_i32(fbuf, &data, 8).unwrap();
+        // Reused gather vector: same data, same accounted transfer.
+        let mut out = vec![99i32; 3];
+        let t_into = sys.gather_i32_into(buf, 8, &mut out).unwrap();
+        let (expect, t_alloc) = fresh.gather_i32(fbuf, 8).unwrap();
+        assert_eq!(out, expect);
+        assert_eq!(t_into, t_alloc);
+        assert_eq!(sys.stats(), fresh.stats());
+        // zero_buffer restores the all-zero fresh-allocation contents and
+        // accounts nothing.
+        let stats_before = *sys.stats();
+        sys.zero_buffer(buf).unwrap();
+        assert_eq!(sys.buffer_slab(buf).unwrap(), &[0; 32]);
+        assert_eq!(sys.stats(), &stats_before);
+        assert!(sys.zero_buffer(99).is_err());
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Allocation-regression tests of the simulation hot path.
+//!
+//! This binary installs `cinm_runtime::alloc_count::CountingAllocator` as
+//! its global allocator and asserts that the steady-state launch+MVM loop —
+//! warmed-up kernel launches on the flat-slab `UpmemSystem` (including the
+//! aliased slow path on its scratch arena), scatter/gather transfers with a
+//! reused gather vector, and scratch-writing crossbar MVMs — performs
+//! **zero** heap allocations. Reintroducing a per-op `Vec` (a cloned stride,
+//! a fresh result buffer, a per-launch `available_parallelism` probe)
+//! makes these tests fail; the canary test proves the harness would see it.
+//!
+//! Counters are per-thread, so the default multi-threaded test harness
+//! cannot perturb a measurement window; every measured loop runs with
+//! `host_threads = 1` so no work escapes to pool workers.
+
+use cinm_runtime::alloc_count::{self, CountingAllocator};
+use memristor_sim::{CrossbarAccelerator, CrossbarConfig};
+use upmem_sim::{BinOp, DpuKernelKind, KernelSpec, UpmemConfig, UpmemSystem};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// The harness actually intercepts allocations: a deliberately reintroduced
+/// `Vec` allocation is counted. If this test fails, the zero-allocation
+/// assertions below are vacuous — never delete it.
+#[test]
+fn canary_counting_allocator_detects_reintroduced_vecs() {
+    assert!(alloc_count::installed(), "counting allocator not installed");
+    let ((), allocs) = alloc_count::count_in(|| {
+        let v: Vec<i32> = Vec::with_capacity(64);
+        std::hint::black_box(&v);
+    });
+    assert!(
+        allocs >= 1,
+        "a Vec allocation must be counted, saw {allocs}"
+    );
+    // Growing an existing vector (realloc) is counted too.
+    let mut v = vec![0u8; 16];
+    let ((), allocs) = alloc_count::count_in(|| {
+        v.reserve(1 << 16);
+        std::hint::black_box(&v);
+    });
+    assert!(allocs >= 1, "a realloc must be counted, saw {allocs}");
+}
+
+fn sequential_system() -> UpmemSystem {
+    let mut cfg = UpmemConfig::with_ranks(1).with_host_threads(1);
+    cfg.dpus_per_rank = 8;
+    UpmemSystem::new(cfg)
+}
+
+/// Steady-state kernel launches allocate nothing: the slab layout borrows
+/// input strides and splits the output in place.
+#[test]
+fn steady_state_launch_loop_is_allocation_free() {
+    let mut sys = sequential_system();
+    let a = sys.alloc_buffer(64).unwrap();
+    let b = sys.alloc_buffer(64).unwrap();
+    let c = sys.alloc_buffer(64).unwrap();
+    let data: Vec<i32> = (0..64 * 8).map(|i| i * 31 % 97 - 40).collect();
+    sys.scatter_i32(a, &data, 64).unwrap();
+    sys.broadcast_i32(b, &data[..64]).unwrap();
+    let gemm = KernelSpec::new(DpuKernelKind::Gemm { m: 8, k: 8, n: 8 }, vec![a, b], c);
+    let reduce = KernelSpec::new(
+        DpuKernelKind::Reduce {
+            op: BinOp::Add,
+            len: 64,
+        },
+        vec![a],
+        c,
+    );
+    // Warm-up: first launches may lazily resolve the per-process core count.
+    sys.launch(&gemm).unwrap();
+    sys.launch(&reduce).unwrap();
+    let ((), allocs) = alloc_count::count_in(|| {
+        for _ in 0..100 {
+            sys.launch(&gemm).unwrap();
+            sys.launch(&reduce).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state launches must not allocate");
+}
+
+/// The aliased-launch slow path stages its inputs in the reusable scratch
+/// arena: after the arena has grown once, repeated aliased launches are
+/// allocation-free too.
+#[test]
+fn steady_state_aliased_launch_is_allocation_free() {
+    let mut sys = sequential_system();
+    let a = sys.alloc_buffer(32).unwrap();
+    sys.broadcast_i32(a, &(0..32).collect::<Vec<i32>>())
+        .unwrap();
+    let scan = KernelSpec::new(
+        DpuKernelKind::Scan {
+            op: BinOp::Add,
+            len: 32,
+        },
+        vec![a],
+        a,
+    );
+    sys.launch(&scan).unwrap(); // grows the scratch arena
+    let ((), allocs) = alloc_count::count_in(|| {
+        for _ in 0..50 {
+            sys.launch(&scan).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "aliased launches must reuse the scratch arena");
+}
+
+/// Transfers with reused host buffers allocate nothing: scatter/broadcast
+/// write into the slabs, and `gather_i32_into` reuses the caller's vector.
+#[test]
+fn steady_state_transfer_loop_is_allocation_free() {
+    let mut sys = sequential_system();
+    let a = sys.alloc_buffer(256).unwrap();
+    let data: Vec<i32> = (0..256 * 8).collect();
+    let mut gathered = Vec::new();
+    sys.scatter_i32(a, &data, 256).unwrap();
+    sys.gather_i32_into(a, 256, &mut gathered).unwrap(); // sizes the vector
+    let ((), allocs) = alloc_count::count_in(|| {
+        for _ in 0..50 {
+            sys.scatter_i32(a, &data, 256).unwrap();
+            sys.broadcast_i32(a, &data[..256]).unwrap();
+            sys.gather_i32_into(a, 256, &mut gathered).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state transfers must not allocate");
+    assert_eq!(gathered.len(), 256 * 8);
+}
+
+/// Scratch-writing MVMs allocate nothing once the tile is programmed and the
+/// output scratch exists; `mvm_parallel_into` covers the batched form.
+#[test]
+fn steady_state_mvm_loop_is_allocation_free() {
+    let mut xbar = CrossbarAccelerator::new(CrossbarConfig::default().with_host_threads(1));
+    let dim = xbar.config().tile_rows;
+    let w: Vec<i32> = (0..dim * dim).map(|i| (i % 17) as i32 - 8).collect();
+    xbar.write_tile(0, &w, dim, dim).unwrap();
+    xbar.write_tile(1, &w, dim, dim).unwrap();
+    let input: Vec<i32> = (0..dim).map(|i| (i % 5) as i32 - 2).collect();
+    let mut out = vec![0i32; xbar.config().tile_cols];
+    xbar.mvm_into(0, &input, &mut out).unwrap(); // warm-up
+    let ((), allocs) = alloc_count::count_in(|| {
+        for _ in 0..200 {
+            xbar.mvm_into(0, &input, &mut out).unwrap();
+            xbar.mvm_into(1, &input, &mut out).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state MVMs must not allocate");
+
+    let requests: Vec<(usize, &[i32])> = vec![(0, &input), (1, &input)];
+    let mut batch_out = vec![0i32; requests.len() * xbar.config().tile_cols];
+    xbar.mvm_parallel_into(&requests, &mut batch_out).unwrap();
+    let ((), allocs) = alloc_count::count_in(|| {
+        for _ in 0..100 {
+            xbar.mvm_parallel_into(&requests, &mut batch_out).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state MVM batches must not allocate");
+}

@@ -27,7 +27,7 @@ use cpu_sim::kernels;
 const CASES: u64 = 48;
 
 /// Runs `f` once per case with a per-case deterministic PRNG.
-fn for_cases(test_seed: u64, f: impl Fn(&mut SplitMix64)) {
+fn for_cases(test_seed: u64, mut f: impl FnMut(&mut SplitMix64)) {
     for case in 0..CASES {
         let mut rng = SplitMix64::seed_from_u64(test_seed.wrapping_mul(0x9e37_79b9) + case);
         f(&mut rng);
@@ -748,6 +748,176 @@ fn planned_auto_shards_execute_bit_identically() {
             );
         }
     });
+}
+
+// ---------------------------------------------------------------------------
+// Execution contexts & shard-plan cache (reuse vs fresh per-op state)
+// ---------------------------------------------------------------------------
+
+/// One warm [`UpmemBackend`] reused over a randomized stream of ops with
+/// deliberately repeated shapes is bit-identical — results *and* per-op
+/// simulated statistics — to a fresh backend per op (the eager baseline the
+/// execution contexts replaced).
+#[test]
+fn upmem_context_reuse_matches_fresh_backends_over_shape_repeats() {
+    for_cases(31, |rng| {
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = 4;
+        let mut reused = UpmemBackend::with_config(cfg.clone(), UpmemRunOptions::optimized());
+        // Small pools of shapes, drawn with repeats so contexts get reused.
+        let mm_shapes: Vec<(usize, usize, usize)> = (0..2)
+            .map(|_| {
+                (
+                    gen_usize(rng, 1, 24),
+                    gen_usize(rng, 1, 12),
+                    gen_usize(rng, 1, 12),
+                )
+            })
+            .collect();
+        let lens: Vec<usize> = (0..2).map(|_| gen_usize(rng, 1, 200)).collect();
+        for step in 0..8 {
+            // Per-op stats must be identical to a fresh backend's, so reset
+            // the accumulated stats (contexts survive a reset, exactly like
+            // programmed state in the simulators).
+            reused.reset_stats();
+            let mut fresh = UpmemBackend::with_config(cfg.clone(), UpmemRunOptions::optimized());
+            match gen_usize(rng, 0, 4) {
+                0 => {
+                    let (m, k, n) = mm_shapes[gen_usize(rng, 0, mm_shapes.len())];
+                    let a = data::i32_vec(rng.next_u64(), m * k, -6, 6);
+                    let b = data::i32_vec(rng.next_u64(), k * n, -6, 6);
+                    let got = reused.gemm(&a, &b, m, k, n);
+                    assert_eq!(got, fresh.gemm(&a, &b, m, k, n), "step {step}");
+                    assert_eq!(got, kernels::matmul(&a, &b, m, k, n), "step {step}");
+                }
+                1 => {
+                    let (m, k, _) = mm_shapes[gen_usize(rng, 0, mm_shapes.len())];
+                    let a = data::i32_vec(rng.next_u64(), m * k, -6, 6);
+                    let x = data::i32_vec(rng.next_u64(), k, -6, 6);
+                    let got = reused.gemv(&a, &x, m, k);
+                    assert_eq!(got, fresh.gemv(&a, &x, m, k), "step {step}");
+                    assert_eq!(got, kernels::matvec(&a, &x, m, k), "step {step}");
+                }
+                2 => {
+                    let len = lens[gen_usize(rng, 0, lens.len())];
+                    let a = data::i32_vec(rng.next_u64(), len, -50, 50);
+                    let b = data::i32_vec(rng.next_u64(), len, -50, 50);
+                    let got = reused.elementwise(BinOp::Mul, &a, &b);
+                    assert_eq!(got, fresh.elementwise(BinOp::Mul, &a, &b), "step {step}");
+                }
+                _ => {
+                    let len = lens[gen_usize(rng, 0, lens.len())];
+                    let a = data::i32_vec(rng.next_u64(), len, -50, 50);
+                    let got = reused.reduce(BinOp::Add, &a);
+                    assert_eq!(got, fresh.reduce(BinOp::Add, &a), "step {step}");
+                    assert_eq!(got, kernels::reduce_add(&a), "step {step}");
+                }
+            }
+            assert_eq!(reused.stats(), fresh.stats(), "step {step} stats diverged");
+        }
+    });
+}
+
+/// One warm [`CimBackend`] (cached tile plans, staging arena) reused over
+/// repeated stationary shapes is bit-identical to fresh per-op backends in
+/// every schedule configuration.
+#[test]
+fn cim_context_reuse_matches_fresh_backends_over_shape_repeats() {
+    for_cases(32, |rng| {
+        let opts = [
+            CimRunOptions::default(),
+            CimRunOptions {
+                min_writes: true,
+                parallel_tiles: false,
+                ..Default::default()
+            },
+            CimRunOptions::optimized(),
+        ][gen_usize(rng, 0, 3)]
+        .clone();
+        let mut reused = CimBackend::new(opts.clone());
+        let shapes: Vec<(usize, usize, usize)> = (0..2)
+            .map(|_| {
+                (
+                    gen_usize(rng, 1, 32),
+                    gen_usize(rng, 1, 32),
+                    gen_usize(rng, 1, 32),
+                )
+            })
+            .collect();
+        for step in 0..5 {
+            let (m, k, n) = shapes[gen_usize(rng, 0, shapes.len())];
+            let a = data::i32_vec(rng.next_u64(), m * k, -5, 5);
+            let b = data::i32_vec(rng.next_u64(), k * n, -5, 5);
+            reused.reset_stats();
+            let mut fresh = CimBackend::new(opts.clone());
+            let got = reused.gemm(&a, &b, m, k, n);
+            assert_eq!(got, fresh.gemm(&a, &b, m, k, n), "step {step}");
+            assert_eq!(got, kernels::matmul(&a, &b, m, k, n), "step {step}");
+            assert_eq!(reused.stats(), fresh.stats(), "step {step} stats diverged");
+        }
+    });
+}
+
+/// The memoizing shard planner returns plans bit-identical to the uncached
+/// planner over randomized shape streams with repeats, and actually hits.
+#[test]
+fn cached_shard_plans_are_identical_to_fresh_plans() {
+    use cinm::core::shard::{CachedShardPlanner, ShardPlanner, ShardShape};
+    let planner = ShardPlanner::with_default_models(2);
+    let mut cached = CachedShardPlanner::with_default_models(2);
+    let ops = [
+        cinm::dialects::cinm::GEMM,
+        cinm::dialects::cinm::GEMV,
+        cinm::dialects::cinm::REDUCE,
+    ];
+    for_cases(33, |rng| {
+        let op = ops[gen_usize(rng, 0, ops.len())];
+        // Coarse shape grid so repeats occur across cases.
+        let shape = ShardShape::matmul(
+            gen_usize(rng, 1, 5) * 64,
+            gen_usize(rng, 1, 3) * 32,
+            gen_usize(rng, 1, 3) * 16,
+        );
+        let fresh = planner.plan(op, shape).unwrap();
+        let memo = cached.plan(op, shape).unwrap();
+        assert_eq!(memo, &fresh, "{op} {shape:?}");
+    });
+    let (hits, misses) = cached.cache_stats();
+    assert_eq!(hits + misses, CASES);
+    assert!(hits > 0, "no repeats hit the cache ({hits}/{misses})");
+}
+
+/// One warm [`ShardedBackend`] reused over a randomized stream of sharded
+/// ops (warm UPMEM/CIM contexts underneath) stays bit-identical to the host
+/// goldens.
+#[test]
+fn sharded_backend_reuse_matches_goldens_over_repeated_ops() {
+    let pool = cinm::runtime::PoolHandle::with_threads(3);
+    let mut be = small_sharded(&pool);
+    for_cases(34, |rng| {
+        let m = gen_usize(rng, 1, 8) * 6;
+        let k = gen_usize(rng, 1, 3) * 8;
+        let n = gen_usize(rng, 1, 2) * 8;
+        let a = data::i32_vec(rng.next_u64(), m * k, -9, 9);
+        let b = data::i32_vec(rng.next_u64(), k * n, -9, 9);
+        let split = gen_split(rng, m);
+        assert_eq!(
+            be.gemm(&a, &b, m, k, n, &split).unwrap(),
+            kernels::matmul(&a, &b, m, k, n),
+            "gemm {m}x{k}x{n} {split:?}"
+        );
+        let len = gen_usize(rng, 1, 4) * 100;
+        let v = data::i32_vec(rng.next_u64(), len, -100, 300);
+        let esplit = gen_split_no_cim(rng, len);
+        assert_eq!(
+            be.reduce(BinOp::Add, &v, &esplit).unwrap(),
+            kernels::reduce_add(&v),
+            "reduce len {len} {esplit:?}"
+        );
+    });
+    // The whole stream ran on one backend: fractions still normalise.
+    let f = be.stats().fractions();
+    assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{f:?}");
 }
 
 /// User-forced fractions that do not sum to 1 error out of the whole path

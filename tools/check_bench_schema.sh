@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Fails when the committed BENCH_sim.json is stale relative to the bench-sim
+# emitter: the schema version string in the JSON must match the
+# `BENCH_SCHEMA` constant in crates/cinm-bench/src/simbench.rs, and the
+# sections of the current schema must be present. Cheap (grep-only), so CI
+# runs it on every push; regenerate with
+#   cargo run --release -p cinm-bench --bin bench-sim
+# when it fires.
+set -euo pipefail
+
+json="${1:-BENCH_sim.json}"
+src="crates/cinm-bench/src/simbench.rs"
+
+[ -f "$json" ] || { echo "error: $json not found"; exit 1; }
+[ -f "$src" ] || { echo "error: $src not found"; exit 1; }
+
+# Anchored extraction: the constant definition line in the source and the
+# top-level schema field in the JSON — prose mentions of other versions
+# (e.g. "schema v2" in doc comments) must not be picked up.
+want=$(grep 'pub const BENCH_SCHEMA' "$src" | grep -oE 'cinm/bench-sim/v[0-9]+' | head -n1)
+got=$(grep -E '^  "schema":' "$json" | grep -oE 'cinm/bench-sim/v[0-9]+' | head -n1)
+
+[ -n "$want" ] || { echo "error: no BENCH_SCHEMA constant found in $src"; exit 1; }
+[ -n "$got" ] || { echo "error: no schema field found in $json"; exit 1; }
+
+if [ "$want" != "$got" ]; then
+    echo "error: $json carries schema '$got' but the emitter is at '$want';"
+    echo "       regenerate it: cargo run --release -p cinm-bench --bin bench-sim"
+    exit 1
+fi
+
+# The sections the current schema version promises.
+for field in '"hot_path"' '"steady_state"' '"sharded_vs_best_single"' '"dispatch_overhead"' '"workloads"'; do
+    grep -q "$field" "$json" || {
+        echo "error: $json is missing the $field section of schema $want"
+        exit 1
+    }
+done
+
+echo "OK: $json matches emitter schema $want"
