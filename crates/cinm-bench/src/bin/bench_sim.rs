@@ -19,6 +19,13 @@
 //! by `cinm_core::shard::ShardPlanner`) and compared against the fastest
 //! single device, at 1 and 2 functional-simulation threads.
 //!
+//! The **`session_vs_eager`** section tracks the device-resident Session
+//! graph API: a warmed `gemv → select` chain served through
+//! `cinm_core::session::Session` (matrix resident in MRAM, intermediate
+//! resident between the kernels, compiled plan replayed) against the eager
+//! two-op sequence, reporting wall-clock, simulated bytes and allocations
+//! per chain.
+//!
 //! The **`hot_path`** section tracks the allocation-free steady state:
 //! repeated same-shaped ops on one backend with warm execution contexts and
 //! a memoized shard plan ("after") versus re-creating backend and plan per
@@ -42,7 +49,8 @@ use std::num::NonZeroUsize;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use cinm_bench::simbench::{
-    self, HotPathMeasurement, OverheadCase, ShardedMeasurement, SimCase, BENCH_SCHEMA,
+    self, HotPathMeasurement, OverheadCase, SessionVsEagerMeasurement, ShardedMeasurement, SimCase,
+    BENCH_SCHEMA,
 };
 use cinm_core::shard::ShardPolicy;
 use cinm_runtime::PoolHandle;
@@ -295,6 +303,30 @@ fn main() {
         );
         hot_results.push((case, m));
     }
+    // Session vs eager: the warmed gemv→select chain through the resident
+    // graph API against the eager two-op sequence.
+    let mut sve_results: Vec<(SimCase, SessionVsEagerMeasurement)> = Vec::new();
+    for &case in &simbench::session_vs_eager_cases(scale == "tiny") {
+        eprintln!(
+            "measuring session vs eager {}/{} ...",
+            case.name, case.scale
+        );
+        let inp = simbench::inputs(&case);
+        let m = simbench::measure_session_vs_eager(&case, &inp, &pool);
+        eprintln!(
+            "  session {:.5}s/chain vs eager {:.5}s/chain -> {:.2}x wall; bytes {} vs {} ({:.1}x fewer); {} allocs/chain, {} replays",
+            m.session_s_per_op,
+            m.eager_s_per_op,
+            m.wall_speedup(),
+            m.session_bytes_per_op,
+            m.eager_bytes_per_op,
+            m.byte_reduction(),
+            m.session_allocs_per_op,
+            m.replays,
+        );
+        sve_results.push((case, m));
+    }
+
     eprintln!("measuring steady-state launch/MVM micro loops ...");
     let micro = simbench::measure_steady_state_micro(if quick { 512 } else { 4096 });
     eprintln!(
@@ -448,6 +480,53 @@ fn main() {
         }
         json.push_str("        ]\n");
         json.push_str(if i + 1 == sharded_results.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+    json.push_str("  \"session_vs_eager\": {\n");
+    json.push_str(
+        "    \"description\": \"A warmed gemv -> select chain served through the device-resident Session graph API (matrix stays in MRAM across iterations, the intermediate vector stays resident between the two kernels, the compiled plan is replayed) versus the eager two-op sequence on a warmed UpmemBackend (full scatter/gather round-trip per op). Same rotating inputs on both sides; checksums asserted equal. bytes are simulated host-interface bytes per chain (machine-independent); *_s_per_op is host wall-clock.\",\n",
+    );
+    json.push_str("    \"cases\": [\n");
+    for (i, (case, m)) in sve_results.iter().enumerate() {
+        json.push_str("      {\n");
+        json.push_str(&format!("        \"name\": \"{}\",\n", case.name));
+        json.push_str(&format!("        \"scale\": \"{}\",\n", case.scale));
+        json.push_str(&format!("        \"iterations\": {},\n", m.iterations));
+        json.push_str(&format!(
+            "        \"session_s_per_op\": {},\n",
+            json_f64(m.session_s_per_op)
+        ));
+        json.push_str(&format!(
+            "        \"eager_s_per_op\": {},\n",
+            json_f64(m.eager_s_per_op)
+        ));
+        json.push_str(&format!(
+            "        \"wall_speedup_session_vs_eager\": {},\n",
+            json_f64(m.wall_speedup())
+        ));
+        json.push_str(&format!(
+            "        \"session_bytes_per_op\": {},\n",
+            m.session_bytes_per_op
+        ));
+        json.push_str(&format!(
+            "        \"eager_bytes_per_op\": {},\n",
+            m.eager_bytes_per_op
+        ));
+        json.push_str(&format!(
+            "        \"byte_reduction\": {},\n",
+            json_f64(m.byte_reduction())
+        ));
+        json.push_str(&format!(
+            "        \"session_allocs_per_op\": {},\n",
+            json_f64(m.session_allocs_per_op)
+        ));
+        json.push_str(&format!("        \"plan_replays\": {}\n", m.replays));
+        json.push_str(if i + 1 == sve_results.len() {
             "      }\n"
         } else {
             "      },\n"

@@ -14,8 +14,10 @@
 
 use std::time::Instant;
 
+use cinm_core::session::{Session, SessionOptions};
 use cinm_core::shard::{CachedShardPlanner, ShardPlanner, ShardPolicy, ShardShape};
-use cinm_lowering::{ShardSplit, ShardedBackend, ShardedRunOptions};
+use cinm_core::Target;
+use cinm_lowering::{ShardSplit, ShardedBackend, ShardedRunOptions, UpmemBackend, UpmemRunOptions};
 use cinm_runtime::{alloc_count, PoolHandle};
 use cinm_workloads::data;
 use memristor_sim::{CrossbarAccelerator, CrossbarConfig};
@@ -26,7 +28,7 @@ use upmem_sim::{
 /// Schema version of `BENCH_sim.json`. Bump whenever the emitted structure
 /// changes; `tools/check_bench_schema.sh` fails CI when the committed JSON
 /// is stale relative to this emitter.
-pub const BENCH_SCHEMA: &str = "cinm/bench-sim/v3";
+pub const BENCH_SCHEMA: &str = "cinm/bench-sim/v4";
 
 /// The kernel flow of one benchmark case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -865,6 +867,162 @@ pub fn measure_steady_state_micro(iterations: usize) -> SteadyStateMicro {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Session (device-resident graph) vs the eager per-op chain
+// ---------------------------------------------------------------------------
+
+/// Result of serving a warmed `gemv → select` chain through the resident
+/// [`Session`] graph API versus the eager two-op sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionVsEagerMeasurement {
+    /// Timed chain executions.
+    pub iterations: usize,
+    /// Wall-clock seconds per chain through the warmed session (replay
+    /// steady state: the matrix stays in MRAM, only the input vector is
+    /// re-broadcast).
+    pub session_s_per_op: f64,
+    /// Wall-clock seconds per chain through the eager backend (full scatter
+    /// + gather + re-scatter every iteration).
+    pub eager_s_per_op: f64,
+    /// Simulated host-interface bytes per chain, session side.
+    pub session_bytes_per_op: u64,
+    /// Simulated host-interface bytes per chain, eager side.
+    pub eager_bytes_per_op: u64,
+    /// Heap allocations per chain in the warmed session loop (0 in steady
+    /// state when the counting allocator is installed).
+    pub session_allocs_per_op: f64,
+    /// Memoized-plan replays the session performed during the timed loop.
+    pub replays: u64,
+    /// Accumulated output checksum (asserted equal across both sides).
+    pub checksum: i64,
+}
+
+impl SessionVsEagerMeasurement {
+    /// Wall-clock advantage of the resident session chain.
+    pub fn wall_speedup(&self) -> f64 {
+        self.eager_s_per_op / self.session_s_per_op
+    }
+
+    /// How many times fewer simulated bytes the session chain moves.
+    pub fn byte_reduction(&self) -> f64 {
+        self.eager_bytes_per_op as f64 / self.session_bytes_per_op.max(1) as f64
+    }
+}
+
+/// Measures the `gemv → select` chain of an `mv` case: a warmed session
+/// (matrix resident in MRAM across iterations, intermediate `y` resident
+/// between the two kernels, compiled plan replayed) against the eager
+/// two-op sequence on a warmed [`UpmemBackend`] (shape-keyed contexts, but
+/// a full scatter/gather round-trip per op). Both sides run the same
+/// rotating input vectors; checksums are asserted equal.
+pub fn measure_session_vs_eager(
+    case: &SimCase,
+    inp: &CaseInputs,
+    pool: &PoolHandle,
+) -> SessionVsEagerMeasurement {
+    let CaseKind::Mv { rows, cols } = case.kind else {
+        panic!("session_vs_eager runs the mv (gemv→select) chain");
+    };
+    let threshold = 0i32;
+    let iterations = (case.launches * 4).max(8);
+    let xs: Vec<Vec<i32>> = (0..4)
+        .map(|i| data::i32_vec(40 + i as u64, cols, -8, 8))
+        .collect();
+
+    // Session side: warm to the replay steady state, then time.
+    let mut sess = Session::new(
+        SessionOptions::default()
+            .with_policy(ShardPolicy::Single(Target::Cnm))
+            .with_sharded(
+                ShardedRunOptions::default()
+                    .with_ranks(case.ranks)
+                    .with_pool(pool.clone())
+                    .with_host_threads(1),
+            ),
+    );
+    let a = sess.matrix(&inp.a, rows, cols);
+    let x = sess.vector(&xs[0]);
+    let mut fetched = Vec::new();
+    let chain = |sess: &mut Session, xi: &[i32], out: &mut Vec<i32>| -> i64 {
+        sess.write(x, xi);
+        let y = sess.gemv(a, x);
+        let s = sess.select(y, threshold);
+        sess.run().expect("cnm placement");
+        sess.fetch_into(s, out);
+        out.iter().map(|&v| v as i64).sum()
+    };
+    for i in 0..4 {
+        chain(&mut sess, &xs[i % 4], &mut fetched); // warm-up: compile + observe residency
+    }
+    let (_, replays_before) = sess.run_counts();
+    let bytes_before = {
+        let s = sess.upmem_stats();
+        s.host_to_dpu_bytes + s.dpu_to_host_bytes
+    };
+    let mut session_checksum = 0i64;
+    let session_start = Instant::now();
+    let ((), session_allocs) = alloc_count::count_in(|| {
+        for i in 0..iterations {
+            session_checksum += chain(&mut sess, &xs[i % 4], &mut fetched);
+        }
+    });
+    let session_s = session_start.elapsed().as_secs_f64();
+    let session_bytes = {
+        let s = sess.upmem_stats();
+        s.host_to_dpu_bytes + s.dpu_to_host_bytes - bytes_before
+    };
+    let (_, replays_after) = sess.run_counts();
+
+    // Eager side: warmed backend contexts, full round-trip per op.
+    let mut be = UpmemBackend::new(
+        case.ranks,
+        UpmemRunOptions::optimized()
+            .with_host_threads(1)
+            .with_pool(pool.clone()),
+    );
+    let eager_chain = |be: &mut UpmemBackend, xi: &[i32]| -> i64 {
+        let y = be.gemv(&inp.a, xi, rows, cols);
+        let s = be.select(&y, threshold);
+        s.iter().map(|&v| v as i64).sum()
+    };
+    for i in 0..2 {
+        eager_chain(&mut be, &xs[i % 4]); // warm the shape-keyed contexts
+    }
+    let eager_bytes_before = be.stats().host_to_dpu_bytes + be.stats().dpu_to_host_bytes;
+    let mut eager_checksum = 0i64;
+    let eager_start = Instant::now();
+    for i in 0..iterations {
+        eager_checksum += eager_chain(&mut be, &xs[i % 4]);
+    }
+    let eager_s = eager_start.elapsed().as_secs_f64();
+    let eager_bytes =
+        be.stats().host_to_dpu_bytes + be.stats().dpu_to_host_bytes - eager_bytes_before;
+
+    assert_eq!(
+        session_checksum, eager_checksum,
+        "{}/{}: session chain result diverged",
+        case.name, case.scale
+    );
+    SessionVsEagerMeasurement {
+        iterations,
+        session_s_per_op: session_s / iterations as f64,
+        eager_s_per_op: eager_s / iterations as f64,
+        session_bytes_per_op: session_bytes / iterations as u64,
+        eager_bytes_per_op: eager_bytes / iterations as u64,
+        session_allocs_per_op: session_allocs as f64 / iterations as f64,
+        replays: replays_after - replays_before,
+        checksum: session_checksum,
+    }
+}
+
+/// The `mv` cases the session-vs-eager chain runs on (the hot-path shapes).
+pub fn session_vs_eager_cases(tiny: bool) -> Vec<SimCase> {
+    hot_path_cases(tiny)
+        .into_iter()
+        .filter(|c| matches!(c.kind, CaseKind::Mv { .. }))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -961,6 +1119,25 @@ mod tests {
         let micro = measure_steady_state_micro(16);
         assert!(micro.launch_ns > 0.0 && micro.mvm_ns > 0.0);
         assert!(!micro.alloc_counter_installed);
+    }
+
+    #[test]
+    fn session_vs_eager_chain_agrees_and_moves_fewer_bytes() {
+        let pool = PoolHandle::with_threads(2);
+        for case in session_vs_eager_cases(true) {
+            let inp = inputs(&case);
+            let m = measure_session_vs_eager(&case, &inp, &pool);
+            // Checksum equality is asserted inside; check the accounting.
+            assert!(m.session_s_per_op > 0.0 && m.eager_s_per_op > 0.0);
+            assert!(
+                m.session_bytes_per_op < m.eager_bytes_per_op,
+                "{}: resident chain must move fewer simulated bytes ({} vs {})",
+                case.name,
+                m.session_bytes_per_op,
+                m.eager_bytes_per_op
+            );
+            assert!(m.replays as usize >= m.iterations, "{}", case.name);
+        }
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Command-line harness regenerating the paper's tables and figures.
 //!
-//! Usage: `cinm-experiments [fig10|fig11|fig12|table4|sharded|all]
+//! Usage: `cinm-experiments [fig10|fig11|fig12|table4|sharded|bfs|all]
 //!            [--scale test|bench|paper] [--threads N|auto]
 //!            [--shard auto|cnm-only|cim-only|host-only|fractions a,b,c]`
+//!
+//! `bfs` runs multi-step breadth-first search to convergence through the
+//! `Session` graph API with a device-resident frontier, against the eager
+//! per-op loop (see EXPERIMENTS.md).
 //!
 //! `--threads` sets the number of host worker threads used for the
 //! *functional* side of the simulation (`auto` = all available cores). The
@@ -106,6 +110,12 @@ fn main() {
         )
     };
     let run_table4 = || println!("{}", experiments::format_table4(&experiments::table4()));
+    let run_bfs = || {
+        println!(
+            "{}",
+            experiments::format_bfs(&experiments::bfs_convergence(scale, threads, &pool))
+        )
+    };
     let run_sharded =
         || match experiments::sharded_with_runtime(scale, threads, &pool, shard_policy) {
             Ok(rows) => println!("{}", experiments::format_sharded(&rows)),
@@ -120,16 +130,18 @@ fn main() {
         "fig12" => run_fig12(),
         "table4" => run_table4(),
         "sharded" => run_sharded(),
+        "bfs" => run_bfs(),
         "all" => {
             run_fig10();
             run_fig11();
             run_fig12();
             run_table4();
             run_sharded();
+            run_bfs();
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected fig10|fig11|fig12|table4|sharded|all"
+                "unknown experiment '{other}'; expected fig10|fig11|fig12|table4|sharded|bfs|all"
             );
             std::process::exit(2);
         }

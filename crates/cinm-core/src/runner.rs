@@ -1,11 +1,24 @@
 //! Workload runners: execute every benchmark on the host reference, the
-//! UPMEM backend and the CIM backend, returning results and simulated costs.
+//! [`Session`] graph API and the per-device back-ends, returning results and
+//! simulated costs.
+//!
+//! [`run_session`] is the primary execution path (it is what the experiment
+//! harness and [`run_upmem_with_stats`] drive); the eager
+//! [`run_upmem`]/[`run_cim`] paths are retained as the equivalence oracle —
+//! `session_results_match_the_eager_oracle` pins the two bit-identical per
+//! workload, including the simulated kernel time.
 
-use cinm_lowering::{CimBackend, CimRunOptions, CimRunStats, UpmemBackend, UpmemRunOptions};
+use cinm_lowering::{
+    CimBackend, CimRunOptions, CimRunStats, ShardedRunOptions, UpmemBackend, UpmemRunOptions,
+};
 use cinm_workloads::{data, Scale, WorkloadId, WorkloadParams};
 use cpu_sim::kernels;
 use cpu_sim::model::{CpuModel, OpCounts};
 use upmem_sim::{BinOp, SystemStats};
+
+use crate::session::{Session, SessionOptions, TensorShape};
+use crate::shard::ShardPolicy;
+use crate::target::Target;
 
 /// The input tensors of one workload instance.
 #[derive(Debug, Clone, Default)]
@@ -159,6 +172,70 @@ pub fn reference(
     }
 }
 
+/// Per-partition CSR fragments of a BFS graph, laid out contiguously so a
+/// chunked scatter gives each DPU its fragment (shared by the eager runner,
+/// the session runner and the multi-step BFS experiment).
+#[derive(Debug, Clone)]
+pub struct BfsFragments {
+    /// Concatenated per-partition row offsets (`vertices_per_dpu + 1` each).
+    pub rows: Vec<i32>,
+    /// Concatenated per-partition column indices, padded to
+    /// `vertices_per_dpu * degree` each.
+    pub cols: Vec<i32>,
+    /// Concatenated per-partition frontier bitmaps.
+    pub frontier: Vec<i32>,
+    /// Vertices owned by each partition.
+    pub vertices_per_dpu: usize,
+    /// Partitions actually holding vertices.
+    pub used_dpus: usize,
+}
+
+/// Builds the per-partition CSR fragments of a BFS graph over `partitions`
+/// partitions (the device's DPU count): each partition owns a contiguous
+/// block of vertices with a local CSR fragment whose column indices address
+/// vertices modulo the partition size — the PrIM-style partitioned BFS
+/// semantics both the simulator kernel and the host reference follow.
+pub fn bfs_fragments(
+    row_offsets: &[i32],
+    col_indices: &[i32],
+    frontier: &[i32],
+    vertices: usize,
+    degree: usize,
+    partitions: usize,
+) -> BfsFragments {
+    let vp = vertices.div_ceil(partitions.max(1)).max(1);
+    let used = vertices.div_ceil(vp);
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    let mut front = Vec::new();
+    for part in 0..used {
+        let v0 = part * vp;
+        let v1 = (v0 + vp).min(vertices);
+        let mut local_rows = vec![0i32];
+        let mut local_cols = Vec::new();
+        for v in v0..v1 {
+            let s = row_offsets[v] as usize;
+            let e = row_offsets[v + 1] as usize;
+            local_cols.extend_from_slice(&col_indices[s..e]);
+            local_rows.push(local_cols.len() as i32);
+        }
+        local_rows.resize(vp + 1, *local_rows.last().unwrap());
+        local_cols.resize(vp * degree, 0);
+        rows.extend_from_slice(&local_rows);
+        cols.extend_from_slice(&local_cols);
+        let mut local_front = vec![0i32; vp];
+        local_front[..v1 - v0].copy_from_slice(&frontier[v0..v1]);
+        front.extend_from_slice(&local_front);
+    }
+    BfsFragments {
+        rows,
+        cols,
+        frontier: front,
+        vertices_per_dpu: vp,
+        used_dpus: used,
+    }
+}
+
 /// Runs a workload on the UPMEM backend, returning `(result, stats)`.
 pub fn run_upmem(
     id: WorkloadId,
@@ -240,39 +317,203 @@ pub fn run_upmem(
         },
         WorkloadParams::Select { threshold, .. } => backend.select(&b[0], threshold),
         WorkloadParams::Bfs { vertices, degree } => {
-            let dpus = backend.num_dpus();
-            let vp = vertices.div_ceil(dpus).max(1);
-            let used = vertices.div_ceil(vp);
-            // Build per-partition CSR fragments laid out contiguously so the
-            // simulator's chunked scatter gives each DPU its fragment.
-            let mut rows = Vec::new();
-            let mut cols = Vec::new();
-            let mut frontier = Vec::new();
-            for part in 0..used {
-                let v0 = part * vp;
-                let v1 = (v0 + vp).min(vertices);
-                let mut local_rows = vec![0i32];
-                let mut local_cols = Vec::new();
-                for v in v0..v1 {
-                    let s = b[0][v] as usize;
-                    let e = b[0][v + 1] as usize;
-                    local_cols.extend_from_slice(&b[1][s..e]);
-                    local_rows.push(local_cols.len() as i32);
-                }
-                local_rows.resize(vp + 1, *local_rows.last().unwrap());
-                local_cols.resize(vp * degree, 0);
-                rows.extend_from_slice(&local_rows);
-                cols.extend_from_slice(&local_cols);
-                let mut local_front = vec![0i32; vp];
-                local_front[..v1 - v0].copy_from_slice(&b[2][v0..v1]);
-                frontier.extend_from_slice(&local_front);
-            }
-            backend.bfs_step(&rows, &cols, &frontier, vp, degree, used)
+            let f = bfs_fragments(&b[0], &b[1], &b[2], vertices, degree, backend.num_dpus());
+            backend.bfs_step(
+                &f.rows,
+                &f.cols,
+                &f.frontier,
+                f.vertices_per_dpu,
+                degree,
+                f.used_dpus,
+            )
         }
         WorkloadParams::Histogram {
             bins, max_value, ..
         } => backend.histogram(&b[0], bins, max_value),
         WorkloadParams::TimeSeries { window, .. } => backend.time_series(&b[0], window),
+    }
+}
+
+/// Runs a workload through the [`Session`] graph API — the primary execution
+/// path. Device ops are recorded lazily and compiled per [`Session::run`];
+/// multi-op workloads (`2mm`, `3mm`, `mlp`) chain through device-resident
+/// intermediates instead of the eager path's gather + re-scatter. Host-side
+/// preparation (im2col, contraction regrouping, MLP weight transposes) runs
+/// on the host exactly as in the eager path, so results are bit-identical to
+/// [`run_upmem`] (pinned by the oracle test).
+pub fn run_session(
+    id: WorkloadId,
+    scale: Scale,
+    inp: &WorkloadInputs,
+    s: &mut Session,
+) -> Vec<i32> {
+    let p = id.params(scale);
+    let b = &inp.buffers;
+    match p {
+        WorkloadParams::Gemm { m, k, n } => {
+            let a = s.matrix(&b[0], m, k);
+            let bb = s.matrix(&b[1], k, n);
+            let c = s.gemm(a, bb);
+            s.run().expect("session plan");
+            s.fetch(c)
+        }
+        WorkloadParams::Gemm2 { m, k, n, p } => {
+            let a = s.matrix(&b[0], m, k);
+            let bb = s.matrix(&b[1], k, n);
+            let cc = s.matrix(&b[2], n, p);
+            let d = s.gemm(a, bb);
+            let e = s.gemm(d, cc);
+            s.run().expect("session plan");
+            s.fetch(e)
+        }
+        WorkloadParams::Gemm3 { m, k, n, p } => {
+            let a = s.matrix(&b[0], m, k);
+            let bb = s.matrix(&b[1], k, n);
+            let cc = s.matrix(&b[2], n, k);
+            let dd = s.matrix(&b[3], k, p);
+            let e = s.gemm(a, bb);
+            let f = s.gemm(cc, dd);
+            let g = s.gemm(e, f);
+            s.run().expect("session plan");
+            s.fetch(g)
+        }
+        WorkloadParams::Conv2d { h, w, c, kh, kw, f } => {
+            // conv is rewritten as im2col + GEMM (Figure 5); the host
+            // prepares the patch matrix before the graph runs.
+            let patches = kernels::im2col(&b[0], 1, h, w, c, kh, kw);
+            let (oh, ow) = (h - kh + 1, w - kw + 1);
+            let a = s.matrix(&patches, oh * ow, kh * kw * c);
+            let bb = s.matrix(&b[1], kh * kw * c, f);
+            let out = s.gemm(a, bb);
+            s.run().expect("session plan");
+            s.fetch(out)
+        }
+        WorkloadParams::ContractL {
+            a,
+            b: bb,
+            c,
+            d,
+            e,
+            f,
+        } => {
+            let a_mat = regroup_contrl_a(&b[0], a, bb, e, f);
+            let b_mat = regroup_contrl_b(&b[1], c, d, e, f);
+            let at = s.matrix(&a_mat, a * bb, e * f);
+            let bt = s.matrix(&b_mat, e * f, c * d);
+            let out = s.gemm(at, bt);
+            s.run().expect("session plan");
+            reorder_contrl_output(&s.fetch(out), a, bb, c, d)
+        }
+        WorkloadParams::ContractS1 { a, b: bb, c, d } => {
+            let a_mat = regroup_contrs1_a(&b[0], a, c, d);
+            let b_mat = regroup_contrs1_b(&b[1], bb, c, d);
+            let at = s.matrix(&a_mat, a, c * d);
+            let bt = s.matrix(&b_mat, c * d, bb);
+            let out = s.gemm(at, bt);
+            s.run().expect("session plan");
+            s.fetch(out)
+        }
+        WorkloadParams::ContractS2 { a, b: bb, c, d } => {
+            let at = s.matrix(&b[0], a * c, d);
+            let bt = s.matrix(&b[1], d, bb);
+            let out = s.gemm(at, bt);
+            s.run().expect("session plan");
+            reorder_contrs2_output(&s.fetch(out), a, bb, c)
+        }
+        WorkloadParams::Mlp { batch, layers } => {
+            // The weight transposes and bias replication are host-side data
+            // preparation; the three GEMM + bias + ReLU stages are one graph
+            // whose intermediates chain on the device.
+            let mut x = s.matrix(&b[0], batch, layers[0]);
+            let specs = [
+                (&b[1], &b[2], layers[0], layers[1], true),
+                (&b[3], &b[4], layers[1], layers[2], true),
+                (&b[5], &b[6], layers[2], layers[3], false),
+            ];
+            let mut out = None;
+            for (w, bias, inf, outf, relu) in specs {
+                let wt_host = kernels::transpose(w, outf, inf);
+                let wt = s.matrix(&wt_host, inf, outf);
+                let y = s.gemm(x, wt);
+                let bias_full: Vec<i32> = (0..batch * outf).map(|i| bias[i % outf]).collect();
+                let bias_t = s.vector(&bias_full);
+                let mut z = s.elementwise(BinOp::Add, y, bias_t);
+                if relu {
+                    let zeros = s.vector(&vec![0i32; batch * outf]);
+                    z = s.elementwise(BinOp::Max, z, zeros);
+                }
+                x = s.reshape(
+                    z,
+                    TensorShape::Matrix {
+                        rows: batch,
+                        cols: outf,
+                    },
+                );
+                out = Some(z);
+            }
+            let _ = x; // the last layer's view feeds no further gemm
+            s.run().expect("session plan");
+            s.fetch(out.expect("mlp has layers"))
+        }
+        WorkloadParams::Gemv { rows, cols } => {
+            let a = s.matrix(&b[0], rows, cols);
+            let x = s.vector(&b[1]);
+            let y = s.gemv(a, x);
+            s.run().expect("session plan");
+            s.fetch(y)
+        }
+        WorkloadParams::Vector { .. } => {
+            let a = s.vector(&b[0]);
+            match id {
+                WorkloadId::Red => {
+                    let r = s.reduce(BinOp::Add, a);
+                    s.run().expect("session plan");
+                    vec![s.fetch_scalar(r)]
+                }
+                _ => {
+                    let bb = s.vector(&b[1]);
+                    let c = s.elementwise(BinOp::Add, a, bb);
+                    s.run().expect("session plan");
+                    s.fetch(c)
+                }
+            }
+        }
+        WorkloadParams::Select { threshold, .. } => {
+            let a = s.vector(&b[0]);
+            let sel = s.select(a, threshold);
+            s.run().expect("session plan");
+            s.fetch(sel)
+        }
+        WorkloadParams::Bfs { vertices, degree } => {
+            let f = bfs_fragments(&b[0], &b[1], &b[2], vertices, degree, s.num_dpus());
+            let rows = s.vector(&f.rows);
+            let cols = s.vector(&f.cols);
+            let frontier = s.vector(&f.frontier);
+            let next = s.bfs_step(
+                rows,
+                cols,
+                frontier,
+                f.vertices_per_dpu,
+                degree,
+                f.used_dpus,
+            );
+            s.run().expect("session plan");
+            s.fetch(next)
+        }
+        WorkloadParams::Histogram {
+            bins, max_value, ..
+        } => {
+            let a = s.vector(&b[0]);
+            let h = s.histogram(a, bins, max_value);
+            s.run().expect("session plan");
+            s.fetch(h)
+        }
+        WorkloadParams::TimeSeries { window, .. } => {
+            let a = s.vector(&b[0]);
+            let t = s.time_series(a, window);
+            s.run().expect("session plan");
+            s.fetch(t)
+        }
     }
 }
 
@@ -444,7 +685,27 @@ pub fn cpu_op_counts(id: WorkloadId, scale: Scale) -> OpCounts {
     }
 }
 
-/// Convenience wrappers returning `(result, simulated stats)`.
+/// Builds a CNM-placed session for `ranks` DIMMs under the given UPMEM
+/// code-generation options (what the figure sweeps execute on).
+pub fn cnm_session(ranks: usize, options: UpmemRunOptions) -> Session {
+    let pool = options.pool.clone();
+    Session::new(
+        SessionOptions::default()
+            .with_policy(ShardPolicy::Single(Target::Cnm))
+            .with_sharded(ShardedRunOptions {
+                ranks,
+                upmem: options,
+                pool,
+                ..ShardedRunOptions::default()
+            }),
+    )
+}
+
+/// Convenience wrappers returning `(result, simulated stats)`. Since the
+/// session migration this executes through the [`Session`] graph API with
+/// all ops placed on the CNM grid; the figures report DPU kernel time,
+/// which is bit-identical to the eager path (residency changes transfer
+/// bytes only, never kernel seconds — see the oracle test).
 pub fn run_upmem_with_stats(
     id: WorkloadId,
     scale: Scale,
@@ -452,9 +713,9 @@ pub fn run_upmem_with_stats(
     options: UpmemRunOptions,
 ) -> (Vec<i32>, SystemStats) {
     let inp = inputs(id, scale);
-    let mut backend = UpmemBackend::new(ranks, options);
-    let out = run_upmem(id, scale, &inp, &mut backend);
-    (out, *backend.stats())
+    let mut session = cnm_session(ranks, options);
+    let out = run_session(id, scale, &inp, &mut session);
+    (out, *session.upmem_stats())
 }
 
 /// Runs a CIM-suite workload and returns `(result, simulated stats)`.
@@ -570,6 +831,35 @@ mod tests {
                 _ => assert_eq!(got, want, "{}", id.name()),
             }
             assert!(backend.total_ms() > 0.0, "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn session_results_match_the_eager_oracle_for_every_workload() {
+        for id in WorkloadId::all() {
+            let inp = inputs(id, Scale::Test);
+            let mut cfg = upmem_sim::UpmemConfig::with_ranks(1);
+            cfg.dpus_per_rank = 8;
+            let mut eager = UpmemBackend::with_config(cfg.clone(), UpmemRunOptions::optimized());
+            let want = run_upmem(id, Scale::Test, &inp, &mut eager);
+            let mut session = Session::new(
+                SessionOptions::default()
+                    .with_upmem_config(cfg)
+                    .with_policy(ShardPolicy::Single(Target::Cnm)),
+            );
+            let got = run_session(id, Scale::Test, &inp, &mut session);
+            assert_eq!(got, want, "{}", id.name());
+            // Residency never changes kernel time, only transfer bytes.
+            let s = session.upmem_stats();
+            let e = eager.stats();
+            assert_eq!(s.kernel_seconds, e.kernel_seconds, "{}", id.name());
+            assert_eq!(s.launches, e.launches, "{}", id.name());
+            assert!(
+                s.host_to_dpu_bytes + s.dpu_to_host_bytes
+                    <= e.host_to_dpu_bytes + e.dpu_to_host_bytes,
+                "{}: session moved more bytes than the eager path",
+                id.name()
+            );
         }
     }
 

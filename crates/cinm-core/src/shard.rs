@@ -51,8 +51,9 @@
 
 use std::collections::HashMap;
 
-use cinm_lowering::{ShardError, ShardSplit};
-use cpu_sim::model::{CpuModel, OpCounts};
+use cinm_lowering::device::DeviceCost;
+use cinm_lowering::{Device, ShardDevice, ShardError, ShardSplit};
+use cpu_sim::model::CpuModel;
 use memristor_sim::CrossbarConfig;
 use upmem_sim::UpmemConfig;
 
@@ -60,60 +61,70 @@ use cinm_dialects::cinm;
 
 use crate::target::{CostModel, Target};
 
-/// Shape of one shardable operation, as the planner and the shape-aware
-/// cost models see it. The sharded dimension is `work`; each work unit
-/// consumes `inner` elements of the sharded operand and produces `out`
-/// result elements:
-///
-/// * GEMM `C[m×n] = A[m×k]·B[k×n]` sharded by rows: `work = m`,
-///   `inner = k`, `out = n` (so the stationary operand has `inner × out`
-///   elements — its broadcast/programming cost is shard-size independent);
-/// * GEMV: `work = rows`, `inner = cols`, `out = 1`;
-/// * element-wise / reduce / histogram: `work = len`, `inner = out = 1`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ShardShape {
-    /// Work units of the sharded dimension.
-    pub work: usize,
-    /// Elements of the sharded operand consumed per work unit.
-    pub inner: usize,
-    /// Result elements produced per work unit.
-    pub out: usize,
+// The shard shapes and the per-device first-order cost models moved into
+// `cinm_lowering::device` with the unified `Device` trait (so devices can
+// expose their own cost hookup without a crate cycle); they are re-exported
+// here so planner users keep their import paths.
+pub use cinm_lowering::device::{
+    cim_supports, CimCostModel, CnmCostModel, HostCostModel, ShardShape,
+};
+
+/// The planner-side [`Target`] of a [`ShardDevice`] (the two enums share the
+/// `[cnm, cim, host]` order; `Target` predates the device layer).
+pub fn device_target(device: ShardDevice) -> Target {
+    match device {
+        ShardDevice::Cnm => Target::Cnm,
+        ShardDevice::Cim => Target::Cim,
+        ShardDevice::Host => Target::Host,
+    }
 }
 
-impl ShardShape {
-    /// Shape of a row-sharded matmul-like op (`gemv` has `n = 1`).
-    pub fn matmul(rows: usize, k: usize, n: usize) -> Self {
-        ShardShape {
-            work: rows,
-            inner: k,
-            out: n,
-        }
+/// Adapts a device's cost hookup ([`Device::cost`]) to the planner's
+/// [`CostModel`] registry, so a planner can be assembled *from a device set*
+/// instead of hard-coding model structs — the session does exactly that.
+pub struct DeviceCostAdapter(Box<dyn DeviceCost>);
+
+impl DeviceCostAdapter {
+    /// Wraps a device cost hookup.
+    pub fn new(cost: Box<dyn DeviceCost>) -> Self {
+        DeviceCostAdapter(cost)
     }
 
-    /// Shape of an element-sharded streaming op.
-    pub fn streaming(len: usize) -> Self {
-        ShardShape {
-            work: len,
-            inner: 1,
-            out: 1,
-        }
+    /// Snapshots the cost hookup of a device.
+    pub fn of(device: &dyn Device) -> Self {
+        DeviceCostAdapter(device.cost())
+    }
+}
+
+impl CostModel for DeviceCostAdapter {
+    fn target(&self) -> Target {
+        device_target(self.0.device())
     }
 
-    /// The same op at a different shard size.
-    pub fn with_work(mut self, work: usize) -> Self {
-        self.work = work;
-        self
+    fn estimate_seconds(&self, op_name: &str, elements: i64) -> Option<f64> {
+        self.0.estimate_seconds(op_name, elements)
     }
 
-    /// Elements of the sharded operand (`work × inner`) — what the legacy
-    /// scalar [`CostModel::estimate_seconds`] interface estimates over.
-    pub fn sharded_elements(&self) -> i64 {
-        (self.work as i64).saturating_mul(self.inner as i64)
+    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        self.0.estimate_shard_seconds(op_name, shape)
+    }
+}
+
+// Every device-level cost model is a planner cost model by construction
+// (the target is the device's shard slot), so the concrete models —
+// `CnmCostModel`, `CimCostModel`, `HostCostModel` and any future device
+// hookup — register into the planner without per-type glue.
+impl<T: DeviceCost> CostModel for T {
+    fn target(&self) -> Target {
+        device_target(self.device())
     }
 
-    /// Scalar multiply-accumulate / element operations of the shard.
-    pub fn scalar_ops(&self) -> f64 {
-        self.work as f64 * self.inner as f64 * self.out as f64
+    fn estimate_seconds(&self, op_name: &str, elements: i64) -> Option<f64> {
+        <T as DeviceCost>::estimate_seconds(self, op_name, elements)
+    }
+
+    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        <T as DeviceCost>::estimate_shard_seconds(self, op_name, shape)
     }
 }
 
@@ -274,6 +285,13 @@ impl ShardPlanner {
     /// Registers a device cost model.
     pub fn register_model(&mut self, model: Box<dyn CostModel>) {
         self.models.push(model);
+    }
+
+    /// Registers the cost hookup of a [`Device`] (see [`DeviceCostAdapter`]):
+    /// the planner sizes shards for exactly the device set that will execute
+    /// them.
+    pub fn register_device(&mut self, device: &dyn Device) {
+        self.register_model(Box::new(DeviceCostAdapter::of(device)));
     }
 
     /// Full-shard estimate of a target, or `None` if no registered model
@@ -698,219 +716,6 @@ fn index_target(i: usize) -> Target {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Default first-order cost models
-// ---------------------------------------------------------------------------
-
-/// The shardable op subset the default models understand.
-fn op_kind(op: &str) -> Option<OpKind> {
-    if op == cinm::GEMM {
-        Some(OpKind::Gemm)
-    } else if op == cinm::GEMV {
-        Some(OpKind::Gemv)
-    } else if op == cinm::REDUCE {
-        Some(OpKind::Reduce)
-    } else if op == cinm::HISTOGRAM {
-        Some(OpKind::Histogram)
-    } else if cinm::ELEMENTWISE_ARITH.contains(&op) || cinm::ELEMENTWISE_LOGIC.contains(&op) {
-        Some(OpKind::Elementwise)
-    } else {
-        None
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum OpKind {
-    Gemm,
-    Gemv,
-    Elementwise,
-    Reduce,
-    Histogram,
-}
-
-impl OpKind {
-    fn matmul_like(self) -> bool {
-        matches!(self, OpKind::Gemm | OpKind::Gemv)
-    }
-}
-
-/// Whether the crossbar backend can execute the op — the single source of
-/// truth for the "MVM-only" restriction used by the planner, the experiment
-/// harness and `bench-sim` (the `ShardedBackend` methods enforce the same
-/// fact at execution time).
-pub fn cim_supports(op: &str) -> bool {
-    op_kind(op).is_some_and(OpKind::matmul_like)
-}
-
-/// Reconstructs a plausible [`ShardShape`] from the legacy scalar
-/// `(op, elements)` interface: a square-ish operand for matmul-like ops
-/// (so the `TargetSelector` ranking sees the real O(n³)/O(n²) work, not one
-/// MAC per element), a flat stream otherwise. Shared by every default
-/// model's [`CostModel::estimate_seconds`].
-fn scalar_shape(kind: OpKind, elements: i64) -> ShardShape {
-    let n = elements.max(0) as usize;
-    if kind.matmul_like() {
-        let side = (n.max(1) as f64).sqrt().ceil() as usize;
-        ShardShape::matmul(side, side, if kind == OpKind::Gemm { side } else { 1 })
-    } else {
-        ShardShape::streaming(n)
-    }
-}
-
-/// First-order cost model of the UPMEM grid, mirroring the simulator's cost
-/// structure: bulk transfers of the sharded operand are rank-parallel, the
-/// stationary matmul operand is **broadcast** (replicated through one rank's
-/// channel per rank-sized image — shard-size independent, and the dominant
-/// fixed cost for wide GEMMs), and kernel time is the per-DPU loop nest with
-/// the emulated 32-bit multiply for matmul-like ops.
-#[derive(Debug)]
-pub struct CnmCostModel {
-    config: UpmemConfig,
-}
-
-impl CnmCostModel {
-    /// Creates the model from a machine configuration.
-    pub fn new(config: UpmemConfig) -> Self {
-        CnmCostModel { config }
-    }
-
-    fn shard_estimate(&self, kind: OpKind, shape: &ShardShape) -> f64 {
-        let cfg = &self.config;
-        let i = &cfg.instr;
-        let dpus = (cfg.ranks * cfg.dpus_per_rank).max(1) as f64;
-        let rank_bw = cfg.host_bandwidth_per_rank_bytes_per_s * cfg.ranks.max(1) as f64;
-        let work = shape.work as f64;
-        // Per-DPU kernel time: the slowest DPU owns ceil(work / dpus) units.
-        let units_per_dpu = (shape.work as f64 / dpus).ceil().max(1.0);
-        let cycles_per_unit = if kind.matmul_like() {
-            // One MAC per (inner × out) element pair of the unit's row.
-            (shape.inner * shape.out) as f64
-                * (2.0 * i.wram_access + i.mul32 + i.alu + 0.5 * i.branch)
-        } else {
-            3.0 * i.wram_access + i.alu + 0.5 * i.branch
-        };
-        let kernel = units_per_dpu * cycles_per_unit / cfg.dpu_freq_hz;
-        // Transfers: the sharded operand in, the result out (rank-parallel),
-        // plus the broadcast of the stationary operand for matmul-like ops.
-        // Reductions and histograms gather only small per-DPU partials, not
-        // a result per work unit.
-        let sharded_bytes = work * shape.inner as f64 * 4.0;
-        let result_bytes = match kind {
-            OpKind::Reduce | OpKind::Histogram => dpus * 4.0,
-            OpKind::Gemm | OpKind::Gemv => work * shape.out as f64 * 4.0,
-            // Element-wise ops read two operands and write one result.
-            OpKind::Elementwise => work * shape.out as f64 * 4.0 + sharded_bytes,
-        };
-        let mut transfer =
-            (sharded_bytes + result_bytes) / rank_bw + 2.0 * cfg.host_transfer_latency_s;
-        if kind.matmul_like() {
-            let stationary_bytes = (shape.inner * shape.out) as f64 * 4.0;
-            transfer += stationary_bytes * cfg.dpus_per_rank as f64
-                / cfg.host_bandwidth_per_rank_bytes_per_s
-                + cfg.host_transfer_latency_s;
-        }
-        kernel + transfer
-    }
-}
-
-impl CostModel for CnmCostModel {
-    fn target(&self) -> Target {
-        Target::Cnm
-    }
-
-    fn estimate_seconds(&self, op_name: &str, elements: i64) -> Option<f64> {
-        let kind = op_kind(op_name)?;
-        Some(self.shard_estimate(kind, &scalar_shape(kind, elements)))
-    }
-
-    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
-        let kind = op_kind(op_name)?;
-        Some(self.shard_estimate(kind, shape))
-    }
-}
-
-/// First-order cost model of the crossbar, mirroring the backend's command
-/// structure under `cim-opt`: the stationary operand is tiled into
-/// `⌈inner/tile_rows⌉ × ⌈out/tile_cols⌉` crossbar tiles, each programmed
-/// once (shard-size independent — the fixed cost), then every work unit
-/// issues one MVM per tile with `num_tiles` tiles computing in parallel.
-/// Only matmul-like ops are supported — everything else returns `None` (the
-/// backend models analog MVM only), which is exactly how a whole device
-/// drops out of a plan.
-#[derive(Debug)]
-pub struct CimCostModel {
-    config: CrossbarConfig,
-}
-
-impl CimCostModel {
-    /// Creates the model from a crossbar configuration.
-    pub fn new(config: CrossbarConfig) -> Self {
-        CimCostModel { config }
-    }
-}
-
-impl CostModel for CimCostModel {
-    fn target(&self) -> Target {
-        Target::Cim
-    }
-
-    fn estimate_seconds(&self, op_name: &str, elements: i64) -> Option<f64> {
-        let kind = op_kind(op_name)?;
-        self.estimate_shard_seconds(op_name, &scalar_shape(kind, elements))
-    }
-
-    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
-        let kind = op_kind(op_name)?;
-        if !kind.matmul_like() {
-            return None;
-        }
-        let cfg = &self.config;
-        let tiles = (shape.inner.div_ceil(cfg.tile_rows.max(1))
-            * shape.out.div_ceil(cfg.tile_cols.max(1))) as f64;
-        let programming = tiles * cfg.tile_program_seconds();
-        let groups = (tiles / cfg.num_tiles.max(1) as f64).ceil();
-        let compute = shape.work as f64 * groups * cfg.mvm_seconds();
-        Some(programming + compute)
-    }
-}
-
-/// Host cost model: the roofline of a [`CpuModel`] over the shard's real
-/// operation counts.
-#[derive(Debug)]
-pub struct HostCostModel {
-    model: CpuModel,
-}
-
-impl HostCostModel {
-    /// Creates the model from a CPU configuration.
-    pub fn new(model: CpuModel) -> Self {
-        HostCostModel { model }
-    }
-}
-
-impl CostModel for HostCostModel {
-    fn target(&self) -> Target {
-        Target::Host
-    }
-
-    fn estimate_seconds(&self, op_name: &str, elements: i64) -> Option<f64> {
-        let kind = op_kind(op_name)?;
-        self.estimate_shard_seconds(op_name, &scalar_shape(kind, elements))
-    }
-
-    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
-        let kind = op_kind(op_name)?;
-        let counts = match kind {
-            OpKind::Gemm => OpCounts::gemm(shape.work, shape.inner, shape.out),
-            OpKind::Gemv => OpCounts::gemv(shape.work, shape.inner),
-            OpKind::Elementwise => OpCounts::elementwise(shape.work),
-            OpKind::Reduce => OpCounts::reduce(shape.work),
-            OpKind::Histogram => OpCounts::histogram(shape.work, 256),
-        };
-        Some(self.model.execution_seconds(&counts))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1147,30 +952,32 @@ mod tests {
         assert_eq!(plan.fallback, Some(Target::Host));
     }
 
+    /// Disambiguates between the planner-trait and device-trait methods of
+    /// the concrete models (both are in scope in this module).
+    fn shard_est(m: &dyn CostModel, op: &str, shape: ShardShape) -> Option<f64> {
+        m.estimate_shard_seconds(op, &shape)
+    }
+
     #[test]
     fn estimates_scale_with_problem_size_and_rank_count() {
         let small = CnmCostModel::new(UpmemConfig::with_ranks(4));
         let big = CnmCostModel::new(UpmemConfig::with_ranks(16));
         let shape = ShardShape::streaming(1 << 22);
-        let t_small = small.estimate_shard_seconds("cinm.add", &shape).unwrap();
-        let t_big = big.estimate_shard_seconds("cinm.add", &shape).unwrap();
+        let t_small = shard_est(&small, "cinm.add", shape).unwrap();
+        let t_big = shard_est(&big, "cinm.add", shape).unwrap();
         assert!(t_big < t_small, "more ranks must be faster");
         let host = HostCostModel::new(CpuModel::arm_host());
         assert!(
-            host.estimate_shard_seconds(cinm::GEMM, &ShardShape::matmul(4096, 64, 64))
-                .unwrap()
-                > host
-                    .estimate_shard_seconds(cinm::GEMM, &ShardShape::matmul(64, 64, 64))
-                    .unwrap()
+            shard_est(&host, cinm::GEMM, ShardShape::matmul(4096, 64, 64)).unwrap()
+                > shard_est(&host, cinm::GEMM, ShardShape::matmul(64, 64, 64)).unwrap()
         );
         let cim = CimCostModel::new(CrossbarConfig::default());
-        assert!(cim
-            .estimate_shard_seconds(cinm::GEMM, &ShardShape::matmul(1024, 256, 128))
-            .is_some());
-        assert!(cim.estimate_shard_seconds("cinm.add", &shape).is_none());
+        assert!(shard_est(&cim, cinm::GEMM, ShardShape::matmul(1024, 256, 128)).is_some());
+        assert!(shard_est(&cim, "cinm.add", shape).is_none());
         // The legacy scalar interface stays usable for TargetSelector.
-        assert!(cim.estimate_seconds(cinm::GEMM, 1 << 20).is_some());
-        assert!(cim.estimate_seconds("cinm.add", 1 << 20).is_none());
+        let cim_model: &dyn CostModel = &cim;
+        assert!(cim_model.estimate_seconds(cinm::GEMM, 1 << 20).is_some());
+        assert!(cim_model.estimate_seconds("cinm.add", 1 << 20).is_none());
     }
 
     #[test]
@@ -1178,12 +985,77 @@ mod tests {
         // The stationary-operand broadcast must appear as a *fixed* cost:
         // halving the shard must less-than-halve the estimate.
         let m = CnmCostModel::new(UpmemConfig::with_ranks(16));
-        let full = m
-            .estimate_shard_seconds(cinm::GEMM, &ShardShape::matmul(1024, 256, 128))
-            .unwrap();
-        let half = m
-            .estimate_shard_seconds(cinm::GEMM, &ShardShape::matmul(512, 256, 128))
-            .unwrap();
+        let full = shard_est(&m, cinm::GEMM, ShardShape::matmul(1024, 256, 128)).unwrap();
+        let half = shard_est(&m, cinm::GEMM, ShardShape::matmul(512, 256, 128)).unwrap();
         assert!(half > full / 2.0, "full {full} half {half}");
+    }
+
+    #[test]
+    fn bench_scale_mv_auto_plan_balances_on_calibrated_estimates() {
+        // ROADMAP item: the first-order CnmCostModel used to underestimate
+        // per-DPU DMA inefficiency for matmul-like ops at low rows/DPU, so
+        // auto plans had to be validated against measured single-device
+        // times. With the model calibrated against
+        // `upmem_sim::kernel_launch_cost`, the bench-scale `mv` plan stands
+        // on its own estimates: it genuinely shards, and the estimated
+        // completion times of the active devices balance (water-filling
+        // succeeded on trustworthy numbers).
+        let p = planner(); // the same default models, 4 ranks
+        let plan = p
+            .plan(cinm::GEMV, ShardShape::matmul(4096, 1024, 1))
+            .unwrap();
+        assert!(plan.is_sharded(), "{plan:?}");
+        let active: Vec<f64> = plan
+            .estimated_seconds
+            .iter()
+            .zip([plan.split.cnm, plan.split.cim, plan.split.host])
+            .filter(|&(_, w)| w > 0)
+            .map(|(&t, _)| t)
+            .collect();
+        assert!(active.len() >= 2, "{plan:?}");
+        let (min, max) = active.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| {
+            (lo.min(t), hi.max(t))
+        });
+        assert!(
+            max / min < 2.0,
+            "active-device estimates must balance: {active:?} ({plan:?})"
+        );
+    }
+
+    #[test]
+    fn planners_can_be_assembled_from_a_device_set() {
+        use cinm_lowering::{CimRunOptions, UpmemRunOptions};
+        // A planner registered from Device::cost hookups plans exactly like
+        // one built from the hard-coded default models.
+        let reference = planner();
+        let mut from_devices = ShardPlanner::new();
+        let upmem = cinm_lowering::UpmemDevice::new(cinm_lowering::UpmemBackend::new(
+            4,
+            UpmemRunOptions::optimized(),
+        ));
+        let cim = cinm_lowering::CimDevice::new(cinm_lowering::CimBackend::new(
+            CimRunOptions::optimized(),
+        ));
+        let host = cinm_lowering::HostDevice::new(CpuModel::arm_host());
+        from_devices.register_device(&upmem);
+        from_devices.register_device(&cim);
+        from_devices.register_device(&host);
+        for shape in [
+            ShardShape::matmul(4096, 256, 128),
+            ShardShape::matmul(64, 64, 64),
+        ] {
+            assert_eq!(
+                from_devices.plan(cinm::GEMM, shape).unwrap(),
+                reference.plan(cinm::GEMM, shape).unwrap()
+            );
+        }
+        assert_eq!(
+            from_devices
+                .plan("cinm.add", ShardShape::streaming(1 << 21))
+                .unwrap(),
+            reference
+                .plan("cinm.add", ShardShape::streaming(1 << 21))
+                .unwrap()
+        );
     }
 }

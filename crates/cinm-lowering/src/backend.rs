@@ -125,6 +125,70 @@ impl UpmemRunOptions {
     }
 }
 
+/// Decodes the raw gathered output of the UPMEM select kernel: each DPU
+/// contributes a `(count, values...)` record of `chunk + 1` elements; the
+/// selections of the used DPUs are concatenated in order, dropping the
+/// trailing zero-pad selections of the last chunk for negative thresholds
+/// (padding zeros never pass a non-negative threshold check). Appends to
+/// `out` — the single decode implementation shared by
+/// [`UpmemBackend::select`] and the session's resident-tensor fetch.
+pub fn decode_select_into(
+    raw: &[i32],
+    chunk: usize,
+    len: usize,
+    threshold: i32,
+    out: &mut Vec<i32>,
+) {
+    let used_dpus = len.div_ceil(chunk.max(1));
+    for d in 0..used_dpus {
+        let base = d * (chunk + 1);
+        let count = raw[base].max(0) as usize;
+        let valid = if d + 1 == used_dpus {
+            let pad = chunk * used_dpus - len;
+            count.saturating_sub(if threshold < 0 { pad } else { 0 })
+        } else {
+            count
+        };
+        out.extend_from_slice(&raw[base + 1..base + 1 + valid.min(chunk)]);
+    }
+}
+
+/// Merges per-DPU privatised histograms into `out` (resized to `bins`),
+/// removing the counts contributed by the zero padding of the final chunk
+/// and by idle DPUs beyond the data — the single merge implementation shared
+/// by [`UpmemBackend::histogram`] and the session's resident-tensor fetch.
+pub fn merge_histogram_partials_into(
+    partials: &[i32],
+    bins: usize,
+    len: usize,
+    chunk: usize,
+    dpus: usize,
+    out: &mut Vec<i32>,
+) {
+    out.clear();
+    out.resize(bins, 0);
+    for (i, v) in partials.iter().enumerate() {
+        out[i % bins] += v;
+    }
+    let chunk = chunk.max(1);
+    // Remove the counts contributed by zero padding of the final chunk.
+    let padded = chunk * len.div_ceil(chunk) - len;
+    out[0] -= padded as i32;
+    // Idle DPUs (beyond the data) hold all-zero chunks: subtract those too.
+    let idle = dpus - len.div_ceil(chunk);
+    out[0] -= (idle * chunk) as i32;
+}
+
+/// Folds the per-DPU reduction partials of the used DPUs in DPU order — the
+/// single fold implementation shared by [`UpmemBackend::reduce`] and the
+/// session's resident-tensor fetch.
+pub fn fold_reduce_partials(op: BinOp, partials: &[i32], used_dpus: usize) -> i32 {
+    partials
+        .iter()
+        .take(used_dpus)
+        .fold(op.identity(), |acc, &v| op.apply(acc, v))
+}
+
 /// Shape key of one UPMEM op: two ops with the same key use identical
 /// device-buffer geometry on a fixed grid, so their buffers can be shared.
 /// Value parameters that do not affect buffer shapes (element-wise operator,
@@ -228,6 +292,36 @@ impl UpmemBackend {
     /// Number of cached execution contexts (distinct op shapes seen).
     pub fn cached_contexts(&self) -> usize {
         self.contexts.len()
+    }
+
+    /// The underlying simulated machine (read-only).
+    pub fn system(&self) -> &UpmemSystem {
+        &self.system
+    }
+
+    /// Mutable access to the underlying simulated machine.
+    ///
+    /// This is the advanced surface the `cinm-core` session compiler drives:
+    /// it manages *tensor-keyed* device buffers and multi-op command streams
+    /// directly on the system, while this backend's own eager methods keep
+    /// using their shape-keyed contexts. Statistics accumulate on the shared
+    /// system either way.
+    pub fn system_mut(&mut self) -> &mut UpmemSystem {
+        &mut self.system
+    }
+
+    /// The code-generation options of this backend.
+    pub fn options(&self) -> &UpmemRunOptions {
+        &self.options
+    }
+
+    /// Builds the [`KernelSpec`] this backend would launch for a kernel kind
+    /// on the given buffers — tasklets, WRAM tiling, locality optimisation
+    /// and instruction overhead all follow the backend options, exactly as
+    /// the eager methods configure their own launches. Public so the session
+    /// compiler emits bit-identical launches for its tensor-keyed buffers.
+    pub fn kernel_spec(&self, kind: DpuKernelKind, inputs: Vec<u32>, output: u32) -> KernelSpec {
+        self.spec(kind, inputs, output)
     }
 
     /// Runs a recorded command stream on the backend's system, returning the
@@ -421,10 +515,7 @@ impl UpmemBackend {
         let mut out = self.sync(&mut stream);
         let partials = out.swap_remove(g).into_gathered().expect("gather output");
         let used_dpus = a.len().div_ceil(chunk);
-        partials
-            .into_iter()
-            .take(used_dpus)
-            .fold(op.identity(), |acc, v| op.apply(acc, v))
+        fold_reduce_partials(op, &partials, used_dpus)
     }
 
     /// Histogram: per-DPU privatised histograms merged on the host.
@@ -455,16 +546,8 @@ impl UpmemBackend {
         });
         let mut out = self.sync(&mut stream);
         let partials = out.swap_remove(g).into_gathered().expect("gather output");
-        let mut merged = vec![0i32; bins];
-        for (i, v) in partials.iter().enumerate() {
-            merged[i % bins] += v;
-        }
-        // Remove the counts contributed by zero padding of the final chunk.
-        let padded = chunk * a.len().div_ceil(chunk) - a.len();
-        merged[0] -= padded as i32;
-        // Idle DPUs (beyond the data) hold all-zero chunks: subtract those too.
-        let idle = dpus - a.len().div_ceil(chunk);
-        merged[0] -= (idle * chunk) as i32;
+        let mut merged = Vec::new();
+        merge_histogram_partials_into(&partials, bins, a.len(), chunk, dpus, &mut merged);
         merged
     }
 
@@ -496,21 +579,7 @@ impl UpmemBackend {
         let mut out = self.sync(&mut stream);
         let raw = out.swap_remove(g).into_gathered().expect("gather output");
         let mut out = Vec::new();
-        let used_dpus = a.len().div_ceil(chunk);
-        for d in 0..used_dpus {
-            let base = d * (chunk + 1);
-            let count = raw[base].max(0) as usize;
-            // Padding zeros never pass a non-negative threshold check; for
-            // negative thresholds drop the trailing pad selections of the
-            // last chunk.
-            let valid = if d + 1 == used_dpus {
-                let pad = chunk * used_dpus - a.len();
-                count.saturating_sub(if threshold < 0 { pad } else { 0 })
-            } else {
-                count
-            };
-            out.extend_from_slice(&raw[base + 1..base + 1 + valid.min(chunk)]);
-        }
+        decode_select_into(&raw, chunk, a.len(), threshold, &mut out);
         out
     }
 
@@ -982,6 +1051,11 @@ impl CimBackend {
     /// Number of cached tile plans (distinct stationary shapes seen).
     pub fn cached_tile_plans(&self) -> usize {
         self.tile_plans.len()
+    }
+
+    /// The crossbar configuration driving this backend.
+    pub fn crossbar_config(&self) -> &CrossbarConfig {
+        self.xbar.config()
     }
 
     /// Charges the host issue overhead of `count` device commands, one

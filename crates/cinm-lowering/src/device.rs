@@ -1,0 +1,951 @@
+//! The unified `Device` abstraction over heterogeneous CIM/CNM executors.
+//!
+//! The paper's central claim is *one* compilation infrastructure over
+//! heterogeneous compute-in-memory and compute-near-memory targets — yet
+//! until this module the execution side of the reproduction was three
+//! divergent eager surfaces ([`UpmemBackend`], [`CimBackend`] and the host
+//! golden kernels), each re-declaring `gemm`/`gemv`/`elementwise`/… with its
+//! own calling convention. [`Device`] is the single interface the execution
+//! layers (the sharded backend, the `cinm-core` session) program against:
+//!
+//! * **capabilities** — [`Device::caps`] reports the device kind, whether
+//!   intermediates can stay device-resident, and [`Device::supports_op`]
+//!   answers the Table 1 support question per `cinm` op;
+//! * **cost hookup** — [`Device::estimate_shard_seconds`] exposes the
+//!   device's own first-order cost model (the same models the `cinm-core`
+//!   shard planner registers), so planners can be built *from* a device set
+//!   instead of hard-coding model structs;
+//! * **submission** — [`Device::submit`] takes one [`ShardOp`] (an op plus
+//!   the contiguous shard of work assigned to this device) and returns a
+//!   [`DeviceFuture`] resolving to the shard result and the simulated
+//!   seconds it cost. Empty shards resolve immediately without touching the
+//!   device.
+//!
+//! The three implementations wrap the existing executors: [`UpmemDevice`]
+//! (CNM grid), [`CimDevice`] (memristive crossbar, MVM-only) and
+//! [`HostDevice`] (golden kernels under a [`CpuModel`] roofline). The
+//! per-backend eager methods remain public as the equivalence oracle, but
+//! [`crate::ShardedBackend`] now drives all three executors exclusively
+//! through this trait, and `cinm_core::session::Session` builds its shard
+//! planner from [`Device::cost`].
+//!
+//! # Cost-model calibration
+//!
+//! [`CnmCostModel`] is **calibrated against the simulator**: for matmul-like
+//! ops it builds the exact [`KernelSpec`] the UPMEM backend would launch for
+//! the shard (locality-optimised `cinm-opt` configuration, the same WRAM
+//! tile derivation) and asks [`upmem_sim::kernel_launch_cost`] for the
+//! slowest-DPU kernel time — including the per-transfer DMA setup cost that
+//! the previous closed form ignored and that dominates at one row per DPU.
+//! The transfer terms (rank-parallel bulk transfers, the shard-size
+//! independent broadcast of the stationary operand) are unchanged.
+
+use cpu_sim::kernels;
+use cpu_sim::model::{CpuModel, OpCounts};
+use memristor_sim::CrossbarConfig;
+use upmem_sim::{kernel_launch_cost, BinOp, DpuKernelKind, KernelSpec, UpmemConfig};
+
+use cinm_dialects::cinm;
+
+use crate::backend::{CimBackend, UpmemBackend};
+use crate::sharded::{ShardDevice, ShardError};
+use crate::tiling::wram_tile_elems;
+
+// ---------------------------------------------------------------------------
+// Shard shapes (moved here from cinm-core so devices can estimate costs
+// without a dependency cycle; cinm_core::shard re-exports this type).
+// ---------------------------------------------------------------------------
+
+/// Shape of one shardable operation, as planners and the per-device cost
+/// models see it. The sharded dimension is `work`; each work unit consumes
+/// `inner` elements of the sharded operand and produces `out` result
+/// elements:
+///
+/// * GEMM `C[m×n] = A[m×k]·B[k×n]` sharded by rows: `work = m`,
+///   `inner = k`, `out = n` (so the stationary operand has `inner × out`
+///   elements — its broadcast/programming cost is shard-size independent);
+/// * GEMV: `work = rows`, `inner = cols`, `out = 1`;
+/// * element-wise / reduce / histogram: `work = len`, `inner = out = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardShape {
+    /// Work units of the sharded dimension.
+    pub work: usize,
+    /// Elements of the sharded operand consumed per work unit.
+    pub inner: usize,
+    /// Result elements produced per work unit.
+    pub out: usize,
+}
+
+impl ShardShape {
+    /// Shape of a row-sharded matmul-like op (`gemv` has `n = 1`).
+    pub fn matmul(rows: usize, k: usize, n: usize) -> Self {
+        ShardShape {
+            work: rows,
+            inner: k,
+            out: n,
+        }
+    }
+
+    /// Shape of an element-sharded streaming op.
+    pub fn streaming(len: usize) -> Self {
+        ShardShape {
+            work: len,
+            inner: 1,
+            out: 1,
+        }
+    }
+
+    /// The same op at a different shard size.
+    pub fn with_work(mut self, work: usize) -> Self {
+        self.work = work;
+        self
+    }
+
+    /// Elements of the sharded operand (`work × inner`) — what the legacy
+    /// scalar cost interface estimates over.
+    pub fn sharded_elements(&self) -> i64 {
+        (self.work as i64).saturating_mul(self.inner as i64)
+    }
+
+    /// Scalar multiply-accumulate / element operations of the shard.
+    pub fn scalar_ops(&self) -> f64 {
+        self.work as f64 * self.inner as f64 * self.out as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Op classification shared by the default models
+// ---------------------------------------------------------------------------
+
+/// The shardable op subset the default models understand.
+fn op_kind(op: &str) -> Option<OpKind> {
+    if op == cinm::GEMM {
+        Some(OpKind::Gemm)
+    } else if op == cinm::GEMV {
+        Some(OpKind::Gemv)
+    } else if op == cinm::REDUCE {
+        Some(OpKind::Reduce)
+    } else if op == cinm::HISTOGRAM {
+        Some(OpKind::Histogram)
+    } else if cinm::ELEMENTWISE_ARITH.contains(&op) || cinm::ELEMENTWISE_LOGIC.contains(&op) {
+        Some(OpKind::Elementwise)
+    } else {
+        None
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Gemm,
+    Gemv,
+    Elementwise,
+    Reduce,
+    Histogram,
+}
+
+impl OpKind {
+    fn matmul_like(self) -> bool {
+        matches!(self, OpKind::Gemm | OpKind::Gemv)
+    }
+}
+
+/// Whether the crossbar backend can execute the op — the single source of
+/// truth for the "MVM-only" restriction used by the planner, the experiment
+/// harness and `bench-sim` (the `ShardedBackend` methods enforce the same
+/// fact at execution time).
+pub fn cim_supports(op: &str) -> bool {
+    op_kind(op).is_some_and(OpKind::matmul_like)
+}
+
+/// The `cinm` dialect name of an element-wise [`BinOp`] (used to name
+/// session/sharded element-wise ops towards the planner and the capability
+/// query).
+pub fn elementwise_op_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "cinm.add",
+        BinOp::Sub => "cinm.sub",
+        BinOp::Mul => "cinm.mul",
+        BinOp::Div => "cinm.div",
+        BinOp::Max => "cinm.max",
+        BinOp::Min => "cinm.min",
+        BinOp::And => "cinm.and",
+        BinOp::Or => "cinm.or",
+        BinOp::Xor => "cinm.xor",
+    }
+}
+
+/// Reconstructs a plausible [`ShardShape`] from the legacy scalar
+/// `(op, elements)` interface: a square-ish operand for matmul-like ops
+/// (so single-target ranking sees the real O(n³)/O(n²) work, not one MAC
+/// per element), a flat stream otherwise. Shared by every default model's
+/// scalar estimate.
+fn scalar_shape(kind: OpKind, elements: i64) -> ShardShape {
+    let n = elements.max(0) as usize;
+    if kind.matmul_like() {
+        let side = (n.max(1) as f64).sqrt().ceil() as usize;
+        ShardShape::matmul(side, side, if kind == OpKind::Gemm { side } else { 1 })
+    } else {
+        ShardShape::streaming(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-device cost models (the "cost hookup" of the Device trait)
+// ---------------------------------------------------------------------------
+
+/// A device-level cost estimate, independent of the `cinm-core` planner
+/// machinery. `cinm_core::target::CostModel` is implemented for each of the
+/// concrete models below by thin delegation, and planners can be built from
+/// a device set via [`Device::cost`].
+pub trait DeviceCost: Send {
+    /// The device the estimate describes.
+    fn device(&self) -> ShardDevice;
+
+    /// Estimated execution seconds of a whole op with the given operand
+    /// element count, or `None` if the device cannot execute it.
+    fn estimate_seconds(&self, op_name: &str, elements: i64) -> Option<f64>;
+
+    /// Estimated execution seconds of a *shard* of an op, or `None` if the
+    /// device cannot execute it. Planners sample this at several shard sizes
+    /// to separate fixed per-dispatch overheads from marginal per-unit cost.
+    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64>;
+}
+
+/// First-order cost model of the UPMEM grid, mirroring the simulator's cost
+/// structure: bulk transfers of the sharded operand are rank-parallel, the
+/// stationary matmul operand is **broadcast** (replicated through one rank's
+/// channel per rank-sized image — shard-size independent, and the dominant
+/// fixed cost for wide GEMMs). The kernel term of matmul-like ops is
+/// **calibrated against the simulator** (see the
+/// [module documentation](self)): the model builds the [`KernelSpec`] the
+/// backend would launch and asks [`upmem_sim::kernel_launch_cost`], so DMA
+/// setup inefficiency at low rows/DPU is priced in instead of ignored.
+#[derive(Debug)]
+pub struct CnmCostModel {
+    config: UpmemConfig,
+}
+
+impl CnmCostModel {
+    /// Creates the model from a machine configuration.
+    pub fn new(config: UpmemConfig) -> Self {
+        CnmCostModel { config }
+    }
+
+    fn shard_estimate(&self, kind: OpKind, shape: &ShardShape) -> f64 {
+        let cfg = &self.config;
+        let i = &cfg.instr;
+        let dpus = (cfg.ranks * cfg.dpus_per_rank).max(1);
+        let rank_bw = cfg.host_bandwidth_per_rank_bytes_per_s * cfg.ranks.max(1) as f64;
+        let work = shape.work as f64;
+        let kernel = if kind.matmul_like() {
+            // Calibrated path: the exact per-DPU kernel the backend launches
+            // under the `cinm-opt` configuration (WRAM-blocked, the same
+            // tile derivation as `UpmemBackend::spec`), priced by the
+            // simulator's own launch cost model. The slowest DPU owns
+            // `ceil(work / dpus)` rows; buffer ids are placeholders (the
+            // cost is independent of them).
+            let rows_per_dpu = shape.work.div_ceil(dpus).max(1);
+            let dpu_kind = if kind == OpKind::Gemm {
+                DpuKernelKind::Gemm {
+                    m: rows_per_dpu,
+                    k: shape.inner,
+                    n: shape.out,
+                }
+            } else {
+                DpuKernelKind::Gemv {
+                    rows: rows_per_dpu,
+                    cols: shape.inner,
+                }
+            };
+            let wram = wram_tile_elems(cfg.wram_bytes, cfg.tasklets, 4);
+            let spec = KernelSpec::new(dpu_kind, vec![0, 0], 1)
+                .with_tasklets(cfg.tasklets)
+                .with_wram_tile(wram)
+                .with_locality_optimization();
+            kernel_launch_cost(cfg, &spec, cfg.tasklets, 1).seconds
+        } else {
+            // Streaming ops: the first-order closed form (one load-op-store
+            // stream per element on the slowest DPU).
+            let units_per_dpu = (work / dpus as f64).ceil().max(1.0);
+            let cycles_per_unit = 3.0 * i.wram_access + i.alu + 0.5 * i.branch;
+            units_per_dpu * cycles_per_unit / cfg.dpu_freq_hz
+        };
+        // Transfers: the sharded operand in, the result out (rank-parallel),
+        // plus the broadcast of the stationary operand for matmul-like ops.
+        // Reductions and histograms gather only small per-DPU partials, not
+        // a result per work unit.
+        let sharded_bytes = work * shape.inner as f64 * 4.0;
+        let result_bytes = match kind {
+            OpKind::Reduce | OpKind::Histogram => dpus as f64 * 4.0,
+            OpKind::Gemm | OpKind::Gemv => work * shape.out as f64 * 4.0,
+            // Element-wise ops read two operands and write one result.
+            OpKind::Elementwise => work * shape.out as f64 * 4.0 + sharded_bytes,
+        };
+        let mut transfer =
+            (sharded_bytes + result_bytes) / rank_bw + 2.0 * cfg.host_transfer_latency_s;
+        if kind.matmul_like() {
+            let stationary_bytes = (shape.inner * shape.out) as f64 * 4.0;
+            transfer += stationary_bytes * cfg.dpus_per_rank as f64
+                / cfg.host_bandwidth_per_rank_bytes_per_s
+                + cfg.host_transfer_latency_s;
+        }
+        kernel + transfer
+    }
+}
+
+impl DeviceCost for CnmCostModel {
+    fn device(&self) -> ShardDevice {
+        ShardDevice::Cnm
+    }
+
+    fn estimate_seconds(&self, op_name: &str, elements: i64) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        Some(self.shard_estimate(kind, &scalar_shape(kind, elements)))
+    }
+
+    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        Some(self.shard_estimate(kind, shape))
+    }
+}
+
+/// First-order cost model of the crossbar, mirroring the backend's command
+/// structure under `cim-opt`: the stationary operand is tiled into
+/// `⌈inner/tile_rows⌉ × ⌈out/tile_cols⌉` crossbar tiles, each programmed
+/// once (shard-size independent — the fixed cost), then every work unit
+/// issues one MVM per tile with `num_tiles` tiles computing in parallel.
+/// Only matmul-like ops are supported — everything else returns `None` (the
+/// backend models analog MVM only), which is exactly how a whole device
+/// drops out of a plan.
+#[derive(Debug)]
+pub struct CimCostModel {
+    config: CrossbarConfig,
+}
+
+impl CimCostModel {
+    /// Creates the model from a crossbar configuration.
+    pub fn new(config: CrossbarConfig) -> Self {
+        CimCostModel { config }
+    }
+}
+
+impl DeviceCost for CimCostModel {
+    fn device(&self) -> ShardDevice {
+        ShardDevice::Cim
+    }
+
+    fn estimate_seconds(&self, op_name: &str, elements: i64) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        self.estimate_shard_seconds(op_name, &scalar_shape(kind, elements))
+    }
+
+    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        if !kind.matmul_like() {
+            return None;
+        }
+        let cfg = &self.config;
+        let tiles = (shape.inner.div_ceil(cfg.tile_rows.max(1))
+            * shape.out.div_ceil(cfg.tile_cols.max(1))) as f64;
+        let programming = tiles * cfg.tile_program_seconds();
+        let groups = (tiles / cfg.num_tiles.max(1) as f64).ceil();
+        let compute = shape.work as f64 * groups * cfg.mvm_seconds();
+        Some(programming + compute)
+    }
+}
+
+/// Host cost model: the roofline of a [`CpuModel`] over the shard's real
+/// operation counts.
+#[derive(Debug)]
+pub struct HostCostModel {
+    model: CpuModel,
+}
+
+impl HostCostModel {
+    /// Creates the model from a CPU configuration.
+    pub fn new(model: CpuModel) -> Self {
+        HostCostModel { model }
+    }
+}
+
+impl DeviceCost for HostCostModel {
+    fn device(&self) -> ShardDevice {
+        ShardDevice::Host
+    }
+
+    fn estimate_seconds(&self, op_name: &str, elements: i64) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        self.estimate_shard_seconds(op_name, &scalar_shape(kind, elements))
+    }
+
+    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        let counts = match kind {
+            OpKind::Gemm => OpCounts::gemm(shape.work, shape.inner, shape.out),
+            OpKind::Gemv => OpCounts::gemv(shape.work, shape.inner),
+            OpKind::Elementwise => OpCounts::elementwise(shape.work),
+            OpKind::Reduce => OpCounts::reduce(shape.work),
+            OpKind::Histogram => OpCounts::histogram(shape.work, 256),
+        };
+        Some(self.model.execution_seconds(&counts))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Device trait
+// ---------------------------------------------------------------------------
+
+/// Static capabilities of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceCaps {
+    /// The device kind (its slot in the fixed `[cnm, cim, host]` order).
+    pub device: ShardDevice,
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Whether intermediates can stay device-resident between submitted ops
+    /// (the session keeps tensors in DPU MRAM on such devices instead of
+    /// gathering and re-scattering between every op).
+    pub resident_intermediates: bool,
+}
+
+/// One operation shard bound to concrete operand slices: the unit of work a
+/// [`Device`] executes. The slices are the *shard's* view (e.g. the
+/// contiguous row range of `A` assigned to this device), produced by the
+/// sharded backend or a session from a [`crate::ShardSplit`].
+#[derive(Debug, Clone, Copy)]
+pub enum ShardOp<'a> {
+    /// `C[m×n] = A[m×k] × B[k×n]` over the shard's `m` rows.
+    Gemm {
+        /// Row block of the sharded operand.
+        a: &'a [i32],
+        /// The stationary operand (replicated to every device).
+        b: &'a [i32],
+        /// Rows of the shard.
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Columns.
+        n: usize,
+    },
+    /// `y[rows] = A[rows×cols] × x[cols]` over the shard's rows.
+    Gemv {
+        /// Row block of the sharded matrix.
+        a: &'a [i32],
+        /// The full input vector.
+        x: &'a [i32],
+        /// Rows of the shard.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Element-wise binary op over the shard's element range.
+    Elementwise {
+        /// The operator.
+        op: BinOp,
+        /// Left operand range.
+        a: &'a [i32],
+        /// Right operand range.
+        b: &'a [i32],
+    },
+    /// Reduction over the shard's element range (the device returns its
+    /// partial as a one-element result; shard order folding is the
+    /// caller's job).
+    Reduce {
+        /// The reduction operator.
+        op: BinOp,
+        /// Element range.
+        a: &'a [i32],
+    },
+    /// Histogram over the shard's element range (per-device partial
+    /// histograms; per-bin summation is the caller's job).
+    Histogram {
+        /// Element range.
+        a: &'a [i32],
+        /// Number of bins.
+        bins: usize,
+        /// Upper bound (exclusive) of the input values.
+        max_value: i32,
+    },
+}
+
+impl ShardOp<'_> {
+    /// The `cinm` dialect name of the op (what planners and
+    /// [`Device::supports_op`] reason about).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            ShardOp::Gemm { .. } => cinm::GEMM,
+            ShardOp::Gemv { .. } => cinm::GEMV,
+            ShardOp::Elementwise { op, .. } => elementwise_op_name(*op),
+            ShardOp::Reduce { .. } => cinm::REDUCE,
+            ShardOp::Histogram { .. } => cinm::HISTOGRAM,
+        }
+    }
+
+    /// Work units of the shard (rows for matmul-like ops, elements for
+    /// streaming ops).
+    pub fn work(&self) -> usize {
+        match self {
+            ShardOp::Gemm { m, .. } => *m,
+            ShardOp::Gemv { rows, .. } => *rows,
+            ShardOp::Elementwise { a, .. }
+            | ShardOp::Reduce { a, .. }
+            | ShardOp::Histogram { a, .. } => a.len(),
+        }
+    }
+
+    /// The shard's [`ShardShape`].
+    pub fn shape(&self) -> ShardShape {
+        match self {
+            ShardOp::Gemm { m, k, n, .. } => ShardShape::matmul(*m, *k, *n),
+            ShardOp::Gemv { rows, cols, .. } => ShardShape::matmul(*rows, *cols, 1),
+            ShardOp::Elementwise { a, .. }
+            | ShardOp::Reduce { a, .. }
+            | ShardOp::Histogram { a, .. } => ShardShape::streaming(a.len()),
+        }
+    }
+}
+
+/// The completion handle of one submitted shard.
+///
+/// The simulators execute synchronously, so the future is resolved by the
+/// time `submit` returns; the submission/completion split is kept in the API
+/// so an asynchronous device (or a remote one) can defer without changing
+/// callers — and so the sharded layers can move the *whole* submit call onto
+/// a worker-pool task and overlap devices.
+#[derive(Debug, Default)]
+pub struct DeviceFuture {
+    result: Vec<i32>,
+    sim_seconds: f64,
+}
+
+impl DeviceFuture {
+    /// An immediately-resolved future (empty shards).
+    pub fn ready(result: Vec<i32>, sim_seconds: f64) -> Self {
+        DeviceFuture {
+            result,
+            sim_seconds,
+        }
+    }
+
+    /// Waits for completion, returning the shard result and the simulated
+    /// seconds the device spent on it.
+    pub fn wait(self) -> (Vec<i32>, f64) {
+        (self.result, self.sim_seconds)
+    }
+
+    /// The simulated seconds without consuming the result.
+    pub fn sim_seconds(&self) -> f64 {
+        self.sim_seconds
+    }
+}
+
+/// A heterogeneous execution device: capability reporting, a cost hookup and
+/// a single submission entry point (see the [module documentation](self)).
+pub trait Device: Send {
+    /// Static capabilities.
+    fn caps(&self) -> DeviceCaps;
+
+    /// Whether the device can execute shards of the named `cinm` op.
+    fn supports_op(&self, op_name: &str) -> bool;
+
+    /// An owned snapshot of the device's cost model (the "cost hookup"):
+    /// planners register this to size shards for the device.
+    fn cost(&self) -> Box<dyn DeviceCost>;
+
+    /// Estimated seconds of one shard on this device (`None` when the op is
+    /// unsupported). Default: asks [`Device::cost`]; implementations keep a
+    /// model instance to avoid the per-call box.
+    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        self.cost().estimate_shard_seconds(op_name, shape)
+    }
+
+    /// Executes one shard. Empty shards (`plan.work() == 0`) resolve to an
+    /// empty result at zero cost without touching the device; unsupported
+    /// ops return [`ShardError::Unsupported`].
+    fn submit(&mut self, plan: &ShardOp<'_>) -> Result<DeviceFuture, ShardError>;
+
+    /// Total simulated seconds accumulated by this device so far.
+    fn sim_seconds(&self) -> f64;
+
+    /// Resets the accumulated statistics.
+    fn reset_stats(&mut self);
+}
+
+fn unsupported(device: ShardDevice, plan: &ShardOp<'_>) -> ShardError {
+    ShardError::Unsupported {
+        device,
+        op: plan.op_name(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UPMEM device
+// ---------------------------------------------------------------------------
+
+/// The UPMEM compute-near-memory grid behind the [`Device`] interface.
+#[derive(Debug)]
+pub struct UpmemDevice {
+    backend: UpmemBackend,
+    cost: CnmCostModel,
+}
+
+impl UpmemDevice {
+    /// Wraps an UPMEM backend.
+    pub fn new(backend: UpmemBackend) -> Self {
+        let cost = CnmCostModel::new(backend.system().config().clone());
+        UpmemDevice { backend, cost }
+    }
+
+    /// The wrapped eager backend (the equivalence oracle; also the surface
+    /// the session's resident-tensor compiler drives).
+    pub fn backend(&self) -> &UpmemBackend {
+        &self.backend
+    }
+
+    /// Mutable access to the wrapped backend.
+    pub fn backend_mut(&mut self) -> &mut UpmemBackend {
+        &mut self.backend
+    }
+}
+
+impl Device for UpmemDevice {
+    fn caps(&self) -> DeviceCaps {
+        DeviceCaps {
+            device: ShardDevice::Cnm,
+            name: "upmem",
+            resident_intermediates: true,
+        }
+    }
+
+    fn supports_op(&self, op_name: &str) -> bool {
+        // Everything the shardable subset names, per the Table 1 matrix.
+        op_kind(op_name).is_some()
+    }
+
+    fn cost(&self) -> Box<dyn DeviceCost> {
+        Box::new(CnmCostModel::new(self.backend.system().config().clone()))
+    }
+
+    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        self.cost.estimate_shard_seconds(op_name, shape)
+    }
+
+    fn submit(&mut self, plan: &ShardOp<'_>) -> Result<DeviceFuture, ShardError> {
+        if plan.work() == 0 {
+            return Ok(DeviceFuture::default());
+        }
+        let before = self.backend.stats().total_seconds();
+        let result = match *plan {
+            ShardOp::Gemm { a, b, m, k, n } => self.backend.gemm(a, b, m, k, n),
+            ShardOp::Gemv { a, x, rows, cols } => self.backend.gemv(a, x, rows, cols),
+            ShardOp::Elementwise { op, a, b } => self.backend.elementwise(op, a, b),
+            ShardOp::Reduce { op, a } => vec![self.backend.reduce(op, a)],
+            ShardOp::Histogram { a, bins, max_value } => self.backend.histogram(a, bins, max_value),
+        };
+        let sim_seconds = self.backend.stats().total_seconds() - before;
+        Ok(DeviceFuture::ready(result, sim_seconds))
+    }
+
+    fn sim_seconds(&self) -> f64 {
+        self.backend.stats().total_seconds()
+    }
+
+    fn reset_stats(&mut self) {
+        self.backend.reset_stats();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CIM device
+// ---------------------------------------------------------------------------
+
+/// The memristive crossbar accelerator behind the [`Device`] interface
+/// (analog MVM only).
+#[derive(Debug)]
+pub struct CimDevice {
+    backend: CimBackend,
+    cost: CimCostModel,
+}
+
+impl CimDevice {
+    /// Wraps a crossbar backend.
+    pub fn new(backend: CimBackend) -> Self {
+        let cost = CimCostModel::new(backend.crossbar_config().clone());
+        CimDevice { backend, cost }
+    }
+
+    /// The wrapped eager backend.
+    pub fn backend(&self) -> &CimBackend {
+        &self.backend
+    }
+
+    /// Mutable access to the wrapped backend.
+    pub fn backend_mut(&mut self) -> &mut CimBackend {
+        &mut self.backend
+    }
+}
+
+impl Device for CimDevice {
+    fn caps(&self) -> DeviceCaps {
+        DeviceCaps {
+            device: ShardDevice::Cim,
+            name: "crossbar",
+            resident_intermediates: false,
+        }
+    }
+
+    fn supports_op(&self, op_name: &str) -> bool {
+        cim_supports(op_name)
+    }
+
+    fn cost(&self) -> Box<dyn DeviceCost> {
+        Box::new(CimCostModel::new(self.backend.crossbar_config().clone()))
+    }
+
+    fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        self.cost.estimate_shard_seconds(op_name, shape)
+    }
+
+    fn submit(&mut self, plan: &ShardOp<'_>) -> Result<DeviceFuture, ShardError> {
+        if plan.work() == 0 {
+            return Ok(DeviceFuture::default());
+        }
+        let before = self.backend.stats().total_seconds();
+        let result = match *plan {
+            ShardOp::Gemm { a, b, m, k, n } => self.backend.gemm(a, b, m, k, n),
+            ShardOp::Gemv { a, x, rows, cols } => self.backend.gemv(a, x, rows, cols),
+            _ => return Err(unsupported(ShardDevice::Cim, plan)),
+        };
+        let sim_seconds = self.backend.stats().total_seconds() - before;
+        Ok(DeviceFuture::ready(result, sim_seconds))
+    }
+
+    fn sim_seconds(&self) -> f64 {
+        self.backend.stats().total_seconds()
+    }
+
+    fn reset_stats(&mut self) {
+        self.backend.reset_stats();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Host device
+// ---------------------------------------------------------------------------
+
+/// The host CPU behind the [`Device`] interface: golden `cpu_sim` kernels
+/// timed by a [`CpuModel`] roofline.
+#[derive(Debug)]
+pub struct HostDevice {
+    model: CpuModel,
+    sim_seconds: f64,
+}
+
+impl HostDevice {
+    /// Wraps a CPU roofline model.
+    pub fn new(model: CpuModel) -> Self {
+        HostDevice {
+            model,
+            sim_seconds: 0.0,
+        }
+    }
+
+    /// The roofline model timing this device.
+    pub fn model(&self) -> &CpuModel {
+        &self.model
+    }
+}
+
+impl Device for HostDevice {
+    fn caps(&self) -> DeviceCaps {
+        DeviceCaps {
+            device: ShardDevice::Host,
+            name: "host",
+            resident_intermediates: true,
+        }
+    }
+
+    fn supports_op(&self, _op_name: &str) -> bool {
+        // The host executes anything (the paper's catch-all target).
+        true
+    }
+
+    fn cost(&self) -> Box<dyn DeviceCost> {
+        Box::new(HostCostModel::new(self.model.clone()))
+    }
+
+    fn submit(&mut self, plan: &ShardOp<'_>) -> Result<DeviceFuture, ShardError> {
+        if plan.work() == 0 {
+            return Ok(DeviceFuture::default());
+        }
+        let (result, counts) = match *plan {
+            ShardOp::Gemm { a, b, m, k, n } => {
+                (kernels::matmul(a, b, m, k, n), OpCounts::gemm(m, k, n))
+            }
+            ShardOp::Gemv { a, x, rows, cols } => (
+                kernels::matvec(a, x, rows, cols),
+                OpCounts::gemv(rows, cols),
+            ),
+            ShardOp::Elementwise { op, a, b } => (
+                kernels::elementwise(a, b, |x, y| op.apply(x, y)),
+                OpCounts::elementwise(a.len()),
+            ),
+            ShardOp::Reduce { op, a } => (
+                vec![a.iter().fold(op.identity(), |acc, &v| op.apply(acc, v))],
+                OpCounts::reduce(a.len()),
+            ),
+            ShardOp::Histogram { a, bins, max_value } => (
+                kernels::histogram(a, bins, max_value),
+                OpCounts::histogram(a.len(), bins),
+            ),
+        };
+        let seconds = self.model.execution_seconds(&counts);
+        self.sim_seconds += seconds;
+        Ok(DeviceFuture::ready(result, seconds))
+    }
+
+    fn sim_seconds(&self) -> f64 {
+        self.sim_seconds
+    }
+
+    fn reset_stats(&mut self) {
+        self.sim_seconds = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{CimRunOptions, UpmemRunOptions};
+
+    fn small_upmem_device() -> UpmemDevice {
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = 8;
+        UpmemDevice::new(UpmemBackend::with_config(cfg, UpmemRunOptions::optimized()))
+    }
+
+    #[test]
+    fn shard_op_metadata_is_consistent() {
+        let a = vec![1i32; 12];
+        let b = vec![1i32; 12];
+        let op = ShardOp::Gemm {
+            a: &a,
+            b: &b,
+            m: 3,
+            k: 4,
+            n: 3,
+        };
+        assert_eq!(op.op_name(), cinm::GEMM);
+        assert_eq!(op.work(), 3);
+        assert_eq!(op.shape(), ShardShape::matmul(3, 4, 3));
+        let e = ShardOp::Elementwise {
+            op: BinOp::Max,
+            a: &a,
+            b: &b,
+        };
+        assert_eq!(e.op_name(), "cinm.max");
+        assert_eq!(e.work(), 12);
+    }
+
+    #[test]
+    fn devices_report_their_capabilities() {
+        let up = small_upmem_device();
+        let cim = CimDevice::new(CimBackend::new(CimRunOptions::optimized()));
+        let host = HostDevice::new(CpuModel::arm_host());
+        assert_eq!(up.caps().device, ShardDevice::Cnm);
+        assert!(up.caps().resident_intermediates);
+        assert_eq!(cim.caps().device, ShardDevice::Cim);
+        assert!(!cim.caps().resident_intermediates);
+        assert_eq!(host.caps().device, ShardDevice::Host);
+        assert!(up.supports_op(cinm::REDUCE));
+        assert!(!cim.supports_op(cinm::REDUCE));
+        assert!(cim.supports_op(cinm::GEMV));
+        assert!(host.supports_op("cinm.simSearch"));
+        // The cost hookup mirrors the support matrix.
+        let shape = ShardShape::streaming(1024);
+        assert!(up
+            .cost()
+            .estimate_shard_seconds("cinm.add", &shape)
+            .is_some());
+        assert!(cim
+            .cost()
+            .estimate_shard_seconds("cinm.add", &shape)
+            .is_none());
+    }
+
+    #[test]
+    fn unsupported_submissions_error_and_empty_shards_are_free() {
+        let mut cim = CimDevice::new(CimBackend::new(CimRunOptions::optimized()));
+        let v = vec![1i32; 8];
+        let err = cim
+            .submit(&ShardOp::Elementwise {
+                op: BinOp::Add,
+                a: &v,
+                b: &v,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ShardError::Unsupported { .. }));
+        // Empty shards resolve without touching the device.
+        let before = cim.sim_seconds();
+        let fut = cim
+            .submit(&ShardOp::Gemv {
+                a: &[],
+                x: &v,
+                rows: 0,
+                cols: 8,
+            })
+            .unwrap();
+        let (result, secs) = fut.wait();
+        assert!(result.is_empty());
+        assert_eq!(secs, 0.0);
+        assert_eq!(cim.sim_seconds(), before);
+    }
+
+    #[test]
+    fn cnm_calibration_matches_the_simulated_kernel_time() {
+        // The calibrated model must price the kernel term of a gemv shard
+        // exactly like the simulator's launch cost (that is the whole point
+        // of calibrating): compare against a real backend run.
+        let (rows, cols) = (4096usize, 1024usize);
+        let cfg = UpmemConfig::with_ranks(16);
+        let model = CnmCostModel::new(cfg.clone());
+        let est = model
+            .estimate_shard_seconds(cinm::GEMV, &ShardShape::matmul(rows, cols, 1))
+            .unwrap();
+        let mut backend =
+            UpmemBackend::with_config(cfg, UpmemRunOptions::optimized().with_host_threads(1));
+        let a = vec![1i32; rows * cols];
+        let x = vec![1i32; cols];
+        backend.gemv(&a, &x, rows, cols);
+        let sim = backend.stats().total_seconds();
+        let ratio = est / sim;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "estimate {est} vs simulated {sim} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn cnm_estimate_does_not_underestimate_at_one_row_per_dpu() {
+        // ROADMAP item: the old closed form ignored per-transfer DMA setup,
+        // underestimating matmul-like kernels at 1 row/DPU. The calibrated
+        // model prices the same kernel the simulator charges.
+        let cfg = UpmemConfig::with_ranks(16);
+        let dpus = cfg.num_dpus();
+        let cols = 1024usize;
+        let model = CnmCostModel::new(cfg.clone());
+        let est = model
+            .estimate_shard_seconds(cinm::GEMV, &ShardShape::matmul(dpus, cols, 1))
+            .unwrap();
+        let mut backend =
+            UpmemBackend::with_config(cfg, UpmemRunOptions::optimized().with_host_threads(1));
+        let a = vec![1i32; dpus * cols];
+        let x = vec![1i32; cols];
+        backend.gemv(&a, &x, dpus, cols);
+        let sim = backend.stats().total_seconds();
+        assert!(
+            est >= 0.5 * sim,
+            "calibrated estimate {est} still underestimates simulated {sim}"
+        );
+    }
+}

@@ -13,17 +13,22 @@
 //!   [`backend::UpmemBackend`] drives the `upmem-sim` DPU-grid simulator and
 //!   [`backend::CimBackend`] drives the `memristor-sim` crossbar simulator
 //!   with an ARM orchestration host, both functionally exact and timed;
+//! * [`device`] — the **unified device abstraction**: the [`device::Device`]
+//!   trait (capability reporting, cost hookup, `submit(plan) → future`)
+//!   implemented by [`device::UpmemDevice`], [`device::CimDevice`] and
+//!   [`device::HostDevice`], plus the per-device first-order cost models
+//!   (the CNM model is calibrated against `upmem_sim::kernel_launch_cost`);
 //! * [`sharded`] — heterogeneous sharded execution:
-//!   [`sharded::ShardedBackend`] co-executes one `cinm` op across the UPMEM
-//!   backend, the crossbar backend and the host concurrently on the shared
-//!   `cinm_runtime` worker pool, merging results bit-identically to the
-//!   golden host kernels.
+//!   [`sharded::ShardedBackend`] co-executes one `cinm` op across all three
+//!   [`device::Device`]s concurrently on the shared `cinm_runtime` worker
+//!   pool, merging results bit-identically to the golden host kernels.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod backend;
 pub mod convert;
+pub mod device;
 pub mod sharded;
 pub mod tiling;
 
@@ -31,6 +36,10 @@ pub use backend::{CimBackend, CimRunOptions, CimRunStats, UpmemBackend, UpmemRun
 pub use convert::{
     CimLoweringOptions, CimToMemristorPass, CinmToCimPass, CinmToCnmPass, CnmLoweringOptions,
     CnmToUpmemPass, LinalgToCinmPass, TosaToLinalgPass, UpmemLoweringOptions,
+};
+pub use device::{
+    cim_supports, elementwise_op_name, CimCostModel, CimDevice, CnmCostModel, Device, DeviceCaps,
+    DeviceCost, DeviceFuture, HostCostModel, HostDevice, ShardOp, ShardShape, UpmemDevice,
 };
 pub use sharded::{
     ShardDevice, ShardError, ShardSplit, ShardStats, ShardedBackend, ShardedRunOptions,

@@ -32,11 +32,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use cinm_runtime::PoolHandle;
-use cpu_sim::kernels;
-use cpu_sim::model::{CpuModel, OpCounts};
+use cpu_sim::model::CpuModel;
 use upmem_sim::{BinOp, UpmemConfig};
 
 use crate::backend::{CimBackend, CimRunOptions, UpmemBackend, UpmemRunOptions};
+use crate::device::{CimDevice, Device, HostDevice, ShardOp, UpmemDevice};
 
 /// The devices a shard can be placed on, in the fixed planning order used by
 /// every `[T; 3]` in this module (`Cnm`, `Cim`, `Host`).
@@ -384,14 +384,21 @@ struct ShardOutcome {
     wall_seconds: f64,
 }
 
-/// The heterogeneous sharded execution backend: owns all three device
-/// back-ends and co-executes one operation across them (see the module
-/// docs for the sharding and merge rules).
+/// The heterogeneous sharded execution backend: owns all three devices
+/// behind the unified [`Device`] trait and co-executes one operation across
+/// them (see the module docs for the sharding and merge rules).
+///
+/// Since the device-API redesign the internals are generic: every shard is a
+/// [`ShardOp`] submitted through [`Device::submit`], and the per-op methods
+/// below are **thin wrappers** that slice the operands, dispatch one submit
+/// per non-empty shard onto the pool, and merge the futures' results. The
+/// wrapped eager back-ends stay reachable ([`ShardedBackend::upmem`],
+/// [`ShardedBackend::cim_backend`]) as the equivalence oracle.
 #[derive(Debug)]
 pub struct ShardedBackend {
-    upmem: UpmemBackend,
-    cim: CimBackend,
-    host_model: CpuModel,
+    cnm: UpmemDevice,
+    cim: CimDevice,
+    host: HostDevice,
     pool: PoolHandle,
     stats: ShardStats,
 }
@@ -402,9 +409,9 @@ impl ShardedBackend {
         let upmem_options = options.upmem.clone().with_pool(options.pool.clone());
         let cim_options = options.cim.clone().with_pool(options.pool.clone());
         ShardedBackend {
-            upmem: UpmemBackend::new(options.ranks, upmem_options),
-            cim: CimBackend::new(cim_options),
-            host_model: options.host_model,
+            cnm: UpmemDevice::new(UpmemBackend::new(options.ranks, upmem_options)),
+            cim: CimDevice::new(CimBackend::new(cim_options)),
+            host: HostDevice::new(options.host_model),
             pool: options.pool,
             stats: ShardStats::default(),
         }
@@ -416,9 +423,9 @@ impl ShardedBackend {
         let upmem_options = options.upmem.clone().with_pool(options.pool.clone());
         let cim_options = options.cim.clone().with_pool(options.pool.clone());
         ShardedBackend {
-            upmem: UpmemBackend::with_config(config, upmem_options),
-            cim: CimBackend::new(cim_options),
-            host_model: options.host_model,
+            cnm: UpmemDevice::new(UpmemBackend::with_config(config, upmem_options)),
+            cim: CimDevice::new(CimBackend::new(cim_options)),
+            host: HostDevice::new(options.host_model),
             pool: options.pool,
             stats: ShardStats::default(),
         }
@@ -429,16 +436,61 @@ impl ShardedBackend {
         &self.stats
     }
 
-    /// Resets all statistics (including the device back-ends').
+    /// Resets all statistics (including the devices').
     pub fn reset_stats(&mut self) {
-        self.upmem.reset_stats();
+        self.cnm.reset_stats();
         self.cim.reset_stats();
+        self.host.reset_stats();
         self.stats = ShardStats::default();
     }
 
     /// Number of DPUs backing the CNM shard.
     pub fn num_dpus(&self) -> usize {
-        self.upmem.num_dpus()
+        self.cnm.backend().num_dpus()
+    }
+
+    /// The device of a shard slot, behind the unified trait.
+    pub fn device(&self, device: ShardDevice) -> &dyn Device {
+        match device {
+            ShardDevice::Cnm => &self.cnm,
+            ShardDevice::Cim => &self.cim,
+            ShardDevice::Host => &self.host,
+        }
+    }
+
+    /// Mutable access to the device of a shard slot.
+    pub fn device_mut(&mut self, device: ShardDevice) -> &mut dyn Device {
+        match device {
+            ShardDevice::Cnm => &mut self.cnm,
+            ShardDevice::Cim => &mut self.cim,
+            ShardDevice::Host => &mut self.host,
+        }
+    }
+
+    /// The wrapped eager UPMEM backend (equivalence oracle; the session's
+    /// resident-tensor compiler drives its system directly).
+    pub fn upmem(&self) -> &UpmemBackend {
+        self.cnm.backend()
+    }
+
+    /// Mutable access to the wrapped UPMEM backend.
+    pub fn upmem_mut(&mut self) -> &mut UpmemBackend {
+        self.cnm.backend_mut()
+    }
+
+    /// The wrapped eager crossbar backend.
+    pub fn cim_backend(&self) -> &CimBackend {
+        self.cim.backend()
+    }
+
+    /// The roofline model timing the host device.
+    pub fn host_model(&self) -> &CpuModel {
+        self.host.model()
+    }
+
+    /// The shared worker pool the device tasks are dispatched onto.
+    pub fn pool(&self) -> &PoolHandle {
+        &self.pool
     }
 
     fn validate(
@@ -463,58 +515,32 @@ impl ShardedBackend {
         Ok(())
     }
 
-    /// Dispatches up to three shard closures concurrently on the shared pool
-    /// and folds their outcomes into the statistics. Each closure returns the
-    /// shard result plus the *simulated* seconds its device spent.
-    fn dispatch<'a>(
-        &mut self,
-        work: &ShardSplit,
-        run_cnm: impl FnOnce(&mut UpmemBackend) -> (Vec<i32>, f64) + Send + 'a,
-        run_cim: impl FnOnce(&mut CimBackend) -> (Vec<i32>, f64) + Send + 'a,
-        run_host: impl FnOnce(&CpuModel) -> (Vec<i32>, f64) + Send + 'a,
-    ) -> [Vec<i32>; 3] {
+    /// Dispatches up to three shard submissions concurrently on the shared
+    /// pool — one [`Device::submit`] task per non-empty shard — and folds the
+    /// resolved [`crate::device::DeviceFuture`]s into the statistics. The
+    /// shards were validated before dispatch, so a submission error here is a
+    /// bug (the support matrix and the validator disagree).
+    fn dispatch(&mut self, work: &ShardSplit, ops: [Option<ShardOp<'_>>; 3]) -> [Vec<i32>; 3] {
         let tracker = ConcurrencyTracker::default();
         let mut outcomes: [ShardOutcome; 3] = Default::default();
         let op_start = Instant::now();
         {
-            let (o_cnm, rest) = outcomes.split_first_mut().unwrap();
-            let (o_cim, rest) = rest.split_first_mut().unwrap();
-            let o_host = &mut rest[0];
-            let upmem = &mut self.upmem;
-            let cim = &mut self.cim;
-            let host_model = &self.host_model;
+            let devices: [&mut dyn Device; 3] = [&mut self.cnm, &mut self.cim, &mut self.host];
             let tracker = &tracker;
             self.pool.get().scope(|s| {
-                if work.cnm > 0 {
+                for ((device, op), outcome) in
+                    devices.into_iter().zip(&ops).zip(outcomes.iter_mut())
+                {
+                    let Some(op) = op else { continue };
+                    if op.work() == 0 {
+                        continue;
+                    }
                     s.spawn(move |_| {
                         let _in_flight = tracker.enter();
                         let start = Instant::now();
-                        let (result, sim_seconds) = run_cnm(upmem);
-                        *o_cnm = ShardOutcome {
-                            result,
-                            sim_seconds,
-                            wall_seconds: start.elapsed().as_secs_f64(),
-                        };
-                    });
-                }
-                if work.cim > 0 {
-                    s.spawn(move |_| {
-                        let _in_flight = tracker.enter();
-                        let start = Instant::now();
-                        let (result, sim_seconds) = run_cim(cim);
-                        *o_cim = ShardOutcome {
-                            result,
-                            sim_seconds,
-                            wall_seconds: start.elapsed().as_secs_f64(),
-                        };
-                    });
-                }
-                if work.host > 0 {
-                    s.spawn(move |_| {
-                        let _in_flight = tracker.enter();
-                        let start = Instant::now();
-                        let (result, sim_seconds) = run_host(host_model);
-                        *o_host = ShardOutcome {
+                        let future = device.submit(op).expect("validated shard submission");
+                        let (result, sim_seconds) = future.wait();
+                        *outcome = ShardOutcome {
                             result,
                             sim_seconds,
                             wall_seconds: start.elapsed().as_secs_f64(),
@@ -560,22 +586,22 @@ impl ShardedBackend {
         let a_cnm = &a[..rows_cnm * k];
         let a_cim = &a[rows_cnm * k..(rows_cnm + rows_cim) * k];
         let a_host = &a[(rows_cnm + rows_cim) * k..];
+        fn shard<'s>(
+            a: &'s [i32],
+            b: &'s [i32],
+            m: usize,
+            k: usize,
+            n: usize,
+        ) -> Option<ShardOp<'s>> {
+            Some(ShardOp::Gemm { a, b, m, k, n })
+        }
         let [c_cnm, c_cim, c_host] = self.dispatch(
             split,
-            move |upmem| {
-                let before = upmem.stats().total_seconds();
-                let c = upmem.gemm(a_cnm, b, rows_cnm, k, n);
-                (c, upmem.stats().total_seconds() - before)
-            },
-            move |cim| {
-                let before = cim.stats().total_seconds();
-                let c = cim.gemm(a_cim, b, rows_cim, k, n);
-                (c, cim.stats().total_seconds() - before)
-            },
-            move |host| {
-                let c = kernels::matmul(a_host, b, rows_host, k, n);
-                (c, host.execution_seconds(&OpCounts::gemm(rows_host, k, n)))
-            },
+            [
+                shard(a_cnm, b, rows_cnm, k, n),
+                shard(a_cim, b, rows_cim, k, n),
+                shard(a_host, b, rows_host, k, n),
+            ],
         );
         let mut c = Vec::with_capacity(m * n);
         c.extend_from_slice(&c_cnm);
@@ -604,22 +630,16 @@ impl ShardedBackend {
         let a_cnm = &a[..r_cnm * cols];
         let a_cim = &a[r_cnm * cols..(r_cnm + r_cim) * cols];
         let a_host = &a[(r_cnm + r_cim) * cols..];
+        fn shard<'s>(a: &'s [i32], x: &'s [i32], rows: usize, cols: usize) -> Option<ShardOp<'s>> {
+            Some(ShardOp::Gemv { a, x, rows, cols })
+        }
         let [y_cnm, y_cim, y_host] = self.dispatch(
             split,
-            move |upmem| {
-                let before = upmem.stats().total_seconds();
-                let y = upmem.gemv(a_cnm, x, r_cnm, cols);
-                (y, upmem.stats().total_seconds() - before)
-            },
-            move |cim| {
-                let before = cim.stats().total_seconds();
-                let y = cim.gemv(a_cim, x, r_cim, cols);
-                (y, cim.stats().total_seconds() - before)
-            },
-            move |host| {
-                let y = kernels::matvec(a_host, x, r_host, cols);
-                (y, host.execution_seconds(&OpCounts::gemv(r_host, cols)))
-            },
+            [
+                shard(a_cnm, x, r_cnm, cols),
+                shard(a_cim, x, r_cim, cols),
+                shard(a_host, x, r_host, cols),
+            ],
         );
         let mut y = Vec::with_capacity(rows);
         y.extend_from_slice(&y_cnm);
@@ -649,19 +669,19 @@ impl ShardedBackend {
         let (b_cnm, b_host) = b.split_at(n_cnm);
         let [c_cnm, _, c_host] = self.dispatch(
             split,
-            move |upmem| {
-                let before = upmem.stats().total_seconds();
-                let c = upmem.elementwise(op, a_cnm, b_cnm);
-                (c, upmem.stats().total_seconds() - before)
-            },
-            |_| unreachable!("validated: no CIM shard"),
-            move |host| {
-                let c = kernels::elementwise(a_host, b_host, |x, y| op.apply(x, y));
-                (
-                    c,
-                    host.execution_seconds(&OpCounts::elementwise(a_host.len())),
-                )
-            },
+            [
+                Some(ShardOp::Elementwise {
+                    op,
+                    a: a_cnm,
+                    b: b_cnm,
+                }),
+                None, // validated: no CIM shard
+                Some(ShardOp::Elementwise {
+                    op,
+                    a: a_host,
+                    b: b_host,
+                }),
+            ],
         );
         let mut c = Vec::with_capacity(a.len());
         c.extend_from_slice(&c_cnm);
@@ -680,21 +700,11 @@ impl ShardedBackend {
         let (a_cnm, a_host) = a.split_at(split.cnm);
         let [p_cnm, _, p_host] = self.dispatch(
             split,
-            move |upmem| {
-                let before = upmem.stats().total_seconds();
-                let p = upmem.reduce(op, a_cnm);
-                (vec![p], upmem.stats().total_seconds() - before)
-            },
-            |_| unreachable!("validated: no CIM shard"),
-            move |host| {
-                let p = a_host
-                    .iter()
-                    .fold(op.identity(), |acc, &v| op.apply(acc, v));
-                (
-                    vec![p],
-                    host.execution_seconds(&OpCounts::reduce(a_host.len())),
-                )
-            },
+            [
+                Some(ShardOp::Reduce { op, a: a_cnm }),
+                None, // validated: no CIM shard
+                Some(ShardOp::Reduce { op, a: a_host }),
+            ],
         );
         let mut acc = op.identity();
         for partial in p_cnm.iter().chain(p_host.iter()) {
@@ -720,19 +730,19 @@ impl ShardedBackend {
         let (a_cnm, a_host) = a.split_at(split.cnm);
         let [h_cnm, _, h_host] = self.dispatch(
             split,
-            move |upmem| {
-                let before = upmem.stats().total_seconds();
-                let h = upmem.histogram(a_cnm, bins, max_value);
-                (h, upmem.stats().total_seconds() - before)
-            },
-            |_| unreachable!("validated: no CIM shard"),
-            move |host| {
-                let h = kernels::histogram(a_host, bins, max_value);
-                (
-                    h,
-                    host.execution_seconds(&OpCounts::histogram(a_host.len(), bins)),
-                )
-            },
+            [
+                Some(ShardOp::Histogram {
+                    a: a_cnm,
+                    bins,
+                    max_value,
+                }),
+                None, // validated: no CIM shard
+                Some(ShardOp::Histogram {
+                    a: a_host,
+                    bins,
+                    max_value,
+                }),
+            ],
         );
         let mut merged = vec![0i32; bins];
         for shard in [&h_cnm, &h_host] {
@@ -747,6 +757,7 @@ impl ShardedBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cpu_sim::kernels;
 
     fn small_options(pool: PoolHandle) -> ShardedRunOptions {
         ShardedRunOptions::default().with_ranks(1).with_pool(pool)

@@ -61,7 +61,7 @@ pub use kernel::{BinOp, DpuKernelKind, KernelSpec};
 pub use naive::NaiveUpmemSystem;
 pub use stats::{LaunchStats, SystemStats, TransferStats};
 pub use stream::{Command, CommandOutput};
-pub use system::{BufferId, DpuSystem, SimError, SimResult, UpmemSystem};
+pub use system::{kernel_launch_cost, BufferId, DpuSystem, SimError, SimResult, UpmemSystem};
 
 #[cfg(test)]
 mod tests {

@@ -103,7 +103,14 @@ pub trait DpuSystem {
 
 /// First-order cost model of one launch, shared between the slab system and
 /// the naive reference so both report identical statistics.
-pub(crate) fn kernel_launch_cost(
+///
+/// Public so cost models can **calibrate against the simulator directly**:
+/// `cinm_lowering`'s CNM shard cost model builds the [`KernelSpec`] the
+/// backend would launch and asks this function for the per-DPU kernel time
+/// instead of re-deriving an (approximate) closed form. The returned
+/// [`LaunchStats::seconds`] is the slowest-DPU launch time; the
+/// `instructions`/`dma_bytes` totals scale with `num_dpus`.
+pub fn kernel_launch_cost(
     config: &UpmemConfig,
     spec: &KernelSpec,
     tasklets: usize,

@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use cinm::core::session::{Session, SessionOptions};
 use cinm::core::{cim_pipeline, cnm_pipeline, compile, TargetSelector};
 use cinm::dialects::{func, linalg};
 use cinm::ir::prelude::*;
@@ -66,11 +67,24 @@ fn main() {
         selector.select_for_func(&cinm_module.funcs[0])
     );
 
-    // 4. Execute on both simulated devices and check against the host.
+    // 4. Execute through the Session graph API — the one public execution
+    //    entry point: the graph is recorded lazily, shard-planned per op
+    //    from the devices' own cost models, and fetch() is the only point
+    //    data returns to the host.
     let a = data::i32_matrix(1, m, k, -8, 8);
     let bm = data::i32_matrix(2, k, n, -8, 8);
     let reference = kernels::matmul(&a, &bm, m, k, n);
 
+    let mut sess = Session::new(SessionOptions::default());
+    let at = sess.matrix(&a, m, k);
+    let bt = sess.matrix(&bm, k, n);
+    let ct = sess.gemm(at, bt);
+    sess.run().expect("auto placement");
+    assert_eq!(sess.fetch(ct), reference);
+    println!("\nSession (auto placement): result matches the host reference ✔");
+
+    // 5. The eager per-backend surfaces remain available as the
+    //    equivalence oracle.
     let mut upmem = UpmemBackend::new(4, UpmemRunOptions::optimized());
     let c_upmem = upmem.gemm(&a, &bm, m, k, n);
     assert_eq!(c_upmem, reference);

@@ -1,0 +1,61 @@
+//! Serving loop through the `Session` graph API: a `gemv → select` chain
+//! where the matrix stays resident in DPU MRAM across requests, the
+//! intermediate vector stays resident between the two kernels, and the
+//! compiled plan is replayed with zero steady-state allocations.
+//!
+//! ```text
+//! cargo run --release --example session_serving
+//! ```
+
+use cinm::core::session::{Session, SessionOptions};
+use cinm::core::{ShardPolicy, Target};
+use cinm::lowering::{UpmemBackend, UpmemRunOptions};
+use cinm::workloads::data;
+
+fn main() {
+    let (rows, cols, requests) = (4096usize, 1024usize, 16usize);
+    let a = data::i32_matrix(1, rows, cols, -8, 8);
+    let xs: Vec<Vec<i32>> = (0..4)
+        .map(|i| data::i32_vec(10 + i as u64, cols, -8, 8))
+        .collect();
+
+    // The session: the matrix is written once and never re-transferred.
+    let mut sess =
+        Session::new(SessionOptions::default().with_policy(ShardPolicy::Single(Target::Cnm)));
+    let at = sess.matrix(&a, rows, cols);
+    let xt = sess.vector(&xs[0]);
+    let mut out = Vec::new();
+    let mut checksum = 0i64;
+    for req in 0..requests {
+        sess.write(xt, &xs[req % xs.len()]); // only the request vector moves
+        let y = sess.gemv(at, xt);
+        let sel = sess.select(y, 0);
+        sess.run().expect("cnm placement");
+        sess.fetch_into(sel, &mut out);
+        checksum += out.iter().map(|&v| v as i64).sum::<i64>();
+    }
+    let stats = *sess.upmem_stats();
+    let (runs, replays) = sess.run_counts();
+    println!(
+        "session: {requests} requests, {} host-interface bytes, {replays}/{runs} plan replays",
+        stats.host_to_dpu_bytes + stats.dpu_to_host_bytes,
+    );
+
+    // The eager oracle: the same chain, full round-trips per op.
+    let mut be = UpmemBackend::new(16, UpmemRunOptions::optimized());
+    let mut eager_checksum = 0i64;
+    for req in 0..requests {
+        let y = be.gemv(&a, &xs[req % xs.len()], rows, cols);
+        let sel = be.select(&y, 0);
+        eager_checksum += sel.iter().map(|&v| v as i64).sum::<i64>();
+    }
+    let eager = be.stats();
+    println!(
+        "eager:   {requests} requests, {} host-interface bytes",
+        eager.host_to_dpu_bytes + eager.dpu_to_host_bytes,
+    );
+    assert_eq!(checksum, eager_checksum, "results are bit-identical");
+    let ratio = (eager.host_to_dpu_bytes + eager.dpu_to_host_bytes) as f64
+        / (stats.host_to_dpu_bytes + stats.dpu_to_host_bytes) as f64;
+    println!("device residency moved {ratio:.1}x fewer bytes ✔");
+}

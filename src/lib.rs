@@ -13,8 +13,11 @@
 //!   the hazard-tracked command streams both simulators execute on;
 //! * [`upmem`] / [`memristor`] / [`cpu`] — the simulated evaluation substrate;
 //! * [`workloads`] — the fifteen benchmark applications of the evaluation;
-//! * [`core`] — pipelines, target selection, cost models and the experiment
-//!   runners regenerating every table and figure of the paper.
+//! * [`core`] — pipelines, target selection, cost models, the experiment
+//!   runners regenerating every table and figure of the paper, and the
+//!   [`core::session::Session`] graph API — the one public execution entry
+//!   point: lazy op graphs over typed tensor handles, shard-planned across
+//!   the [`lowering::Device`] set, with device-resident intermediates.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `EXPERIMENTS.md` for the paper-vs-measured comparison.

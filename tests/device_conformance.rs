@@ -1,0 +1,175 @@
+//! Generic conformance suite of the unified `Device` trait, run against all
+//! three implementations (UPMEM grid, memristive crossbar, host roofline).
+//!
+//! Every device must: report coherent capabilities (the support matrix, the
+//! cost hookup and `submit` must agree op-for-op), resolve empty shards for
+//! free without touching statistics, execute supported shards bit-identically
+//! to the `cpu_sim` goldens while accumulating simulated seconds, reject
+//! unsupported shards with `ShardError::Unsupported` without side effects,
+//! and fully clear its statistics on `reset_stats`.
+
+use cinm::cpu::kernels;
+use cinm::cpu::model::CpuModel;
+use cinm::lowering::{
+    CimBackend, CimDevice, CimRunOptions, Device, HostDevice, ShardError, ShardOp, ShardShape,
+    UpmemBackend, UpmemDevice, UpmemRunOptions,
+};
+use cinm::upmem::{BinOp, UpmemConfig};
+use cinm::workloads::data;
+
+/// The op sample the suite probes: one representative per shardable kind,
+/// with a matching [`ShardShape`].
+fn probe_ops() -> Vec<(&'static str, ShardShape)> {
+    vec![
+        ("cinm.gemm", ShardShape::matmul(16, 8, 8)),
+        ("cinm.gemv", ShardShape::matmul(16, 8, 1)),
+        ("cinm.add", ShardShape::streaming(64)),
+        ("cinm.reduce", ShardShape::streaming(64)),
+        ("cinm.histogram", ShardShape::streaming(64)),
+    ]
+}
+
+/// Runs the whole conformance suite against one device.
+fn conformance(device: &mut dyn Device) {
+    let caps = device.caps();
+    let name = caps.name;
+    assert!(!name.is_empty(), "devices must name themselves");
+
+    // 1. Capability reporting: the support matrix, the cost hookup and the
+    //    owned cost-model snapshot must agree per op.
+    let cost = device.cost();
+    assert_eq!(cost.device(), caps.device, "{name}: cost hookup device");
+    for (op, shape) in probe_ops() {
+        let supports = device.supports_op(op);
+        assert_eq!(
+            device.estimate_shard_seconds(op, &shape).is_some(),
+            supports,
+            "{name}: estimate/support disagree on {op}"
+        );
+        assert_eq!(
+            cost.estimate_shard_seconds(op, &shape).is_some(),
+            supports,
+            "{name}: cost snapshot/support disagree on {op}"
+        );
+        if supports {
+            let t = device.estimate_shard_seconds(op, &shape).unwrap();
+            assert!(t > 0.0, "{name}: {op} estimate must be positive");
+        }
+    }
+
+    // 2. Empty-shard submit: resolved immediately, no statistics.
+    let x = data::i32_vec(7, 8, -4, 4);
+    let before = device.sim_seconds();
+    let future = device
+        .submit(&ShardOp::Gemv {
+            a: &[],
+            x: &x,
+            rows: 0,
+            cols: 8,
+        })
+        .expect("empty shards always succeed");
+    let (result, seconds) = future.wait();
+    assert!(result.is_empty(), "{name}: empty shard result");
+    assert_eq!(seconds, 0.0, "{name}: empty shard cost");
+    assert_eq!(before, device.sim_seconds(), "{name}: empty shard stats");
+
+    // 3. A supported shard executes bit-identically to the golden and
+    //    accumulates simulated time.
+    let (rows, cols) = (16usize, 8usize);
+    let a = data::i32_vec(8, rows * cols, -8, 8);
+    let future = device
+        .submit(&ShardOp::Gemv {
+            a: &a,
+            x: &x,
+            rows,
+            cols,
+        })
+        .expect("gemv is universally supported");
+    let (result, seconds) = future.wait();
+    assert_eq!(
+        result,
+        kernels::matvec(&a, &x, rows, cols),
+        "{name}: gemv shard result"
+    );
+    assert!(seconds > 0.0, "{name}: gemv shard must cost time");
+    assert!(
+        device.sim_seconds() > before,
+        "{name}: statistics must accumulate"
+    );
+
+    // 4. Unsupported shards error without touching statistics.
+    let v = data::i32_vec(9, 32, -4, 4);
+    if !device.supports_op("cinm.add") {
+        let before = device.sim_seconds();
+        let err = device
+            .submit(&ShardOp::Elementwise {
+                op: BinOp::Add,
+                a: &v,
+                b: &v,
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, ShardError::Unsupported { .. }),
+            "{name}: wrong error kind"
+        );
+        assert_eq!(before, device.sim_seconds(), "{name}: failed submit stats");
+    } else {
+        let (result, _) = device
+            .submit(&ShardOp::Elementwise {
+                op: BinOp::Add,
+                a: &v,
+                b: &v,
+            })
+            .expect("supported elementwise")
+            .wait();
+        assert_eq!(result, kernels::vector_add(&v, &v), "{name}: elementwise");
+    }
+
+    // 5. reset_stats clears the accumulated simulated time.
+    device.reset_stats();
+    assert_eq!(device.sim_seconds(), 0.0, "{name}: reset_stats");
+}
+
+fn upmem_device() -> UpmemDevice {
+    let mut cfg = UpmemConfig::with_ranks(1);
+    cfg.dpus_per_rank = 8;
+    UpmemDevice::new(UpmemBackend::with_config(cfg, UpmemRunOptions::optimized()))
+}
+
+#[test]
+fn upmem_device_conforms() {
+    conformance(&mut upmem_device());
+}
+
+#[test]
+fn cim_device_conforms() {
+    conformance(&mut CimDevice::new(CimBackend::new(
+        CimRunOptions::optimized(),
+    )));
+}
+
+#[test]
+fn host_device_conforms() {
+    conformance(&mut HostDevice::new(CpuModel::arm_host()));
+}
+
+/// The three devices expose the expected capability matrix.
+#[test]
+fn capability_matrix_matches_the_paper() {
+    use cinm::lowering::ShardDevice;
+    let up = upmem_device();
+    let cim = CimDevice::new(CimBackend::new(CimRunOptions::optimized()));
+    let host = HostDevice::new(CpuModel::arm_host());
+    assert_eq!(up.caps().device, ShardDevice::Cnm);
+    assert_eq!(cim.caps().device, ShardDevice::Cim);
+    assert_eq!(host.caps().device, ShardDevice::Host);
+    // The CNM grid and the host keep intermediates resident; the crossbar
+    // holds weights, not activations.
+    assert!(up.caps().resident_intermediates);
+    assert!(!cim.caps().resident_intermediates);
+    assert!(host.caps().resident_intermediates);
+    // MVM-only crossbar; the host is the catch-all.
+    assert!(!cim.supports_op("cinm.histogram"));
+    assert!(up.supports_op("cinm.histogram"));
+    assert!(host.supports_op("cinm.simSearch"));
+}

@@ -944,3 +944,181 @@ fn forced_fractions_error_end_to_end() {
         }
     });
 }
+
+// ---------------------------------------------------------------------------
+// Session graph execution vs the eager per-op oracle
+// ---------------------------------------------------------------------------
+
+fn session_options(residency: bool) -> cinm::core::SessionOptions {
+    let mut cfg = UpmemConfig::with_ranks(1);
+    cfg.dpus_per_rank = 4;
+    cinm::core::SessionOptions::default()
+        .with_upmem_config(cfg)
+        .with_policy(cinm::core::ShardPolicy::Single(cinm::core::Target::Cnm))
+        .with_residency(residency)
+}
+
+/// Randomized multi-op graphs through the `Session` are bit-identical to the
+/// eager per-op backend — results always; accumulated simulated statistics
+/// too when residency is off (the equivalence-oracle mode). With residency
+/// on, chains move at most as many simulated bytes as the eager program.
+#[test]
+fn session_graphs_are_bit_identical_to_the_eager_oracle() {
+    use cinm::core::TensorHandle;
+    for_cases(40, |rng| {
+        let len = gen_usize(rng, 8, 300);
+        let cols = gen_usize(rng, 4, 48);
+        let a_mat = data::i32_vec(rng.next_u64(), len * cols, -8, 8);
+        let x_vec = data::i32_vec(rng.next_u64(), cols, -8, 8);
+        let v0 = data::i32_vec(rng.next_u64(), len, -64, 64);
+        let v1 = data::i32_vec(rng.next_u64(), len, -64, 64);
+        // One decision tape so both residency modes replay the same graph.
+        let n_ops = gen_usize(rng, 1, 7);
+        let tape: Vec<(usize, usize, usize, usize)> = (0..n_ops)
+            .map(|_| {
+                (
+                    gen_usize(rng, 0, 5),
+                    gen_usize(rng, 0, 1000),
+                    gen_usize(rng, 0, 1000),
+                    gen_usize(rng, 0, 9),
+                )
+            })
+            .collect();
+        let bin_ops = [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Max,
+            BinOp::Min,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+        ];
+        for residency in [false, true] {
+            let mut sess = cinm::core::Session::new(session_options(residency));
+            let mut eager = small_upmem();
+            let at = sess.matrix(&a_mat, len, cols);
+            let xt = sess.vector(&x_vec);
+            let t0 = sess.vector(&v0);
+            let t1 = sess.vector(&v1);
+            let mut pool: Vec<TensorHandle> = vec![t0, t1];
+            let mut host_pool: Vec<Vec<i32>> = vec![v0.clone(), v1.clone()];
+            let mut fetches: Vec<(TensorHandle, Vec<i32>)> = Vec::new();
+            for &(kind, pick_a, pick_b, op_pick) in &tape {
+                match kind {
+                    0 => {
+                        let h = sess.gemv(at, xt);
+                        let val = eager.gemv(&a_mat, &x_vec, len, cols);
+                        pool.push(h);
+                        host_pool.push(val.clone());
+                        fetches.push((h, val));
+                    }
+                    1 | 2 => {
+                        let (i, j) = (pick_a % pool.len(), pick_b % pool.len());
+                        let op = bin_ops[op_pick % bin_ops.len()];
+                        let h = sess.elementwise(op, pool[i], pool[j]);
+                        let val = eager.elementwise(op, &host_pool[i], &host_pool[j]);
+                        pool.push(h);
+                        host_pool.push(val.clone());
+                        fetches.push((h, val));
+                    }
+                    3 => {
+                        let i = pick_a % pool.len();
+                        let op = bin_ops[op_pick % bin_ops.len()];
+                        let h = sess.reduce(op, pool[i]);
+                        let val = vec![eager.reduce(op, &host_pool[i])];
+                        fetches.push((h, val));
+                    }
+                    4 => {
+                        let i = pick_a % pool.len();
+                        let bins = 2 + op_pick % 15;
+                        let h = sess.histogram(pool[i], bins, 128);
+                        let val = eager.histogram(&host_pool[i], bins, 128);
+                        fetches.push((h, val));
+                    }
+                    _ => {
+                        let i = pick_a % pool.len();
+                        let thr = (pick_b % 21) as i32 - 10;
+                        let h = sess.select(pool[i], thr);
+                        let val = eager.select(&host_pool[i], thr);
+                        fetches.push((h, val));
+                    }
+                }
+            }
+            sess.run().expect("cnm placement");
+            for (h, want) in &fetches {
+                assert_eq!(
+                    sess.fetch(*h),
+                    *want,
+                    "residency={residency} len={len} cols={cols}"
+                );
+            }
+            if residency {
+                let s = sess.upmem_stats();
+                let e = eager.stats();
+                assert_eq!(s.kernel_seconds, e.kernel_seconds, "len={len}");
+                assert_eq!(s.launches, e.launches, "len={len}");
+                assert!(
+                    s.host_to_dpu_bytes + s.dpu_to_host_bytes
+                        <= e.host_to_dpu_bytes + e.dpu_to_host_bytes,
+                    "resident graphs must not move more bytes"
+                );
+            } else {
+                assert_eq!(
+                    sess.upmem_stats(),
+                    eager.stats(),
+                    "residency-off statistics must fold identically (len={len} cols={cols})"
+                );
+            }
+        }
+    });
+}
+
+/// A replayed session run (the memoized, stream-free fast path of a warmed
+/// loop) is bit-identical to a fresh session compiling the same graph —
+/// results and accumulated statistics.
+#[test]
+fn session_replay_is_bit_identical_to_fresh_compilation() {
+    use cinm::core::Session;
+    for_cases(41, |rng| {
+        let (rows, cols) = (gen_usize(rng, 8, 120), gen_usize(rng, 4, 40));
+        let a = data::i32_vec(rng.next_u64(), rows * cols, -8, 8);
+        let xs: Vec<Vec<i32>> = (0..6)
+            .map(|_| data::i32_vec(rng.next_u64(), cols, -8, 8))
+            .collect();
+        let thr = (gen_usize(rng, 0, 12) as i32) - 6;
+        let run_loop = |iters: usize| -> (Vec<Vec<i32>>, cinm::upmem::SystemStats) {
+            let mut sess = Session::new(session_options(true));
+            let at = sess.matrix(&a, rows, cols);
+            let xt = sess.vector(&xs[0]);
+            let mut outs = Vec::new();
+            for x in xs.iter().take(iters) {
+                sess.write(xt, x);
+                let y = sess.gemv(at, xt);
+                let s = sess.select(y, thr);
+                sess.run().expect("cnm placement");
+                outs.push(sess.fetch(s));
+            }
+            (outs, *sess.upmem_stats())
+        };
+        let (full, full_stats) = run_loop(6); // iterations 4+ replay
+        let (fresh, _) = run_loop(6); // identical loop, fresh session
+        assert_eq!(full, fresh);
+        // And against a per-iteration eager oracle.
+        let mut eager = small_upmem();
+        let mut eager_bytes_stats = None;
+        for (i, x) in xs.iter().enumerate() {
+            let y = eager.gemv(&a, x, rows, cols);
+            assert_eq!(full[i], eager.select(&y, thr), "iteration {i}");
+            eager_bytes_stats = Some(*eager.stats());
+        }
+        let e = eager_bytes_stats.unwrap();
+        assert_eq!(full_stats.kernel_seconds, e.kernel_seconds);
+        assert!(
+            full_stats.host_to_dpu_bytes + full_stats.dpu_to_host_bytes
+                < e.host_to_dpu_bytes + e.dpu_to_host_bytes,
+            "the warmed loop must move strictly fewer bytes"
+        );
+    });
+}
