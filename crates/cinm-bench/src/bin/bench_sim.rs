@@ -49,8 +49,8 @@ use std::num::NonZeroUsize;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use cinm_bench::simbench::{
-    self, HotPathMeasurement, OverheadCase, SessionVsEagerMeasurement, ShardedMeasurement, SimCase,
-    BENCH_SCHEMA,
+    self, FaultOverheadMeasurement, HotPathMeasurement, OverheadCase, SessionVsEagerMeasurement,
+    ShardedMeasurement, SimCase, BENCH_SCHEMA,
 };
 use cinm_core::shard::ShardPolicy;
 use cinm_runtime::PoolHandle;
@@ -327,6 +327,26 @@ fn main() {
         sve_results.push((case, m));
     }
 
+    // Fault overhead: the same chain fault-free vs under a fixed-seed
+    // transient fault schedule (recovered results asserted bit-identical).
+    const FAULT_SEED: u64 = 1234;
+    let mut fault_results: Vec<(SimCase, FaultOverheadMeasurement)> = Vec::new();
+    for &case in &simbench::session_vs_eager_cases(scale == "tiny") {
+        eprintln!("measuring fault overhead {}/{} ...", case.name, case.scale);
+        let inp = simbench::inputs(&case);
+        let m = simbench::measure_fault_overhead(&case, &inp, &pool, FAULT_SEED);
+        eprintln!(
+            "  fault-free {:.5}s/chain vs faulted {:.5}s/chain -> {:.2}x overhead; {} retries, {} re-plans, {} degradations",
+            m.fault_free_s_per_op,
+            m.faulted_s_per_op,
+            m.overhead(),
+            m.transient_retries,
+            m.replans,
+            m.degradations,
+        );
+        fault_results.push((case, m));
+    }
+
     eprintln!("measuring steady-state launch/MVM micro loops ...");
     let micro = simbench::measure_steady_state_micro(if quick { 512 } else { 4096 });
     eprintln!(
@@ -527,6 +547,43 @@ fn main() {
         ));
         json.push_str(&format!("        \"plan_replays\": {}\n", m.replays));
         json.push_str(if i + 1 == sve_results.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+    json.push_str("  \"fault_overhead\": {\n");
+    json.push_str(
+        "    \"description\": \"The same warmed gemv -> select session chain run fault-free and under a fixed-seed deterministic fault schedule (5% transient launch aborts, 2% transfer timeouts, 1% transfer corruptions). Recovered results are asserted bit-identical to the fault-free run before timing is reported; overhead_faulted_vs_free is wall-clock recovery cost, fault_free_s_per_op prices the retry plumbing carried on the hot path.\",\n",
+    );
+    json.push_str("    \"cases\": [\n");
+    for (i, (case, m)) in fault_results.iter().enumerate() {
+        json.push_str("      {\n");
+        json.push_str(&format!("        \"name\": \"{}\",\n", case.name));
+        json.push_str(&format!("        \"scale\": \"{}\",\n", case.scale));
+        json.push_str(&format!("        \"iterations\": {},\n", m.iterations));
+        json.push_str(&format!("        \"fault_seed\": {},\n", m.fault_seed));
+        json.push_str(&format!(
+            "        \"fault_free_s_per_op\": {},\n",
+            json_f64(m.fault_free_s_per_op)
+        ));
+        json.push_str(&format!(
+            "        \"faulted_s_per_op\": {},\n",
+            json_f64(m.faulted_s_per_op)
+        ));
+        json.push_str(&format!(
+            "        \"overhead_faulted_vs_free\": {},\n",
+            json_f64(m.overhead())
+        ));
+        json.push_str(&format!(
+            "        \"transient_retries\": {},\n",
+            m.transient_retries
+        ));
+        json.push_str(&format!("        \"replans\": {},\n", m.replans));
+        json.push_str(&format!("        \"degradations\": {}\n", m.degradations));
+        json.push_str(if i + 1 == fault_results.len() {
             "      }\n"
         } else {
             "      },\n"

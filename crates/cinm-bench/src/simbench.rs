@@ -18,7 +18,7 @@ use cinm_core::session::{Session, SessionOptions};
 use cinm_core::shard::{CachedShardPlanner, ShardPlanner, ShardPolicy, ShardShape};
 use cinm_core::Target;
 use cinm_lowering::{ShardSplit, ShardedBackend, ShardedRunOptions, UpmemBackend, UpmemRunOptions};
-use cinm_runtime::{alloc_count, PoolHandle};
+use cinm_runtime::{alloc_count, FaultConfig, PoolHandle};
 use cinm_workloads::data;
 use memristor_sim::{CrossbarAccelerator, CrossbarConfig};
 use upmem_sim::{
@@ -28,7 +28,7 @@ use upmem_sim::{
 /// Schema version of `BENCH_sim.json`. Bump whenever the emitted structure
 /// changes; `tools/check_bench_schema.sh` fails CI when the committed JSON
 /// is stale relative to this emitter.
-pub const BENCH_SCHEMA: &str = "cinm/bench-sim/v4";
+pub const BENCH_SCHEMA: &str = "cinm/bench-sim/v5";
 
 /// The kernel flow of one benchmark case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1023,6 +1023,115 @@ pub fn session_vs_eager_cases(tiny: bool) -> Vec<SimCase> {
         .collect()
 }
 
+/// Wall-clock cost of the fault-tolerance layer on one `mv` chain: the same
+/// warmed session loop run fault-free and under a deterministic transient
+/// fault schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultOverheadMeasurement {
+    /// Timed chain executions per side.
+    pub iterations: usize,
+    /// Seed of the injected schedule (fixed, so reruns recover identically).
+    pub fault_seed: u64,
+    /// Wall-clock seconds per chain with no schedule attached — the price
+    /// of carrying the retry plumbing on the hot path.
+    pub fault_free_s_per_op: f64,
+    /// Wall-clock seconds per chain under the schedule, recovery included.
+    pub faulted_s_per_op: f64,
+    /// Transient retries taken by the faulted side.
+    pub transient_retries: u64,
+    /// Session-level re-plans on the faulted side.
+    pub replans: u64,
+    /// Degradations (device lost from the plan) on the faulted side.
+    pub degradations: u64,
+    /// Output checksum — asserted bit-identical across both sides.
+    pub checksum: i64,
+}
+
+impl FaultOverheadMeasurement {
+    /// Wall-clock ratio faulted / fault-free (1.0 = recovery is free).
+    pub fn overhead(&self) -> f64 {
+        self.faulted_s_per_op / self.fault_free_s_per_op
+    }
+}
+
+/// Runs the `gemv → select` chain of an `mv` case through two sessions —
+/// one fault-free, one with a transient launch/transfer fault schedule
+/// seeded by `fault_seed` — and asserts the recovered results bit-identical
+/// before reporting both wall-clocks and the recovery counters.
+pub fn measure_fault_overhead(
+    case: &SimCase,
+    inp: &CaseInputs,
+    pool: &PoolHandle,
+    fault_seed: u64,
+) -> FaultOverheadMeasurement {
+    let CaseKind::Mv { rows, cols } = case.kind else {
+        panic!("fault_overhead runs the mv (gemv→select) chain");
+    };
+    let threshold = 0i32;
+    let iterations = (case.launches * 4).max(8);
+    let xs: Vec<Vec<i32>> = (0..4)
+        .map(|i| data::i32_vec(40 + i as u64, cols, -8, 8))
+        .collect();
+
+    let run_side = |fault: Option<FaultConfig>| -> (f64, i64, Session) {
+        let mut options = SessionOptions::default()
+            .with_policy(ShardPolicy::Single(Target::Cnm))
+            .with_sharded(
+                ShardedRunOptions::default()
+                    .with_ranks(case.ranks)
+                    .with_pool(pool.clone())
+                    .with_host_threads(1),
+            );
+        if let Some(fault) = fault {
+            options = options.with_fault(fault);
+        }
+        let mut sess = Session::new(options);
+        let a = sess.matrix(&inp.a, rows, cols);
+        let x = sess.vector(&xs[0]);
+        let mut fetched = Vec::new();
+        let mut chain = |sess: &mut Session, xi: &[i32]| -> i64 {
+            sess.write(x, xi);
+            let y = sess.gemv(a, x);
+            let s = sess.select(y, threshold);
+            sess.run().expect("the grid recovers under the schedule");
+            sess.fetch_into(s, &mut fetched);
+            fetched.iter().map(|&v| v as i64).sum()
+        };
+        for i in 0..4 {
+            chain(&mut sess, &xs[i % 4]); // warm-up: compile + residency
+        }
+        let mut checksum = 0i64;
+        let start = Instant::now();
+        for i in 0..iterations {
+            checksum += chain(&mut sess, &xs[i % 4]);
+        }
+        (start.elapsed().as_secs_f64(), checksum, sess)
+    };
+
+    let (free_s, free_checksum, _) = run_side(None);
+    let schedule = FaultConfig::seeded(fault_seed)
+        .with_launch_fault_rate(0.05)
+        .with_transfer_timeout_rate(0.02)
+        .with_transfer_corruption_rate(0.01);
+    let (faulted_s, faulted_checksum, sess) = run_side(Some(schedule));
+    assert_eq!(
+        free_checksum, faulted_checksum,
+        "{}/{}: recovered chain diverged from the fault-free run",
+        case.name, case.scale
+    );
+    let stats = sess.fault_stats();
+    FaultOverheadMeasurement {
+        iterations,
+        fault_seed,
+        fault_free_s_per_op: free_s / iterations as f64,
+        faulted_s_per_op: faulted_s / iterations as f64,
+        transient_retries: stats.transient_retries,
+        replans: stats.replans,
+        degradations: stats.degradations,
+        checksum: free_checksum,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1137,6 +1246,29 @@ mod tests {
                 m.eager_bytes_per_op
             );
             assert!(m.replays as usize >= m.iterations, "{}", case.name);
+        }
+    }
+
+    #[test]
+    fn fault_overhead_recovers_bit_identically() {
+        let pool = PoolHandle::with_threads(2);
+        for case in session_vs_eager_cases(true) {
+            let inp = inputs(&case);
+            // Checksum equality is asserted inside measure_fault_overhead.
+            let m = measure_fault_overhead(&case, &inp, &pool, 1234);
+            assert!(m.fault_free_s_per_op > 0.0 && m.faulted_s_per_op > 0.0);
+            let again = measure_fault_overhead(&case, &inp, &pool, 1234);
+            assert_eq!(
+                (m.transient_retries, m.replans, m.degradations, m.checksum),
+                (
+                    again.transient_retries,
+                    again.replans,
+                    again.degradations,
+                    again.checksum
+                ),
+                "{}: a fixed seed must recover identically",
+                case.name
+            );
         }
     }
 

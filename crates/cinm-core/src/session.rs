@@ -82,9 +82,9 @@ use cinm_lowering::backend::{
 use cinm_lowering::{
     elementwise_op_name, ShardDevice, ShardError, ShardSplit, ShardedBackend, ShardedRunOptions,
 };
-use cinm_runtime::CommandStream;
+use cinm_runtime::{CommandStream, FaultConfig, FaultStats};
 use upmem_sim::{
-    BinOp, Command, CommandOutput, DpuKernelKind, KernelSpec, SystemStats, TransferStats,
+    BinOp, Command, CommandOutput, DpuKernelKind, KernelSpec, SimError, SystemStats, TransferStats,
     UpmemConfig,
 };
 
@@ -109,6 +109,12 @@ pub struct SessionOptions {
     /// Explicit UPMEM machine configuration (test harnesses use small
     /// grids); `None` uses `sharded.ranks` DIMMs of the default geometry.
     pub upmem_config: Option<UpmemConfig>,
+    /// Deterministic fault schedule injected into **both** simulators (the
+    /// UPMEM grid and the crossbar). `None` runs fault-free. Under any
+    /// schedule that leaves at least one healthy device, session results
+    /// stay bit-identical to the fault-free run — the session retries
+    /// transients, re-plans around dead devices and falls back to the host.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for SessionOptions {
@@ -118,6 +124,7 @@ impl Default for SessionOptions {
             policy: ShardPolicy::Auto,
             residency: true,
             upmem_config: None,
+            fault: None,
         }
     }
 }
@@ -144,6 +151,13 @@ impl SessionOptions {
     /// Overrides the full device-set options.
     pub fn with_sharded(mut self, sharded: ShardedRunOptions) -> Self {
         self.sharded = sharded;
+        self
+    }
+
+    /// Attaches a deterministic fault schedule to both simulators (see the
+    /// field documentation).
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
         self
     }
 }
@@ -576,6 +590,16 @@ struct Compiled {
     cmds: Vec<CnmCmd>,
 }
 
+/// How one recovery attempt resumes execution.
+#[derive(Debug, Clone, Copy)]
+enum Recovery {
+    /// The compiled plan is still valid: re-execute from the failed step.
+    Resume,
+    /// The graph was re-planned across the surviving devices into a new
+    /// compiled plan: execute it from the start.
+    Replanned(usize),
+}
+
 /// The lazy graph execution session (see the [module documentation](self)).
 #[derive(Debug)]
 pub struct Session {
@@ -591,24 +615,51 @@ pub struct Session {
     compile_cursor: usize,
     runs: u64,
     replays: u64,
+    /// Session-level recovery counters (re-plans, degradations); the
+    /// backends' own retry counters are merged in by
+    /// [`fault_stats`](Session::fault_stats).
+    fault_stats: FaultStats,
 }
 
 impl Session {
+    /// Device failures the session tries to recover from before giving up on
+    /// a run. Each attempt either re-executes (transient storms, a swapped-in
+    /// spare) or re-plans around a freshly unhealthy device; a graph that
+    /// keeps failing past this is surfaced as an error.
+    const MAX_RECOVERY_ATTEMPTS: u32 = 8;
+
     /// Creates a session over the three devices described by `options`; the
     /// shard planner is assembled from the devices' own cost hookups.
     pub fn new(options: SessionOptions) -> Self {
-        let backend = match options.upmem_config {
-            Some(cfg) => ShardedBackend::with_upmem_config(cfg, options.sharded.clone()),
-            None => ShardedBackend::new(options.sharded.clone()),
+        let SessionOptions {
+            mut sharded,
+            policy,
+            residency,
+            mut upmem_config,
+            fault,
+        } = options;
+        if let Some(fault) = fault {
+            // One schedule drives both simulators (independent event streams:
+            // the injectors key draws on their own event counters).
+            let cfg = upmem_config
+                .take()
+                .unwrap_or_else(|| UpmemConfig::with_ranks(sharded.ranks));
+            upmem_config = Some(cfg.with_fault(fault.clone()));
+            let cim_cfg = sharded.cim_config.take().unwrap_or_default();
+            sharded.cim_config = Some(cim_cfg.with_fault(fault));
+        }
+        let backend = match upmem_config {
+            Some(cfg) => ShardedBackend::with_upmem_config(cfg, sharded),
+            None => ShardedBackend::new(sharded),
         };
-        let mut planner = ShardPlanner::new().with_policy(options.policy);
+        let mut planner = ShardPlanner::new().with_policy(policy);
         for device in ShardDevice::ALL {
             planner.register_device(backend.device(device));
         }
         Session {
             backend,
             planner: CachedShardPlanner::new(planner),
-            residency: options.residency,
+            residency,
             slots: Vec::new(),
             free: VecDeque::new(),
             ops: Vec::new(),
@@ -617,6 +668,7 @@ impl Session {
             compile_cursor: 0,
             runs: 0,
             replays: 0,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -1057,6 +1109,9 @@ impl Session {
                     self.planner.planner().policy,
                     ShardPolicy::Auto | ShardPolicy::Single(Target::Cnm)
                 )
+                // Plans built after a grid failure must not route chains
+                // back onto the unhealthy device.
+                && self.backend.device(ShardDevice::Cnm).is_healthy()
                 && node.inputs().iter().enumerate().any(|(pos, &t)| {
                     resident_buf(&virt[t as usize].1, geometry.inputs[pos]).is_some()
                 });
@@ -1193,17 +1248,27 @@ impl Session {
     /// unchanged) and runs every step in program order. After `run`,
     /// op-output handles are fetchable until the next `run`.
     ///
+    /// Device failures are recovered in place (up to
+    /// 8 attempts per run):
+    /// transient storms re-execute from the failed step, a permanently
+    /// failed device is either dropped from the shard plan (the graph is
+    /// re-planned across the surviving devices, degrading to host-only) or
+    /// — when the graph needs the UPMEM grid itself — replaced by a spare
+    /// carrying the rescued memory image. Recovered runs stay bit-identical
+    /// to a fault-free run; [`fault_stats`](Self::fault_stats) counts the
+    /// retries, re-plans and degradations taken.
+    ///
     /// # Errors
     ///
-    /// Propagates shard-planning errors (infeasible forced policies); the
-    /// recorded graph is discarded — its output handles go stale and their
-    /// slots are recycled — and the session stays usable.
+    /// Propagates shard-planning errors (infeasible forced policies) and
+    /// device failures that outlive the recovery budget; the recorded graph
+    /// is discarded and the session stays usable.
     pub fn run(&mut self) -> Result<(), ShardError> {
         if self.ops.is_empty() {
             return Ok(());
         }
         self.recycle_unreferenced_temps();
-        let (idx, replay) = match self.find_compiled() {
+        let (mut idx, mut replay) = match self.find_compiled() {
             Some(idx) => {
                 self.replays += 1;
                 self.ops.clear();
@@ -1218,18 +1283,64 @@ impl Session {
             },
         };
         self.runs += 1;
-        let result = self.execute(idx, replay);
-        // Track this graph's outputs as live temporaries.
-        for oi in 0..self.compiled[idx].ops.len() {
-            let out = self.compiled[idx].ops[oi].output;
-            if !self.live_temps.contains(&out) {
-                self.live_temps.push(out);
+        let mut from = 0usize;
+        let mut attempts = 0u32;
+        let outcome = loop {
+            match self.execute(idx, replay, from) {
+                Ok(()) => break Ok(()),
+                Err((step, error)) => {
+                    // Panics and validation errors are bugs, not faults: no
+                    // amount of re-planning makes them succeed.
+                    let recoverable = matches!(error, ShardError::DeviceFault { .. })
+                        && attempts < Self::MAX_RECOVERY_ATTEMPTS;
+                    if !recoverable {
+                        break Err(error);
+                    }
+                    attempts += 1;
+                    let device = error
+                        .failed_device()
+                        .expect("device faults name their device");
+                    match self.recover(device, idx) {
+                        Ok(Recovery::Resume) => {
+                            // The device set is whole again (the transient
+                            // storm passed, or a spare was swapped in):
+                            // re-execute from the failed step — every step
+                            // before it committed, and failed steps commit
+                            // nothing.
+                            from = step;
+                            replay = true;
+                        }
+                        Ok(Recovery::Replanned(new_idx)) => {
+                            idx = new_idx;
+                            from = 0;
+                            replay = false;
+                        }
+                        Err(e) => break Err(e),
+                    }
+                }
+            }
+        };
+        // Track this graph's outputs as live temporaries (unless a failed
+        // re-plan already discarded the graph and recycled them).
+        if let Some(compiled) = self.compiled.get(idx) {
+            for oi in 0..compiled.ops.len() {
+                let out = compiled.ops[oi].output;
+                if !self.live_temps.contains(&out) {
+                    self.live_temps.push(out);
+                }
             }
         }
-        result
+        outcome
     }
 
-    fn execute(&mut self, idx: usize, replay: bool) -> Result<(), ShardError> {
+    /// Executes the compiled plan `idx` from step `from`; a failure reports
+    /// the step it happened in so recovery can resume there.
+    fn execute(
+        &mut self,
+        idx: usize,
+        replay: bool,
+        from: usize,
+    ) -> Result<(), (usize, ShardError)> {
         let residency = self.residency;
         let dpus = self.backend.num_dpus();
         let Session {
@@ -1239,25 +1350,104 @@ impl Session {
             ..
         } = self;
         let compiled = &compiled[idx];
-        for step in &compiled.steps {
-            match step {
+        for (si, step) in compiled.steps.iter().enumerate().skip(from) {
+            let step_result = match step {
                 Step::Materialize { slot } => {
-                    materialize_slot(backend, &mut slots[*slot as usize], dpus);
+                    materialize_slot(backend, &mut slots[*slot as usize], dpus)
                 }
                 Step::Segment { cmds } => {
                     let cmds = &compiled.cmds[cmds.clone()];
                     if replay {
-                        run_segment_direct(backend, slots, cmds, residency, dpus);
+                        run_segment_direct(backend, slots, cmds, residency, dpus)
                     } else {
-                        run_segment_stream(backend, slots, cmds, residency, dpus);
+                        run_segment_stream(backend, slots, cmds, residency, dpus)
                     }
                 }
                 Step::Planned { op, split } => {
-                    run_planned(backend, slots, &compiled.ops[*op], split)?;
+                    run_planned(backend, slots, &compiled.ops[*op], split)
                 }
+            };
+            if let Err(e) = step_result {
+                return Err((si, e));
             }
         }
         Ok(())
+    }
+
+    /// Recovers from one device failure. The failed step committed nothing
+    /// (streams validate every command before executing any, single
+    /// commands are transactional, and shard dispatch discards partial
+    /// merges), so the slots hold the state of the last completed step and
+    /// re-execution is safe — external inputs keep their host copies, and
+    /// every transfer/launch rewrites its own buffers with the same data.
+    fn recover(&mut self, device: ShardDevice, idx: usize) -> Result<Recovery, ShardError> {
+        self.fault_stats.replans += 1;
+        if self.backend.device(device).is_healthy() {
+            // A transient fault outlived the per-command retry budget but
+            // the device is still below its failure limit: re-execute.
+            return Ok(Recovery::Resume);
+        }
+        // The device is out of service (permanent fault, or a transient
+        // storm past the consecutive-failure limit).
+        self.fault_stats.degradations += 1;
+        if device == ShardDevice::Cnm && self.graph_needs_cnm(idx) {
+            // The graph cannot leave the grid (non-plannable ops, or a
+            // CNM-forced policy): swap in a spare. The replacement carries
+            // the failed grid's memory image — resident tensors survive
+            // (the fault model kills compute, not MRAM) — so the compiled
+            // plan resumes unchanged.
+            let spare = self.backend.upmem().system().fault_free_clone();
+            *self.backend.upmem_mut().system_mut() = spare;
+            self.backend.device_mut(ShardDevice::Cnm).reset_health();
+            return Ok(Recovery::Resume);
+        }
+        // Re-plan the graph across the surviving devices (degrading to
+        // host-only when the host is the last one standing). Compiled plans
+        // embed shard splits of the old device set, so all of them go.
+        self.rebuild_planner();
+        let ops = self.compiled[idx].ops.clone();
+        self.compiled.clear();
+        self.compile_cursor = 0;
+        self.ops = ops;
+        match self.compile() {
+            Ok(new_idx) => Ok(Recovery::Replanned(new_idx)),
+            Err(e) => {
+                self.ops.clear();
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether plan `idx` must execute on the UPMEM grid: it contains ops
+    /// outside the plannable subset (their only lowering is the resident
+    /// UPMEM segment path), or the placement policy forces CNM work.
+    fn graph_needs_cnm(&self, idx: usize) -> bool {
+        let forced = match self.planner.planner().policy {
+            ShardPolicy::Single(Target::Cnm) => true,
+            ShardPolicy::Fractions(f) => f[0] > 0.0,
+            _ => false,
+        };
+        forced
+            || self.compiled[idx]
+                .ops
+                .iter()
+                .any(|op| op.kind.plannable_name().is_none())
+    }
+
+    /// Rebuilds the shard planner over the devices that are still healthy,
+    /// keeping the policy and granularity. Unhealthy devices simply stop
+    /// being registered, so `Auto` plans route their work to the survivors.
+    fn rebuild_planner(&mut self) {
+        let old = self.planner.planner();
+        let mut planner = ShardPlanner::new().with_policy(old.policy);
+        planner.granularity = old.granularity;
+        for device in ShardDevice::ALL {
+            let d = self.backend.device(device);
+            if d.is_healthy() {
+                planner.register_device(d);
+            }
+        }
+        self.planner.set_planner(planner);
     }
 
     // -- results ------------------------------------------------------------
@@ -1283,7 +1473,10 @@ impl Session {
                 slot.device_valid,
                 "tensor has no valid copy; run() the graph that produces it first"
             );
-            materialize_slot(&mut self.backend, slot, dpus);
+            // Rescue gathers are pure transfers: the fault model never fails
+            // them permanently, and transients are retried by the backend.
+            materialize_slot(&mut self.backend, slot, dpus)
+                .expect("rescue gather outlived the transient retry budget");
         }
         out.clear();
         out.extend_from_slice(&slot.host);
@@ -1297,7 +1490,8 @@ impl Session {
         let slot = &mut self.slots[h.id as usize];
         if !slot.host_valid {
             assert!(slot.device_valid, "tensor has no valid copy");
-            materialize_slot(&mut self.backend, slot, dpus);
+            materialize_slot(&mut self.backend, slot, dpus)
+                .expect("rescue gather outlived the transient retry budget");
         }
         slot.host[0]
     }
@@ -1343,6 +1537,17 @@ impl Session {
     pub fn run_counts(&self) -> (u64, u64) {
         (self.runs, self.replays)
     }
+
+    /// Cumulative fault-tolerance counters of everything this session
+    /// executed: the backends' per-command retries and simulated backoff,
+    /// permanent faults observed, and the session's own re-plans and
+    /// degradations. All zero on a fault-free run.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut stats = self.fault_stats;
+        stats.merge(&self.backend.upmem().fault_stats());
+        stats.merge(&self.backend.cim_backend().fault_stats());
+        stats
+    }
 }
 
 /// The resident buffer satisfying a role key, if layouts are compatible.
@@ -1362,17 +1567,41 @@ fn resident_buf(resident: &Option<Resident>, key: BufKey) -> Option<u32> {
     }
 }
 
+/// Converts a simulator error of the session's direct UPMEM path into the
+/// typed shard error, recording the failure on the CNM device's health (the
+/// session bypasses `Device::submit`, which would otherwise record it).
+/// Non-fault errors are session/compiler invariant violations and stay
+/// loud panics, exactly as before the fault layer.
+fn cnm_failure(backend: &mut ShardedBackend, context: &str, e: SimError) -> ShardError {
+    if e.fault_kind().is_none() {
+        panic!("{context}: {e}");
+    }
+    let permanent = e.is_permanent_fault();
+    backend.device_mut(ShardDevice::Cnm).note_failure(permanent);
+    ShardError::DeviceFault {
+        device: ShardDevice::Cnm,
+        permanent,
+        message: e.to_string(),
+    }
+}
+
 /// Gathers a resident tensor and decodes it into the slot's host copy.
-fn materialize_slot(backend: &mut ShardedBackend, slot: &mut Slot, dpus: usize) {
+fn materialize_slot(
+    backend: &mut ShardedBackend,
+    slot: &mut Slot,
+    dpus: usize,
+) -> Result<(), ShardError> {
     let resident = slot.resident.expect("materialize needs a resident copy");
     let mut scratch = std::mem::take(&mut slot.scratch);
-    backend
+    let gathered = backend
         .upmem_mut()
-        .system_mut()
-        .gather_i32_into(resident.buf, resident.gather_chunk, &mut scratch)
-        .expect("resident gather");
+        .try_op(|sys| sys.gather_i32_into(resident.buf, resident.gather_chunk, &mut scratch));
     slot.scratch = scratch;
+    if let Err(e) = gathered {
+        return Err(cnm_failure(backend, "resident gather", e));
+    }
     decode_slot(slot, dpus);
+    Ok(())
 }
 
 /// Decodes `slot.scratch` (a raw gather of the resident buffer) into the
@@ -1448,7 +1677,7 @@ fn run_segment_stream(
     cmds: &[CnmCmd],
     residency: bool,
     dpus: usize,
-) {
+) -> Result<(), ShardError> {
     // Zeroing is untimed fresh-allocation semantics and each zeroed buffer
     // is only written by its own op's launch afterwards, so it is applied
     // before the stream is recorded.
@@ -1493,12 +1722,10 @@ fn run_segment_stream(
                 CnmCmd::Zero { .. } | CnmCmd::SetOutput { .. } | CnmCmd::Decode { .. } => {}
             }
         }
-        let outputs = backend
-            .upmem_mut()
-            .system_mut()
-            .sync(&mut stream)
-            .expect("session stream");
-        let mut outputs = outputs;
+        let mut outputs = match backend.upmem_mut().try_sync(&mut stream) {
+            Ok(outputs) => outputs,
+            Err(e) => return Err(cnm_failure(backend, "session stream", e)),
+        };
         for (idx, slot) in &gathers {
             // Each gather index is consumed exactly once: take the buffer
             // out instead of deep-copying it.
@@ -1520,6 +1747,7 @@ fn run_segment_stream(
             }
         }
     }
+    Ok(())
 }
 
 /// Executes one segment through the simulator's eager entry points in the
@@ -1531,51 +1759,65 @@ fn run_segment_direct(
     cmds: &[CnmCmd],
     residency: bool,
     dpus: usize,
-) {
+) -> Result<(), ShardError> {
     for cmd in cmds {
-        match cmd {
+        // Each command runs under the backend's transient-retry policy
+        // (`try_op`); retries stay allocation-free on the warmed path. A
+        // command that still fails commits nothing, so recovery can re-run
+        // the segment from its start.
+        let executed: Result<(), SimError> = match cmd {
             CnmCmd::Scatter { slot, buf, chunk } => {
-                let (sys, s) = (backend.upmem_mut().system_mut(), &slots[*slot as usize]);
-                sys.scatter_i32(*buf, &s.host, *chunk).expect("scatter");
+                let host = &slots[*slot as usize].host;
+                backend
+                    .upmem_mut()
+                    .try_op(|sys| sys.scatter_i32(*buf, host, *chunk))
+                    .map(|_| ())
             }
             CnmCmd::Broadcast { slot, buf } => {
-                let (sys, s) = (backend.upmem_mut().system_mut(), &slots[*slot as usize]);
-                sys.broadcast_i32(*buf, &s.host).expect("broadcast");
+                let host = &slots[*slot as usize].host;
+                backend
+                    .upmem_mut()
+                    .try_op(|sys| sys.broadcast_i32(*buf, host))
+                    .map(|_| ())
             }
             CnmCmd::Zero { buf } => {
+                // Uninjectable (untimed fresh-allocation semantics): only
+                // invariant violations can surface here.
                 backend
                     .upmem_mut()
                     .system_mut()
                     .zero_buffer(*buf)
                     .expect("zero output buffer");
+                Ok(())
             }
-            CnmCmd::Launch { spec } => {
-                backend
-                    .upmem_mut()
-                    .system_mut()
-                    .launch(spec)
-                    .expect("launch");
-            }
+            CnmCmd::Launch { spec } => backend
+                .upmem_mut()
+                .try_op(|sys| sys.launch(spec))
+                .map(|_| ()),
             CnmCmd::Gather { slot, buf, chunk } => {
                 let s = &mut slots[*slot as usize];
                 let mut scratch = std::mem::take(&mut s.scratch);
-                backend
+                let gathered = backend
                     .upmem_mut()
-                    .system_mut()
-                    .gather_i32_into(*buf, *chunk, &mut scratch)
-                    .expect("gather");
+                    .try_op(|sys| sys.gather_i32_into(*buf, *chunk, &mut scratch));
                 s.scratch = scratch;
+                gathered.map(|_| ())
             }
             CnmCmd::Decode { slot } => {
                 decode_slot(&mut slots[*slot as usize], dpus);
                 if !residency {
                     slots[*slot as usize].device_valid = false;
                 }
+                Ok(())
             }
-            CnmCmd::SetOutput { .. } => {}
+            CnmCmd::SetOutput { .. } => Ok(()),
+        };
+        if let Err(e) = executed {
+            return Err(cnm_failure(backend, "segment replay", e));
         }
         apply_effect(slots, cmd, residency);
     }
+    Ok(())
 }
 
 /// Executes one shard-planned op across the device set via the sharded

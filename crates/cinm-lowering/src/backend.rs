@@ -35,11 +35,14 @@
 use std::borrow::Cow;
 use std::collections::HashMap;
 
-use cinm_runtime::{CommandStream, PoolHandle};
+use cinm_runtime::{CommandStream, FaultStats, PoolHandle, RetryPolicy};
 use cpu_sim::model::{CpuModel, OpCounts};
-use memristor_sim::{CimStats, CrossbarAccelerator, CrossbarConfig, XbarCommand, XbarOutput};
+use memristor_sim::{
+    CimError, CimStats, CrossbarAccelerator, CrossbarConfig, XbarCommand, XbarOutput,
+};
 use upmem_sim::{
-    BinOp, Command, CommandOutput, DpuKernelKind, KernelSpec, SystemStats, UpmemConfig, UpmemSystem,
+    BinOp, Command, CommandOutput, DpuKernelKind, KernelSpec, SimError, SystemStats, UpmemConfig,
+    UpmemSystem,
 };
 
 use crate::tiling::{interchange, tile_2d, wram_tile_elems, TileShape};
@@ -230,6 +233,11 @@ pub struct UpmemBackend {
     /// Persistent execution contexts: device buffers keyed by op shape (see
     /// the module docs — reuse is bit-identical to allocating per op).
     contexts: HashMap<UpmemShape, UpmemContext>,
+    /// Retry policy for transient injected faults (see
+    /// [`try_sync`](Self::try_sync)).
+    retry: RetryPolicy,
+    /// Cumulative retry/backoff counters of this backend.
+    fault_stats: FaultStats,
 }
 
 impl UpmemBackend {
@@ -243,6 +251,8 @@ impl UpmemBackend {
             system: UpmemSystem::new(config),
             options,
             contexts: HashMap::new(),
+            retry: RetryPolicy::default(),
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -259,6 +269,8 @@ impl UpmemBackend {
             system: UpmemSystem::new(config),
             options,
             contexts: HashMap::new(),
+            retry: RetryPolicy::default(),
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -324,10 +336,78 @@ impl UpmemBackend {
         self.spec(kind, inputs, output)
     }
 
-    /// Runs a recorded command stream on the backend's system, returning the
-    /// per-command outputs (see [`UpmemSystem::sync`]).
-    fn sync(&mut self, stream: &mut CommandStream<Command<'_>>) -> Vec<CommandOutput> {
-        self.system.sync(stream).expect("stream sync")
+    /// Runs a recorded command stream on the backend's system, retrying
+    /// transient injected faults with the backend's capped-backoff
+    /// [`RetryPolicy`] (the faulted sync applies nothing, so resubmission is
+    /// always safe and bit-identical). Retries and simulated backoff are
+    /// accumulated in [`fault_stats`](Self::fault_stats).
+    ///
+    /// # Errors
+    ///
+    /// A permanent device fault, a transient fault that outlived the retry
+    /// budget, or an invalid program.
+    pub fn try_sync(
+        &mut self,
+        stream: &mut CommandStream<Command<'_>>,
+    ) -> Result<Vec<CommandOutput>, SimError> {
+        let retry = self.retry;
+        let (result, log) = retry.run(
+            |e: &SimError| e.is_transient_fault(),
+            || self.system.sync(stream),
+        );
+        self.fault_stats.absorb(&log);
+        if let Err(e) = &result {
+            if e.is_permanent_fault() {
+                self.fault_stats.permanent_faults += 1;
+            }
+        }
+        result
+    }
+
+    /// Runs one operation against the wrapped [`UpmemSystem`] under the same
+    /// transient-fault retry policy as [`try_sync`](Self::try_sync). The
+    /// session's direct (allocation-free) replay path drives individual
+    /// scatters/launches/gathers through this instead of a stream, so its
+    /// per-command retries are accounted in the same
+    /// [`fault_stats`](Self::fault_stats) counters.
+    ///
+    /// # Errors
+    ///
+    /// A permanent device fault, a transient fault that outlived the retry
+    /// budget, or an invalid program.
+    pub fn try_op<T>(
+        &mut self,
+        mut op: impl FnMut(&mut UpmemSystem) -> Result<T, SimError>,
+    ) -> Result<T, SimError> {
+        let retry = self.retry;
+        let (result, log) = retry.run(
+            |e: &SimError| e.is_transient_fault(),
+            || op(&mut self.system),
+        );
+        self.fault_stats.absorb(&log);
+        if let Err(e) = &result {
+            if e.is_permanent_fault() {
+                self.fault_stats.permanent_faults += 1;
+            }
+        }
+        result
+    }
+
+    /// The retry policy applied to transient faults.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Overrides the retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Cumulative fault-tolerance counters (retries taken, simulated backoff,
+    /// permanent faults observed). Kept separate from the simulated
+    /// [`stats`](Self::stats), which stay bit-identical to a fault-free run.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// Accumulated simulated statistics.
@@ -371,6 +451,25 @@ impl UpmemBackend {
     /// `C[m×n] = A[m×k] × B[k×n]`: row blocks of A are scattered across the
     /// DPUs, B is broadcast, each DPU computes its C block.
     pub fn gemm(&mut self, a: &[i32], b: &[i32], m: usize, k: usize, n: usize) -> Vec<i32> {
+        self.try_gemm(a, b, m, k, n).expect("UPMEM gemm")
+    }
+
+    /// The fallible form of [`gemm`](Self::gemm): transient injected faults
+    /// are retried internally (see [`try_sync`](Self::try_sync)); permanent
+    /// faults and exhausted retry budgets surface as errors with nothing
+    /// partially applied (each op is one transactional stream sync).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_sync`](Self::try_sync).
+    pub fn try_gemm(
+        &mut self,
+        a: &[i32],
+        b: &[i32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Result<Vec<i32>, SimError> {
         assert_eq!(a.len(), m * k, "lhs shape mismatch");
         assert_eq!(b.len(), k * n, "rhs shape mismatch");
         let dpus = self.system.num_dpus();
@@ -407,14 +506,29 @@ impl UpmemBackend {
             buffer: c_buf,
             chunk: rows_per_dpu * n,
         });
-        let mut out = self.sync(&mut stream);
+        let mut out = self.try_sync(&mut stream)?;
         let mut c = out.swap_remove(g).into_gathered().expect("gather output");
         c.truncate(m * n);
-        c
+        Ok(c)
     }
 
     /// `y[rows] = A[rows×cols] × x[cols]` with row blocks per DPU.
     pub fn gemv(&mut self, a: &[i32], x: &[i32], rows: usize, cols: usize) -> Vec<i32> {
+        self.try_gemv(a, x, rows, cols).expect("UPMEM gemv")
+    }
+
+    /// Fallible form of [`gemv`](Self::gemv).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_sync`](Self::try_sync).
+    pub fn try_gemv(
+        &mut self,
+        a: &[i32],
+        x: &[i32],
+        rows: usize,
+        cols: usize,
+    ) -> Result<Vec<i32>, SimError> {
         assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
         assert_eq!(x.len(), cols, "vector shape mismatch");
         let dpus = self.system.num_dpus();
@@ -447,14 +561,28 @@ impl UpmemBackend {
             buffer: y_buf,
             chunk: rows_per_dpu,
         });
-        let mut out = self.sync(&mut stream);
+        let mut out = self.try_sync(&mut stream)?;
         let mut y = out.swap_remove(g).into_gathered().expect("gather output");
         y.truncate(rows);
-        y
+        Ok(y)
     }
 
     /// Element-wise binary kernel over equally-split chunks.
     pub fn elementwise(&mut self, op: BinOp, a: &[i32], b: &[i32]) -> Vec<i32> {
+        self.try_elementwise(op, a, b).expect("UPMEM elementwise")
+    }
+
+    /// Fallible form of [`elementwise`](Self::elementwise).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_sync`](Self::try_sync).
+    pub fn try_elementwise(
+        &mut self,
+        op: BinOp,
+        a: &[i32],
+        b: &[i32],
+    ) -> Result<Vec<i32>, SimError> {
         assert_eq!(a.len(), b.len(), "element-wise operands must match");
         let dpus = self.system.num_dpus();
         let chunk = a.len().div_ceil(dpus).max(1);
@@ -484,15 +612,24 @@ impl UpmemBackend {
             buffer: c_buf,
             chunk,
         });
-        let mut out = self.sync(&mut stream);
+        let mut out = self.try_sync(&mut stream)?;
         let mut c = out.swap_remove(g).into_gathered().expect("gather output");
         c.truncate(a.len());
-        c
+        Ok(c)
     }
 
     /// Reduction: per-DPU partials are reduced, gathered, and folded on the
     /// host.
     pub fn reduce(&mut self, op: BinOp, a: &[i32]) -> i32 {
+        self.try_reduce(op, a).expect("UPMEM reduce")
+    }
+
+    /// Fallible form of [`reduce`](Self::reduce).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_sync`](Self::try_sync).
+    pub fn try_reduce(&mut self, op: BinOp, a: &[i32]) -> Result<i32, SimError> {
         let dpus = self.system.num_dpus();
         let chunk = a.len().div_ceil(dpus).max(1);
         let ctx = self.context(UpmemShape::Reduce { len: a.len() }, &[chunk, 1]);
@@ -512,14 +649,29 @@ impl UpmemBackend {
             buffer: p_buf,
             chunk: 1,
         });
-        let mut out = self.sync(&mut stream);
+        let mut out = self.try_sync(&mut stream)?;
         let partials = out.swap_remove(g).into_gathered().expect("gather output");
         let used_dpus = a.len().div_ceil(chunk);
-        fold_reduce_partials(op, &partials, used_dpus)
+        Ok(fold_reduce_partials(op, &partials, used_dpus))
     }
 
     /// Histogram: per-DPU privatised histograms merged on the host.
     pub fn histogram(&mut self, a: &[i32], bins: usize, max_value: i32) -> Vec<i32> {
+        self.try_histogram(a, bins, max_value)
+            .expect("UPMEM histogram")
+    }
+
+    /// Fallible form of [`histogram`](Self::histogram).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_sync`](Self::try_sync).
+    pub fn try_histogram(
+        &mut self,
+        a: &[i32],
+        bins: usize,
+        max_value: i32,
+    ) -> Result<Vec<i32>, SimError> {
         let dpus = self.system.num_dpus();
         let chunk = a.len().div_ceil(dpus).max(1);
         let ctx = self.context(UpmemShape::Histogram { bins, len: a.len() }, &[chunk, bins]);
@@ -544,15 +696,24 @@ impl UpmemBackend {
             buffer: h_buf,
             chunk: bins,
         });
-        let mut out = self.sync(&mut stream);
+        let mut out = self.try_sync(&mut stream)?;
         let partials = out.swap_remove(g).into_gathered().expect("gather output");
         let mut merged = Vec::new();
         merge_histogram_partials_into(&partials, bins, a.len(), chunk, dpus, &mut merged);
-        merged
+        Ok(merged)
     }
 
     /// Database select: per-DPU selections concatenated in order.
     pub fn select(&mut self, a: &[i32], threshold: i32) -> Vec<i32> {
+        self.try_select(a, threshold).expect("UPMEM select")
+    }
+
+    /// Fallible form of [`select`](Self::select).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_sync`](Self::try_sync).
+    pub fn try_select(&mut self, a: &[i32], threshold: i32) -> Result<Vec<i32>, SimError> {
         let dpus = self.system.num_dpus();
         let chunk = a.len().div_ceil(dpus).max(1);
         let ctx = self.context(UpmemShape::Select { len: a.len() }, &[chunk, chunk + 1]);
@@ -576,16 +737,25 @@ impl UpmemBackend {
             buffer: o_buf,
             chunk: chunk + 1,
         });
-        let mut out = self.sync(&mut stream);
+        let mut out = self.try_sync(&mut stream)?;
         let raw = out.swap_remove(g).into_gathered().expect("gather output");
         let mut out = Vec::new();
         decode_select_into(&raw, chunk, a.len(), threshold, &mut out);
-        out
+        Ok(out)
     }
 
     /// Time-series distance profile with partitioned semantics: each DPU
     /// profiles its own chunk against the chunk's leading window.
     pub fn time_series(&mut self, a: &[i32], window: usize) -> Vec<i32> {
+        self.try_time_series(a, window).expect("UPMEM time series")
+    }
+
+    /// Fallible form of [`time_series`](Self::time_series).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_sync`](Self::try_sync).
+    pub fn try_time_series(&mut self, a: &[i32], window: usize) -> Result<Vec<i32>, SimError> {
         let dpus = self.system.num_dpus();
         let chunk = a.len().div_ceil(dpus).max(window);
         let positions = chunk - window + 1;
@@ -613,14 +783,14 @@ impl UpmemBackend {
             buffer: o_buf,
             chunk: positions,
         });
-        let mut outputs = self.sync(&mut stream);
+        let mut outputs = self.try_sync(&mut stream)?;
         let mut out = outputs
             .swap_remove(g)
             .into_gathered()
             .expect("gather output");
         let used_dpus = a.len().div_ceil(chunk);
         out.truncate(used_dpus * positions);
-        out
+        Ok(out)
     }
 
     /// One BFS frontier expansion with partitioned CSR fragments.
@@ -634,6 +804,32 @@ impl UpmemBackend {
         avg_degree: usize,
         used_dpus: usize,
     ) -> Vec<i32> {
+        self.try_bfs_step(
+            row_offsets,
+            cols,
+            frontier,
+            vertices_per_dpu,
+            avg_degree,
+            used_dpus,
+        )
+        .expect("UPMEM bfs step")
+    }
+
+    /// Fallible form of [`bfs_step`](Self::bfs_step).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_sync`](Self::try_sync).
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_bfs_step(
+        &mut self,
+        row_offsets: &[i32],
+        cols: &[i32],
+        frontier: &[i32],
+        vertices_per_dpu: usize,
+        avg_degree: usize,
+        used_dpus: usize,
+    ) -> Result<Vec<i32>, SimError> {
         let ctx = self.context(
             UpmemShape::BfsStep {
                 vertices: vertices_per_dpu,
@@ -677,10 +873,10 @@ impl UpmemBackend {
             buffer: n_buf,
             chunk: vertices_per_dpu,
         });
-        let mut out = self.sync(&mut stream);
+        let mut out = self.try_sync(&mut stream)?;
         let mut next = out.swap_remove(g).into_gathered().expect("gather output");
         next.truncate(used_dpus * vertices_per_dpu);
-        next
+        Ok(next)
     }
 }
 
@@ -990,6 +1186,10 @@ pub struct CimBackend {
     spans: Vec<(usize, usize)>,
     /// Reusable bookkeeping of enqueued commands for partial-result merging.
     issued: Vec<Issued>,
+    /// Retry policy for transient injected faults on stream syncs.
+    retry: RetryPolicy,
+    /// Fault-tolerance counters, separate from the simulated statistics.
+    fault_stats: FaultStats,
 }
 
 impl CimBackend {
@@ -1018,7 +1218,54 @@ impl CimBackend {
             arena: Vec::new(),
             spans: Vec::new(),
             issued: Vec::new(),
+            retry: RetryPolicy::default(),
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Runs a recorded crossbar command stream with transient injected
+    /// faults retried under the backend's [`RetryPolicy`]. The crossbar sync
+    /// is transactional under faults (nothing is applied, the program stays
+    /// in the stream), so resubmission is safe and bit-identical. Retries
+    /// and simulated backoff accumulate in [`fault_stats`](Self::fault_stats).
+    ///
+    /// # Errors
+    ///
+    /// A permanent device fault (e.g. stuck-at tiles), a transient fault that
+    /// outlived the retry budget, or an invalid program.
+    pub fn try_sync(
+        &mut self,
+        stream: &mut CommandStream<XbarCommand<'_>>,
+    ) -> Result<Vec<XbarOutput>, CimError> {
+        let retry = self.retry;
+        let (result, log) = retry.run(
+            |e: &CimError| e.is_transient_fault(),
+            || self.xbar.sync(stream),
+        );
+        self.fault_stats.absorb(&log);
+        if let Err(e) = &result {
+            if e.is_permanent_fault() {
+                self.fault_stats.permanent_faults += 1;
+            }
+        }
+        result
+    }
+
+    /// The retry policy applied to transient faults.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Overrides the retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Cumulative fault-tolerance counters (retries taken, simulated backoff,
+    /// permanent faults observed). Kept separate from the simulated
+    /// [`stats`](Self::stats), which stay bit-identical to a fault-free run.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// Takes the cached tile plan of a stationary operand shape out of the
@@ -1108,6 +1355,27 @@ impl CimBackend {
     /// order keeps a programmed tile for all its uses (column-major order),
     /// which is exactly the loop interchange of Section 3.2.4.
     pub fn gemm(&mut self, a: &[i32], b: &[i32], m: usize, k: usize, n: usize) -> Vec<i32> {
+        self.try_gemm(a, b, m, k, n).expect("CIM gemm")
+    }
+
+    /// The fallible form of [`gemm`](Self::gemm). The op issues one
+    /// transactional stream sync per tile batch; a transient fault on any
+    /// sync is retried in place (results and simulated statistics stay
+    /// bit-identical to a fault-free run), while a permanent fault — e.g. a
+    /// stuck-at tile — aborts the op so the caller can re-plan around the
+    /// device.
+    ///
+    /// # Errors
+    ///
+    /// See [`try_sync`](Self::try_sync).
+    pub fn try_gemm(
+        &mut self,
+        a: &[i32],
+        b: &[i32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Result<Vec<i32>, CimError> {
         assert_eq!(a.len(), m * k, "lhs shape mismatch");
         assert_eq!(b.len(), k * n, "rhs shape mismatch");
         let tile = self.xbar.config().tile_rows;
@@ -1123,6 +1391,10 @@ impl CimBackend {
         let mut arena = std::mem::take(&mut self.arena);
         let mut spans = std::mem::take(&mut self.spans);
         let mut issued = std::mem::take(&mut self.issued);
+        // On a permanent fault the loop stops here and the error is returned
+        // only after the scratch state has been put back, so a failed op
+        // leaves the backend reusable.
+        let mut failure: Option<CimError> = None;
 
         // The generated host program is a command stream per outer step:
         // tile programming and the MVMs that consume it are hazard-ordered
@@ -1164,8 +1436,13 @@ impl CimBackend {
                 // protocol drifted.
                 assert_eq!(cursor, spans.len(), "stage/enqueue span mismatch");
                 self.charge_commands(issued.len());
-                let outputs = self.xbar.sync(&mut stream).expect("xbar stream");
-                merge_outputs(&outputs, &issued, &mut c, n);
+                match self.try_sync(&mut stream) {
+                    Ok(outputs) => merge_outputs(&outputs, &issued, &mut c, n),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
             }
         } else {
             // Naive order: for every output row band, walk (and re-program)
@@ -1200,14 +1477,22 @@ impl CimBackend {
                 // protocol drifted.
                 assert_eq!(cursor, spans.len(), "stage/enqueue span mismatch");
                 self.charge_commands(issued.len());
-                let outputs = self.xbar.sync(&mut stream).expect("xbar stream");
-                merge_outputs(&outputs, &issued, &mut c, n);
+                match self.try_sync(&mut stream) {
+                    Ok(outputs) => merge_outputs(&outputs, &issued, &mut c, n),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
             }
         }
         self.arena = arena;
         self.spans = spans;
         self.issued = issued;
         self.restore_tile_plan(k, n, plan);
+        if let Some(e) = failure {
+            return Err(e);
+        }
         // Partial-result merging happens in the column periphery /
         // mergePartial units; charge a small host pass over the output.
         self.host_fallback(OpCounts {
@@ -1216,16 +1501,31 @@ impl CimBackend {
             bytes_read: (m * n * 4) as f64,
             bytes_written: (m * n * 4) as f64,
         });
-        c
+        Ok(c)
     }
 
     /// `y = A × x` as a single-row GEMM.
     pub fn gemv(&mut self, a: &[i32], x: &[i32], rows: usize, cols: usize) -> Vec<i32> {
+        self.try_gemv(a, x, rows, cols).expect("CIM gemv")
+    }
+
+    /// Fallible form of [`gemv`](Self::gemv).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_sync`](Self::try_sync).
+    pub fn try_gemv(
+        &mut self,
+        a: &[i32],
+        x: &[i32],
+        rows: usize,
+        cols: usize,
+    ) -> Result<Vec<i32>, CimError> {
         // A[rows×cols] × x[cols] = (x as 1×cols row) × Aᵀ — the crossbar holds
         // A tiles directly, so we compute row by row: treat x as the
         // stationary operand is not possible; instead compute C = A × X with
         // X = x as a cols×1 matrix.
-        self.gemm(a, x, rows, cols, 1)
+        self.try_gemm(a, x, rows, cols, 1)
     }
 }
 

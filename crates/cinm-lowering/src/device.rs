@@ -512,30 +512,107 @@ impl ShardOp<'_> {
 /// so an asynchronous device (or a remote one) can defer without changing
 /// callers — and so the sharded layers can move the *whole* submit call onto
 /// a worker-pool task and overlap devices.
-#[derive(Debug, Default)]
+///
+/// A future resolves to a `Result`: device-side *execution* faults (injected
+/// transients that outlived the retry budget, permanent hardware faults)
+/// surface here at [`wait`](DeviceFuture::wait), while submission-time
+/// classification errors (unsupported ops) are returned by
+/// [`Device::submit`] itself.
+#[derive(Debug)]
 pub struct DeviceFuture {
-    result: Vec<i32>,
+    result: Result<Vec<i32>, ShardError>,
     sim_seconds: f64,
+}
+
+impl Default for DeviceFuture {
+    fn default() -> Self {
+        DeviceFuture {
+            result: Ok(Vec::new()),
+            sim_seconds: 0.0,
+        }
+    }
 }
 
 impl DeviceFuture {
     /// An immediately-resolved future (empty shards).
     pub fn ready(result: Vec<i32>, sim_seconds: f64) -> Self {
         DeviceFuture {
-            result,
+            result: Ok(result),
             sim_seconds,
         }
     }
 
+    /// A future resolved to an execution fault.
+    pub fn failed(error: ShardError) -> Self {
+        DeviceFuture {
+            result: Err(error),
+            sim_seconds: 0.0,
+        }
+    }
+
+    /// Whether the shard failed (without consuming the future).
+    pub fn is_failed(&self) -> bool {
+        self.result.is_err()
+    }
+
     /// Waits for completion, returning the shard result and the simulated
     /// seconds the device spent on it.
-    pub fn wait(self) -> (Vec<i32>, f64) {
-        (self.result, self.sim_seconds)
+    ///
+    /// # Errors
+    ///
+    /// The execution fault that killed the shard.
+    pub fn wait(self) -> Result<(Vec<i32>, f64), ShardError> {
+        let sim_seconds = self.sim_seconds;
+        self.result.map(|result| (result, sim_seconds))
     }
 
     /// The simulated seconds without consuming the result.
     pub fn sim_seconds(&self) -> f64 {
         self.sim_seconds
+    }
+}
+
+/// Failure-tracking state of a device: how execution faults accumulate into
+/// an *unhealthy* verdict that drops the device out of shard plans.
+///
+/// A device is unhealthy once it reports a permanent fault, or once
+/// [`CONSECUTIVE_FAILURE_LIMIT`](Self::CONSECUTIVE_FAILURE_LIMIT) shard
+/// executions fail back-to-back (a transient storm that outlives per-stream
+/// retries). Any successful shard resets the consecutive counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceHealth {
+    /// Failed shard executions since the last success.
+    pub consecutive_failures: u32,
+    /// Failed shard executions over the device's lifetime.
+    pub total_failures: u64,
+    /// A permanent hardware fault was reported; the device never recovers
+    /// on its own (see [`Device::reset_health`]).
+    pub permanent: bool,
+}
+
+impl DeviceHealth {
+    /// Consecutive failed shards after which a device without a permanent
+    /// fault is still declared unhealthy.
+    pub const CONSECUTIVE_FAILURE_LIMIT: u32 = 3;
+
+    /// Records a completed shard.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+    }
+
+    /// Records a failed shard; `permanent` marks the device as
+    /// unrecoverable.
+    pub fn record_failure(&mut self, permanent: bool) {
+        self.consecutive_failures += 1;
+        self.total_failures += 1;
+        if permanent {
+            self.permanent = true;
+        }
+    }
+
+    /// Whether the device should receive new shards.
+    pub fn healthy(&self) -> bool {
+        !self.permanent && self.consecutive_failures < Self::CONSECUTIVE_FAILURE_LIMIT
     }
 }
 
@@ -561,8 +638,35 @@ pub trait Device: Send {
 
     /// Executes one shard. Empty shards (`plan.work() == 0`) resolve to an
     /// empty result at zero cost without touching the device; unsupported
-    /// ops return [`ShardError::Unsupported`].
+    /// ops return [`ShardError::Unsupported`]. Device-side *execution*
+    /// faults do not error here — they resolve through the returned future
+    /// (see [`DeviceFuture::wait`]) and are recorded in the device's
+    /// [`health`](Device::health).
     fn submit(&mut self, plan: &ShardOp<'_>) -> Result<DeviceFuture, ShardError>;
+
+    /// Failure-tracking snapshot. Devices that cannot fail (the host golden
+    /// kernels) report the default, always-healthy state.
+    fn health(&self) -> DeviceHealth {
+        DeviceHealth::default()
+    }
+
+    /// Whether the device should receive new shards (see
+    /// [`DeviceHealth::healthy`]). Planners and sessions drop unhealthy
+    /// devices when re-planning around faults.
+    fn is_healthy(&self) -> bool {
+        self.health().healthy()
+    }
+
+    /// Returns an unhealthy device to service (operator intervention — e.g.
+    /// the faulty rank was swapped). No-op for devices that cannot fail.
+    fn reset_health(&mut self) {}
+
+    /// Records an execution failure observed by a layer driving the device
+    /// *outside* [`submit`](Device::submit) (the session's resident-tensor
+    /// compiler talks to the UPMEM backend directly). Health-tracking
+    /// devices fold it into the same counters a failed shard would hit;
+    /// devices that cannot fail ignore it.
+    fn note_failure(&mut self, _permanent: bool) {}
 
     /// Total simulated seconds accumulated by this device so far.
     fn sim_seconds(&self) -> f64;
@@ -587,13 +691,18 @@ fn unsupported(device: ShardDevice, plan: &ShardOp<'_>) -> ShardError {
 pub struct UpmemDevice {
     backend: UpmemBackend,
     cost: CnmCostModel,
+    health: DeviceHealth,
 }
 
 impl UpmemDevice {
     /// Wraps an UPMEM backend.
     pub fn new(backend: UpmemBackend) -> Self {
         let cost = CnmCostModel::new(backend.system().config().clone());
-        UpmemDevice { backend, cost }
+        UpmemDevice {
+            backend,
+            cost,
+            health: DeviceHealth::default(),
+        }
     }
 
     /// The wrapped eager backend (the equivalence oracle; also the surface
@@ -636,14 +745,41 @@ impl Device for UpmemDevice {
         }
         let before = self.backend.stats().total_seconds();
         let result = match *plan {
-            ShardOp::Gemm { a, b, m, k, n } => self.backend.gemm(a, b, m, k, n),
-            ShardOp::Gemv { a, x, rows, cols } => self.backend.gemv(a, x, rows, cols),
-            ShardOp::Elementwise { op, a, b } => self.backend.elementwise(op, a, b),
-            ShardOp::Reduce { op, a } => vec![self.backend.reduce(op, a)],
-            ShardOp::Histogram { a, bins, max_value } => self.backend.histogram(a, bins, max_value),
+            ShardOp::Gemm { a, b, m, k, n } => self.backend.try_gemm(a, b, m, k, n),
+            ShardOp::Gemv { a, x, rows, cols } => self.backend.try_gemv(a, x, rows, cols),
+            ShardOp::Elementwise { op, a, b } => self.backend.try_elementwise(op, a, b),
+            ShardOp::Reduce { op, a } => self.backend.try_reduce(op, a).map(|v| vec![v]),
+            ShardOp::Histogram { a, bins, max_value } => {
+                self.backend.try_histogram(a, bins, max_value)
+            }
         };
-        let sim_seconds = self.backend.stats().total_seconds() - before;
-        Ok(DeviceFuture::ready(result, sim_seconds))
+        match result {
+            Ok(result) => {
+                self.health.record_success();
+                let sim_seconds = self.backend.stats().total_seconds() - before;
+                Ok(DeviceFuture::ready(result, sim_seconds))
+            }
+            Err(e) => {
+                self.health.record_failure(e.is_permanent_fault());
+                Ok(DeviceFuture::failed(ShardError::DeviceFault {
+                    device: ShardDevice::Cnm,
+                    permanent: e.is_permanent_fault(),
+                    message: e.to_string(),
+                }))
+            }
+        }
+    }
+
+    fn health(&self) -> DeviceHealth {
+        self.health
+    }
+
+    fn reset_health(&mut self) {
+        self.health = DeviceHealth::default();
+    }
+
+    fn note_failure(&mut self, permanent: bool) {
+        self.health.record_failure(permanent);
     }
 
     fn sim_seconds(&self) -> f64 {
@@ -665,13 +801,18 @@ impl Device for UpmemDevice {
 pub struct CimDevice {
     backend: CimBackend,
     cost: CimCostModel,
+    health: DeviceHealth,
 }
 
 impl CimDevice {
     /// Wraps a crossbar backend.
     pub fn new(backend: CimBackend) -> Self {
         let cost = CimCostModel::new(backend.crossbar_config().clone());
-        CimDevice { backend, cost }
+        CimDevice {
+            backend,
+            cost,
+            health: DeviceHealth::default(),
+        }
     }
 
     /// The wrapped eager backend.
@@ -712,12 +853,37 @@ impl Device for CimDevice {
         }
         let before = self.backend.stats().total_seconds();
         let result = match *plan {
-            ShardOp::Gemm { a, b, m, k, n } => self.backend.gemm(a, b, m, k, n),
-            ShardOp::Gemv { a, x, rows, cols } => self.backend.gemv(a, x, rows, cols),
+            ShardOp::Gemm { a, b, m, k, n } => self.backend.try_gemm(a, b, m, k, n),
+            ShardOp::Gemv { a, x, rows, cols } => self.backend.try_gemv(a, x, rows, cols),
             _ => return Err(unsupported(ShardDevice::Cim, plan)),
         };
-        let sim_seconds = self.backend.stats().total_seconds() - before;
-        Ok(DeviceFuture::ready(result, sim_seconds))
+        match result {
+            Ok(result) => {
+                self.health.record_success();
+                let sim_seconds = self.backend.stats().total_seconds() - before;
+                Ok(DeviceFuture::ready(result, sim_seconds))
+            }
+            Err(e) => {
+                self.health.record_failure(e.is_permanent_fault());
+                Ok(DeviceFuture::failed(ShardError::DeviceFault {
+                    device: ShardDevice::Cim,
+                    permanent: e.is_permanent_fault(),
+                    message: e.to_string(),
+                }))
+            }
+        }
+    }
+
+    fn health(&self) -> DeviceHealth {
+        self.health
+    }
+
+    fn reset_health(&mut self) {
+        self.health = DeviceHealth::default();
+    }
+
+    fn note_failure(&mut self, permanent: bool) {
+        self.health.record_failure(permanent);
     }
 
     fn sim_seconds(&self) -> f64 {
@@ -895,7 +1061,7 @@ mod tests {
                 cols: 8,
             })
             .unwrap();
-        let (result, secs) = fut.wait();
+        let (result, secs) = fut.wait().unwrap();
         assert!(result.is_empty());
         assert_eq!(secs, 0.0);
         assert_eq!(cim.sim_seconds(), before);

@@ -33,6 +33,7 @@ use std::time::Instant;
 
 use cinm_runtime::PoolHandle;
 use cpu_sim::model::CpuModel;
+use memristor_sim::CrossbarConfig;
 use upmem_sim::{BinOp, UpmemConfig};
 
 use crate::backend::{CimBackend, CimRunOptions, UpmemBackend, UpmemRunOptions};
@@ -103,6 +104,63 @@ pub enum ShardError {
         /// Name of the operation.
         op: &'static str,
     },
+    /// An operand does not match the declared op shape (e.g. `a.len()`
+    /// disagrees with `m × k`).
+    ShapeMismatch {
+        /// Name of the operation.
+        op: &'static str,
+        /// What was mis-shaped (e.g. `"lhs elements"`).
+        what: &'static str,
+        /// The size the op shape requires.
+        expected: usize,
+        /// The size actually provided.
+        got: usize,
+    },
+    /// A device reported an execution fault while running its shard: an
+    /// injected transient that outlived the per-stream retry budget, or a
+    /// permanent hardware fault. The device's
+    /// [`health`](crate::device::Device::health) records the failure;
+    /// permanent faults are what re-planning routes around.
+    DeviceFault {
+        /// The faulting device.
+        device: ShardDevice,
+        /// Whether the fault is permanent (the device will not recover).
+        permanent: bool,
+        /// The device's error message.
+        message: String,
+    },
+    /// A device task panicked while executing its shard (a simulator bug,
+    /// not a modelled fault). The panic is contained to the shard and
+    /// surfaced as a typed error instead of tearing the process down.
+    ExecutionPanic {
+        /// The panicking device.
+        device: ShardDevice,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl ShardError {
+    /// Whether the error is a device fault that re-planning around the
+    /// device can recover from (any [`ShardError::DeviceFault`] or
+    /// [`ShardError::ExecutionPanic`]; validation errors are not
+    /// recoverable by re-planning).
+    pub fn is_device_failure(&self) -> bool {
+        matches!(
+            self,
+            ShardError::DeviceFault { .. } | ShardError::ExecutionPanic { .. }
+        )
+    }
+
+    /// The faulting device of a device failure.
+    pub fn failed_device(&self) -> Option<ShardDevice> {
+        match self {
+            ShardError::DeviceFault { device, .. } | ShardError::ExecutionPanic { device, .. } => {
+                Some(*device)
+            }
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ShardError {
@@ -121,6 +179,26 @@ impl std::fmt::Display for ShardError {
             ),
             ShardError::Unsupported { device, op } => {
                 write!(f, "device '{device}' cannot execute a shard of {op}")
+            }
+            ShardError::ShapeMismatch {
+                op,
+                what,
+                expected,
+                got,
+            } => write!(f, "{op}: expected {expected} {what}, got {got}"),
+            ShardError::DeviceFault {
+                device,
+                permanent,
+                message,
+            } => {
+                let kind = if *permanent { "permanent" } else { "transient" };
+                write!(f, "device '{device}' hit a {kind} fault: {message}")
+            }
+            ShardError::ExecutionPanic { device, message } => {
+                write!(
+                    f,
+                    "device '{device}' panicked executing its shard: {message}"
+                )
             }
         }
     }
@@ -256,6 +334,10 @@ pub struct ShardedRunOptions {
     pub upmem: UpmemRunOptions,
     /// Code-generation options of the crossbar shard.
     pub cim: CimRunOptions,
+    /// Explicit crossbar hardware configuration (geometry, fault schedule).
+    /// `None` keeps the default [`CrossbarConfig`]; fault-injection harnesses
+    /// attach a [`cinm_runtime::FaultConfig`] through this.
+    pub cim_config: Option<CrossbarConfig>,
     /// Roofline model timing the host shard.
     pub host_model: CpuModel,
     /// The shared worker pool all three device tasks are dispatched onto
@@ -270,6 +352,7 @@ impl Default for ShardedRunOptions {
             ranks: 16,
             upmem: UpmemRunOptions::optimized(),
             cim: CimRunOptions::optimized(),
+            cim_config: None,
             host_model: CpuModel::arm_host(),
             pool: PoolHandle::global(),
         }
@@ -293,6 +376,13 @@ impl ShardedRunOptions {
     pub fn with_host_threads(mut self, host_threads: usize) -> Self {
         self.upmem.host_threads = host_threads;
         self.cim.host_threads = host_threads;
+        self
+    }
+
+    /// Attaches an explicit crossbar configuration (fault harnesses inject
+    /// CIM fault schedules through this).
+    pub fn with_cim_config(mut self, config: CrossbarConfig) -> Self {
+        self.cim_config = Some(config);
         self
     }
 }
@@ -375,13 +465,54 @@ impl Drop for ConcurrencyGuard<'_> {
 }
 
 /// Per-device outcome of one sharded dispatch.
-#[derive(Default)]
 struct ShardOutcome {
-    result: Vec<i32>,
+    result: Result<Vec<i32>, ShardError>,
     /// Simulated seconds the shard took on its device.
     sim_seconds: f64,
     /// Host wall-clock seconds the device task ran for.
     wall_seconds: f64,
+}
+
+impl Default for ShardOutcome {
+    fn default() -> Self {
+        ShardOutcome {
+            result: Ok(Vec::new()),
+            sim_seconds: 0.0,
+            wall_seconds: 0.0,
+        }
+    }
+}
+
+/// Typed operand-shape validation (replacing the hot-path `assert_eq!`s):
+/// mis-shaped inputs are a caller error the execution layers report instead
+/// of panicking a worker.
+fn shape_check(
+    op: &'static str,
+    what: &'static str,
+    expected: usize,
+    got: usize,
+) -> Result<(), ShardError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(ShardError::ShapeMismatch {
+            op,
+            what,
+            expected,
+            got,
+        })
+    }
+}
+
+/// Best-effort string of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 /// The heterogeneous sharded execution backend: owns all three devices
@@ -408,9 +539,10 @@ impl ShardedBackend {
     pub fn new(options: ShardedRunOptions) -> Self {
         let upmem_options = options.upmem.clone().with_pool(options.pool.clone());
         let cim_options = options.cim.clone().with_pool(options.pool.clone());
+        let cim_config = options.cim_config.clone().unwrap_or_default();
         ShardedBackend {
             cnm: UpmemDevice::new(UpmemBackend::new(options.ranks, upmem_options)),
-            cim: CimDevice::new(CimBackend::new(cim_options)),
+            cim: CimDevice::new(CimBackend::with_config(cim_config, cim_options)),
             host: HostDevice::new(options.host_model),
             pool: options.pool,
             stats: ShardStats::default(),
@@ -422,9 +554,10 @@ impl ShardedBackend {
     pub fn with_upmem_config(config: UpmemConfig, options: ShardedRunOptions) -> Self {
         let upmem_options = options.upmem.clone().with_pool(options.pool.clone());
         let cim_options = options.cim.clone().with_pool(options.pool.clone());
+        let cim_config = options.cim_config.clone().unwrap_or_default();
         ShardedBackend {
             cnm: UpmemDevice::new(UpmemBackend::with_config(config, upmem_options)),
-            cim: CimDevice::new(CimBackend::new(cim_options)),
+            cim: CimDevice::new(CimBackend::with_config(cim_config, cim_options)),
             host: HostDevice::new(options.host_model),
             pool: options.pool,
             stats: ShardStats::default(),
@@ -517,10 +650,18 @@ impl ShardedBackend {
 
     /// Dispatches up to three shard submissions concurrently on the shared
     /// pool — one [`Device::submit`] task per non-empty shard — and folds the
-    /// resolved [`crate::device::DeviceFuture`]s into the statistics. The
-    /// shards were validated before dispatch, so a submission error here is a
-    /// bug (the support matrix and the validator disagree).
-    fn dispatch(&mut self, work: &ShardSplit, ops: [Option<ShardOp<'_>>; 3]) -> [Vec<i32>; 3] {
+    /// resolved [`crate::device::DeviceFuture`]s into the statistics.
+    ///
+    /// Failures are contained per shard: an execution fault resolves through
+    /// the shard's future as a typed [`ShardError`], and a panicking device
+    /// task is caught and converted to [`ShardError::ExecutionPanic`] — the
+    /// other shards still run (and are accounted) before the first failing
+    /// device's error, in `[cnm, cim, host]` order, is returned.
+    fn dispatch(
+        &mut self,
+        work: &ShardSplit,
+        ops: [Option<ShardOp<'_>>; 3],
+    ) -> Result<[Vec<i32>; 3], ShardError> {
         let tracker = ConcurrencyTracker::default();
         let mut outcomes: [ShardOutcome; 3] = Default::default();
         let op_start = Instant::now();
@@ -528,18 +669,38 @@ impl ShardedBackend {
             let devices: [&mut dyn Device; 3] = [&mut self.cnm, &mut self.cim, &mut self.host];
             let tracker = &tracker;
             self.pool.get().scope(|s| {
-                for ((device, op), outcome) in
-                    devices.into_iter().zip(&ops).zip(outcomes.iter_mut())
+                for (((device, op), outcome), slot) in devices
+                    .into_iter()
+                    .zip(&ops)
+                    .zip(outcomes.iter_mut())
+                    .zip(ShardDevice::ALL)
                 {
                     let Some(op) = op else { continue };
                     if op.work() == 0 {
                         continue;
                     }
-                    s.spawn(move |_| {
+                    let label = match slot {
+                        ShardDevice::Cnm => "cnm-shard",
+                        ShardDevice::Cim => "cim-shard",
+                        ShardDevice::Host => "host-shard",
+                    };
+                    s.spawn_labeled(label, move |_| {
                         let _in_flight = tracker.enter();
                         let start = Instant::now();
-                        let future = device.submit(op).expect("validated shard submission");
-                        let (result, sim_seconds) = future.wait();
+                        let submitted =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                device.submit(op)
+                            }))
+                            .unwrap_or_else(|payload| {
+                                Err(ShardError::ExecutionPanic {
+                                    device: slot,
+                                    message: panic_message(payload.as_ref()),
+                                })
+                            });
+                        let (result, sim_seconds) = match submitted.and_then(|f| f.wait()) {
+                            Ok((result, sim_seconds)) => (Ok(result), sim_seconds),
+                            Err(e) => (Err(e), 0.0),
+                        };
                         *outcome = ShardOutcome {
                             result,
                             sim_seconds,
@@ -554,14 +715,18 @@ impl ShardedBackend {
         self.stats.max_concurrent = self.stats.max_concurrent.max(tracker.max_seen());
         let mut makespan = 0.0f64;
         for (i, device) in ShardDevice::ALL.iter().enumerate() {
-            self.stats.work[i] += work.get(*device) as u64;
+            // Failed shards contribute no completed work (their partial
+            // simulated time is still real and stays accounted).
+            if outcomes[i].result.is_ok() {
+                self.stats.work[i] += work.get(*device) as u64;
+            }
             self.stats.sim_seconds[i] += outcomes[i].sim_seconds;
             self.stats.busy_wall_seconds[i] += outcomes[i].wall_seconds;
             makespan = makespan.max(outcomes[i].sim_seconds);
         }
         self.stats.sim_makespan_seconds += makespan;
         let [a, b, c] = outcomes;
-        [a.result, b.result, c.result]
+        Ok([a.result?, b.result?, c.result?])
     }
 
     /// Sharded `C[m×n] = A[m×k] × B[k×n]`: contiguous row ranges of A/C per
@@ -576,8 +741,8 @@ impl ShardedBackend {
         n: usize,
         split: &ShardSplit,
     ) -> Result<Vec<i32>, ShardError> {
-        assert_eq!(a.len(), m * k, "lhs shape mismatch");
-        assert_eq!(b.len(), k * n, "rhs shape mismatch");
+        shape_check("gemm", "lhs elements", m * k, a.len())?;
+        shape_check("gemm", "rhs elements", k * n, b.len())?;
         self.validate(split, m, "gemm", true)?;
         if m == 0 {
             return Ok(Vec::new());
@@ -602,7 +767,7 @@ impl ShardedBackend {
                 shard(a_cim, b, rows_cim, k, n),
                 shard(a_host, b, rows_host, k, n),
             ],
-        );
+        )?;
         let mut c = Vec::with_capacity(m * n);
         c.extend_from_slice(&c_cnm);
         c.extend_from_slice(&c_cim);
@@ -620,8 +785,8 @@ impl ShardedBackend {
         cols: usize,
         split: &ShardSplit,
     ) -> Result<Vec<i32>, ShardError> {
-        assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
-        assert_eq!(x.len(), cols, "vector shape mismatch");
+        shape_check("gemv", "matrix elements", rows * cols, a.len())?;
+        shape_check("gemv", "vector elements", cols, x.len())?;
         self.validate(split, rows, "gemv", true)?;
         if rows == 0 {
             return Ok(Vec::new());
@@ -640,7 +805,7 @@ impl ShardedBackend {
                 shard(a_cim, x, r_cim, cols),
                 shard(a_host, x, r_host, cols),
             ],
-        );
+        )?;
         let mut y = Vec::with_capacity(rows);
         y.extend_from_slice(&y_cnm);
         y.extend_from_slice(&y_cim);
@@ -659,7 +824,7 @@ impl ShardedBackend {
         b: &[i32],
         split: &ShardSplit,
     ) -> Result<Vec<i32>, ShardError> {
-        assert_eq!(a.len(), b.len(), "element-wise operands must match");
+        shape_check("elementwise", "rhs elements", a.len(), b.len())?;
         self.validate(split, a.len(), "elementwise", false)?;
         if a.is_empty() {
             return Ok(Vec::new());
@@ -682,7 +847,7 @@ impl ShardedBackend {
                     b: b_host,
                 }),
             ],
-        );
+        )?;
         let mut c = Vec::with_capacity(a.len());
         c.extend_from_slice(&c_cnm);
         c.extend_from_slice(&c_host);
@@ -705,7 +870,7 @@ impl ShardedBackend {
                 None, // validated: no CIM shard
                 Some(ShardOp::Reduce { op, a: a_host }),
             ],
-        );
+        )?;
         let mut acc = op.identity();
         for partial in p_cnm.iter().chain(p_host.iter()) {
             acc = op.apply(acc, *partial);
@@ -722,7 +887,14 @@ impl ShardedBackend {
         max_value: i32,
         split: &ShardSplit,
     ) -> Result<Vec<i32>, ShardError> {
-        assert!(bins > 0, "histogram needs at least one bin");
+        if bins == 0 {
+            return Err(ShardError::ShapeMismatch {
+                op: "histogram",
+                what: "bins (at least one)",
+                expected: 1,
+                got: 0,
+            });
+        }
         self.validate(split, a.len(), "histogram", false)?;
         if a.is_empty() {
             return Ok(vec![0i32; bins]);
@@ -743,7 +915,7 @@ impl ShardedBackend {
                     max_value,
                 }),
             ],
-        );
+        )?;
         let mut merged = vec![0i32; bins];
         for shard in [&h_cnm, &h_host] {
             for (bin, count) in shard.iter().enumerate() {

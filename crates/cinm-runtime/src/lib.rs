@@ -41,8 +41,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod alloc_count;
+pub mod fault;
 pub mod pool;
 pub mod stream;
 
+pub use fault::{
+    CommandError, FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultStats, RetryLog,
+    RetryPolicy,
+};
 pub use pool::{resolve_threads, PoolHandle, Scope, WorkerPool};
 pub use stream::{execute_stream, hazard_deps, Access, BufferId, CommandStream, StreamCommand};

@@ -19,7 +19,15 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::num::NonZeroUsize;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks a pool mutex, recovering the data if a panicking thread poisoned it.
+/// The pool's shared state (a job queue, a counter, a panic slot) has no
+/// invariant a panic can tear, so poisoning must never cascade into killing
+/// unrelated scopes — this is the lock half of poisoned-worker recovery.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Available cores, resolved once per process. `available_parallelism`
 /// re-reads cgroup quota files on every call (several heap allocations and
@@ -61,7 +69,7 @@ struct PoolShared {
 
 impl PoolShared {
     fn push(&self, job: Job) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = relock(&self.state);
         state.queue.push_back(job);
         drop(state);
         self.work_available.notify_one();
@@ -71,7 +79,7 @@ impl PoolShared {
 fn worker_loop(shared: Arc<PoolShared>) {
     loop {
         let job = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = relock(&shared.state);
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     break job;
@@ -79,10 +87,18 @@ fn worker_loop(shared: Arc<PoolShared>) {
                 if state.shutdown {
                     return;
                 }
-                state = shared.work_available.wait(state).unwrap();
+                state = shared
+                    .work_available
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        job();
+        // Jobs carry their own catch (scope tasks record panics in their
+        // scope), but a defective payload can still panic on the way out —
+        // contain it here so a poisoned job can never take the worker thread
+        // down with it. The scope that owned the job has already observed
+        // the original panic; this secondary one is unreportable.
+        let _ = panic::catch_unwind(AssertUnwindSafe(job));
     }
 }
 
@@ -179,7 +195,7 @@ impl WorkerPool {
         // the missed-wakeup argument).
         loop {
             let job = {
-                let mut state = self.shared.state.lock().unwrap();
+                let mut state = relock(&self.shared.state);
                 loop {
                     if core.is_done() {
                         break None;
@@ -187,7 +203,11 @@ impl WorkerPool {
                     if let Some(job) = state.queue.pop_front() {
                         break Some(job);
                     }
-                    state = self.shared.work_available.wait(state).unwrap();
+                    state = self
+                        .shared
+                        .work_available
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             };
             match job {
@@ -195,7 +215,7 @@ impl WorkerPool {
                 None => break,
             }
         }
-        if let Some(payload) = core.panic.lock().unwrap().take() {
+        if let Some(payload) = relock(&core.panic).take() {
             panic::resume_unwind(payload);
         }
         match result {
@@ -207,7 +227,7 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.state.lock().unwrap().shutdown = true;
+        relock(&self.shared.state).shutdown = true;
         self.shared.work_available.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -225,17 +245,17 @@ struct ScopeCore {
 
 impl ScopeCore {
     fn increment(&self) {
-        *self.pending.lock().unwrap() += 1;
+        *relock(&self.pending) += 1;
     }
 
     fn complete(&self, panic_payload: Option<Box<dyn std::any::Any + Send>>) {
         if let Some(payload) = panic_payload {
-            let mut slot = self.panic.lock().unwrap();
+            let mut slot = relock(&self.panic);
             if slot.is_none() {
                 *slot = Some(payload);
             }
         }
-        let mut pending = self.pending.lock().unwrap();
+        let mut pending = relock(&self.pending);
         *pending -= 1;
         let now_done = *pending == 0;
         drop(pending);
@@ -249,13 +269,25 @@ impl ScopeCore {
             // `is_done` as true or is already waiting when notified. No
             // other lock is held here, so the state/pending lock orders
             // cannot invert.
-            drop(self.shared.state.lock().unwrap());
+            drop(relock(&self.shared.state));
             self.shared.work_available.notify_all();
         }
     }
 
     fn is_done(&self) -> bool {
-        *self.pending.lock().unwrap() == 0
+        *relock(&self.pending) == 0
+    }
+}
+
+/// Renders a panic payload's message, if it carries one (the payloads of
+/// `panic!` with a literal or a formatted string do).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
     }
 }
 
@@ -271,6 +303,25 @@ pub struct Scope<'env> {
 impl<'env> Scope<'env> {
     /// Spawns a task that may borrow from `'env`.
     pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        self.spawn_inner(None, f);
+    }
+
+    /// Spawns a task carrying a diagnostic label (a device name, a shard
+    /// identifier). If the task panics, the payload propagated out of
+    /// [`WorkerPool::scope`] is rewritten to name the label and the original
+    /// panic message, instead of rethrowing the bare payload — so a panic
+    /// deep in a sharded dispatch reports *which* device's task died.
+    pub fn spawn_labeled<F>(&self, label: &'static str, f: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        self.spawn_inner(Some(label), f);
+    }
+
+    fn spawn_inner<F>(&self, label: Option<&'static str>, f: F)
     where
         F: FnOnce(&Scope<'env>) + Send + 'env,
     {
@@ -292,7 +343,15 @@ impl<'env> Scope<'env> {
                 _env: PhantomData,
             };
             let result = panic::catch_unwind(AssertUnwindSafe(|| boxed(&scope)));
-            core.complete(result.err());
+            let payload = result.err().map(|p| match label {
+                Some(label) => {
+                    let message = payload_message(p.as_ref());
+                    Box::new(format!("task '{label}' panicked: {message}"))
+                        as Box<dyn std::any::Any + Send>
+                }
+                None => p,
+            });
+            core.complete(payload);
         }));
     }
 }
@@ -543,6 +602,59 @@ mod tests {
             });
         });
         assert_eq!(done.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn labeled_panic_from_nested_scope_task_names_the_task() {
+        // Regression test: a panicking task spawned from *inside* another
+        // pool task (a nested scope, the sharded-dispatch shape) must
+        // propagate an error message naming the originating task's label,
+        // not the bare payload.
+        let pool = Arc::new(WorkerPool::new(2));
+        let p = &pool;
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(move |_| {
+                    p.scope(|inner| {
+                        inner.spawn_labeled("cnm-shard", move |_| {
+                            panic!("MRAM exhausted");
+                        });
+                    });
+                });
+            });
+        }));
+        let payload = result.unwrap_err();
+        let message = payload_message(payload.as_ref());
+        assert!(
+            message.contains("cnm-shard") && message.contains("MRAM exhausted"),
+            "panic message should name the task and the cause: {message:?}"
+        );
+    }
+
+    #[test]
+    fn workers_survive_repeated_task_panics() {
+        // Poisoned-worker recovery: a storm of panicking tasks must leave
+        // every worker alive and the pool fully functional.
+        let pool = WorkerPool::new(2);
+        for _ in 0..8 {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.scope(|s| {
+                    s.spawn_labeled("doomed", move |_| panic!("boom"));
+                });
+            }));
+            assert!(result.is_err());
+        }
+        let done = AtomicUsize::new(0);
+        pool.scope(|s| {
+            let done = &done;
+            for _ in 0..16 {
+                s.spawn(move |_| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 16);
+        assert_eq!(pool.workers(), 2);
     }
 
     #[test]

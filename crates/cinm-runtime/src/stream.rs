@@ -24,8 +24,9 @@
 //!
 //! [`WorkerPool`]: crate::WorkerPool
 
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
+use crate::fault::CommandError;
 use crate::pool::{PoolHandle, Scope};
 
 /// Identifier of a device buffer (matches `upmem_sim::BufferId`; the
@@ -201,14 +202,14 @@ where
     F: Fn(usize, &C) -> Result<R, E> + Sync,
 {
     let result = (ctx.run)(i, &ctx.commands[i]);
-    *ctx.slots[i].lock().unwrap() = Some(result);
+    *ctx.slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
     // Release dependents whose last prerequisite just completed, then start
     // as many ready nodes as the freed slot (plus any spare capacity)
     // allows. Capacity can never strand a ready node: whenever the queue is
     // non-empty at least one node is in flight, and every completion drains
     // the queue up to the cap before returning.
     let to_spawn: Vec<usize> = {
-        let mut sched = ctx.sched.lock().unwrap();
+        let mut sched = ctx.sched.lock().unwrap_or_else(PoisonError::into_inner);
         for &d in &ctx.dependents[i] {
             sched.indegree[d] -= 1;
             if sched.indegree[d] == 0 {
@@ -242,12 +243,20 @@ where
 /// concurrency only; it is deliberately not tied to the physical core count
 /// — overlap cannot change results (see the module documentation), and the
 /// pool's worker count bounds actual parallelism.
+///
+/// # Errors
+///
+/// [`CommandError`] when the executor itself misbehaves: a scheduled node
+/// that never produced a result ([`CommandError::Unexecuted`]) or a result
+/// slot poisoned by a panicking worker task ([`CommandError::Poisoned`]).
+/// Per-command failures of `run` are *not* executor errors — they come back
+/// as the inner `Result`s.
 pub fn execute_stream<C, R, E, F>(
     pool: &PoolHandle,
     threads: usize,
     commands: &[C],
     run: F,
-) -> Vec<Result<R, E>>
+) -> Result<Vec<Result<R, E>>, CommandError>
 where
     C: StreamCommand + Sync,
     R: Send,
@@ -257,11 +266,11 @@ where
     let n = commands.len();
     let cap = if threads == 0 { n } else { threads };
     if cap <= 1 || n <= 1 {
-        return commands
+        return Ok(commands
             .iter()
             .enumerate()
             .map(|(i, c)| run(i, c))
-            .collect();
+            .collect());
     }
     let accesses: Vec<Access> = commands.iter().map(StreamCommand::access).collect();
     let deps = hazard_deps(&accesses);
@@ -294,14 +303,14 @@ where
             scope.spawn(move |scope| run_node(ctx, i, scope));
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("every DAG node was executed")
-        })
-        .collect()
+    let mut results = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        let inner = slot
+            .into_inner()
+            .map_err(|_| CommandError::Poisoned { index: i })?;
+        results.push(inner.ok_or(CommandError::Unexecuted { index: i })?);
+    }
+    Ok(results)
 }
 
 #[cfg(test)]
@@ -390,7 +399,8 @@ mod tests {
                         b.lock().unwrap().push(i);
                     }
                     Ok::<usize, ()>(i)
-                });
+                })
+                .unwrap();
                 assert_eq!(*a.lock().unwrap(), vec![0, 1, 2], "threads {threads}");
                 assert_eq!(*b.lock().unwrap(), vec![3, 4], "threads {threads}");
                 let outs: Vec<usize> = results.into_iter().map(Result::unwrap).collect();
@@ -416,7 +426,8 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
             current.fetch_sub(1, Ordering::SeqCst);
             Ok::<(), ()>(())
-        });
+        })
+        .unwrap();
         assert_eq!(results.len(), 12);
         assert!(results.iter().all(Result::is_ok));
         assert!(peak.load(Ordering::SeqCst) <= 2, "{peak:?}");
@@ -432,7 +443,8 @@ mod tests {
             } else {
                 Ok(i)
             }
-        });
+        })
+        .unwrap();
         assert!(results[0].is_ok());
         assert_eq!(results[1], Err("boom"));
         assert!(results[2].is_ok());

@@ -52,6 +52,13 @@ pub struct CrossbarConfig {
     /// Defaults to the process-global pool; harnesses construct one shared
     /// pool per sweep. Never affects results or accounted statistics.
     pub pool: cinm_runtime::PoolHandle,
+    /// Deterministic fault-injection schedule (`None` = fault-free). The
+    /// transfer rates of the schedule drive transient write/MVM faults here;
+    /// `stuck_tiles` marks crossbar tiles with permanent stuck-at defects
+    /// that reject programming and MVMs. Faults are injected before any
+    /// state is touched or accounted, so a faulted operation can always be
+    /// retried and recovered runs stay bit-identical to fault-free ones.
+    pub fault: Option<cinm_runtime::FaultConfig>,
 }
 
 impl Default for CrossbarConfig {
@@ -73,6 +80,7 @@ impl Default for CrossbarConfig {
             static_power_w: 0.25,
             host_threads: 1,
             pool: cinm_runtime::PoolHandle::global(),
+            fault: None,
         }
     }
 }
@@ -88,6 +96,13 @@ impl CrossbarConfig {
     /// Attaches a shared worker pool (see [`CrossbarConfig::pool`]).
     pub fn with_pool(mut self, pool: cinm_runtime::PoolHandle) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Attaches a deterministic fault-injection schedule (see
+    /// [`CrossbarConfig::fault`]).
+    pub fn with_fault(mut self, fault: cinm_runtime::FaultConfig) -> Self {
+        self.fault = Some(fault);
         self
     }
 

@@ -1,5 +1,7 @@
 //! The crossbar accelerator: tiles, programming, analog MVM and statistics.
 
+use cinm_runtime::{FaultInjector, FaultKind};
+
 use crate::config::CrossbarConfig;
 
 /// Zero-pads a validated `rows × cols` weight matrix to the full tile
@@ -79,22 +81,48 @@ impl CimStats {
     }
 }
 
-/// Errors reported by the crossbar simulator.
+/// Errors reported by the crossbar simulator: either an invalid request
+/// (bad tile index or shape — `fault_kind() == None`) or an injected device
+/// fault (transient write/MVM faults, permanent stuck-at tiles).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CimError {
     message: String,
+    fault: Option<FaultKind>,
 }
 
 impl CimError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
         CimError {
             message: message.into(),
+            fault: None,
+        }
+    }
+
+    pub(crate) fn fault(kind: FaultKind, message: impl Into<String>) -> Self {
+        CimError {
+            message: message.into(),
+            fault: Some(kind),
         }
     }
 
     /// The error message.
     pub fn message(&self) -> &str {
         &self.message
+    }
+
+    /// The injected-fault kind, or `None` for plain validation errors.
+    pub fn fault_kind(&self) -> Option<FaultKind> {
+        self.fault
+    }
+
+    /// Whether this is an injected fault that may clear on retry.
+    pub fn is_transient_fault(&self) -> bool {
+        self.fault == Some(FaultKind::Transient)
+    }
+
+    /// Whether this is an injected fault that can never clear.
+    pub fn is_permanent_fault(&self) -> bool {
+        self.fault == Some(FaultKind::Permanent)
     }
 }
 
@@ -122,17 +150,63 @@ pub struct CrossbarAccelerator {
     pub(crate) config: CrossbarConfig,
     pub(crate) tiles: Vec<Tile>,
     pub(crate) stats: CimStats,
+    /// Deterministic fault injector; `None` when the accelerator is
+    /// fault-free.
+    fault: Option<FaultInjector>,
 }
 
 impl CrossbarAccelerator {
     /// Creates an accelerator with the given configuration.
     pub fn new(config: CrossbarConfig) -> Self {
         let tiles = vec![Tile::default(); config.num_tiles];
+        let fault = config
+            .fault
+            .clone()
+            .filter(|f| f.any_enabled())
+            .map(FaultInjector::new);
         CrossbarAccelerator {
             config,
             tiles,
             stats: CimStats::default(),
+            fault,
         }
+    }
+
+    /// The fault injector, if fault injection is enabled.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Permanent stuck-at check for one tile; drawn from configuration, not
+    /// from the event stream, so it is free on the hot path and identical in
+    /// every validation order.
+    fn check_stuck(&self, tile: usize) -> CimResult<()> {
+        if let Some(inj) = &self.fault {
+            if inj.tile_stuck(tile) {
+                return Err(CimError::fault(
+                    FaultKind::Permanent,
+                    format!("tile {tile} has permanent stuck-at defects"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws the next transient-fault decision for a write or MVM issue.
+    /// Called after validation and before any tile or stats mutation, so a
+    /// faulted operation leaves the accelerator untouched. One decision is
+    /// drawn per issued command — a parallel MVM batch is a single analog
+    /// issue and consumes a single event.
+    pub(crate) fn inject_op(&mut self, what: &str) -> CimResult<()> {
+        if let Some(inj) = self.fault.as_mut() {
+            if let Err(ev) = inj.check_transfer() {
+                return Err(CimError::fault(
+                    ev.kind,
+                    format!("{what}: {}", ev.description),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The accelerator configuration.
@@ -172,6 +246,7 @@ impl CrossbarAccelerator {
         cols: usize,
     ) -> CimResult<()> {
         self.validate_write(tile, weights.len(), rows, cols)?;
+        self.inject_op("tile write")?;
         self.tiles[tile].weights = Some(pad_weights(&self.config, weights, rows, cols));
         self.account_tile_write();
         Ok(())
@@ -192,6 +267,7 @@ impl CrossbarAccelerator {
         if tile >= self.tiles.len() {
             return Err(CimError::new(format!("tile {tile} out of range")));
         }
+        self.check_stuck(tile)?;
         if rows > c.tile_rows || cols > c.tile_cols {
             return Err(CimError::new(format!(
                 "matrix {rows}x{cols} does not fit a {}x{} tile",
@@ -220,6 +296,7 @@ impl CrossbarAccelerator {
         if tile >= self.tiles.len() {
             return Err(CimError::new(format!("tile {tile} out of range")));
         }
+        self.check_stuck(tile)?;
         if !is_programmed(tile) {
             return Err(CimError::new(format!(
                 "tile {tile} has not been programmed"
@@ -256,6 +333,8 @@ impl CrossbarAccelerator {
     /// Returns an error if the tile is not programmed or the input length
     /// exceeds the tile rows.
     pub fn mvm(&mut self, tile: usize, input: &[i32]) -> CimResult<Vec<i32>> {
+        self.checked_weights(tile, input)?;
+        self.inject_op("mvm")?;
         let result = self.mvm_no_account(tile, input)?;
         self.account_mvm(1);
         Ok(result)
@@ -278,8 +357,10 @@ impl CrossbarAccelerator {
                 out.len()
             )));
         }
+        self.checked_weights(tile, input)?;
+        self.inject_op("mvm")?;
         {
-            let weights = self.checked_weights(tile, input)?;
+            let weights = self.checked_weights(tile, input).expect("validated");
             mvm_on_weights_into(weights, input, cols, out);
         }
         self.account_mvm(1);
@@ -300,7 +381,13 @@ impl CrossbarAccelerator {
     /// Returns an error if any tile is not programmed or any input is too
     /// long.
     pub fn mvm_parallel(&mut self, requests: &[(usize, &[i32])]) -> CimResult<Vec<Vec<i32>>> {
-        let checked = self.check_batch(requests)?;
+        for &(tile, input) in requests {
+            self.checked_weights(tile, input)?;
+        }
+        if !requests.is_empty() {
+            self.inject_op("parallel mvm")?;
+        }
+        let checked = self.check_batch(requests).expect("validated");
         let mut results: Vec<Vec<i32>> = vec![Vec::new(); checked.len()];
         let cols = self.config.tile_cols;
         self.config.pool.for_each_chunk_mut(
@@ -345,6 +432,9 @@ impl CrossbarAccelerator {
         // heap allocation at all.
         for &(tile, input) in requests {
             self.checked_weights(tile, input)?;
+        }
+        if !requests.is_empty() {
+            self.inject_op("parallel mvm")?;
         }
         let tiles = &self.tiles;
         self.config.pool.for_each_chunk_mut(
@@ -649,5 +739,55 @@ mod tests {
         assert!(s.total_seconds() > 0.0);
         assert!(s.total_energy_j() > 0.0);
         assert!((s.total_seconds() - (s.write_seconds + s.compute_seconds)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn stuck_tile_rejects_writes_and_mvms_permanently() {
+        let fault = cinm_runtime::FaultConfig::seeded(0).with_stuck_tiles(vec![1]);
+        let mut x = CrossbarAccelerator::new(CrossbarConfig::default().with_fault(fault));
+        // Healthy tile works.
+        x.write_tile(0, &[1, 2, 3, 4], 2, 2).unwrap();
+        assert_eq!(x.mvm(0, &[1, 1]).unwrap()[..2], [4, 6]);
+        // Stuck tile fails permanently, with nothing accounted.
+        let before = *x.stats();
+        let err = x.write_tile(1, &[1, 2, 3, 4], 2, 2).unwrap_err();
+        assert!(err.is_permanent_fault(), "{err}");
+        let err = x.mvm(1, &[1, 1]).unwrap_err();
+        assert!(err.is_permanent_fault(), "{err}");
+        assert_eq!(x.stats(), &before);
+    }
+
+    #[test]
+    fn transient_mvm_fault_is_transactional_and_retry_recovers_bit_identically() {
+        let fault = cinm_runtime::FaultConfig::seeded(2).with_transfer_timeout_rate(0.4);
+        let mut faulty = CrossbarAccelerator::new(CrossbarConfig::default().with_fault(fault));
+        let mut oracle = xbar();
+        let w: Vec<i32> = (0..16).collect();
+        let x: Vec<i32> = (0..4).map(|i| i - 2).collect();
+        oracle.write_tile(0, &w, 4, 4).unwrap();
+        let want = oracle.mvm(0, &x).unwrap();
+
+        let mut write_ok = false;
+        for attempt in 0..64 {
+            match faulty.write_tile(0, &w, 4, 4) {
+                Ok(()) => {
+                    write_ok = true;
+                    break;
+                }
+                Err(e) => {
+                    assert!(e.is_transient_fault(), "attempt {attempt}: {e}");
+                    assert_eq!(faulty.stats().tile_writes, 0, "faulted write accounted");
+                }
+            }
+        }
+        assert!(write_ok);
+        let got = loop {
+            match faulty.mvm(0, &x) {
+                Ok(y) => break y,
+                Err(e) => assert!(e.is_transient_fault(), "{e}"),
+            }
+        };
+        assert_eq!(got, want, "recovered MVM must be bit-identical");
+        assert_eq!(faulty.stats(), oracle.stats());
     }
 }

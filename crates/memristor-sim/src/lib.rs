@@ -34,7 +34,9 @@ pub mod config;
 pub mod crossbar;
 pub mod stream;
 
-pub use cinm_runtime::{resolve_threads, CommandStream, PoolHandle};
+pub use cinm_runtime::{
+    resolve_threads, CommandStream, FaultConfig, FaultInjector, FaultKind, PoolHandle,
+};
 
 pub use config::CrossbarConfig;
 pub use crossbar::{CimError, CimResult, CimStats, CrossbarAccelerator};

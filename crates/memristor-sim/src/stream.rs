@@ -30,7 +30,9 @@ use std::cell::UnsafeCell;
 
 use cinm_runtime::{execute_stream, Access, BufferId, CommandStream, StreamCommand};
 
-use crate::crossbar::{mvm_on_weights, pad_weights, CimResult, CrossbarAccelerator, Tile};
+use crate::crossbar::{
+    mvm_on_weights, pad_weights, CimError, CimResult, CrossbarAccelerator, Tile,
+};
 
 /// One recorded crossbar operation.
 ///
@@ -159,18 +161,35 @@ impl CrossbarAccelerator {
     /// # Errors
     ///
     /// The whole batch is validated in program order before execution; on
-    /// the first invalid command an error is returned and **nothing** is
-    /// applied (no tile changes, no statistics) — the recorded program is
-    /// left in the stream so it can be inspected or resubmitted.
+    /// the first invalid command — or injected fault, when a
+    /// [`FaultConfig`](cinm_runtime::FaultConfig) is attached — an error is
+    /// returned and **nothing** is applied (no tile changes, no statistics).
+    /// The recorded program is left in the stream so it can be resubmitted:
+    /// a retried batch after a transient fault produces exactly the results
+    /// and statistics of an unfaulted one.
     pub fn sync(
         &mut self,
         stream: &mut CommandStream<XbarCommand<'_>>,
     ) -> CimResult<Vec<XbarOutput>> {
         // Validate before draining: on error the recorded program stays in
-        // the stream, so the caller can inspect or resubmit it.
+        // the stream, so the caller can inspect or resubmit it. Fault
+        // decisions are drawn in the same pass (one per command, in program
+        // order — matching the eager issue sequence), so the batch stays
+        // transactional under injected faults too.
         let mut programmed: Vec<bool> = self.tiles.iter().map(|t| t.weights.is_some()).collect();
         for cmd in stream.commands() {
             self.validate_xbar_command(cmd, &mut programmed)?;
+        }
+        for cmd in stream.commands() {
+            match cmd {
+                XbarCommand::WriteTile { .. } => self.inject_op("tile write")?,
+                XbarCommand::Mvm { .. } => self.inject_op("mvm")?,
+                XbarCommand::MvmGroup { requests } => {
+                    if !requests.is_empty() {
+                        self.inject_op("parallel mvm")?;
+                    }
+                }
+            }
         }
         let commands = stream.take_commands();
         if commands.is_empty() {
@@ -239,6 +258,10 @@ impl CrossbarAccelerator {
             Ok(r) => r,
             Err(panic) => std::panic::resume_unwind(panic),
         };
+        // Scheduler-level failures (a slot left unexecuted or poisoned) can
+        // only follow a command panic, which was re-raised above; surface
+        // them as errors rather than panicking if that invariant ever bends.
+        let results = results.map_err(|e| CimError::new(format!("command stream: {e}")))?;
 
         let outputs: Vec<XbarOutput> = results
             .into_iter()

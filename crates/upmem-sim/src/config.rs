@@ -76,6 +76,11 @@ pub struct UpmemConfig {
     pub pool: cinm_runtime::PoolHandle,
     /// Per-instruction cycle costs.
     pub instr: InstrCosts,
+    /// Deterministic fault-injection schedule (`None` = fault-free). Faults
+    /// are injected before any state is touched or accounted, so a faulted
+    /// operation can always be retried and recovered runs stay bit-identical
+    /// to fault-free ones.
+    pub fault: Option<cinm_runtime::FaultConfig>,
 }
 
 impl Default for UpmemConfig {
@@ -103,7 +108,15 @@ impl UpmemConfig {
             host_threads: 1,
             pool: cinm_runtime::PoolHandle::global(),
             instr: InstrCosts::default(),
+            fault: None,
         }
+    }
+
+    /// Attaches a deterministic fault-injection schedule (see
+    /// [`UpmemConfig::fault`]).
+    pub fn with_fault(mut self, fault: cinm_runtime::FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
     }
 
     /// Overrides the number of tasklets per DPU.

@@ -54,7 +54,10 @@ pub mod system;
 // The band-scheduling helpers previously duplicated here (`par`) and in
 // `memristor_sim::crossbar` now live in `cinm-runtime`; the canonical
 // `resolve_threads` is re-exported for downstream users.
-pub use cinm_runtime::{resolve_threads, CommandStream, PoolHandle, WorkerPool};
+pub use cinm_runtime::{
+    resolve_threads, CommandStream, FaultConfig, FaultInjector, FaultKind, PoolHandle, RetryPolicy,
+    WorkerPool,
+};
 
 pub use config::{InstrCosts, UpmemConfig};
 pub use kernel::{BinOp, DpuKernelKind, KernelSpec};

@@ -47,7 +47,7 @@ use crate::exec;
 use crate::kernel::KernelSpec;
 use crate::stats::{LaunchStats, TransferStats};
 use crate::system::{
-    broadcast_slab, gather_slab, kernel_launch_cost, launch_grid, scatter_slab, BufferId,
+    broadcast_slab, gather_slab, kernel_launch_cost, launch_grid, scatter_slab, BufferId, SimError,
     SimResult, Slab, UpmemSystem,
 };
 
@@ -300,6 +300,19 @@ impl UpmemSystem {
         }
     }
 
+    /// Draws the fault decision for one command. Called in program order
+    /// during the pre-execution validation pass, so the injector consumes
+    /// exactly the same event sequence as the eager methods would for the
+    /// same program — and a faulted batch leaves the system untouched.
+    fn inject_command(&mut self, cmd: &Command<'_>) -> SimResult<()> {
+        match cmd {
+            Command::Scatter { .. } => self.inject_transfer("scatter"),
+            Command::Broadcast { .. } => self.inject_transfer("broadcast"),
+            Command::Gather { .. } => self.inject_transfer("gather"),
+            Command::Launch { spec } => self.inject_launch(spec),
+        }
+    }
+
     /// Executes every command recorded in `stream` and returns one
     /// [`CommandOutput`] per command, in enqueue order.
     ///
@@ -315,17 +328,25 @@ impl UpmemSystem {
     /// # Errors
     ///
     /// The whole batch is validated in program order before execution; on the
-    /// first invalid command an error is returned and **nothing** is applied
-    /// (no buffer changes, no statistics) — the recorded program is left in
-    /// the stream so it can be inspected or resubmitted.
+    /// first invalid command — or injected fault, when a
+    /// [`FaultConfig`](cinm_runtime::FaultConfig) is attached — an error is
+    /// returned and **nothing** is applied (no buffer changes, no
+    /// statistics). The recorded program is left in the stream so it can be
+    /// resubmitted: a retried batch after a transient fault produces exactly
+    /// the results and statistics of an unfaulted one.
     pub fn sync(
         &mut self,
         stream: &mut CommandStream<Command<'_>>,
     ) -> SimResult<Vec<CommandOutput>> {
         // Validate before draining: on error the recorded program stays in
-        // the stream, so the caller can inspect or resubmit it.
+        // the stream, so the caller can inspect or resubmit it. Fault
+        // decisions are drawn in the same pass so the batch stays
+        // transactional under injected faults too.
         for cmd in stream.commands() {
             self.validate_command(cmd)?;
+        }
+        for cmd in stream.commands() {
+            self.inject_command(cmd)?;
         }
         let commands = stream.take_commands();
         if commands.is_empty() {
@@ -354,6 +375,10 @@ impl UpmemSystem {
             Ok(r) => r,
             Err(panic) => std::panic::resume_unwind(panic),
         };
+        // Scheduler-level failures (a slot left unexecuted or poisoned) can
+        // only follow a command panic, which was re-raised above; surface
+        // them as errors rather than panicking if that invariant ever bends.
+        let results = results.map_err(|e| SimError::new(format!("command stream: {e}")))?;
 
         let outputs: Vec<CommandOutput> = results
             .into_iter()
@@ -582,5 +607,57 @@ mod tests {
         let out = sys.sync(&mut stream).unwrap();
         let gathered = out[g].clone().into_gathered().unwrap();
         assert_eq!(&gathered[..4], &[1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn faulted_sync_is_transactional_and_resubmission_recovers() {
+        let mut oracle = UpmemSystem::new(small_config(1));
+        for _ in 0..4 {
+            oracle.alloc_buffer(16).unwrap();
+        }
+        let program = demo_program(0, 1, 2, 3);
+        let eager_out = run_eager(&mut oracle, &program);
+
+        // 40% launch + 20% transfer faults over several seeds: every run
+        // must converge to the fault-free result, and at least one sync
+        // across the sweep must actually fault.
+        let mut total_faults = 0;
+        for seed in 0..8u64 {
+            let fault = cinm_runtime::FaultConfig::seeded(seed)
+                .with_launch_fault_rate(0.4)
+                .with_transfer_timeout_rate(0.2);
+            let mut cfg = small_config(2).with_fault(fault);
+            cfg.dpus_per_rank = 4;
+            let mut sys = UpmemSystem::new(cfg);
+            for _ in 0..4 {
+                sys.alloc_buffer(16).unwrap();
+            }
+            let mut stream = CommandStream::new();
+            for c in &program {
+                stream.enqueue(c.clone());
+            }
+            let mut attempts = 0;
+            let out = loop {
+                attempts += 1;
+                assert!(attempts <= 256, "sync never succeeded (seed {seed})");
+                match sys.sync(&mut stream) {
+                    Ok(out) => break out,
+                    Err(e) => {
+                        assert!(e.is_transient_fault(), "{e}");
+                        // Transactional: the program is still enqueued and
+                        // no statistic was accounted.
+                        assert_eq!(stream.commands().len(), program.len());
+                        assert_eq!(sys.stats().launches, 0);
+                        total_faults += 1;
+                    }
+                }
+            };
+            assert_eq!(out, eager_out, "seed {seed}");
+            assert_eq!(sys.stats(), oracle.stats(), "seed {seed}");
+        }
+        assert!(
+            total_faults > 0,
+            "the sweep should inject at least one fault"
+        );
     }
 }

@@ -18,6 +18,8 @@
 //! count. The pre-refactor storage scheme is retained in [`crate::naive`] as
 //! the equivalence oracle and benchmark baseline.
 
+use cinm_runtime::{FaultInjector, FaultKind};
+
 use crate::config::UpmemConfig;
 use crate::exec;
 use crate::kernel::{DpuKernelKind, KernelSpec};
@@ -26,22 +28,48 @@ use crate::stats::{LaunchStats, SystemStats, TransferStats};
 /// Identifier of a buffer allocated on every DPU of the grid.
 pub type BufferId = u32;
 
-/// Errors reported by the simulator.
+/// Errors reported by the simulator: either an invalid request (bad shape,
+/// unknown buffer — `fault_kind() == None`) or an injected device fault
+/// (transient or permanent, see [`FaultKind`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimError {
     message: String,
+    fault: Option<FaultKind>,
 }
 
 impl SimError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
         SimError {
             message: message.into(),
+            fault: None,
+        }
+    }
+
+    pub(crate) fn fault(kind: FaultKind, message: impl Into<String>) -> Self {
+        SimError {
+            message: message.into(),
+            fault: Some(kind),
         }
     }
 
     /// The error message.
     pub fn message(&self) -> &str {
         &self.message
+    }
+
+    /// The injected-fault kind, or `None` for plain validation errors.
+    pub fn fault_kind(&self) -> Option<FaultKind> {
+        self.fault
+    }
+
+    /// Whether this is an injected fault that may clear on retry.
+    pub fn is_transient_fault(&self) -> bool {
+        self.fault == Some(FaultKind::Transient)
+    }
+
+    /// Whether this is an injected fault that can never clear.
+    pub fn is_permanent_fault(&self) -> bool {
+        self.fault == Some(FaultKind::Permanent)
     }
 }
 
@@ -440,12 +468,19 @@ pub struct UpmemSystem {
     /// the largest input-stride footprint seen, then reused, so repeated
     /// aliased launches perform no per-DPU (or per-launch) heap allocation.
     scratch: Vec<i32>,
+    /// Deterministic fault injector; `None` when the system is fault-free.
+    fault: Option<FaultInjector>,
 }
 
 impl UpmemSystem {
     /// Creates a system with the given configuration.
     pub fn new(config: UpmemConfig) -> Self {
         let n = config.num_dpus();
+        let fault = config
+            .fault
+            .clone()
+            .filter(|f| f.any_enabled())
+            .map(FaultInjector::new);
         UpmemSystem {
             config,
             num_dpus: n,
@@ -453,7 +488,58 @@ impl UpmemSystem {
             mram_used: 0,
             stats: SystemStats::default(),
             scratch: Vec::new(),
+            fault,
         }
+    }
+
+    /// The fault injector, if fault injection is enabled.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Clones the system *without* its fault injector: same buffers, same
+    /// statistics, fault-free from here on. This is the host-takeover path of
+    /// the recovery layer — when the CNM device fails permanently, the
+    /// session continues on a host-emulated replica built from the device's
+    /// still-readable memory, and results stay bit-identical to the
+    /// fault-free run.
+    pub fn fault_free_clone(&self) -> UpmemSystem {
+        let mut clone = self.clone();
+        clone.fault = None;
+        clone.config.fault = None;
+        clone
+    }
+
+    /// Draws the next transfer-fault decision (timeout, then corruption).
+    /// Called after validation and before any slab or stats mutation, so a
+    /// faulted transfer leaves the system untouched.
+    pub(crate) fn inject_transfer(&mut self, what: &str) -> SimResult<()> {
+        if let Some(inj) = self.fault.as_mut() {
+            if let Err(ev) = inj.check_transfer() {
+                return Err(SimError::fault(
+                    ev.kind,
+                    format!("{what}: {}", ev.description),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws the next launch-fault decision. Called after validation and
+    /// before kernel execution, so a faulted launch leaves the system
+    /// untouched. Permanent faults model a dead compute path: every later
+    /// launch fails too, while transfers keep working (MRAM stays readable,
+    /// so the layers above can rescue resident data and re-plan).
+    pub(crate) fn inject_launch(&mut self, spec: &KernelSpec) -> SimResult<()> {
+        if let Some(inj) = self.fault.as_mut() {
+            if let Err(ev) = inj.check_launch() {
+                return Err(SimError::fault(
+                    ev.kind,
+                    format!("launch {:?}: {}", spec.kind, ev.description),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The configuration of this system.
@@ -610,6 +696,7 @@ impl UpmemSystem {
         chunk: usize,
     ) -> SimResult<TransferStats> {
         self.validate_chunk(buffer, chunk)?;
+        self.inject_transfer("scatter")?;
         let t = scatter_slab(
             &self.config,
             self.num_dpus,
@@ -637,6 +724,7 @@ impl UpmemSystem {
     /// Returns an error if the buffer does not exist or the data does not fit.
     pub fn broadcast_i32(&mut self, buffer: BufferId, data: &[i32]) -> SimResult<TransferStats> {
         self.validate_broadcast(buffer, data.len())?;
+        self.inject_transfer("broadcast")?;
         let t = broadcast_slab(
             &self.config,
             self.num_dpus,
@@ -682,6 +770,7 @@ impl UpmemSystem {
         out: &mut Vec<i32>,
     ) -> SimResult<TransferStats> {
         self.validate_chunk(buffer, chunk)?;
+        self.inject_transfer("gather")?;
         let t = gather_slab_into(
             &self.config,
             self.num_dpus,
@@ -745,6 +834,7 @@ impl UpmemSystem {
     pub fn launch(&mut self, spec: &KernelSpec) -> SimResult<LaunchStats> {
         // Validate kernel and buffer shapes before touching any state.
         let out_len = self.validate_launch(spec)?;
+        self.inject_launch(spec)?;
 
         // Functional execution on every DPU.
         if spec.inputs.contains(&spec.output) {
@@ -1249,5 +1339,148 @@ mod tests {
         let spec = KernelSpec::new(DpuKernelKind::Gemm { m: 2, k: 2, n: 2 }, vec![a, b], c);
         let err = sys.launch(&spec).unwrap_err();
         assert!(err.message().contains("output"));
+    }
+
+    fn faulty_system(fault: cinm_runtime::FaultConfig) -> UpmemSystem {
+        let mut cfg = UpmemConfig::with_ranks(1).with_fault(fault);
+        cfg.dpus_per_rank = 4;
+        UpmemSystem::new(cfg)
+    }
+
+    fn add_spec(a: BufferId, b: BufferId, c: BufferId) -> KernelSpec {
+        KernelSpec::new(
+            DpuKernelKind::Elementwise {
+                op: BinOp::Add,
+                len: 4,
+            },
+            vec![a, b],
+            c,
+        )
+    }
+
+    #[test]
+    fn transient_launch_fault_is_transactional_and_retry_recovers_bit_identically() {
+        // Rate 1.0: the first launch attempt always faults.
+        let fault = cinm_runtime::FaultConfig::seeded(7).with_launch_fault_rate(1.0);
+        let mut sys = faulty_system(fault);
+        let mut oracle = small_system();
+        let (a, b, c) = (
+            sys.alloc_buffer(4).unwrap(),
+            sys.alloc_buffer(4).unwrap(),
+            sys.alloc_buffer(4).unwrap(),
+        );
+        for _ in 0..3 {
+            oracle.alloc_buffer(4).unwrap();
+        }
+        sys.scatter_i32(a, &[1; 16], 4).unwrap();
+        sys.scatter_i32(b, &[2; 16], 4).unwrap();
+        oracle.scatter_i32(a, &[1; 16], 4).unwrap();
+        oracle.scatter_i32(b, &[2; 16], 4).unwrap();
+
+        let spec = add_spec(a, b, c);
+        let err = sys.launch(&spec).unwrap_err();
+        assert!(err.is_transient_fault(), "{err}");
+        // Nothing was applied: no launch accounted, output untouched.
+        assert_eq!(sys.stats().launches, 0);
+        assert_eq!(sys.dpu_buffer(0, c).unwrap(), &[0; 4]);
+
+        // With rate 1.0 every retry faults too; drain events until one
+        // succeeds is impossible — so rebuild with a rate that faults only
+        // the first draw for this seed instead.
+        let fault = cinm_runtime::FaultConfig::seeded(7).with_launch_fault_rate(0.4);
+        let mut sys = faulty_system(fault);
+        for _ in 0..3 {
+            sys.alloc_buffer(4).unwrap();
+        }
+        sys.scatter_i32(a, &[1; 16], 4).unwrap();
+        sys.scatter_i32(b, &[2; 16], 4).unwrap();
+        let mut attempts = 0;
+        let stats = loop {
+            attempts += 1;
+            assert!(attempts <= 64, "launch never succeeded under 40% faults");
+            match sys.launch(&spec) {
+                Ok(s) => break s,
+                Err(e) => assert!(e.is_transient_fault(), "{e}"),
+            }
+        };
+        let oracle_stats = oracle.launch(&spec).unwrap();
+        assert_eq!(stats, oracle_stats);
+        assert_eq!(sys.stats().launches, 1);
+        assert_eq!(
+            sys.buffer_slab(c).unwrap(),
+            oracle.buffer_slab(c).unwrap(),
+            "recovered run must be bit-identical to fault-free"
+        );
+    }
+
+    #[test]
+    fn permanent_fault_kills_launches_but_memory_stays_readable() {
+        let fault = cinm_runtime::FaultConfig::seeded(3).with_permanent_after_launches(1);
+        let mut sys = faulty_system(fault);
+        let (a, b, c) = (
+            sys.alloc_buffer(4).unwrap(),
+            sys.alloc_buffer(4).unwrap(),
+            sys.alloc_buffer(4).unwrap(),
+        );
+        sys.scatter_i32(a, &[3; 16], 4).unwrap();
+        sys.scatter_i32(b, &[4; 16], 4).unwrap();
+        let spec = add_spec(a, b, c);
+        sys.launch(&spec).unwrap(); // first launch is within budget
+        for _ in 0..3 {
+            let err = sys.launch(&spec).unwrap_err();
+            assert!(err.is_permanent_fault(), "{err}");
+        }
+        assert_eq!(sys.stats().launches, 1);
+        // The rescue path: resident data can still be gathered.
+        let (out, _) = sys.gather_i32(c, 4).unwrap();
+        assert_eq!(out, vec![7; 16]);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_fault_free_clone_is_clean() {
+        let fault = cinm_runtime::FaultConfig::seeded(11)
+            .with_launch_fault_rate(0.3)
+            .with_transfer_timeout_rate(0.2);
+        let run = |fault: cinm_runtime::FaultConfig| {
+            let mut sys = faulty_system(fault);
+            let a = sys.alloc_buffer(4).unwrap();
+            let b = sys.alloc_buffer(4).unwrap();
+            let c = sys.alloc_buffer(4).unwrap();
+            let mut outcomes = Vec::new();
+            outcomes.push(sys.scatter_i32(a, &[1; 16], 4).is_ok());
+            outcomes.push(sys.scatter_i32(b, &[2; 16], 4).is_ok());
+            for _ in 0..8 {
+                outcomes.push(sys.launch(&add_spec(a, b, c)).is_ok());
+            }
+            outcomes.push(sys.gather_i32(c, 4).is_ok());
+            (outcomes, sys)
+        };
+        let (outcomes1, sys) = run(fault.clone());
+        let (outcomes2, _) = run(fault);
+        assert_eq!(outcomes1, outcomes2, "same seed => same schedule");
+        assert!(outcomes1.contains(&false), "schedule should inject faults");
+
+        // The host-takeover clone keeps buffers and stats but never faults.
+        let mut clean = sys.fault_free_clone();
+        assert!(clean.fault_injector().is_none());
+        assert_eq!(clean.stats(), sys.stats());
+        let a = 0 as BufferId;
+        let b = 1 as BufferId;
+        let c = 2 as BufferId;
+        for _ in 0..32 {
+            clean.launch(&add_spec(a, b, c)).unwrap();
+        }
+    }
+
+    #[test]
+    fn fault_free_config_never_creates_an_injector() {
+        let sys = small_system();
+        assert!(sys.fault_injector().is_none());
+        let disabled = cinm_runtime::FaultConfig::seeded(5);
+        let sys = faulty_system(disabled);
+        assert!(
+            sys.fault_injector().is_none(),
+            "all-zero rates must not allocate an injector"
+        );
     }
 }

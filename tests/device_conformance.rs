@@ -68,7 +68,7 @@ fn conformance(device: &mut dyn Device) {
             cols: 8,
         })
         .expect("empty shards always succeed");
-    let (result, seconds) = future.wait();
+    let (result, seconds) = future.wait().expect("empty shards never fault");
     assert!(result.is_empty(), "{name}: empty shard result");
     assert_eq!(seconds, 0.0, "{name}: empty shard cost");
     assert_eq!(before, device.sim_seconds(), "{name}: empty shard stats");
@@ -85,7 +85,7 @@ fn conformance(device: &mut dyn Device) {
             cols,
         })
         .expect("gemv is universally supported");
-    let (result, seconds) = future.wait();
+    let (result, seconds) = future.wait().expect("fault-free gemv shard");
     assert_eq!(
         result,
         kernels::matvec(&a, &x, rows, cols),
@@ -121,7 +121,8 @@ fn conformance(device: &mut dyn Device) {
                 b: &v,
             })
             .expect("supported elementwise")
-            .wait();
+            .wait()
+            .expect("fault-free elementwise shard");
         assert_eq!(result, kernels::vector_add(&v, &v), "{name}: elementwise");
     }
 

@@ -1122,3 +1122,100 @@ fn session_replay_is_bit_identical_to_fresh_compilation() {
         );
     });
 }
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: recovered session runs vs the fault-free oracle
+// ---------------------------------------------------------------------------
+
+/// Randomized fault schedules (transient launch/transfer faults ≤ 10%,
+/// sometimes a permanent device death) over randomized multi-op session
+/// graphs: as long as at least one device survives — the host always does —
+/// every recovered run is bit-identical to the same graph fault-free, for
+/// both the CNM-only and the auto-sharded placement policy.
+#[test]
+fn faulted_session_graphs_match_the_fault_free_oracle() {
+    use cinm::core::{Session, ShardPolicy, Target, TensorHandle};
+    use cinm::runtime::FaultConfig;
+    for_cases(50, |rng| {
+        let len = gen_usize(rng, 8, 200);
+        let cols = gen_usize(rng, 4, 32);
+        let a_mat = data::i32_vec(rng.next_u64(), len * cols, -8, 8);
+        let x_vec = data::i32_vec(rng.next_u64(), cols, -8, 8);
+        let v0 = data::i32_vec(rng.next_u64(), len, -64, 64);
+        let v1 = data::i32_vec(rng.next_u64(), len, -64, 64);
+        let n_ops = gen_usize(rng, 1, 6);
+        let tape: Vec<(usize, usize, usize, usize)> = (0..n_ops)
+            .map(|_| {
+                (
+                    gen_usize(rng, 0, 5),
+                    gen_usize(rng, 0, 1000),
+                    gen_usize(rng, 0, 1000),
+                    gen_usize(rng, 0, 9),
+                )
+            })
+            .collect();
+        let policy = [ShardPolicy::Single(Target::Cnm), ShardPolicy::Auto][gen_usize(rng, 0, 2)];
+        // A random schedule: transients at realistic rates, and in a third
+        // of the cases a permanent device death after a few launches.
+        let mut fault = FaultConfig::seeded(rng.next_u64())
+            .with_launch_fault_rate(gen_usize(rng, 0, 11) as f64 / 100.0)
+            .with_transfer_timeout_rate(gen_usize(rng, 0, 6) as f64 / 100.0)
+            .with_transfer_corruption_rate(gen_usize(rng, 0, 6) as f64 / 100.0);
+        if gen_usize(rng, 0, 3) == 0 {
+            fault = fault.with_permanent_after_launches(gen_usize(rng, 1, 12) as u64);
+        }
+
+        let run_graph = |fault: Option<FaultConfig>| -> Vec<Vec<i32>> {
+            let mut opts = session_options(true).with_policy(policy);
+            if let Some(f) = fault {
+                opts = opts.with_fault(f);
+            }
+            let mut sess = Session::new(opts);
+            let at = sess.matrix(&a_mat, len, cols);
+            let xt = sess.vector(&x_vec);
+            let t0 = sess.vector(&v0);
+            let t1 = sess.vector(&v1);
+            let mut pool: Vec<TensorHandle> = vec![t0, t1];
+            let mut fetches: Vec<TensorHandle> = Vec::new();
+            let bin_ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Max, BinOp::Min];
+            for &(kind, pick_a, pick_b, op_pick) in &tape {
+                match kind {
+                    0 => {
+                        let h = sess.gemv(at, xt);
+                        pool.push(h);
+                        fetches.push(h);
+                    }
+                    1 | 2 => {
+                        let (i, j) = (pick_a % pool.len(), pick_b % pool.len());
+                        let h =
+                            sess.elementwise(bin_ops[op_pick % bin_ops.len()], pool[i], pool[j]);
+                        pool.push(h);
+                        fetches.push(h);
+                    }
+                    3 => {
+                        let i = pick_a % pool.len();
+                        fetches.push(sess.reduce(bin_ops[op_pick % bin_ops.len()], pool[i]));
+                    }
+                    4 => {
+                        let i = pick_a % pool.len();
+                        fetches.push(sess.histogram(pool[i], 2 + op_pick % 15, 128));
+                    }
+                    _ => {
+                        let i = pick_a % pool.len();
+                        fetches.push(sess.select(pool[i], (pick_b % 21) as i32 - 10));
+                    }
+                }
+            }
+            sess.run()
+                .expect("a graph with a surviving device must recover");
+            fetches.iter().map(|&h| sess.fetch(h)).collect()
+        };
+
+        let baseline = run_graph(None);
+        let faulted = run_graph(Some(fault.clone()));
+        assert_eq!(
+            baseline, faulted,
+            "recovered run diverged: policy {policy:?}, schedule {fault:?}"
+        );
+    });
+}
