@@ -26,6 +26,12 @@
 //! two-op sequence, reporting wall-clock, simulated bytes and allocations
 //! per chain.
 //!
+//! The **`graph_opt`** section tracks the graph-optimization pipeline: a
+//! `gemv → xor → and → or` session chain with the optimizer off (one launch
+//! per op) versus on (the element-wise tail fused into a single launch),
+//! with the replay-hit rate of canonical plan signatures and the
+//! measurement-fed shard-planner calibration observed on a forced split.
+//!
 //! The **`hot_path`** section tracks the allocation-free steady state:
 //! repeated same-shaped ops on one backend with warm execution contexts and
 //! a memoized shard plan ("after") versus re-creating backend and plan per
@@ -49,8 +55,8 @@ use std::num::NonZeroUsize;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use cinm_bench::simbench::{
-    self, FaultOverheadMeasurement, HotPathMeasurement, OverheadCase, SessionVsEagerMeasurement,
-    ShardedMeasurement, SimCase, BENCH_SCHEMA,
+    self, FaultOverheadMeasurement, GraphOptMeasurement, HotPathMeasurement, OverheadCase,
+    SessionVsEagerMeasurement, ShardedMeasurement, SimCase, BENCH_SCHEMA,
 };
 use cinm_core::shard::ShardPolicy;
 use cinm_runtime::PoolHandle;
@@ -327,6 +333,29 @@ fn main() {
         sve_results.push((case, m));
     }
 
+    // Graph optimizer: the gemv → xor → and → or chain with the optimizer
+    // off (one launch per op) vs on (element-wise tail fused), plus replay
+    // and planner-feedback accounting.
+    let mut graph_opt_results: Vec<(SimCase, GraphOptMeasurement)> = Vec::new();
+    for &case in &simbench::session_vs_eager_cases(scale == "tiny") {
+        eprintln!("measuring graph optimizer {}/{} ...", case.name, case.scale);
+        let inp = simbench::inputs(&case);
+        let m = simbench::measure_graph_opt(&case, &inp, &pool);
+        eprintln!(
+            "  launches/chain {:.1} -> {:.1} ({:.2}x); wall {:.5}s -> {:.5}s/chain; {} fused groups; replay rate {:.2}; {} calibration entries (max delta {:.3})",
+            m.unfused_launches_per_op,
+            m.fused_launches_per_op,
+            m.launch_reduction(),
+            m.unfused_s_per_op,
+            m.fused_s_per_op,
+            m.fused_groups,
+            m.replay_hit_rate,
+            m.calibration_entries,
+            m.calibration_max_delta,
+        );
+        graph_opt_results.push((case, m));
+    }
+
     // Fault overhead: the same chain fault-free vs under a fixed-seed
     // transient fault schedule (recovered results asserted bit-identical).
     const FAULT_SEED: u64 = 1234;
@@ -547,6 +576,73 @@ fn main() {
         ));
         json.push_str(&format!("        \"plan_replays\": {}\n", m.replays));
         json.push_str(if i + 1 == sve_results.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+    json.push_str("  \"graph_opt\": {\n");
+    json.push_str(
+        "    \"description\": \"The graph-optimization pipeline on a gemv -> xor -> and -> or session chain: the same warmed loop with the optimizer disabled (one kernel launch per op, the pre-optimizer baseline) and enabled (the element-wise tail fused into one launch). launches and bytes are simulated (machine-independent) per chain; *_s_per_op is host wall-clock. replay_hit_rate is the fraction of timed runs that replayed a memoized plan (canonical signatures make rotating temporary ids irrelevant). calibration_* report the measurement-fed shard planner on a forced cnm+host split, where every run's measured per-device seconds refine the cost-model estimates.\",\n",
+    );
+    json.push_str("    \"cases\": [\n");
+    for (i, (case, m)) in graph_opt_results.iter().enumerate() {
+        json.push_str("      {\n");
+        json.push_str(&format!("        \"name\": \"{}\",\n", case.name));
+        json.push_str(&format!("        \"scale\": \"{}\",\n", case.scale));
+        json.push_str(&format!("        \"iterations\": {},\n", m.iterations));
+        json.push_str(&format!(
+            "        \"unfused_launches_per_op\": {},\n",
+            json_f64(m.unfused_launches_per_op)
+        ));
+        json.push_str(&format!(
+            "        \"fused_launches_per_op\": {},\n",
+            json_f64(m.fused_launches_per_op)
+        ));
+        json.push_str(&format!(
+            "        \"launch_reduction\": {},\n",
+            json_f64(m.launch_reduction())
+        ));
+        json.push_str(&format!(
+            "        \"unfused_bytes_per_op\": {},\n",
+            m.unfused_bytes_per_op
+        ));
+        json.push_str(&format!(
+            "        \"fused_bytes_per_op\": {},\n",
+            m.fused_bytes_per_op
+        ));
+        json.push_str(&format!(
+            "        \"unfused_s_per_op\": {},\n",
+            json_f64(m.unfused_s_per_op)
+        ));
+        json.push_str(&format!(
+            "        \"fused_s_per_op\": {},\n",
+            json_f64(m.fused_s_per_op)
+        ));
+        json.push_str(&format!(
+            "        \"wall_speedup_fused_vs_unfused\": {},\n",
+            json_f64(m.wall_speedup())
+        ));
+        json.push_str(&format!("        \"fused_groups\": {},\n", m.fused_groups));
+        json.push_str(&format!(
+            "        \"launches_saved\": {},\n",
+            m.launches_saved
+        ));
+        json.push_str(&format!(
+            "        \"replay_hit_rate\": {},\n",
+            json_f64(m.replay_hit_rate)
+        ));
+        json.push_str(&format!(
+            "        \"calibration_entries\": {},\n",
+            m.calibration_entries
+        ));
+        json.push_str(&format!(
+            "        \"calibration_max_delta\": {}\n",
+            json_f64(m.calibration_max_delta)
+        ));
+        json.push_str(if i + 1 == graph_opt_results.len() {
             "      }\n"
         } else {
             "      },\n"

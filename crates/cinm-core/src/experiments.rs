@@ -631,6 +631,17 @@ pub struct BfsConvergence {
     /// Memoized-plan replays of the session loop (steady-state iterations
     /// that paid no compilation).
     pub replays: u64,
+    /// Session `run()` calls of the session loop (one per frontier
+    /// expansion).
+    pub runs: u64,
+    /// Kernel launches of the (optimizer-on) session loop.
+    pub session_launches: u64,
+    /// Kernel launches of the same loop with the graph optimizer disabled —
+    /// the pre-optimizer baseline.
+    pub unopt_launches: u64,
+    /// Fused element-wise groups the optimizer emitted while compiling the
+    /// session loop.
+    pub fused_groups: u64,
 }
 
 impl BfsConvergence {
@@ -642,6 +653,11 @@ impl BfsConvergence {
     /// Simulated-time speedup of the resident loop.
     pub fn sim_speedup(&self) -> f64 {
         self.eager_sim_ms / self.session_sim_ms.max(1e-30)
+    }
+
+    /// Fraction of `run()` calls that replayed a memoized plan.
+    pub fn replay_rate(&self) -> f64 {
+        self.replays as f64 / (self.runs.max(1)) as f64
     }
 }
 
@@ -706,36 +722,54 @@ pub fn bfs_convergence(scale: Scale, host_threads: usize, pool: &PoolHandle) -> 
         (visited, iters)
     };
 
-    // Resident session loop.
-    let mut sess = Session::new(
-        SessionOptions::default()
-            .with_policy(ShardPolicy::Single(Target::Cnm))
-            .with_sharded(options.clone()),
-    );
-    let rows_t = sess.vector(&f.rows);
-    let cols_t = sess.vector(&f.cols);
-    let ones_t = sess.vector(&ones_host);
-    let mut frontier_t = sess.vector(&f.frontier);
-    let mut visited_t = sess.vector(&f.frontier);
-    let mut iterations = 0usize;
-    loop {
-        let raw = sess.bfs_step(rows_t, cols_t, frontier_t, vp, degree, used);
-        let not_visited = sess.elementwise(BinOp::Xor, visited_t, ones_t);
-        let fresh = sess.elementwise(BinOp::And, raw, not_visited);
-        let visited_next = sess.elementwise(BinOp::Or, visited_t, raw);
-        let count = sess.reduce(BinOp::Add, fresh);
-        sess.run().expect("cnm placement never fails to plan");
-        iterations += 1;
-        let c = sess.fetch_scalar(count);
-        frontier_t = fresh;
-        visited_t = visited_next;
-        if c == 0 || iterations >= max_iters {
-            break;
+    // Resident session loop, run twice: once with the graph optimizer (the
+    // chain's `xor → and → or` collapses into one fused launch per
+    // iteration) and once without it (the pre-optimizer baseline, one
+    // launch per element-wise op).
+    let run_session = |optimizer: bool| {
+        let mut sess = Session::new(
+            SessionOptions::default()
+                .with_policy(ShardPolicy::Single(Target::Cnm))
+                .with_sharded(options.clone())
+                .with_optimizer(optimizer),
+        );
+        let rows_t = sess.vector(&f.rows);
+        let cols_t = sess.vector(&f.cols);
+        let ones_t = sess.vector(&ones_host);
+        let mut frontier_t = sess.vector(&f.frontier);
+        let mut visited_t = sess.vector(&f.frontier);
+        let mut iterations = 0usize;
+        loop {
+            let raw = sess.bfs_step(rows_t, cols_t, frontier_t, vp, degree, used);
+            let not_visited = sess.elementwise(BinOp::Xor, visited_t, ones_t);
+            let fresh = sess.elementwise(BinOp::And, raw, not_visited);
+            let visited_next = sess.elementwise(BinOp::Or, visited_t, raw);
+            let count = sess.reduce(BinOp::Add, fresh);
+            sess.run().expect("cnm placement never fails to plan");
+            iterations += 1;
+            let c = sess.fetch_scalar(count);
+            frontier_t = fresh;
+            visited_t = visited_next;
+            if c == 0 || iterations >= max_iters {
+                break;
+            }
         }
-    }
-    let session_visited = sess.fetch(visited_t);
-    let session_stats = *sess.upmem_stats();
-    let (_, replays) = sess.run_counts();
+        let visited = sess.fetch(visited_t);
+        let stats = *sess.upmem_stats();
+        let (runs, replays) = sess.run_counts();
+        (
+            visited,
+            stats,
+            iterations,
+            runs,
+            replays,
+            sess.optimizer_stats(),
+        )
+    };
+    let (unopt_visited, unopt_stats, unopt_iters, ..) = run_session(false);
+    let (session_visited, session_stats, iterations, runs, replays, opt) = run_session(true);
+    assert_eq!(session_visited, unopt_visited, "optimizer on vs off");
+    assert_eq!(iterations, unopt_iters, "optimizer on vs off iterations");
 
     // Eager per-op loop (the oracle): same computation, full round-trips.
     let mut be = UpmemBackend::new(RANKS, {
@@ -775,6 +809,10 @@ pub fn bfs_convergence(scale: Scale, host_threads: usize, pool: &PoolHandle) -> 
         session_bytes: session_stats.host_to_dpu_bytes + session_stats.dpu_to_host_bytes,
         eager_bytes: eager_stats.host_to_dpu_bytes + eager_stats.dpu_to_host_bytes,
         replays,
+        runs,
+        session_launches: session_stats.launches,
+        unopt_launches: unopt_stats.launches,
+        fused_groups: opt.fused_groups,
     }
 }
 
@@ -785,7 +823,9 @@ pub fn format_bfs(r: &BfsConvergence) -> String {
          vertices {} (degree {}): {} iterations, {} vertices reached\n\
          session: {:.3} ms simulated, {} host-interface bytes ({} plan replays)\n\
          eager:   {:.3} ms simulated, {} host-interface bytes\n\
-         residency moves {:.1}x fewer bytes; simulated speedup {:.2}x\n",
+         residency moves {:.1}x fewer bytes; simulated speedup {:.2}x\n\
+         optimizer: {} launches vs {} unoptimized ({} fused groups); \
+         replay rate {:.0}% ({}/{} runs)\n",
         r.vertices,
         r.degree,
         r.iterations,
@@ -797,6 +837,12 @@ pub fn format_bfs(r: &BfsConvergence) -> String {
         r.eager_bytes,
         r.byte_reduction(),
         r.sim_speedup(),
+        r.session_launches,
+        r.unopt_launches,
+        r.fused_groups,
+        r.replay_rate() * 100.0,
+        r.replays,
+        r.runs,
     )
 }
 
@@ -974,6 +1020,23 @@ mod tests {
             r.eager_bytes
         );
         assert!(r.session_sim_ms <= r.eager_sim_ms);
+        // The graph optimizer fuses the per-iteration `xor → and → or`
+        // chain: strictly fewer launches than the unoptimized loop, with a
+        // bounded number of compilations (canonical signatures make the
+        // rotating frontier/visited temporaries replay).
+        assert!(
+            r.session_launches < r.unopt_launches,
+            "fusion must save launches ({} vs {})",
+            r.session_launches,
+            r.unopt_launches
+        );
+        assert!(r.fused_groups >= 1, "the chain must fuse");
+        assert!(
+            r.runs - r.replays <= 2,
+            "at most two compilations ({} runs, {} replays)",
+            r.runs,
+            r.replays
+        );
         assert!(format_bfs(&r).contains("fewer bytes"));
     }
 

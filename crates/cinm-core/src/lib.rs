@@ -33,6 +33,8 @@ pub mod target;
 
 pub use experiments::{figure10, figure11, figure12, table4};
 pub use pipeline::{cim_pipeline, cinm_pipeline, cnm_pipeline, compile};
-pub use session::{Session, SessionOptions, TensorHandle, TensorShape};
-pub use shard::{ShardPlan, ShardPlanner, ShardPolicy};
+pub use session::{
+    OptimizerStats, PlanCacheStats, Session, SessionOptions, TensorHandle, TensorShape,
+};
+pub use shard::{ShardCalibrator, ShardPlan, ShardPlanner, ShardPolicy};
 pub use target::{CostModel, Target, TargetSelector};

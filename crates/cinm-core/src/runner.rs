@@ -842,10 +842,13 @@ mod tests {
             cfg.dpus_per_rank = 8;
             let mut eager = UpmemBackend::with_config(cfg.clone(), UpmemRunOptions::optimized());
             let want = run_upmem(id, Scale::Test, &inp, &mut eager);
+            // Optimizer off: the lowering must mirror the eager program
+            // launch for launch, so time and launch counts are comparable.
             let mut session = Session::new(
                 SessionOptions::default()
-                    .with_upmem_config(cfg)
-                    .with_policy(ShardPolicy::Single(Target::Cnm)),
+                    .with_upmem_config(cfg.clone())
+                    .with_policy(ShardPolicy::Single(Target::Cnm))
+                    .with_optimizer(false),
             );
             let got = run_session(id, Scale::Test, &inp, &mut session);
             assert_eq!(got, want, "{}", id.name());
@@ -860,6 +863,17 @@ mod tests {
                 "{}: session moved more bytes than the eager path",
                 id.name()
             );
+            // Optimizer on: fusion may change launch counts and kernel
+            // time, but never the results.
+            let mut optimized = Session::new(
+                SessionOptions::default()
+                    .with_upmem_config(cfg)
+                    .with_policy(ShardPolicy::Single(Target::Cnm)),
+            );
+            let got_opt = run_session(id, Scale::Test, &inp, &mut optimized);
+            assert_eq!(got_opt, want, "{} (optimizer on)", id.name());
+            let o = optimized.upmem_stats();
+            assert!(o.launches <= e.launches, "{}", id.name());
         }
     }
 

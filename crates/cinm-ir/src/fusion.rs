@@ -1,0 +1,746 @@
+//! Generic graph-optimisation patterns: common-subexpression elimination,
+//! dead-code elimination, and element-wise fusion.
+//!
+//! These rewrites are the IR half of the session graph optimizer: a frontend
+//! (e.g. the `cinm-core` session) records its lazy graph as ops in a single
+//! block, annotates the ops that are legal to fuse with the `fuse.*`
+//! attributes below, and runs these patterns through the standard
+//! [`PassManager`](crate::pass::PassManager) /
+//! [`PatternRewritePass`](crate::rewrite::PatternRewritePass) machinery.
+//! The patterns themselves know nothing about devices or tensors — legality
+//! is communicated entirely through attributes, so they work on any dialect.
+//!
+//! ## The fusion attribute contract
+//!
+//! A *fusable* op is a pure binary element-wise op (two operands, one
+//! result) carrying:
+//!
+//! * [`ATTR_ELIGIBLE`] — presence marks the op as fusable at its placement;
+//! * [`ATTR_CODE`] — integer opcode of the element-wise operation;
+//! * [`ATTR_LEN`] — element count; only ops with equal lengths fuse;
+//! * [`ATTR_TAG`] — opaque frontend tag (e.g. an output slot id), carried
+//!   through fusion per stage so the frontend can map fused results back.
+//!
+//! Fusion rewrites groups of fusable ops into a single [`FUSED_OP`]
+//! (`fuse.group`) op with one operand per distinct external input, one
+//! result per constituent stage, and the stage dataflow encoded in the
+//! [`ATTR_STAGES`] integer array (see [`stage_encoding`]).
+
+use std::collections::BTreeMap;
+
+use crate::attributes::Attribute;
+use crate::error::IrResult;
+use crate::ir::{Body, Func, OpId, Operation, ValueId, ValueKind};
+use crate::pass::{Pass, PassResult};
+use crate::rewrite::RewritePattern;
+
+/// Marks an op as fusable (value: [`Attribute::Int`]`(1)`).
+pub const ATTR_ELIGIBLE: &str = "fuse.eligible";
+/// Integer opcode of a fusable element-wise op.
+pub const ATTR_CODE: &str = "fuse.code";
+/// Element count of a fusable op / fused group; lengths must match to fuse.
+pub const ATTR_LEN: &str = "fuse.len";
+/// Opaque frontend tag on a fusable op, carried per-stage into the group.
+pub const ATTR_TAG: &str = "fuse.tag";
+/// Per-stage dataflow of a fused group, five integers per stage.
+pub const ATTR_STAGES: &str = "fuse.stages";
+/// Per-stage frontend tags of a fused group.
+pub const ATTR_TAGS: &str = "fuse.tags";
+/// Marks an op whose results the frontend observes: CSE keeps the op and
+/// DCE never erases it (value: [`Attribute::Int`]`(1)`).
+pub const ATTR_LIVE_OUT: &str = "live_out";
+/// Name of the fused element-wise group op produced by fusion.
+pub const FUSED_OP: &str = "fuse.group";
+
+/// Maximum number of stages in one fused group. Kept in sync with the
+/// simulator's fused-kernel stage limit (`upmem_sim::MAX_FUSED_STAGES`);
+/// downstream crates that depend on both assert the two are equal.
+pub const MAX_FUSED_STAGES: usize = 4;
+/// Maximum number of distinct external operands of one fused group,
+/// mirroring the simulator's per-kernel input limit.
+pub const MAX_FUSED_OPERANDS: usize = 4;
+
+/// Stage-argument kind: the value is an external operand of the group
+/// (paired integer indexes the group's operand list).
+pub const ARG_INPUT: i64 = 0;
+/// Stage-argument kind: the value is the result of an earlier stage
+/// (paired integer indexes the group's stage list).
+pub const ARG_STAGE: i64 = 1;
+
+/// Documentation anchor for the [`ATTR_STAGES`] encoding.
+///
+/// Each stage occupies five consecutive integers:
+/// `[code, lhs_kind, lhs_index, rhs_kind, rhs_index]`, where `code` is the
+/// opcode from [`ATTR_CODE`] and each `(kind, index)` pair is either
+/// `(`[`ARG_INPUT`]`, operand index)` or `(`[`ARG_STAGE`]`, earlier stage
+/// index)`. Stage `s` produces the group's result `s`. Stage order is
+/// dependency order: [`ARG_STAGE`] references only earlier stages.
+pub mod stage_encoding {}
+
+/// Number of integers encoding one stage in [`ATTR_STAGES`].
+pub const STAGE_WORDS: usize = 5;
+
+/// A fusable op or an existing fused group, normalised to stage form.
+struct FusionUnit {
+    op: OpId,
+    len: i64,
+    /// `[code, lhs_kind, lhs_index, rhs_kind, rhs_index]` per stage, with
+    /// [`ARG_INPUT`] indices relative to `operands`.
+    stages: Vec<[i64; STAGE_WORDS]>,
+    tags: Vec<i64>,
+    operands: Vec<ValueId>,
+    results: Vec<ValueId>,
+}
+
+/// Normalises `op` into stage form if it is fusable: either a binary
+/// element-wise op carrying the `fuse.*` attributes, or a previously fused
+/// [`FUSED_OP`] group.
+fn unit_of(body: &Body, op: OpId) -> Option<FusionUnit> {
+    let o = body.op(op);
+    if !o.regions.is_empty() {
+        return None;
+    }
+    if o.name == FUSED_OP {
+        let flat = o.int_array_attr(ATTR_STAGES)?;
+        if flat.len() % STAGE_WORDS != 0 {
+            return None;
+        }
+        let stages: Vec<[i64; STAGE_WORDS]> = flat
+            .chunks(STAGE_WORDS)
+            .map(|c| [c[0], c[1], c[2], c[3], c[4]])
+            .collect();
+        let tags = o.int_array_attr(ATTR_TAGS)?.to_vec();
+        if tags.len() != stages.len() || o.results.len() != stages.len() {
+            return None;
+        }
+        Some(FusionUnit {
+            op,
+            len: o.int_attr(ATTR_LEN)?,
+            stages,
+            tags,
+            operands: o.operands.clone(),
+            results: o.results.clone(),
+        })
+    } else {
+        if !o.has_attr(ATTR_ELIGIBLE) || o.operands.len() != 2 || o.results.len() != 1 {
+            return None;
+        }
+        Some(FusionUnit {
+            op,
+            len: o.int_attr(ATTR_LEN)?,
+            stages: vec![[o.int_attr(ATTR_CODE)?, ARG_INPUT, 0, ARG_INPUT, 1]],
+            tags: vec![o.int_attr(ATTR_TAG).unwrap_or(-1)],
+            operands: o.operands.clone(),
+            results: o.results.clone(),
+        })
+    }
+}
+
+/// True if `v` is usable as an operand of an op inserted at `index` in
+/// `block`: a block argument, or the result of an earlier op of the block.
+fn defined_before(body: &Body, v: ValueId, block: crate::ir::BlockId, index: usize) -> bool {
+    match body.value_kind(v) {
+        ValueKind::BlockArg { .. } => true,
+        ValueKind::OpResult { op, .. } => {
+            body.op_block(op) == block && body.op_index_in_block(op) < index
+        }
+    }
+}
+
+/// Merges two fusable units into one [`FUSED_OP`] group placed at `first`'s
+/// position, or returns `None` if the merge is illegal (length mismatch,
+/// stage/operand caps exceeded, or an operand of `second` not defined before
+/// `first`). `second` may consume results of `first` (chain fusion) — those
+/// operands become [`ARG_STAGE`] references; a pair with no such dataflow
+/// merges too (independent roots sharing one launch).
+///
+/// On success both original ops are erased and every old result is replaced
+/// by the corresponding group result (result order: `first`'s stages, then
+/// `second`'s).
+fn merge_units(body: &mut Body, first: &FusionUnit, second: &FusionUnit) -> Option<OpId> {
+    if first.len != second.len {
+        return None;
+    }
+    let n_stages = first.stages.len() + second.stages.len();
+    if n_stages > MAX_FUSED_STAGES {
+        return None;
+    }
+    let block = body.op_block(first.op);
+    if body.op_block(second.op) != block {
+        return None;
+    }
+    let at = body.op_index_in_block(first.op);
+    if body.op_index_in_block(second.op) <= at {
+        return None;
+    }
+
+    // Combined deduplicated external operand list, and per-unit remappings
+    // of old operand indices into it.
+    let mut externals: Vec<ValueId> = Vec::new();
+    fn external_index(externals: &mut Vec<ValueId>, v: ValueId) -> i64 {
+        match externals.iter().position(|&e| e == v) {
+            Some(i) => i as i64,
+            None => {
+                externals.push(v);
+                (externals.len() - 1) as i64
+            }
+        }
+    }
+    let first_map: Vec<i64> = first
+        .operands
+        .iter()
+        .map(|&v| external_index(&mut externals, v))
+        .collect();
+    let mut second_map: Vec<(i64, i64)> = Vec::with_capacity(second.operands.len());
+    for &v in &second.operands {
+        if let Some(k) = first.results.iter().position(|&r| r == v) {
+            // Chained operand: reads a stage of `first`.
+            second_map.push((ARG_STAGE, k as i64));
+        } else {
+            // Hoisting `second` to `first`'s position must not break SSA
+            // dominance for its remaining operands.
+            if !defined_before(body, v, block, at) {
+                return None;
+            }
+            second_map.push((ARG_INPUT, external_index(&mut externals, v)));
+        }
+    }
+    if externals.len() > MAX_FUSED_OPERANDS {
+        return None;
+    }
+
+    let mut flat: Vec<i64> = Vec::with_capacity(n_stages * STAGE_WORDS);
+    for st in &first.stages {
+        flat.push(st[0]);
+        for (kind, val) in [(st[1], st[2]), (st[3], st[4])] {
+            if kind == ARG_INPUT {
+                flat.extend([ARG_INPUT, first_map[val as usize]]);
+            } else {
+                flat.extend([ARG_STAGE, val]);
+            }
+        }
+    }
+    let offset = first.stages.len() as i64;
+    for st in &second.stages {
+        flat.push(st[0]);
+        for (kind, val) in [(st[1], st[2]), (st[3], st[4])] {
+            if kind == ARG_INPUT {
+                let (k, v) = second_map[val as usize];
+                flat.extend([k, v]);
+            } else {
+                flat.extend([ARG_STAGE, val + offset]);
+            }
+        }
+    }
+    let tags: Vec<i64> = first.tags.iter().chain(&second.tags).copied().collect();
+
+    let old_results: Vec<ValueId> = first
+        .results
+        .iter()
+        .chain(&second.results)
+        .copied()
+        .collect();
+    let result_types = old_results
+        .iter()
+        .map(|&r| body.value_type(r).clone())
+        .collect();
+    let mut attrs = BTreeMap::new();
+    attrs.insert(ATTR_STAGES.to_string(), Attribute::IntArray(flat));
+    attrs.insert(ATTR_TAGS.to_string(), Attribute::IntArray(tags));
+    attrs.insert(ATTR_LEN.to_string(), Attribute::Int(first.len));
+    let group = body.insert_op(block, at, FUSED_OP, externals, result_types, attrs, vec![]);
+    for (i, &old) in old_results.iter().enumerate() {
+        body.replace_all_uses(old, body.result(group, i));
+    }
+    body.erase_op(first.op);
+    body.erase_op(second.op);
+    Some(group)
+}
+
+/// Fuses a fusable op into the unit producing one of its operands.
+///
+/// Matching on the *consumer*, this folds producer→consumer chains (the
+/// classic element-wise fusion: `xor` feeding `and` becomes one two-stage
+/// group) and grows existing groups stage by stage until the stage or
+/// operand cap is hit.
+pub struct ElementwiseChainFusion;
+
+impl RewritePattern for ElementwiseChainFusion {
+    fn name(&self) -> &str {
+        "fuse-elementwise-chain"
+    }
+
+    fn match_and_rewrite(&self, op: OpId, body: &mut Body) -> IrResult<bool> {
+        let Some(consumer) = unit_of(body, op) else {
+            return Ok(false);
+        };
+        for &v in &consumer.operands {
+            let Some(p) = body.defining_op(v) else {
+                continue;
+            };
+            let Some(producer) = unit_of(body, p) else {
+                continue;
+            };
+            if merge_units(body, &producer, &consumer).is_some() {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Merges a fusable op into the nearest earlier fusable unit of the block,
+/// even without a producer→consumer edge, so independent same-length
+/// element-wise ops share one launch. Dominance keeps it legal: the later
+/// op only hoists if all its operands are defined before the earlier unit.
+///
+/// Ordered after [`ElementwiseChainFusion`] in a pattern set so true chains
+/// fuse along their dataflow first.
+pub struct ElementwiseRootMerge;
+
+impl RewritePattern for ElementwiseRootMerge {
+    fn name(&self) -> &str {
+        "fuse-elementwise-roots"
+    }
+
+    fn match_and_rewrite(&self, op: OpId, body: &mut Body) -> IrResult<bool> {
+        let Some(second) = unit_of(body, op) else {
+            return Ok(false);
+        };
+        let block = body.op_block(op);
+        let index = body.op_index_in_block(op);
+        let earlier: Vec<OpId> = body.block_ops(block)[..index].to_vec();
+        for &cand in earlier.iter().rev() {
+            let Some(first) = unit_of(body, cand) else {
+                continue;
+            };
+            if merge_units(body, &first, &second).is_some() {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Common-subexpression elimination as a rewrite pattern.
+///
+/// An op is a duplicate of an earlier op in the same block if name,
+/// operands and attributes all match — ignoring [`ATTR_TAG`],
+/// [`ATTR_LIVE_OUT`] and any keys the frontend registers via
+/// [`CsePattern::ignoring`] (bookkeeping attributes like output-slot ids
+/// that differ between structurally identical ops). A duplicate's uses are
+/// redirected to the first op; the duplicate itself is erased unless it
+/// carries [`ATTR_LIVE_OUT`] (the frontend observes its result, which lives
+/// in separate storage, so the op must still execute).
+pub struct CsePattern {
+    ignored: Vec<String>,
+}
+
+impl Default for CsePattern {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CsePattern {
+    /// CSE ignoring only the built-in bookkeeping attributes.
+    pub fn new() -> Self {
+        CsePattern {
+            ignored: Vec::new(),
+        }
+    }
+
+    /// Adds frontend-specific attribute keys to ignore when comparing ops.
+    pub fn ignoring<I, S>(keys: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        CsePattern {
+            ignored: keys.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    fn significant_attrs<'a>(&self, op: &'a Operation) -> BTreeMap<&'a str, &'a Attribute> {
+        op.attrs
+            .iter()
+            .filter(|(k, _)| {
+                k.as_str() != ATTR_TAG
+                    && k.as_str() != ATTR_LIVE_OUT
+                    && !self.ignored.iter().any(|ig| ig == k.as_str())
+            })
+            .map(|(k, v)| (k.as_str(), v))
+            .collect()
+    }
+}
+
+impl RewritePattern for CsePattern {
+    fn name(&self) -> &str {
+        "cse"
+    }
+
+    fn match_and_rewrite(&self, op: OpId, body: &mut Body) -> IrResult<bool> {
+        let o = body.op(op);
+        if o.results.is_empty() || !o.regions.is_empty() {
+            return Ok(false);
+        }
+        let block = body.op_block(op);
+        let index = body.op_index_in_block(op);
+        let dup_attrs = self.significant_attrs(o);
+        let mut found = None;
+        for &cand in &body.block_ops(block)[..index] {
+            let c = body.op(cand);
+            if c.name == o.name
+                && c.operands == o.operands
+                && c.results.len() == o.results.len()
+                && c.regions.is_empty()
+                && self.significant_attrs(c) == dup_attrs
+            {
+                found = Some(cand);
+                break;
+            }
+        }
+        let Some(first) = found else {
+            return Ok(false);
+        };
+        let live_out = body.op(op).has_attr(ATTR_LIVE_OUT);
+        let results: Vec<ValueId> = body.op(op).results.clone();
+        if live_out && !results.iter().any(|&r| body.has_uses(r)) {
+            // Already rewired on an earlier application; the op survives
+            // only to produce its observed output. Nothing left to do.
+            return Ok(false);
+        }
+        for (i, &r) in results.iter().enumerate() {
+            body.replace_all_uses(r, body.result(first, i));
+        }
+        if !live_out {
+            body.erase_op(op);
+        }
+        Ok(true)
+    }
+}
+
+/// Dead-code elimination: erases value-producing ops none of whose results
+/// are used, unless they carry [`ATTR_LIVE_OUT`]. Runs to a fixpoint so
+/// whole dead chains disappear. Ops without results (terminators) and ops
+/// with regions are never touched.
+pub struct DcePass;
+
+impl Pass for DcePass {
+    fn name(&self) -> &str {
+        "dce"
+    }
+
+    fn run_on_func(&self, func: &mut Func) -> IrResult<PassResult> {
+        let mut changed_any = false;
+        loop {
+            let mut changed = false;
+            for op in func.body.walk() {
+                if !func.body.is_live(op) {
+                    continue;
+                }
+                let o = func.body.op(op);
+                if o.results.is_empty() || !o.regions.is_empty() || o.has_attr(ATTR_LIVE_OUT) {
+                    continue;
+                }
+                let dead = {
+                    let results = &func.body.op(op).results;
+                    !results.iter().any(|&r| func.body.has_uses(r))
+                };
+                if dead {
+                    func.body.erase_op(op);
+                    changed = true;
+                }
+            }
+            changed_any |= changed;
+            if !changed {
+                break;
+            }
+        }
+        Ok(PassResult::from_changed(changed_any))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{OpBuilder, OpSpec};
+    use crate::ir::Func;
+    use crate::rewrite::apply_patterns_greedily;
+    use crate::types::{ScalarType, Type};
+
+    fn elem_ty(n: i64) -> Type {
+        Type::tensor(&[n], ScalarType::I32)
+    }
+
+    fn fusable(name: &str, code: i64, len: i64, tag: i64) -> OpSpec {
+        OpSpec::new(name)
+            .attr(ATTR_ELIGIBLE, Attribute::Int(1))
+            .attr(ATTR_CODE, Attribute::Int(code))
+            .attr(ATTR_LEN, Attribute::Int(len))
+            .attr(ATTR_TAG, Attribute::Int(tag))
+    }
+
+    fn fusion_patterns() -> Vec<Box<dyn RewritePattern>> {
+        vec![
+            Box::new(ElementwiseChainFusion),
+            Box::new(ElementwiseRootMerge),
+        ]
+    }
+
+    /// The BFS epilogue shape: `nv = xor(visited, ones); fresh = and(raw,
+    /// nv); vnext = or(visited, raw)` fuses into one three-stage group with
+    /// three deduplicated external inputs.
+    #[test]
+    fn bfs_epilogue_fuses_into_one_group() {
+        let t = elem_ty(8);
+        let mut f = Func::new("bfs", vec![t.clone(), t.clone(), t.clone()], vec![]);
+        let (visited, ones, raw) = {
+            let a = f.arguments();
+            (a[0], a[1], a[2])
+        };
+        let entry = f.body.entry_block();
+        let mut b = OpBuilder::at_end(&mut f.body, entry);
+        let nv = b.push(
+            fusable("ew.xor", 10, 8, 100)
+                .operands([visited, ones])
+                .result(t.clone()),
+        );
+        let fresh = b.push(
+            fusable("ew.and", 11, 8, 101)
+                .operands([raw, nv.result()])
+                .result(t.clone()),
+        );
+        let vnext = b.push(
+            fusable("ew.or", 12, 8, 102)
+                .operands([visited, raw])
+                .result(t.clone()),
+        );
+        b.push(
+            OpSpec::new("use.reduce")
+                .operands([fresh.result()])
+                .result(elem_ty(1)),
+        );
+        b.push(OpSpec::new("use.sink").operands([vnext.result()]));
+
+        let stats = apply_patterns_greedily(&mut f.body, &fusion_patterns(), 16).unwrap();
+        assert!(stats.converged);
+        let groups = f.body.ops_with_name(FUSED_OP);
+        assert_eq!(groups.len(), 1, "expected a single fused group");
+        let g = groups[0];
+        let op = f.body.op(g);
+        // Externals deduplicated: visited, ones, raw.
+        assert_eq!(op.operands.len(), 3);
+        assert_eq!(op.results.len(), 3);
+        let stages = op.int_array_attr(ATTR_STAGES).unwrap();
+        assert_eq!(stages.len(), 3 * STAGE_WORDS);
+        let tags = op.int_array_attr(ATTR_TAGS).unwrap().to_vec();
+        // All three original tags survive, in stage order.
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![100, 101, 102]);
+        // Consumers read the group's results.
+        let reduce = f.body.ops_with_name("use.reduce")[0];
+        let sink = f.body.ops_with_name("use.sink")[0];
+        let fresh_stage = tags.iter().position(|&t| t == 101).unwrap();
+        let vnext_stage = tags.iter().position(|&t| t == 102).unwrap();
+        assert_eq!(f.body.op(reduce).operands[0], f.body.result(g, fresh_stage));
+        assert_eq!(f.body.op(sink).operands[0], f.body.result(g, vnext_stage));
+        // Stage dataflow is internally consistent: every ARG_STAGE
+        // reference points to an earlier stage.
+        for (s, chunk) in stages.chunks(STAGE_WORDS).enumerate() {
+            for pair in [(chunk[1], chunk[2]), (chunk[3], chunk[4])] {
+                match pair.0 {
+                    ARG_INPUT => assert!((pair.1 as usize) < op.operands.len()),
+                    ARG_STAGE => assert!((pair.1 as usize) < s),
+                    k => panic!("bad arg kind {k}"),
+                }
+            }
+        }
+    }
+
+    /// A five-op chain overflows the stage cap: four stages fuse, the fifth
+    /// op survives as a plain consumer of the group.
+    #[test]
+    fn stage_cap_splits_long_chains() {
+        let t = elem_ty(4);
+        let mut f = Func::new("chain", vec![t.clone(), t.clone()], vec![]);
+        let (x, y) = {
+            let a = f.arguments();
+            (a[0], a[1])
+        };
+        let entry = f.body.entry_block();
+        let mut b = OpBuilder::at_end(&mut f.body, entry);
+        let mut prev = x;
+        let mut last = None;
+        for i in 0..5 {
+            let op = b.push(
+                fusable("ew.add", 0, 4, i)
+                    .operands([prev, y])
+                    .result(t.clone()),
+            );
+            prev = op.result();
+            last = Some(op.result());
+        }
+        b.push(OpSpec::new("use.sink").operands([last.unwrap()]));
+
+        let stats = apply_patterns_greedily(&mut f.body, &fusion_patterns(), 16).unwrap();
+        assert!(stats.converged);
+        let groups = f.body.ops_with_name(FUSED_OP);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(
+            f.body
+                .op(groups[0])
+                .int_array_attr(ATTR_STAGES)
+                .unwrap()
+                .len(),
+            MAX_FUSED_STAGES * STAGE_WORDS
+        );
+        assert_eq!(f.body.ops_with_name("ew.add").len(), 1);
+    }
+
+    /// Ops whose lengths differ never merge, and a consumer whose other
+    /// operand is defined *after* the producer cannot chain into it.
+    #[test]
+    fn illegal_merges_are_rejected() {
+        let t8 = elem_ty(8);
+        let t4 = elem_ty(4);
+        let mut f = Func::new(
+            "mixed",
+            vec![t8.clone(), t8.clone(), t4.clone(), t4.clone()],
+            vec![],
+        );
+        let (a, b_, c, d) = {
+            let args = f.arguments();
+            (args[0], args[1], args[2], args[3])
+        };
+        let entry = f.body.entry_block();
+        let mut b = OpBuilder::at_end(&mut f.body, entry);
+        let p = b.push(
+            fusable("ew.add", 0, 8, 0)
+                .operands([a, b_])
+                .result(t8.clone()),
+        );
+        // Length-4 op between the two length-8 ops: incompatible.
+        let q = b.push(
+            fusable("ew.mul", 2, 4, 1)
+                .operands([c, d])
+                .result(t4.clone()),
+        );
+        // Non-fusable producer defined after `p`.
+        let r = b.push(
+            OpSpec::new("opaque")
+                .operands([q.result()])
+                .result(t8.clone()),
+        );
+        // Consumer of p and r: fusing into `p` would hoist it above `r`.
+        let s = b.push(
+            fusable("ew.sub", 1, 8, 2)
+                .operands([p.result(), r.result()])
+                .result(t8),
+        );
+        b.push(OpSpec::new("use.sink").operands([s.result(), q.result()]));
+
+        let stats = apply_patterns_greedily(&mut f.body, &fusion_patterns(), 16).unwrap();
+        assert!(stats.converged);
+        assert_eq!(stats.applications, 0);
+        assert!(f.body.ops_with_name(FUSED_OP).is_empty());
+    }
+
+    #[test]
+    fn cse_redirects_and_erases_duplicates() {
+        let t = elem_ty(4);
+        let mut f = Func::new("dups", vec![t.clone(), t.clone()], vec![]);
+        let (x, y) = {
+            let a = f.arguments();
+            (a[0], a[1])
+        };
+        let entry = f.body.entry_block();
+        let mut b = OpBuilder::at_end(&mut f.body, entry);
+        let first = b.push(
+            OpSpec::new("ew.add")
+                .operands([x, y])
+                .attr("out_slot", Attribute::Int(3))
+                .result(t.clone()),
+        );
+        let dup = b.push(
+            OpSpec::new("ew.add")
+                .operands([x, y])
+                .attr("out_slot", Attribute::Int(7))
+                .result(t.clone()),
+        );
+        let other = b.push(OpSpec::new("ew.add").operands([y, x]).result(t.clone()));
+        b.push(OpSpec::new("use.sink").operands([dup.result(), other.result()]));
+
+        let patterns: Vec<Box<dyn RewritePattern>> =
+            vec![Box::new(CsePattern::ignoring(["out_slot"]))];
+        let stats = apply_patterns_greedily(&mut f.body, &patterns, 16).unwrap();
+        assert!(stats.converged);
+        assert_eq!(stats.applications, 1);
+        // Duplicate erased, its use redirected; the operand-swapped op stays.
+        assert_eq!(f.body.ops_with_name("ew.add").len(), 2);
+        let sink = f.body.ops_with_name("use.sink")[0];
+        assert_eq!(f.body.op(sink).operands[0], first.result());
+    }
+
+    #[test]
+    fn cse_keeps_live_out_duplicates_but_rewires_uses() {
+        let t = elem_ty(4);
+        let mut f = Func::new("live", vec![t.clone(), t.clone()], vec![]);
+        let (x, y) = {
+            let a = f.arguments();
+            (a[0], a[1])
+        };
+        let entry = f.body.entry_block();
+        let mut b = OpBuilder::at_end(&mut f.body, entry);
+        let first = b.push(OpSpec::new("ew.add").operands([x, y]).result(t.clone()));
+        let dup = b.push(
+            OpSpec::new("ew.add")
+                .operands([x, y])
+                .attr(ATTR_LIVE_OUT, Attribute::Int(1))
+                .result(t.clone()),
+        );
+        b.push(OpSpec::new("use.sink").operands([dup.result()]));
+
+        let patterns: Vec<Box<dyn RewritePattern>> = vec![Box::new(CsePattern::new())];
+        let stats = apply_patterns_greedily(&mut f.body, &patterns, 16).unwrap();
+        assert!(stats.converged, "live-out duplicate must not loop forever");
+        assert_eq!(stats.applications, 1);
+        // Both ops survive (the duplicate's output is observed), but the
+        // downstream use reads the first op.
+        assert_eq!(f.body.ops_with_name("ew.add").len(), 2);
+        let sink = f.body.ops_with_name("use.sink")[0];
+        assert_eq!(f.body.op(sink).operands[0], first.result());
+    }
+
+    #[test]
+    fn dce_erases_dead_chains_but_keeps_live_out_and_terminators() {
+        let t = elem_ty(4);
+        let mut f = Func::new("dead", vec![t.clone()], vec![]);
+        let x = f.argument(0);
+        let entry = f.body.entry_block();
+        let mut b = OpBuilder::at_end(&mut f.body, entry);
+        let d1 = b.push(OpSpec::new("ew.add").operands([x, x]).result(t.clone()));
+        // Dead chain: d2 uses d1, nothing uses d2.
+        b.push(
+            OpSpec::new("ew.mul")
+                .operands([d1.result(), x])
+                .result(t.clone()),
+        );
+        let kept = b.push(
+            OpSpec::new("ew.sub")
+                .operands([x, x])
+                .attr(ATTR_LIVE_OUT, Attribute::Int(1))
+                .result(t.clone()),
+        );
+        b.push(OpSpec::new("func.return"));
+
+        let pass = DcePass;
+        assert_eq!(pass.run_on_func(&mut f).unwrap(), PassResult::Changed);
+        assert!(f.body.ops_with_name("ew.add").is_empty());
+        assert!(f.body.ops_with_name("ew.mul").is_empty());
+        assert!(f.body.is_live(kept.id));
+        assert_eq!(f.body.ops_with_name("func.return").len(), 1);
+        assert_eq!(pass.run_on_func(&mut f).unwrap(), PassResult::Unchanged);
+    }
+}

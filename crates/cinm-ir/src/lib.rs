@@ -42,6 +42,7 @@ pub mod affine;
 pub mod attributes;
 pub mod builder;
 pub mod error;
+pub mod fusion;
 pub mod ir;
 pub mod pass;
 pub mod printer;
@@ -53,6 +54,7 @@ pub use affine::{AffineExpr, AffineMap};
 pub use attributes::Attribute;
 pub use builder::{BuiltOp, OpBuilder, OpSpec};
 pub use error::{IrError, IrResult};
+pub use fusion::{CsePattern, DcePass, ElementwiseChainFusion, ElementwiseRootMerge};
 pub use ir::{BlockId, Body, Func, Module, OpId, Operation, RegionId, ValueId, ValueKind};
 pub use pass::{Pass, PassManager, PassResult, PipelineStats};
 pub use printer::{func_lines_of_code, print_func, print_module};
@@ -68,6 +70,7 @@ pub mod prelude {
     pub use crate::attributes::Attribute;
     pub use crate::builder::{BuiltOp, OpBuilder, OpSpec};
     pub use crate::error::{IrError, IrResult};
+    pub use crate::fusion::{CsePattern, DcePass, ElementwiseChainFusion, ElementwiseRootMerge};
     pub use crate::ir::{
         BlockId, Body, Func, Module, OpId, Operation, RegionId, ValueId, ValueKind,
     };

@@ -6,12 +6,13 @@
 //! both execute exactly this code on each DPU's local data, only the storage
 //! layout and the degree of host parallelism differ.
 
-use crate::kernel::DpuKernelKind;
+use crate::kernel::{DpuKernelKind, FusedArg, FusedStage};
 
 /// Upper bound on the number of input buffers any kernel kind consumes
 /// (see [`DpuKernelKind::num_inputs`]); lets the launch hot path keep its
 /// per-DPU input views in a stack array instead of a heap allocation.
-pub(crate) const MAX_KERNEL_INPUTS: usize = 3;
+/// Fused element-wise kernels are validated against this bound too.
+pub(crate) const MAX_KERNEL_INPUTS: usize = 4;
 
 /// Functional semantics of one DPU executing the kernel on local data.
 ///
@@ -132,6 +133,41 @@ pub(crate) fn execute_kernel(kind: &DpuKernelKind, inputs: &[&[i32]], output: &m
                 }
             }
         }
+        DpuKernelKind::FusedElementwise { .. } => {
+            unreachable!("fused launches are dispatched to execute_fused, which takes all outputs")
+        }
+    }
+}
+
+/// Functional semantics of one DPU executing a fused element-wise kernel:
+/// stage `s` computes `outputs[s][i] = lhs[i] op rhs[i]` where each operand
+/// resolves to an external input view or the output of an earlier stage.
+/// Stage order is dependency order ([`FusedArg::Stage`] only references
+/// earlier stages — enforced by launch validation), so a single forward pass
+/// suffices. Results are bit-identical to launching the stages as separate
+/// [`DpuKernelKind::Elementwise`] kernels in order.
+pub(crate) fn execute_fused(
+    stages: &[FusedStage],
+    len: usize,
+    inputs: &[&[i32]],
+    outputs: &mut [&mut [i32]],
+) {
+    debug_assert_eq!(stages.len(), outputs.len());
+    for (s, stage) in stages.iter().enumerate() {
+        let (done, rest) = outputs.split_at_mut(s);
+        let out = &mut *rest[0];
+        let lhs: &[i32] = match stage.lhs {
+            FusedArg::Input(i) => inputs[i as usize],
+            FusedArg::Stage(t) => &done[t as usize][..],
+        };
+        let rhs: &[i32] = match stage.rhs {
+            FusedArg::Input(i) => inputs[i as usize],
+            FusedArg::Stage(t) => &done[t as usize][..],
+        };
+        let op = stage.op;
+        for ((o, &a), &b) in out[..len].iter_mut().zip(lhs).zip(rhs) {
+            *o = op.apply(a, b);
+        }
     }
 }
 
@@ -171,8 +207,55 @@ mod tests {
                 vertices: 1,
                 avg_degree: 1,
             },
+            DpuKernelKind::FusedElementwise {
+                stages: vec![FusedStage {
+                    op: BinOp::Add,
+                    lhs: FusedArg::Input(0),
+                    rhs: FusedArg::Input(3),
+                }],
+                len: 1,
+                arity: MAX_KERNEL_INPUTS,
+            },
         ] {
             assert!(kind.num_inputs() <= MAX_KERNEL_INPUTS, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn fused_stages_match_separate_elementwise_launches() {
+        let a: Vec<i32> = (0..8).collect();
+        let b: Vec<i32> = (0..8).map(|i| 3 - i).collect();
+        // s0 = a + b; s1 = s0 * a; s2 = s1 ^ b
+        let stages = [
+            FusedStage {
+                op: BinOp::Add,
+                lhs: FusedArg::Input(0),
+                rhs: FusedArg::Input(1),
+            },
+            FusedStage {
+                op: BinOp::Mul,
+                lhs: FusedArg::Stage(0),
+                rhs: FusedArg::Input(0),
+            },
+            FusedStage {
+                op: BinOp::Xor,
+                lhs: FusedArg::Stage(1),
+                rhs: FusedArg::Input(1),
+            },
+        ];
+        let mut o0 = vec![0i32; 8];
+        let mut o1 = vec![0i32; 8];
+        let mut o2 = vec![0i32; 8];
+        {
+            let mut outs: [&mut [i32]; 3] = [&mut o0, &mut o1, &mut o2];
+            execute_fused(&stages, 8, &[&a, &b], &mut outs);
+        }
+        for i in 0..8 {
+            let s0 = a[i].wrapping_add(b[i]);
+            let s1 = s0.wrapping_mul(a[i]);
+            assert_eq!(o0[i], s0);
+            assert_eq!(o1[i], s1);
+            assert_eq!(o2[i], s1 ^ b[i]);
         }
     }
 }

@@ -81,6 +81,34 @@ impl BinOp {
     }
 }
 
+/// Upper bound on the number of stages of a
+/// [`DpuKernelKind::FusedElementwise`] kernel. Keeps the launch hot path's
+/// per-DPU output views in a stack array, and bounds the WRAM working set a
+/// fused kernel needs per element (`arity + stages` live values).
+pub const MAX_FUSED_STAGES: usize = 4;
+
+/// One operand of a fused element-wise stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FusedArg {
+    /// External input buffer `index` of the fused launch.
+    Input(u8),
+    /// The output of an earlier stage of the same launch.
+    Stage(u8),
+}
+
+/// One stage of a fused element-wise kernel: `out[s] = lhs op rhs`,
+/// element by element. Every stage writes its own output buffer, so all
+/// intermediate values of a fused chain stay observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FusedStage {
+    /// The binary operator of this stage.
+    pub op: BinOp,
+    /// Left operand.
+    pub lhs: FusedArg,
+    /// Right operand.
+    pub rhs: FusedArg,
+}
+
 /// The per-DPU computation of one kernel launch.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DpuKernelKind {
@@ -153,6 +181,22 @@ pub enum DpuKernelKind {
         /// Average degree (used only for the cost model).
         avg_degree: usize,
     },
+    /// A chain of element-wise binary stages executed in one launch: each
+    /// element is loaded from MRAM once per distinct operand, flows through
+    /// all stages in WRAM, and every stage's result is stored to its own
+    /// output buffer (stage 0 → [`KernelSpec::output`], stages 1.. →
+    /// [`KernelSpec::extra_outputs`]). Compared to launching the stages as
+    /// separate [`DpuKernelKind::Elementwise`] kernels this eliminates the
+    /// reload of every intermediate value and all but one launch.
+    FusedElementwise {
+        /// The stages, in dependency order (a stage may only reference
+        /// earlier stages). At most [`MAX_FUSED_STAGES`].
+        stages: Vec<FusedStage>,
+        /// Elements per DPU.
+        len: usize,
+        /// Number of external input buffers.
+        arity: usize,
+    },
 }
 
 impl DpuKernelKind {
@@ -168,6 +212,7 @@ impl DpuKernelKind {
             DpuKernelKind::Select { .. } => "select",
             DpuKernelKind::TimeSeries { .. } => "time-series",
             DpuKernelKind::BfsStep { .. } => "bfs-step",
+            DpuKernelKind::FusedElementwise { .. } => "fused-elementwise",
         }
     }
 
@@ -178,6 +223,17 @@ impl DpuKernelKind {
             DpuKernelKind::Gemv { .. } => 2,
             DpuKernelKind::Elementwise { .. } => 2,
             DpuKernelKind::BfsStep { .. } => 3,
+            DpuKernelKind::FusedElementwise { arity, .. } => *arity,
+            _ => 1,
+        }
+    }
+
+    /// Number of output buffers the kernel produces (one for every kind
+    /// except [`DpuKernelKind::FusedElementwise`], which writes one buffer
+    /// per stage).
+    pub fn num_outputs(&self) -> usize {
+        match self {
+            DpuKernelKind::FusedElementwise { stages, .. } => stages.len().max(1),
             _ => 1,
         }
     }
@@ -204,7 +260,8 @@ impl DpuKernelKind {
             | DpuKernelKind::Histogram { len, .. }
             | DpuKernelKind::Scan { len, .. }
             | DpuKernelKind::Select { len, .. }
-            | DpuKernelKind::TimeSeries { len, .. } => *len,
+            | DpuKernelKind::TimeSeries { len, .. }
+            | DpuKernelKind::FusedElementwise { len, .. } => *len,
             DpuKernelKind::BfsStep {
                 vertices,
                 avg_degree,
@@ -228,6 +285,7 @@ impl DpuKernelKind {
             DpuKernelKind::Select { len, .. } => *len + 1,
             DpuKernelKind::TimeSeries { len, window } => len.saturating_sub(*window) + 1,
             DpuKernelKind::BfsStep { vertices, .. } => *vertices,
+            DpuKernelKind::FusedElementwise { len, .. } => *len,
         }
     }
 }
@@ -239,8 +297,12 @@ pub struct KernelSpec {
     pub kind: DpuKernelKind,
     /// Input buffers (order defined by [`DpuKernelKind::num_inputs`]).
     pub inputs: Vec<BufferId>,
-    /// Output buffer.
+    /// Output buffer (of stage 0, for a fused kernel).
     pub output: BufferId,
+    /// Output buffers of stages 1.. of a
+    /// [`DpuKernelKind::FusedElementwise`] kernel; empty for every other
+    /// kind (see [`DpuKernelKind::num_outputs`]).
+    pub extra_outputs: Vec<BufferId>,
     /// Tasklets used by this launch (defaults to the system configuration).
     pub tasklets: Option<usize>,
     /// WRAM tile size in elements used for MRAM↔WRAM blocking.
@@ -270,11 +332,30 @@ impl KernelSpec {
             kind,
             inputs,
             output,
+            extra_outputs: Vec::new(),
             tasklets: None,
             wram_tile_elems: 1024,
             locality_optimized: false,
             instruction_overhead_factor: 1.0,
         }
+    }
+
+    /// Sets the output buffers of stages 1.. of a fused kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `1 + extra.len()` does not match
+    /// [`DpuKernelKind::num_outputs`].
+    pub fn with_extra_outputs(mut self, extra: Vec<BufferId>) -> Self {
+        assert_eq!(
+            1 + extra.len(),
+            self.kind.num_outputs(),
+            "kernel '{}' produces {} outputs",
+            self.kind.name(),
+            self.kind.num_outputs()
+        );
+        self.extra_outputs = extra;
+        self
     }
 
     /// Enables the WRAM-locality optimisation.

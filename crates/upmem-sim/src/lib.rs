@@ -60,7 +60,7 @@ pub use cinm_runtime::{
 };
 
 pub use config::{InstrCosts, UpmemConfig};
-pub use kernel::{BinOp, DpuKernelKind, KernelSpec};
+pub use kernel::{BinOp, DpuKernelKind, FusedArg, FusedStage, KernelSpec, MAX_FUSED_STAGES};
 pub use naive::NaiveUpmemSystem;
 pub use stats::{LaunchStats, SystemStats, TransferStats};
 pub use stream::{Command, CommandOutput};

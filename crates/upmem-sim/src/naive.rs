@@ -19,7 +19,8 @@ use crate::config::UpmemConfig;
 use crate::kernel::{DpuKernelKind, KernelSpec};
 use crate::stats::{LaunchStats, SystemStats, TransferStats};
 use crate::system::{
-    kernel_launch_cost, validate_kernel_shape, BufferId, DpuSystem, SimError, SimResult,
+    kernel_launch_cost, validate_kernel_shape, validate_outputs, BufferId, DpuSystem, SimError,
+    SimResult,
 };
 
 /// The seed's original per-DPU kernel executor, kept verbatim (i-j-p GEMM
@@ -128,6 +129,11 @@ fn seed_execute_kernel(kind: &DpuKernelKind, inputs: &[Vec<i32>], output: &mut [
                     output[dst] = 1;
                 }
             }
+        }
+        // Post-seed kind: fused launches have multiple outputs and are
+        // dispatched in `launch` before reaching the seed executor.
+        DpuKernelKind::FusedElementwise { .. } => {
+            unreachable!("fused launches are dispatched to execute_fused, which takes all outputs")
         }
     }
 }
@@ -391,16 +397,44 @@ impl NaiveUpmemSystem {
                 spec.kind.output_len()
             )));
         }
+        validate_outputs(spec, |b| self.buffer_len(b))?;
 
         // Functional execution on every DPU, inputs cloned per launch.
-        for dpu in &mut self.dpus {
-            let inputs: Vec<Vec<i32>> = spec
-                .inputs
-                .iter()
-                .map(|b| dpu.buffers.get(b).expect("validated above").clone())
-                .collect();
-            let output = dpu.buffers.get_mut(&spec.output).expect("validated above");
-            seed_execute_kernel(&spec.kind, &inputs, output);
+        if let DpuKernelKind::FusedElementwise { stages, len, .. } = &spec.kind {
+            // Post-seed multi-output kind: clone the per-DPU output buffers
+            // too (naive-layout style), run the shared fused executor and
+            // store the results back.
+            for dpu in &mut self.dpus {
+                let inputs: Vec<Vec<i32>> = spec
+                    .inputs
+                    .iter()
+                    .map(|b| dpu.buffers.get(b).expect("validated above").clone())
+                    .collect();
+                let views: Vec<&[i32]> = inputs.iter().map(|v| v.as_slice()).collect();
+                let out_ids: Vec<BufferId> = std::iter::once(spec.output)
+                    .chain(spec.extra_outputs.iter().copied())
+                    .collect();
+                let mut outs: Vec<Vec<i32>> = out_ids
+                    .iter()
+                    .map(|b| dpu.buffers.get(b).expect("validated above").clone())
+                    .collect();
+                let mut out_views: Vec<&mut [i32]> =
+                    outs.iter_mut().map(|v| v.as_mut_slice()).collect();
+                crate::exec::execute_fused(stages, *len, &views, &mut out_views);
+                for (b, v) in out_ids.into_iter().zip(outs) {
+                    dpu.buffers.insert(b, v);
+                }
+            }
+        } else {
+            for dpu in &mut self.dpus {
+                let inputs: Vec<Vec<i32>> = spec
+                    .inputs
+                    .iter()
+                    .map(|b| dpu.buffers.get(b).expect("validated above").clone())
+                    .collect();
+                let output = dpu.buffers.get_mut(&spec.output).expect("validated above");
+                seed_execute_kernel(&spec.kind, &inputs, output);
+            }
         }
 
         // Timing.

@@ -44,7 +44,7 @@ use cinm_runtime::{execute_stream, Access, CommandStream, StreamCommand};
 
 use crate::config::UpmemConfig;
 use crate::exec;
-use crate::kernel::KernelSpec;
+use crate::kernel::{DpuKernelKind, FusedStage, KernelSpec, MAX_FUSED_STAGES};
 use crate::stats::{LaunchStats, TransferStats};
 use crate::system::{
     broadcast_slab, gather_slab, kernel_launch_cost, launch_grid, scatter_slab, BufferId, SimError,
@@ -97,10 +97,15 @@ impl StreamCommand for Command<'_> {
             Command::Scatter { buffer, .. } | Command::Broadcast { buffer, .. } => {
                 Access::writes(vec![*buffer])
             }
-            Command::Launch { spec } => Access {
-                reads: spec.inputs.clone(),
-                writes: vec![spec.output],
-            },
+            Command::Launch { spec } => {
+                let mut writes = Vec::with_capacity(1 + spec.extra_outputs.len());
+                writes.push(spec.output);
+                writes.extend_from_slice(&spec.extra_outputs);
+                Access {
+                    reads: spec.inputs.clone(),
+                    writes,
+                }
+            }
             Command::Gather { buffer, .. } => Access::reads(vec![*buffer]),
         }
     }
@@ -211,7 +216,9 @@ impl<'a> StreamSession<'a> {
                 CommandOutput::Gather(out, t)
             }
             Command::Launch { spec } => {
-                if spec.inputs.contains(&spec.output) {
+                if let DpuKernelKind::FusedElementwise { stages, len, .. } = &spec.kind {
+                    self.launch_fused(spec, stages, *len);
+                } else if spec.inputs.contains(&spec.output) {
                     self.launch_aliased(spec);
                 } else {
                     self.launch_disjoint(spec);
@@ -250,6 +257,47 @@ impl<'a> StreamSession<'a> {
             &mut out.data,
             out_len,
         );
+    }
+
+    /// The fused multi-output launch path: per DPU, borrows the input
+    /// strides and one mutable stride per stage output from the cells and
+    /// runs the whole stage chain in one pass (the same
+    /// [`exec::execute_fused`] body as the eager path). Fused outputs never
+    /// alias inputs or each other — validated before execution — so the
+    /// mutable borrows are disjoint.
+    fn launch_fused(&self, spec: &KernelSpec, stages: &[FusedStage], len: usize) {
+        let n_inputs = spec.inputs.len();
+        let n_stages = stages.len();
+        debug_assert!(n_inputs <= exec::MAX_KERNEL_INPUTS);
+        debug_assert!(n_stages <= MAX_FUSED_STAGES);
+        debug_assert_eq!(n_stages, 1 + spec.extra_outputs.len());
+        let out_id = |s: usize| {
+            if s == 0 {
+                spec.output
+            } else {
+                spec.extra_outputs[s - 1]
+            }
+        };
+        for d in 0..self.num_dpus {
+            let mut views: [&[i32]; exec::MAX_KERNEL_INPUTS] = [&[]; exec::MAX_KERNEL_INPUTS];
+            for (view, &b) in views.iter_mut().zip(&spec.inputs) {
+                // SAFETY: shared read of an input buffer (struct-level
+                // invariant).
+                let s = unsafe { &*self.cells[b as usize].0.get() };
+                let e = s.elems_per_dpu;
+                *view = &s.data[d * e..(d + 1) * e];
+            }
+            let mut outs: [&mut [i32]; MAX_FUSED_STAGES] = [&mut [], &mut [], &mut [], &mut []];
+            for (s, o) in outs.iter_mut().enumerate().take(n_stages) {
+                // SAFETY: sole writer of each output buffer, and the fused
+                // output buffers are pairwise distinct (validated), so these
+                // mutable borrows never alias.
+                let slab = unsafe { &mut *self.cells[out_id(s) as usize].0.get() };
+                let e = slab.elems_per_dpu;
+                *o = &mut slab.data[d * e..(d + 1) * e];
+            }
+            exec::execute_fused(stages, len, &views[..n_inputs], &mut outs[..n_stages]);
+        }
     }
 
     /// Slow path for a launch whose output buffer is also an input: clones
@@ -535,6 +583,81 @@ mod tests {
                     "threads = {threads}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn fused_launches_in_a_stream_match_eager_execution() {
+        use crate::kernel::{FusedArg, FusedStage};
+        let data: Vec<i32> = (0..64).map(|i| i * 19 % 41 - 20).collect();
+        let fused = KernelSpec::new(
+            DpuKernelKind::FusedElementwise {
+                stages: vec![
+                    FusedStage {
+                        op: BinOp::Mul,
+                        lhs: FusedArg::Input(0),
+                        rhs: FusedArg::Input(1),
+                    },
+                    FusedStage {
+                        op: BinOp::Add,
+                        lhs: FusedArg::Stage(0),
+                        rhs: FusedArg::Input(0),
+                    },
+                ],
+                len: 16,
+                arity: 2,
+            },
+            vec![0, 1],
+            2,
+        )
+        .with_extra_outputs(vec![3]);
+        let program = vec![
+            Command::Scatter {
+                buffer: 0,
+                data: data.clone().into(),
+                chunk: 16,
+            },
+            Command::Broadcast {
+                buffer: 1,
+                data: data[..16].to_vec().into(),
+            },
+            Command::Launch { spec: fused },
+            // Reads both fused outputs: the hazard DAG must order this after
+            // the fused launch via its full write set (incl. extra_outputs).
+            Command::Launch {
+                spec: KernelSpec::new(
+                    DpuKernelKind::Elementwise {
+                        op: BinOp::Add,
+                        len: 16,
+                    },
+                    vec![2, 3],
+                    4,
+                ),
+            },
+            Command::Gather {
+                buffer: 4,
+                chunk: 16,
+            },
+        ];
+
+        let mut eager = UpmemSystem::new(small_config(1));
+        for _ in 0..5 {
+            eager.alloc_buffer(16).unwrap();
+        }
+        let eager_out = run_eager(&mut eager, &program);
+
+        for threads in [1usize, 2, 8, 0] {
+            let mut sys = UpmemSystem::new(small_config(threads));
+            for _ in 0..5 {
+                sys.alloc_buffer(16).unwrap();
+            }
+            let mut stream = CommandStream::new();
+            for c in &program {
+                stream.enqueue(c.clone());
+            }
+            let out = sys.sync(&mut stream).unwrap();
+            assert_eq!(out, eager_out, "threads = {threads}");
+            assert_eq!(sys.stats(), eager.stats(), "threads = {threads}");
         }
     }
 

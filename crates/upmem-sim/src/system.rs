@@ -22,7 +22,7 @@ use cinm_runtime::{FaultInjector, FaultKind};
 
 use crate::config::UpmemConfig;
 use crate::exec;
-use crate::kernel::{DpuKernelKind, KernelSpec};
+use crate::kernel::{DpuKernelKind, FusedStage, KernelSpec, MAX_FUSED_STAGES};
 use crate::stats::{LaunchStats, SystemStats, TransferStats};
 
 /// Identifier of a buffer allocated on every DPU of the grid.
@@ -251,6 +251,21 @@ pub fn kernel_launch_cost(
             let transfers = v + e / 2.0;
             (instrs, bytes, transfers)
         }
+        DpuKernelKind::FusedElementwise { stages, len, arity } => {
+            // Each element crosses WRAM once per external operand and once
+            // per stage store; the intermediate values stay in registers
+            // between stages. A single-stage fused kernel (arity 2) therefore
+            // costs exactly one Elementwise launch, and an s-stage chain is
+            // strictly cheaper than s separate launches (which pay
+            // 3 WRAM accesses per element each).
+            let l = *len as f64;
+            let s = stages.len() as f64;
+            let io = (*arity as f64) + s;
+            let instrs = l * (io * i.wram_access + s * i.alu + 0.5 * i.branch);
+            let bytes = io * l * 4.0;
+            let transfers = (io * l / spec.wram_tile_elems as f64).ceil().max(io);
+            (instrs, bytes, transfers)
+        }
     };
 
     // Without WRAM blocking the generated loops keep re-computing operand
@@ -297,14 +312,105 @@ pub fn kernel_launch_cost(
 
 /// Validates shape parameters of a kernel kind that buffer-length checks
 /// cannot catch: a [`DpuKernelKind::TimeSeries`] window larger than its
-/// input would read past the per-DPU stride during execution (shared by the
-/// slab and naive launch paths so both fail identically, before any state
-/// is touched).
+/// input would read past the per-DPU stride during execution, and a
+/// malformed [`DpuKernelKind::FusedElementwise`] stage list would index out
+/// of the launch's operand views (shared by the slab and naive launch paths
+/// so both fail identically, before any state is touched).
 pub(crate) fn validate_kernel_shape(kind: &DpuKernelKind) -> SimResult<()> {
-    if let DpuKernelKind::TimeSeries { len, window } = kind {
-        if window > len {
+    match kind {
+        DpuKernelKind::TimeSeries { len, window } if window > len => {
             return Err(SimError::new(format!(
                 "time-series window {window} exceeds per-DPU input length {len}"
+            )));
+        }
+        DpuKernelKind::FusedElementwise { stages, arity, .. } => {
+            if stages.is_empty() || stages.len() > crate::kernel::MAX_FUSED_STAGES {
+                return Err(SimError::new(format!(
+                    "fused kernel must have 1..={} stages, has {}",
+                    crate::kernel::MAX_FUSED_STAGES,
+                    stages.len()
+                )));
+            }
+            if *arity > exec::MAX_KERNEL_INPUTS {
+                return Err(SimError::new(format!(
+                    "fused kernel arity {arity} exceeds the input limit of {}",
+                    exec::MAX_KERNEL_INPUTS
+                )));
+            }
+            for (s, stage) in stages.iter().enumerate() {
+                for arg in [stage.lhs, stage.rhs] {
+                    let ok = match arg {
+                        crate::kernel::FusedArg::Input(i) => (i as usize) < *arity,
+                        // Only earlier stages: dependency order by
+                        // construction, so one forward pass executes the
+                        // chain.
+                        crate::kernel::FusedArg::Stage(t) => (t as usize) < s,
+                    };
+                    if !ok {
+                        return Err(SimError::new(format!(
+                            "fused stage {s} references invalid operand {arg:?} (arity {arity})"
+                        )));
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Validates the output-buffer list of a spec against the kernel's output
+/// count and the no-aliasing requirement of the fused multi-output path
+/// (shared by the slab and naive launch paths so both fail identically).
+/// `buffer_len` resolves a buffer id to its per-DPU length in the caller's
+/// storage.
+pub(crate) fn validate_outputs(
+    spec: &KernelSpec,
+    buffer_len: impl Fn(BufferId) -> SimResult<usize>,
+) -> SimResult<()> {
+    if 1 + spec.extra_outputs.len() != spec.kind.num_outputs() {
+        return Err(SimError::new(format!(
+            "kernel '{}' produces {} outputs, spec has {}",
+            spec.kind.name(),
+            spec.kind.num_outputs(),
+            1 + spec.extra_outputs.len()
+        )));
+    }
+    if !matches!(spec.kind, DpuKernelKind::FusedElementwise { .. }) {
+        return Ok(());
+    }
+    // The fused launch path takes every output slab out of storage at once,
+    // so fused outputs must be pairwise distinct and disjoint from the
+    // inputs (the graph optimizer only fuses ops whose buffers satisfy this).
+    let needed = spec.kind.output_len();
+    for (s, &buf) in spec.extra_outputs.iter().enumerate() {
+        let len = buffer_len(buf)?;
+        if len < needed {
+            return Err(SimError::new(format!(
+                "output of stage {} of kernel '{}' needs {needed} elements per DPU, buffer has {len}",
+                s + 1,
+                spec.kind.name()
+            )));
+        }
+    }
+    let total = 1 + spec.extra_outputs.len();
+    let out_at = |i: usize| {
+        if i == 0 {
+            spec.output
+        } else {
+            spec.extra_outputs[i - 1]
+        }
+    };
+    for i in 0..total {
+        let o = out_at(i);
+        if (0..i).any(|j| out_at(j) == o) {
+            return Err(SimError::new(format!(
+                "fused kernel outputs must be distinct, buffer {o} repeats"
+            )));
+        }
+        if spec.inputs.contains(&o) {
+            return Err(SimError::new(format!(
+                "fused kernel output buffer {o} aliases an input"
             )));
         }
     }
@@ -675,6 +781,7 @@ impl UpmemSystem {
                 spec.kind.output_len()
             )));
         }
+        validate_outputs(spec, |b| self.buffer_len(b))?;
         Ok(out_len)
     }
 
@@ -837,7 +944,12 @@ impl UpmemSystem {
         self.inject_launch(spec)?;
 
         // Functional execution on every DPU.
-        if spec.inputs.contains(&spec.output) {
+        if let DpuKernelKind::FusedElementwise { stages, len, .. } = &spec.kind {
+            // Fused outputs never alias inputs or each other (validated
+            // above), so all output slabs can be taken out of storage at
+            // once.
+            self.launch_fused(spec, stages, *len);
+        } else if spec.inputs.contains(&spec.output) {
             self.launch_aliased(spec);
         } else {
             // Move the output slab out (no allocation) so the input slabs can
@@ -910,6 +1022,46 @@ impl UpmemSystem {
             );
         }
         self.scratch = scratch;
+    }
+
+    /// The fused multi-output launch path: every stage's output slab is
+    /// taken out of storage at once (fused outputs never alias inputs or
+    /// each other — validated before dispatch), the input strides are
+    /// borrowed directly from the remaining slabs, and each DPU runs the
+    /// whole stage chain in one pass. No per-DPU or per-launch heap
+    /// allocation.
+    fn launch_fused(&mut self, spec: &KernelSpec, stages: &[FusedStage], len: usize) {
+        let n_stages = stages.len();
+        debug_assert!(n_stages <= MAX_FUSED_STAGES);
+        debug_assert_eq!(n_stages, 1 + spec.extra_outputs.len());
+        let mut taken: [Slab; MAX_FUSED_STAGES] = std::array::from_fn(|_| Slab::default());
+        taken[0] = std::mem::take(&mut self.slabs[spec.output as usize]);
+        for (slot, &b) in taken[1..n_stages].iter_mut().zip(&spec.extra_outputs) {
+            *slot = std::mem::take(&mut self.slabs[b as usize]);
+        }
+        let n_inputs = spec.inputs.len();
+        debug_assert!(n_inputs <= exec::MAX_KERNEL_INPUTS);
+        // Sequential over DPUs: the multi-output split does not fit the
+        // single-slab chunking of `for_each_chunk_mut`, and the per-element
+        // work of a fused chain is a handful of ALU ops.
+        for d in 0..self.num_dpus {
+            let mut views: [&[i32]; exec::MAX_KERNEL_INPUTS] = [&[]; exec::MAX_KERNEL_INPUTS];
+            for (view, &b) in views.iter_mut().zip(&spec.inputs) {
+                let s = &self.slabs[b as usize];
+                let e = s.elems_per_dpu;
+                *view = &s.data[d * e..(d + 1) * e];
+            }
+            let mut outs: [&mut [i32]; MAX_FUSED_STAGES] = [&mut [], &mut [], &mut [], &mut []];
+            for (o, slab) in outs.iter_mut().zip(taken[..n_stages].iter_mut()) {
+                let e = slab.elems_per_dpu;
+                *o = &mut slab.data[d * e..(d + 1) * e];
+            }
+            exec::execute_fused(stages, len, &views[..n_inputs], &mut outs[..n_stages]);
+        }
+        self.slabs[spec.output as usize] = std::mem::take(&mut taken[0]);
+        for (slot, &b) in taken[1..n_stages].iter_mut().zip(&spec.extra_outputs) {
+            self.slabs[b as usize] = std::mem::take(slot);
+        }
     }
 }
 
@@ -1339,6 +1491,185 @@ mod tests {
         let spec = KernelSpec::new(DpuKernelKind::Gemm { m: 2, k: 2, n: 2 }, vec![a, b], c);
         let err = sys.launch(&spec).unwrap_err();
         assert!(err.message().contains("output"));
+    }
+
+    use crate::kernel::FusedArg;
+
+    #[test]
+    fn fused_chain_matches_separate_elementwise_launches_and_costs_less() {
+        // The BFS epilogue chain: nv = visited ^ ones; fresh = raw & nv;
+        // vnext = visited | raw — three launches unfused, one fused.
+        let data_raw: Vec<i32> = (0..32).map(|i| i * 17 % 13 - 6).collect();
+        let data_vis: Vec<i32> = (0..32).map(|i| i * 11 % 7 - 3).collect();
+        let ones = vec![1i32; 32];
+
+        let setup = || {
+            let mut sys = small_system();
+            let raw = sys.alloc_buffer(8).unwrap();
+            let vis = sys.alloc_buffer(8).unwrap();
+            let one = sys.alloc_buffer(8).unwrap();
+            let nv = sys.alloc_buffer(8).unwrap();
+            let fresh = sys.alloc_buffer(8).unwrap();
+            let vnext = sys.alloc_buffer(8).unwrap();
+            sys.scatter_i32(raw, &data_raw, 8).unwrap();
+            sys.scatter_i32(vis, &data_vis, 8).unwrap();
+            sys.scatter_i32(one, &ones, 8).unwrap();
+            sys.reset_stats();
+            (sys, raw, vis, one, nv, fresh, vnext)
+        };
+
+        let (mut sep, raw, vis, one, nv, fresh, vnext) = setup();
+        let ew =
+            |op, a, b, c| KernelSpec::new(DpuKernelKind::Elementwise { op, len: 8 }, vec![a, b], c);
+        sep.launch(&ew(BinOp::Xor, vis, one, nv)).unwrap();
+        sep.launch(&ew(BinOp::And, raw, nv, fresh)).unwrap();
+        sep.launch(&ew(BinOp::Or, vis, raw, vnext)).unwrap();
+
+        let (mut fus, raw2, vis2, one2, nv2, fresh2, vnext2) = setup();
+        assert_eq!((raw, vis, one), (raw2, vis2, one2));
+        let spec = KernelSpec::new(
+            DpuKernelKind::FusedElementwise {
+                stages: vec![
+                    FusedStage {
+                        op: BinOp::Xor,
+                        lhs: FusedArg::Input(1),
+                        rhs: FusedArg::Input(2),
+                    },
+                    FusedStage {
+                        op: BinOp::And,
+                        lhs: FusedArg::Input(0),
+                        rhs: FusedArg::Stage(0),
+                    },
+                    FusedStage {
+                        op: BinOp::Or,
+                        lhs: FusedArg::Input(1),
+                        rhs: FusedArg::Input(0),
+                    },
+                ],
+                len: 8,
+                arity: 3,
+            },
+            vec![raw2, vis2, one2],
+            nv2,
+        )
+        .with_extra_outputs(vec![fresh2, vnext2]);
+        fus.launch(&spec).unwrap();
+
+        for (a, b) in [(nv, nv2), (fresh, fresh2), (vnext, vnext2)] {
+            assert_eq!(sep.buffer_slab(a).unwrap(), fus.buffer_slab(b).unwrap());
+        }
+        assert_eq!(sep.stats().launches, 3);
+        assert_eq!(fus.stats().launches, 1);
+        assert!(
+            fus.stats().kernel_seconds < sep.stats().kernel_seconds,
+            "fused {} should beat separate {}",
+            fus.stats().kernel_seconds,
+            sep.stats().kernel_seconds
+        );
+    }
+
+    #[test]
+    fn fused_launch_validation_rejects_malformed_specs() {
+        let mut sys = small_system();
+        let a = sys.alloc_buffer(8).unwrap();
+        let b = sys.alloc_buffer(8).unwrap();
+        let c = sys.alloc_buffer(8).unwrap();
+        let stage = |op, lhs, rhs| FusedStage { op, lhs, rhs };
+        let fused = |stages: Vec<FusedStage>, arity| DpuKernelKind::FusedElementwise {
+            stages,
+            len: 8,
+            arity,
+        };
+        let s0 = stage(BinOp::Add, FusedArg::Input(0), FusedArg::Input(1));
+
+        // Output aliases an input.
+        let spec = KernelSpec::new(fused(vec![s0], 2), vec![a, b], a);
+        let err = sys.launch(&spec).unwrap_err();
+        assert!(err.message().contains("aliases an input"), "{err}");
+
+        // Repeated outputs.
+        let two = vec![
+            s0,
+            stage(BinOp::Mul, FusedArg::Stage(0), FusedArg::Input(0)),
+        ];
+        let mut spec = KernelSpec::new(fused(two.clone(), 2), vec![a, b], c);
+        spec.extra_outputs = vec![c];
+        let err = sys.launch(&spec).unwrap_err();
+        assert!(err.message().contains("must be distinct"), "{err}");
+
+        // Extra-output count must match the stage count.
+        let spec = KernelSpec::new(fused(two, 2), vec![a, b], c);
+        let err = sys.launch(&spec).unwrap_err();
+        assert!(err.message().contains("produces 2 outputs"), "{err}");
+
+        // A stage may only reference earlier stages.
+        let bad = vec![stage(BinOp::Add, FusedArg::Stage(0), FusedArg::Input(0))];
+        let spec = KernelSpec::new(fused(bad, 2), vec![a, b], c);
+        let err = sys.launch(&spec).unwrap_err();
+        assert!(err.message().contains("invalid operand"), "{err}");
+
+        // A non-fused kernel must not carry extra outputs.
+        let mut spec = KernelSpec::new(
+            DpuKernelKind::Elementwise {
+                op: BinOp::Add,
+                len: 8,
+            },
+            vec![a, b],
+            c,
+        );
+        spec.extra_outputs = vec![b];
+        let err = sys.launch(&spec).unwrap_err();
+        assert!(err.message().contains("produces 1 outputs"), "{err}");
+
+        // Nothing was applied by any of the rejected launches.
+        assert_eq!(sys.stats().launches, 0);
+    }
+
+    #[test]
+    fn naive_and_slab_agree_on_fused_launches() {
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = 4;
+        let mut naive = crate::naive::NaiveUpmemSystem::new(cfg.clone());
+        let mut slab = UpmemSystem::new(cfg);
+        let data: Vec<i32> = (0..64).map(|i| i * 7 % 23 - 11).collect();
+        let spec_for = |bufs: &[BufferId]| {
+            KernelSpec::new(
+                DpuKernelKind::FusedElementwise {
+                    stages: vec![
+                        FusedStage {
+                            op: BinOp::Add,
+                            lhs: FusedArg::Input(0),
+                            rhs: FusedArg::Input(1),
+                        },
+                        FusedStage {
+                            op: BinOp::Mul,
+                            lhs: FusedArg::Stage(0),
+                            rhs: FusedArg::Input(0),
+                        },
+                    ],
+                    len: 16,
+                    arity: 2,
+                },
+                vec![bufs[0], bufs[1]],
+                bufs[2],
+            )
+            .with_extra_outputs(vec![bufs[3]])
+        };
+        for sys in [
+            &mut naive as &mut dyn DpuSystem,
+            &mut slab as &mut dyn DpuSystem,
+        ] {
+            let bufs: Vec<BufferId> = (0..4).map(|_| sys.alloc_buffer(16).unwrap()).collect();
+            sys.scatter_i32(bufs[0], &data, 16).unwrap();
+            sys.broadcast_i32(bufs[1], &data[..16]).unwrap();
+            sys.launch(&spec_for(&bufs)).unwrap();
+        }
+        for buf in [2u32, 3] {
+            let (from_naive, _) = naive.gather_i32(buf, 16).unwrap();
+            let (from_slab, _) = slab.gather_i32(buf, 16).unwrap();
+            assert_eq!(from_naive, from_slab, "buffer {buf}");
+        }
+        assert_eq!(naive.stats(), slab.stats());
     }
 
     fn faulty_system(fault: cinm_runtime::FaultConfig) -> UpmemSystem {

@@ -10,6 +10,7 @@
 use cinm::core::session::{Session, SessionOptions};
 use cinm::core::{ShardPolicy, Target};
 use cinm::lowering::{UpmemBackend, UpmemRunOptions};
+use cinm::upmem::BinOp;
 use cinm::workloads::data;
 
 fn main() {
@@ -58,4 +59,27 @@ fn main() {
     let ratio = (eager.host_to_dpu_bytes + eager.dpu_to_host_bytes) as f64
         / (stats.host_to_dpu_bytes + stats.dpu_to_host_bytes) as f64;
     println!("device residency moved {ratio:.1}x fewer bytes ✔");
+
+    // Post-processing on-device: an element-wise chain the graph optimizer
+    // collapses into a single fused launch per request.
+    let mask = sess.vector(&data::i32_vec(42, rows, -8, 8));
+    for req in 0..requests {
+        sess.write(xt, &xs[req % xs.len()]);
+        let y = sess.gemv(at, xt);
+        let t0 = sess.elementwise(BinOp::Add, y, mask);
+        let t1 = sess.elementwise(BinOp::Max, t0, mask);
+        let t2 = sess.elementwise(BinOp::Xor, t1, mask);
+        sess.run().expect("cnm placement");
+        sess.fetch_into(t2, &mut out);
+    }
+    let opt = sess.optimizer_stats();
+    let pc = sess.plan_cache_stats();
+    println!(
+        "optimizer: {} graphs optimized, {} groups fused ({} ops, {} launches saved), {} ops eliminated",
+        opt.graphs_optimized, opt.fused_groups, opt.ops_fused, opt.launches_saved, opt.ops_eliminated,
+    );
+    println!(
+        "plan cache: {} entries, {} hits / {} misses / {} evictions",
+        pc.entries, pc.hits, pc.misses, pc.evictions,
+    );
 }

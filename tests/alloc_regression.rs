@@ -161,8 +161,9 @@ fn steady_state_session_loop_is_allocation_free() {
         sess.run().expect("cnm placement");
         sess.fetch_into(s, out);
     };
-    // Warm-up: compile once cold, once per temporary id-set with the matrix
-    // observed resident — iterations 4+ replay the memoized plan.
+    // Warm-up: compile once cold, once more with the matrix observed
+    // resident — canonical signatures make the rotating temporary ids
+    // irrelevant, so iterations 3+ replay the memoized plan.
     for i in 0..4 {
         iteration(&mut sess, &xs[i % 4], &mut out);
     }
@@ -180,6 +181,61 @@ fn steady_state_session_loop_is_allocation_free() {
         "every measured iteration must replay the compiled plan"
     );
     assert!(!out.is_empty(), "the chain produced selections");
+}
+
+/// The warmed *fused-chain* serving loop — three element-wise ops that the
+/// graph optimizer fuses into one `FusedElementwise` launch — is
+/// allocation-free per iteration too: canonicalization reuses the session's
+/// scratch vectors, the replay rebind patches the compiled commands in
+/// place, and the fused kernel stages its per-DPU output views on the
+/// stack.
+#[test]
+fn steady_state_fused_chain_loop_is_allocation_free() {
+    let mut cfg = UpmemConfig::with_ranks(1).with_host_threads(1);
+    cfg.dpus_per_rank = 8;
+    let mut sess = Session::new(
+        SessionOptions::default()
+            .with_upmem_config(cfg)
+            .with_policy(ShardPolicy::Single(Target::Cnm)),
+    );
+    let len = 128usize;
+    let base: Vec<i32> = (0..len).map(|i| (i % 19) as i32 - 9).collect();
+    let mask: Vec<i32> = (0..len).map(|i| (i % 3) as i32).collect();
+    let xs: Vec<Vec<i32>> = (0..4)
+        .map(|s| (0..len).map(|i| ((i * 7 + s) % 23) as i32 - 11).collect())
+        .collect();
+    let at = sess.vector(&base);
+    let bt = sess.vector(&mask);
+    let xt = sess.vector(&xs[0]);
+    let mut out = Vec::new();
+    let iteration = |sess: &mut Session, x: &[i32], out: &mut Vec<i32>| {
+        sess.write(xt, x);
+        let t0 = sess.elementwise(BinOp::Xor, xt, at);
+        let t1 = sess.elementwise(BinOp::And, t0, bt);
+        let t2 = sess.elementwise(BinOp::Or, t1, at);
+        sess.run().expect("cnm placement");
+        sess.fetch_into(t2, out);
+    };
+    for i in 0..4 {
+        iteration(&mut sess, &xs[i % 4], &mut out);
+    }
+    // The optimizer actually fused the chain (otherwise this pins the
+    // wrong path).
+    assert!(sess.optimizer_stats().fused_groups >= 1);
+    let (_, replays_before) = sess.run_counts();
+    let ((), allocs) = alloc_count::count_in(|| {
+        for i in 0..40 {
+            iteration(&mut sess, &xs[i % 4], &mut out);
+        }
+    });
+    assert_eq!(allocs, 0, "the warmed fused loop must not allocate");
+    let (_, replays_after) = sess.run_counts();
+    assert_eq!(
+        replays_after - replays_before,
+        40,
+        "every measured iteration must replay the fused plan"
+    );
+    assert_eq!(out.len(), len);
 }
 
 /// Scratch-writing MVMs allocate nothing once the tile is programmed and the

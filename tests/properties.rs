@@ -996,7 +996,11 @@ fn session_graphs_are_bit_identical_to_the_eager_oracle() {
             BinOp::Xor,
         ];
         for residency in [false, true] {
-            let mut sess = cinm::core::Session::new(session_options(residency));
+            // The optimizer is off: this is the launch-for-launch
+            // equivalence oracle against the eager per-op backend (fusion
+            // would legitimately change launch counts and kernel time).
+            let mut sess =
+                cinm::core::Session::new(session_options(residency).with_optimizer(false));
             let mut eager = small_upmem();
             let at = sess.matrix(&a_mat, len, cols);
             let xt = sess.vector(&x_vec);
@@ -1216,6 +1220,126 @@ fn faulted_session_graphs_match_the_fault_free_oracle() {
         assert_eq!(
             baseline, faulted,
             "recovered run diverged: policy {policy:?}, schedule {fault:?}"
+        );
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Graph optimizer: optimized runs vs the unoptimized oracle
+// ---------------------------------------------------------------------------
+
+/// The graph optimizer (CSE, DCE, element-wise fusion) never changes
+/// results: randomized multi-op graphs — element-wise chains, duplicated
+/// ops, some intermediates discarded — run bit-identically with the
+/// optimizer on and off, across host thread counts {1, 8}, over repeated
+/// runs (so optimized plans replay), and under transient fault schedules.
+#[test]
+fn optimized_session_graphs_match_the_unoptimized_oracle() {
+    use cinm::core::{Session, TensorHandle};
+    use cinm::runtime::FaultConfig;
+    for_cases(60, |rng| {
+        let len = gen_usize(rng, 8, 200);
+        let cols = gen_usize(rng, 4, 32);
+        let a_mat = data::i32_vec(rng.next_u64(), len * cols, -8, 8);
+        let x_vec = data::i32_vec(rng.next_u64(), cols, -8, 8);
+        let v0 = data::i32_vec(rng.next_u64(), len, -64, 64);
+        let v1 = data::i32_vec(rng.next_u64(), len, -64, 64);
+        let n_ops = gen_usize(rng, 2, 9);
+        // (kind, pick_a, pick_b, op_pick); element-wise ops dominate so
+        // chains long enough to fuse appear regularly. pick_b % 4 == 0
+        // discards an element-wise intermediate.
+        let tape: Vec<(usize, usize, usize, usize)> = (0..n_ops)
+            .map(|_| {
+                (
+                    gen_usize(rng, 0, 7),
+                    gen_usize(rng, 0, 1000),
+                    gen_usize(rng, 0, 1000),
+                    gen_usize(rng, 0, 9),
+                )
+            })
+            .collect();
+        let threads = [1usize, 8][gen_usize(rng, 0, 2)];
+        let fault = (gen_usize(rng, 0, 2) == 1).then(|| {
+            FaultConfig::seeded(rng.next_u64())
+                .with_launch_fault_rate(gen_usize(rng, 0, 9) as f64 / 100.0)
+                .with_transfer_timeout_rate(gen_usize(rng, 0, 5) as f64 / 100.0)
+        });
+        let bin_ops = [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Max,
+            BinOp::Min,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+        ];
+
+        // Two identical rounds per session: round two replays the
+        // (optimized) compiled plan.
+        let run_graph = |optimizer: bool| -> Vec<Vec<Vec<i32>>> {
+            let mut cfg = UpmemConfig::with_ranks(1);
+            cfg.dpus_per_rank = 4;
+            let mut opts = cinm::core::SessionOptions::default()
+                .with_upmem_config(cfg.with_host_threads(threads))
+                .with_policy(cinm::core::ShardPolicy::Single(cinm::core::Target::Cnm))
+                .with_residency(true)
+                .with_optimizer(optimizer);
+            if let Some(f) = &fault {
+                opts = opts.with_fault(f.clone());
+            }
+            let mut sess = Session::new(opts);
+            let at = sess.matrix(&a_mat, len, cols);
+            let xt = sess.vector(&x_vec);
+            let t0 = sess.vector(&v0);
+            let t1 = sess.vector(&v1);
+            let mut rounds = Vec::new();
+            for round in 0..2 {
+                let mut pool: Vec<TensorHandle> = vec![t0, t1];
+                let mut fetches: Vec<TensorHandle> = Vec::new();
+                for &(kind, pick_a, pick_b, op_pick) in &tape {
+                    match kind {
+                        0 => {
+                            let h = sess.gemv(at, xt);
+                            pool.push(h);
+                            fetches.push(h);
+                        }
+                        1..=4 => {
+                            let (i, j) = (pick_a % pool.len(), pick_b % pool.len());
+                            let h = sess.elementwise(
+                                bin_ops[op_pick % bin_ops.len()],
+                                pool[i],
+                                pool[j],
+                            );
+                            pool.push(h);
+                            if pick_b % 4 == 0 {
+                                sess.discard(h);
+                            } else {
+                                fetches.push(h);
+                            }
+                        }
+                        5 => {
+                            let i = pick_a % pool.len();
+                            fetches.push(sess.reduce(bin_ops[op_pick % bin_ops.len()], pool[i]));
+                        }
+                        _ => {
+                            let i = pick_a % pool.len();
+                            fetches.push(sess.select(pool[i], (pick_b % 21) as i32 - 10));
+                        }
+                    }
+                }
+                sess.run().expect("cnm graph must run");
+                rounds.push(fetches.iter().map(|&h| sess.fetch(h)).collect());
+                let _ = round;
+            }
+            rounds
+        };
+
+        let unoptimized = run_graph(false);
+        let optimized = run_graph(true);
+        assert_eq!(
+            unoptimized, optimized,
+            "optimizer changed results: len={len} cols={cols} threads={threads} fault={fault:?}"
         );
     });
 }

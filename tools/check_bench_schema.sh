@@ -30,7 +30,7 @@ if [ "$want" != "$got" ]; then
 fi
 
 # The sections the current schema version promises.
-for field in '"hot_path"' '"steady_state"' '"sharded_vs_best_single"' '"session_vs_eager"' '"dispatch_overhead"' '"fault_overhead"' '"workloads"'; do
+for field in '"hot_path"' '"steady_state"' '"sharded_vs_best_single"' '"session_vs_eager"' '"graph_opt"' '"replay_hit_rate"' '"dispatch_overhead"' '"fault_overhead"' '"workloads"'; do
     grep -q "$field" "$json" || {
         echo "error: $json is missing the $field section of schema $want"
         exit 1
