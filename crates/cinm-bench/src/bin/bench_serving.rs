@@ -1,0 +1,137 @@
+//! `bench-serving` — the multi-tenant serving load tracker.
+//!
+//! Drives the `SessionServer` with a closed-loop load generator across a
+//! tenant-count × request-mix matrix, measures sustained requests/sec and
+//! p50/p99 request latency at each offered load, and runs the
+//! batched-vs-serial study (same-shaped gemv from N tenants: one fused
+//! sharded launch per round versus one private warmed `Session` per tenant,
+//! per-tenant bit-identity asserted before any timing). Writes
+//! `BENCH_serving.json`; future PRs diff it to catch serving-throughput
+//! regressions. `tools/check_bench_schema.sh` keeps the committed JSON in
+//! sync with the emitter's schema version.
+
+use std::time::SystemTime;
+
+use cinm_bench::servebench::{
+    default_closed_loop_cases, run_batched_vs_serial, run_closed_loop, SERVING_SCHEMA,
+};
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("bench-serving: closed-loop load over the multi-tenant SessionServer");
+    println!("host cores: {host_cores}\n");
+
+    println!(
+        "{:>7}  {:<9}  {:>9}  {:>8}  {:>8}  {:>9}",
+        "tenants", "mix", "req/s", "p50 ms", "p99 ms", "mean fuse"
+    );
+    let mut closed = Vec::new();
+    for case in default_closed_loop_cases() {
+        let r = run_closed_loop(case);
+        println!(
+            "{:>7}  {:<9}  {:>9.0}  {:>8.3}  {:>8.3}  {:>9.2}",
+            r.case.tenants, r.case.mix, r.requests_per_sec, r.p50_ms, r.p99_ms, r.mean_batch
+        );
+        closed.push(r);
+    }
+
+    println!("\nbatched vs serial (same-shaped gemv, bit-identity asserted before timing):");
+    println!(
+        "{:>7}  {:>10}  {:>11}  {:>8}",
+        "tenants", "serial s", "batched s", "speedup"
+    );
+    let mut versus = Vec::new();
+    for &tenants in &[2usize, 4, 8] {
+        let r = run_batched_vs_serial(tenants, 120, 3);
+        println!(
+            "{:>7}  {:>10.4}  {:>11.4}  {:>7.2}x",
+            r.tenants, r.serial_seconds, r.batched_seconds, r.speedup
+        );
+        versus.push(r);
+    }
+
+    let generated_unix = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"schema\": \"{SERVING_SCHEMA}\",\n"));
+    json.push_str(
+        "  \"description\": \"Multi-tenant SessionServer load study: closed-loop throughput/latency per tenant mix, and batched cross-tenant launches vs serial per-tenant sessions (bit-identity asserted before timing)\",\n",
+    );
+    json.push_str(&format!("  \"generated_unix\": {generated_unix},\n"));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str("  \"closed_loop\": [\n");
+    for (i, r) in closed.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"tenants\": {},\n", r.case.tenants));
+        json.push_str(&format!("      \"mix\": \"{}\",\n", r.case.mix));
+        json.push_str(&format!("      \"offered_depth\": {},\n", r.case.depth));
+        json.push_str(&format!("      \"requests\": {},\n", r.case.total_requests));
+        json.push_str(&format!(
+            "      \"wall_seconds\": {},\n",
+            json_f64(r.wall_seconds)
+        ));
+        json.push_str(&format!(
+            "      \"requests_per_sec\": {},\n",
+            json_f64(r.requests_per_sec)
+        ));
+        json.push_str(&format!("      \"p50_ms\": {},\n", json_f64(r.p50_ms)));
+        json.push_str(&format!("      \"p99_ms\": {},\n", json_f64(r.p99_ms)));
+        json.push_str(&format!("      \"mean_ms\": {},\n", json_f64(r.mean_ms)));
+        json.push_str(&format!(
+            "      \"mean_batch\": {},\n",
+            json_f64(r.mean_batch)
+        ));
+        json.push_str(&format!("      \"largest_batch\": {}\n", r.largest_batch));
+        json.push_str(if i + 1 == closed.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"batched_vs_serial\": [\n");
+    for (i, r) in versus.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"tenants\": {},\n", r.tenants));
+        json.push_str(&format!("      \"rows\": {},\n", r.rows));
+        json.push_str(&format!("      \"cols\": {},\n", r.cols));
+        json.push_str(&format!("      \"rounds\": {},\n", r.rounds));
+        json.push_str(&format!(
+            "      \"serial_seconds\": {},\n",
+            json_f64(r.serial_seconds)
+        ));
+        json.push_str(&format!(
+            "      \"batched_seconds\": {},\n",
+            json_f64(r.batched_seconds)
+        ));
+        json.push_str(&format!("      \"speedup\": {},\n", json_f64(r.speedup)));
+        json.push_str(&format!(
+            "      \"serial_launches_per_round\": {},\n",
+            r.serial_launches_per_round
+        ));
+        json.push_str(&format!(
+            "      \"batched_launches_per_round\": {},\n",
+            json_f64(r.batched_launches_per_round)
+        ));
+        json.push_str(&format!("      \"bit_identical\": {}\n", r.bit_identical));
+        json.push_str(if i + 1 == versus.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("\nwrote BENCH_serving.json");
+}

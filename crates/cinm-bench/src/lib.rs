@@ -1,6 +1,9 @@
 //! Benchmark support crate: see the `benches/` directory for the criterion
-//! harnesses that regenerate every table and figure of the paper, and
+//! harnesses that regenerate every table and figure of the paper,
 //! [`simbench`] plus the `bench-sim` binary for the simulator wall-clock
-//! tracker that emits `BENCH_sim.json`.
+//! tracker that emits `BENCH_sim.json`, and [`servebench`] plus the
+//! `bench-serving` binary for the multi-tenant serving load tracker that
+//! emits `BENCH_serving.json`.
 
+pub mod servebench;
 pub mod simbench;

@@ -1,0 +1,359 @@
+//! Serving-load measurement of the multi-tenant `SessionServer`.
+//!
+//! Two tracked studies, emitted to `BENCH_serving.json` by the
+//! `bench-serving` binary:
+//!
+//! * **`closed_loop`** — a closed-loop load generator: every tenant keeps
+//!   its admission queue topped up to a fixed depth (the offered load) while
+//!   the server schedules, batches and serves. Reported per case (tenant
+//!   count × request mix): sustained requests/sec, p50/p99/mean request
+//!   latency, and the observed batch-size distribution's mean/max.
+//! * **`batched_vs_serial`** — the headline amortisation claim: the same
+//!   same-shaped gemv request streams served (a) serially, one private
+//!   warmed `Session` per tenant replaying its compiled plan, versus (b)
+//!   through the server with cross-tenant batching fusing all tenants into
+//!   one sharded launch per round. Per-tenant bit-identity between the two
+//!   paths is asserted **before** any timing; the JSON records the speedup.
+//!
+//! Wall-clock numbers measure the simulator's host cost (like
+//! `BENCH_sim.json`), so they track the serving layer's real overheads:
+//! launch fan-out, transfer staging, scheduling, and allocation behaviour.
+
+use std::time::Instant;
+
+use cinm_core::serve::{RequestTicket, ServerOptions, SessionServer, TenantSpec};
+use cinm_core::session::{Session, SessionOptions};
+use cinm_core::{ShardPolicy, Target};
+use upmem_sim::UpmemConfig;
+
+/// Schema version of `BENCH_serving.json`. Bump whenever the emitted
+/// structure changes; `tools/check_bench_schema.sh` fails CI when the
+/// committed JSON is stale relative to this emitter.
+pub const SERVING_SCHEMA: &str = "cinm/bench-serving/v1";
+
+/// The gemv shape every closed-loop tenant serves.
+const GEMV_ROWS: usize = 64;
+const GEMV_COLS: usize = 32;
+/// The gemm shape mixed-workload tenants serve.
+const GEMM_M: usize = 16;
+const GEMM_K: usize = 8;
+const GEMM_N: usize = 8;
+
+/// One closed-loop load case.
+#[derive(Debug, Clone, Copy)]
+pub struct ClosedLoopCase {
+    /// Concurrent tenants.
+    pub tenants: usize,
+    /// Request mix: `"gemv"` (every tenant the same gemv shape — maximal
+    /// batching) or `"gemv+gemm"` (alternating shape classes — multi-shape
+    /// stream rounds).
+    pub mix: &'static str,
+    /// Offered load: requests each tenant keeps in flight.
+    pub depth: usize,
+    /// Requests to serve before stopping.
+    pub total_requests: usize,
+}
+
+/// Measured outcome of one closed-loop case.
+#[derive(Debug, Clone, Copy)]
+pub struct ClosedLoopResult {
+    /// The case.
+    pub case: ClosedLoopCase,
+    /// Wall-clock seconds to serve `total_requests`.
+    pub wall_seconds: f64,
+    /// Sustained throughput in requests per second.
+    pub requests_per_sec: f64,
+    /// Median request latency (milliseconds, submit → completion).
+    pub p50_ms: f64,
+    /// 99th-percentile request latency (milliseconds).
+    pub p99_ms: f64,
+    /// Mean request latency (milliseconds).
+    pub mean_ms: f64,
+    /// Mean requests fused per launch.
+    pub mean_batch: f64,
+    /// Largest batch observed.
+    pub largest_batch: u64,
+}
+
+/// The default tracked load matrix: 1/2/4/8 tenants × both mixes.
+pub fn default_closed_loop_cases() -> Vec<ClosedLoopCase> {
+    let mut cases = Vec::new();
+    for &mix in &["gemv", "gemv+gemm"] {
+        for &tenants in &[1usize, 2, 4, 8] {
+            cases.push(ClosedLoopCase {
+                tenants,
+                mix,
+                depth: 4,
+                total_requests: 256,
+            });
+        }
+    }
+    cases
+}
+
+fn bench_grid() -> UpmemConfig {
+    // One DIMM (64 DPUs): big enough that launch fan-out dominates, small
+    // enough that a case finishes in milliseconds.
+    UpmemConfig::with_ranks(1)
+}
+
+fn ramp(len: usize, scale: i32, bias: i32) -> Vec<i32> {
+    (0..len)
+        .map(|i| ((i as i32).wrapping_mul(scale)).wrapping_add(bias) % 97 - 48)
+        .collect()
+}
+
+fn percentile_ms(sorted_seconds: &[f64], pct: f64) -> f64 {
+    if sorted_seconds.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_seconds.len() - 1) as f64 * pct).round() as usize;
+    sorted_seconds[idx] * 1e3
+}
+
+/// Runs one closed-loop case to completion.
+pub fn run_closed_loop(case: ClosedLoopCase) -> ClosedLoopResult {
+    let mut server = SessionServer::new(
+        ServerOptions::default()
+            .with_upmem_config(bench_grid())
+            .with_tenant_slots(case.tenants.max(2))
+            .with_queue_depth(case.depth),
+    );
+    let mut models = Vec::new();
+    let mut tenants = Vec::new();
+    for i in 0..case.tenants {
+        let t = server.register_tenant(TenantSpec::new(format!("tenant-{i}")));
+        let model = if case.mix == "gemv+gemm" && i % 2 == 1 {
+            let a = ramp(GEMM_M * GEMM_K, i as i32 + 3, 7);
+            server
+                .load_gemm_weights(t, &a, GEMM_M, GEMM_K, GEMM_N)
+                .expect("gemm load admitted")
+        } else {
+            let a = ramp(GEMV_ROWS * GEMV_COLS, i as i32 + 2, -5);
+            server
+                .load_gemv_weights(t, &a, GEMV_ROWS, GEMV_COLS)
+                .expect("gemv load admitted")
+        };
+        models.push(model);
+        tenants.push(t);
+    }
+    let gemv_x = ramp(GEMV_COLS, 5, 1);
+    let gemm_x = ramp(GEMM_K * GEMM_N, 3, -2);
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(case.total_requests);
+    let mut outstanding: Vec<(usize, RequestTicket)> = Vec::new();
+    let mut out = Vec::new();
+    let start = Instant::now();
+    while latencies.len() < case.total_requests {
+        for (ti, &t) in tenants.iter().enumerate() {
+            loop {
+                let s = server.tenant_stats(t);
+                if (s.submitted - s.completed - s.failed) as usize >= case.depth {
+                    break;
+                }
+                let x: &[i32] = if case.mix == "gemv+gemm" && ti % 2 == 1 {
+                    &gemm_x
+                } else {
+                    &gemv_x
+                };
+                outstanding.push((ti, server.submit(models[ti], x).expect("admitted")));
+            }
+        }
+        server.step();
+        outstanding.retain(|&(_, ticket)| {
+            if server.is_done(ticket) {
+                let report = server.wait_into(ticket, &mut out).expect("served");
+                latencies.push(report.latency_seconds);
+                false
+            } else {
+                true
+            }
+        });
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    // Drain the tail so the server ends idle.
+    server.run_until_idle();
+    for (_, ticket) in outstanding.drain(..) {
+        let _ = server.wait_into(ticket, &mut out);
+    }
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let served = latencies.len() as f64;
+    let stats = server.stats();
+    ClosedLoopResult {
+        case,
+        wall_seconds,
+        requests_per_sec: served / wall_seconds.max(1e-12),
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        mean_ms: latencies.iter().sum::<f64>() / served.max(1.0) * 1e3,
+        mean_batch: stats.batched_requests as f64 / (stats.batches as f64).max(1.0),
+        largest_batch: stats.largest_batch,
+    }
+}
+
+/// Measured outcome of the batched-vs-serial study at one tenant count.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchedVsSerial {
+    /// Tenants submitting the same-shaped gemv.
+    pub tenants: usize,
+    /// Gemv rows.
+    pub rows: usize,
+    /// Gemv cols.
+    pub cols: usize,
+    /// Timed rounds (one request per tenant per round).
+    pub rounds: usize,
+    /// Wall-clock seconds for the serial path (one private warmed `Session`
+    /// per tenant, replayed per request).
+    pub serial_seconds: f64,
+    /// Wall-clock seconds for the batched path (server fusing all tenants
+    /// into one launch per round).
+    pub batched_seconds: f64,
+    /// `serial_seconds / batched_seconds`.
+    pub speedup: f64,
+    /// Device launches per round on the serial path (one per tenant).
+    pub serial_launches_per_round: u64,
+    /// Device launches per round on the batched path.
+    pub batched_launches_per_round: f64,
+    /// Whether per-tenant results matched bit-for-bit between the two paths
+    /// (asserted before timing; recorded for the JSON).
+    pub bit_identical: bool,
+}
+
+/// The batched-vs-serial study: same-shaped gemv from `tenants` tenants,
+/// per-tenant **bit-identity asserted before timing**, then both paths
+/// timed over `rounds` closed rounds (min of `reps` runs each).
+pub fn run_batched_vs_serial(tenants: usize, rounds: usize, reps: usize) -> BatchedVsSerial {
+    let (rows, cols) = (GEMV_ROWS, GEMV_COLS);
+    let weights: Vec<Vec<i32>> = (0..tenants)
+        .map(|i| ramp(rows * cols, i as i32 + 2, 3 * i as i32 - 4))
+        .collect();
+    let xs: Vec<Vec<i32>> = (0..4).map(|s| ramp(cols, 2 * s + 1, s - 2)).collect();
+
+    // Batched path: one server, all tenants resident.
+    let mut server = SessionServer::new(
+        ServerOptions::default()
+            .with_upmem_config(bench_grid())
+            .with_tenant_slots(tenants.max(2)),
+    );
+    let mut models = Vec::new();
+    for (i, a) in weights.iter().enumerate() {
+        let t = server.register_tenant(TenantSpec::new(format!("tenant-{i}")));
+        models.push(
+            server
+                .load_gemv_weights(t, a, rows, cols)
+                .expect("admitted"),
+        );
+    }
+
+    // Serial path: each tenant alone in a private warmed session.
+    let mut sessions: Vec<(Session, _, _)> = weights
+        .iter()
+        .map(|a| {
+            let mut sess = Session::new(
+                SessionOptions::default()
+                    .with_upmem_config(bench_grid())
+                    .with_policy(ShardPolicy::Single(Target::Cnm)),
+            );
+            let at = sess.matrix(a, rows, cols);
+            let xt = sess.vector(&xs[0]);
+            (sess, at, xt)
+        })
+        .collect();
+
+    let serial_round = |sessions: &mut Vec<(Session, _, _)>, x: &[i32], out: &mut Vec<i32>| {
+        for (sess, at, xt) in sessions.iter_mut() {
+            sess.write(*xt, x);
+            let y = sess.gemv(*at, *xt);
+            sess.run().expect("serial gemv");
+            sess.fetch_into(y, out);
+        }
+    };
+    let batched_round = |server: &mut SessionServer,
+                         models: &[cinm_core::serve::ModelId],
+                         x: &[i32],
+                         tickets: &mut Vec<RequestTicket>,
+                         out: &mut Vec<i32>| {
+        tickets.clear();
+        for &m in models {
+            tickets.push(server.submit(m, x).expect("admitted"));
+        }
+        server.step();
+        for &t in tickets.iter() {
+            server.wait_into(t, out).expect("served");
+        }
+    };
+
+    // Bit-identity gate, before any timing: every tenant, several
+    // activations, server vs solo session.
+    let mut tickets = Vec::new();
+    for x in &xs {
+        let batched: Vec<Vec<i32>> = {
+            tickets.clear();
+            for &m in models.iter() {
+                tickets.push(server.submit(m, x).expect("admitted"));
+            }
+            server.run_until_idle();
+            tickets
+                .iter()
+                .map(|&t| server.wait(t).expect("served"))
+                .collect()
+        };
+        for (ti, (sess, at, xt)) in sessions.iter_mut().enumerate() {
+            sess.write(*xt, x);
+            let y = sess.gemv(*at, *xt);
+            sess.run().expect("serial gemv");
+            let mut want = Vec::new();
+            sess.fetch_into(y, &mut want);
+            assert_eq!(
+                batched[ti], want,
+                "tenant {ti} batched result diverged from its solo session"
+            );
+        }
+    }
+
+    // Warm both paths past compilation/first-allocation effects.
+    let mut out = Vec::new();
+    for x in &xs {
+        serial_round(&mut sessions, x, &mut out);
+        batched_round(&mut server, &models, x, &mut tickets, &mut out);
+    }
+
+    let mut serial_seconds = f64::INFINITY;
+    let mut batched_seconds = f64::INFINITY;
+    let mut batched_launch_delta = 0u64;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        for r in 0..rounds {
+            serial_round(&mut sessions, &xs[r % xs.len()], &mut out);
+        }
+        serial_seconds = serial_seconds.min(start.elapsed().as_secs_f64());
+
+        let launches_before = server.upmem_stats().launches;
+        let start = Instant::now();
+        for r in 0..rounds {
+            batched_round(
+                &mut server,
+                &models,
+                &xs[r % xs.len()],
+                &mut tickets,
+                &mut out,
+            );
+        }
+        batched_seconds = batched_seconds.min(start.elapsed().as_secs_f64());
+        batched_launch_delta = server.upmem_stats().launches - launches_before;
+    }
+
+    BatchedVsSerial {
+        tenants,
+        rows,
+        cols,
+        rounds,
+        serial_seconds,
+        batched_seconds,
+        speedup: serial_seconds / batched_seconds.max(1e-12),
+        serial_launches_per_round: tenants as u64,
+        batched_launches_per_round: batched_launch_delta as f64 / rounds.max(1) as f64,
+        bit_identical: true,
+    }
+}

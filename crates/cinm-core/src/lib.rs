@@ -13,7 +13,10 @@
 //!   backend and the crossbar backend, with simulated time and energy;
 //! * [`experiments`] — regenerates Figure 10, Figure 11, Figure 12 and
 //!   Table 4 of the paper, plus the heterogeneous-sharding study
-//!   (see `EXPERIMENTS.md`).
+//!   (see `EXPERIMENTS.md`);
+//! * [`serve`] — the multi-tenant serving runtime: a [`SessionServer`]
+//!   owning the device set, with admission control, cross-tenant batching
+//!   keyed on canonical plan signatures, and weighted-fair scheduling.
 //!
 //! The `cinm-experiments` binary prints any of the experiments:
 //!
@@ -27,12 +30,17 @@
 pub mod experiments;
 pub mod pipeline;
 pub mod runner;
+pub mod serve;
 pub mod session;
 pub mod shard;
 pub mod target;
 
 pub use experiments::{figure10, figure11, figure12, table4};
 pub use pipeline::{cim_pipeline, cinm_pipeline, cnm_pipeline, compile};
+pub use serve::{
+    ModelId, RequestReport, RequestTicket, ServeError, ServerOptions, ServerStats, SessionServer,
+    TenantId, TenantSpec, TenantStats,
+};
 pub use session::{
     OptimizerStats, PlanCacheStats, Session, SessionOptions, TensorHandle, TensorShape,
 };

@@ -1,0 +1,1361 @@
+//! # Multi-tenant session serving: the `SessionServer`
+//!
+//! The [`session::Session`](crate::session) API is single-owner: one graph,
+//! one `run()`, exclusive devices. This module is the serving layer on top —
+//! a [`SessionServer`] owns the device set and serves request streams from
+//! many tenants at once:
+//!
+//! * **Admission control against device capacity.** Tenant weights become
+//!   resident in DPU MRAM; every shape class accounts its per-DPU footprint
+//!   and a load that would exceed the configured MRAM budget (or the grid's
+//!   tenant slots) is rejected with a typed [`ServeError`] — never a hang.
+//! * **Cross-tenant batching.** Same-shaped `gemv`/`gemm` requests from
+//!   different tenants fuse into **one sharded launch** over the grid
+//!   ([`cinm_lowering::BatchPlan`]): per-tenant weights stay resident in
+//!   their slot's MRAM stripe, only activations move. The batching
+//!   compatibility key is the request graph's **canonical replay signature**
+//!   — the same hash the session plan cache uses — so "may share a launch"
+//!   and "would replay the same compiled plan" are one predicate by
+//!   construction.
+//! * **Weighted fairness + priorities.** Requests queue per tenant in a
+//!   [`FairQueue`] (weighted fair queueing over per-tenant FIFOs; priority
+//!   is an exponential weight boost, so no tenant can starve). A scheduling
+//!   round picks the fairest head request, then fills its batch with the
+//!   fairest *compatible* heads from other tenants.
+//! * **Futures over the existing machinery.** [`submit`](SessionServer::submit)
+//!   returns a [`RequestTicket`]; execution happens in deterministic
+//!   scheduling rounds ([`step`](SessionServer::step), driven on demand by
+//!   [`wait_into`](SessionServer::wait_into)). A single-batch round runs the
+//!   allocation-free eager path; a multi-shape round records every batch
+//!   into one hazard-tracked `CommandStream` so disjoint shape classes
+//!   overlap on the worker pool within one sync.
+//! * **Fault isolation.** Batches run under the retrying backend; a
+//!   transient fault that outlives the retry budget re-runs the batch (a
+//!   faulted command commits nothing), and a permanent grid fault fails
+//!   over to a spare built from the still-readable MRAM image
+//!   (`fault_free_clone`), which carries every tenant's resident weights.
+//!   One tenant's injected device fault therefore never corrupts or aborts
+//!   another tenant's request — pinned by `tests/serving.rs` under seeded
+//!   fault schedules.
+//!
+//! Determinism: scheduling depends only on queue state and configured
+//! weights (never wall-clock), execution is the deterministic simulator, so
+//! every outcome — batch composition, per-tenant service order, results —
+//! is reproducible, and per-tenant results are bit-identical to the tenant
+//! running alone in its own `Session`.
+
+use std::fmt;
+use std::time::Instant;
+
+use cinm_lowering::{BatchPlan, UpmemBackend, UpmemRunOptions};
+use cinm_runtime::{AdmissionError, CommandStream, FairQueue, FaultConfig, FaultStats};
+use upmem_sim::{CommandOutput, SimError, SystemStats, UpmemConfig};
+
+use crate::session::{gemm_request_signature, gemv_request_signature};
+
+/// Recovery attempts per batch before a request is failed (mirrors the
+/// session recovery loop's budget).
+const MAX_RECOVERY_ATTEMPTS: u32 = 8;
+
+/// Configuration of a [`SessionServer`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Number of PIM DIMMs when no explicit config is given.
+    pub ranks: usize,
+    /// Code-generation options of the owned UPMEM backend.
+    pub upmem: UpmemRunOptions,
+    /// Explicit machine configuration (overrides `ranks`).
+    pub upmem_config: Option<UpmemConfig>,
+    /// Deterministic fault-injection schedule for the owned devices.
+    pub fault: Option<FaultConfig>,
+    /// Tenant slots the grid is divided into per shape class: each resident
+    /// model owns one slot (a contiguous DPU range), and a batch fuses up to
+    /// this many tenants into one launch.
+    pub tenant_slots: usize,
+    /// Cap on requests fused into one batch (clamped to `tenant_slots` by
+    /// construction; `usize::MAX` means "as many as fit").
+    pub max_batch: usize,
+    /// Per-tenant admission-control queue depth.
+    pub queue_depth: usize,
+    /// Per-DPU MRAM budget in bytes for resident state (`None`: the
+    /// machine's MRAM size). Loads beyond it are rejected, typed.
+    pub mram_limit_bytes: Option<usize>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            ranks: 16,
+            upmem: UpmemRunOptions::optimized(),
+            upmem_config: None,
+            fault: None,
+            tenant_slots: 8,
+            max_batch: usize::MAX,
+            queue_depth: 64,
+            mram_limit_bytes: None,
+        }
+    }
+}
+
+impl ServerOptions {
+    /// Overrides the DIMM count of the default machine.
+    pub fn with_ranks(mut self, ranks: usize) -> Self {
+        self.ranks = ranks;
+        self
+    }
+
+    /// Overrides the UPMEM code-generation options.
+    pub fn with_upmem(mut self, upmem: UpmemRunOptions) -> Self {
+        self.upmem = upmem;
+        self
+    }
+
+    /// Uses an explicit machine configuration.
+    pub fn with_upmem_config(mut self, config: UpmemConfig) -> Self {
+        self.upmem_config = Some(config);
+        self
+    }
+
+    /// Enables deterministic fault injection on the owned devices.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Overrides the number of tenant slots per shape class.
+    pub fn with_tenant_slots(mut self, slots: usize) -> Self {
+        self.tenant_slots = slots.max(1);
+        self
+    }
+
+    /// Caps the batch size (1 disables cross-tenant batching — the serial
+    /// baseline of `BENCH_serving.json`).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Overrides the per-tenant admission queue depth.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Overrides the per-DPU MRAM budget for resident tenant state.
+    pub fn with_mram_limit_bytes(mut self, bytes: usize) -> Self {
+        self.mram_limit_bytes = Some(bytes);
+        self
+    }
+}
+
+/// Typed serving-layer error. Admission rejections (`CapacityExhausted`,
+/// `SlotsExhausted`, `QueueFull`) are back-pressure the client acts on;
+/// `Device` surfaces an unrecoverable device failure of one batch without
+/// affecting other requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Loading these weights would exceed the per-DPU MRAM budget.
+    CapacityExhausted {
+        /// Bytes per DPU the load would add.
+        needed_bytes: usize,
+        /// Bytes per DPU still available under the budget.
+        available_bytes: usize,
+    },
+    /// Every tenant slot of the shape class is occupied.
+    SlotsExhausted {
+        /// Slots of the shape class.
+        slots: usize,
+    },
+    /// The tenant's queue is at its admission depth limit.
+    QueueFull {
+        /// The rejected tenant.
+        tenant: TenantId,
+        /// The configured depth limit.
+        depth: usize,
+    },
+    /// An operand does not match the model's shape.
+    ShapeMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+    /// The tenant id was never registered.
+    UnknownTenant,
+    /// The model id was never loaded.
+    UnknownModel,
+    /// The ticket does not refer to a live request (already consumed, or
+    /// from another server).
+    StaleTicket,
+    /// A device failure outlived every recovery attempt.
+    Device {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::CapacityExhausted {
+                needed_bytes,
+                available_bytes,
+            } => write!(
+                f,
+                "admission rejected: load needs {needed_bytes} B/DPU, {available_bytes} B/DPU available"
+            ),
+            ServeError::SlotsExhausted { slots } => {
+                write!(f, "admission rejected: all {slots} tenant slots are occupied")
+            }
+            ServeError::QueueFull { tenant, depth } => write!(
+                f,
+                "admission rejected: tenant {} is at its queue depth of {depth}",
+                tenant.0
+            ),
+            ServeError::ShapeMismatch { expected, got } => {
+                write!(f, "operand shape mismatch: expected {expected} elements, got {got}")
+            }
+            ServeError::UnknownTenant => write!(f, "unknown tenant id"),
+            ServeError::UnknownModel => write!(f, "unknown model id"),
+            ServeError::StaleTicket => write!(f, "stale request ticket"),
+            ServeError::Device { message } => write!(f, "device failure: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Handle of a registered tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(u32);
+
+/// Handle of a resident weight matrix (bound to one tenant and one shape
+/// class slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelId(u32);
+
+/// Future of a submitted request: redeem with
+/// [`SessionServer::wait`]/[`wait_into`](SessionServer::wait_into) (which
+/// drive scheduling rounds as needed) or poll with
+/// [`SessionServer::is_done`]. Consuming the result recycles the slot; a
+/// consumed ticket turns stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a request ticket must be waited on to observe its result"]
+pub struct RequestTicket {
+    req: u32,
+    gen: u32,
+}
+
+/// Registration-time tenant configuration.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    name: String,
+    weight: u32,
+    priority: u8,
+}
+
+impl TenantSpec {
+    /// A tenant with weight 1 and priority 0.
+    pub fn new(name: impl Into<String>) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight: 1,
+            priority: 0,
+        }
+    }
+
+    /// Sets the fair-share weight (minimum 1): long-run service is
+    /// proportional to weights among backlogged tenants.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Sets the priority: each level doubles the effective weight. A boost,
+    /// not a strict tier — lower-priority tenants keep a proportional share
+    /// and never starve.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Completion report of one served request.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RequestReport {
+    /// Wall-clock submit-to-completion latency in seconds.
+    pub latency_seconds: f64,
+    /// Requests fused into the launch that served this one.
+    pub batch_size: u32,
+}
+
+/// Cumulative server-wide counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests rejected at admission (typed errors, not queued).
+    pub rejected: u64,
+    /// Requests failed by an unrecoverable device error.
+    pub failed: u64,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Batched launches executed.
+    pub batches: u64,
+    /// Requests served through those launches.
+    pub batched_requests: u64,
+    /// Largest batch fused so far.
+    pub largest_batch: u64,
+    /// Rounds that fused multiple shape classes into one command stream.
+    pub stream_rounds: u64,
+    /// Batch re-executions after a fault escaped the retry budget.
+    pub recoveries: u64,
+    /// Spare-grid failovers after a permanent device fault.
+    pub failovers: u64,
+}
+
+/// Cumulative per-tenant counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TenantStats {
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Requests failed by an unrecoverable device error.
+    pub failed: u64,
+    /// Logical multiply-accumulates served (the fairness work unit).
+    pub served_work: u64,
+    /// Sum of completed requests' latencies in seconds.
+    pub total_latency_seconds: f64,
+    /// Largest completed-request latency in seconds.
+    pub max_latency_seconds: f64,
+}
+
+impl TenantStats {
+    /// Mean completed-request latency in seconds (0 when none completed).
+    pub fn mean_latency_seconds(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.total_latency_seconds / self.completed as f64
+        }
+    }
+}
+
+struct Tenant {
+    name: String,
+    stats: TenantStats,
+}
+
+struct Model {
+    tenant: TenantId,
+    group: u32,
+    slot: usize,
+}
+
+/// One batched shape class: the shared `BatchPlan` plus staging state and
+/// the batch under construction of the current round.
+struct Group {
+    /// Canonical replay signature of the class's request graph — the
+    /// batching compatibility key (shared with the session plan cache).
+    sig: u64,
+    plan: BatchPlan,
+    /// Host shadow of the resident weights buffer (re-scattered on loads).
+    w_stage: Vec<i32>,
+    /// Activation staging for the current batch.
+    x_stage: Vec<i32>,
+    /// Gather destination of the current batch.
+    y_scratch: Vec<i32>,
+    /// Slot occupancy.
+    occupied: Vec<Option<ModelId>>,
+    /// Members (request indices) of the batch under construction.
+    batch: Vec<u32>,
+    /// Whether this group already has a batch in the current round.
+    in_round: bool,
+    /// Batched launches executed for this class.
+    launches: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqState {
+    Free,
+    Queued,
+    Done,
+    Failed,
+}
+
+struct RequestSlot {
+    gen: u32,
+    state: ReqState,
+    model: ModelId,
+    x: Vec<i32>,
+    result: Vec<i32>,
+    submitted: Instant,
+    report: RequestReport,
+    error: Option<ServeError>,
+}
+
+/// The multi-tenant serving runtime. See the [module docs](self).
+pub struct SessionServer {
+    backend: UpmemBackend,
+    queue: FairQueue,
+    tenants: Vec<Tenant>,
+    models: Vec<Model>,
+    groups: Vec<Group>,
+    requests: Vec<RequestSlot>,
+    free_requests: Vec<u32>,
+    /// Group indices participating in the current round (scratch).
+    round_groups: Vec<u32>,
+    tenant_slots: usize,
+    max_batch: usize,
+    queue_depth: usize,
+    mram_limit_bytes: usize,
+    mram_used_bytes: usize,
+    stats: ServerStats,
+}
+
+impl SessionServer {
+    /// Builds a server owning a fresh device set.
+    pub fn new(options: ServerOptions) -> Self {
+        let mut cfg = options
+            .upmem_config
+            .clone()
+            .unwrap_or_else(|| UpmemConfig::with_ranks(options.ranks));
+        if options.fault.is_some() {
+            cfg.fault = options.fault.clone();
+        }
+        let mram_limit_bytes = options.mram_limit_bytes.unwrap_or(cfg.mram_bytes);
+        let backend = UpmemBackend::with_config(cfg, options.upmem.clone());
+        let tenant_slots = options.tenant_slots.max(1).min(backend.num_dpus());
+        SessionServer {
+            backend,
+            queue: FairQueue::new(),
+            tenants: Vec::new(),
+            models: Vec::new(),
+            groups: Vec::new(),
+            requests: Vec::new(),
+            free_requests: Vec::new(),
+            round_groups: Vec::new(),
+            tenant_slots,
+            max_batch: options.max_batch.max(1),
+            queue_depth: options.queue_depth.max(1),
+            mram_limit_bytes,
+            mram_used_bytes: 0,
+            stats: ServerStats::default(),
+        }
+    }
+
+    // -- registration & admission -------------------------------------------
+
+    /// Registers a tenant and returns its handle.
+    pub fn register_tenant(&mut self, spec: TenantSpec) -> TenantId {
+        let lane = self
+            .queue
+            .add_lane(spec.weight, spec.priority, self.queue_depth);
+        debug_assert_eq!(lane, self.tenants.len());
+        self.tenants.push(Tenant {
+            name: spec.name,
+            stats: TenantStats::default(),
+        });
+        TenantId(lane as u32)
+    }
+
+    /// Makes a tenant's `gemv` weight matrix (`rows × cols`) resident on the
+    /// grid and returns the model handle requests are submitted against.
+    ///
+    /// # Errors
+    ///
+    /// Typed admission rejection when the load would exceed the MRAM budget
+    /// or the shape class's tenant slots; `ShapeMismatch` when `a` is not
+    /// `rows * cols` elements; `Device` when uploading outlives recovery.
+    pub fn load_gemv_weights(
+        &mut self,
+        tenant: TenantId,
+        a: &[i32],
+        rows: usize,
+        cols: usize,
+    ) -> Result<ModelId, ServeError> {
+        self.check_tenant(tenant)?;
+        if a.len() != rows * cols {
+            return Err(ServeError::ShapeMismatch {
+                expected: rows * cols,
+                got: a.len(),
+            });
+        }
+        let sig = gemv_request_signature(rows, cols);
+        let gi = self.ensure_group(sig, GroupShape::Gemv { rows, cols })?;
+        self.bind_model(tenant, gi, a)
+    }
+
+    /// Makes a tenant's `gemm` left operand (`m × k`) resident; requests
+    /// then move only the right operand (`k × n`).
+    ///
+    /// # Errors
+    ///
+    /// Same admission/shape/device errors as
+    /// [`load_gemv_weights`](Self::load_gemv_weights).
+    pub fn load_gemm_weights(
+        &mut self,
+        tenant: TenantId,
+        a: &[i32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Result<ModelId, ServeError> {
+        self.check_tenant(tenant)?;
+        if a.len() != m * k {
+            return Err(ServeError::ShapeMismatch {
+                expected: m * k,
+                got: a.len(),
+            });
+        }
+        let sig = gemm_request_signature(m, k, n);
+        let gi = self.ensure_group(sig, GroupShape::Gemm { m, k, n })?;
+        self.bind_model(tenant, gi, a)
+    }
+
+    fn check_tenant(&self, tenant: TenantId) -> Result<(), ServeError> {
+        if (tenant.0 as usize) < self.tenants.len() {
+            Ok(())
+        } else {
+            Err(ServeError::UnknownTenant)
+        }
+    }
+
+    /// Finds or creates the batched shape class for a signature, admission-
+    /// checking a new class's per-DPU MRAM footprint against the budget.
+    fn ensure_group(&mut self, sig: u64, shape: GroupShape) -> Result<usize, ServeError> {
+        if let Some(gi) = self.groups.iter().position(|g| g.sig == sig) {
+            return Ok(gi);
+        }
+        let slot_dpus = (self.backend.num_dpus() / self.tenant_slots).max(1);
+        let needed_bytes = 4 * shape.elems_per_dpu(slot_dpus);
+        let available = self.mram_limit_bytes.saturating_sub(self.mram_used_bytes);
+        if needed_bytes > available {
+            return Err(ServeError::CapacityExhausted {
+                needed_bytes,
+                available_bytes: available,
+            });
+        }
+        let plan = match shape {
+            GroupShape::Gemv { rows, cols } => {
+                BatchPlan::gemv(&mut self.backend, self.tenant_slots, rows, cols)
+            }
+            GroupShape::Gemm { m, k, n } => {
+                BatchPlan::gemm(&mut self.backend, self.tenant_slots, m, k, n)
+            }
+        }
+        .map_err(|e| ServeError::Device {
+            message: e.to_string(),
+        })?;
+        debug_assert_eq!(4 * plan.elems_per_dpu(), needed_bytes);
+        self.mram_used_bytes += needed_bytes;
+        let slots = plan.slots();
+        self.groups.push(Group {
+            sig,
+            plan,
+            w_stage: Vec::new(),
+            x_stage: Vec::new(),
+            y_scratch: Vec::new(),
+            occupied: vec![None; slots],
+            batch: Vec::new(),
+            in_round: false,
+            launches: 0,
+        });
+        Ok(self.groups.len() - 1)
+    }
+
+    /// Claims a slot of the group for the tenant's weights and uploads them.
+    fn bind_model(
+        &mut self,
+        tenant: TenantId,
+        gi: usize,
+        weights: &[i32],
+    ) -> Result<ModelId, ServeError> {
+        let id = ModelId(self.models.len() as u32);
+        let g = &mut self.groups[gi];
+        let Some(slot) = g.occupied.iter().position(Option::is_none) else {
+            return Err(ServeError::SlotsExhausted {
+                slots: g.occupied.len(),
+            });
+        };
+        g.plan.stage_weights(slot, weights, &mut g.w_stage);
+        // Upload under the recovery loop: the scatter is idempotent and a
+        // faulted transfer commits nothing.
+        let mut attempts = 0;
+        loop {
+            let g = &self.groups[gi];
+            match g.plan.upload_weights(&mut self.backend, &g.w_stage) {
+                Ok(()) => break,
+                Err(e) if attempts < MAX_RECOVERY_ATTEMPTS => {
+                    attempts += 1;
+                    self.recover(&e);
+                }
+                Err(e) => {
+                    // Roll the staged slot back so the class stays coherent.
+                    let g = &mut self.groups[gi];
+                    let zeros = vec![0; g.plan.weights_len()];
+                    g.plan.stage_weights(slot, &zeros, &mut g.w_stage);
+                    return Err(ServeError::Device {
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        self.groups[gi].occupied[slot] = Some(id);
+        self.models.push(Model {
+            tenant,
+            group: gi as u32,
+            slot,
+        });
+        Ok(id)
+    }
+
+    // -- request lifecycle --------------------------------------------------
+
+    /// Submits one request: the model's resident weights applied to the
+    /// moving `activation` operand (the `x` vector of a gemv model, the `B`
+    /// matrix of a gemm model, in row-major order). Returns a ticket future;
+    /// execution happens in scheduling rounds driven by
+    /// [`wait_into`](Self::wait_into)/[`step`](Self::step).
+    ///
+    /// # Errors
+    ///
+    /// `QueueFull` when the tenant is at its admission depth (typed
+    /// back-pressure — the request is not queued), `ShapeMismatch`,
+    /// `UnknownModel`.
+    pub fn submit(
+        &mut self,
+        model: ModelId,
+        activation: &[i32],
+    ) -> Result<RequestTicket, ServeError> {
+        let Some(m) = self.models.get(model.0 as usize) else {
+            return Err(ServeError::UnknownModel);
+        };
+        let tenant = m.tenant;
+        let g = &self.groups[m.group as usize];
+        let expected = g.plan.activation_len();
+        if activation.len() != expected {
+            return Err(ServeError::ShapeMismatch {
+                expected,
+                got: activation.len(),
+            });
+        }
+        let work = g.plan.work();
+        let req = match self.free_requests.pop() {
+            Some(r) => r,
+            None => {
+                self.requests.push(RequestSlot {
+                    gen: 0,
+                    state: ReqState::Free,
+                    model,
+                    x: Vec::new(),
+                    result: Vec::new(),
+                    submitted: Instant::now(),
+                    report: RequestReport::default(),
+                    error: None,
+                });
+                (self.requests.len() - 1) as u32
+            }
+        };
+        match self.queue.enqueue(tenant.0 as usize, req, work) {
+            Ok(()) => {}
+            Err(AdmissionError::QueueFull { depth, .. }) => {
+                self.free_requests.push(req);
+                self.stats.rejected += 1;
+                self.tenants[tenant.0 as usize].stats.rejected += 1;
+                return Err(ServeError::QueueFull { tenant, depth });
+            }
+            Err(AdmissionError::UnknownLane { .. }) => {
+                self.free_requests.push(req);
+                return Err(ServeError::UnknownTenant);
+            }
+        }
+        let slot = &mut self.requests[req as usize];
+        slot.state = ReqState::Queued;
+        slot.model = model;
+        slot.x.clear();
+        slot.x.extend_from_slice(activation);
+        slot.submitted = Instant::now();
+        slot.error = None;
+        self.stats.submitted += 1;
+        self.tenants[tenant.0 as usize].stats.submitted += 1;
+        Ok(RequestTicket { req, gen: slot.gen })
+    }
+
+    /// Whether a ticket's request has finished (completed or failed) —
+    /// non-driving poll.
+    pub fn is_done(&self, ticket: RequestTicket) -> bool {
+        self.requests.get(ticket.req as usize).is_some_and(|s| {
+            s.gen == ticket.gen && matches!(s.state, ReqState::Done | ReqState::Failed)
+        })
+    }
+
+    /// Redeems a ticket, driving scheduling rounds until its request
+    /// finishes. The result replaces the contents of `out` (cleared;
+    /// capacity reused — allocation-free once warmed) and the slot is
+    /// recycled, turning the ticket stale.
+    ///
+    /// # Errors
+    ///
+    /// `StaleTicket` for consumed/foreign tickets; the batch's `Device`
+    /// error when the request failed every recovery attempt.
+    pub fn wait_into(
+        &mut self,
+        ticket: RequestTicket,
+        out: &mut Vec<i32>,
+    ) -> Result<RequestReport, ServeError> {
+        loop {
+            let Some(slot) = self.requests.get(ticket.req as usize) else {
+                return Err(ServeError::StaleTicket);
+            };
+            if slot.gen != ticket.gen {
+                return Err(ServeError::StaleTicket);
+            }
+            match slot.state {
+                ReqState::Done => {
+                    let slot = &mut self.requests[ticket.req as usize];
+                    out.clear();
+                    out.extend_from_slice(&slot.result);
+                    let report = slot.report;
+                    self.release(ticket.req);
+                    return Ok(report);
+                }
+                ReqState::Failed => {
+                    let slot = &mut self.requests[ticket.req as usize];
+                    let err = slot.error.take().unwrap_or(ServeError::Device {
+                        message: "request failed".into(),
+                    });
+                    self.release(ticket.req);
+                    return Err(err);
+                }
+                ReqState::Free => return Err(ServeError::StaleTicket),
+                ReqState::Queued => {
+                    if self.step() == 0 {
+                        return Err(ServeError::Device {
+                            message: "queued request unreachable by the scheduler".into(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Allocating convenience form of [`wait_into`](Self::wait_into).
+    ///
+    /// # Errors
+    ///
+    /// See [`wait_into`](Self::wait_into).
+    pub fn wait(&mut self, ticket: RequestTicket) -> Result<Vec<i32>, ServeError> {
+        let mut out = Vec::new();
+        self.wait_into(ticket, &mut out)?;
+        Ok(out)
+    }
+
+    /// Drives scheduling rounds until every queued request has finished.
+    pub fn run_until_idle(&mut self) {
+        while self.step() != 0 {}
+    }
+
+    fn release(&mut self, req: u32) {
+        let slot = &mut self.requests[req as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.state = ReqState::Free;
+        self.free_requests.push(req);
+    }
+
+    // -- scheduling ---------------------------------------------------------
+
+    /// Executes one scheduling round: picks the fairest head request, fills
+    /// its batch with the fairest compatible heads of other tenants (one
+    /// batch per shape class per round, one request per tenant per batch),
+    /// and dispatches — eagerly for a single batch (the allocation-free
+    /// steady-state path), through one hazard-tracked command stream when
+    /// multiple shape classes fused in the same round. Returns the number of
+    /// requests that finished (0 when idle). Device failures fail the
+    /// affected batch's requests, never the server.
+    pub fn step(&mut self) -> usize {
+        let picked = self.form_round();
+        if picked == 0 {
+            return 0;
+        }
+        self.stats.rounds += 1;
+        self.stage_round();
+        if self.round_groups.len() == 1 {
+            let gi = self.round_groups[0] as usize;
+            let result = self.run_batch_direct(gi);
+            self.finish_batch(gi, result);
+        } else {
+            self.stats.stream_rounds += 1;
+            self.run_round_stream();
+        }
+        self.round_groups.clear();
+        picked
+    }
+
+    /// Fills each group's batch from the queue in weighted-fair order.
+    fn form_round(&mut self) -> usize {
+        let max_batch = self.max_batch;
+        let SessionServer {
+            queue,
+            models,
+            groups,
+            requests,
+            round_groups,
+            ..
+        } = self;
+        let mut picked = 0;
+        while let Some((lane, req)) = queue.next_matching(|lane, req| {
+            let model = &models[requests[req as usize].model.0 as usize];
+            let g = &groups[model.group as usize];
+            if !g.in_round {
+                return true;
+            }
+            g.batch.len() < max_batch
+                && !g.batch.iter().any(|&r| {
+                    models[requests[r as usize].model.0 as usize].tenant.0 as usize == lane
+                })
+        }) {
+            let _ = lane;
+            let gi = models[requests[req as usize].model.0 as usize].group as usize;
+            let g = &mut groups[gi];
+            if !g.in_round {
+                g.in_round = true;
+                round_groups.push(gi as u32);
+            }
+            g.batch.push(req);
+            picked += 1;
+        }
+        picked
+    }
+
+    /// Stages every batched request's activation into its slot's stripe.
+    fn stage_round(&mut self) {
+        let SessionServer {
+            groups,
+            requests,
+            models,
+            round_groups,
+            ..
+        } = self;
+        for &gi in round_groups.iter() {
+            let Group {
+                plan,
+                x_stage,
+                batch,
+                ..
+            } = &mut groups[gi as usize];
+            for &req in batch.iter() {
+                let slot = &requests[req as usize];
+                let model = &models[slot.model.0 as usize];
+                plan.stage_activation(model.slot, &slot.x, x_stage);
+            }
+        }
+    }
+
+    /// Direct eager dispatch of one batch under the recovery loop.
+    fn run_batch_direct(&mut self, gi: usize) -> Result<(), ServeError> {
+        let mut attempts = 0;
+        loop {
+            let SessionServer {
+                backend, groups, ..
+            } = self;
+            let Group {
+                plan,
+                x_stage,
+                y_scratch,
+                ..
+            } = &mut groups[gi];
+            match plan.execute(backend, x_stage, y_scratch) {
+                Ok(()) => return Ok(()),
+                Err(e) if attempts < MAX_RECOVERY_ATTEMPTS => {
+                    attempts += 1;
+                    self.recover(&e);
+                }
+                Err(e) => {
+                    return Err(ServeError::Device {
+                        message: e.to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Stream dispatch of a multi-shape round: every batch's commands in one
+    /// hazard-tracked sync (disjoint buffers — the shape classes overlap on
+    /// the worker pool), under the recovery loop. A faulted sync applies
+    /// nothing, so re-syncing after recovery is safe.
+    fn run_round_stream(&mut self) {
+        let round = std::mem::take(&mut self.round_groups);
+        let mut attempts = 0;
+        let result = 'attempt: loop {
+            // Fresh-output semantics per attempt, matching the direct path.
+            for &gi in round.iter() {
+                if let Err(e) = self.groups[gi as usize].plan.zero_output(&mut self.backend) {
+                    if attempts < MAX_RECOVERY_ATTEMPTS {
+                        attempts += 1;
+                        self.recover(&e);
+                        continue 'attempt;
+                    }
+                    break 'attempt Err(ServeError::Device {
+                        message: e.to_string(),
+                    });
+                }
+            }
+            let mut stream = CommandStream::new();
+            for &gi in round.iter() {
+                let g = &self.groups[gi as usize];
+                g.plan.push_commands(&g.x_stage, &mut stream);
+            }
+            match self.backend.try_sync(&mut stream) {
+                Ok(outputs) => break Ok(outputs),
+                Err(e) if attempts < MAX_RECOVERY_ATTEMPTS => {
+                    attempts += 1;
+                    self.recover(&e);
+                }
+                Err(e) => {
+                    break Err(ServeError::Device {
+                        message: e.to_string(),
+                    })
+                }
+            }
+        };
+        match result {
+            Ok(outputs) => {
+                // Three outputs per batch, in enqueue order; the third
+                // carries the batch's gathered grid-wide output.
+                let mut outputs = outputs.into_iter();
+                for &gi in round.iter() {
+                    let _scatter = outputs.next();
+                    let _launch = outputs.next();
+                    let y = outputs
+                        .next()
+                        .and_then(CommandOutput::into_gathered)
+                        .expect("stream round yields one gather per batch");
+                    self.groups[gi as usize].y_scratch = y;
+                    self.finish_batch(gi as usize, Ok(()));
+                }
+            }
+            Err(e) => {
+                for &gi in round.iter() {
+                    self.finish_batch(gi as usize, Err(e.clone()));
+                }
+            }
+        }
+        self.round_groups = round;
+    }
+
+    /// Distributes one executed (or failed) batch to its member requests.
+    fn finish_batch(&mut self, gi: usize, result: Result<(), ServeError>) {
+        let SessionServer {
+            groups,
+            requests,
+            models,
+            tenants,
+            stats,
+            ..
+        } = self;
+        let g = &mut groups[gi];
+        let size = g.batch.len() as u32;
+        match result {
+            Ok(()) => {
+                for &req in g.batch.iter() {
+                    let slot = &mut requests[req as usize];
+                    let model = &models[slot.model.0 as usize];
+                    g.plan
+                        .decode_into(model.slot, &g.y_scratch, &mut slot.result);
+                    slot.state = ReqState::Done;
+                    let latency = slot.submitted.elapsed().as_secs_f64();
+                    slot.report = RequestReport {
+                        latency_seconds: latency,
+                        batch_size: size,
+                    };
+                    let ts = &mut tenants[model.tenant.0 as usize].stats;
+                    ts.completed += 1;
+                    ts.served_work += g.plan.work();
+                    ts.total_latency_seconds += latency;
+                    ts.max_latency_seconds = ts.max_latency_seconds.max(latency);
+                    stats.completed += 1;
+                }
+                g.launches += 1;
+                stats.batches += 1;
+                stats.batched_requests += u64::from(size);
+                stats.largest_batch = stats.largest_batch.max(u64::from(size));
+            }
+            Err(e) => {
+                for &req in g.batch.iter() {
+                    let slot = &mut requests[req as usize];
+                    let model = &models[slot.model.0 as usize];
+                    slot.state = ReqState::Failed;
+                    slot.error = Some(e.clone());
+                    tenants[model.tenant.0 as usize].stats.failed += 1;
+                    stats.failed += 1;
+                }
+            }
+        }
+        g.batch.clear();
+        g.in_round = false;
+    }
+
+    /// Device recovery: re-execution handles a transient that outlived the
+    /// retry budget (faulted commands commit nothing); a permanent grid
+    /// fault fails over to a spare built from the still-readable MRAM image
+    /// — which carries every tenant's resident weights — exactly the
+    /// session recovery loop's spare-grid path.
+    fn recover(&mut self, error: &SimError) {
+        self.stats.recoveries += 1;
+        if error.is_permanent_fault() {
+            let spare = self.backend.system().fault_free_clone();
+            *self.backend.system_mut() = spare;
+            self.stats.failovers += 1;
+        }
+    }
+
+    // -- introspection ------------------------------------------------------
+
+    /// Cumulative server-wide counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Cumulative counters of one tenant.
+    ///
+    /// # Panics
+    ///
+    /// If the tenant was never registered.
+    pub fn tenant_stats(&self, tenant: TenantId) -> TenantStats {
+        self.tenants[tenant.0 as usize].stats
+    }
+
+    /// The registration name of a tenant.
+    ///
+    /// # Panics
+    ///
+    /// If the tenant was never registered.
+    pub fn tenant_name(&self, tenant: TenantId) -> &str {
+        &self.tenants[tenant.0 as usize].name
+    }
+
+    /// Number of batched shape classes currently resident.
+    pub fn shape_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Batched launches executed per shape class, in class creation order —
+    /// the serving analogue of the session's plan-cache replay counters
+    /// (every launch after a class's first is a signature-keyed replay of
+    /// its batch plan).
+    pub fn group_launches(&self) -> impl Iterator<Item = u64> + '_ {
+        self.groups.iter().map(|g| g.launches)
+    }
+
+    /// Requests queued but not yet scheduled.
+    pub fn queue_backlog(&self) -> usize {
+        self.queue.backlog()
+    }
+
+    /// Per-DPU MRAM bytes claimed by resident shape classes.
+    pub fn mram_used_bytes(&self) -> usize {
+        self.mram_used_bytes
+    }
+
+    /// Per-DPU MRAM budget for resident state.
+    pub fn mram_limit_bytes(&self) -> usize {
+        self.mram_limit_bytes
+    }
+
+    /// Accumulated simulated statistics of the owned grid.
+    pub fn upmem_stats(&self) -> &SystemStats {
+        self.backend.stats()
+    }
+
+    /// Fault-tolerance counters of the owned backend (retries, backoff,
+    /// permanent faults) plus the server's own recovery counters in
+    /// [`stats`](Self::stats).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.backend.fault_stats()
+    }
+
+    /// Number of DPUs in the owned grid.
+    pub fn num_dpus(&self) -> usize {
+        self.backend.num_dpus()
+    }
+}
+
+/// Shape of a batched class before its plan exists (admission accounting).
+#[derive(Debug, Clone, Copy)]
+enum GroupShape {
+    Gemv { rows: usize, cols: usize },
+    Gemm { m: usize, k: usize, n: usize },
+}
+
+impl GroupShape {
+    /// Per-DPU element footprint — must match
+    /// [`BatchPlan::elems_per_dpu`] (debug-asserted after plan creation).
+    fn elems_per_dpu(self, slot_dpus: usize) -> usize {
+        match self {
+            GroupShape::Gemv { rows, cols } => {
+                let rpd = rows.div_ceil(slot_dpus);
+                rpd * cols + cols + rpd
+            }
+            GroupShape::Gemm { m, k, n } => {
+                let rpd = m.div_ceil(slot_dpus);
+                rpd * k + k * n + rpd * n
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_options() -> ServerOptions {
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = 8;
+        cfg.host_threads = 1;
+        ServerOptions::default()
+            .with_upmem_config(cfg)
+            .with_tenant_slots(4)
+    }
+
+    fn host_gemv(a: &[i32], x: &[i32], rows: usize, cols: usize) -> Vec<i32> {
+        (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| a[r * cols + c].wrapping_mul(x[c]))
+                    .fold(0, i32::wrapping_add)
+            })
+            .collect()
+    }
+
+    fn host_gemm(a: &[i32], b: &[i32], m: usize, k: usize, n: usize) -> Vec<i32> {
+        let mut y = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for p in 0..k {
+                    acc = acc.wrapping_add(a[i * k + p].wrapping_mul(b[p * n + j]));
+                }
+                y[i * n + j] = acc;
+            }
+        }
+        y
+    }
+
+    fn ramp(len: usize, scale: i32, bias: i32) -> Vec<i32> {
+        (0..len)
+            .map(|i| (i as i32).wrapping_mul(scale) + bias)
+            .collect()
+    }
+
+    #[test]
+    fn a_single_tenant_request_matches_the_host_oracle() {
+        let mut server = SessionServer::new(tiny_options());
+        let t = server.register_tenant(TenantSpec::new("solo"));
+        let (rows, cols) = (11, 7);
+        let a = ramp(rows * cols, 3, -5);
+        let x = ramp(cols, 2, 1);
+        let model = server.load_gemv_weights(t, &a, rows, cols).unwrap();
+        let ticket = server.submit(model, &x).unwrap();
+        let y = server.wait(ticket).unwrap();
+        assert_eq!(y, host_gemv(&a, &x, rows, cols));
+        assert_eq!(server.stats().completed, 1);
+        assert_eq!(server.stats().batches, 1);
+    }
+
+    #[test]
+    fn same_shaped_requests_from_four_tenants_fuse_into_one_launch() {
+        let mut server = SessionServer::new(tiny_options());
+        let (rows, cols) = (9, 6);
+        let mut tickets = Vec::new();
+        let mut expected = Vec::new();
+        for i in 0..4 {
+            let t = server.register_tenant(TenantSpec::new(format!("tenant-{i}")));
+            let a = ramp(rows * cols, i + 1, i);
+            let x = ramp(cols, 2 * i + 1, -i);
+            let model = server.load_gemv_weights(t, &a, rows, cols).unwrap();
+            tickets.push(server.submit(model, &x).unwrap());
+            expected.push(host_gemv(&a, &x, rows, cols));
+        }
+        let launches_before = server.upmem_stats().launches;
+        server.run_until_idle();
+        let launches_after = server.upmem_stats().launches;
+        // One fused launch served all four tenants.
+        assert_eq!(launches_after - launches_before, 1);
+        assert_eq!(server.stats().batches, 1);
+        assert_eq!(server.stats().largest_batch, 4);
+        for (ticket, want) in tickets.into_iter().zip(expected) {
+            let mut got = Vec::new();
+            let report = server.wait_into(ticket, &mut got).unwrap();
+            assert_eq!(got, want);
+            assert_eq!(report.batch_size, 4);
+        }
+    }
+
+    #[test]
+    fn a_mixed_shape_round_fuses_into_one_stream_sync() {
+        let mut server = SessionServer::new(tiny_options());
+        let ta = server.register_tenant(TenantSpec::new("gemv-tenant"));
+        let tb = server.register_tenant(TenantSpec::new("gemm-tenant"));
+        let a = ramp(8 * 5, 2, 3);
+        let x = ramp(5, 3, -1);
+        let b_w = ramp(6 * 4, 1, -2);
+        let b_x = ramp(4 * 3, 2, 5);
+        let ma = server.load_gemv_weights(ta, &a, 8, 5).unwrap();
+        let mb = server.load_gemm_weights(tb, &b_w, 6, 4, 3).unwrap();
+        let qa = server.submit(ma, &x).unwrap();
+        let qb = server.submit(mb, &b_x).unwrap();
+        assert_eq!(server.step(), 2);
+        assert_eq!(server.stats().stream_rounds, 1);
+        assert_eq!(server.shape_groups(), 2);
+        assert_eq!(server.wait(qa).unwrap(), host_gemv(&a, &x, 8, 5));
+        assert_eq!(server.wait(qb).unwrap(), host_gemm(&b_w, &b_x, 6, 4, 3));
+    }
+
+    #[test]
+    fn admission_errors_are_typed_not_hangs() {
+        // Queue depth.
+        let mut server = SessionServer::new(tiny_options().with_queue_depth(2));
+        let t = server.register_tenant(TenantSpec::new("bursty"));
+        let a = ramp(4 * 4, 1, 0);
+        let model = server.load_gemv_weights(t, &a, 4, 4).unwrap();
+        let x = ramp(4, 1, 0);
+        let q1 = server.submit(model, &x).unwrap();
+        let q2 = server.submit(model, &x).unwrap();
+        match server.submit(model, &x) {
+            Err(ServeError::QueueFull { tenant, depth }) => {
+                assert_eq!(tenant, t);
+                assert_eq!(depth, 2);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(server.stats().rejected, 1);
+        server.run_until_idle();
+        assert!(server.wait(q1).is_ok());
+        assert!(server.wait(q2).is_ok());
+
+        // MRAM budget.
+        let mut server = SessionServer::new(tiny_options().with_mram_limit_bytes(64));
+        let t = server.register_tenant(TenantSpec::new("hungry"));
+        match server.load_gemv_weights(t, &ramp(32 * 32, 1, 0), 32, 32) {
+            Err(ServeError::CapacityExhausted {
+                needed_bytes,
+                available_bytes,
+            }) => {
+                assert!(needed_bytes > available_bytes);
+                assert_eq!(available_bytes, 64);
+            }
+            other => panic!("expected CapacityExhausted, got {other:?}"),
+        }
+
+        // Tenant slots.
+        let mut server = SessionServer::new(tiny_options().with_tenant_slots(2));
+        let t = server.register_tenant(TenantSpec::new("wide"));
+        let a = ramp(4 * 4, 1, 0);
+        server.load_gemv_weights(t, &a, 4, 4).unwrap();
+        server.load_gemv_weights(t, &a, 4, 4).unwrap();
+        match server.load_gemv_weights(t, &a, 4, 4) {
+            Err(ServeError::SlotsExhausted { slots }) => assert_eq!(slots, 2),
+            other => panic!("expected SlotsExhausted, got {other:?}"),
+        }
+
+        // Shape mismatch.
+        let mut server = SessionServer::new(tiny_options());
+        let t = server.register_tenant(TenantSpec::new("sloppy"));
+        let model = server
+            .load_gemv_weights(t, &ramp(4 * 4, 1, 0), 4, 4)
+            .unwrap();
+        assert!(matches!(
+            server.submit(model, &ramp(3, 1, 0)),
+            Err(ServeError::ShapeMismatch {
+                expected: 4,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn a_consumed_ticket_turns_stale() {
+        let mut server = SessionServer::new(tiny_options());
+        let t = server.register_tenant(TenantSpec::new("solo"));
+        let model = server
+            .load_gemv_weights(t, &ramp(4 * 4, 1, 0), 4, 4)
+            .unwrap();
+        let ticket = server.submit(model, &ramp(4, 1, 0)).unwrap();
+        server.wait(ticket).unwrap();
+        assert_eq!(server.wait(ticket), Err(ServeError::StaleTicket));
+    }
+
+    #[test]
+    fn injected_faults_recover_without_corrupting_any_tenant() {
+        let fault = FaultConfig::seeded(0xC1A0)
+            .with_launch_fault_rate(0.2)
+            .with_transfer_timeout_rate(0.1)
+            .with_permanent_after_launches(6);
+        let mut server = SessionServer::new(tiny_options().with_fault(fault));
+        let (rows, cols) = (7, 5);
+        let mut models = Vec::new();
+        let mut weights = Vec::new();
+        for i in 0..3 {
+            let t = server.register_tenant(TenantSpec::new(format!("t{i}")));
+            let a = ramp(rows * cols, i + 2, -i);
+            models.push(server.load_gemv_weights(t, &a, rows, cols).unwrap());
+            weights.push(a);
+        }
+        for round in 0..6 {
+            let x = ramp(cols, round + 1, round);
+            let tickets: Vec<_> = models
+                .iter()
+                .map(|&m| server.submit(m, &x).unwrap())
+                .collect();
+            for (ticket, a) in tickets.into_iter().zip(&weights) {
+                let y = server.wait(ticket).unwrap();
+                assert_eq!(y, host_gemv(a, &x, rows, cols), "round {round}");
+            }
+        }
+        let fault_stats = server.fault_stats();
+        assert!(
+            fault_stats.transient_retries > 0 || fault_stats.permanent_faults > 0,
+            "the schedule should have injected faults"
+        );
+        assert_eq!(server.stats().failed, 0);
+    }
+
+    #[test]
+    fn weighted_tenants_get_proportional_service_under_backlog() {
+        let mut server = SessionServer::new(tiny_options().with_max_batch(1).with_queue_depth(64));
+        let heavy = server.register_tenant(TenantSpec::new("heavy").with_weight(3));
+        let light = server.register_tenant(TenantSpec::new("light"));
+        let a = ramp(6 * 4, 1, 1);
+        let mh = server.load_gemv_weights(heavy, &a, 6, 4).unwrap();
+        let ml = server.load_gemv_weights(light, &a, 6, 4).unwrap();
+        let x = ramp(4, 1, 0);
+        let mut tickets = Vec::new();
+        for _ in 0..16 {
+            tickets.push(server.submit(mh, &x).unwrap());
+            tickets.push(server.submit(ml, &x).unwrap());
+        }
+        // Drain half the backlog: the heavy tenant should have ~3x the
+        // completions of the light one (max_batch 1 serializes rounds).
+        for _ in 0..16 {
+            assert!(server.step() > 0);
+        }
+        let sh = server.tenant_stats(heavy);
+        let sl = server.tenant_stats(light);
+        assert_eq!(sh.completed + sl.completed, 16);
+        assert!(
+            sh.completed >= 11 && sh.completed <= 13,
+            "heavy share {} of 16 is not ~3:1",
+            sh.completed
+        );
+        server.run_until_idle();
+        for ticket in tickets {
+            server.wait(ticket).unwrap();
+        }
+    }
+}

@@ -491,6 +491,46 @@ impl OpKindNode {
     }
 }
 
+/// Hashes a canonical op graph (plus the residency mode) into its replay
+/// signature. [`Session::canonicalize`] and the serving layer's batching
+/// key both call this, so "same compiled plan" and "batch-compatible
+/// request" stay the same predicate by construction.
+fn canonical_signature(ops: &[OpNode], discards: &[bool], residency: bool) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    ops.hash(&mut hasher);
+    discards.hash(&mut hasher);
+    residency.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Canonical replay signature of the single-op request graph
+/// `y = gemv(a, x)` recorded on a fresh resident session — the batching
+/// compatibility key of the serving layer ([`crate::serve`]): two requests
+/// may share one fused launch iff their signatures match. A unit test pins
+/// this to the signature `canonicalize` computes for the same graph.
+pub(crate) fn gemv_request_signature(rows: usize, cols: usize) -> u64 {
+    single_op_signature(OpKindNode::Gemv { rows, cols })
+}
+
+/// Canonical replay signature of `c = gemm(a, b)` — see
+/// [`gemv_request_signature`].
+pub(crate) fn gemm_request_signature(m: usize, k: usize, n: usize) -> u64 {
+    single_op_signature(OpKindNode::Gemm { m, k, n })
+}
+
+/// The canonical form of any fresh two-input single-op graph: inputs intern
+/// to canonical slots 0 and 1 (unused third input stays at its recorded
+/// zero padding), the output to slot 2, nothing discarded, residency on.
+fn single_op_signature(kind: OpKindNode) -> u64 {
+    let node = OpNode {
+        kind,
+        inputs: [0, 1, 0],
+        n_inputs: 2,
+        output: 2,
+    };
+    canonical_signature(&[node], &[false], true)
+}
+
 /// The optimizer-IR op name of a kind. Element-wise ops share one name —
 /// the `"kind"` attribute (which CSE compares) carries the opcode.
 fn ir_name(kind: &OpKindNode) -> &'static str {
@@ -1315,11 +1355,7 @@ impl Session {
             canon_scratch.push(node);
             discard_scratch.push(discarded.contains(&op.output));
         }
-        let mut hasher = DefaultHasher::new();
-        canon_scratch.hash(&mut hasher);
-        discard_scratch.hash(&mut hasher);
-        residency.hash(&mut hasher);
-        *sig_scratch = hasher.finish();
+        *sig_scratch = canonical_signature(canon_scratch, discard_scratch, residency);
     }
 
     /// Finds a memoized compiled plan matching the canonicalized graph
@@ -3355,5 +3391,28 @@ mod tests {
         let _other = sess.elementwise(BinOp::Add, v, w);
         sess.run().unwrap();
         assert_eq!(sess.fetch(kept), vec![2; 16]);
+    }
+
+    /// The serving layer's batching keys must be *exactly* the canonical
+    /// replay signatures a session computes for the same request graphs —
+    /// this is the contract that lets the server reuse the plan-cache
+    /// compatibility predicate as its batch-compatibility predicate.
+    #[test]
+    fn serve_request_signatures_match_the_session_canonical_form() {
+        let mut sess = cnm_session(true);
+        let a = sess.matrix(&[2; 12], 3, 4);
+        let x = sess.vector(&[1; 4]);
+        let _y = sess.gemv(a, x);
+        sess.canonicalize();
+        assert_eq!(sess.sig_scratch, gemv_request_signature(3, 4));
+        assert_ne!(sess.sig_scratch, gemv_request_signature(4, 3));
+
+        let mut sess = cnm_session(true);
+        let a = sess.matrix(&[2; 12], 3, 4);
+        let b = sess.matrix(&[1; 8], 4, 2);
+        let _c = sess.gemm(a, b);
+        sess.canonicalize();
+        assert_eq!(sess.sig_scratch, gemm_request_signature(3, 4, 2));
+        assert_ne!(sess.sig_scratch, gemv_request_signature(3, 4));
     }
 }

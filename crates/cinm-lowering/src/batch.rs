@@ -1,0 +1,408 @@
+//! Cross-tenant batched dispatch on the UPMEM grid.
+//!
+//! The serving layer fuses *same-shaped* `gemv`/`gemm` requests from
+//! different tenants into **one sharded launch**: the DPU grid is divided
+//! into fixed tenant *slots* (contiguous DPU ranges), every tenant's weight
+//! matrix stays resident in its slot's MRAM stripe of a shared weights
+//! buffer, and a batch moves only the activations — one scatter carrying
+//! every batched tenant's vector to its own slot, one kernel launch over the
+//! whole grid, one gather bringing every tenant's outputs back.
+//!
+//! Per-element results are bit-identical to each tenant running alone on the
+//! full grid: the DPU kernels compute each output row as an independent
+//! sequential dot product, so *which* DPU computes a row never changes its
+//! value — only the partitioning differs. The batching win is purely in
+//! fixed costs: N tenants share one launch (one dispatch, one DMA setup per
+//! DPU, one host round-trip) instead of paying them N times.
+//!
+//! A [`BatchPlan`] owns the geometry and device buffers of one shape class.
+//! It exposes both execution paths the serving layer uses:
+//!
+//! * [`execute`](BatchPlan::execute) — direct eager calls through
+//!   [`UpmemBackend::try_op`]; allocation-free once staging capacity is
+//!   warmed (the steady-state path, pinned by `tests/alloc_regression.rs`);
+//! * [`push_commands`](BatchPlan::push_commands) — records the same three
+//!   commands into a hazard-tracked [`CommandStream`], so batches of
+//!   *different* shape classes overlap within one sync (the burst path).
+
+use cinm_runtime::CommandStream;
+use std::borrow::Cow;
+use upmem_sim::{Command, DpuKernelKind, KernelSpec, SimError, UpmemSystem};
+
+use crate::backend::UpmemBackend;
+
+/// Geometry and device buffers of one batched shape class: all requests of
+/// kind `gemv(rows, cols)` (or `gemm(m, k, n)`) share this plan, each tenant
+/// occupying one slot of the grid.
+#[derive(Debug)]
+pub struct BatchPlan {
+    /// The per-DPU kernel of a batched launch.
+    kind: DpuKernelKind,
+    /// Total DPUs in the grid.
+    dpus: usize,
+    /// DPUs per tenant slot.
+    slot_dpus: usize,
+    /// Number of tenant slots.
+    slots: usize,
+    /// Resident rows of the weight operand (`rows` / `m`).
+    m: usize,
+    /// Inner dimension (`cols` / `k`).
+    k: usize,
+    /// Output columns per row (1 for gemv, `n` for gemm).
+    n: usize,
+    /// Resident weight elements per DPU (`rpd * k`).
+    w_chunk: usize,
+    /// Moving activation elements per DPU (`k * n`: the full right-hand
+    /// operand, replicated to every DPU of the owning slot).
+    act_chunk: usize,
+    /// Output elements per DPU (`rpd * n`).
+    out_chunk: usize,
+    w_buf: u32,
+    x_buf: u32,
+    y_buf: u32,
+    spec: KernelSpec,
+}
+
+impl BatchPlan {
+    /// Builds the plan for batched `gemv(rows, cols)` requests, allocating
+    /// the shared weights/activation/output buffers on the backend's grid.
+    ///
+    /// # Errors
+    ///
+    /// Buffer allocation failure (per-DPU slab exhaustion).
+    pub fn gemv(
+        backend: &mut UpmemBackend,
+        slots: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Result<BatchPlan, SimError> {
+        let rpd = rows.div_ceil(Self::slot_dpus_for(backend.num_dpus(), slots));
+        Self::build(
+            backend,
+            slots,
+            DpuKernelKind::Gemv { rows: rpd, cols },
+            rows,
+            cols,
+            1,
+        )
+    }
+
+    /// Builds the plan for batched `gemm(m, k, n)` requests: `A` (`m × k`)
+    /// is the resident per-tenant operand, `B` (`k × n`) moves with each
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// Buffer allocation failure (per-DPU slab exhaustion).
+    pub fn gemm(
+        backend: &mut UpmemBackend,
+        slots: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Result<BatchPlan, SimError> {
+        let rpd = m.div_ceil(Self::slot_dpus_for(backend.num_dpus(), slots));
+        Self::build(
+            backend,
+            slots,
+            DpuKernelKind::Gemm { m: rpd, k, n },
+            m,
+            k,
+            n,
+        )
+    }
+
+    fn slot_dpus_for(dpus: usize, slots: usize) -> usize {
+        (dpus / slots.max(1)).max(1)
+    }
+
+    fn build(
+        backend: &mut UpmemBackend,
+        slots: usize,
+        kind: DpuKernelKind,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Result<BatchPlan, SimError> {
+        let dpus = backend.num_dpus();
+        let slots = slots.max(1).min(dpus);
+        let slot_dpus = Self::slot_dpus_for(dpus, slots);
+        let rpd = m.div_ceil(slot_dpus);
+        let (w_chunk, act_chunk, out_chunk) = (rpd * k, k * n, rpd * n);
+        let sys = backend.system_mut();
+        let w_buf = sys.alloc_buffer(w_chunk)?;
+        let x_buf = sys.alloc_buffer(act_chunk)?;
+        let y_buf = sys.alloc_buffer(out_chunk)?;
+        let spec = backend.kernel_spec(kind.clone(), vec![w_buf, x_buf], y_buf);
+        Ok(BatchPlan {
+            kind,
+            dpus,
+            slot_dpus,
+            slots,
+            m,
+            k,
+            n,
+            w_chunk,
+            act_chunk,
+            out_chunk,
+            w_buf,
+            x_buf,
+            y_buf,
+            spec,
+        })
+    }
+
+    /// Number of tenant slots of this plan.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// DPUs per tenant slot.
+    pub fn slot_dpus(&self) -> usize {
+        self.slot_dpus
+    }
+
+    /// The per-DPU kernel of a batched launch.
+    pub fn kind(&self) -> &DpuKernelKind {
+        &self.kind
+    }
+
+    /// Logical element count of one request's moving activation operand.
+    pub fn activation_len(&self) -> usize {
+        self.k * self.n
+    }
+
+    /// Logical element count of one request's weight operand.
+    pub fn weights_len(&self) -> usize {
+        self.m * self.k
+    }
+
+    /// Logical element count of one request's output.
+    pub fn output_len(&self) -> usize {
+        self.m * self.n
+    }
+
+    /// Logical multiply-accumulates of one request (the fairness cost unit).
+    pub fn work(&self) -> u64 {
+        (self.m as u64) * (self.k as u64) * (self.n as u64)
+    }
+
+    /// Per-DPU MRAM elements this plan keeps allocated (weights stripe +
+    /// activation stripe + output stripe) — the capacity admission control
+    /// accounts `4 *` this many bytes per DPU.
+    pub fn elems_per_dpu(&self) -> usize {
+        self.w_chunk + self.act_chunk + self.out_chunk
+    }
+
+    /// Writes one tenant's weight matrix into its slot's stripe of the
+    /// host-side weights shadow (`stage` is resized to cover the grid on
+    /// first use). Rows are chunked `rpd` per DPU within the slot, matching
+    /// the kernel's per-DPU view; the shadow is what
+    /// [`upload_weights`](Self::upload_weights) scatters, so a new tenant's
+    /// load never disturbs already-resident neighbours.
+    ///
+    /// # Panics
+    ///
+    /// If `slot` is out of range or `data` does not match the plan's weight
+    /// shape.
+    pub fn stage_weights(&self, slot: usize, data: &[i32], stage: &mut Vec<i32>) {
+        assert!(slot < self.slots, "slot {slot} out of {}", self.slots);
+        assert_eq!(data.len(), self.weights_len(), "weight shape mismatch");
+        stage.resize(self.dpus * self.w_chunk, 0);
+        let base = slot * self.slot_dpus * self.w_chunk;
+        for d in 0..self.slot_dpus {
+            let dst = &mut stage[base + d * self.w_chunk..base + (d + 1) * self.w_chunk];
+            let lo = (d * self.w_chunk).min(data.len());
+            let hi = ((d + 1) * self.w_chunk).min(data.len());
+            dst[..hi - lo].copy_from_slice(&data[lo..hi]);
+            dst[hi - lo..].fill(0);
+        }
+    }
+
+    /// Scatters the staged weights shadow to the grid, making every staged
+    /// tenant's matrix resident. Cold path (tenant load / recovery), charged
+    /// at full-grid scatter cost; steady-state requests never re-run it.
+    ///
+    /// # Errors
+    ///
+    /// Device fault outliving the retry budget.
+    pub fn upload_weights(
+        &self,
+        backend: &mut UpmemBackend,
+        stage: &[i32],
+    ) -> Result<(), SimError> {
+        let (buf, chunk) = (self.w_buf, self.w_chunk);
+        backend.try_op(|sys| sys.scatter_i32(buf, stage, chunk))?;
+        Ok(())
+    }
+
+    /// Writes one request's activation operand into its slot's stripe of the
+    /// activation staging buffer, replicated to every DPU of the slot (each
+    /// DPU needs the full right-hand operand). `stage` is resized to cover
+    /// the grid on first use and retains its capacity across batches.
+    ///
+    /// # Panics
+    ///
+    /// If `slot` is out of range or `data` does not match the plan's
+    /// activation shape.
+    pub fn stage_activation(&self, slot: usize, data: &[i32], stage: &mut Vec<i32>) {
+        assert!(slot < self.slots, "slot {slot} out of {}", self.slots);
+        assert_eq!(data.len(), self.act_chunk, "activation shape mismatch");
+        stage.resize(self.dpus * self.act_chunk, 0);
+        let base = slot * self.slot_dpus * self.act_chunk;
+        for d in 0..self.slot_dpus {
+            stage[base + d * self.act_chunk..base + (d + 1) * self.act_chunk].copy_from_slice(data);
+        }
+    }
+
+    /// Runs one batched launch eagerly: scatter the staged activations,
+    /// launch the kernel over the whole grid, gather every slot's outputs
+    /// into `y`. Allocation-free once `y` and the staging buffers are
+    /// warmed. Each step retries transient faults under the backend's
+    /// policy; a faulted step commits nothing, so the caller can re-run the
+    /// whole batch safely.
+    ///
+    /// # Errors
+    ///
+    /// Device fault outliving the retry budget, or a permanent fault.
+    pub fn execute(
+        &self,
+        backend: &mut UpmemBackend,
+        x_stage: &[i32],
+        y: &mut Vec<i32>,
+    ) -> Result<(), SimError> {
+        let (x_buf, y_buf, act, out) = (self.x_buf, self.y_buf, self.act_chunk, self.out_chunk);
+        // Fresh-output semantics, like the eager contexts and the session's
+        // Zero commands: kernels may accumulate into their output.
+        backend.system_mut().zero_buffer(y_buf)?;
+        backend.try_op(|sys| sys.scatter_i32(x_buf, x_stage, act))?;
+        backend.try_op(|sys: &mut UpmemSystem| sys.launch(&self.spec))?;
+        backend.try_op(|sys| sys.gather_i32_into(y_buf, out, y))?;
+        Ok(())
+    }
+
+    /// Records the same batched launch into a hazard-tracked command stream
+    /// (the burst path: batches of different shape classes touch disjoint
+    /// buffers, so one sync overlaps them). The caller zeroes outputs via
+    /// [`zero_output`](Self::zero_output) before syncing and reads the
+    /// gathered outputs from the sync's third `CommandOutput` per batch.
+    pub fn push_commands<'a>(&self, x_stage: &'a [i32], stream: &mut CommandStream<Command<'a>>) {
+        stream.enqueue(Command::Scatter {
+            buffer: self.x_buf,
+            data: Cow::Borrowed(x_stage),
+            chunk: self.act_chunk,
+        });
+        stream.enqueue(Command::Launch {
+            spec: self.spec.clone(),
+        });
+        stream.enqueue(Command::Gather {
+            buffer: self.y_buf,
+            chunk: self.out_chunk,
+        });
+    }
+
+    /// Functionally zeroes the shared output buffer (untimed, exactly like a
+    /// fresh allocation) — the stream path's counterpart of the zero inside
+    /// [`execute`](Self::execute).
+    ///
+    /// # Errors
+    ///
+    /// Unknown buffer (cannot happen for a live plan).
+    pub fn zero_output(&self, backend: &mut UpmemBackend) -> Result<(), SimError> {
+        backend.system_mut().zero_buffer(self.y_buf)
+    }
+
+    /// Extracts one slot's logical output from a gathered grid-wide output
+    /// vector into `out` (cleared; capacity is retained across calls).
+    ///
+    /// # Panics
+    ///
+    /// If `slot` is out of range or `y` is not a full grid gather.
+    pub fn decode_into(&self, slot: usize, y: &[i32], out: &mut Vec<i32>) {
+        assert!(slot < self.slots, "slot {slot} out of {}", self.slots);
+        assert_eq!(y.len(), self.dpus * self.out_chunk, "not a full gather");
+        out.clear();
+        let base = slot * self.slot_dpus * self.out_chunk;
+        let take = self.output_len();
+        out.extend_from_slice(&y[base..base + (take.min(self.slot_dpus * self.out_chunk))]);
+        out.truncate(take);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::UpmemRunOptions;
+    use upmem_sim::UpmemConfig;
+
+    fn small_backend() -> UpmemBackend {
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = 8;
+        UpmemBackend::with_config(cfg, UpmemRunOptions::optimized())
+    }
+
+    fn host_gemv(a: &[i32], x: &[i32], rows: usize, cols: usize) -> Vec<i32> {
+        (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| a[r * cols + c].wrapping_mul(x[c]))
+                    .fold(0i32, i32::wrapping_add)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_gemv_matches_the_host_oracle_per_slot() {
+        let mut be = small_backend();
+        let plan = BatchPlan::gemv(&mut be, 4, 11, 7).expect("alloc");
+        assert_eq!(plan.slots(), 4);
+        assert_eq!(plan.slot_dpus(), 2);
+        let mats: Vec<Vec<i32>> = (0i32..4)
+            .map(|s| (0i32..11 * 7).map(|i| i - 3 * s).collect())
+            .collect();
+        let mut w_stage = Vec::new();
+        for (s, m) in mats.iter().enumerate() {
+            plan.stage_weights(s, m, &mut w_stage);
+        }
+        plan.upload_weights(&mut be, &w_stage).expect("upload");
+        let xs: Vec<Vec<i32>> = (0i32..4)
+            .map(|s| (0i32..7).map(|i| i + s).collect())
+            .collect();
+        let mut x_stage = Vec::new();
+        for (s, x) in xs.iter().enumerate() {
+            plan.stage_activation(s, x, &mut x_stage);
+        }
+        let mut y = Vec::new();
+        plan.execute(&mut be, &x_stage, &mut y).expect("launch");
+        let mut out = Vec::new();
+        for s in 0..4 {
+            plan.decode_into(s, &y, &mut out);
+            assert_eq!(out, host_gemv(&mats[s], &xs[s], 11, 7), "slot {s}");
+        }
+    }
+
+    #[test]
+    fn batched_gemm_matches_the_eager_backend() {
+        let mut be = small_backend();
+        let plan = BatchPlan::gemm(&mut be, 2, 6, 5, 4).expect("alloc");
+        let a0: Vec<i32> = (0..30).map(|i| i - 7).collect();
+        let a1: Vec<i32> = (0..30).map(|i| 2 * i + 1).collect();
+        let b0: Vec<i32> = (0..20).collect();
+        let b1: Vec<i32> = (0..20).map(|i| 3 - i).collect();
+        let mut w_stage = Vec::new();
+        plan.stage_weights(0, &a0, &mut w_stage);
+        plan.stage_weights(1, &a1, &mut w_stage);
+        plan.upload_weights(&mut be, &w_stage).expect("upload");
+        let mut x_stage = Vec::new();
+        plan.stage_activation(0, &b0, &mut x_stage);
+        plan.stage_activation(1, &b1, &mut x_stage);
+        let mut y = Vec::new();
+        plan.execute(&mut be, &x_stage, &mut y).expect("launch");
+        let mut oracle = small_backend();
+        let mut out = Vec::new();
+        plan.decode_into(0, &y, &mut out);
+        assert_eq!(out, oracle.gemm(&a0, &b0, 6, 5, 4));
+        plan.decode_into(1, &y, &mut out);
+        assert_eq!(out, oracle.gemm(&a1, &b1, 6, 5, 4));
+    }
+}

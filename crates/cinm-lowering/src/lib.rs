@@ -27,12 +27,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod backend;
+pub mod batch;
 pub mod convert;
 pub mod device;
 pub mod sharded;
 pub mod tiling;
 
 pub use backend::{CimBackend, CimRunOptions, CimRunStats, UpmemBackend, UpmemRunOptions};
+pub use batch::BatchPlan;
 pub use convert::{
     CimLoweringOptions, CimToMemristorPass, CinmToCimPass, CinmToCnmPass, CnmLoweringOptions,
     CnmToUpmemPass, LinalgToCinmPass, TosaToLinalgPass, UpmemLoweringOptions,

@@ -43,6 +43,7 @@
 pub mod alloc_count;
 pub mod fault;
 pub mod pool;
+pub mod queue;
 pub mod stream;
 
 pub use fault::{
@@ -50,4 +51,5 @@ pub use fault::{
     RetryPolicy,
 };
 pub use pool::{resolve_threads, PoolHandle, Scope, WorkerPool};
+pub use queue::{AdmissionError, FairQueue};
 pub use stream::{execute_stream, hazard_deps, Access, BufferId, CommandStream, StreamCommand};

@@ -238,6 +238,67 @@ fn steady_state_fused_chain_loop_is_allocation_free() {
     assert_eq!(out.len(), len);
 }
 
+/// The warmed multi-tenant *serving* loop — two tenants submitting
+/// same-shaped gemv requests that the `SessionServer` fuses into one
+/// batched launch per round, then redeeming their tickets — performs
+/// **zero** heap allocations per iteration. This is the serving steady
+/// state: request slots recycle through the free list (activation and
+/// result vectors keep their capacity), the fair queue's per-lane deques
+/// are warm, the batch staging/gather vectors are reused, and the batched
+/// launch runs the simulator's eager allocation-free entry points.
+#[test]
+fn steady_state_serving_loop_is_allocation_free() {
+    use cinm_core::serve::{ServerOptions, SessionServer, TenantSpec};
+
+    let mut cfg = UpmemConfig::with_ranks(1).with_host_threads(1);
+    cfg.dpus_per_rank = 8;
+    let mut server = SessionServer::new(
+        ServerOptions::default()
+            .with_upmem_config(cfg)
+            .with_tenant_slots(2),
+    );
+    let (rows, cols) = (16usize, 8usize);
+    let mut models = Vec::new();
+    for i in 0..2i32 {
+        let t = server.register_tenant(TenantSpec::new(format!("tenant-{i}")));
+        let a: Vec<i32> = (0..rows * cols)
+            .map(|e| ((e as i32) * (i + 3)) % 23 - 11)
+            .collect();
+        models.push(server.load_gemv_weights(t, &a, rows, cols).unwrap());
+    }
+    let xs: Vec<Vec<i32>> = (0..4)
+        .map(|s| (0..cols).map(|e| ((e + s) % 9) as i32 - 4).collect())
+        .collect();
+    let mut outs = [Vec::new(), Vec::new()];
+    let iteration = |server: &mut SessionServer, x: &[i32], outs: &mut [Vec<i32>; 2]| {
+        let t0 = server.submit(models[0], x).unwrap();
+        let t1 = server.submit(models[1], x).unwrap();
+        assert_eq!(server.step(), 2, "both tenants served in one round");
+        server.wait_into(t0, &mut outs[0]).unwrap();
+        server.wait_into(t1, &mut outs[1]).unwrap();
+    };
+    // Warm-up: sizes the request slots, staging shadows, gather scratch and
+    // queue deques.
+    for i in 0..4 {
+        iteration(&mut server, &xs[i % 4], &mut outs);
+    }
+    let batches_before = server.stats().batches;
+    let ((), allocs) = alloc_count::count_in(|| {
+        for i in 0..40 {
+            iteration(&mut server, &xs[i % 4], &mut outs);
+        }
+    });
+    assert_eq!(allocs, 0, "the warmed serving loop must not allocate");
+    let stats = server.stats();
+    assert_eq!(
+        stats.batches - batches_before,
+        40,
+        "every measured round must be one fused batch"
+    );
+    assert_eq!(stats.largest_batch, 2, "both tenants fused per round");
+    assert!(!outs[0].is_empty() && !outs[1].is_empty());
+}
+
 /// Scratch-writing MVMs allocate nothing once the tile is programmed and the
 /// output scratch exists; `mvm_parallel_into` covers the batched form.
 #[test]

@@ -1,0 +1,295 @@
+//! Serving-layer tests of the multi-tenant `SessionServer`.
+//!
+//! The properties pinned here are the serving runtime's contract:
+//!
+//! * **Bit-identity** — for randomized tenant mixes (tenant counts, shape
+//!   classes, weights, request interleavings), every tenant's batched
+//!   results are bit-identical to the same computation run *alone* in its
+//!   own `Session` on its own device set — at 1 and 8 host threads, and
+//!   under a seeded fault-injection schedule (transients plus a permanent
+//!   grid fault mid-run).
+//! * **Fairness** — a deterministic closed loop with one heavy and several
+//!   light tenants: every tenant completes requests, the observed service
+//!   shares respect the configured weights within tolerance, and admission
+//!   rejection surfaces as a typed error rather than a hang.
+//!
+//! Like `tests/properties.rs`, randomized cases are driven by the
+//! workloads' SplitMix64 PRNG from fixed seeds, so failures reproduce.
+
+use cinm::core::serve::{ServeError, ServerOptions, SessionServer, TenantSpec};
+use cinm::core::session::{Session, SessionOptions};
+use cinm::core::{ShardPolicy, Target};
+use cinm::runtime::FaultConfig;
+use cinm::upmem::UpmemConfig;
+use cinm::workloads::data::{self, SplitMix64};
+
+/// Randomized cases per property (server cases are heavier than the unit
+/// properties' 48: each runs a multi-tenant server plus solo oracle
+/// sessions).
+const CASES: u64 = 10;
+
+fn for_cases(test_seed: u64, mut f: impl FnMut(&mut SplitMix64)) {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(test_seed.wrapping_mul(0x9e37_79b9) + case);
+        f(&mut rng);
+    }
+}
+
+fn gen_usize(rng: &mut SplitMix64, lo: usize, hi: usize) -> usize {
+    rng.gen_range_i32(lo as i32, hi as i32) as usize
+}
+
+fn grid(threads: usize) -> UpmemConfig {
+    let mut cfg = UpmemConfig::with_ranks(1).with_host_threads(threads);
+    cfg.dpus_per_rank = 8;
+    cfg
+}
+
+fn solo_session(threads: usize) -> Session {
+    Session::new(
+        SessionOptions::default()
+            .with_upmem_config(grid(threads))
+            .with_policy(ShardPolicy::Single(Target::Cnm)),
+    )
+}
+
+/// The per-tenant oracle: the same gemv run alone in a private `Session`.
+fn solo_gemv(a: &[i32], x: &[i32], rows: usize, cols: usize, threads: usize) -> Vec<i32> {
+    let mut sess = solo_session(threads);
+    let at = sess.matrix(a, rows, cols);
+    let xt = sess.vector(x);
+    let y = sess.gemv(at, xt);
+    sess.run().expect("solo gemv run");
+    let mut out = Vec::new();
+    sess.fetch_into(y, &mut out);
+    out
+}
+
+/// The per-tenant oracle for gemm models.
+fn solo_gemm(a: &[i32], b: &[i32], m: usize, k: usize, n: usize, threads: usize) -> Vec<i32> {
+    let mut sess = solo_session(threads);
+    let at = sess.matrix(a, m, k);
+    let bt = sess.matrix(b, k, n);
+    let y = sess.gemm(at, bt);
+    sess.run().expect("solo gemm run");
+    let mut out = Vec::new();
+    sess.fetch_into(y, &mut out);
+    out
+}
+
+#[derive(Clone)]
+enum Shape {
+    Gemv { rows: usize, cols: usize },
+    Gemm { m: usize, k: usize, n: usize },
+}
+
+impl Shape {
+    fn weights_len(&self) -> usize {
+        match *self {
+            Shape::Gemv { rows, cols } => rows * cols,
+            Shape::Gemm { m, k, .. } => m * k,
+        }
+    }
+
+    fn activation_len(&self) -> usize {
+        match *self {
+            Shape::Gemv { cols, .. } => cols,
+            Shape::Gemm { k, n, .. } => k * n,
+        }
+    }
+}
+
+/// One randomized mix: 2–4 tenants drawn over 1–2 shape classes (shared
+/// classes exercise cross-tenant batching; distinct ones exercise
+/// multi-shape stream rounds), 2–3 requests per tenant submitted
+/// interleaved, drained, and compared tenant-by-tenant against solo
+/// sessions.
+fn randomized_mixes_match_solo_sessions(threads: usize, fault: Option<FaultConfig>, seed: u64) {
+    for_cases(seed, |rng| {
+        let mut options = ServerOptions::default()
+            .with_upmem_config(grid(threads))
+            .with_tenant_slots(4);
+        if let Some(f) = fault.clone() {
+            options = options.with_fault(f);
+        }
+        let mut server = SessionServer::new(options);
+
+        let classes = [
+            Shape::Gemv {
+                rows: gen_usize(rng, 3, 17),
+                cols: gen_usize(rng, 2, 9),
+            },
+            Shape::Gemm {
+                m: gen_usize(rng, 2, 9),
+                k: gen_usize(rng, 2, 7),
+                n: gen_usize(rng, 1, 5),
+            },
+        ];
+        let n_tenants = gen_usize(rng, 2, 5);
+        let mut tenant_shapes = Vec::new();
+        let mut models = Vec::new();
+        let mut weights = Vec::new();
+        for i in 0..n_tenants {
+            let t = server.register_tenant(
+                TenantSpec::new(format!("tenant-{i}"))
+                    .with_weight(gen_usize(rng, 1, 5) as u32)
+                    .with_priority(gen_usize(rng, 0, 3) as u8),
+            );
+            let shape = classes[gen_usize(rng, 0, classes.len())].clone();
+            let a = data::i32_vec(rng.next_u64(), shape.weights_len(), -50, 50);
+            let model = match shape {
+                Shape::Gemv { rows, cols } => server.load_gemv_weights(t, &a, rows, cols).unwrap(),
+                Shape::Gemm { m, k, n } => server.load_gemm_weights(t, &a, m, k, n).unwrap(),
+            };
+            tenant_shapes.push(shape);
+            models.push(model);
+            weights.push(a);
+        }
+
+        // Interleaved submission: every tenant's requests go in round-robin
+        // so compatible requests from different tenants are queued together
+        // and the scheduler actually batches them.
+        let per_tenant = gen_usize(rng, 2, 4);
+        let mut activations: Vec<Vec<Vec<i32>>> = vec![Vec::new(); n_tenants];
+        let mut tickets = Vec::new();
+        for _ in 0..per_tenant {
+            for ti in 0..n_tenants {
+                let x = data::i32_vec(rng.next_u64(), tenant_shapes[ti].activation_len(), -30, 30);
+                tickets.push((ti, server.submit(models[ti], &x).unwrap()));
+                activations[ti].push(x);
+            }
+        }
+        server.run_until_idle();
+        assert_eq!(server.stats().failed, 0, "no request may fail");
+        assert!(
+            server.stats().largest_batch >= 1,
+            "the scheduler must have formed batches"
+        );
+
+        let mut next_request = vec![0usize; n_tenants];
+        for (ti, ticket) in tickets {
+            let got = server.wait(ticket).unwrap();
+            let x = &activations[ti][next_request[ti]];
+            next_request[ti] += 1;
+            let want = match tenant_shapes[ti] {
+                Shape::Gemv { rows, cols } => solo_gemv(&weights[ti], x, rows, cols, threads),
+                Shape::Gemm { m, k, n } => solo_gemm(&weights[ti], x, m, k, n, threads),
+            };
+            assert_eq!(got, want, "tenant {ti} diverged from its solo session");
+        }
+    });
+}
+
+#[test]
+fn batched_results_are_bit_identical_to_solo_sessions() {
+    randomized_mixes_match_solo_sessions(1, None, 20);
+}
+
+#[test]
+fn batched_results_are_bit_identical_to_solo_sessions_at_8_threads() {
+    randomized_mixes_match_solo_sessions(8, None, 21);
+}
+
+#[test]
+fn batched_results_survive_a_seeded_fault_schedule_bit_identically() {
+    // Transient launch/transfer faults throughout, plus a permanent grid
+    // fault a few launches in — the server must retry, fail over to the
+    // spare grid (weights stay resident), and still match every tenant's
+    // solo session. Faults injected against one tenant's batch never leak
+    // into another tenant's results.
+    let fault = FaultConfig::seeded(0x5EED_F417)
+        .with_launch_fault_rate(0.15)
+        .with_transfer_timeout_rate(0.05)
+        .with_permanent_after_launches(4);
+    randomized_mixes_match_solo_sessions(1, Some(fault), 22);
+}
+
+/// Deterministic closed loop: one heavy tenant (weight 6) against three
+/// light tenants (weight 1). Every tenant completes work, observed shares
+/// track the 6:1:1:1 weights within tolerance, and over-admission is a
+/// typed `QueueFull`, never a hang.
+#[test]
+fn fair_scheduling_serves_every_tenant_proportionally() {
+    const DEPTH: usize = 4;
+    const ROUNDS: u64 = 120;
+    let mut server = SessionServer::new(
+        ServerOptions::default()
+            .with_upmem_config(grid(1))
+            .with_tenant_slots(4)
+            // One request per round: the fairness signal is the scheduler's
+            // pick order, not batch packing.
+            .with_max_batch(1)
+            .with_queue_depth(DEPTH),
+    );
+    let weights = [6u32, 1, 1, 1];
+    let (rows, cols) = (10usize, 6usize);
+    let mut tenants = Vec::new();
+    let mut models = Vec::new();
+    for (i, &w) in weights.iter().enumerate() {
+        let t = server.register_tenant(TenantSpec::new(format!("t{i}")).with_weight(w));
+        let a = data::i32_vec(0xA0 + i as u64, rows * cols, -20, 20);
+        models.push(server.load_gemv_weights(t, &a, rows, cols).unwrap());
+        tenants.push(t);
+    }
+    let x = data::i32_vec(0xB0, cols, -10, 10);
+
+    let mut outstanding: Vec<(usize, cinm::core::serve::RequestTicket)> = Vec::new();
+    for _ in 0..ROUNDS {
+        // Closed loop: keep every tenant's queue topped up to the depth.
+        for (ti, &t) in tenants.iter().enumerate() {
+            loop {
+                let s = server.tenant_stats(t);
+                if (s.submitted - s.completed - s.failed) as usize >= DEPTH {
+                    break;
+                }
+                outstanding.push((ti, server.submit(models[ti], &x).unwrap()));
+            }
+        }
+        assert!(server.step() > 0, "a backlogged server round must serve");
+        outstanding.retain(|&(_, ticket)| {
+            if server.is_done(ticket) {
+                server.wait(ticket).unwrap();
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    let completed: Vec<u64> = tenants
+        .iter()
+        .map(|&t| server.tenant_stats(t).completed)
+        .collect();
+    let total: u64 = completed.iter().sum();
+    assert_eq!(total, ROUNDS, "max_batch 1 serves exactly one per round");
+    let weight_sum: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+    for (i, (&got, &w)) in completed.iter().zip(&weights).enumerate() {
+        let expected = ROUNDS * u64::from(w) / weight_sum;
+        assert!(
+            got >= expected.saturating_sub(expected / 4 + 2) && got <= expected + expected / 4 + 2,
+            "tenant {i}: observed share {got} strays from weighted share {expected} \
+             (completions {completed:?})"
+        );
+        assert!(got > 0, "tenant {i} starved (completions {completed:?})");
+    }
+
+    // Over-admission is typed back-pressure, not a hang: with the loop
+    // stopped, topping the heavy tenant's queue past its depth rejects.
+    loop {
+        match server.submit(models[0], &x) {
+            Ok(ticket) => outstanding.push((0, ticket)),
+            Err(ServeError::QueueFull { tenant, depth }) => {
+                assert_eq!(tenant, tenants[0]);
+                assert_eq!(depth, DEPTH);
+                break;
+            }
+            Err(other) => panic!("expected QueueFull, got {other:?}"),
+        }
+    }
+    server.run_until_idle();
+    for (_, ticket) in outstanding {
+        server.wait(ticket).unwrap();
+    }
+    assert_eq!(server.queue_backlog(), 0);
+    assert_eq!(server.stats().failed, 0);
+}

@@ -1,15 +1,31 @@
 #!/usr/bin/env bash
-# Fails when the committed BENCH_sim.json is stale relative to the bench-sim
-# emitter: the schema version string in the JSON must match the
-# `BENCH_SCHEMA` constant in crates/cinm-bench/src/simbench.rs, and the
-# sections of the current schema must be present. Cheap (grep-only), so CI
-# runs it on every push; regenerate with
-#   cargo run --release -p cinm-bench --bin bench-sim
+# Fails when a committed BENCH_*.json is stale relative to its emitter: the
+# schema version string in the JSON must match the schema constant in the
+# emitter's source, and the sections of the current schema must be present.
+# Cheap (grep-only), so CI runs it on every push; regenerate with
+#   cargo run --release -p cinm-bench --bin bench-sim        (BENCH_sim.json)
+#   cargo run --release -p cinm-bench --bin bench-serving    (BENCH_serving.json)
 # when it fires.
 set -euo pipefail
 
 json="${1:-BENCH_sim.json}"
-src="crates/cinm-bench/src/simbench.rs"
+
+# Each tracked JSON has its own emitter source, schema constant, version
+# prefix, and promised top-level sections.
+case "$(basename "$json")" in
+BENCH_serving.json)
+    src="crates/cinm-bench/src/servebench.rs"
+    const_name="SERVING_SCHEMA"
+    prefix="cinm/bench-serving"
+    sections='"closed_loop" "batched_vs_serial" "requests_per_sec" "p99_ms" "speedup" "bit_identical"'
+    ;;
+*)
+    src="crates/cinm-bench/src/simbench.rs"
+    const_name="BENCH_SCHEMA"
+    prefix="cinm/bench-sim"
+    sections='"hot_path" "steady_state" "sharded_vs_best_single" "session_vs_eager" "graph_opt" "replay_hit_rate" "dispatch_overhead" "fault_overhead" "workloads"'
+    ;;
+esac
 
 [ -f "$json" ] || { echo "error: $json not found"; exit 1; }
 [ -f "$src" ] || { echo "error: $src not found"; exit 1; }
@@ -17,20 +33,20 @@ src="crates/cinm-bench/src/simbench.rs"
 # Anchored extraction: the constant definition line in the source and the
 # top-level schema field in the JSON — prose mentions of other versions
 # (e.g. "schema v2" in doc comments) must not be picked up.
-want=$(grep 'pub const BENCH_SCHEMA' "$src" | grep -oE 'cinm/bench-sim/v[0-9]+' | head -n1)
-got=$(grep -E '^  "schema":' "$json" | grep -oE 'cinm/bench-sim/v[0-9]+' | head -n1)
+want=$(grep "pub const $const_name" "$src" | grep -oE "$prefix/v[0-9]+" | head -n1)
+got=$(grep -E '^  "schema":' "$json" | grep -oE "$prefix/v[0-9]+" | head -n1)
 
-[ -n "$want" ] || { echo "error: no BENCH_SCHEMA constant found in $src"; exit 1; }
+[ -n "$want" ] || { echo "error: no $const_name constant found in $src"; exit 1; }
 [ -n "$got" ] || { echo "error: no schema field found in $json"; exit 1; }
 
 if [ "$want" != "$got" ]; then
     echo "error: $json carries schema '$got' but the emitter is at '$want';"
-    echo "       regenerate it: cargo run --release -p cinm-bench --bin bench-sim"
+    echo "       regenerate it with the matching bench binary (see header)"
     exit 1
 fi
 
 # The sections the current schema version promises.
-for field in '"hot_path"' '"steady_state"' '"sharded_vs_best_single"' '"session_vs_eager"' '"graph_opt"' '"replay_hit_rate"' '"dispatch_overhead"' '"fault_overhead"' '"workloads"'; do
+for field in $sections; do
     grep -q "$field" "$json" || {
         echo "error: $json is missing the $field section of schema $want"
         exit 1
