@@ -55,8 +55,9 @@ use std::num::NonZeroUsize;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use cinm_bench::simbench::{
-    self, FaultOverheadMeasurement, GraphOptMeasurement, HotPathMeasurement, OverheadCase,
-    SessionVsEagerMeasurement, ShardedMeasurement, SimCase, BENCH_SCHEMA,
+    self, FaultOverheadMeasurement, GraphOptMeasurement, HotPathMeasurement,
+    MemoryPressureMeasurement, OverheadCase, SessionVsEagerMeasurement, ShardedMeasurement,
+    SimCase, BENCH_SCHEMA,
 };
 use cinm_core::shard::ShardPolicy;
 use cinm_runtime::PoolHandle;
@@ -376,6 +377,30 @@ fn main() {
         fault_results.push((case, m));
     }
 
+    // Memory pressure: the bounded-MRAM session sweep — a ring of pinned
+    // device-resident accumulators re-run at 100%/50%/25% of its unlimited
+    // peak footprint (bit-identity asserted per tier before timing).
+    let mut pressure_results: Vec<(SimCase, MemoryPressureMeasurement)> = Vec::new();
+    for &case in &simbench::memory_pressure_cases(scale == "tiny") {
+        eprintln!("measuring memory pressure {}/{} ...", case.name, case.scale);
+        let inp = simbench::inputs(&case);
+        let m = simbench::measure_memory_pressure(&case, &inp, &pool);
+        for l in &m.levels {
+            eprintln!(
+                "  {:>3}% ({} B/DPU): {:.5}s/op, {} evictions ({} spills, {} B spilled), {} remat ops, peak {} B/DPU",
+                l.percent,
+                l.limit_bytes,
+                l.s_per_op,
+                l.evictions,
+                l.spills,
+                l.spilled_bytes,
+                l.remat_ops,
+                l.peak_mram_bytes,
+            );
+        }
+        pressure_results.push((case, m));
+    }
+
     eprintln!("measuring steady-state launch/MVM micro loops ...");
     let micro = simbench::measure_steady_state_micro(if quick { 512 } else { 4096 });
     eprintln!(
@@ -680,6 +705,48 @@ fn main() {
         json.push_str(&format!("        \"replans\": {},\n", m.replans));
         json.push_str(&format!("        \"degradations\": {}\n", m.degradations));
         json.push_str(if i + 1 == fault_results.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+    json.push_str("  \"memory_pressure\": {\n");
+    json.push_str(
+        "    \"description\": \"The bounded-MRAM session under graded capacity limits: a ring of pinned device-resident accumulators (each produced by its own run, so the cross-run working set dwarfs any single run) touched round-robin at MRAM limits of 100%/50%/25% of the unlimited run's peak per-DPU footprint. Every tier's outputs are asserted bit-identical to the unlimited run before its timed loop; under pressure the residency manager spills cold tensors to the host or drops-and-rematerializes them, and the spill/remat columns price that traffic against s_per_op throughput.\",\n",
+    );
+    json.push_str("    \"cases\": [\n");
+    for (i, (case, m)) in pressure_results.iter().enumerate() {
+        json.push_str("      {\n");
+        json.push_str(&format!("        \"name\": \"{}\",\n", case.name));
+        json.push_str(&format!("        \"scale\": \"{}\",\n", case.scale));
+        json.push_str(&format!("        \"iterations\": {},\n", m.iterations));
+        json.push_str(&format!(
+            "        \"resident_tensors\": {},\n",
+            m.resident_tensors
+        ));
+        json.push_str(&format!(
+            "        \"unlimited_peak_mram_bytes\": {},\n",
+            m.unlimited_peak_bytes
+        ));
+        json.push_str("        \"levels\": [\n");
+        for (j, l) in m.levels.iter().enumerate() {
+            json.push_str(&format!(
+                "          {{ \"percent\": {}, \"limit_bytes\": {}, \"s_per_op\": {}, \"evictions\": {}, \"spills\": {}, \"spilled_bytes\": {}, \"remat_ops\": {}, \"peak_mram_bytes\": {} }}{}\n",
+                l.percent,
+                l.limit_bytes,
+                json_f64(l.s_per_op),
+                l.evictions,
+                l.spills,
+                l.spilled_bytes,
+                l.remat_ops,
+                l.peak_mram_bytes,
+                if j + 1 == m.levels.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("        ]\n");
+        json.push_str(if i + 1 == pressure_results.len() {
             "      }\n"
         } else {
             "      },\n"

@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use cinm_core::session::{Session, SessionOptions};
+use cinm_core::session::{ResidencyStats, Session, SessionOptions};
 use cinm_core::shard::{CachedShardPlanner, ShardPlanner, ShardPolicy, ShardShape};
 use cinm_core::Target;
 use cinm_lowering::{ShardSplit, ShardedBackend, ShardedRunOptions, UpmemBackend, UpmemRunOptions};
@@ -28,7 +28,7 @@ use upmem_sim::{
 /// Schema version of `BENCH_sim.json`. Bump whenever the emitted structure
 /// changes; `tools/check_bench_schema.sh` fails CI when the committed JSON
 /// is stale relative to this emitter.
-pub const BENCH_SCHEMA: &str = "cinm/bench-sim/v6";
+pub const BENCH_SCHEMA: &str = "cinm/bench-sim/v7";
 
 /// The kernel flow of one benchmark case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1328,6 +1328,183 @@ pub fn measure_fault_overhead(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Memory pressure: the bounded-MRAM session under graded capacity limits
+// ---------------------------------------------------------------------------
+
+/// One MRAM-limit tier of the memory-pressure sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct PressureLevelMeasurement {
+    /// Limit as a percentage of the unlimited run's peak footprint.
+    pub percent: u32,
+    /// The per-DPU MRAM limit this tier ran under.
+    pub limit_bytes: usize,
+    /// Wall-clock seconds per touch iteration (spill/reload churn included).
+    pub s_per_op: f64,
+    /// Resident tensors evicted under pressure (any flavour).
+    pub evictions: u64,
+    /// Evictions that had to gather the value to the host.
+    pub spills: u64,
+    /// Device-to-host bytes those spills moved.
+    pub spilled_bytes: u64,
+    /// Recompute ops re-injected to rematerialize dropped tensors.
+    pub remat_ops: u64,
+    /// High-water mark actually reached (must stay within the limit).
+    pub peak_mram_bytes: usize,
+}
+
+/// Result of the bounded-MRAM sweep: a session holding a working set of
+/// pinned device-resident accumulators, touched round-robin, re-run under
+/// MRAM limits of 100% / 50% / 25% of the unlimited peak. Bit-identity with
+/// the unlimited run is asserted per tier **before** its timed loop.
+#[derive(Debug, Clone)]
+pub struct MemoryPressureMeasurement {
+    /// Timed touch iterations per tier.
+    pub iterations: usize,
+    /// Pinned device-resident accumulators forming the cross-run working set.
+    pub resident_tensors: usize,
+    /// Peak per-DPU MRAM bytes of the unlimited run (the 100% reference).
+    pub unlimited_peak_bytes: usize,
+    /// Accumulated output checksum (identical across every tier).
+    pub checksum: i64,
+    /// The 100% / 50% / 25% tiers, in that order.
+    pub levels: Vec<PressureLevelMeasurement>,
+}
+
+/// Builds a session working set larger than any single run needs — a ring of
+/// pinned device-resident accumulators, each produced by its own run — then
+/// touches them round-robin under shrinking MRAM limits. The 100% tier fits
+/// exactly (no evictions); below that the residency manager spills or drops
+/// cold accumulators between runs and transparently restores them when the
+/// ring comes back around, so results stay bit-identical while throughput
+/// pays for the traffic.
+pub fn measure_memory_pressure(
+    case: &SimCase,
+    inp: &CaseInputs,
+    pool: &PoolHandle,
+) -> MemoryPressureMeasurement {
+    let CaseKind::Va { len } = case.kind else {
+        panic!("memory_pressure runs the va accumulator ring");
+    };
+    const RESIDENT: usize = 16;
+    let iterations = (case.launches * 4).max(16);
+    let xs: Vec<Vec<i32>> = (0..4)
+        .map(|i| data::i32_vec(90 + i as u64, len, -64, 64))
+        .collect();
+
+    // Runs setup + correctness loop + (after the bit-identity assertion)
+    // the timed loop under one limit. `expected` is None only for the
+    // unlimited reference pass.
+    let run_tier = |limit: Option<usize>, expected: Option<i64>| -> (i64, f64, ResidencyStats) {
+        let mut options = SessionOptions::default()
+            .with_policy(ShardPolicy::Single(Target::Cnm))
+            .with_sharded(
+                ShardedRunOptions::default()
+                    .with_ranks(case.ranks)
+                    .with_pool(pool.clone())
+                    .with_host_threads(1),
+            );
+        if let Some(bytes) = limit {
+            options = options.with_mram_limit_bytes(bytes);
+        }
+        let mut sess = Session::new(options);
+        let x = sess.vector(&xs[0]);
+        let base = sess.vector(&inp.a);
+        // One run per accumulator: eviction is a between-runs decision, so
+        // the per-run working set stays small no matter how big the ring is.
+        let mut accs = Vec::with_capacity(RESIDENT);
+        for j in 0..RESIDENT {
+            sess.write(x, &xs[j % xs.len()]);
+            let acc = sess.elementwise(BinOp::Add, base, x);
+            sess.pin(acc);
+            sess.run().expect("the ring fits one accumulator at a time");
+            accs.push(acc);
+        }
+        let mut fetched = Vec::new();
+        let touch = |sess: &mut Session, i: usize, out: &mut Vec<i32>| -> i64 {
+            sess.write(x, &xs[i % xs.len()]);
+            let z = sess.elementwise(BinOp::Add, accs[i % RESIDENT], x);
+            sess.run().expect("a capped ring restores evicted tensors");
+            sess.fetch_into(z, out);
+            out.iter().map(|&v| v as i64).sum()
+        };
+        let mut checksum = 0i64;
+        for i in 0..iterations {
+            checksum += touch(&mut sess, i, &mut fetched);
+        }
+        if let Some(expected) = expected {
+            assert_eq!(
+                checksum, expected,
+                "{}/{}: capped ring diverged under limit {limit:?}",
+                case.name, case.scale
+            );
+        }
+        let start = Instant::now();
+        for i in 0..iterations {
+            touch(&mut sess, i, &mut fetched);
+        }
+        let s_per_op = start.elapsed().as_secs_f64() / iterations as f64;
+        (checksum, s_per_op, sess.residency_stats())
+    };
+
+    let (checksum, _, unlimited) = run_tier(None, None);
+    let peak = unlimited.peak_mram_bytes;
+    let mut levels = Vec::new();
+    for percent in [100u32, 50, 25] {
+        let limit_bytes = peak * percent as usize / 100;
+        let (_, s_per_op, res) = run_tier(Some(limit_bytes), Some(checksum));
+        assert!(
+            res.peak_mram_bytes <= limit_bytes,
+            "{}/{}: tier {percent}% overshot its limit ({} > {limit_bytes})",
+            case.name,
+            case.scale,
+            res.peak_mram_bytes
+        );
+        levels.push(PressureLevelMeasurement {
+            percent,
+            limit_bytes,
+            s_per_op,
+            evictions: res.evictions,
+            spills: res.spills,
+            spilled_bytes: res.spilled_bytes,
+            remat_ops: res.remat_ops,
+            peak_mram_bytes: res.peak_mram_bytes,
+        });
+    }
+    MemoryPressureMeasurement {
+        iterations,
+        resident_tensors: RESIDENT,
+        unlimited_peak_bytes: peak,
+        checksum,
+        levels,
+    }
+}
+
+/// The cases the memory-pressure sweep runs on. Dedicated `va` shapes: the
+/// sweep's footprint is `RESIDENT` ring slots × the per-DPU chunk, so it
+/// wants vectors small enough that 4 tiers × 2 passes stay cheap.
+pub fn memory_pressure_cases(tiny: bool) -> Vec<SimCase> {
+    if tiny {
+        vec![SimCase {
+            name: "va",
+            scale: "tiny",
+            ranks: 1,
+            launches: 2,
+            kind: CaseKind::Va { len: 1 << 14 },
+            reps: 1,
+        }]
+    } else {
+        vec![SimCase {
+            name: "va",
+            scale: "small",
+            ranks: 4,
+            launches: 8,
+            kind: CaseKind::Va { len: 1 << 18 },
+            reps: 1,
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1490,6 +1667,42 @@ mod tests {
                 "{}: a fixed seed must recover identically",
                 case.name
             );
+        }
+    }
+
+    #[test]
+    fn memory_pressure_tiers_stay_bit_identical_and_graded() {
+        let pool = PoolHandle::with_threads(2);
+        for case in memory_pressure_cases(true) {
+            let inp = inputs(&case);
+            // Bit-identity with the unlimited run is asserted inside, per
+            // tier, before its timed loop; check the accounting shape.
+            let m = measure_memory_pressure(&case, &inp, &pool);
+            assert_eq!(m.levels.len(), 3, "{}", case.name);
+            assert_eq!(
+                m.levels.iter().map(|l| l.percent).collect::<Vec<_>>(),
+                vec![100, 50, 25]
+            );
+            let full = &m.levels[0];
+            assert_eq!(
+                full.evictions, 0,
+                "{}: the 100% tier fits the whole ring",
+                case.name
+            );
+            let quarter = &m.levels[2];
+            assert!(
+                quarter.evictions > 0,
+                "{}: the 25% tier must evict",
+                case.name
+            );
+            assert!(
+                quarter.spilled_bytes > 0 || quarter.remat_ops > 0,
+                "{}: the 25% tier must spill or rematerialize",
+                case.name
+            );
+            for l in &m.levels {
+                assert!(l.s_per_op > 0.0 && l.peak_mram_bytes <= l.limit_bytes);
+            }
         }
     }
 

@@ -1,12 +1,17 @@
 //! Command-line harness regenerating the paper's tables and figures.
 //!
-//! Usage: `cinm-experiments [fig10|fig11|fig12|table4|sharded|bfs|all]
+//! Usage: `cinm-experiments [fig10|fig11|fig12|table4|sharded|bfs|pressure|all]
 //!            [--scale test|bench|paper] [--threads N|auto]
 //!            [--shard auto|cnm-only|cim-only|host-only|fractions a,b,c]`
 //!
 //! `bfs` runs multi-step breadth-first search to convergence through the
 //! `Session` graph API with a device-resident frontier, against the eager
 //! per-op loop (see EXPERIMENTS.md).
+//!
+//! `pressure` re-runs the BFS loop and a two-class serving mix under
+//! shrinking MRAM limits: completed tiers are bit-identical with their
+//! spill/reload traffic reported, limits below the working set refuse with
+//! typed errors (see EXPERIMENTS.md).
 //!
 //! `--threads` sets the number of host worker threads used for the
 //! *functional* side of the simulation (`auto` = all available cores). The
@@ -116,6 +121,12 @@ fn main() {
             experiments::format_bfs(&experiments::bfs_convergence(scale, threads, &pool))
         )
     };
+    let run_pressure = || {
+        println!(
+            "{}",
+            experiments::format_pressure(&experiments::memory_pressure(scale, threads, &pool))
+        )
+    };
     let run_sharded =
         || match experiments::sharded_with_runtime(scale, threads, &pool, shard_policy) {
             Ok(rows) => println!("{}", experiments::format_sharded(&rows)),
@@ -131,6 +142,7 @@ fn main() {
         "table4" => run_table4(),
         "sharded" => run_sharded(),
         "bfs" => run_bfs(),
+        "pressure" => run_pressure(),
         "all" => {
             run_fig10();
             run_fig11();
@@ -138,10 +150,11 @@ fn main() {
             run_table4();
             run_sharded();
             run_bfs();
+            run_pressure();
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected fig10|fig11|fig12|table4|sharded|bfs|all"
+                "unknown experiment '{other}'; expected fig10|fig11|fig12|table4|sharded|bfs|pressure|all"
             );
             std::process::exit(2);
         }

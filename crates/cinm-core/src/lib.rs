@@ -38,11 +38,12 @@ pub mod target;
 pub use experiments::{figure10, figure11, figure12, table4};
 pub use pipeline::{cim_pipeline, cinm_pipeline, cnm_pipeline, compile};
 pub use serve::{
-    ModelId, RequestReport, RequestTicket, ServeError, ServerOptions, ServerStats, SessionServer,
-    TenantId, TenantSpec, TenantStats,
+    ModelId, RequestReport, RequestTicket, ServeError, ServerOptions, ServerResidency, ServerStats,
+    SessionServer, TenantId, TenantSpec, TenantStats,
 };
 pub use session::{
-    OptimizerStats, PlanCacheStats, Session, SessionOptions, TensorHandle, TensorShape,
+    OptimizerStats, PlanCacheStats, ResidencyStats, Session, SessionOptions, TensorHandle,
+    TensorShape,
 };
 pub use shard::{ShardCalibrator, ShardPlan, ShardPlanner, ShardPolicy};
 pub use target::{CostModel, Target, TargetSelector};

@@ -184,6 +184,9 @@ pub enum ServeError {
     UnknownTenant,
     /// The model id was never loaded.
     UnknownModel,
+    /// The model (or tenant) still has queued requests and cannot be
+    /// unloaded until they drain.
+    ModelBusy,
     /// The ticket does not refer to a live request (already consumed, or
     /// from another server).
     StaleTicket,
@@ -217,6 +220,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::UnknownTenant => write!(f, "unknown tenant id"),
             ServeError::UnknownModel => write!(f, "unknown model id"),
+            ServeError::ModelBusy => {
+                write!(f, "cannot unload: queued requests still reference the model")
+            }
             ServeError::StaleTicket => write!(f, "stale request ticket"),
             ServeError::Device { message } => write!(f, "device failure: {message}"),
         }
@@ -346,6 +352,27 @@ impl TenantStats {
     }
 }
 
+/// Memory-pressure snapshot of the serving runtime (see
+/// [`SessionServer::residency_snapshot`]). Weights always keep a host
+/// shadow, so a serving eviction never gathers — the billed traffic is the
+/// re-upload when an evicted class is scheduled again.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerResidency {
+    /// Shape classes whose device buffers were evicted to admit another.
+    pub evictions: u64,
+    /// Weight re-uploads (rematerialization launches) of evicted classes
+    /// that became active again.
+    pub reloads: u64,
+    /// Host-to-device bytes those re-uploads scattered.
+    pub reload_bytes: u64,
+    /// High-water mark of per-DPU MRAM bytes ever allocated on the grid.
+    pub peak_mram_bytes: usize,
+    /// Per-DPU MRAM bytes currently claimed by resident classes.
+    pub used_mram_bytes: usize,
+    /// The per-DPU admission budget.
+    pub limit_bytes: usize,
+}
+
 struct Tenant {
     name: String,
     stats: TenantStats,
@@ -355,6 +382,8 @@ struct Model {
     tenant: TenantId,
     group: u32,
     slot: usize,
+    /// Cleared by `unload_model`; the id is never reused.
+    live: bool,
 }
 
 /// One batched shape class: the shared `BatchPlan` plus staging state and
@@ -378,6 +407,12 @@ struct Group {
     in_round: bool,
     /// Batched launches executed for this class.
     launches: u64,
+    /// Whether the class's device buffers are allocated and its weights
+    /// uploaded. An evicted class keeps its slots, signature and host
+    /// shadow and is transparently re-admitted when scheduled again.
+    resident: bool,
+    /// Round counter of the class's last dispatch — eviction recency.
+    last_round: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -416,6 +451,10 @@ pub struct SessionServer {
     mram_limit_bytes: usize,
     mram_used_bytes: usize,
     stats: ServerStats,
+    /// Eviction/reload counters of the serving residency manager.
+    res_evictions: u64,
+    res_reloads: u64,
+    res_reload_bytes: u64,
 }
 
 impl SessionServer {
@@ -429,6 +468,10 @@ impl SessionServer {
             cfg.fault = options.fault.clone();
         }
         let mram_limit_bytes = options.mram_limit_bytes.unwrap_or(cfg.mram_bytes);
+        // The allocator enforces the same budget the admission ledger does,
+        // so an accounting bug surfaces as a loud typed capacity error
+        // instead of silent over-allocation.
+        cfg.mram_bytes = cfg.mram_bytes.min(mram_limit_bytes);
         let backend = UpmemBackend::with_config(cfg, options.upmem.clone());
         let tenant_slots = options.tenant_slots.max(1).min(backend.num_dpus());
         SessionServer {
@@ -446,6 +489,9 @@ impl SessionServer {
             mram_limit_bytes,
             mram_used_bytes: 0,
             stats: ServerStats::default(),
+            res_evictions: 0,
+            res_reloads: 0,
+            res_reload_bytes: 0,
         }
     }
 
@@ -518,6 +564,82 @@ impl SessionServer {
         self.bind_model(tenant, gi, a)
     }
 
+    /// Unloads a model: its shape-class slot frees for another tenant and,
+    /// when the class empties, its per-DPU MRAM bytes return to the budget.
+    /// The handle turns permanently stale (ids are never reused).
+    ///
+    /// # Errors
+    ///
+    /// `UnknownModel` for stale/unknown handles; `ModelBusy` while queued
+    /// requests still reference the model (drain with
+    /// [`run_until_idle`](Self::run_until_idle) first).
+    pub fn unload_model(&mut self, model: ModelId) -> Result<(), ServeError> {
+        let Some(m) = self.models.get(model.0 as usize) else {
+            return Err(ServeError::UnknownModel);
+        };
+        if !m.live {
+            return Err(ServeError::UnknownModel);
+        }
+        if self
+            .requests
+            .iter()
+            .any(|s| s.state == ReqState::Queued && s.model == model)
+        {
+            return Err(ServeError::ModelBusy);
+        }
+        let gi = m.group as usize;
+        let slot = m.slot;
+        self.models[model.0 as usize].live = false;
+        let g = &mut self.groups[gi];
+        g.occupied[slot] = None;
+        // Zero the vacated stripe of the host shadow so a later reload of
+        // the class scatters deterministic contents.
+        let zeros = vec![0; g.plan.weights_len()];
+        g.plan.stage_weights(slot, &zeros, &mut g.w_stage);
+        if g.resident && g.occupied.iter().all(Option::is_none) {
+            // Last tenant out: the class's device buffers return to the
+            // budget (kept registered — a future load of the same shape
+            // re-admits it through the ordinary residency path).
+            let bytes = 4 * g.plan.elems_per_dpu();
+            g.plan
+                .release(&mut self.backend)
+                .map_err(|e| ServeError::Device {
+                    message: e.to_string(),
+                })?;
+            self.groups[gi].resident = false;
+            self.mram_used_bytes -= bytes;
+        }
+        Ok(())
+    }
+
+    /// Unloads every live model of a tenant (atomically: nothing is
+    /// unloaded when any of them is busy). The tenant stays registered and
+    /// can load models again.
+    ///
+    /// # Errors
+    ///
+    /// `UnknownTenant`; `ModelBusy` when queued requests still reference
+    /// any of the tenant's models.
+    pub fn unload_tenant(&mut self, tenant: TenantId) -> Result<(), ServeError> {
+        self.check_tenant(tenant)?;
+        let busy = self.requests.iter().any(|s| {
+            s.state == ReqState::Queued
+                && self
+                    .models
+                    .get(s.model.0 as usize)
+                    .is_some_and(|m| m.live && m.tenant == tenant)
+        });
+        if busy {
+            return Err(ServeError::ModelBusy);
+        }
+        for id in 0..self.models.len() {
+            if self.models[id].live && self.models[id].tenant == tenant {
+                self.unload_model(ModelId(id as u32))?;
+            }
+        }
+        Ok(())
+    }
+
     fn check_tenant(&self, tenant: TenantId) -> Result<(), ServeError> {
         if (tenant.0 as usize) < self.tenants.len() {
             Ok(())
@@ -526,21 +648,93 @@ impl SessionServer {
         }
     }
 
-    /// Finds or creates the batched shape class for a signature, admission-
-    /// checking a new class's per-DPU MRAM footprint against the budget.
+    /// Evicts idle resident shape classes (coldest last dispatch first)
+    /// until `needed_bytes` fit under the budget. Classes with a batch in
+    /// the current round are part of the true working set and never
+    /// victims; when nothing evictable remains the typed capacity error
+    /// surfaces.
+    fn make_room(&mut self, needed_bytes: usize) -> Result<(), ServeError> {
+        loop {
+            let available = self.mram_limit_bytes.saturating_sub(self.mram_used_bytes);
+            if needed_bytes <= available {
+                return Ok(());
+            }
+            let victim = self
+                .groups
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.resident && !g.in_round && g.batch.is_empty())
+                .min_by_key(|(_, g)| g.last_round)
+                .map(|(i, _)| i);
+            let Some(v) = victim else {
+                return Err(ServeError::CapacityExhausted {
+                    needed_bytes,
+                    available_bytes: available,
+                });
+            };
+            let bytes = 4 * self.groups[v].plan.elems_per_dpu();
+            self.groups[v]
+                .plan
+                .release(&mut self.backend)
+                .map_err(|e| ServeError::Device {
+                    message: e.to_string(),
+                })?;
+            self.groups[v].resident = false;
+            self.mram_used_bytes -= bytes;
+            self.res_evictions += 1;
+        }
+    }
+
+    /// Re-admits an evicted shape class: re-allocates its device buffers
+    /// (evicting colder classes as needed) and re-uploads the weight
+    /// shadow — the billed rematerialization of reloadable weights.
+    fn ensure_resident(&mut self, gi: usize) -> Result<(), ServeError> {
+        if self.groups[gi].resident {
+            return Ok(());
+        }
+        let needed_bytes = 4 * self.groups[gi].plan.elems_per_dpu();
+        self.make_room(needed_bytes)?;
+        self.groups[gi]
+            .plan
+            .reacquire(&mut self.backend)
+            .map_err(|e| ServeError::Device {
+                message: e.to_string(),
+            })?;
+        self.mram_used_bytes += needed_bytes;
+        self.groups[gi].resident = true;
+        // Upload under the recovery loop, like the initial bind.
+        let mut attempts = 0;
+        loop {
+            let g = &self.groups[gi];
+            match g.plan.upload_weights(&mut self.backend, &g.w_stage) {
+                Ok(()) => break,
+                Err(e) if attempts < MAX_RECOVERY_ATTEMPTS => {
+                    attempts += 1;
+                    self.recover(&e);
+                }
+                Err(e) => {
+                    return Err(ServeError::Device {
+                        message: e.to_string(),
+                    })
+                }
+            }
+        }
+        self.res_reloads += 1;
+        self.res_reload_bytes += (self.groups[gi].w_stage.len() * 4) as u64;
+        Ok(())
+    }
+
+    /// Finds or creates the batched shape class for a signature. Admission
+    /// is soft: a new class that does not fit first evicts idle colder
+    /// classes' reloadable weights; the typed capacity error surfaces only
+    /// when the active working set truly fills the budget.
     fn ensure_group(&mut self, sig: u64, shape: GroupShape) -> Result<usize, ServeError> {
         if let Some(gi) = self.groups.iter().position(|g| g.sig == sig) {
             return Ok(gi);
         }
         let slot_dpus = (self.backend.num_dpus() / self.tenant_slots).max(1);
         let needed_bytes = 4 * shape.elems_per_dpu(slot_dpus);
-        let available = self.mram_limit_bytes.saturating_sub(self.mram_used_bytes);
-        if needed_bytes > available {
-            return Err(ServeError::CapacityExhausted {
-                needed_bytes,
-                available_bytes: available,
-            });
-        }
+        self.make_room(needed_bytes)?;
         let plan = match shape {
             GroupShape::Gemv { rows, cols } => {
                 BatchPlan::gemv(&mut self.backend, self.tenant_slots, rows, cols)
@@ -565,6 +759,8 @@ impl SessionServer {
             batch: Vec::new(),
             in_round: false,
             launches: 0,
+            resident: true,
+            last_round: self.stats.rounds,
         });
         Ok(self.groups.len() - 1)
     }
@@ -584,25 +780,36 @@ impl SessionServer {
             });
         };
         g.plan.stage_weights(slot, weights, &mut g.w_stage);
-        // Upload under the recovery loop: the scatter is idempotent and a
-        // faulted transfer commits nothing.
-        let mut attempts = 0;
-        loop {
-            let g = &self.groups[gi];
-            match g.plan.upload_weights(&mut self.backend, &g.w_stage) {
-                Ok(()) => break,
-                Err(e) if attempts < MAX_RECOVERY_ATTEMPTS => {
-                    attempts += 1;
-                    self.recover(&e);
-                }
-                Err(e) => {
-                    // Roll the staged slot back so the class stays coherent.
-                    let g = &mut self.groups[gi];
-                    let zeros = vec![0; g.plan.weights_len()];
-                    g.plan.stage_weights(slot, &zeros, &mut g.w_stage);
-                    return Err(ServeError::Device {
-                        message: e.to_string(),
-                    });
+        if !self.groups[gi].resident {
+            // Binding into an evicted class: re-admission re-uploads the
+            // whole shadow, staged slot included.
+            if let Err(e) = self.ensure_resident(gi) {
+                let g = &mut self.groups[gi];
+                let zeros = vec![0; g.plan.weights_len()];
+                g.plan.stage_weights(slot, &zeros, &mut g.w_stage);
+                return Err(e);
+            }
+        } else {
+            // Upload under the recovery loop: the scatter is idempotent and a
+            // faulted transfer commits nothing.
+            let mut attempts = 0;
+            loop {
+                let g = &self.groups[gi];
+                match g.plan.upload_weights(&mut self.backend, &g.w_stage) {
+                    Ok(()) => break,
+                    Err(e) if attempts < MAX_RECOVERY_ATTEMPTS => {
+                        attempts += 1;
+                        self.recover(&e);
+                    }
+                    Err(e) => {
+                        // Roll the staged slot back so the class stays coherent.
+                        let g = &mut self.groups[gi];
+                        let zeros = vec![0; g.plan.weights_len()];
+                        g.plan.stage_weights(slot, &zeros, &mut g.w_stage);
+                        return Err(ServeError::Device {
+                            message: e.to_string(),
+                        });
+                    }
                 }
             }
         }
@@ -611,6 +818,7 @@ impl SessionServer {
             tenant,
             group: gi as u32,
             slot,
+            live: true,
         });
         Ok(id)
     }
@@ -636,6 +844,10 @@ impl SessionServer {
         let Some(m) = self.models.get(model.0 as usize) else {
             return Err(ServeError::UnknownModel);
         };
+        if !m.live {
+            // Unloaded ids are never reused, so stale handles stay typed.
+            return Err(ServeError::UnknownModel);
+        }
         let tenant = m.tenant;
         let g = &self.groups[m.group as usize];
         let expected = g.plan.activation_len();
@@ -784,6 +996,25 @@ impl SessionServer {
             return 0;
         }
         self.stats.rounds += 1;
+        // Re-admit evicted classes scheduled this round (their batches are
+        // in_round, so make_room cannot victimize a round participant).
+        let mut i = 0;
+        while i < self.round_groups.len() {
+            let gi = self.round_groups[i] as usize;
+            match self.ensure_resident(gi) {
+                Ok(()) => {
+                    self.groups[gi].last_round = self.stats.rounds;
+                    i += 1;
+                }
+                Err(e) => {
+                    self.finish_batch(gi, Err(e));
+                    self.round_groups.remove(i);
+                }
+            }
+        }
+        if self.round_groups.is_empty() {
+            return picked;
+        }
         self.stage_round();
         if self.round_groups.len() == 1 {
             let gi = self.round_groups[0] as usize;
@@ -1058,6 +1289,20 @@ impl SessionServer {
         self.queue.backlog()
     }
 
+    /// Memory-pressure counters of the serving residency manager: class
+    /// evictions, weight reloads and their scattered bytes, plus the
+    /// allocator's high-water mark against the admission budget.
+    pub fn residency_snapshot(&self) -> ServerResidency {
+        ServerResidency {
+            evictions: self.res_evictions,
+            reloads: self.res_reloads,
+            reload_bytes: self.res_reload_bytes,
+            peak_mram_bytes: self.backend.system().mram_peak_bytes(),
+            used_mram_bytes: self.mram_used_bytes,
+            limit_bytes: self.mram_limit_bytes,
+        }
+    }
+
     /// Per-DPU MRAM bytes claimed by resident shape classes.
     pub fn mram_used_bytes(&self) -> usize {
         self.mram_used_bytes
@@ -1277,6 +1522,79 @@ mod tests {
                 got: 3
             })
         ));
+    }
+
+    #[test]
+    fn soft_admission_evicts_cold_classes_and_reloads_bit_identically() {
+        // 8 DPUs / 4 tenant slots => 2 DPUs per slot: gemv 4x4 is 56 B/DPU
+        // and gemv 8x4 is 96 B/DPU, so either class fits under a 128-byte
+        // budget alone but never both at once.
+        let mut server = SessionServer::new(tiny_options().with_mram_limit_bytes(128));
+        let t = server.register_tenant(TenantSpec::new("hot"));
+        let u = server.register_tenant(TenantSpec::new("cold"));
+        let a = ramp(4 * 4, 3, -5);
+        let b = ramp(8 * 4, 2, 1);
+        let xa = ramp(4, 1, 2);
+        let xb = ramp(4, -1, 7);
+        let ma = server.load_gemv_weights(t, &a, 4, 4).unwrap();
+        let before = server.submit(ma, &xa).and_then(|q| server.wait(q)).unwrap();
+        // The second class does not fit next to the first: admission evicts
+        // the idle class's weights instead of returning CapacityExhausted.
+        let mb = server.load_gemv_weights(u, &b, 8, 4).unwrap();
+        assert!(server.residency_snapshot().evictions >= 1);
+        assert!(server.mram_used_bytes() <= 128);
+        // Scheduling the evicted class re-admits it transparently (evicting
+        // the other in turn) and serves bit-identical results.
+        let after = server.submit(ma, &xa).and_then(|q| server.wait(q)).unwrap();
+        assert_eq!(after, before);
+        assert_eq!(after, host_gemv(&a, &xa, 4, 4));
+        let yb = server.submit(mb, &xb).and_then(|q| server.wait(q)).unwrap();
+        assert_eq!(yb, host_gemv(&b, &xb, 8, 4));
+        let snap = server.residency_snapshot();
+        assert!(snap.reloads >= 2);
+        assert!(snap.reload_bytes > 0);
+        assert!(snap.peak_mram_bytes <= 128);
+        assert_eq!(snap.limit_bytes, 128);
+    }
+
+    #[test]
+    fn unloading_releases_slots_and_mram_bytes() {
+        let mut server = SessionServer::new(tiny_options().with_tenant_slots(2));
+        let t = server.register_tenant(TenantSpec::new("a"));
+        let u = server.register_tenant(TenantSpec::new("b"));
+        let a = ramp(4 * 4, 1, 0);
+        let x = ramp(4, 1, 0);
+        let m1 = server.load_gemv_weights(t, &a, 4, 4).unwrap();
+        let m2 = server.load_gemv_weights(u, &a, 4, 4).unwrap();
+        assert!(matches!(
+            server.load_gemv_weights(t, &a, 4, 4),
+            Err(ServeError::SlotsExhausted { .. })
+        ));
+        // A queued request pins the model.
+        let q = server.submit(m1, &x).unwrap();
+        assert_eq!(server.unload_model(m1), Err(ServeError::ModelBusy));
+        server.wait(q).unwrap();
+        // Draining unblocks the unload; the freed slot is reusable and the
+        // stale handle stays typed.
+        server.unload_model(m1).unwrap();
+        assert_eq!(server.submit(m1, &x), Err(ServeError::UnknownModel));
+        assert_eq!(server.unload_model(m1), Err(ServeError::UnknownModel));
+        let m3 = server.load_gemv_weights(t, &a, 4, 4).unwrap();
+        let y = server.submit(m3, &x).and_then(|q| server.wait(q)).unwrap();
+        assert_eq!(y, host_gemv(&a, &x, 4, 4));
+        let y2 = server.submit(m2, &x).and_then(|q| server.wait(q)).unwrap();
+        assert_eq!(y2, host_gemv(&a, &x, 4, 4));
+        // Emptying the class returns its per-DPU bytes to the budget.
+        assert!(server.mram_used_bytes() > 0);
+        server.unload_tenant(t).unwrap();
+        assert!(server.mram_used_bytes() > 0, "class still hosts tenant b");
+        server.unload_tenant(u).unwrap();
+        assert_eq!(server.mram_used_bytes(), 0);
+        // Tenants stay registered and can load again (re-admitting the
+        // released class through the residency path).
+        let m4 = server.load_gemv_weights(t, &a, 4, 4).unwrap();
+        let y = server.submit(m4, &x).and_then(|q| server.wait(q)).unwrap();
+        assert_eq!(y, host_gemv(&a, &x, 4, 4));
     }
 
     #[test]

@@ -180,6 +180,14 @@ pub struct SessionOptions {
     /// stay bit-identical to the fault-free run — the session retries
     /// transients, re-plans around dead devices and falls back to the host.
     pub fault: Option<FaultConfig>,
+    /// Per-DPU MRAM budget the session's resident tensors must fit in
+    /// (capped at the machine's physical `mram_bytes`). `None` uses the
+    /// full physical MRAM. Under pressure the session evicts resident
+    /// tensors by cost — spilling to the host or dropping rematerializable
+    /// intermediates — and results stay bit-identical to the unlimited run
+    /// for any limit that admits the graph's true working set; a limit
+    /// below that surfaces as a typed [`ShardError::MramExhausted`].
+    pub mram_limit_bytes: Option<usize>,
 }
 
 impl Default for SessionOptions {
@@ -191,6 +199,7 @@ impl Default for SessionOptions {
             optimizer: true,
             upmem_config: None,
             fault: None,
+            mram_limit_bytes: None,
         }
     }
 }
@@ -231,6 +240,13 @@ impl SessionOptions {
     /// field documentation).
     pub fn with_fault(mut self, fault: FaultConfig) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Caps the per-DPU MRAM bytes available to resident tensors (see the
+    /// field documentation).
+    pub fn with_mram_limit_bytes(mut self, limit: usize) -> Self {
+        self.mram_limit_bytes = Some(limit);
         self
     }
 }
@@ -389,6 +405,22 @@ struct Slot {
     bufs: Vec<(BufKey, u32)>,
     /// Raw gather scratch for decoding (reused across fetches).
     scratch: Vec<i32>,
+    /// Run token of the last run that bound this slot — the LRU recency the
+    /// eviction policy orders victims by.
+    last_use: u64,
+    /// Run token of the run currently compiling or replaying against this
+    /// slot; a slot whose token matches the in-flight run is never a
+    /// victim (its buffer ids are already patched into the plan).
+    protected: u64,
+    /// MRAM round trips (spills, drops and reloads) this tensor has taken.
+    trips: u32,
+    /// The op that produced this tensor, with physical input slots — the
+    /// DTR-style recompute recipe a dropped (unspilled) tensor is
+    /// rematerialized from. `None` for source tensors.
+    recipe: Option<OpNode>,
+    /// Generations of the recipe's input slots at recording time; a bumped
+    /// generation means an input was recycled and the recipe is dead.
+    recipe_gens: [u32; 3],
 }
 
 /// One recorded graph op. `PartialEq` + `Copy` so the replay signature
@@ -902,6 +934,45 @@ pub struct PlanCacheStats {
     pub entries: usize,
 }
 
+/// Counters of the session's residency manager (see
+/// [`Session::residency_stats`]). All zero while the working set fits the
+/// MRAM budget — the no-pressure hot path never touches the eviction
+/// machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidencyStats {
+    /// Resident tensors evicted under allocation pressure (any flavour:
+    /// spilled, dropped with a recipe, or scratch-buffer reclaims).
+    pub evictions: u64,
+    /// Evictions that spilled the tensor to the host (no host copy, no
+    /// usable recipe — the value had to move).
+    pub spills: u64,
+    /// Device-to-host bytes those spills gathered.
+    pub spilled_bytes: u64,
+    /// Evictions that dropped the device copy and recorded nothing — the
+    /// tensor is recomputed (DTR-style) when next touched.
+    pub remat_drops: u64,
+    /// Recompute ops re-injected to rematerialize dropped tensors.
+    pub remat_ops: u64,
+    /// High-water mark of per-DPU MRAM bytes the session ever held.
+    pub peak_mram_bytes: usize,
+    /// Per-DPU MRAM bytes currently allocated.
+    pub used_mram_bytes: usize,
+    /// The per-DPU MRAM budget (the physical capacity when no explicit
+    /// limit was set).
+    pub limit_bytes: usize,
+}
+
+/// The mutable counter subset of [`ResidencyStats`] (peak/used/limit are
+/// read off the simulator when a snapshot is taken).
+#[derive(Debug, Clone, Copy, Default)]
+struct ResidencyCounters {
+    evictions: u64,
+    spills: u64,
+    spilled_bytes: u64,
+    remat_drops: u64,
+    remat_ops: u64,
+}
+
 /// How one recovery attempt resumes execution.
 #[derive(Debug, Clone, Copy)]
 enum Recovery {
@@ -950,6 +1021,16 @@ pub struct Session {
     /// backends' own retry counters are merged in by
     /// [`fault_stats`](Session::fault_stats).
     fault_stats: FaultStats,
+    /// Monotonic per-run token driving slot recency and eviction
+    /// protection (separate from the LRU `stamp_counter`, which only moves
+    /// on cache traffic).
+    run_token: u64,
+    /// Eviction/spill/remat counters of the residency manager.
+    res_counters: ResidencyCounters,
+    /// Whether the current `run()` is an injected rematerialization (a
+    /// fetch or write forced an evicted tensor back; temp recycling is
+    /// suppressed because the caller's pending graph is saved aside).
+    in_remat: bool,
 }
 
 impl Session {
@@ -974,6 +1055,7 @@ impl Session {
             optimizer,
             mut upmem_config,
             fault,
+            mram_limit_bytes,
         } = options;
         if let Some(fault) = fault {
             // One schedule drives both simulators (independent event streams:
@@ -984,6 +1066,16 @@ impl Session {
             upmem_config = Some(cfg.with_fault(fault.clone()));
             let cim_cfg = sharded.cim_config.take().unwrap_or_default();
             sharded.cim_config = Some(cim_cfg.with_fault(fault));
+        }
+        if let Some(limit) = mram_limit_bytes {
+            // The simulator itself enforces the budget: shrinking its
+            // capacity makes every allocation path report typed exhaustion,
+            // which the residency manager relieves by evicting.
+            let mut cfg = upmem_config
+                .take()
+                .unwrap_or_else(|| UpmemConfig::with_ranks(sharded.ranks));
+            cfg.mram_bytes = limit.min(cfg.mram_bytes);
+            upmem_config = Some(cfg);
         }
         let backend = match upmem_config {
             Some(cfg) => ShardedBackend::with_upmem_config(cfg, sharded),
@@ -1018,6 +1110,9 @@ impl Session {
             cache_evictions: 0,
             opt_stats: OptimizerStats::default(),
             fault_stats: FaultStats::default(),
+            run_token: 0,
+            res_counters: ResidencyCounters::default(),
+            in_remat: false,
         }
     }
 
@@ -1035,6 +1130,11 @@ impl Session {
                 slot.resident = None;
                 slot.composable = composable;
                 slot.pinned = false;
+                slot.trips = 0;
+                slot.last_use = 0;
+                slot.protected = 0;
+                slot.recipe = None;
+                slot.recipe_gens = [0; 3];
                 id
             }
             None => {
@@ -1092,7 +1192,17 @@ impl Session {
     pub fn write(&mut self, h: TensorHandle, data: &[i32]) {
         self.check(h);
         assert_eq!(data.len(), h.shape.len(), "write length mismatch");
+        // An evicted dependent would later rematerialize from the *new*
+        // contents: recompute it now, then kill every recipe reading the
+        // rewritten tensor (including this slot's own producer recipe).
+        self.remat_dependents_of(h.id);
+        for s in self.slots.iter_mut() {
+            if s.recipe.is_some_and(|r| r.inputs().contains(&h.id)) {
+                s.recipe = None;
+            }
+        }
         let slot = &mut self.slots[h.id as usize];
+        slot.recipe = None;
         slot.host.clear();
         slot.host.extend_from_slice(data);
         slot.host_valid = true;
@@ -1387,12 +1497,18 @@ impl Session {
     /// commands and kernel specs) from its canonical fields under the
     /// entry's refreshed binding. Buffers are re-derived by layout key via
     /// `ensure_buf_in` — in the warmed steady state every lookup hits the
-    /// slot's existing buffer list and the pass allocates nothing.
-    fn rebind(&mut self, idx: usize) {
+    /// slot's existing buffer list and the pass allocates nothing; a slot
+    /// evicted under MRAM pressure re-allocates here (possibly evicting
+    /// colder tensors in turn).
+    fn rebind(&mut self, idx: usize) -> Result<(), ShardError> {
+        let dpus = self.backend.num_dpus();
+        let token = self.run_token;
         let Session {
             backend,
             slots,
+            live_temps,
             compiled,
+            res_counters,
             ..
         } = self;
         let Compiled {
@@ -1415,7 +1531,16 @@ impl Session {
                     chunk,
                 } => {
                     *slot = binding[*cslot as usize];
-                    *buf = ensure_buf_in(backend, slots, *slot, BufKey::Chunk(*chunk));
+                    *buf = ensure_buf_in(
+                        backend,
+                        slots,
+                        live_temps,
+                        *slot,
+                        BufKey::Chunk(*chunk),
+                        token,
+                        res_counters,
+                        dpus,
+                    )?;
                 }
                 CnmCmd::Broadcast {
                     cslot,
@@ -1424,15 +1549,41 @@ impl Session {
                     len,
                 } => {
                     *slot = binding[*cslot as usize];
-                    *buf = ensure_buf_in(backend, slots, *slot, BufKey::Broadcast(*len));
+                    *buf = ensure_buf_in(
+                        backend,
+                        slots,
+                        live_temps,
+                        *slot,
+                        BufKey::Broadcast(*len),
+                        token,
+                        res_counters,
+                        dpus,
+                    )?;
                 }
                 CnmCmd::Zero { cslot, key, buf } => {
-                    *buf = ensure_buf_in(backend, slots, binding[*cslot as usize], *key);
+                    *buf = ensure_buf_in(
+                        backend,
+                        slots,
+                        live_temps,
+                        binding[*cslot as usize],
+                        *key,
+                        token,
+                        res_counters,
+                        dpus,
+                    )?;
                 }
                 CnmCmd::Launch { spec, args } => {
                     for bind in args.iter() {
-                        let buf =
-                            ensure_buf_in(backend, slots, binding[bind.cslot as usize], bind.key);
+                        let buf = ensure_buf_in(
+                            backend,
+                            slots,
+                            live_temps,
+                            binding[bind.cslot as usize],
+                            bind.key,
+                            token,
+                            res_counters,
+                            dpus,
+                        )?;
                         match bind.role {
                             LaunchRole::Input(i) => spec.inputs[i as usize] = buf,
                             LaunchRole::Output => spec.output = buf,
@@ -1446,8 +1597,16 @@ impl Session {
                     resident,
                 } => {
                     *slot = binding[*cslot as usize];
-                    resident.buf =
-                        ensure_buf_in(backend, slots, *slot, BufKey::Chunk(resident.gather_chunk));
+                    resident.buf = ensure_buf_in(
+                        backend,
+                        slots,
+                        live_temps,
+                        *slot,
+                        BufKey::Chunk(resident.gather_chunk),
+                        token,
+                        res_counters,
+                        dpus,
+                    )?;
                 }
                 CnmCmd::Gather {
                     cslot,
@@ -1456,13 +1615,23 @@ impl Session {
                     chunk,
                 } => {
                     *slot = binding[*cslot as usize];
-                    *buf = ensure_buf_in(backend, slots, *slot, BufKey::Chunk(*chunk));
+                    *buf = ensure_buf_in(
+                        backend,
+                        slots,
+                        live_temps,
+                        *slot,
+                        BufKey::Chunk(*chunk),
+                        token,
+                        res_counters,
+                        dpus,
+                    )?;
                 }
                 CnmCmd::Decode { cslot, slot } => {
                     *slot = binding[*cslot as usize];
                 }
             }
         }
+        Ok(())
     }
 
     /// Recycles temporaries of the previous run that the current graph does
@@ -1490,8 +1659,136 @@ impl Session {
         self.live_temps = live;
     }
 
-    fn ensure_buf(&mut self, slot: u32, key: BufKey) -> u32 {
-        ensure_buf_in(&mut self.backend, &mut self.slots, slot, key)
+    /// Prepends the recompute recipes of evicted graph inputs to the
+    /// recorded ops: a referenced tensor left with no valid copy on either
+    /// side (dropped under MRAM pressure) is re-derived DTR-style as extra
+    /// ops of the same run, so eviction stays transparent to compile and
+    /// replay. Allocation-free when nothing was dropped.
+    fn remat_evicted_inputs(&mut self) {
+        let mut injected: Vec<OpNode> = Vec::new();
+        for oi in 0..self.ops.len() {
+            let op = self.ops[oi];
+            for &inp in op.inputs() {
+                let s = &self.slots[inp as usize];
+                if s.host_valid
+                    || s.device_valid
+                    || self.ops.iter().any(|o| o.output == inp)
+                    || injected.iter().any(|r| r.output == inp)
+                {
+                    continue;
+                }
+                let recipe = s
+                    .recipe
+                    .expect("tensor has no valid copy and no recompute recipe");
+                for (i, &rin) in recipe.inputs().iter().enumerate() {
+                    let rs = &self.slots[rin as usize];
+                    assert!(
+                        rs.gen == s.recipe_gens[i] && rs.host_valid,
+                        "recompute recipe input went stale"
+                    );
+                }
+                self.res_counters.remat_ops += 1;
+                injected.push(recipe);
+            }
+        }
+        if !injected.is_empty() {
+            injected.extend_from_slice(&self.ops);
+            self.ops = injected;
+        }
+    }
+
+    /// Rematerializes one evicted tensor by running its recorded recipe as
+    /// a one-op graph; the pending recorded graph is saved and restored
+    /// around the injected run.
+    fn remat_slot(&mut self, id: u32) {
+        let recipe = self.slots[id as usize]
+            .recipe
+            .expect("tensor has no valid copy; run() the graph that produces it first");
+        let saved_ops = std::mem::take(&mut self.ops);
+        let saved_discarded = std::mem::take(&mut self.discarded);
+        self.ops.push(recipe);
+        self.res_counters.remat_ops += 1;
+        self.in_remat = true;
+        let outcome = self.run();
+        self.in_remat = false;
+        outcome.expect("rematerialization run failed");
+        self.ops = saved_ops;
+        self.discarded = saved_discarded;
+    }
+
+    /// Recomputes every evicted tensor whose (current) recipe reads `id`,
+    /// before that tensor's contents change under it. Scanning is
+    /// allocation-free when nothing was evicted.
+    fn remat_dependents_of(&mut self, id: u32) {
+        loop {
+            let dep = self.slots.iter().position(|s| {
+                !s.host_valid
+                    && !s.device_valid
+                    && s.recipe.is_some_and(|r| {
+                        r.inputs().contains(&id)
+                            && r.inputs()
+                                .iter()
+                                .enumerate()
+                                .all(|(i, &inp)| self.slots[inp as usize].gen == s.recipe_gens[i])
+                    })
+            });
+            let Some(dep) = dep else { break };
+            self.remat_slot(dep as u32);
+            // The recipe reads the tensor about to be overwritten, so it
+            // dies here: a later eviction of this value must spill it, not
+            // drop it (guaranteeing this loop visits each dependent once).
+            self.slots[dep].recipe = None;
+        }
+    }
+
+    fn ensure_buf(&mut self, slot: u32, key: BufKey) -> Result<u32, ShardError> {
+        let dpus = self.backend.num_dpus();
+        ensure_buf_in(
+            &mut self.backend,
+            &mut self.slots,
+            &self.live_temps,
+            slot,
+            key,
+            self.run_token,
+            &mut self.res_counters,
+            dpus,
+        )
+    }
+
+    /// `ensure_buf` for the compile path: an MRAM-exhausted allocation
+    /// aborts the half-built plan (recycling its output slots) before the
+    /// typed error surfaces, so a failed compile neither leaks slots nor
+    /// leaves a replayable half-plan.
+    fn ensure_buf_compile(
+        &mut self,
+        idx: usize,
+        slot: u32,
+        key: BufKey,
+    ) -> Result<u32, ShardError> {
+        match self.ensure_buf(slot, key) {
+            Ok(buf) => Ok(buf),
+            Err(e) => {
+                self.abort_compile(idx);
+                Err(e)
+            }
+        }
+    }
+
+    /// Marks every physical slot bound by the canonicalized graph as part
+    /// of the in-flight run: it cannot be an eviction victim (plan commands
+    /// may already hold its buffer ids) and its LRU recency is refreshed.
+    fn protect_bound_slots(&mut self) {
+        let token = self.run_token;
+        let Session {
+            binding_scratch,
+            slots,
+            ..
+        } = self;
+        for &phys in binding_scratch.iter() {
+            let s = &mut slots[phys as usize];
+            s.protected = token;
+            s.last_use = token;
+        }
     }
 
     /// Discards a failed compilation: the graph's output slots are recycled
@@ -1797,6 +2094,7 @@ impl Session {
         let dpus = self.backend.num_dpus();
         let residency = self.residency;
         self.canonicalize();
+        self.protect_bound_slots();
         let canon_src = self.canon_scratch.clone();
         let discards = self.discard_scratch.clone();
         let binding = self.binding_scratch.clone();
@@ -1986,7 +2284,7 @@ impl Session {
                                     flush_segment!(self, idx, seg_start, host_written_in_seg);
                                 }
                                 let phys = binding[inp as usize];
-                                let buf = self.ensure_buf(phys, key);
+                                let buf = self.ensure_buf_compile(idx, phys, key)?;
                                 match key {
                                     BufKey::Chunk(c) => {
                                         self.compiled[idx].cmds.push(CnmCmd::Scatter {
@@ -2020,7 +2318,7 @@ impl Session {
                             let out = node.output;
                             let out_phys = binding[out as usize];
                             let out_key = BufKey::Chunk(geometry.out_chunk);
-                            let out_buf = self.ensure_buf(out_phys, out_key);
+                            let out_buf = self.ensure_buf_compile(idx, out_phys, out_key)?;
                             self.compiled[idx].cmds.push(CnmCmd::Zero {
                                 cslot: out,
                                 key: out_key,
@@ -2106,7 +2404,7 @@ impl Session {
                             flush_segment!(self, idx, seg_start, host_written_in_seg);
                         }
                         let phys = binding[inp as usize];
-                        let buf = self.ensure_buf(phys, key);
+                        let buf = self.ensure_buf_compile(idx, phys, key)?;
                         self.compiled[idx].cmds.push(CnmCmd::Scatter {
                             cslot: inp,
                             slot: phys,
@@ -2127,7 +2425,7 @@ impl Session {
                     let mut out_bufs: Vec<u32> = Vec::with_capacity(stage_outs.len());
                     for &out_c in &stage_outs {
                         let phys = binding[out_c as usize];
-                        let buf = self.ensure_buf(phys, key);
+                        let buf = self.ensure_buf_compile(idx, phys, key)?;
                         self.compiled[idx].cmds.push(CnmCmd::Zero {
                             cslot: out_c,
                             key,
@@ -2224,8 +2522,15 @@ impl Session {
             self.planner_feedback_dirty = false;
             self.compiled.clear();
         }
-        self.recycle_unreferenced_temps();
+        self.run_token += 1;
+        self.remat_evicted_inputs();
+        if !self.in_remat {
+            // A rematerialization run must not recycle temps that only the
+            // caller's saved (pending) graph references.
+            self.recycle_unreferenced_temps();
+        }
         self.canonicalize();
+        self.protect_bound_slots();
         let (mut idx, mut replay) = match self.find_compiled() {
             Some(idx) => {
                 self.replays += 1;
@@ -2243,7 +2548,10 @@ impl Session {
                 entry.stamp = *stamp_counter;
                 entry.binding.clear();
                 entry.binding.extend_from_slice(binding_scratch);
-                self.rebind(idx);
+                // An eviction during the rebind invalidates bindings, never
+                // the signature: buffer ids are always re-derived on the
+                // next replay, so the entry stays cached.
+                self.rebind(idx)?;
                 (idx, true)
             }
             None => {
@@ -2317,6 +2625,11 @@ impl Session {
                     .iter()
                     .zip(&c.discards)
                     .any(|(o, &d)| d && o.output == out_c);
+                let mut recipe = c.ops[oi];
+                for i in 0..recipe.n_inputs as usize {
+                    recipe.inputs[i] = c.binding[recipe.inputs[i] as usize];
+                }
+                recipe.output = phys;
                 if discarded && !self.slots[phys as usize].pinned {
                     let slot = &mut self.slots[phys as usize];
                     slot.gen = slot.gen.wrapping_add(1);
@@ -2324,8 +2637,21 @@ impl Session {
                     slot.device_valid = false;
                     slot.resident = None;
                     self.free.push_back(phys);
-                } else if !self.live_temps.contains(&phys) {
-                    self.live_temps.push(phys);
+                } else {
+                    if !self.live_temps.contains(&phys) {
+                        self.live_temps.push(phys);
+                    }
+                    // Record the DTR recompute recipe — the producing op
+                    // with physical input slots, their generations pinned —
+                    // so a drop under MRAM pressure can re-derive the value.
+                    let mut gens = [0u32; 3];
+                    for (i, &inp) in recipe.inputs().iter().enumerate() {
+                        gens[i] = self.slots[inp as usize].gen;
+                    }
+                    let slot = &mut self.slots[phys as usize];
+                    slot.recipe = Some(recipe);
+                    slot.recipe_gens = gens;
+                    slot.last_use = self.run_token;
                 }
             }
             for k in 0..self.compiled[idx].eliminated.len() {
@@ -2530,6 +2856,13 @@ impl Session {
     pub fn fetch_into(&mut self, h: TensorHandle, out: &mut Vec<i32>) {
         self.check(h);
         let dpus = self.backend.num_dpus();
+        {
+            let slot = &self.slots[h.id as usize];
+            if !slot.host_valid && !slot.device_valid && slot.recipe.is_some() {
+                // Dropped under MRAM pressure: recompute it from its recipe.
+                self.remat_slot(h.id);
+            }
+        }
         let slot = &mut self.slots[h.id as usize];
         if !slot.host_valid {
             assert!(
@@ -2550,6 +2883,12 @@ impl Session {
         assert_eq!(h.shape(), TensorShape::Scalar, "not a scalar tensor");
         self.check(h);
         let dpus = self.backend.num_dpus();
+        {
+            let slot = &self.slots[h.id as usize];
+            if !slot.host_valid && !slot.device_valid && slot.recipe.is_some() {
+                self.remat_slot(h.id);
+            }
+        }
         let slot = &mut self.slots[h.id as usize];
         if !slot.host_valid {
             assert!(slot.device_valid, "tensor has no valid copy");
@@ -2570,6 +2909,24 @@ impl Session {
     /// Statistics of the shard-dispatched (multi-device) steps.
     pub fn shard_stats(&self) -> &cinm_lowering::ShardStats {
         self.backend.stats()
+    }
+
+    /// Accumulated memory-pressure counters of the residency manager
+    /// (evictions, spills and their billed bytes, DTR drops and
+    /// rematerialized ops) together with the simulator's per-DPU MRAM
+    /// occupancy: current, peak, and the configured limit.
+    pub fn residency_stats(&self) -> ResidencyStats {
+        let sys = self.backend.upmem().system();
+        ResidencyStats {
+            evictions: self.res_counters.evictions,
+            spills: self.res_counters.spills,
+            spilled_bytes: self.res_counters.spilled_bytes,
+            remat_drops: self.res_counters.remat_drops,
+            remat_ops: self.res_counters.remat_ops,
+            peak_mram_bytes: sys.mram_peak_bytes(),
+            used_mram_bytes: sys.mram_used_bytes(),
+            limit_bytes: sys.config().mram_bytes,
+        }
     }
 
     /// The wrapped device set.
@@ -2669,19 +3026,136 @@ fn virt_key_match(resident: Option<(usize, ResidentLayout)>, key: BufKey) -> boo
 
 /// The device buffer backing `slot` under role `key`, allocating it on first
 /// use. Buffers stay attached to the slot across recycling, so a replayed
-/// plan's lookups are allocation-free.
-fn ensure_buf_in(backend: &mut ShardedBackend, slots: &mut [Slot], slot: u32, key: BufKey) -> u32 {
-    let s = &mut slots[slot as usize];
-    if let Some(&(_, buf)) = s.bufs.iter().find(|(k, _)| *k == key) {
-        return buf;
+/// plan's lookups are allocation-free. Under MRAM pressure the allocation
+/// evicts cold resident tensors (spill-to-host or drop-and-rematerialize)
+/// one at a time until the request fits; the typed
+/// [`ShardError::MramExhausted`] surfaces only when every remaining
+/// resident is part of the in-flight run's working set.
+#[allow(clippy::too_many_arguments)]
+fn ensure_buf_in(
+    backend: &mut ShardedBackend,
+    slots: &mut [Slot],
+    live_temps: &[u32],
+    slot: u32,
+    key: BufKey,
+    protect: u64,
+    counters: &mut ResidencyCounters,
+    dpus: usize,
+) -> Result<u32, ShardError> {
+    if let Some(&(_, buf)) = slots[slot as usize].bufs.iter().find(|(k, _)| *k == key) {
+        return Ok(buf);
     }
-    let buf = backend
-        .upmem_mut()
-        .system_mut()
-        .alloc_buffer(key.elems_per_dpu())
-        .expect("MRAM alloc");
-    s.bufs.push((key, buf));
-    buf
+    loop {
+        match backend
+            .upmem_mut()
+            .system_mut()
+            .alloc_buffer(key.elems_per_dpu())
+        {
+            Ok(buf) => {
+                slots[slot as usize].bufs.push((key, buf));
+                return Ok(buf);
+            }
+            Err(e) if e.is_mram_exhausted() => {
+                let (needed_bytes, available_bytes) =
+                    e.mram_shortfall().unwrap_or((key.elems_per_dpu() * 4, 0));
+                if !evict_one(backend, slots, live_temps, slot, protect, counters, dpus)? {
+                    return Err(ShardError::MramExhausted {
+                        needed_bytes,
+                        available_bytes,
+                    });
+                }
+            }
+            // Non-capacity allocation failures are compiler bugs, exactly
+            // as before the capacity layer.
+            Err(e) => panic!("MRAM alloc: {e}"),
+        }
+    }
+}
+
+/// Evicts the coldest unprotected tensor's device buffers to relieve MRAM
+/// pressure. The eviction action is chosen per victim by cost: a value that
+/// only lives on the device is either **spilled** to the host (one billed
+/// rescue gather) or **dropped** outright when recomputing it from its
+/// recorded recipe would move fewer bytes than the gather (DTR-style; only
+/// eligible when every recipe input is a stable host-valid source, so the
+/// later replay is bit-identical). Tensors with a current host copy are
+/// dropped for free. Returns whether a victim was evicted.
+fn evict_one(
+    backend: &mut ShardedBackend,
+    slots: &mut [Slot],
+    live_temps: &[u32],
+    requester: u32,
+    protect: u64,
+    counters: &mut ResidencyCounters,
+    dpus: usize,
+) -> Result<bool, ShardError> {
+    // Pinning is a lifetime promise, not a residency one: pinned tensors
+    // are evictable (their value survives via spill or recipe), only the
+    // in-flight run's bound slots are untouchable.
+    let mut victim: Option<usize> = None;
+    for (i, s) in slots.iter().enumerate() {
+        if i as u32 == requester || s.bufs.is_empty() || s.protected == protect {
+            continue;
+        }
+        match victim {
+            Some(v) if slots[v].last_use <= s.last_use => {}
+            _ => victim = Some(i),
+        }
+    }
+    let Some(v) = victim else {
+        return Ok(false);
+    };
+    let live_device_only = slots[v].device_valid && !slots[v].host_valid;
+    let gather_bytes = slots[v].resident.map_or(0, |r| r.gather_chunk * dpus * 4);
+    let remat = live_device_only
+        && slots[v].recipe.is_some_and(|r| {
+            let s = &slots[v];
+            let stable = r.inputs().iter().enumerate().all(|(i, &inp)| {
+                let rs = &slots[inp as usize];
+                rs.gen == s.recipe_gens[i]
+                    && rs.host_valid
+                    && (rs.pinned || !live_temps.contains(&inp))
+            });
+            // Recompute traffic: inputs still resident re-scatter for
+            // free, the rest move their logical bytes back. Spill traffic
+            // is the rescue gather. Cheaper recompute ⇒ drop (DTR).
+            let rescatter_bytes: usize = r
+                .inputs()
+                .iter()
+                .map(|&inp| {
+                    let rs = &slots[inp as usize];
+                    if rs.device_valid && rs.resident.is_some() {
+                        0
+                    } else {
+                        rs.shape.map_or(0, |sh| sh.len()) * 4
+                    }
+                })
+                .sum();
+            stable && gather_bytes > rescatter_bytes
+        });
+    if live_device_only && !remat {
+        // Spill: bill the rescue gather and keep the decoded host value.
+        materialize_slot(backend, &mut slots[v], dpus)?;
+        counters.spills += 1;
+        counters.spilled_bytes += gather_bytes as u64;
+    }
+    let s = &mut slots[v];
+    for &(_, buf) in &s.bufs {
+        backend
+            .upmem_mut()
+            .system_mut()
+            .free_buffer(buf)
+            .expect("free evicted buffer");
+    }
+    s.bufs.clear();
+    s.resident = None;
+    s.device_valid = false;
+    s.trips += 1;
+    counters.evictions += 1;
+    if live_device_only && remat {
+        counters.remat_drops += 1;
+    }
+    Ok(true)
 }
 
 /// Converts a simulator error of the session's direct UPMEM path into the
@@ -3017,6 +3491,109 @@ mod tests {
 
     fn oracle() -> UpmemBackend {
         UpmemBackend::with_config(small_cfg(), UpmemRunOptions::optimized())
+    }
+
+    fn capped_cnm_session(limit: usize) -> Session {
+        Session::new(
+            SessionOptions::default()
+                .with_upmem_config(small_cfg())
+                .with_policy(ShardPolicy::Single(Target::Cnm))
+                .with_residency(true)
+                .with_mram_limit_bytes(limit),
+        )
+    }
+
+    #[test]
+    fn capped_sessions_evict_and_stay_bit_identical() {
+        let len = 256usize;
+        let sources: Vec<Vec<i32>> = (0..4)
+            .map(|r| (0..len).map(|i| ((i * (r + 3)) % 17) as i32 - 8).collect())
+            .collect();
+        let run_all = |sess: &mut Session| -> Vec<Vec<i32>> {
+            let mut outs = Vec::new();
+            for src in &sources {
+                let x = sess.vector(src);
+                let z = sess.elementwise(BinOp::Add, x, x);
+                sess.pin(z);
+                sess.run().unwrap();
+                outs.push(z);
+            }
+            outs.iter().map(|&z| sess.fetch(z)).collect()
+        };
+        let mut unlimited = cnm_session(true);
+        let expected = run_all(&mut unlimited);
+        assert_eq!(unlimited.residency_stats().evictions, 0);
+
+        // Room for four chunk buffers (256/8 elems * 4 B = 128 B each): the
+        // eight live buffers of the four rounds cannot all stay resident.
+        let mut capped = capped_cnm_session(512);
+        let got = run_all(&mut capped);
+        assert_eq!(got, expected, "eviction must stay bit-transparent");
+        let stats = capped.residency_stats();
+        assert!(
+            stats.evictions > 0,
+            "the cap must force evictions: {stats:?}"
+        );
+        assert_eq!(stats.limit_bytes, 512);
+        assert!(stats.peak_mram_bytes <= 512, "{stats:?}");
+    }
+
+    #[test]
+    fn limits_below_the_working_set_are_typed_errors_and_the_session_survives() {
+        let mut sess = capped_cnm_session(64);
+        let (rows, cols) = (64, 32);
+        let a: Vec<i32> = (0..rows * cols).map(|i| (i % 7) as i32 - 3).collect();
+        let x: Vec<i32> = (0..cols).map(|i| (i % 5) as i32 - 2).collect();
+        let at = sess.matrix(&a, rows, cols);
+        let xt = sess.vector(&x);
+        let _yt = sess.gemv(at, xt);
+        let err = sess.run().unwrap_err();
+        match err {
+            ShardError::MramExhausted {
+                needed_bytes,
+                available_bytes,
+            } => assert!(needed_bytes > available_bytes, "{err}"),
+            other => panic!("expected MramExhausted, got {other}"),
+        }
+
+        // A graph whose working set fits the 64-byte budget still runs.
+        let len = 64usize; // 8 elems/DPU = 32 B per buffer, two buffers
+        let v: Vec<i32> = (0..len).map(|i| i as i32 % 9 - 4).collect();
+        let vt = sess.vector(&v);
+        let zt = sess.elementwise(BinOp::Add, vt, vt);
+        sess.run().unwrap();
+        let expect: Vec<i32> = v.iter().map(|&e| e + e).collect();
+        assert_eq!(sess.fetch(zt), expect);
+    }
+
+    #[test]
+    fn device_only_temps_with_resident_inputs_are_dropped_and_rematerialized() {
+        let len = 256usize;
+        let x_src: Vec<i32> = (0..len).map(|i| (i % 23) as i32 - 11).collect();
+        // Two 128-byte chunk buffers fit next to the input's; the third
+        // output allocation must evict.
+        let mut sess = capped_cnm_session(320);
+        let xt = sess.vector(&x_src);
+        let z1 = sess.elementwise(BinOp::Add, xt, xt);
+        sess.pin(z1);
+        sess.run().unwrap();
+        let z2 = sess.elementwise(BinOp::Mul, xt, xt);
+        sess.pin(z2);
+        sess.run().unwrap();
+        let stats = sess.residency_stats();
+        assert!(stats.evictions >= 1, "{stats:?}");
+        assert!(
+            stats.remat_drops >= 1,
+            "the add output must be dropped, not spilled — its input is resident: {stats:?}"
+        );
+        assert_eq!(stats.spilled_bytes, 0, "{stats:?}");
+        let got1 = sess.fetch(z1);
+        let got2 = sess.fetch(z2);
+        let expect1: Vec<i32> = x_src.iter().map(|&e| e + e).collect();
+        let expect2: Vec<i32> = x_src.iter().map(|&e| e.wrapping_mul(e)).collect();
+        assert_eq!(got1, expect1, "rematerialized fetch must be bit-identical");
+        assert_eq!(got2, expect2);
+        assert!(sess.residency_stats().remat_ops >= 1);
     }
 
     #[test]

@@ -194,6 +194,56 @@ impl BatchPlan {
         self.w_chunk + self.act_chunk + self.out_chunk
     }
 
+    /// Releases the plan's three device buffers, returning their per-DPU
+    /// MRAM bytes to the allocator. The geometry stays valid: an evicted
+    /// plan is re-armed with [`reacquire`](Self::reacquire) (plus a weights
+    /// re-upload) before its next batch.
+    ///
+    /// # Errors
+    ///
+    /// Unknown/already-freed buffer (cannot happen for a live plan).
+    pub fn release(&mut self, backend: &mut UpmemBackend) -> Result<(), SimError> {
+        let sys = backend.system_mut();
+        sys.free_buffer(self.w_buf)?;
+        sys.free_buffer(self.x_buf)?;
+        sys.free_buffer(self.y_buf)?;
+        Ok(())
+    }
+
+    /// Re-allocates the device buffers of a [`release`](Self::release)d plan
+    /// and rebuilds the kernel spec around the fresh ids. The weights buffer
+    /// comes back zeroed — the caller re-uploads its staged weights shadow
+    /// (billed as a full-grid scatter) before serving from this plan again.
+    ///
+    /// # Errors
+    ///
+    /// Typed MRAM exhaustion when the capacity freed by eviction still does
+    /// not fit this plan.
+    pub fn reacquire(&mut self, backend: &mut UpmemBackend) -> Result<(), SimError> {
+        let sys = backend.system_mut();
+        let w_buf = sys.alloc_buffer(self.w_chunk)?;
+        let x_buf = match sys.alloc_buffer(self.act_chunk) {
+            Ok(b) => b,
+            Err(e) => {
+                sys.free_buffer(w_buf)?;
+                return Err(e);
+            }
+        };
+        let y_buf = match sys.alloc_buffer(self.out_chunk) {
+            Ok(b) => b,
+            Err(e) => {
+                sys.free_buffer(w_buf)?;
+                sys.free_buffer(x_buf)?;
+                return Err(e);
+            }
+        };
+        self.w_buf = w_buf;
+        self.x_buf = x_buf;
+        self.y_buf = y_buf;
+        self.spec = backend.kernel_spec(self.kind.clone(), vec![w_buf, x_buf], y_buf);
+        Ok(())
+    }
+
     /// Writes one tenant's weight matrix into its slot's stripe of the
     /// host-side weights shadow (`stage` is resized to cover the grid on
     /// first use). Rows are chunked `rpd` per DPU within the slot, matching

@@ -138,6 +138,16 @@ pub enum ShardError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// The per-DPU MRAM limit cannot fit the graph's true working set even
+    /// after evicting every eviction-eligible resident tensor. Unlike a
+    /// [`ShardError::DeviceFault`] this is not recoverable by retrying or
+    /// re-planning — the limit (or the graph) has to change.
+    MramExhausted {
+        /// Per-DPU bytes the failed allocation needed.
+        needed_bytes: usize,
+        /// Per-DPU bytes still available under the limit after eviction.
+        available_bytes: usize,
+    },
 }
 
 impl ShardError {
@@ -200,6 +210,15 @@ impl std::fmt::Display for ShardError {
                     "device '{device}' panicked executing its shard: {message}"
                 )
             }
+            ShardError::MramExhausted {
+                needed_bytes,
+                available_bytes,
+            } => write!(
+                f,
+                "MRAM limit cannot fit the working set: an allocation of \
+                 {needed_bytes} bytes per DPU found only {available_bytes} \
+                 available after eviction"
+            ),
         }
     }
 }

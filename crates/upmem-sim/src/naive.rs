@@ -155,7 +155,9 @@ pub struct NaiveUpmemSystem {
     dpus: Vec<Dpu>,
     buffers: HashMap<BufferId, BufferInfo>,
     next_buffer: BufferId,
+    free_ids: Vec<BufferId>,
     mram_used: usize,
+    mram_peak: usize,
     stats: SystemStats,
 }
 
@@ -168,7 +170,9 @@ impl NaiveUpmemSystem {
             dpus: vec![Dpu::default(); n],
             buffers: HashMap::new(),
             next_buffer: 0,
+            free_ids: Vec::new(),
             mram_used: 0,
+            mram_peak: 0,
             stats: SystemStats::default(),
         }
     }
@@ -198,28 +202,64 @@ impl NaiveUpmemSystem {
         self.mram_used
     }
 
+    /// High-water mark of per-DPU MRAM bytes ever allocated at once.
+    pub fn mram_peak_bytes(&self) -> usize {
+        self.mram_peak
+    }
+
     /// Allocates a buffer of `elems_per_dpu` elements on every DPU — one heap
-    /// allocation per DPU, the seed behaviour.
+    /// allocation per DPU, the seed behaviour. Freed ids are reused in the
+    /// same LIFO order as the slab system, so equivalence tests that free
+    /// and re-allocate see identical buffer ids from both storage schemes.
     ///
     /// # Errors
     ///
-    /// Returns an error if the per-DPU MRAM capacity would be exceeded.
+    /// Returns a typed [`SimError::is_mram_exhausted`] error if the per-DPU
+    /// MRAM capacity would be exceeded.
     pub fn alloc_buffer(&mut self, elems_per_dpu: usize) -> SimResult<BufferId> {
         let bytes = elems_per_dpu * 4;
         if self.mram_used + bytes > self.config.mram_bytes {
-            return Err(SimError::new(format!(
-                "MRAM capacity exceeded: {} + {} > {} bytes per DPU",
-                self.mram_used, bytes, self.config.mram_bytes
-            )));
+            return Err(SimError::mram_exhausted(
+                self.mram_used,
+                bytes,
+                self.config.mram_bytes,
+            ));
         }
-        let id = self.next_buffer;
-        self.next_buffer += 1;
+        let id = match self.free_ids.pop() {
+            Some(id) => id,
+            None => {
+                let id = self.next_buffer;
+                self.next_buffer += 1;
+                id
+            }
+        };
         self.mram_used += bytes;
+        self.mram_peak = self.mram_peak.max(self.mram_used);
         self.buffers.insert(id, BufferInfo { elems_per_dpu });
         for dpu in &mut self.dpus {
             dpu.buffers.insert(id, vec![0; elems_per_dpu]);
         }
         Ok(id)
+    }
+
+    /// Releases a buffer's per-DPU MRAM bytes and storage (the counterpart
+    /// of [`UpmemSystem::free_buffer`](crate::UpmemSystem::free_buffer),
+    /// with the same id-reuse order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the buffer does not exist or was already freed.
+    pub fn free_buffer(&mut self, id: BufferId) -> SimResult<()> {
+        let info = self
+            .buffers
+            .remove(&id)
+            .ok_or_else(|| SimError::new(format!("unknown buffer {id}")))?;
+        self.mram_used -= info.elems_per_dpu * 4;
+        for dpu in &mut self.dpus {
+            dpu.buffers.remove(&id);
+        }
+        self.free_ids.push(id);
+        Ok(())
     }
 
     /// Elements per DPU of an allocated buffer.

@@ -35,6 +35,10 @@ pub type BufferId = u32;
 pub struct SimError {
     message: String,
     fault: Option<FaultKind>,
+    /// `(needed_bytes, available_bytes)` of a failed MRAM allocation, `None`
+    /// for every other error — the typed signal the residency layers evict
+    /// on.
+    mram: Option<(usize, usize)>,
 }
 
 impl SimError {
@@ -42,6 +46,7 @@ impl SimError {
         SimError {
             message: message.into(),
             fault: None,
+            mram: None,
         }
     }
 
@@ -49,7 +54,34 @@ impl SimError {
         SimError {
             message: message.into(),
             fault: Some(kind),
+            mram: None,
         }
+    }
+
+    /// A typed MRAM-capacity failure: an allocation of `needed` bytes per
+    /// DPU against `available` remaining bytes. Shared by the slab and
+    /// naive allocators so both reject identically.
+    pub(crate) fn mram_exhausted(used: usize, needed: usize, capacity: usize) -> Self {
+        SimError {
+            message: format!(
+                "MRAM capacity exceeded: {used} + {needed} > {capacity} bytes per DPU"
+            ),
+            fault: None,
+            mram: Some((needed, capacity.saturating_sub(used))),
+        }
+    }
+
+    /// Whether this is a typed MRAM-capacity failure (allocation pressure a
+    /// residency manager can relieve by evicting), as opposed to a
+    /// validation error or an injected fault.
+    pub fn is_mram_exhausted(&self) -> bool {
+        self.mram.is_some()
+    }
+
+    /// `(needed_bytes, available_bytes)` of a failed MRAM allocation, or
+    /// `None` for every other error.
+    pub fn mram_shortfall(&self) -> Option<(usize, usize)> {
+        self.mram
     }
 
     /// The error message.
@@ -569,6 +601,10 @@ pub struct UpmemSystem {
     pub(crate) num_dpus: usize,
     pub(crate) slabs: Vec<Slab>,
     mram_used: usize,
+    mram_peak: usize,
+    /// Ids of freed slabs, reused by the next allocations so long-lived
+    /// sessions under memory pressure keep a bounded slab table.
+    free_ids: Vec<BufferId>,
     pub(crate) stats: SystemStats,
     /// Reusable staging arena of the aliased-launch slow path: grown once to
     /// the largest input-stride footprint seen, then reused, so repeated
@@ -592,6 +628,8 @@ impl UpmemSystem {
             num_dpus: n,
             slabs: Vec::new(),
             mram_used: 0,
+            mram_peak: 0,
+            free_ids: Vec::new(),
             stats: SystemStats::default(),
             scratch: Vec::new(),
             fault,
@@ -673,34 +711,80 @@ impl UpmemSystem {
         self.mram_used
     }
 
+    /// High-water mark of per-DPU MRAM bytes ever allocated at once (the
+    /// working-set footprint a memory limit must admit).
+    pub fn mram_peak_bytes(&self) -> usize {
+        self.mram_peak
+    }
+
     /// Allocates a buffer of `elems_per_dpu` 32-bit elements on every DPU.
     ///
     /// One contiguous slab covers the whole grid, so this is a single host
-    /// allocation regardless of the number of DPUs.
+    /// allocation regardless of the number of DPUs. Ids of
+    /// [`free_buffer`](Self::free_buffer)ed slabs are reused.
     ///
     /// # Errors
     ///
-    /// Returns an error if the per-DPU MRAM capacity would be exceeded.
+    /// Returns a typed [`SimError::is_mram_exhausted`] error if the per-DPU
+    /// MRAM capacity would be exceeded.
     pub fn alloc_buffer(&mut self, elems_per_dpu: usize) -> SimResult<BufferId> {
         let bytes = elems_per_dpu * 4;
         if self.mram_used + bytes > self.config.mram_bytes {
-            return Err(SimError::new(format!(
-                "MRAM capacity exceeded: {} + {} > {} bytes per DPU",
-                self.mram_used, bytes, self.config.mram_bytes
-            )));
+            return Err(SimError::mram_exhausted(
+                self.mram_used,
+                bytes,
+                self.config.mram_bytes,
+            ));
         }
-        let id = self.slabs.len() as BufferId;
         self.mram_used += bytes;
-        self.slabs.push(Slab {
+        self.mram_peak = self.mram_peak.max(self.mram_used);
+        let slab = Slab {
             elems_per_dpu,
             data: vec![0; elems_per_dpu * self.num_dpus],
-        });
+        };
+        let id = match self.free_ids.pop() {
+            Some(id) => {
+                self.slabs[id as usize] = slab;
+                id
+            }
+            None => {
+                let id = self.slabs.len() as BufferId;
+                self.slabs.push(slab);
+                id
+            }
+        };
         Ok(id)
     }
 
+    /// Releases a buffer's per-DPU MRAM bytes and drops its slab storage.
+    /// The id goes on a free list and is reused by later allocations, so a
+    /// caller must drop every copy of a freed id — the layers above
+    /// (session residency, batch plans) re-derive buffer ids from their own
+    /// slot state on every replay precisely so stale ids cannot leak.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the buffer does not exist or was already freed.
+    pub fn free_buffer(&mut self, id: BufferId) -> SimResult<()> {
+        let slab = self
+            .slabs
+            .get_mut(id as usize)
+            .ok_or_else(|| SimError::new(format!("unknown buffer {id}")))?;
+        if self.free_ids.contains(&id) {
+            return Err(SimError::new(format!("buffer {id} already freed")));
+        }
+        self.mram_used -= slab.elems_per_dpu * 4;
+        *slab = Slab::default();
+        self.free_ids.push(id);
+        Ok(())
+    }
+
     fn slab(&self, id: BufferId) -> SimResult<&Slab> {
+        // Freed ids are as unknown as never-allocated ones (matching the
+        // naive reference, which removes freed buffers from its maps).
         self.slabs
             .get(id as usize)
+            .filter(|_| !self.free_ids.contains(&id))
             .ok_or_else(|| SimError::new(format!("unknown buffer {id}")))
     }
 
@@ -1125,10 +1209,63 @@ mod tests {
     fn alloc_checks_mram_capacity() {
         let mut sys = small_system();
         let huge = 20_000_000; // 80 MB > 64 MB MRAM
-        assert!(sys.alloc_buffer(huge).is_err());
+        let err = sys.alloc_buffer(huge).unwrap_err();
+        assert!(err.is_mram_exhausted());
+        assert_eq!(
+            err.mram_shortfall(),
+            Some((huge * 4, sys.config().mram_bytes))
+        );
         let ok = sys.alloc_buffer(1024).unwrap();
         assert_eq!(sys.buffer_len(ok).unwrap(), 1024);
         assert_eq!(sys.mram_used_bytes(), 4096);
+        assert_eq!(sys.mram_peak_bytes(), 4096);
+    }
+
+    #[test]
+    fn free_buffer_releases_capacity_and_reuses_ids() {
+        let mut sys = small_system();
+        let a = sys.alloc_buffer(8).unwrap();
+        let b = sys.alloc_buffer(4).unwrap();
+        assert_eq!(sys.mram_used_bytes(), 48);
+        sys.free_buffer(a).unwrap();
+        assert_eq!(sys.mram_used_bytes(), 16);
+        assert_eq!(sys.mram_peak_bytes(), 48, "peak survives the free");
+        // A freed id is unknown to every entry point, exactly like the
+        // naive reference.
+        assert!(sys.buffer_len(a).is_err());
+        assert!(sys.gather_i32(a, 1).is_err());
+        assert!(sys.free_buffer(a).is_err(), "double free is rejected");
+        // The id is reused by the next allocation (LIFO), with fresh
+        // zeroed contents.
+        let c = sys.alloc_buffer(2).unwrap();
+        assert_eq!(c, a);
+        assert_eq!(sys.buffer_len(c).unwrap(), 2);
+        assert_eq!(sys.buffer_slab(c).unwrap(), &[0; 8]);
+        assert_eq!(sys.mram_used_bytes(), 24);
+        sys.free_buffer(b).unwrap();
+        sys.free_buffer(c).unwrap();
+        assert_eq!(sys.mram_used_bytes(), 0);
+    }
+
+    #[test]
+    fn free_and_realloc_match_the_naive_reference_ids() {
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = 2;
+        let mut naive = crate::naive::NaiveUpmemSystem::new(cfg.clone());
+        let mut slab = UpmemSystem::new(cfg);
+        let n_a = naive.alloc_buffer(4).unwrap();
+        let s_a = slab.alloc_buffer(4).unwrap();
+        assert_eq!(n_a, s_a);
+        let n_b = naive.alloc_buffer(4).unwrap();
+        let s_b = slab.alloc_buffer(4).unwrap();
+        assert_eq!(n_b, s_b);
+        naive.free_buffer(n_a).unwrap();
+        slab.free_buffer(s_a).unwrap();
+        let n_c = naive.alloc_buffer(8).unwrap();
+        let s_c = slab.alloc_buffer(8).unwrap();
+        assert_eq!(n_c, s_c, "freed ids are reused in the same order");
+        assert_eq!(naive.mram_used_bytes(), slab.mram_used_bytes());
+        assert_eq!(naive.mram_peak_bytes(), slab.mram_peak_bytes());
     }
 
     #[test]

@@ -101,6 +101,50 @@ fn main() {
     }
     let launches: Vec<u64> = server.group_launches().collect();
     println!("  per-class batched-plan replays: {launches:?}");
+    let snap = server.residency_snapshot();
+    println!(
+        "  residency: {} evictions, {} weight reloads, peak {} B/DPU of {} B/DPU",
+        snap.evictions, snap.reloads, snap.peak_mram_bytes, snap.limit_bytes,
+    );
+
+    // ---- bounded MRAM: a capped server evicts & reloads cold weights ----
+    // The budget admits the four-tenant class alone but not a second shape
+    // class next to it: loading the newcomer softly evicts the idle class's
+    // reloadable weights, and scheduling the evicted class re-admits it
+    // transparently — results stay bit-identical across the round trip.
+    let class_bytes = server.mram_used_bytes();
+    let mut capped = SessionServer::new(
+        ServerOptions::default()
+            .with_tenant_slots(4)
+            .with_mram_limit_bytes(class_bytes + class_bytes / 4),
+    );
+    let t0 = capped.register_tenant(TenantSpec::new("resident"));
+    let m0 = capped
+        .load_gemv_weights(t0, &weights_data[0], rows, cols)
+        .expect("fits the budget alone");
+    let t1 = capped.register_tenant(TenantSpec::new("newcomer"));
+    let half = data::i32_matrix(99, rows / 2, cols, -8, 8);
+    let m1 = capped
+        .load_gemv_weights(t1, &half, rows / 2, cols)
+        .expect("soft admission evicts the idle class instead of failing");
+    let x_last = &xs[(rounds - 1) % xs.len()];
+    let ticket = capped.submit(m0, x_last).expect("admitted");
+    capped.wait_into(ticket, &mut out).expect("served");
+    assert_eq!(out, results[0], "evicted-and-reloaded weights diverged");
+    let ticket = capped.submit(m1, x_last).expect("admitted");
+    capped.wait_into(ticket, &mut out).expect("served");
+    let snap = capped.residency_snapshot();
+    println!(
+        "capped server ({} B/DPU budget): {} evictions, {} reloads ({} B re-scattered), peak {} B/DPU — bit-identical ✔",
+        snap.limit_bytes, snap.evictions, snap.reloads, snap.reload_bytes, snap.peak_mram_bytes,
+    );
+    let used_before = capped.mram_used_bytes();
+    capped.unload_tenant(t1).expect("drained tenants unload");
+    println!(
+        "  unload_tenant(newcomer): {} → {} B/DPU resident",
+        used_before,
+        capped.mram_used_bytes(),
+    );
 
     // ---- the serial baseline: one private warmed Session per tenant ----
     let mut sessions: Vec<_> = weights_data

@@ -238,6 +238,53 @@ fn steady_state_fused_chain_loop_is_allocation_free() {
     assert_eq!(out.len(), len);
 }
 
+/// The warmed session loop under a finite MRAM limit that admits the
+/// working set — capacity accounting, LRU bookkeeping and eviction scans
+/// are active on every allocation, but with no pressure the steady state
+/// still performs **zero** heap allocations per iteration.
+#[test]
+fn steady_state_session_loop_under_a_limit_is_allocation_free() {
+    let mut cfg = UpmemConfig::with_ranks(1).with_host_threads(1);
+    cfg.dpus_per_rank = 8;
+    let mut sess = Session::new(
+        SessionOptions::default()
+            .with_upmem_config(cfg)
+            .with_policy(ShardPolicy::Single(Target::Cnm))
+            // gemv 64x32 over 8 DPUs: ~1.2 KB/DPU working set — 4 KB admits
+            // it without eviction while keeping the capacity path live.
+            .with_mram_limit_bytes(4096),
+    );
+    let (rows, cols) = (64usize, 32usize);
+    let a: Vec<i32> = (0..rows * cols).map(|i| (i % 13) as i32 - 6).collect();
+    let xs: Vec<Vec<i32>> = (0..4)
+        .map(|s| (0..cols).map(|i| ((i + s) % 7) as i32 - 3).collect())
+        .collect();
+    let at = sess.matrix(&a, rows, cols);
+    let xt = sess.vector(&xs[0]);
+    let mut out = Vec::new();
+    let iteration = |sess: &mut Session, x: &[i32], out: &mut Vec<i32>| {
+        sess.write(xt, x);
+        let y = sess.gemv(at, xt);
+        let s = sess.select(y, 0);
+        sess.run().expect("cnm placement");
+        sess.fetch_into(s, out);
+    };
+    for i in 0..4 {
+        iteration(&mut sess, &xs[i % 4], &mut out);
+    }
+    let ((), allocs) = alloc_count::count_in(|| {
+        for i in 0..40 {
+            iteration(&mut sess, &xs[i % 4], &mut out);
+        }
+    });
+    assert_eq!(allocs, 0, "the capped warmed loop must not allocate");
+    let res = sess.residency_stats();
+    assert_eq!(res.limit_bytes, 4096, "the limit reached the allocator");
+    assert_eq!(res.evictions, 0, "the working set fits — no pressure");
+    assert!(res.peak_mram_bytes <= 4096);
+    assert!(!out.is_empty());
+}
+
 /// The warmed multi-tenant *serving* loop — two tenants submitting
 /// same-shaped gemv requests that the `SessionServer` fuses into one
 /// batched launch per round, then redeeming their tickets — performs

@@ -1343,3 +1343,228 @@ fn optimized_session_graphs_match_the_unoptimized_oracle() {
         );
     });
 }
+
+// ---------------------------------------------------------------------------
+// Bounded MRAM: capped sessions and serving mixes vs the unlimited oracle
+// ---------------------------------------------------------------------------
+
+/// Randomized session graphs under randomized per-DPU MRAM limits — with and
+/// without a seeded fault schedule — either refuse with the typed
+/// `MramExhausted` error (the limit is below the graph's minimal working
+/// set) or run bit-identically to the unlimited oracle, rematerializing and
+/// spilling as needed. The allocator's high-water mark never exceeds the
+/// limit.
+#[test]
+fn capped_session_graphs_are_typed_errors_or_bit_identical() {
+    use cinm::core::{ResidencyStats, Session, TensorHandle};
+    use cinm::lowering::ShardError;
+    use cinm::runtime::FaultConfig;
+    let mut evicted_cases = 0u32;
+    let mut refused_cases = 0u32;
+    for_cases(70, |rng| {
+        let len = gen_usize(rng, 8, 200);
+        let cols = gen_usize(rng, 4, 32);
+        let a_mat = data::i32_vec(rng.next_u64(), len * cols, -8, 8);
+        let x_vec = data::i32_vec(rng.next_u64(), cols, -8, 8);
+        let v0 = data::i32_vec(rng.next_u64(), len, -64, 64);
+        let v1 = data::i32_vec(rng.next_u64(), len, -64, 64);
+        let n_ops = gen_usize(rng, 1, 6);
+        let tape: Vec<(usize, usize, usize, usize)> = (0..n_ops)
+            .map(|_| {
+                (
+                    gen_usize(rng, 0, 5),
+                    gen_usize(rng, 0, 1000),
+                    gen_usize(rng, 0, 1000),
+                    gen_usize(rng, 0, 9),
+                )
+            })
+            .collect();
+        let fault = (gen_usize(rng, 0, 3) == 0).then(|| {
+            FaultConfig::seeded(rng.next_u64())
+                .with_launch_fault_rate(gen_usize(rng, 0, 9) as f64 / 100.0)
+                .with_transfer_timeout_rate(gen_usize(rng, 0, 5) as f64 / 100.0)
+        });
+        let bin_ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Max, BinOp::Min];
+
+        let run_graph =
+            |limit: Option<usize>| -> Result<(Vec<Vec<i32>>, ResidencyStats), ShardError> {
+                let mut opts = session_options(true);
+                if let Some(bytes) = limit {
+                    opts = opts.with_mram_limit_bytes(bytes);
+                }
+                if let Some(f) = &fault {
+                    opts = opts.with_fault(f.clone());
+                }
+                let mut sess = Session::new(opts);
+                let at = sess.matrix(&a_mat, len, cols);
+                let xt = sess.vector(&x_vec);
+                let t0 = sess.vector(&v0);
+                let t1 = sess.vector(&v1);
+                let mut fetches: Vec<TensorHandle> = Vec::new();
+                // Two rounds of the tape with a run between them: eviction
+                // happens across runs (a running graph's live slots are
+                // protected), so round two pressures round one's residents
+                // and the final fetches exercise spill/remat readback.
+                for _round in 0..2 {
+                    let mut pool: Vec<TensorHandle> = vec![t0, t1];
+                    for &(kind, pick_a, pick_b, op_pick) in &tape {
+                        let h = match kind {
+                            0 => {
+                                let h = sess.gemv(at, xt);
+                                pool.push(h);
+                                h
+                            }
+                            1 | 2 => {
+                                let (i, j) = (pick_a % pool.len(), pick_b % pool.len());
+                                let h = sess.elementwise(
+                                    bin_ops[op_pick % bin_ops.len()],
+                                    pool[i],
+                                    pool[j],
+                                );
+                                pool.push(h);
+                                h
+                            }
+                            3 => {
+                                let i = pick_a % pool.len();
+                                sess.reduce(bin_ops[op_pick % bin_ops.len()], pool[i])
+                            }
+                            4 => {
+                                let i = pick_a % pool.len();
+                                sess.histogram(pool[i], 2 + op_pick % 15, 128)
+                            }
+                            _ => {
+                                let i = pick_a % pool.len();
+                                sess.select(pool[i], (pick_b % 21) as i32 - 10)
+                            }
+                        };
+                        // Pinned values survive across the two runs (a pin
+                        // is a lifetime promise, not a residency one — they
+                        // stay evictable under pressure).
+                        sess.pin(h);
+                        fetches.push(h);
+                    }
+                    sess.run()?;
+                }
+                let outs = fetches.iter().map(|&h| sess.fetch(h)).collect();
+                Ok((outs, sess.residency_stats()))
+            };
+
+        let (baseline, _) = run_graph(None).expect("the unlimited oracle must run");
+        let limit = 4 * gen_usize(rng, 8, 600);
+        match run_graph(Some(limit)) {
+            Ok((outs, res)) => {
+                assert_eq!(
+                    outs, baseline,
+                    "capped run diverged: limit={limit} len={len} cols={cols} fault={fault:?}"
+                );
+                assert!(
+                    res.peak_mram_bytes <= limit,
+                    "allocator exceeded the {limit}-byte limit: {res:?}"
+                );
+                if res.evictions > 0 {
+                    evicted_cases += 1;
+                }
+            }
+            Err(ShardError::MramExhausted {
+                needed_bytes,
+                available_bytes,
+            }) => {
+                assert!(needed_bytes > available_bytes);
+                refused_cases += 1;
+            }
+            Err(other) => panic!("capacity refusal must be typed, got {other}"),
+        }
+    });
+    // The limit range straddles the workloads' working sets, so both
+    // regimes occur (deterministic seeds — this is not flaky).
+    assert!(evicted_cases > 0, "no case exercised eviction");
+    assert!(refused_cases > 0, "no case exercised the typed refusal");
+}
+
+/// A multi-tenant serving mix whose shape classes do not fit the MRAM
+/// budget together stays bit-identical to the host oracle: admission and
+/// scheduling evict cold classes' reloadable weights and transparently
+/// re-admit them, with the ledger and allocator never exceeding the limit.
+#[test]
+fn capped_serving_mixes_stay_bit_identical_under_eviction_pressure() {
+    use cinm::core::{ServerOptions, SessionServer, TenantSpec};
+    for_cases(71, |rng| {
+        let dpus = 8usize;
+        let tenant_slots = 4usize;
+        let slot_dpus = dpus / tenant_slots;
+        // Distinct gemv shapes form distinct shape classes.
+        let n_classes = gen_usize(rng, 2, 5);
+        let shapes: Vec<(usize, usize)> = (0..n_classes)
+            .map(|i| (gen_usize(rng, 1, 9) + 8 * i, gen_usize(rng, 1, 9)))
+            .collect();
+        let class_bytes: Vec<usize> = shapes
+            .iter()
+            .map(|&(rows, cols)| {
+                let rpd = rows.div_ceil(slot_dpus);
+                4 * (rpd * cols + cols + rpd)
+            })
+            .collect();
+        let max_bytes = *class_bytes.iter().max().unwrap();
+        let sum_bytes: usize = class_bytes.iter().sum();
+        // Every class fits alone, never all at once: eviction pressure is
+        // guaranteed while the true working set always fits.
+        let limit = max_bytes + gen_usize(rng, 0, sum_bytes - max_bytes);
+
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = dpus;
+        cfg.host_threads = 1;
+        let mut server = SessionServer::new(
+            ServerOptions::default()
+                .with_upmem_config(cfg)
+                .with_tenant_slots(tenant_slots)
+                .with_mram_limit_bytes(limit),
+        );
+        let mut models = Vec::new();
+        let mut weights = Vec::new();
+        for (i, &(rows, cols)) in shapes.iter().enumerate() {
+            let t = server.register_tenant(TenantSpec::new(format!("tenant-{i}")));
+            let a = data::i32_vec(rng.next_u64(), rows * cols, -9, 9);
+            models.push(server.load_gemv_weights(t, &a, rows, cols).unwrap());
+            weights.push(a);
+        }
+        for round in 0..2 {
+            for (i, &(rows, cols)) in shapes.iter().enumerate() {
+                let x = data::i32_vec(rng.next_u64(), cols, -9, 9);
+                let ticket = server.submit(models[i], &x).unwrap();
+                let y = server.wait(ticket).unwrap();
+                assert_eq!(
+                    y,
+                    kernels::matvec(&weights[i], &x, rows, cols),
+                    "round {round} class {i} ({rows}x{cols}) limit {limit}"
+                );
+            }
+        }
+        let snap = server.residency_snapshot();
+        assert!(snap.evictions > 0, "limit {limit} < sum {sum_bytes}");
+        assert!(snap.reloads > 0, "evicted classes were reused");
+        assert!(server.mram_used_bytes() <= limit);
+        assert!(snap.peak_mram_bytes <= limit, "{snap:?}");
+        assert_eq!(snap.limit_bytes, limit);
+    });
+}
+
+/// A limit below the minimal working set is a typed, recoverable error —
+/// deterministic complement to the randomized property above.
+#[test]
+fn limits_below_the_working_set_refuse_with_typed_errors() {
+    use cinm::core::Session;
+    use cinm::lowering::ShardError;
+    let mut sess = Session::new(session_options(true).with_mram_limit_bytes(64));
+    let a = data::i32_vec(7, 64 * 32, -8, 8);
+    let x = data::i32_vec(8, 32, -8, 8);
+    let at = sess.matrix(&a, 64, 32);
+    let xt = sess.vector(&x);
+    let _y = sess.gemv(at, xt);
+    match sess.run() {
+        Err(ShardError::MramExhausted {
+            needed_bytes,
+            available_bytes,
+        }) => assert!(needed_bytes > available_bytes),
+        other => panic!("expected MramExhausted, got {other:?}"),
+    }
+}
