@@ -32,6 +32,11 @@
 //! with the replay-hit rate of canonical plan signatures and the
 //! measurement-fed shard-planner calibration observed on a forced split.
 //!
+//! The **`energy`** section tracks the shard planner's joule accounting:
+//! whole-op energy estimates per device and the `min-energy` policy's plan
+//! against the makespan-optimal auto plan (estimated joules asserted never
+//! worse, results asserted bit-identical).
+//!
 //! The **`hot_path`** section tracks the allocation-free steady state:
 //! repeated same-shaped ops on one backend with warm execution contexts and
 //! a memoized shard plan ("after") versus re-creating backend and plan per
@@ -55,7 +60,7 @@ use std::num::NonZeroUsize;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use cinm_bench::simbench::{
-    self, FaultOverheadMeasurement, GraphOptMeasurement, HotPathMeasurement,
+    self, EnergyMeasurement, FaultOverheadMeasurement, GraphOptMeasurement, HotPathMeasurement,
     MemoryPressureMeasurement, OverheadCase, SessionVsEagerMeasurement, ShardedMeasurement,
     SimCase, BENCH_SCHEMA,
 };
@@ -80,6 +85,16 @@ struct CaseResult {
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Scientific notation for joule figures, whose magnitudes span ~1e-9..1e1
+/// (fixed six-decimal formatting would flush the small ones to zero).
+fn json_f64_sci(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6e}")
     } else {
         "null".to_string()
     }
@@ -282,6 +297,35 @@ fn main() {
             per_threads.push(m);
         }
         sharded_results.push((case, per_threads));
+    }
+
+    // Energy: the shard planner's joule accounting on every selected case —
+    // whole-op estimates per device, and the MinimizeEnergy plan against the
+    // makespan-optimal Auto plan (results asserted bit-identical, energy
+    // plan's estimated joules asserted never worse).
+    let mut energy_results: Vec<(SimCase, EnergyMeasurement)> = Vec::new();
+    for &case in &cases {
+        eprintln!("measuring energy {}/{} ...", case.name, case.scale);
+        let inp = simbench::inputs(&case);
+        let m = simbench::measure_energy(&case, &inp, &pool);
+        assert!(
+            m.min_energy_joules <= m.auto_plan_joules * (1.0 + 1e-9),
+            "{}/{}: min-energy plan estimated {} J > auto plan {} J",
+            case.name,
+            case.scale,
+            m.min_energy_joules,
+            m.auto_plan_joules
+        );
+        eprintln!(
+            "  device estimates [cnm/cim/host] {}/{}/{} J; auto plan {:.3e} J, min-energy plan {:.3e} J on {}",
+            m.device_joules[0].map_or("-".into(), |j| format!("{j:.3e}")),
+            m.device_joules[1].map_or("-".into(), |j| format!("{j:.3e}")),
+            m.device_joules[2].map_or("-".into(), |j| format!("{j:.3e}")),
+            m.auto_plan_joules,
+            m.min_energy_joules,
+            m.min_energy_device,
+        );
+        energy_results.push((case, m));
     }
 
     // Hot path: context-reusing steady state vs the eager per-op baseline,
@@ -554,6 +598,46 @@ fn main() {
         }
         json.push_str("        ]\n");
         json.push_str(if i + 1 == sharded_results.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+    json.push_str("  \"energy\": {\n");
+    json.push_str(
+        "    \"description\": \"Shard-planner joule accounting: whole-op energy estimates per device (pipeline + DMA + static power on UPMEM, tile programming + analog MVMs on the crossbar, per-op CPU energy on the host, all including host-interface transfers), and the min-energy policy's plan against the makespan-optimal auto plan. Fixed device costs amortise with shard size, so the min-energy plan places all work on the single lowest-joule device and its estimated joules never exceed the auto plan's (asserted before this file is written, as is bit-identity of both plans' results). null = the device cannot execute the op or carries no energy model.\",\n",
+    );
+    json.push_str("    \"cases\": [\n");
+    for (i, (case, m)) in energy_results.iter().enumerate() {
+        let opt_j = |v: Option<f64>| v.map_or("null".into(), json_f64_sci);
+        json.push_str("      {\n");
+        json.push_str(&format!("        \"name\": \"{}\",\n", case.name));
+        json.push_str(&format!("        \"scale\": \"{}\",\n", case.scale));
+        json.push_str(&format!(
+            "        \"device_joules_cnm_cim_host\": [{}, {}, {}],\n",
+            opt_j(m.device_joules[0]),
+            opt_j(m.device_joules[1]),
+            opt_j(m.device_joules[2])
+        ));
+        json.push_str(&format!(
+            "        \"auto_plan_joules\": {},\n",
+            json_f64_sci(m.auto_plan_joules)
+        ));
+        json.push_str(&format!(
+            "        \"min_energy_plan_joules\": {},\n",
+            json_f64_sci(m.min_energy_joules)
+        ));
+        json.push_str(&format!(
+            "        \"joules_saved_vs_auto\": {},\n",
+            json_f64_sci(m.auto_plan_joules - m.min_energy_joules)
+        ));
+        json.push_str(&format!(
+            "        \"min_energy_device\": \"{}\"\n",
+            m.min_energy_device
+        ));
+        json.push_str(if i + 1 == energy_results.len() {
             "      }\n"
         } else {
             "      },\n"

@@ -28,7 +28,7 @@ use upmem_sim::{
 /// Schema version of `BENCH_sim.json`. Bump whenever the emitted structure
 /// changes; `tools/check_bench_schema.sh` fails CI when the committed JSON
 /// is stale relative to this emitter.
-pub const BENCH_SCHEMA: &str = "cinm/bench-sim/v7";
+pub const BENCH_SCHEMA: &str = "cinm/bench-sim/v8";
 
 /// The kernel flow of one benchmark case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -597,6 +597,80 @@ pub fn measure_sharded(
         max_concurrent,
         checksum: m_sharded.checksum,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Energy: planner joule estimates under the min-energy policy
+// ---------------------------------------------------------------------------
+
+/// Energy accounting of the shard planner on one case (the `energy`
+/// section of `BENCH_sim.json`): whole-op joule estimates per device, the
+/// estimated joules of the makespan-optimal `Auto` plan and of the
+/// `MinimizeEnergy` plan, and the device the energy plan placed all work
+/// on. Both plans are executed and their results asserted bit-identical.
+#[derive(Debug, Clone)]
+pub struct EnergyMeasurement {
+    /// Whole-op joule estimates `[cnm, cim, host]`; `None` when the device
+    /// cannot execute the op or its model carries no energy calibration.
+    pub device_joules: [Option<f64>; 3],
+    /// Total estimated joules of the makespan-optimal `Auto` plan.
+    pub auto_plan_joules: f64,
+    /// Total estimated joules of the `MinimizeEnergy` plan.
+    pub min_energy_joules: f64,
+    /// Device taking all work under `MinimizeEnergy` (`cnm`/`cim`/`host`).
+    pub min_energy_device: &'static str,
+    /// Shared checksum of both plans' runs (asserted equal).
+    pub checksum: i64,
+}
+
+/// Plans the case under `Auto` and `MinimizeEnergy`, runs both plans once
+/// on a [`ShardedBackend`], asserts the results bit-identical, and reports
+/// the planner's joule accounting. The energy plan's estimated joules can
+/// never exceed the auto plan's (fixed device costs amortise with shard
+/// size — see the `ShardPolicy::MinimizeEnergy` docs); `bench-sim` asserts
+/// exactly that before emitting the section.
+pub fn measure_energy(case: &SimCase, inp: &CaseInputs, pool: &PoolHandle) -> EnergyMeasurement {
+    let (op, shape) = shard_op(case);
+    let planner = ShardPlanner::with_default_models(case.ranks);
+    let device_joules = [
+        planner.estimate_joules(Target::Cnm, op, &shape),
+        planner.estimate_joules(Target::Cim, op, &shape),
+        planner.estimate_joules(Target::Host, op, &shape),
+    ];
+    let auto_plan = planner.plan(op, shape).expect("auto plan");
+    let energy_plan = ShardPlanner::with_default_models(case.ranks)
+        .with_policy(ShardPolicy::MinimizeEnergy)
+        .plan(op, shape)
+        .expect("min-energy plan");
+    let min_energy_device = if energy_plan.split.cnm > 0 {
+        "cnm"
+    } else if energy_plan.split.cim > 0 {
+        "cim"
+    } else {
+        "host"
+    };
+    let options = || {
+        ShardedRunOptions::default()
+            .with_ranks(case.ranks)
+            .with_pool(pool.clone())
+            .with_host_threads(1)
+    };
+    let mut be_auto = ShardedBackend::new(options());
+    let (sum_auto, _) = drive_sharded(case, inp, &mut be_auto, &auto_plan.split);
+    let mut be_energy = ShardedBackend::new(options());
+    let (sum_energy, _) = drive_sharded(case, inp, &mut be_energy, &energy_plan.split);
+    assert_eq!(
+        sum_auto, sum_energy,
+        "{}/{}: min-energy checksum",
+        case.name, case.scale
+    );
+    EnergyMeasurement {
+        device_joules,
+        auto_plan_joules: auto_plan.total_estimated_joules(),
+        min_energy_joules: energy_plan.total_estimated_joules(),
+        min_energy_device,
+        checksum: sum_energy,
+    }
 }
 
 // ---------------------------------------------------------------------------

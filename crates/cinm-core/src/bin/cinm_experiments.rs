@@ -1,8 +1,11 @@
 //! Command-line harness regenerating the paper's tables and figures.
 //!
-//! Usage: `cinm-experiments [fig10|fig11|fig12|table4|sharded|bfs|pressure|all]
+//! Usage: `cinm-experiments [fig10|fig11|fig12|table4|sharded|bfs|pressure|energy|all]
 //!            [--scale test|bench|paper] [--threads N|auto]
-//!            [--shard auto|cnm-only|cim-only|host-only|fractions a,b,c]`
+//!            [--shard auto|cnm-only|cim-only|host-only|min-energy|fractions a,b,c]`
+//!
+//! `energy` reports the per-workload joule figures of the UPMEM and CIM
+//! energy models next to the ARM host baseline (see EXPERIMENTS.md).
 //!
 //! `bfs` runs multi-step breadth-first search to convergence through the
 //! `Session` graph API with a device-resident frontier, against the eager
@@ -127,6 +130,12 @@ fn main() {
             experiments::format_pressure(&experiments::memory_pressure(scale, threads, &pool))
         )
     };
+    let run_energy = || {
+        println!(
+            "{}",
+            experiments::format_energy(&experiments::energy_with_runtime(scale, threads, &pool))
+        )
+    };
     let run_sharded =
         || match experiments::sharded_with_runtime(scale, threads, &pool, shard_policy) {
             Ok(rows) => println!("{}", experiments::format_sharded(&rows)),
@@ -143,6 +152,7 @@ fn main() {
         "sharded" => run_sharded(),
         "bfs" => run_bfs(),
         "pressure" => run_pressure(),
+        "energy" => run_energy(),
         "all" => {
             run_fig10();
             run_fig11();
@@ -151,10 +161,11 @@ fn main() {
             run_sharded();
             run_bfs();
             run_pressure();
+            run_energy();
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected fig10|fig11|fig12|table4|sharded|bfs|pressure|all"
+                "unknown experiment '{other}'; expected fig10|fig11|fig12|table4|sharded|bfs|pressure|energy|all"
             );
             std::process::exit(2);
         }

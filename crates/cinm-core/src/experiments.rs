@@ -157,6 +157,110 @@ pub fn format_figure10(rows: &[Fig10Row]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Energy study: per-workload joules on host, CNM and CIM
+// ---------------------------------------------------------------------------
+
+/// One row of the energy study: joules of the same workload on the ARM
+/// host (the Figure 10 baseline), the optimised UPMEM configuration
+/// (pipeline + DMA + static + transfer energy) and the optimised CIM
+/// configuration (tile programming + analog MVMs + transfers). See
+/// `EXPERIMENTS.md` for the paper-side figures these reproduce.
+#[derive(Debug, Clone)]
+pub struct EnergyRow {
+    /// Workload name.
+    pub workload: String,
+    /// ARM host energy in joules.
+    pub host_j: f64,
+    /// `cinm-opt` UPMEM energy in joules (16 ranks).
+    pub cnm_j: f64,
+    /// `cim-opt` crossbar energy in joules.
+    pub cim_j: f64,
+}
+
+impl EnergyRow {
+    /// Host-over-CNM energy gain (> 1 means CNM spends fewer joules).
+    pub fn cnm_gain(&self) -> f64 {
+        self.host_j / self.cnm_j.max(1e-30)
+    }
+
+    /// Host-over-CIM energy gain (> 1 means CIM spends fewer joules).
+    pub fn cim_gain(&self) -> f64 {
+        self.host_j / self.cim_j.max(1e-30)
+    }
+}
+
+/// The energy study over the Figure 10 workload suite.
+pub fn energy(scale: Scale) -> Vec<EnergyRow> {
+    energy_with_threads(scale, 1)
+}
+
+/// [`energy`] with an explicit host-thread count for the functional
+/// simulation; the reproduced joule figures are bit-identical.
+pub fn energy_with_threads(scale: Scale, host_threads: usize) -> Vec<EnergyRow> {
+    energy_with_runtime(scale, host_threads, &PoolHandle::with_threads(host_threads))
+}
+
+/// [`energy_with_threads`] on an explicit shared worker pool.
+pub fn energy_with_runtime(scale: Scale, host_threads: usize, pool: &PoolHandle) -> Vec<EnergyRow> {
+    let arm = CpuModel::arm_host();
+    WorkloadId::cim_suite()
+        .into_iter()
+        .map(|id| {
+            let host_j = arm.energy_joules(&runner::cpu_op_counts(id, scale));
+            let (_, cnm) = runner::run_upmem_with_stats(
+                id,
+                scale,
+                16,
+                UpmemRunOptions::optimized()
+                    .with_host_threads(host_threads)
+                    .with_pool(pool.clone()),
+            );
+            let (_, cim) = runner::run_cim_with_stats(
+                id,
+                scale,
+                CimRunOptions::optimized()
+                    .with_host_threads(host_threads)
+                    .with_pool(pool.clone()),
+            );
+            EnergyRow {
+                workload: id.name().to_string(),
+                host_j,
+                cnm_j: cnm.total_energy_j(),
+                cim_j: cim.total_energy_j(),
+            }
+        })
+        .collect()
+}
+
+/// Formats the energy rows as a printable table with geomean gains.
+pub fn format_energy(rows: &[EnergyRow]) -> String {
+    let mut out = String::from("Energy — joules per workload (host vs cinm-opt CNM vs cim-opt)\n");
+    out.push_str("workload    host [J]     cnm [J]     cim [J]   host/cnm  host/cim\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>9.3e} {:>11.3e} {:>11.3e} {:>9.2}x {:>8.2}x\n",
+            r.workload,
+            r.host_j,
+            r.cnm_j,
+            r.cim_j,
+            r.cnm_gain(),
+            r.cim_gain()
+        ));
+    }
+    let gm = |f: fn(&EnergyRow) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
+    out.push_str(&format!(
+        "{:<10} {:>9} {:>11} {:>11} {:>9.2}x {:>8.2}x\n",
+        "geomean",
+        "",
+        "",
+        "",
+        gm(EnergyRow::cnm_gain),
+        gm(EnergyRow::cim_gain),
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Figure 11: impact of the CINM device-aware optimisations on UPMEM
 // ---------------------------------------------------------------------------
 

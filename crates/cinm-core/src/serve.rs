@@ -80,6 +80,14 @@ pub struct ServerOptions {
     /// Per-DPU MRAM budget in bytes for resident state (`None`: the
     /// machine's MRAM size). Loads beyond it are rejected, typed.
     pub mram_limit_bytes: Option<usize>,
+    /// Optional metrics registry. The server threads it into the owned
+    /// simulator (per-op `upmem.*` counters) and registers its own series:
+    /// server-wide request counters, batch-size and request-latency
+    /// histograms (p50/p99 derive from the snapshot), queue depth, pool
+    /// occupancy, and per-tenant counters/latency histograms named
+    /// `serve.tenant.<name>.*` at registration time. Recording is
+    /// atomics-only and allocation-free on the warmed serving path.
+    pub telemetry: Option<cinm_telemetry::Telemetry>,
 }
 
 impl Default for ServerOptions {
@@ -93,6 +101,7 @@ impl Default for ServerOptions {
             max_batch: usize::MAX,
             queue_depth: 64,
             mram_limit_bytes: None,
+            telemetry: None,
         }
     }
 }
@@ -144,6 +153,12 @@ impl ServerOptions {
     /// Overrides the per-DPU MRAM budget for resident tenant state.
     pub fn with_mram_limit_bytes(mut self, bytes: usize) -> Self {
         self.mram_limit_bytes = Some(bytes);
+        self
+    }
+
+    /// Attaches a metrics registry (see the field documentation).
+    pub fn with_telemetry(mut self, telemetry: cinm_telemetry::Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -373,9 +388,69 @@ pub struct ServerResidency {
     pub limit_bytes: usize,
 }
 
+/// Server-wide telemetry series (see [`ServerOptions::telemetry`]):
+/// registered once at construction, recorded by atomic operations on the
+/// serving hot path.
+struct ServerTele {
+    submitted: cinm_telemetry::Counter,
+    completed: cinm_telemetry::Counter,
+    failed: cinm_telemetry::Counter,
+    rejected: cinm_telemetry::Counter,
+    batch_size: cinm_telemetry::Histogram,
+    latency: cinm_telemetry::Histogram,
+    pool_workers: cinm_telemetry::Gauge,
+    pool_busy: cinm_telemetry::Gauge,
+    pool_tasks: cinm_telemetry::Gauge,
+}
+
+impl ServerTele {
+    fn register(t: &cinm_telemetry::Telemetry) -> Self {
+        ServerTele {
+            submitted: t.counter("serve.requests.submitted"),
+            completed: t.counter("serve.requests.completed"),
+            failed: t.counter("serve.requests.failed"),
+            rejected: t.counter("serve.admission.rejected"),
+            batch_size: t.histogram("serve.batch.size", &cinm_telemetry::BATCH_SIZE_BOUNDS),
+            latency: t.histogram(
+                "serve.latency.seconds",
+                &cinm_telemetry::LATENCY_SECONDS_BOUNDS,
+            ),
+            pool_workers: t.gauge("runtime.pool.workers"),
+            pool_busy: t.gauge("runtime.pool.busy"),
+            pool_tasks: t.gauge("runtime.pool.tasks_executed"),
+        }
+    }
+}
+
+/// Per-tenant telemetry series, registered under the tenant's name when the
+/// tenant is (the only allocation telemetry ever does per tenant).
+struct TenantTele {
+    submitted: cinm_telemetry::Counter,
+    completed: cinm_telemetry::Counter,
+    rejected: cinm_telemetry::Counter,
+    failed: cinm_telemetry::Counter,
+    latency: cinm_telemetry::Histogram,
+}
+
+impl TenantTele {
+    fn register(t: &cinm_telemetry::Telemetry, name: &str) -> Self {
+        TenantTele {
+            submitted: t.counter(&format!("serve.tenant.{name}.submitted")),
+            completed: t.counter(&format!("serve.tenant.{name}.completed")),
+            rejected: t.counter(&format!("serve.tenant.{name}.rejected")),
+            failed: t.counter(&format!("serve.tenant.{name}.failed")),
+            latency: t.histogram(
+                &format!("serve.tenant.{name}.latency.seconds"),
+                &cinm_telemetry::LATENCY_SECONDS_BOUNDS,
+            ),
+        }
+    }
+}
+
 struct Tenant {
     name: String,
     stats: TenantStats,
+    tele: Option<TenantTele>,
 }
 
 struct Model {
@@ -455,6 +530,10 @@ pub struct SessionServer {
     res_evictions: u64,
     res_reloads: u64,
     res_reload_bytes: u64,
+    /// Pre-registered server-wide telemetry series (`None` disables export).
+    tele: Option<ServerTele>,
+    /// Registry handle for late registrations (per-tenant series).
+    telemetry: Option<cinm_telemetry::Telemetry>,
 }
 
 impl SessionServer {
@@ -472,11 +551,19 @@ impl SessionServer {
         // so an accounting bug surfaces as a loud typed capacity error
         // instead of silent over-allocation.
         cfg.mram_bytes = cfg.mram_bytes.min(mram_limit_bytes);
+        if let Some(t) = &options.telemetry {
+            cfg.telemetry = Some(t.clone());
+        }
         let backend = UpmemBackend::with_config(cfg, options.upmem.clone());
         let tenant_slots = options.tenant_slots.max(1).min(backend.num_dpus());
+        let tele = options.telemetry.as_ref().map(ServerTele::register);
+        let mut queue = FairQueue::new();
+        if let Some(t) = &options.telemetry {
+            queue.attach_depth_gauge(t.gauge("serve.queue.depth"));
+        }
         SessionServer {
             backend,
-            queue: FairQueue::new(),
+            queue,
             tenants: Vec::new(),
             models: Vec::new(),
             groups: Vec::new(),
@@ -492,6 +579,8 @@ impl SessionServer {
             res_evictions: 0,
             res_reloads: 0,
             res_reload_bytes: 0,
+            tele,
+            telemetry: options.telemetry.clone(),
         }
     }
 
@@ -503,9 +592,14 @@ impl SessionServer {
             .queue
             .add_lane(spec.weight, spec.priority, self.queue_depth);
         debug_assert_eq!(lane, self.tenants.len());
+        let tele = self
+            .telemetry
+            .as_ref()
+            .map(|t| TenantTele::register(t, &spec.name));
         self.tenants.push(Tenant {
             name: spec.name,
             stats: TenantStats::default(),
+            tele,
         });
         TenantId(lane as u32)
     }
@@ -880,6 +974,12 @@ impl SessionServer {
                 self.free_requests.push(req);
                 self.stats.rejected += 1;
                 self.tenants[tenant.0 as usize].stats.rejected += 1;
+                if let Some(t) = &self.tele {
+                    t.rejected.inc();
+                }
+                if let Some(tt) = &self.tenants[tenant.0 as usize].tele {
+                    tt.rejected.inc();
+                }
                 return Err(ServeError::QueueFull { tenant, depth });
             }
             Err(AdmissionError::UnknownLane { .. }) => {
@@ -896,6 +996,12 @@ impl SessionServer {
         slot.error = None;
         self.stats.submitted += 1;
         self.tenants[tenant.0 as usize].stats.submitted += 1;
+        if let Some(t) = &self.tele {
+            t.submitted.inc();
+        }
+        if let Some(tt) = &self.tenants[tenant.0 as usize].tele {
+            tt.submitted.inc();
+        }
         Ok(RequestTicket { req, gen: slot.gen })
     }
 
@@ -1025,6 +1131,12 @@ impl SessionServer {
             self.run_round_stream();
         }
         self.round_groups.clear();
+        if let Some(t) = &self.tele {
+            let pool = self.backend.system().config().pool.get();
+            t.pool_workers.set(pool.workers() as f64);
+            t.pool_busy.set(pool.busy_workers() as f64);
+            t.pool_tasks.set(pool.tasks_executed() as f64);
+        }
         picked
     }
 
@@ -1188,6 +1300,7 @@ impl SessionServer {
             models,
             tenants,
             stats,
+            tele,
             ..
         } = self;
         let g = &mut groups[gi];
@@ -1205,17 +1318,29 @@ impl SessionServer {
                         latency_seconds: latency,
                         batch_size: size,
                     };
-                    let ts = &mut tenants[model.tenant.0 as usize].stats;
+                    let tenant = &mut tenants[model.tenant.0 as usize];
+                    let ts = &mut tenant.stats;
                     ts.completed += 1;
                     ts.served_work += g.plan.work();
                     ts.total_latency_seconds += latency;
                     ts.max_latency_seconds = ts.max_latency_seconds.max(latency);
                     stats.completed += 1;
+                    if let Some(t) = tele {
+                        t.completed.inc();
+                        t.latency.record(latency);
+                    }
+                    if let Some(tt) = &tenant.tele {
+                        tt.completed.inc();
+                        tt.latency.record(latency);
+                    }
                 }
                 g.launches += 1;
                 stats.batches += 1;
                 stats.batched_requests += u64::from(size);
                 stats.largest_batch = stats.largest_batch.max(u64::from(size));
+                if let Some(t) = tele {
+                    t.batch_size.record(f64::from(size));
+                }
             }
             Err(e) => {
                 for &req in g.batch.iter() {
@@ -1223,8 +1348,15 @@ impl SessionServer {
                     let model = &models[slot.model.0 as usize];
                     slot.state = ReqState::Failed;
                     slot.error = Some(e.clone());
-                    tenants[model.tenant.0 as usize].stats.failed += 1;
+                    let tenant = &mut tenants[model.tenant.0 as usize];
+                    tenant.stats.failed += 1;
                     stats.failed += 1;
+                    if let Some(t) = tele {
+                        t.failed.inc();
+                    }
+                    if let Some(tt) = &tenant.tele {
+                        tt.failed.inc();
+                    }
                 }
             }
         }
@@ -1522,6 +1654,50 @@ mod tests {
                 got: 3
             })
         ));
+    }
+
+    #[test]
+    fn telemetry_exports_server_and_tenant_series() {
+        let tele = cinm_telemetry::Telemetry::new();
+        let mut server = SessionServer::new(
+            tiny_options()
+                .with_queue_depth(1)
+                .with_telemetry(tele.clone()),
+        );
+        let t = server.register_tenant(TenantSpec::new("alpha"));
+        let (rows, cols) = (6, 4);
+        let a = ramp(rows * cols, 1, 0);
+        let x = ramp(cols, 2, -1);
+        let model = server.load_gemv_weights(t, &a, rows, cols).unwrap();
+        let q1 = server.submit(model, &x).unwrap();
+        assert!(matches!(
+            server.submit(model, &x),
+            Err(ServeError::QueueFull { .. })
+        ));
+        server.run_until_idle();
+        assert_eq!(server.wait(q1).unwrap(), host_gemv(&a, &x, rows, cols));
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("serve.requests.submitted"), Some(1));
+        assert_eq!(snap.counter("serve.requests.completed"), Some(1));
+        assert_eq!(snap.counter("serve.admission.rejected"), Some(1));
+        assert_eq!(snap.counter("serve.tenant.alpha.submitted"), Some(1));
+        assert_eq!(snap.counter("serve.tenant.alpha.completed"), Some(1));
+        assert_eq!(snap.counter("serve.tenant.alpha.rejected"), Some(1));
+        assert_eq!(snap.histogram("serve.latency.seconds").unwrap().count, 1);
+        assert_eq!(
+            snap.histogram("serve.tenant.alpha.latency.seconds")
+                .unwrap()
+                .count,
+            1
+        );
+        let bs = snap.histogram("serve.batch.size").unwrap();
+        assert_eq!((bs.count, bs.sum), (1, 1.0));
+        // The queue backlog gauge drained back to zero after the round.
+        assert_eq!(snap.gauge("serve.queue.depth"), Some(0.0));
+        // Simulator and pool series flow through the same shared registry.
+        assert!(snap.counter("upmem.launches").unwrap_or(0) >= 1);
+        assert!(snap.gauge("upmem.energy_j").unwrap_or(0.0) > 0.0);
+        assert!(snap.gauge("runtime.pool.workers").unwrap_or(0.0) >= 1.0);
     }
 
     #[test]

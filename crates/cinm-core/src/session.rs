@@ -188,6 +188,13 @@ pub struct SessionOptions {
     /// for any limit that admits the graph's true working set; a limit
     /// below that surfaces as a typed [`ShardError::MramExhausted`].
     pub mram_limit_bytes: Option<usize>,
+    /// Optional metrics registry. The session threads it into both
+    /// simulators (per-op counters, accumulated joules) and publishes its
+    /// own gauges after every run: run/replay counts, plan-cache
+    /// hits/misses/hit-rate, residency evictions/spills/remat ops, fault
+    /// retries. Recording is atomics-only — results, simulated statistics
+    /// and the warmed hot path's zero-allocation guarantee are unaffected.
+    pub telemetry: Option<cinm_telemetry::Telemetry>,
 }
 
 impl Default for SessionOptions {
@@ -200,6 +207,7 @@ impl Default for SessionOptions {
             upmem_config: None,
             fault: None,
             mram_limit_bytes: None,
+            telemetry: None,
         }
     }
 }
@@ -247,6 +255,12 @@ impl SessionOptions {
     /// field documentation).
     pub fn with_mram_limit_bytes(mut self, limit: usize) -> Self {
         self.mram_limit_bytes = Some(limit);
+        self
+    }
+
+    /// Attaches a metrics registry (see the field documentation).
+    pub fn with_telemetry(mut self, telemetry: cinm_telemetry::Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -973,6 +987,45 @@ struct ResidencyCounters {
     remat_ops: u64,
 }
 
+/// The session's registered telemetry series (see
+/// [`SessionOptions::telemetry`]). Gauges are registered once at
+/// construction and published by atomic stores after every run — the warmed
+/// hot path stays allocation-free.
+#[derive(Debug)]
+struct SessionTele {
+    runs: cinm_telemetry::Gauge,
+    replays: cinm_telemetry::Gauge,
+    plan_cache_hits: cinm_telemetry::Gauge,
+    plan_cache_misses: cinm_telemetry::Gauge,
+    plan_cache_evictions: cinm_telemetry::Gauge,
+    plan_cache_entries: cinm_telemetry::Gauge,
+    plan_cache_hit_rate: cinm_telemetry::Gauge,
+    res_evictions: cinm_telemetry::Gauge,
+    res_spills: cinm_telemetry::Gauge,
+    res_spilled_bytes: cinm_telemetry::Gauge,
+    res_remat_ops: cinm_telemetry::Gauge,
+    fault_retries: cinm_telemetry::Gauge,
+}
+
+impl SessionTele {
+    fn register(t: &cinm_telemetry::Telemetry) -> Self {
+        SessionTele {
+            runs: t.gauge("session.runs"),
+            replays: t.gauge("session.replays"),
+            plan_cache_hits: t.gauge("session.plan_cache.hits"),
+            plan_cache_misses: t.gauge("session.plan_cache.misses"),
+            plan_cache_evictions: t.gauge("session.plan_cache.evictions"),
+            plan_cache_entries: t.gauge("session.plan_cache.entries"),
+            plan_cache_hit_rate: t.gauge("session.plan_cache.hit_rate"),
+            res_evictions: t.gauge("session.residency.evictions"),
+            res_spills: t.gauge("session.residency.spills"),
+            res_spilled_bytes: t.gauge("session.residency.spilled_bytes"),
+            res_remat_ops: t.gauge("session.residency.remat_ops"),
+            fault_retries: t.gauge("session.fault.retries"),
+        }
+    }
+}
+
 /// How one recovery attempt resumes execution.
 #[derive(Debug, Clone, Copy)]
 enum Recovery {
@@ -1031,6 +1084,8 @@ pub struct Session {
     /// fetch or write forced an evicted tensor back; temp recycling is
     /// suppressed because the caller's pending graph is saved aside).
     in_remat: bool,
+    /// Registered telemetry gauges (see [`SessionOptions::telemetry`]).
+    tele: Option<SessionTele>,
 }
 
 impl Session {
@@ -1056,6 +1111,7 @@ impl Session {
             mut upmem_config,
             fault,
             mram_limit_bytes,
+            telemetry,
         } = options;
         if let Some(fault) = fault {
             // One schedule drives both simulators (independent event streams:
@@ -1076,6 +1132,17 @@ impl Session {
                 .unwrap_or_else(|| UpmemConfig::with_ranks(sharded.ranks));
             cfg.mram_bytes = limit.min(cfg.mram_bytes);
             upmem_config = Some(cfg);
+        }
+        if let Some(t) = &telemetry {
+            // Both simulators register their per-op counters against the
+            // same registry the session publishes its gauges to — one
+            // snapshot covers the whole stack.
+            let cfg = upmem_config
+                .take()
+                .unwrap_or_else(|| UpmemConfig::with_ranks(sharded.ranks));
+            upmem_config = Some(cfg.with_telemetry(t.clone()));
+            let cim_cfg = sharded.cim_config.take().unwrap_or_default();
+            sharded.cim_config = Some(cim_cfg.with_telemetry(t.clone()));
         }
         let backend = match upmem_config {
             Some(cfg) => ShardedBackend::with_upmem_config(cfg, sharded),
@@ -1113,6 +1180,7 @@ impl Session {
             run_token: 0,
             res_counters: ResidencyCounters::default(),
             in_remat: false,
+            tele: telemetry.as_ref().map(SessionTele::register),
         }
     }
 
@@ -2668,7 +2736,35 @@ impl Session {
                 self.free.push_back(phys);
             }
         }
+        self.publish_telemetry();
         outcome
+    }
+
+    /// Publishes the session's gauges to the attached registry (no-op
+    /// without one). Pure atomic stores on pre-registered series — no
+    /// allocations, no locks.
+    fn publish_telemetry(&self) {
+        let Some(t) = &self.tele else { return };
+        t.runs.set(self.runs as f64);
+        t.replays.set(self.replays as f64);
+        t.plan_cache_hits.set(self.cache_hits as f64);
+        t.plan_cache_misses.set(self.cache_misses as f64);
+        t.plan_cache_evictions.set(self.cache_evictions as f64);
+        t.plan_cache_entries
+            .set(self.compiled.iter().filter(|c| c.valid).count() as f64);
+        let lookups = self.cache_hits + self.cache_misses;
+        t.plan_cache_hit_rate.set(if lookups > 0 {
+            self.cache_hits as f64 / lookups as f64
+        } else {
+            0.0
+        });
+        t.res_evictions.set(self.res_counters.evictions as f64);
+        t.res_spills.set(self.res_counters.spills as f64);
+        t.res_spilled_bytes
+            .set(self.res_counters.spilled_bytes as f64);
+        t.res_remat_ops.set(self.res_counters.remat_ops as f64);
+        t.fault_retries
+            .set(self.fault_stats().transient_retries as f64);
     }
 
     /// Executes the compiled plan `idx` from step `from`; a failure reports

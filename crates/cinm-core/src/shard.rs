@@ -108,6 +108,10 @@ impl CostModel for DeviceCostAdapter {
     fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
         self.0.estimate_shard_seconds(op_name, shape)
     }
+
+    fn estimate_shard_joules(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        self.0.estimate_shard_joules(op_name, shape)
+    }
 }
 
 // Every device-level cost model is a planner cost model by construction
@@ -126,6 +130,10 @@ impl<T: DeviceCost> CostModel for T {
     fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
         <T as DeviceCost>::estimate_shard_seconds(self, op_name, shape)
     }
+
+    fn estimate_shard_joules(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        <T as DeviceCost>::estimate_shard_joules(self, op_name, shape)
+    }
 }
 
 /// How the planner assigns work to devices.
@@ -133,6 +141,16 @@ impl<T: DeviceCost> CostModel for T {
 pub enum ShardPolicy {
     /// Balance estimated completion times across all supporting devices.
     Auto,
+    /// Minimise estimated *energy* instead of makespan: place all work on
+    /// the device whose full-work joule estimate
+    /// ([`CostModel::estimate_shard_joules`]) is smallest. Single-device
+    /// placement is provably optimal here — every model's fixed energy
+    /// (broadcasts, tile programming, static leakage over the launch) is
+    /// non-negative and amortises with shard size, so `e_i(w) ≥ (w/W)·e_i(W)`
+    /// and any split's total energy `Σ e_i(w_i) ≥ min_i e_i(W)`. Splitting
+    /// can only add fixed costs; unlike makespan, energy gains nothing from
+    /// concurrency.
+    MinimizeEnergy,
     /// Place all work on one device (the `--shard cnm-only` / `cim-only` /
     /// `host-only` knobs).
     Single(Target),
@@ -149,6 +167,7 @@ impl ShardPolicy {
     pub fn parse_cli(value: &str, next: Option<&str>) -> Result<ShardPolicy, String> {
         match value {
             "auto" => Ok(ShardPolicy::Auto),
+            "min-energy" => Ok(ShardPolicy::MinimizeEnergy),
             "cnm-only" => Ok(ShardPolicy::Single(Target::Cnm)),
             "cim-only" => Ok(ShardPolicy::Single(Target::Cim)),
             "host-only" => Ok(ShardPolicy::Single(Target::Host)),
@@ -170,7 +189,7 @@ impl ShardPolicy {
                 Ok(ShardPolicy::Fractions([parts[0], parts[1], parts[2]]))
             }
             other => Err(format!(
-                "invalid --shard value '{other}'; expected auto|cnm-only|cim-only|host-only|fractions a,b,c"
+                "invalid --shard value '{other}'; expected auto|min-energy|cnm-only|cim-only|host-only|fractions a,b,c"
             )),
         }
     }
@@ -180,6 +199,7 @@ impl ShardPolicy {
     pub fn cli_name(&self) -> String {
         match self {
             ShardPolicy::Auto => "auto".to_string(),
+            ShardPolicy::MinimizeEnergy => "min-energy".to_string(),
             ShardPolicy::Single(Target::Cnm) => "cnm-only".to_string(),
             ShardPolicy::Single(Target::Cim) => "cim-only".to_string(),
             ShardPolicy::Single(Target::Host) => "host-only".to_string(),
@@ -213,6 +233,11 @@ pub struct ShardPlan {
     /// Estimated completion seconds per device at the planned split (zero
     /// for empty shards or devices without a model).
     pub estimated_seconds: [f64; 3],
+    /// Estimated joules per device at the planned split (zero for empty
+    /// shards or devices whose model carries no energy calibration) — filled
+    /// for *every* policy, so energy-aware and makespan-optimal plans can be
+    /// compared on the same estimates.
+    pub estimated_joules: [f64; 3],
     /// `Some(target)` when the planner fell back to a single device (op too
     /// small to shard, only one supporting device, or a forced policy).
     pub fallback: Option<Target>,
@@ -222,6 +247,11 @@ impl ShardPlan {
     /// Whether the plan actually uses more than one device.
     pub fn is_sharded(&self) -> bool {
         ShardPlanner::split_device_count(&self.split) > 1
+    }
+
+    /// Total estimated energy of the plan across all devices, in joules.
+    pub fn total_estimated_joules(&self) -> f64 {
+        self.estimated_joules.iter().sum()
     }
 }
 
@@ -398,6 +428,19 @@ impl ShardPlanner {
             .map(|t| t * self.calibrator.scale(op, device))
     }
 
+    /// Full-shard *energy* estimate of a target in joules, or `None` if no
+    /// registered model carries an energy calibration for the op on that
+    /// target. Uncalibrated by the [`ShardCalibrator`] — the calibrator
+    /// learns measured/estimated *time* ratios, and no measured energy
+    /// exists to correct against.
+    pub fn estimate_joules(&self, target: Target, op: &str, shape: &ShardShape) -> Option<f64> {
+        self.models
+            .iter()
+            .filter(|m| m.target() == target)
+            .filter_map(|m| m.estimate_shard_joules(op, shape))
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
     fn split_device_count(split: &ShardSplit) -> usize {
         [split.cnm, split.cim, split.host]
             .iter()
@@ -424,7 +467,7 @@ impl ShardPlanner {
                 ShardPolicy::Single(target) => {
                     self.single_split(op, 0, target, &estimates)?;
                 }
-                ShardPolicy::Auto => {}
+                ShardPolicy::Auto | ShardPolicy::MinimizeEnergy => {}
             }
             return Ok(self.finish(op, &shape, ShardSplit::default(), None));
         }
@@ -444,7 +487,39 @@ impl ShardPlanner {
                 Ok(self.finish(op, &shape, split, None))
             }
             ShardPolicy::Auto => self.plan_auto(op, &shape, &estimates),
+            ShardPolicy::MinimizeEnergy => self.plan_min_energy(op, &shape, &estimates),
         }
+    }
+
+    /// The `MinimizeEnergy` policy: all work goes to the device with the
+    /// smallest full-work joule estimate (see [`ShardPolicy::MinimizeEnergy`]
+    /// for why single-device placement is optimal under amortising fixed
+    /// energy costs). Devices without an energy-calibrated model — or
+    /// without support for the op at all — drop out; with no energy
+    /// candidate anywhere the op stays on the host, the catch-all target.
+    fn plan_min_energy(
+        &self,
+        op: &str,
+        shape: &ShardShape,
+        estimates: &[Option<f64>; 3],
+    ) -> Result<ShardPlan, ShardError> {
+        let work = shape.work;
+        let best = estimates
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_some())
+            .filter_map(|(i, _)| {
+                self.estimate_joules(index_target(i), op, shape)
+                    .map(|j| (i, j))
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let Some((device, _)) = best else {
+            let split = ShardSplit::all_host(work);
+            return Ok(self.finish(op, shape, split, Some(Target::Host)));
+        };
+        let target = index_target(device);
+        let split = self.single_split(op, work, target, estimates)?;
+        Ok(self.finish(op, shape, split, Some(target)))
     }
 
     /// Checks a forced single-target placement against the support matrix.
@@ -637,10 +712,14 @@ impl ShardPlanner {
         fallback: Option<Target>,
     ) -> ShardPlan {
         let mut estimated_seconds = [0.0f64; 3];
+        let mut estimated_joules = [0.0f64; 3];
         for (i, &w) in [split.cnm, split.cim, split.host].iter().enumerate() {
             if w > 0 {
                 if let Some(t) = self.estimate(index_target(i), op, &shape.with_work(w)) {
                     estimated_seconds[i] = t;
+                }
+                if let Some(j) = self.estimate_joules(index_target(i), op, &shape.with_work(w)) {
+                    estimated_joules[i] = j;
                 }
             }
         }
@@ -650,6 +729,7 @@ impl ShardPlanner {
             fractions: split.fractions(),
             split,
             estimated_seconds,
+            estimated_joules,
             fallback,
         }
     }
@@ -984,6 +1064,7 @@ mod tests {
     fn shard_policy_cli_grammar_round_trips() {
         for (value, policy) in [
             ("auto", ShardPolicy::Auto),
+            ("min-energy", ShardPolicy::MinimizeEnergy),
             ("cnm-only", ShardPolicy::Single(Target::Cnm)),
             ("cim-only", ShardPolicy::Single(Target::Cim)),
             ("host-only", ShardPolicy::Single(Target::Host)),
@@ -1007,7 +1088,68 @@ mod tests {
         assert!(ShardPolicy::Fractions([0.5, 0.25, 0.25]).requires_cim());
         assert!(!ShardPolicy::Fractions([0.5, 0.0, 0.5]).requires_cim());
         assert!(!ShardPolicy::Auto.requires_cim());
+        assert!(!ShardPolicy::MinimizeEnergy.requires_cim());
         assert!(!ShardPolicy::Single(Target::Cnm).requires_cim());
+    }
+
+    #[test]
+    fn min_energy_plans_never_exceed_makespan_plan_joules() {
+        // The ISSUE's acceptance criterion over the bench-sweep op/shape
+        // grid: the MinimizeEnergy plan's estimated joules are ≤ the
+        // makespan-optimal (Auto) plan's joules on the same estimates.
+        let auto = planner();
+        let energy = planner().with_policy(ShardPolicy::MinimizeEnergy);
+        let cases: [(&str, ShardShape); 8] = [
+            (cinm::GEMV, ShardShape::matmul(4096, 1024, 1)),
+            (cinm::GEMV, ShardShape::matmul(256, 256, 1)),
+            (cinm::GEMM, ShardShape::matmul(4096, 256, 128)),
+            (cinm::GEMM, ShardShape::matmul(64, 64, 64)),
+            ("cinm.add", ShardShape::streaming(1 << 21)),
+            ("cinm.add", ShardShape::streaming(1 << 12)),
+            (cinm::REDUCE, ShardShape::streaming(1 << 20)),
+            (cinm::HISTOGRAM, ShardShape::streaming(1 << 20)),
+        ];
+        for (op, shape) in cases {
+            let auto_plan = auto.plan(op, shape).unwrap();
+            let energy_plan = energy.plan(op, shape).unwrap();
+            assert_eq!(energy_plan.split.total(), shape.work);
+            assert!(
+                !energy_plan.is_sharded(),
+                "energy placement is single-device by construction: {energy_plan:?}"
+            );
+            let (e, a) = (
+                energy_plan.total_estimated_joules(),
+                auto_plan.total_estimated_joules(),
+            );
+            assert!(e > 0.0, "{op}: energy plan must carry a joule estimate");
+            assert!(
+                e <= a * (1.0 + 1e-9),
+                "{op} {shape:?}: min-energy {e} J must not exceed auto {a} J"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_estimates_exist_for_every_supporting_device() {
+        // Every default model now carries an energy calibration: wherever a
+        // seconds estimate exists, a joules estimate must too (and both are
+        // positive), so energy-aware planning sees the same candidate set.
+        let p = planner();
+        for (op, shape) in [
+            (cinm::GEMM, ShardShape::matmul(1024, 256, 128)),
+            (cinm::GEMV, ShardShape::matmul(4096, 1024, 1)),
+            ("cinm.add", ShardShape::streaming(1 << 16)),
+            (cinm::REDUCE, ShardShape::streaming(1 << 16)),
+        ] {
+            for target in [Target::Cnm, Target::Cim, Target::Host] {
+                let secs = p.estimate(target, op, &shape);
+                let joules = p.estimate_joules(target, op, &shape);
+                assert_eq!(secs.is_some(), joules.is_some(), "{op} on {target}");
+                if let Some(j) = joules {
+                    assert!(j > 0.0, "{op} on {target}: {j}");
+                }
+            }
+        }
     }
 
     #[test]

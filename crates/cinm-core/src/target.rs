@@ -76,6 +76,21 @@ pub trait CostModel {
     ) -> Option<f64> {
         self.estimate_seconds(op_name, shape.sharded_elements())
     }
+
+    /// Estimated *energy* in joules of a shard of a `cinm` operation, or
+    /// `None` when the device cannot execute the op or the model carries no
+    /// energy calibration. Drives energy-aware placement
+    /// ([`crate::shard::ShardPolicy::MinimizeEnergy`]); models without an
+    /// energy figure simply drop out of energy-based plans while remaining
+    /// fully usable for latency-based planning.
+    fn estimate_shard_joules(
+        &self,
+        op_name: &str,
+        shape: &crate::shard::ShardShape,
+    ) -> Option<f64> {
+        let _ = (op_name, shape);
+        None
+    }
 }
 
 /// Registry of cost models plus the greedy fallback policy.

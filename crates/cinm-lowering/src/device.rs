@@ -209,6 +209,18 @@ pub trait DeviceCost: Send {
     /// device cannot execute it. Planners sample this at several shard sizes
     /// to separate fixed per-dispatch overheads from marginal per-unit cost.
     fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64>;
+
+    /// Estimated *energy* in joules of a shard of an op, or `None` if the
+    /// device cannot execute it or the model carries no energy calibration.
+    /// Planners sample this exactly like the seconds estimate (at several
+    /// shard sizes, fitting an affine `fixed + per-unit` form) to drive
+    /// energy-aware placement (`ShardPolicy::MinimizeEnergy`). The default
+    /// reports no estimate, which drops the device out of energy-based
+    /// plans without affecting latency-based planning.
+    fn estimate_shard_joules(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        let _ = (op_name, shape);
+        None
+    }
 }
 
 /// First-order cost model of the UPMEM grid, mirroring the simulator's cost
@@ -291,6 +303,70 @@ impl CnmCostModel {
         }
         kernel + transfer
     }
+
+    /// Energy counterpart of [`CnmCostModel::shard_estimate`], calibrated
+    /// against the simulator's [`EnergyCosts`](upmem_sim::EnergyCosts)
+    /// accounting: the matmul-like kernel term asks
+    /// [`upmem_sim::kernel_launch_cost`] for the whole-grid launch energy
+    /// (pipeline + DMA + static leakage over the launch, on the DPUs the
+    /// shard actually occupies), streaming ops use the same first-order
+    /// per-unit cycle count as the time model, and every host-interface byte
+    /// is billed at the transfer energy rate — with the stationary-operand
+    /// broadcast billed per receiving DPU, exactly as
+    /// [`upmem_sim::SystemStats`] accounts it.
+    fn shard_energy(&self, kind: OpKind, shape: &ShardShape) -> f64 {
+        let cfg = &self.config;
+        let i = &cfg.instr;
+        let dpus = (cfg.ranks * cfg.dpus_per_rank).max(1);
+        let work = shape.work as f64;
+        let kernel = if kind.matmul_like() {
+            let rows_per_dpu = shape.work.div_ceil(dpus).max(1);
+            let dpus_used = shape.work.div_ceil(rows_per_dpu).clamp(1, dpus);
+            let dpu_kind = if kind == OpKind::Gemm {
+                DpuKernelKind::Gemm {
+                    m: rows_per_dpu,
+                    k: shape.inner,
+                    n: shape.out,
+                }
+            } else {
+                DpuKernelKind::Gemv {
+                    rows: rows_per_dpu,
+                    cols: shape.inner,
+                }
+            };
+            let wram = wram_tile_elems(cfg.wram_bytes, cfg.tasklets, 4);
+            let spec = KernelSpec::new(dpu_kind, vec![0, 0], 1)
+                .with_tasklets(cfg.tasklets)
+                .with_wram_tile(wram)
+                .with_locality_optimization();
+            kernel_launch_cost(cfg, &spec, cfg.tasklets, dpus_used).energy_j
+        } else {
+            // Streaming ops: per-unit cycles approximate retired
+            // instructions (single-issue pipeline), each element crosses
+            // the MRAM↔WRAM interface three times (two loads, one store),
+            // and every DPU burns leakage while the slowest one finishes.
+            let units_per_dpu = (work / dpus as f64).ceil().max(1.0);
+            let cycles_per_unit = 3.0 * i.wram_access + i.alu + 0.5 * i.branch;
+            let seconds = units_per_dpu * cycles_per_unit / cfg.dpu_freq_hz;
+            work * cycles_per_unit * cfg.energy.pipeline_j_per_instr
+                + 3.0 * work * 4.0 * cfg.energy.dma_j_per_byte
+                + seconds * cfg.energy.static_w_per_dpu * dpus as f64
+        };
+        let sharded_bytes = work * shape.inner as f64 * 4.0;
+        let result_bytes = match kind {
+            OpKind::Reduce | OpKind::Histogram => dpus as f64 * 4.0,
+            OpKind::Gemm | OpKind::Gemv => work * shape.out as f64 * 4.0,
+            OpKind::Elementwise => work * shape.out as f64 * 4.0 + sharded_bytes,
+        };
+        let mut interface_bytes = sharded_bytes + result_bytes;
+        if kind.matmul_like() {
+            // The stationary operand is broadcast: every DPU receives its
+            // own copy, and the interface energy accounting bills each one.
+            let stationary_bytes = (shape.inner * shape.out) as f64 * 4.0;
+            interface_bytes += stationary_bytes * dpus as f64;
+        }
+        kernel + cfg.transfer_energy_j(interface_bytes)
+    }
 }
 
 impl DeviceCost for CnmCostModel {
@@ -306,6 +382,11 @@ impl DeviceCost for CnmCostModel {
     fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
         let kind = op_kind(op_name)?;
         Some(self.shard_estimate(kind, shape))
+    }
+
+    fn estimate_shard_joules(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        Some(self.shard_energy(kind, shape))
     }
 }
 
@@ -352,6 +433,21 @@ impl DeviceCost for CimCostModel {
         let compute = shape.work as f64 * groups * cfg.mvm_seconds();
         Some(programming + compute)
     }
+
+    fn estimate_shard_joules(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        if !kind.matmul_like() {
+            return None;
+        }
+        // Mirrors the simulator's CimStats accounting: each tile is
+        // programmed once (the shard-size independent fixed energy), then
+        // every work unit issues one MVM on every tile. Tile parallelism
+        // changes time, not energy.
+        let cfg = &self.config;
+        let tiles = (shape.inner.div_ceil(cfg.tile_rows.max(1))
+            * shape.out.div_ceil(cfg.tile_cols.max(1))) as f64;
+        Some(tiles * cfg.tile_program_energy() + shape.work as f64 * tiles * cfg.mvm_energy())
+    }
 }
 
 /// Host cost model: the roofline of a [`CpuModel`] over the shard's real
@@ -388,6 +484,18 @@ impl DeviceCost for HostCostModel {
             OpKind::Histogram => OpCounts::histogram(shape.work, 256),
         };
         Some(self.model.execution_seconds(&counts))
+    }
+
+    fn estimate_shard_joules(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        let kind = op_kind(op_name)?;
+        let counts = match kind {
+            OpKind::Gemm => OpCounts::gemm(shape.work, shape.inner, shape.out),
+            OpKind::Gemv => OpCounts::gemv(shape.work, shape.inner),
+            OpKind::Elementwise => OpCounts::elementwise(shape.work),
+            OpKind::Reduce => OpCounts::reduce(shape.work),
+            OpKind::Histogram => OpCounts::histogram(shape.work, 256),
+        };
+        Some(self.model.energy_joules(&counts))
     }
 }
 
@@ -636,6 +744,14 @@ pub trait Device: Send {
         self.cost().estimate_shard_seconds(op_name, shape)
     }
 
+    /// Estimated joules of one shard on this device (`None` when the op is
+    /// unsupported or the cost model carries no energy calibration).
+    /// Default: asks [`Device::cost`]; implementations keep a model instance
+    /// to avoid the per-call box.
+    fn estimate_shard_joules(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        self.cost().estimate_shard_joules(op_name, shape)
+    }
+
     /// Executes one shard. Empty shards (`plan.work() == 0`) resolve to an
     /// empty result at zero cost without touching the device; unsupported
     /// ops return [`ShardError::Unsupported`]. Device-side *execution*
@@ -737,6 +853,10 @@ impl Device for UpmemDevice {
 
     fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
         self.cost.estimate_shard_seconds(op_name, shape)
+    }
+
+    fn estimate_shard_joules(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        self.cost.estimate_shard_joules(op_name, shape)
     }
 
     fn submit(&mut self, plan: &ShardOp<'_>) -> Result<DeviceFuture, ShardError> {
@@ -845,6 +965,10 @@ impl Device for CimDevice {
 
     fn estimate_shard_seconds(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
         self.cost.estimate_shard_seconds(op_name, shape)
+    }
+
+    fn estimate_shard_joules(&self, op_name: &str, shape: &ShardShape) -> Option<f64> {
+        self.cost.estimate_shard_joules(op_name, shape)
     }
 
     fn submit(&mut self, plan: &ShardOp<'_>) -> Result<DeviceFuture, ShardError> {

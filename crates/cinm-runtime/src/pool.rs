@@ -19,6 +19,7 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::num::NonZeroUsize;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Locks a pool mutex, recovering the data if a panicking thread poisoned it.
@@ -65,6 +66,26 @@ struct PoolState {
 struct PoolShared {
     state: Mutex<PoolState>,
     work_available: Condvar,
+    /// Jobs currently executing on any thread (workers + helping waiters).
+    /// Updated with relaxed atomics around each job — occupancy telemetry,
+    /// never consulted for scheduling.
+    busy: AtomicUsize,
+    /// Total jobs ever executed on this pool.
+    executed: AtomicU64,
+}
+
+/// Runs one popped job with occupancy accounting (shared by the worker loop
+/// and the helping waiter in [`WorkerPool::scope`]).
+fn run_job(shared: &PoolShared, job: Job) {
+    shared.busy.fetch_add(1, Ordering::Relaxed);
+    // Jobs carry their own catch (scope tasks record panics in their
+    // scope), but a defective payload can still panic on the way out —
+    // contain it here so a poisoned job can never take a worker thread
+    // down with it (the scope that owned the job has already observed the
+    // original panic) and the busy count always drops back.
+    let _ = panic::catch_unwind(AssertUnwindSafe(job));
+    shared.busy.fetch_sub(1, Ordering::Relaxed);
+    shared.executed.fetch_add(1, Ordering::Relaxed);
 }
 
 impl PoolShared {
@@ -93,12 +114,7 @@ fn worker_loop(shared: Arc<PoolShared>) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        // Jobs carry their own catch (scope tasks record panics in their
-        // scope), but a defective payload can still panic on the way out —
-        // contain it here so a poisoned job can never take the worker thread
-        // down with it. The scope that owned the job has already observed
-        // the original panic; this secondary one is unreportable.
-        let _ = panic::catch_unwind(AssertUnwindSafe(job));
+        run_job(&shared, job);
     }
 }
 
@@ -142,6 +158,8 @@ impl WorkerPool {
                 shutdown: false,
             }),
             work_available: Condvar::new(),
+            busy: AtomicUsize::new(0),
+            executed: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -158,6 +176,18 @@ impl WorkerPool {
     /// Number of persistent worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Jobs currently executing (occupancy): queued tasks being run by
+    /// workers or by helping waiters. A telemetry reading — instantaneous
+    /// and racy by nature, never used for scheduling.
+    pub fn busy_workers(&self) -> usize {
+        self.shared.busy.load(Ordering::Relaxed)
+    }
+
+    /// Total tasks this pool has ever executed.
+    pub fn tasks_executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
     }
 
     /// Runs `f` with a [`Scope`] on which borrowed tasks can be spawned, and
@@ -211,7 +241,7 @@ impl WorkerPool {
                 }
             };
             match job {
-                Some(job) => job(),
+                Some(job) => run_job(&self.shared, job),
                 None => break,
             }
         }

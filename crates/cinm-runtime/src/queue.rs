@@ -100,12 +100,22 @@ pub struct FairQueue {
     vclock: u64,
     /// Total queued items across all lanes.
     backlog: usize,
+    /// Optional telemetry gauge mirroring `backlog` (set on every enqueue
+    /// and pop; an atomic store — no lock, no allocation).
+    depth_gauge: Option<cinm_telemetry::Gauge>,
 }
 
 impl FairQueue {
     /// Creates an empty queue with no lanes.
     pub fn new() -> Self {
         FairQueue::default()
+    }
+
+    /// Mirrors the queue's backlog into `gauge` from now on (queue-depth
+    /// telemetry for the serving layer).
+    pub fn attach_depth_gauge(&mut self, gauge: cinm_telemetry::Gauge) {
+        gauge.set(self.backlog as f64);
+        self.depth_gauge = Some(gauge);
     }
 
     /// Registers a lane and returns its index. `weight` (minimum 1) sets the
@@ -166,6 +176,9 @@ impl FairQueue {
         }
         l.items.push_back((item, cost));
         self.backlog += 1;
+        if let Some(g) = &self.depth_gauge {
+            g.set(self.backlog as f64);
+        }
         Ok(())
     }
 
@@ -204,6 +217,9 @@ impl FairQueue {
         self.vclock = lane.vtime;
         lane.vtime += cost.saturating_mul(VTIME_SCALE) / lane.eff_weight;
         self.backlog -= 1;
+        if let Some(g) = &self.depth_gauge {
+            g.set(self.backlog as f64);
+        }
         Some((i, item))
     }
 }

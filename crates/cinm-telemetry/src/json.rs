@@ -1,0 +1,339 @@
+//! Minimal hand-rolled JSON support for [`TelemetrySnapshot`]: an emitter
+//! matching the committed `BENCH_*.json` style and a small recursive-descent
+//! parser so snapshots can round-trip (asserted in CI). The parser is
+//! general enough for any JSON document a snapshot can produce; it is not a
+//! general-purpose JSON library (no `\uXXXX` escapes beyond ASCII, no
+//! streaming) — the workspace has no registry access, so this stays local.
+
+use crate::{HistogramSnapshot, SnapshotEntry, SnapshotValue, TelemetrySnapshot, TELEMETRY_SCHEMA};
+
+/// Emits a JSON string literal with the escapes snapshot names can need.
+pub(crate) fn emit_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Emits an `f64` using Rust's shortest round-trip formatting, so parsing
+/// the text recovers the exact bits. Non-finite values (which JSON cannot
+/// represent) are clamped to 0 — registered metrics never produce them.
+pub(crate) fn emit_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push('0');
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("telemetry JSON parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number bytes"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x80 => {
+                    s.push(c as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+impl Value {
+    fn get<'v>(&'v self, key: &str) -> Option<&'v Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+fn field<'v>(obj: &'v Value, key: &str, ctx: &str) -> Result<&'v Value, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("telemetry JSON: missing field '{key}' in {ctx}"))
+}
+
+/// Parses the exact document shape [`TelemetrySnapshot::to_json`] emits.
+pub(crate) fn parse_snapshot(text: &str) -> Result<TelemetrySnapshot, String> {
+    let mut p = Parser::new(text);
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after document"));
+    }
+    let schema = field(&root, "schema", "snapshot")?
+        .as_str()
+        .ok_or("telemetry JSON: 'schema' is not a string")?;
+    if schema != TELEMETRY_SCHEMA {
+        return Err(format!(
+            "telemetry JSON: schema '{schema}' != expected '{TELEMETRY_SCHEMA}'"
+        ));
+    }
+    let metrics = match field(&root, "metrics", "snapshot")? {
+        Value::Arr(items) => items,
+        _ => return Err("telemetry JSON: 'metrics' is not an array".to_string()),
+    };
+    let mut entries = Vec::with_capacity(metrics.len());
+    for m in metrics {
+        let name = field(m, "name", "metric")?
+            .as_str()
+            .ok_or("telemetry JSON: metric 'name' is not a string")?
+            .to_string();
+        let kind = field(m, "kind", &name)?
+            .as_str()
+            .ok_or("telemetry JSON: metric 'kind' is not a string")?;
+        let value = match kind {
+            "counter" => SnapshotValue::Counter(
+                field(m, "value", &name)?
+                    .as_u64()
+                    .ok_or_else(|| format!("telemetry JSON: counter '{name}' value"))?,
+            ),
+            "gauge" => SnapshotValue::Gauge(
+                field(m, "value", &name)?
+                    .as_f64()
+                    .ok_or_else(|| format!("telemetry JSON: gauge '{name}' value"))?,
+            ),
+            "histogram" => {
+                let bounds = match field(m, "bounds", &name)? {
+                    Value::Arr(items) => items
+                        .iter()
+                        .map(|v| v.as_f64())
+                        .collect::<Option<Vec<f64>>>()
+                        .ok_or_else(|| format!("telemetry JSON: histogram '{name}' bounds"))?,
+                    _ => return Err(format!("telemetry JSON: histogram '{name}' bounds")),
+                };
+                let counts = match field(m, "counts", &name)? {
+                    Value::Arr(items) => items
+                        .iter()
+                        .map(|v| v.as_u64())
+                        .collect::<Option<Vec<u64>>>()
+                        .ok_or_else(|| format!("telemetry JSON: histogram '{name}' counts"))?,
+                    _ => return Err(format!("telemetry JSON: histogram '{name}' counts")),
+                };
+                SnapshotValue::Histogram(HistogramSnapshot {
+                    bounds,
+                    counts,
+                    count: field(m, "count", &name)?
+                        .as_u64()
+                        .ok_or_else(|| format!("telemetry JSON: histogram '{name}' count"))?,
+                    sum: field(m, "sum", &name)?
+                        .as_f64()
+                        .ok_or_else(|| format!("telemetry JSON: histogram '{name}' sum"))?,
+                })
+            }
+            other => {
+                return Err(format!(
+                    "telemetry JSON: metric '{name}' has unknown kind '{other}'"
+                ))
+            }
+        };
+        entries.push(SnapshotEntry { name, value });
+    }
+    Ok(TelemetrySnapshot { entries })
+}

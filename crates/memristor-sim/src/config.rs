@@ -59,6 +59,12 @@ pub struct CrossbarConfig {
     /// state is touched or accounted, so a faulted operation can always be
     /// retried and recovered runs stay bit-identical to fault-free ones.
     pub fault: Option<cinm_runtime::FaultConfig>,
+    /// Optional metrics registry: when set, the accelerator registers
+    /// per-op counters (`cim.mvm_ops`, `cim.tile_writes`, injected faults)
+    /// and accumulates `cim.energy_j`. Recording is atomics-only and never
+    /// affects results or accounted statistics. Equality is registry
+    /// identity.
+    pub telemetry: Option<cinm_telemetry::Telemetry>,
 }
 
 impl Default for CrossbarConfig {
@@ -81,6 +87,7 @@ impl Default for CrossbarConfig {
             host_threads: 1,
             pool: cinm_runtime::PoolHandle::global(),
             fault: None,
+            telemetry: None,
         }
     }
 }
@@ -103,6 +110,12 @@ impl CrossbarConfig {
     /// [`CrossbarConfig::fault`]).
     pub fn with_fault(mut self, fault: cinm_runtime::FaultConfig) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Attaches a metrics registry (see [`CrossbarConfig::telemetry`]).
+    pub fn with_telemetry(mut self, telemetry: cinm_telemetry::Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 

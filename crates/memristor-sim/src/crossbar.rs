@@ -153,6 +153,31 @@ pub struct CrossbarAccelerator {
     /// Deterministic fault injector; `None` when the accelerator is
     /// fault-free.
     fault: Option<FaultInjector>,
+    /// Per-op telemetry handles, resolved once at construction when the
+    /// config carries a registry (see [`CrossbarConfig::telemetry`]).
+    tele: Option<CimTele>,
+}
+
+/// Telemetry handles of one crossbar accelerator. Names are shared across
+/// clones and spares (get-or-register), so failover keeps accumulating into
+/// the same series.
+#[derive(Debug, Clone)]
+struct CimTele {
+    mvm_ops: cinm_telemetry::Counter,
+    tile_writes: cinm_telemetry::Counter,
+    faults: cinm_telemetry::Counter,
+    energy_j: cinm_telemetry::Gauge,
+}
+
+impl CimTele {
+    fn register(t: &cinm_telemetry::Telemetry) -> Self {
+        CimTele {
+            mvm_ops: t.counter("cim.mvm_ops"),
+            tile_writes: t.counter("cim.tile_writes"),
+            faults: t.counter("cim.faults.injected"),
+            energy_j: t.gauge("cim.energy_j"),
+        }
+    }
 }
 
 impl CrossbarAccelerator {
@@ -164,11 +189,13 @@ impl CrossbarAccelerator {
             .clone()
             .filter(|f| f.any_enabled())
             .map(FaultInjector::new);
+        let tele = config.telemetry.as_ref().map(CimTele::register);
         CrossbarAccelerator {
             config,
             tiles,
             stats: CimStats::default(),
             fault,
+            tele,
         }
     }
 
@@ -200,6 +227,9 @@ impl CrossbarAccelerator {
     pub(crate) fn inject_op(&mut self, what: &str) -> CimResult<()> {
         if let Some(inj) = self.fault.as_mut() {
             if let Err(ev) = inj.check_transfer() {
+                if let Some(tele) = &self.tele {
+                    tele.faults.inc();
+                }
                 return Err(CimError::fault(
                     ev.kind,
                     format!("{what}: {}", ev.description),
@@ -321,6 +351,10 @@ impl CrossbarAccelerator {
         self.stats.cell_writes += cells;
         self.stats.write_seconds += c.tile_program_seconds();
         self.stats.write_energy_j += c.tile_program_energy();
+        if let Some(tele) = &self.tele {
+            tele.tile_writes.inc();
+            tele.energy_j.add(c.tile_program_energy());
+        }
     }
 
     /// Issues one analog MVM: `y[cols] = x[rows] × W` on the programmed tile.
@@ -484,6 +518,10 @@ impl CrossbarAccelerator {
         self.stats.adc_conversions += conversions;
         self.stats.compute_seconds += c.mvm_seconds() * count as f64;
         self.stats.compute_energy_j += c.mvm_energy() * count as f64;
+        if let Some(tele) = &self.tele {
+            tele.mvm_ops.add(count as u64);
+            tele.energy_j.add(c.mvm_energy() * count as f64);
+        }
     }
 
     pub(crate) fn account_parallel_mvm(&mut self, tiles: usize) {

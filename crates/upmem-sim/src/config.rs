@@ -36,6 +36,41 @@ impl Default for InstrCosts {
     }
 }
 
+/// First-order per-DPU energy model, the CNM counterpart of the crossbar
+/// energy constants in `memristor_sim::CrossbarConfig`. Calibrated like the
+/// timing model: against the published UPMEM/PrIM power characterisation
+/// (a loaded rank of 128 DPUs draws ~23 W, i.e. ~180 mW per DPU at 350 MHz,
+/// of which roughly a third is static) rather than per-event measurements,
+/// so absolute joules are first-order but *relative* comparisons (CNM vs
+/// CIM vs host, kernel vs transfer) are meaningful.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyCosts {
+    /// Dynamic energy per retired DPU instruction in joules (instruction
+    /// fetch from IRAM, decode and the in-order pipeline, in DRAM-process
+    /// logic — far costlier per op than a CMOS-process core).
+    pub pipeline_j_per_instr: f64,
+    /// Dynamic MRAM↔WRAM DMA energy per byte in joules (DRAM row activation
+    /// plus the on-chip transfer).
+    pub dma_j_per_byte: f64,
+    /// Host↔MRAM transfer energy per byte in joules (DDR4 interface energy,
+    /// ~7.5 pJ/bit).
+    pub host_j_per_byte: f64,
+    /// Static (leakage + clock) power per DPU in watts, charged for the
+    /// duration of a launch across every DPU of the grid.
+    pub static_w_per_dpu: f64,
+}
+
+impl Default for EnergyCosts {
+    fn default() -> Self {
+        EnergyCosts {
+            pipeline_j_per_instr: 250.0e-12,
+            dma_j_per_byte: 150.0e-12,
+            host_j_per_byte: 60.0e-12,
+            static_w_per_dpu: 0.06,
+        }
+    }
+}
+
 /// Configuration of the simulated UPMEM machine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UpmemConfig {
@@ -76,6 +111,16 @@ pub struct UpmemConfig {
     pub pool: cinm_runtime::PoolHandle,
     /// Per-instruction cycle costs.
     pub instr: InstrCosts,
+    /// Per-event energy costs (see [`EnergyCosts`]): every launch and bulk
+    /// transfer is billed joules next to seconds, accumulated into
+    /// [`SystemStats`](crate::SystemStats).
+    pub energy: EnergyCosts,
+    /// Optional metrics registry: when set, the system registers per-op
+    /// counters (`upmem.launches`, scatter/gather/broadcast bytes, injected
+    /// faults) and accumulates `upmem.energy_j`. Recording is atomics-only —
+    /// the warmed hot path stays allocation-free — and never affects
+    /// simulated results or statistics. Equality is registry identity.
+    pub telemetry: Option<cinm_telemetry::Telemetry>,
     /// Deterministic fault-injection schedule (`None` = fault-free). Faults
     /// are injected before any state is touched or accounted, so a faulted
     /// operation can always be retried and recovered runs stay bit-identical
@@ -108,8 +153,16 @@ impl UpmemConfig {
             host_threads: 1,
             pool: cinm_runtime::PoolHandle::global(),
             instr: InstrCosts::default(),
+            energy: EnergyCosts::default(),
+            telemetry: None,
             fault: None,
         }
+    }
+
+    /// Attaches a metrics registry (see [`UpmemConfig::telemetry`]).
+    pub fn with_telemetry(mut self, telemetry: cinm_telemetry::Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Attaches a deterministic fault-injection schedule (see
@@ -190,6 +243,14 @@ impl UpmemConfig {
     pub fn broadcast_seconds(&self, bytes_per_dpu: f64) -> f64 {
         let rank_image = bytes_per_dpu * self.dpus_per_rank as f64;
         self.host_transfer_latency_s + rank_image / self.host_bandwidth_per_rank_bytes_per_s
+    }
+
+    /// Host↔MRAM transfer energy in joules for the given *billed* bytes
+    /// (for a broadcast that is `bytes_per_dpu × num_dpus`, matching the
+    /// byte accounting of [`SystemStats`](crate::SystemStats) — every
+    /// replica is physically written into a DPU's MRAM).
+    pub fn transfer_energy_j(&self, bytes: f64) -> f64 {
+        bytes * self.energy.host_j_per_byte
     }
 }
 

@@ -310,9 +310,15 @@ impl NaiveUpmemSystem {
         }
         let bytes = (data.len() * 4) as u64;
         let seconds = self.config.host_transfer_seconds(bytes as f64);
+        let energy_j = self.config.transfer_energy_j(bytes as f64);
         self.stats.host_to_dpu_bytes += bytes;
         self.stats.host_to_dpu_seconds += seconds;
-        Ok(TransferStats { bytes, seconds })
+        self.stats.host_to_dpu_energy_j += energy_j;
+        Ok(TransferStats {
+            bytes,
+            seconds,
+            energy_j,
+        })
     }
 
     /// Copies the same host data to the buffer of every DPU (broadcast),
@@ -342,9 +348,15 @@ impl NaiveUpmemSystem {
         }
         let bytes = (data.len() * 4 * self.num_dpus()) as u64;
         let seconds = self.config.broadcast_seconds((data.len() * 4) as f64);
+        let energy_j = self.config.transfer_energy_j(bytes as f64);
         self.stats.host_to_dpu_bytes += bytes;
         self.stats.host_to_dpu_seconds += seconds;
-        Ok(TransferStats { bytes, seconds })
+        self.stats.host_to_dpu_energy_j += energy_j;
+        Ok(TransferStats {
+            bytes,
+            seconds,
+            energy_j,
+        })
     }
 
     /// Gathers `chunk` elements from every DPU back into one host vector.
@@ -378,9 +390,18 @@ impl NaiveUpmemSystem {
         }
         let bytes = (out.len() * 4) as u64;
         let seconds = self.config.host_transfer_seconds(bytes as f64);
+        let energy_j = self.config.transfer_energy_j(bytes as f64);
         self.stats.dpu_to_host_bytes += bytes;
         self.stats.dpu_to_host_seconds += seconds;
-        Ok((out, TransferStats { bytes, seconds }))
+        self.stats.dpu_to_host_energy_j += energy_j;
+        Ok((
+            out,
+            TransferStats {
+                bytes,
+                seconds,
+                energy_j,
+            },
+        ))
     }
 
     /// Reads the buffer contents of one DPU (testing aid, not timed).
@@ -481,6 +502,7 @@ impl NaiveUpmemSystem {
         let tasklets = spec.tasklets.unwrap_or(self.config.tasklets);
         let stats = kernel_launch_cost(&self.config, spec, tasklets, self.num_dpus());
         self.stats.kernel_seconds += stats.seconds;
+        self.stats.kernel_energy_j += stats.energy_j;
         self.stats.launches += 1;
         Ok(stats)
     }

@@ -7,6 +7,9 @@ pub struct TransferStats {
     pub bytes: u64,
     /// Wall-clock seconds the transfer took.
     pub seconds: f64,
+    /// Interface energy spent moving the bytes, in joules (see
+    /// [`EnergyCosts`](crate::config::EnergyCosts)).
+    pub energy_j: f64,
 }
 
 /// Statistics of one kernel launch (per-launch, across the whole grid).
@@ -20,6 +23,11 @@ pub struct LaunchStats {
     pub seconds: f64,
     /// Per-DPU cycles of the critical (slowest) DPU.
     pub cycles_per_dpu: f64,
+    /// Energy of the launch across the whole grid, in joules: pipeline
+    /// energy for every retired instruction, DMA energy for every
+    /// MRAM↔WRAM byte, plus static power over the launch duration (see
+    /// [`EnergyCosts`](crate::config::EnergyCosts)).
+    pub energy_j: f64,
 }
 
 /// Accumulated statistics of a simulated application run.
@@ -37,6 +45,12 @@ pub struct SystemStats {
     pub dpu_to_host_bytes: u64,
     /// Number of kernel launches.
     pub launches: u64,
+    /// Joules spent in host→DPU transfers.
+    pub host_to_dpu_energy_j: f64,
+    /// Joules spent in DPU→host transfers.
+    pub dpu_to_host_energy_j: f64,
+    /// Joules spent executing kernels (pipeline + DMA + static, whole grid).
+    pub kernel_energy_j: f64,
 }
 
 impl SystemStats {
@@ -52,6 +66,13 @@ impl SystemStats {
         self.total_seconds() * 1e3
     }
 
+    /// Total energy in joules — the CNM counterpart of
+    /// `memristor_sim::CimStats::total_energy_j`, so fig10-style
+    /// paper-vs-reproduction energy comparisons cover both device kinds.
+    pub fn total_energy_j(&self) -> f64 {
+        self.host_to_dpu_energy_j + self.dpu_to_host_energy_j + self.kernel_energy_j
+    }
+
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &SystemStats) {
         self.host_to_dpu_seconds += other.host_to_dpu_seconds;
@@ -60,6 +81,9 @@ impl SystemStats {
         self.host_to_dpu_bytes += other.host_to_dpu_bytes;
         self.dpu_to_host_bytes += other.dpu_to_host_bytes;
         self.launches += other.launches;
+        self.host_to_dpu_energy_j += other.host_to_dpu_energy_j;
+        self.dpu_to_host_energy_j += other.dpu_to_host_energy_j;
+        self.kernel_energy_j += other.kernel_energy_j;
     }
 }
 
@@ -76,13 +100,18 @@ mod tests {
             host_to_dpu_bytes: 100,
             dpu_to_host_bytes: 50,
             launches: 2,
+            host_to_dpu_energy_j: 0.25,
+            dpu_to_host_energy_j: 0.125,
+            kernel_energy_j: 0.5,
         };
         assert!((a.total_seconds() - 1.75).abs() < 1e-12);
         assert!((a.total_ms() - 1750.0).abs() < 1e-9);
+        assert!((a.total_energy_j() - 0.875).abs() < 1e-12);
         let b = a;
         a.merge(&b);
         assert_eq!(a.launches, 4);
         assert_eq!(a.host_to_dpu_bytes, 200);
         assert!((a.total_seconds() - 3.5).abs() < 1e-12);
+        assert!((a.total_energy_j() - 1.75).abs() < 1e-12);
     }
 }

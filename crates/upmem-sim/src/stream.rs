@@ -433,23 +433,21 @@ impl UpmemSystem {
             .map(|r| r.unwrap_or_else(|e| match e {}))
             .collect();
 
-        // Fold statistics in program order (bit-identical to eager).
+        // Fold statistics in program order through the same accounting
+        // bodies as the eager methods (bit-identical, telemetry included).
         for (cmd, out) in commands.iter().zip(&outputs) {
             match (cmd, out) {
-                (
-                    Command::Scatter { .. } | Command::Broadcast { .. },
-                    CommandOutput::Transfer(t),
-                ) => {
-                    self.stats.host_to_dpu_bytes += t.bytes;
-                    self.stats.host_to_dpu_seconds += t.seconds;
+                (Command::Scatter { .. }, CommandOutput::Transfer(t)) => {
+                    self.account_scatter(t);
+                }
+                (Command::Broadcast { .. }, CommandOutput::Transfer(t)) => {
+                    self.account_broadcast(t);
                 }
                 (Command::Gather { .. }, CommandOutput::Gather(_, t)) => {
-                    self.stats.dpu_to_host_bytes += t.bytes;
-                    self.stats.dpu_to_host_seconds += t.seconds;
+                    self.account_gather(t);
                 }
                 (Command::Launch { .. }, CommandOutput::Launch(l)) => {
-                    self.stats.kernel_seconds += l.seconds;
-                    self.stats.launches += 1;
+                    self.account_launch(l);
                 }
                 _ => unreachable!("command/output kinds always correspond"),
             }

@@ -334,11 +334,21 @@ pub fn kernel_launch_cost(
         compute_cycles + dma_cycles
     };
     let seconds = c.cycles_to_seconds(cycles);
+    let instructions = instrs * num_dpus as f64;
+    let dma_bytes = dma_bytes * num_dpus as f64;
+    // Energy model (see `EnergyCosts`): dynamic pipeline energy per retired
+    // instruction and DMA energy per MRAM↔WRAM byte — both already summed
+    // over the grid — plus static power over the launch duration on every
+    // DPU (idle DPUs burn leakage while the slowest one finishes).
+    let energy_j = instructions * c.energy.pipeline_j_per_instr
+        + dma_bytes * c.energy.dma_j_per_byte
+        + seconds * c.energy.static_w_per_dpu * num_dpus as f64;
     LaunchStats {
-        instructions: instrs * num_dpus as f64,
-        dma_bytes: dma_bytes * num_dpus as f64,
+        instructions,
+        dma_bytes,
         seconds,
         cycles_per_dpu: cycles,
+        energy_j,
     }
 }
 
@@ -501,7 +511,12 @@ pub(crate) fn scatter_slab(
     }
     let bytes = (data.len() * 4) as u64;
     let seconds = config.host_transfer_seconds(bytes as f64);
-    TransferStats { bytes, seconds }
+    let energy_j = config.transfer_energy_j(bytes as f64);
+    TransferStats {
+        bytes,
+        seconds,
+        energy_j,
+    }
 }
 
 /// Replicates `data` into every DPU stride of a slab, returning the pure
@@ -523,7 +538,12 @@ pub(crate) fn broadcast_slab(
     }
     let bytes = (data.len() * 4 * num_dpus) as u64;
     let seconds = config.broadcast_seconds((data.len() * 4) as f64);
-    TransferStats { bytes, seconds }
+    let energy_j = config.transfer_energy_j(bytes as f64);
+    TransferStats {
+        bytes,
+        seconds,
+        energy_j,
+    }
 }
 
 /// Gathers `chunk` elements from every DPU stride of a slab into a
@@ -554,7 +574,12 @@ pub(crate) fn gather_slab_into(
     }
     let bytes = (out.len() * 4) as u64;
     let seconds = config.host_transfer_seconds(bytes as f64);
-    TransferStats { bytes, seconds }
+    let energy_j = config.transfer_energy_j(bytes as f64);
+    TransferStats {
+        bytes,
+        seconds,
+        energy_j,
+    }
 }
 
 /// Gathers `chunk` elements from every DPU stride of a slab into one fresh
@@ -612,6 +637,36 @@ pub struct UpmemSystem {
     scratch: Vec<i32>,
     /// Deterministic fault injector; `None` when the system is fault-free.
     fault: Option<FaultInjector>,
+    /// Per-op telemetry handles, resolved once at construction when the
+    /// config carries a registry. Recording is atomics-only, so the warmed
+    /// hot path stays allocation-free with telemetry enabled.
+    tele: Option<UpmemTele>,
+}
+
+/// Telemetry handles of one UPMEM system (see [`UpmemConfig::telemetry`]).
+/// Names are shared across clones and spares (get-or-register), so failover
+/// keeps accumulating into the same series.
+#[derive(Debug, Clone)]
+struct UpmemTele {
+    launches: cinm_telemetry::Counter,
+    scatter_bytes: cinm_telemetry::Counter,
+    broadcast_bytes: cinm_telemetry::Counter,
+    gather_bytes: cinm_telemetry::Counter,
+    faults: cinm_telemetry::Counter,
+    energy_j: cinm_telemetry::Gauge,
+}
+
+impl UpmemTele {
+    fn register(t: &cinm_telemetry::Telemetry) -> Self {
+        UpmemTele {
+            launches: t.counter("upmem.launches"),
+            scatter_bytes: t.counter("upmem.scatter.bytes"),
+            broadcast_bytes: t.counter("upmem.broadcast.bytes"),
+            gather_bytes: t.counter("upmem.gather.bytes"),
+            faults: t.counter("upmem.faults.injected"),
+            energy_j: t.gauge("upmem.energy_j"),
+        }
+    }
 }
 
 impl UpmemSystem {
@@ -623,6 +678,7 @@ impl UpmemSystem {
             .clone()
             .filter(|f| f.any_enabled())
             .map(FaultInjector::new);
+        let tele = config.telemetry.as_ref().map(UpmemTele::register);
         UpmemSystem {
             config,
             num_dpus: n,
@@ -633,6 +689,7 @@ impl UpmemSystem {
             stats: SystemStats::default(),
             scratch: Vec::new(),
             fault,
+            tele,
         }
     }
 
@@ -660,6 +717,9 @@ impl UpmemSystem {
     pub(crate) fn inject_transfer(&mut self, what: &str) -> SimResult<()> {
         if let Some(inj) = self.fault.as_mut() {
             if let Err(ev) = inj.check_transfer() {
+                if let Some(tele) = &self.tele {
+                    tele.faults.inc();
+                }
                 return Err(SimError::fault(
                     ev.kind,
                     format!("{what}: {}", ev.description),
@@ -677,6 +737,9 @@ impl UpmemSystem {
     pub(crate) fn inject_launch(&mut self, spec: &KernelSpec) -> SimResult<()> {
         if let Some(inj) = self.fault.as_mut() {
             if let Err(ev) = inj.check_launch() {
+                if let Some(tele) = &self.tele {
+                    tele.faults.inc();
+                }
                 return Err(SimError::fault(
                     ev.kind,
                     format!("launch {:?}: {}", spec.kind, ev.description),
@@ -704,6 +767,51 @@ impl UpmemSystem {
     /// Resets the accumulated statistics (buffers are kept).
     pub fn reset_stats(&mut self) {
         self.stats = SystemStats::default();
+    }
+
+    // One accounting body per operation kind, shared by the eager methods
+    // and the command-stream fold in `crate::stream` — statistics and
+    // telemetry can never diverge between the two paths. Telemetry is
+    // atomics-only (no allocation, no lock) and never affects `stats`.
+
+    pub(crate) fn account_scatter(&mut self, t: &TransferStats) {
+        self.stats.host_to_dpu_bytes += t.bytes;
+        self.stats.host_to_dpu_seconds += t.seconds;
+        self.stats.host_to_dpu_energy_j += t.energy_j;
+        if let Some(tele) = &self.tele {
+            tele.scatter_bytes.add(t.bytes);
+            tele.energy_j.add(t.energy_j);
+        }
+    }
+
+    pub(crate) fn account_broadcast(&mut self, t: &TransferStats) {
+        self.stats.host_to_dpu_bytes += t.bytes;
+        self.stats.host_to_dpu_seconds += t.seconds;
+        self.stats.host_to_dpu_energy_j += t.energy_j;
+        if let Some(tele) = &self.tele {
+            tele.broadcast_bytes.add(t.bytes);
+            tele.energy_j.add(t.energy_j);
+        }
+    }
+
+    pub(crate) fn account_gather(&mut self, t: &TransferStats) {
+        self.stats.dpu_to_host_bytes += t.bytes;
+        self.stats.dpu_to_host_seconds += t.seconds;
+        self.stats.dpu_to_host_energy_j += t.energy_j;
+        if let Some(tele) = &self.tele {
+            tele.gather_bytes.add(t.bytes);
+            tele.energy_j.add(t.energy_j);
+        }
+    }
+
+    pub(crate) fn account_launch(&mut self, l: &LaunchStats) {
+        self.stats.kernel_seconds += l.seconds;
+        self.stats.kernel_energy_j += l.energy_j;
+        self.stats.launches += 1;
+        if let Some(tele) = &self.tele {
+            tele.launches.inc();
+            tele.energy_j.add(l.energy_j);
+        }
     }
 
     /// MRAM bytes currently allocated per DPU.
@@ -895,8 +1003,7 @@ impl UpmemSystem {
             data,
             chunk,
         );
-        self.stats.host_to_dpu_bytes += t.bytes;
-        self.stats.host_to_dpu_seconds += t.seconds;
+        self.account_scatter(&t);
         Ok(t)
     }
 
@@ -922,8 +1029,7 @@ impl UpmemSystem {
             &mut self.slabs[buffer as usize],
             data,
         );
-        self.stats.host_to_dpu_bytes += t.bytes;
-        self.stats.host_to_dpu_seconds += t.seconds;
+        self.account_broadcast(&t);
         Ok(t)
     }
 
@@ -969,8 +1075,7 @@ impl UpmemSystem {
             chunk,
             out,
         );
-        self.stats.dpu_to_host_bytes += t.bytes;
-        self.stats.dpu_to_host_seconds += t.seconds;
+        self.account_gather(&t);
         Ok(t)
     }
 
@@ -1059,8 +1164,7 @@ impl UpmemSystem {
         // Timing.
         let tasklets = spec.tasklets.unwrap_or(self.config.tasklets);
         let stats = kernel_launch_cost(&self.config, spec, tasklets, self.num_dpus);
-        self.stats.kernel_seconds += stats.seconds;
-        self.stats.launches += 1;
+        self.account_launch(&stats);
         Ok(stats)
     }
 

@@ -11,9 +11,10 @@
 use cinm::core::{Session, SessionOptions, ShardPolicy};
 use cinm::lowering::ShardDevice;
 use cinm::runtime::FaultConfig;
+use cinm::telemetry::Telemetry;
 use cinm::upmem::UpmemConfig;
 
-fn run(fault: Option<FaultConfig>) -> (Vec<Vec<i32>>, Session) {
+fn run(fault: Option<FaultConfig>, telemetry: Option<Telemetry>) -> (Vec<Vec<i32>>, Session) {
     let (rows, cols) = (2048usize, 512usize);
     let a: Vec<i32> = (0..rows * cols).map(|i| (i % 17) as i32 - 8).collect();
     let x: Vec<i32> = (0..cols).map(|i| (i % 13) as i32 - 6).collect();
@@ -24,6 +25,9 @@ fn run(fault: Option<FaultConfig>) -> (Vec<Vec<i32>>, Session) {
     if let Some(fault) = fault {
         // One schedule drives BOTH simulators deterministically.
         options = options.with_fault(fault);
+    }
+    if let Some(t) = telemetry {
+        options = options.with_telemetry(t);
     }
     let mut sess = Session::new(options);
     let at = sess.matrix(&a, rows, cols);
@@ -39,17 +43,19 @@ fn run(fault: Option<FaultConfig>) -> (Vec<Vec<i32>>, Session) {
 
 fn main() {
     // The oracle: the same graph with no faults injected.
-    let (baseline, _) = run(None);
+    let (baseline, _) = run(None, None);
 
     // The gauntlet: 10% of launches abort transiently, the grid dies
     // permanently after 2 successful launches, and every default crossbar
-    // tile is stuck-at from the start.
+    // tile is stuck-at from the start. Telemetry observes the whole ordeal
+    // through one shared registry (results stay bit-identical either way).
+    let telemetry = Telemetry::new();
     let schedule = FaultConfig::seeded(7)
         .with_launch_fault_rate(0.10)
         .with_transfer_timeout_rate(0.02)
         .with_permanent_after_launches(2)
         .with_stuck_tiles(vec![0, 1, 2, 3]);
-    let (faulted, sess) = run(Some(schedule));
+    let (faulted, sess) = run(Some(schedule), Some(telemetry.clone()));
 
     assert_eq!(baseline, faulted, "recovered runs are bit-identical");
 
@@ -72,4 +78,10 @@ fn main() {
             h.permanent
         );
     }
+
+    // The unified snapshot: session run/replay and retry gauges next to the
+    // simulators' per-op counters, injected-fault counts and modeled joules
+    // — one registry across every layer (`snapshot.to_json()` for export).
+    let snap = telemetry.snapshot();
+    println!("\nunified telemetry snapshot:\n{}", snap.format_text());
 }

@@ -15,11 +15,15 @@ use std::time::Instant;
 use cinm::core::serve::{RequestTicket, ServerOptions, SessionServer, TenantSpec};
 use cinm::core::session::{Session, SessionOptions};
 use cinm::core::{ShardPolicy, Target};
+use cinm::telemetry::Telemetry;
 use cinm::workloads::data;
 
 fn main() {
     let (rows, cols) = (512usize, 256usize);
     let rounds = 24usize;
+    // One shared registry: the server, its simulator and its worker pool all
+    // export into it, and the snapshot at the end unifies every layer.
+    let telemetry = Telemetry::new();
 
     // Four tenants share one gemv shape class (their requests fuse into one
     // launch per round); weights skew the schedule 4:2:1:1 under backlog.
@@ -37,7 +41,11 @@ fn main() {
         .collect();
 
     // ---- the server: one device set, every tenant's weights resident ----
-    let mut server = SessionServer::new(ServerOptions::default().with_tenant_slots(4));
+    let mut server = SessionServer::new(
+        ServerOptions::default()
+            .with_tenant_slots(4)
+            .with_telemetry(telemetry.clone()),
+    );
     let mut tenants = Vec::new();
     let mut models = Vec::new();
     for ((name, weight, priority), a) in tenant_specs.iter().zip(&weights_data) {
@@ -106,6 +114,14 @@ fn main() {
         "  residency: {} evictions, {} weight reloads, peak {} B/DPU of {} B/DPU",
         snap.evictions, snap.reloads, snap.peak_mram_bytes, snap.limit_bytes,
     );
+
+    // ---- the unified telemetry snapshot: every layer, one registry ----
+    // Per-tenant serving series, server-wide latency/batch histograms with
+    // derived p50/p99, simulator per-op counters with modeled joules, and
+    // worker-pool occupancy — all from the one registry threaded through
+    // `ServerOptions::with_telemetry` (JSON export: `snapshot.to_json()`).
+    let snap = telemetry.snapshot();
+    println!("\nunified telemetry snapshot:\n{}", snap.format_text());
 
     // ---- bounded MRAM: a capped server evicts & reloads cold weights ----
     // The budget admits the four-tenant class alone but not a second shape

@@ -11,6 +11,9 @@
 //! * [`lowering`] — the progressive-lowering passes and the device back-ends;
 //! * [`runtime`] — the shared host runtime: the persistent worker pool and
 //!   the hazard-tracked command streams both simulators execute on;
+//! * [`telemetry`] — the lock-light production metrics registry (counters,
+//!   gauges, histograms; atomics on the hot path) every layer above exports
+//!   per-op, per-tenant and energy series into;
 //! * [`upmem`] / [`memristor`] / [`cpu`] — the simulated evaluation substrate;
 //! * [`workloads`] — the fifteen benchmark applications of the evaluation;
 //! * [`core`] — pipelines, target selection, cost models, the experiment
@@ -27,6 +30,7 @@ pub use cinm_dialects as dialects;
 pub use cinm_ir as ir;
 pub use cinm_lowering as lowering;
 pub use cinm_runtime as runtime;
+pub use cinm_telemetry as telemetry;
 pub use cinm_workloads as workloads;
 pub use cpu_sim as cpu;
 pub use memristor_sim as memristor;

@@ -346,6 +346,73 @@ fn steady_state_serving_loop_is_allocation_free() {
     assert!(!outs[0].is_empty() && !outs[1].is_empty());
 }
 
+/// The same warmed serving loop with **telemetry enabled** stays at zero
+/// allocations per iteration: every metric series (server counters,
+/// latency/batch histograms, queue-depth and pool gauges, per-tenant
+/// series, simulator per-op counters and the energy gauge) is registered
+/// once up front, and recording is atomics-only on the hot path.
+#[test]
+fn steady_state_serving_loop_with_telemetry_is_allocation_free() {
+    use cinm_core::serve::{ServerOptions, SessionServer, TenantSpec};
+
+    let telemetry = cinm_telemetry::Telemetry::new();
+    let mut cfg = UpmemConfig::with_ranks(1).with_host_threads(1);
+    cfg.dpus_per_rank = 8;
+    let mut server = SessionServer::new(
+        ServerOptions::default()
+            .with_upmem_config(cfg)
+            .with_tenant_slots(2)
+            .with_telemetry(telemetry.clone()),
+    );
+    let (rows, cols) = (16usize, 8usize);
+    let mut models = Vec::new();
+    for i in 0..2i32 {
+        let t = server.register_tenant(TenantSpec::new(format!("tenant-{i}")));
+        let a: Vec<i32> = (0..rows * cols)
+            .map(|e| ((e as i32) * (i + 3)) % 23 - 11)
+            .collect();
+        models.push(server.load_gemv_weights(t, &a, rows, cols).unwrap());
+    }
+    let xs: Vec<Vec<i32>> = (0..4)
+        .map(|s| (0..cols).map(|e| ((e + s) % 9) as i32 - 4).collect())
+        .collect();
+    let mut outs = [Vec::new(), Vec::new()];
+    let iteration = |server: &mut SessionServer, x: &[i32], outs: &mut [Vec<i32>; 2]| {
+        let t0 = server.submit(models[0], x).unwrap();
+        let t1 = server.submit(models[1], x).unwrap();
+        assert_eq!(server.step(), 2, "both tenants served in one round");
+        server.wait_into(t0, &mut outs[0]).unwrap();
+        server.wait_into(t1, &mut outs[1]).unwrap();
+    };
+    for i in 0..4 {
+        iteration(&mut server, &xs[i % 4], &mut outs);
+    }
+    let snap_before = telemetry.snapshot();
+    let ((), allocs) = alloc_count::count_in(|| {
+        for i in 0..40 {
+            iteration(&mut server, &xs[i % 4], &mut outs);
+        }
+    });
+    assert_eq!(allocs, 0, "telemetry recording must not allocate");
+    // The measured window was actually observed, not silently dropped.
+    let snap = telemetry.snapshot();
+    assert_eq!(
+        snap.counter("serve.requests.completed").unwrap()
+            - snap_before.counter("serve.requests.completed").unwrap(),
+        80,
+        "all 40 rounds x 2 tenants recorded"
+    );
+    assert_eq!(
+        snap.histogram("serve.batch.size").unwrap().count
+            - snap_before.histogram("serve.batch.size").unwrap().count,
+        40,
+    );
+    assert!(
+        snap.counter("upmem.launches").unwrap() > snap_before.counter("upmem.launches").unwrap()
+    );
+    assert!(!outs[0].is_empty() && !outs[1].is_empty());
+}
+
 /// Scratch-writing MVMs allocate nothing once the tile is programmed and the
 /// output scratch exists; `mvm_parallel_into` covers the batched form.
 #[test]

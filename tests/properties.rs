@@ -15,6 +15,7 @@ use cinm::lowering::{
 };
 use cinm::memristor::{CrossbarAccelerator, CrossbarConfig};
 use cinm::runtime::CommandStream;
+use cinm::telemetry::Telemetry;
 use cinm::upmem::{
     BinOp, Command, CommandOutput, DpuKernelKind, DpuSystem, KernelSpec, NaiveUpmemSystem,
     UpmemConfig, UpmemSystem,
@@ -431,6 +432,60 @@ fn backend_results_are_invariant_under_host_threads() {
             assert_eq!(c, ref_c, "threads = {threads}");
             assert_eq!(stats, ref_stats, "threads = {threads}");
         }
+    });
+}
+
+/// Attaching a telemetry registry is observationally transparent: with and
+/// without one, runs produce bit-identical buffers and bit-identical
+/// simulated statistics (including the modeled joules) on both the DPU grid
+/// and the crossbar, across randomized kernels, shapes and launch counts.
+#[test]
+fn telemetry_is_observationally_transparent() {
+    for_cases(12, |rng| {
+        let (kind, input_lens, out_len) = random_kernel(rng);
+        let dpus = gen_usize(rng, 1, 9);
+        let data_seed = rng.next_u64();
+        let launches = gen_usize(rng, 1, 3);
+
+        let mut cfg = UpmemConfig::with_ranks(1);
+        cfg.dpus_per_rank = dpus;
+        let mut plain = UpmemSystem::new(cfg.clone());
+        let mut metered = UpmemSystem::new(cfg.with_telemetry(Telemetry::new()));
+
+        let (plain_out, plain_stats) =
+            drive_random_flow(&mut plain, &kind, &input_lens, out_len, data_seed, launches);
+        let (metered_out, metered_stats) = drive_random_flow(
+            &mut metered,
+            &kind,
+            &input_lens,
+            out_len,
+            data_seed,
+            launches,
+        );
+        assert_eq!(plain_out, metered_out, "kind {}", kind.name());
+        assert_eq!(
+            plain_stats,
+            metered_stats,
+            "kind {} stats diverged",
+            kind.name()
+        );
+
+        // The CIM side of the same property: tile writes and MVMs.
+        let rows = gen_usize(rng, 1, 12);
+        let cols = gen_usize(rng, 1, 12);
+        let w = data::i32_matrix(data_seed.wrapping_add(7), rows, cols, -50, 50);
+        let x = data::i32_vec(data_seed.wrapping_add(8), rows, -50, 50);
+        let mut xbar_plain = CrossbarAccelerator::new(CrossbarConfig::default());
+        let mut xbar_metered =
+            CrossbarAccelerator::new(CrossbarConfig::default().with_telemetry(Telemetry::new()));
+        for xbar in [&mut xbar_plain, &mut xbar_metered] {
+            xbar.write_tile(0, &w, rows, cols).unwrap();
+        }
+        assert_eq!(
+            xbar_plain.mvm(0, &x).unwrap(),
+            xbar_metered.mvm(0, &x).unwrap()
+        );
+        assert_eq!(xbar_plain.stats(), xbar_metered.stats());
     });
 }
 

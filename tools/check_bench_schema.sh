@@ -23,7 +23,7 @@ BENCH_serving.json)
     src="crates/cinm-bench/src/simbench.rs"
     const_name="BENCH_SCHEMA"
     prefix="cinm/bench-sim"
-    sections='"hot_path" "steady_state" "sharded_vs_best_single" "session_vs_eager" "graph_opt" "replay_hit_rate" "dispatch_overhead" "fault_overhead" "memory_pressure" "spilled_bytes" "workloads"'
+    sections='"hot_path" "steady_state" "sharded_vs_best_single" "session_vs_eager" "graph_opt" "replay_hit_rate" "dispatch_overhead" "fault_overhead" "memory_pressure" "spilled_bytes" "energy" "min_energy_plan_joules" "workloads"'
     ;;
 esac
 
